@@ -1,0 +1,64 @@
+// Ablations on the model's design choices:
+//   1. control roots — the paper treats branch conditions as SDC-prone
+//      (section VI-B); dropping them shrinks the ACE graph and PVF;
+//   2. layout jitter — the paper's environment nondeterminism; recall decays
+//      gracefully as the injected runs drift from the profiled layout.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "ddg/ace.h"
+#include "fi/targeted.h"
+
+int main() {
+  using namespace epvf;
+
+  {
+    AsciiTable table({"Benchmark", "PVF (outputs only)", "PVF (+control roots)",
+                      "ACE nodes (outputs)", "ACE nodes (+control)"});
+    table.SetTitle("Ablation 1 — branch conditions as ACE roots");
+    for (const std::string& name : {std::string("bfs"), std::string("particlefilter"),
+                                    std::string("mm")}) {
+      const bench::Prepared p = bench::Prepare(name);
+      const ddg::AceResult outputs_only =
+          ddg::ComputeAceFromRoots(p.analysis.graph(), p.analysis.graph().output_roots());
+      const ddg::AceResult full = p.analysis.ace();
+      table.AddRow({name, AsciiTable::Num(outputs_only.Pvf()), AsciiTable::Num(full.Pvf()),
+                    std::to_string(outputs_only.ace_node_count),
+                    std::to_string(full.ace_node_count)});
+    }
+    table.SetFootnote("control-flow-heavy kernels (bfs) lose most of their ACE graph without "
+                      "control roots — and with it the crash model's coverage");
+    table.Print(std::cout);
+    std::cout << '\n';
+  }
+
+  {
+    AsciiTable table({"jitter (pages)", "recall", "precision"});
+    table.SetTitle("Ablation 2 — accuracy vs environment nondeterminism (benchmark: mm)");
+    const bench::Prepared p = bench::Prepare("mm");
+    for (const int pages : {0, 2, 8, 32, 128}) {
+      fi::CampaignOptions campaign;
+      campaign.num_runs = bench::FiRuns();
+      campaign.seed = bench::Seed();
+      campaign.injector.jitter_pages = static_cast<std::uint32_t>(pages);
+      const fi::CampaignStats stats =
+          fi::RunCampaign(p.app.module, p.analysis.graph(), p.analysis.golden(), campaign);
+      const fi::RecallStats recall = fi::MeasureRecall(stats, p.analysis.crash_bits());
+
+      fi::InjectorOptions injector_options;
+      injector_options.jitter_pages = static_cast<std::uint32_t>(pages);
+      fi::Injector injector(p.app.module, p.analysis.golden(), injector_options);
+      fi::PrecisionOptions precision_options;
+      precision_options.num_samples = bench::FiRuns() / 2;
+      const fi::PrecisionStats precision =
+          fi::MeasurePrecision(injector, p.analysis.graph(), p.analysis.crash_bits(),
+                               precision_options);
+      table.AddRow({std::to_string(pages), AsciiTable::Pct(recall.Recall()),
+                    AsciiTable::Pct(precision.Precision())});
+    }
+    table.SetFootnote("the paper attributes its 89%/92% to exactly this effect: segment "
+                      "boundaries shifted between the profiled and injected runs");
+    table.Print(std::cout);
+  }
+  return 0;
+}

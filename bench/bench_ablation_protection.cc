@@ -1,0 +1,63 @@
+// Ablation: the section-V protection evaluation, modeled vs real.
+//
+// The planner models duplication on the golden DDG and evaluation.h
+// reclassifies campaign records; ApplyDuplication instead rewrites the IR and
+// the campaign injects into the *transformed* program. This bench runs both
+// for the ePVF-informed plan and compares SDC rates, detection rates and the
+// modeled-vs-measured overhead — validating that the cheap model tracks the
+// ground truth.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "protect/evaluation.h"
+#include "protect/transform.h"
+#include "vm/interpreter.h"
+
+int main() {
+  using namespace epvf;
+  const double budget = bench::EnvInt("EPVF_OVERHEAD_PCT", 24) / 100.0;
+  AsciiTable table({"Benchmark", "SDC none", "SDC modeled", "SDC real", "detected real",
+                    "overhead modeled", "overhead real"});
+  table.SetTitle("Ablation — modeled protection vs real IR duplication (ePVF plan, budget " +
+                 AsciiTable::Pct(budget, 0) + ")");
+  for (const std::string& name : {std::string("nw"), std::string("lud"), std::string("pathfinder")}) {
+    const bench::Prepared p = bench::Prepare(name);
+    const auto metrics = p.analysis.PerInstructionMetrics();
+    const fi::CampaignStats baseline = bench::Campaign(p);
+
+    protect::PlanOptions options;
+    options.overhead_budget = budget;
+    const protect::ProtectionPlan plan =
+        protect::BuildDuplicationPlan(p.analysis, protect::RankByEpvf(metrics), options);
+    const protect::ProtectedRates modeled = protect::EvaluateProtection(baseline, plan);
+
+    // Real transform: rewrite, re-analyze, re-inject.
+    const protect::TransformResult transformed =
+        protect::ApplyDuplication(p.app.module, plan.chosen);
+    const core::Analysis real_analysis = core::Analysis::Run(transformed.module);
+    fi::CampaignOptions campaign;
+    campaign.num_runs = bench::FiRuns();
+    campaign.seed = bench::Seed();
+    campaign.injector.jitter_pages = static_cast<std::uint32_t>(bench::JitterPages());
+    const fi::CampaignStats real = fi::RunCampaign(
+        transformed.module, real_analysis.graph(), real_analysis.golden(), campaign);
+
+    const double real_overhead =
+        static_cast<double>(real_analysis.golden().instructions_executed) /
+            static_cast<double>(p.analysis.golden().instructions_executed) -
+        1.0;
+    table.AddRow({name, AsciiTable::Pct(baseline.Rate(fi::Outcome::kSdc)),
+                  AsciiTable::Pct(modeled.SdcRate()),
+                  AsciiTable::Pct(real.Rate(fi::Outcome::kSdc)),
+                  AsciiTable::Pct(real.Rate(fi::Outcome::kDetected)),
+                  AsciiTable::Pct(plan.overhead), AsciiTable::Pct(real_overhead)});
+  }
+  table.SetFootnote(
+      "the modeled column reproduces the paper's idealized evaluation (any fault in a "
+      "duplicated slice is caught); the real campaign exposes duplication's classic "
+      "window of vulnerability — a flip at a value's FINAL use (e.g. the store operand "
+      "itself) escapes every earlier check — plus sampling over a larger site population "
+      "that now includes the redundant stream (whose faults are detected or benign)");
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Shared plumbing for the reproduction benches.
+//
+// Every bench binary regenerates one table or figure from the paper on
+// stdout. Knobs come from the environment so `for b in build/bench/*; do $b;
+// done` runs with sane defaults:
+//   EPVF_SCALE        benchmark size knob           (default 1)
+//   EPVF_FI_RUNS      injections per campaign       (default 400)
+//   EPVF_JITTER_PAGES per-run layout jitter (pages) (default 2 — the paper's
+//                     environment nondeterminism; 0 = deterministic)
+//   EPVF_SEED         campaign seed                 (default 42)
+#pragma once
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "apps/app.h"
+#include "epvf/analysis.h"
+#include "fi/campaign.h"
+#include "support/table.h"
+
+namespace epvf::bench {
+
+inline int EnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? fallback : std::atoi(value);
+}
+
+inline int Scale() { return EnvInt("EPVF_SCALE", 1); }
+inline int FiRuns() { return EnvInt("EPVF_FI_RUNS", 400); }
+inline int JitterPages() { return EnvInt("EPVF_JITTER_PAGES", 2); }
+inline std::uint64_t Seed() { return static_cast<std::uint64_t>(EnvInt("EPVF_SEED", 42)); }
+
+/// The paper's Table IV suite (ten benchmarks).
+inline std::vector<std::string> TableIVApps() {
+  return {"lulesh", "particlefilter", "srad",       "nw",  "hotspot",
+          "lavaMD", "bfs",            "pathfinder", "lud", "mm"};
+}
+
+/// The Table II crash-frequency study set (kmeans instead of lavaMD).
+inline std::vector<std::string> TableIIApps() {
+  return {"hotspot", "bfs",        "kmeans", "nw", "pathfinder",
+          "lud",     "srad",       "mm",     "particlefilter", "lulesh"};
+}
+
+/// The five SDC-prone benchmarks of the section V case study.
+inline std::vector<std::string> CaseStudyApps() {
+  return {"mm", "pathfinder", "hotspot", "lud", "nw"};
+}
+
+/// An app plus its completed analysis. The analysis holds pointers into the
+/// app's module, so both are constructed in place (guaranteed elision keeps
+/// the addresses stable) and the struct is neither copied nor moved after.
+struct Prepared {
+  apps::App app;
+  core::Analysis analysis;
+
+  explicit Prepared(const std::string& name)
+      : app(apps::BuildApp(name, apps::AppConfig{.scale = Scale()})),
+        analysis(core::Analysis::Run(app.module)) {}
+
+  Prepared(const Prepared&) = delete;
+  Prepared& operator=(const Prepared&) = delete;
+};
+
+inline Prepared Prepare(const std::string& name) { return Prepared(name); }
+
+inline fi::CampaignStats Campaign(const Prepared& p, int runs = 0) {
+  fi::CampaignOptions options;
+  options.num_runs = runs > 0 ? runs : FiRuns();
+  options.seed = Seed();
+  options.injector.jitter_pages = static_cast<std::uint32_t>(JitterPages());
+  return fi::RunCampaign(p.app.module, p.analysis.graph(), p.analysis.golden(), options);
+}
+
+}  // namespace epvf::bench

@@ -1,0 +1,117 @@
+// Section VI-B reproduced: the three sources of ePVF's remaining SDC
+// overestimate, measured directly.
+//
+//   1. Lucky loads — an address flip that stays inside allocated memory loads
+//      a wrong-but-often-harmless value (frequently zero).
+//   2. Y-branches — flipping a branch condition often does not change the
+//      output; the paper cites ~20% of branch flips causing SDCs.
+//   3. (Application-specific correctness checks are the %.6g output
+//      comparison already built into the platform.)
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "fi/injector.h"
+
+int main() {
+  using namespace epvf;
+
+  // --- 1. lucky loads -------------------------------------------------------
+  {
+    AsciiTable table({"Benchmark", "in-bounds addr flips", "SDC", "benign (lucky)", "crash"});
+    table.SetTitle("Section VI-B #1 — in-bounds address flips (lucky loads)");
+    for (const std::string& name : {std::string("mm"), std::string("nw"), std::string("lud")}) {
+      const bench::Prepared p = bench::Prepare(name);
+      const ddg::Graph& g = p.analysis.graph();
+      fi::Injector injector(p.app.module, p.analysis.golden(), fi::InjectorOptions{});
+      Rng rng(bench::Seed());
+
+      int injections = 0, sdc = 0, benign = 0, crash = 0;
+      const auto& accesses = g.accesses();
+      while (injections < bench::FiRuns() / 2 && !accesses.empty()) {
+        const ddg::AccessRecord& access = accesses[rng.Below(accesses.size())];
+        if (access.is_store || access.addr_node == ddg::kNoNode) continue;
+        const ddg::Node& node = g.GetNode(access.addr_node);
+        if (node.kind != ddg::NodeKind::kRegister) continue;
+        // Pick a bit the model says stays in bounds (a NON-crash bit).
+        const std::uint64_t mask = p.analysis.crash_bits().crash_mask[access.addr_node];
+        std::uint8_t bit = 0;
+        bool found = false;
+        for (int attempt = 0; attempt < 8 && !found; ++attempt) {
+          bit = static_cast<std::uint8_t>(rng.Below(node.width));
+          found = ((mask >> bit) & 1u) == 0;
+        }
+        if (!found) continue;
+        fi::FaultSite site;
+        site.dyn_index = access.dyn_index;
+        site.slot = 0;  // load address operand
+        site.width = node.width;
+        site.node = access.addr_node;
+        const auto result = injector.Inject(site, bit);
+        ++injections;
+        sdc += result.outcome == fi::Outcome::kSdc;
+        benign += result.outcome == fi::Outcome::kBenign;
+        crash += fi::IsCrash(result.outcome);
+      }
+      table.AddRow({name, std::to_string(injections),
+                    AsciiTable::Pct(injections ? double(sdc) / injections : 0),
+                    AsciiTable::Pct(injections ? double(benign) / injections : 0),
+                    AsciiTable::Pct(injections ? double(crash) / injections : 0)});
+    }
+    table.SetFootnote("ePVF counts every non-crash address bit as SDC-prone; the benign "
+                      "column is the 'lucky load' overestimate the paper describes");
+    table.Print(std::cout);
+    std::cout << '\n';
+  }
+
+  // --- 2. Y-branches ---------------------------------------------------------
+  {
+    AsciiTable table({"Benchmark", "branch-condition flips", "SDC", "benign (Y-branch)",
+                      "crash", "hang"});
+    table.SetTitle("Section VI-B #2 — branch-condition flips (Y-branches)");
+    for (const std::string& name : {std::string("hotspot"), std::string("pathfinder"),
+                                    std::string("bfs")}) {
+      const bench::Prepared p = bench::Prepare(name);
+      const ddg::Graph& g = p.analysis.graph();
+      fi::Injector injector(p.app.module, p.analysis.golden(), fi::InjectorOptions{});
+      Rng rng(bench::Seed());
+
+      // Collect condbr condition sites.
+      std::vector<fi::FaultSite> cond_sites;
+      for (std::uint32_t dyn = 0; dyn < g.NumDynInstrs(); ++dyn) {
+        const ir::Instruction& inst = g.InstructionAt(dyn);
+        if (inst.op != ir::Opcode::kCondBr || !inst.operands[0].IsRegister()) continue;
+        const ddg::NodeId node = g.OperandNodes(dyn)[0];
+        if (node == ddg::kNoNode) continue;
+        fi::FaultSite site;
+        site.dyn_index = dyn;
+        site.slot = 0;
+        site.width = 1;
+        site.node = node;
+        cond_sites.push_back(site);
+      }
+      int injections = 0, sdc = 0, benign = 0, crash = 0, hang = 0;
+      for (int i = 0; i < bench::FiRuns() / 2 && !cond_sites.empty(); ++i) {
+        const fi::FaultSite& site = cond_sites[rng.Below(cond_sites.size())];
+        const auto result = injector.Inject(site, 0);  // the i1 has one bit
+        ++injections;
+        sdc += result.outcome == fi::Outcome::kSdc;
+        benign += result.outcome == fi::Outcome::kBenign;
+        crash += fi::IsCrash(result.outcome);
+        hang += result.outcome == fi::Outcome::kHang;
+      }
+      table.AddRow({name, std::to_string(injections),
+                    AsciiTable::Pct(injections ? double(sdc) / injections : 0),
+                    AsciiTable::Pct(injections ? double(benign) / injections : 0),
+                    AsciiTable::Pct(injections ? double(crash) / injections : 0),
+                    AsciiTable::Pct(injections ? double(hang) / injections : 0)});
+    }
+    table.SetFootnote(
+        "paper (citing prior work): only ~20% of branch flips cause SDCs, yet ePVF marks "
+        "every branch as sensitive. Our kernels are loop-dominated — nearly every branch "
+        "is trip-count-critical — so the benign (Y-branch) fraction is smaller than in "
+        "the mixed-branch programs the prior work measured; bfs, whose redundant "
+        "frontier-update branches tolerate flips, shows the effect most clearly");
+    table.Print(std::cout);
+  }
+  return 0;
+}

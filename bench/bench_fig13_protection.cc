@@ -1,0 +1,61 @@
+// Figure 13: selective duplication under a fixed performance-overhead bound —
+// unprotected vs hot-path-ranked vs ePVF-ranked duplication.
+//
+// Paper result (24% overhead bound, five SDC-prone benchmarks): ePVF-informed
+// protection cuts the SDC rate from 20% to 7% (geometric mean) vs ~10% for
+// hot-path — about 30% better — with hotspot as the one exception (its
+// control-flow structures are marked sensitive by ePVF but rarely cause
+// SDCs).
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "protect/evaluation.h"
+#include "support/statistics.h"
+
+int main() {
+  using namespace epvf;
+  const double budget = bench::EnvInt("EPVF_OVERHEAD_PCT", 24) / 100.0;
+  AsciiTable table({"Benchmark", "no protection", "random", "hot-path", "ePVF-informed",
+                    "hot overhead", "ePVF overhead"});
+  table.SetTitle("Figure 13 — SDC rate under selective duplication (budget " +
+                 AsciiTable::Pct(budget, 0) + ")");
+  std::vector<double> none_rates, random_rates, hot_rates, epvf_rates;
+  for (const std::string& name : bench::CaseStudyApps()) {
+    const bench::Prepared p = bench::Prepare(name);
+    const auto metrics = p.analysis.PerInstructionMetrics();
+    const fi::CampaignStats baseline = bench::Campaign(p);
+
+    protect::PlanOptions options;
+    options.overhead_budget = budget;
+    const protect::ProtectionPlan hot_plan =
+        protect::BuildDuplicationPlan(p.analysis, protect::RankByHotPath(metrics), options);
+    const protect::ProtectionPlan epvf_plan =
+        protect::BuildDuplicationPlan(p.analysis, protect::RankByEpvf(metrics), options);
+    const protect::ProtectionPlan random_plan = protect::BuildDuplicationPlan(
+        p.analysis, protect::RankRandomly(metrics, bench::Seed()), options);
+    const double none = baseline.Rate(fi::Outcome::kSdc);
+    const double random_rate = protect::EvaluateProtection(baseline, random_plan).SdcRate();
+    const double hot = protect::EvaluateProtection(baseline, hot_plan).SdcRate();
+    const double epvf_rate = protect::EvaluateProtection(baseline, epvf_plan).SdcRate();
+    none_rates.push_back(none);
+    random_rates.push_back(random_rate);
+    hot_rates.push_back(hot);
+    epvf_rates.push_back(epvf_rate);
+    table.AddRow({name, AsciiTable::Pct(none), AsciiTable::Pct(random_rate),
+                  AsciiTable::Pct(hot), AsciiTable::Pct(epvf_rate),
+                  AsciiTable::Pct(hot_plan.overhead), AsciiTable::Pct(epvf_plan.overhead)});
+  }
+  table.AddRow({"geomean", AsciiTable::Pct(GeometricMean(none_rates)),
+                AsciiTable::Pct(GeometricMean(random_rates)),
+                AsciiTable::Pct(GeometricMean(hot_rates)),
+                AsciiTable::Pct(GeometricMean(epvf_rates)), "", ""});
+  table.SetFootnote(
+      "paper (24% bound): 20% -> 10% (hot-path) vs 20% -> 7% (ePVF), one exception "
+      "benchmark; override the bound with EPVF_OVERHEAD_PCT. The random baseline is "
+      "competitive under THIS modeled evaluation because it spreads the budget over many "
+      "cheap shadow-copied leaves that the model credits with full coverage; "
+      "bench_ablation_protection shows the real-transform ground truth");
+  table.Print(std::cout);
+  return 0;
+}

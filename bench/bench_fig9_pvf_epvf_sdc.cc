@@ -1,0 +1,41 @@
+// Figure 9: PVF vs ePVF vs measured SDC rate.
+//
+// Paper result: ePVF is a much tighter upper bound on the SDC rate than PVF —
+// it lowers the bound by 45-67% (61% on average) while staying above the
+// measured SDC rate (modulo crash-model false positives, section VI-C).
+// The bound comparison is made in the fault-injection site space (register
+// uses weighted by bit width), the space campaign rates live in; the Eq. 1/2
+// def-based values are printed alongside.
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace epvf;
+  AsciiTable table({"Benchmark", "PVF(use)", "ePVF(use)", "SDC rate", "bound ok?",
+                    "PVF(Eq1)", "ePVF(Eq2)", "reduction"});
+  table.SetTitle("Figure 9 — PVF vs ePVF vs measured SDC rate");
+  double reduction_sum = 0;
+  int n = 0;
+  for (const std::string& name : bench::TableIVApps()) {
+    const bench::Prepared p = bench::Prepare(name);
+    const fi::CampaignStats stats = bench::Campaign(p);
+    const auto sdc = stats.CI(fi::Outcome::kSdc);
+    const double pvf_use = p.analysis.PvfUseWeighted();
+    const double epvf_use = p.analysis.EpvfUseWeighted();
+    const double pvf = p.analysis.Pvf();
+    const double epvf = p.analysis.Epvf();
+    const double reduction = pvf > 0 ? (pvf - epvf) / pvf : 0.0;
+    reduction_sum += reduction;
+    ++n;
+    table.AddRow({name, AsciiTable::Num(pvf_use), AsciiTable::Num(epvf_use),
+                  AsciiTable::PctCI(sdc.rate, sdc.half_width),
+                  sdc.rate <= epvf_use + sdc.half_width ? "yes" : "no",
+                  AsciiTable::Num(pvf), AsciiTable::Num(epvf), AsciiTable::Pct(reduction)});
+  }
+  table.SetFootnote("paper: ePVF lowers the PVF bound by 45-67% (61% avg); ours avg: " +
+                    AsciiTable::Pct(reduction_sum / n) +
+                    "; 'bound ok?' allows the FI confidence interval");
+  table.Print(std::cout);
+  return 0;
+}

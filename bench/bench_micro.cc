@@ -1,0 +1,105 @@
+// Microbenchmarks (google-benchmark): throughput of the pipeline stages —
+// the "tuned C/C++ implementation" speedup the paper's section VI-A asks for.
+#include <benchmark/benchmark.h>
+
+#include "apps/app.h"
+#include "crash/crash_model.h"
+#include "crash/propagation.h"
+#include "ddg/ace.h"
+#include "ddg/builder.h"
+#include "epvf/analysis.h"
+#include "vm/interpreter.h"
+
+namespace {
+
+using namespace epvf;
+
+const apps::App& MmApp() {
+  static const apps::App app = apps::BuildApp("mm", apps::AppConfig{.scale = 1});
+  return app;
+}
+
+const core::Analysis& MmAnalysis() {
+  static const core::Analysis analysis = core::Analysis::Run(MmApp().module);
+  return analysis;
+}
+
+void BM_InterpreterThroughput(benchmark::State& state) {
+  const apps::App& app = MmApp();
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    vm::Interpreter interp(app.module, {});
+    const vm::RunResult r = interp.Run();
+    instructions += r.instructions_executed;
+    benchmark::DoNotOptimize(r.output.data());
+  }
+  state.counters["instr/s"] =
+      benchmark::Counter(static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InterpreterThroughput)->Unit(benchmark::kMillisecond);
+
+void BM_InterpreterWithDdgConstruction(benchmark::State& state) {
+  const apps::App& app = MmApp();
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    vm::ExecOptions opts;
+    opts.record_map_history = true;
+    vm::Interpreter interp(app.module, opts);
+    ddg::GraphBuilder builder(app.module);
+    const vm::RunResult r = interp.Run("main", &builder);
+    instructions += r.instructions_executed;
+    benchmark::DoNotOptimize(builder.graph().NumNodes());
+  }
+  state.counters["instr/s"] =
+      benchmark::Counter(static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InterpreterWithDdgConstruction)->Unit(benchmark::kMillisecond);
+
+void BM_AceAnalysis(benchmark::State& state) {
+  const core::Analysis& a = MmAnalysis();
+  for (auto _ : state) {
+    const ddg::AceResult ace = ddg::ComputeAce(a.graph());
+    benchmark::DoNotOptimize(ace.ace_bits);
+  }
+  state.counters["nodes/s"] = benchmark::Counter(
+      static_cast<double>(a.graph().NumNodes() * state.iterations()) /
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_AceAnalysis)->Unit(benchmark::kMillisecond);
+
+void BM_CrashPropagation(benchmark::State& state) {
+  const core::Analysis& a = MmAnalysis();
+  const crash::CrashModel model(a.memory());
+  for (auto _ : state) {
+    const crash::CrashBits bits = crash::PropagateCrashRanges(a.graph(), a.ace(), model);
+    benchmark::DoNotOptimize(bits.total_crash_bits);
+  }
+}
+BENCHMARK(BM_CrashPropagation)->Unit(benchmark::kMillisecond);
+
+void BM_FullPipeline(benchmark::State& state) {
+  const apps::App& app = MmApp();
+  for (auto _ : state) {
+    const core::Analysis a = core::Analysis::Run(app.module);
+    benchmark::DoNotOptimize(a.Epvf());
+  }
+}
+BENCHMARK(BM_FullPipeline)->Unit(benchmark::kMillisecond);
+
+void BM_SingleInjection(benchmark::State& state) {
+  const apps::App& app = MmApp();
+  const core::Analysis& a = MmAnalysis();
+  vm::ExecOptions exec;
+  exec.fault = vm::FaultPlan{a.graph().NumDynInstrs() / 2, 0, 7};
+  for (auto _ : state) {
+    vm::Interpreter interp(app.module, exec);
+    const vm::RunResult r = interp.Run();
+    benchmark::DoNotOptimize(r.trap);
+  }
+}
+BENCHMARK(BM_SingleInjection)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

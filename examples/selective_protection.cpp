@@ -1,0 +1,74 @@
+// Selective-protection example — the paper's section V case study on one
+// benchmark: compare ePVF-informed and hot-path instruction duplication
+// across several overhead budgets.
+//
+//   $ ./selective_protection [benchmark]
+//   $ ./selective_protection lud
+#include <cstdio>
+#include <string>
+
+#include "apps/app.h"
+#include "epvf/analysis.h"
+#include "fi/campaign.h"
+#include "protect/evaluation.h"
+#include "protect/transform.h"
+#include "vm/interpreter.h"
+
+int main(int argc, char** argv) {
+  using namespace epvf;
+  const std::string name = argc > 1 ? argv[1] : "nw";
+
+  const apps::App app = apps::BuildApp(name, apps::AppConfig{.scale = 1});
+  const core::Analysis analysis = core::Analysis::Run(app.module);
+  const auto metrics = analysis.PerInstructionMetrics();
+
+  std::printf("running the baseline fault-injection campaign on '%s'...\n", name.c_str());
+  fi::CampaignOptions campaign_options;
+  campaign_options.num_runs = 600;
+  campaign_options.injector.jitter_pages = 2;
+  const fi::CampaignStats baseline =
+      fi::RunCampaign(app.module, analysis.graph(), analysis.golden(), campaign_options);
+  std::printf("unprotected SDC rate: %.1f%%\n\n",
+              baseline.Rate(fi::Outcome::kSdc) * 100);
+
+  std::printf("%-8s | %-22s | %-22s\n", "budget", "hot-path duplication", "ePVF-informed");
+  std::printf("%-8s | %-11s %-10s | %-11s %-10s\n", "", "SDC rate", "overhead", "SDC rate",
+              "overhead");
+  for (const double budget : {0.08, 0.16, 0.24}) {
+    protect::PlanOptions options;
+    options.overhead_budget = budget;
+    const auto hot_plan = protect::BuildDuplicationPlan(
+        analysis, protect::RankByHotPath(metrics), options);
+    const auto epvf_plan =
+        protect::BuildDuplicationPlan(analysis, protect::RankByEpvf(metrics), options);
+    const auto hot = protect::EvaluateProtection(baseline, hot_plan);
+    const auto epvf_rates = protect::EvaluateProtection(baseline, epvf_plan);
+    std::printf("%-8.0f%% | %9.1f%% %9.1f%% | %9.1f%% %9.1f%%\n", budget * 100,
+                hot.SdcRate() * 100, hot_plan.overhead * 100, epvf_rates.SdcRate() * 100,
+                epvf_plan.overhead * 100);
+  }
+
+  std::printf("\nePVF-informed duplication spends its overhead on instructions whose "
+              "faults cannot crash\n(the crash-prone bits are filtered by the crash "
+              "model), so each duplicated instruction\nbuys more SDC coverage.\n");
+
+  // --- bonus: apply the 24% ePVF plan as a REAL IR transform ------------------
+  protect::PlanOptions options;
+  options.overhead_budget = 0.24;
+  const auto plan =
+      protect::BuildDuplicationPlan(analysis, protect::RankByEpvf(metrics), options);
+  const protect::TransformResult transformed =
+      protect::ApplyDuplication(app.module, plan.chosen);
+  vm::Interpreter protected_interp(transformed.module, {});
+  const vm::RunResult protected_golden = protected_interp.Run();
+  std::printf("\nreal transform: %llu checks inserted, %llu instructions cloned; "
+              "fault-free outputs identical: %s; measured overhead %.1f%%\n",
+              static_cast<unsigned long long>(transformed.stats.protected_instructions),
+              static_cast<unsigned long long>(transformed.stats.cloned_instructions),
+              protected_golden.output == analysis.golden().output ? "yes" : "NO",
+              (static_cast<double>(protected_golden.instructions_executed) /
+                   static_cast<double>(analysis.golden().instructions_executed) -
+               1.0) *
+                  100.0);
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Textual-IR example: analyze a program written in the textual IR dialect —
+// either a bundled SAXPY-with-gather kernel or a file you pass in.
+//
+//   $ ./textual_ir_analysis               # bundled kernel
+//   $ ./textual_ir_analysis my_kernel.ir  # your own
+//
+// Also demonstrates the printer: the analyzed module is echoed back, so the
+// bundled kernel doubles as a syntax reference.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "epvf/analysis.h"
+#include "epvf/sampling.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+
+namespace {
+
+// y[idx[i]] += a * x[i] over a 32-element gather — indirect store addressing
+// exercises the crash model's backward slices through loaded indices.
+constexpr const char* kBundledKernel = R"(global @x : f64 x 32
+global @idx : i64 x 32
+global @y : f64 x 32
+func @main() -> void {
+entry:
+  br header
+header:
+  %i.0 = phi [0:i64, entry], [%next.10, body] : i64
+  %cond.1 = icmp slt %i.0, 32:i64 : i1
+  condbr %cond.1, body, out
+body:
+  %xp.2 = getelementptr @x, %i.0 elem 8 : f64*
+  %xv.3 = load %xp.2 align 8 : f64
+  %scaled.4 = fmul %xv.3, 0x1.8p+1:f64 : f64
+  %ip.5 = getelementptr @idx, %i.0 elem 8 : i64*
+  %iv.6 = load %ip.5 align 8 : i64
+  %yp.7 = getelementptr @y, %iv.6 elem 8 : f64*
+  %yv.8 = load %yp.7 align 8 : f64
+  %sum.9 = fadd %yv.8, %scaled.4 : f64
+  store %sum.9, %yp.7 align 8
+  %next.10 = add %i.0, 1:i64 : i64
+  br header
+out:
+  br oheader
+oheader:
+  %j.11 = phi [0:i64, out], [%onext.14, obody] : i64
+  %ocond.12 = icmp slt %j.11, 32:i64 : i1
+  condbr %ocond.12, obody, done
+obody:
+  %op.13 = getelementptr @y, %j.11 elem 8 : f64*
+  %ov.15 = load %op.13 align 8 : f64
+  call @!output_f64(%ov.15)
+  %onext.14 = add %j.11, 1:i64 : i64
+  br oheader
+done:
+  ret
+}
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace epvf;
+
+  std::string text;
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  } else {
+    text = kBundledKernel;
+  }
+
+  ir::Module module = ir::ParseModuleOrThrow(text);
+
+  // The gather indices need values; textual globals are zero-initialized, so
+  // populate idx with a permutation when running the bundled kernel.
+  if (argc <= 1) {
+    auto& idx = module.globals[*module.FindGlobal("idx")];
+    idx.init.resize(32 * 8);
+    for (std::int64_t i = 0; i < 32; ++i) {
+      const std::int64_t v = (i * 7) % 32;
+      std::memcpy(idx.init.data() + i * 8, &v, 8);
+    }
+  }
+
+  std::printf("parsed module:\n%s\n", ir::PrintModule(module).c_str());
+
+  const core::Analysis analysis = core::Analysis::Run(module);
+  std::printf("dynamic instructions : %llu\n",
+              static_cast<unsigned long long>(analysis.golden().instructions_executed));
+  std::printf("PVF                  : %.4f\n", analysis.Pvf());
+  std::printf("ePVF                 : %.4f\n", analysis.Epvf());
+  std::printf("predicted crash rate : %.4f\n", analysis.CrashRateEstimate());
+
+  const core::SamplingEstimate est = core::EstimateBySampling(analysis, 0.10);
+  std::printf("sampled ePVF (10%% of outputs): %.4f (error %.4f)\n", est.extrapolated_epvf,
+              est.AbsoluteError());
+  return 0;
+}

@@ -1,0 +1,51 @@
+#include "apps/app.h"
+
+#include <stdexcept>
+
+#include "ir/verifier.h"
+
+namespace epvf::apps {
+
+namespace {
+
+struct Entry {
+  std::string_view name;
+  App (*build)(const AppConfig&);
+};
+
+// Table IV order (kmeans appears in the Table II crash-frequency study).
+constexpr Entry kRegistry[] = {
+    {"lulesh", BuildLulesh},
+    {"particlefilter", BuildParticleFilter},
+    {"srad", BuildSrad},
+    {"nw", BuildNw},
+    {"hotspot", BuildHotspot},
+    {"lavaMD", BuildLavaMd},
+    {"bfs", BuildBfs},
+    {"lud", BuildLud},
+    {"pathfinder", BuildPathfinder},
+    {"mm", BuildMm},
+    {"kmeans", BuildKmeans},
+};
+
+}  // namespace
+
+std::vector<std::string> AppNames() {
+  std::vector<std::string> names;
+  names.reserve(std::size(kRegistry));
+  for (const Entry& entry : kRegistry) names.emplace_back(entry.name);
+  return names;
+}
+
+App BuildApp(std::string_view name, const AppConfig& config) {
+  for (const Entry& entry : kRegistry) {
+    if (entry.name == name) {
+      App app = entry.build(config);
+      ir::VerifyModuleOrThrow(app.module);
+      return app;
+    }
+  }
+  throw std::invalid_argument("BuildApp: unknown benchmark '" + std::string(name) + "'");
+}
+
+}  // namespace epvf::apps

@@ -1,0 +1,128 @@
+// bfs — breadth-first search over a CSR graph (paper Table IV: Graph
+// Algorithm, 203 LOC).
+//
+// Rodinia-style level-synchronous BFS: per level, scan all nodes, expand the
+// ones on the frontier, updating costs and the next-frontier mask; stop when
+// no node was updated. The column-index loads make addresses *data
+// dependent*, the pattern that stresses the crash/propagation models most.
+#include "apps/app.h"
+#include "apps/kernel_util.h"
+
+namespace epvf::apps {
+
+App BuildBfs(const AppConfig& config) {
+  const std::int64_t n = 64 + 64 * std::int64_t{static_cast<unsigned>(config.scale)};
+  const std::int64_t degree = 4;
+  const std::int64_t num_edges = n * degree;
+  App app;
+  app.name = "bfs";
+  app.domain = "Graph Algorithm";
+  app.paper_loc = 203;
+
+  ir::IRBuilder b(app.module);
+  KernelBuilder k(b);
+  using ir::ICmpPred;
+  using ir::Type;
+
+  // CSR graph: every node has `degree` edges — a doubling edge for shallow
+  // diameter plus random ones.
+  Rng rng(config.seed ^ 0xBF5);
+  std::vector<std::int32_t> offsets(static_cast<std::size_t>(n + 1));
+  std::vector<std::int32_t> columns(static_cast<std::size_t>(num_edges));
+  for (std::int64_t v = 0; v <= n; ++v) {
+    offsets[static_cast<std::size_t>(v)] = static_cast<std::int32_t>(v * degree);
+  }
+  for (std::int64_t v = 0; v < n; ++v) {
+    columns[static_cast<std::size_t>(v * degree)] =
+        static_cast<std::int32_t>((2 * v + 1) % n);
+    for (std::int64_t e = 1; e < degree; ++e) {
+      columns[static_cast<std::size_t>(v * degree + e)] =
+          static_cast<std::int32_t>(rng.Below(static_cast<std::uint64_t>(n)));
+    }
+  }
+  const auto g_offsets =
+      b.DeclareGlobal("offsets", Type::I32(), static_cast<std::uint64_t>(n + 1), PackI32(offsets));
+  const auto g_columns = b.DeclareGlobal("columns", Type::I32(),
+                                         static_cast<std::uint64_t>(num_edges), PackI32(columns));
+
+  (void)b.CreateFunction("main", Type::Void(), {});
+  const auto cost = b.MallocArray(Type::I32(), b.I64(n), "cost");
+  const auto mask = b.MallocArray(Type::I32(), b.I64(n), "mask");
+  const auto next_mask = b.MallocArray(Type::I32(), b.I64(n), "next");
+  const auto changed = b.Alloca(Type::I32(), 1, "changed");
+
+  k.For(b.I64(0), b.I64(n), [&](ir::ValueRef v) {
+    k.StoreAt(cost, v, b.I32(-1));
+    k.StoreAt(mask, v, b.I32(0));
+    k.StoreAt(next_mask, v, b.I32(0));
+  }, "init");
+  k.StoreAt(cost, b.I64(0), b.I32(0));
+  k.StoreAt(mask, b.I64(0), b.I32(1));
+
+  // Level-synchronous sweep; bounded by n levels, early-exits when stable.
+  const std::uint32_t lvl_header = b.CreateBlock("level.header");
+  const std::uint32_t lvl_body = b.CreateBlock("level.body");
+  const std::uint32_t lvl_latch = b.CreateBlock("level.latch");
+  const std::uint32_t lvl_exit = b.CreateBlock("level.exit");
+  const std::uint32_t pre = b.CurrentBlock();
+  b.Br(lvl_header);
+
+  b.SetInsertPoint(lvl_header);
+  const ir::ValueRef level = b.Phi(Type::I64(), {{b.I64(0), pre}}, "level");
+  b.CondBr(b.ICmp(ICmpPred::kSlt, level, b.I64(n), "lvl.cond"), lvl_body, lvl_exit);
+
+  b.SetInsertPoint(lvl_body);
+  b.Store(b.I32(0), changed);
+  k.For(b.I64(0), b.I64(n), [&](ir::ValueRef v) {
+    const ir::ValueRef on_frontier = k.LoadAt(mask, v, "onf");
+    const std::uint32_t expand = b.CreateBlock("expand");
+    const std::uint32_t skip = b.CreateBlock("skip");
+    b.CondBr(b.ICmp(ICmpPred::kNe, on_frontier, b.I32(0), "isf"), expand, skip);
+
+    b.SetInsertPoint(expand);
+    k.StoreAt(mask, v, b.I32(0));
+    const ir::ValueRef my_cost = k.LoadAt(cost, v, "myc");
+    const ir::ValueRef begin =
+        b.SExt(k.LoadAt(b.Global(g_offsets), v, "eb"), Type::I64(), "ebeg");
+    const ir::ValueRef end = b.SExt(
+        k.LoadAt(b.Global(g_offsets), b.Add(v, b.I64(1)), "ee"), Type::I64(), "eend");
+    k.For(begin, end, [&](ir::ValueRef e) {
+      const ir::ValueRef nbr =
+          b.SExt(k.LoadAt(b.Global(g_columns), e, "col"), Type::I64(), "nbr");
+      const ir::ValueRef nbr_cost = k.LoadAt(cost, nbr, "nc");
+      const std::uint32_t update = b.CreateBlock("update");
+      const std::uint32_t done = b.CreateBlock("done");
+      b.CondBr(b.ICmp(ICmpPred::kSlt, nbr_cost, b.I32(0), "unseen"), update, done);
+      b.SetInsertPoint(update);
+      k.StoreAt(cost, nbr, b.Add(my_cost, b.I32(1), "nc1"));
+      k.StoreAt(next_mask, nbr, b.I32(1));
+      b.Store(b.I32(1), changed);
+      b.Br(done);
+      b.SetInsertPoint(done);
+    }, "edge");
+    b.Br(skip);
+    b.SetInsertPoint(skip);
+  }, "scan");
+
+  // Swap masks: mask <- next_mask; next_mask <- 0.
+  k.For(b.I64(0), b.I64(n), [&](ir::ValueRef v) {
+    k.StoreAt(mask, v, k.LoadAt(next_mask, v, "nm"));
+    k.StoreAt(next_mask, v, b.I32(0));
+  }, "swap");
+  const ir::ValueRef any = b.Load(changed, "any");
+  const std::uint32_t body_end = b.CurrentBlock();
+  b.CondBr(b.ICmp(ICmpPred::kNe, any, b.I32(0), "go"), lvl_latch, lvl_exit);
+
+  b.SetInsertPoint(lvl_latch);
+  const ir::ValueRef next_level = b.Add(level, b.I64(1), "lvl.next");
+  b.Br(lvl_header);
+  b.AddPhiIncoming(level, next_level, lvl_latch);
+  (void)body_end;
+
+  b.SetInsertPoint(lvl_exit);
+  k.For(b.I64(0), b.I64(n), [&](ir::ValueRef v) { b.Output(k.LoadAt(cost, v, "cf")); }, "out");
+  b.RetVoid();
+  return app;
+}
+
+}  // namespace epvf::apps

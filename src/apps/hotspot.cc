@@ -1,0 +1,95 @@
+// hotspot — thermal stencil simulation (paper Table IV: Physics Simulation,
+// 218 LOC).
+//
+// Iterative 5-point stencil over an N×N temperature grid with a power-density
+// source term, double-buffered through pointer phis; borders clamp. The
+// paper's section V notes hotspot is control-flow heavy, which the clamped
+// index selects reproduce.
+#include "apps/app.h"
+#include "apps/kernel_util.h"
+
+namespace epvf::apps {
+
+App BuildHotspot(const AppConfig& config) {
+  const std::int64_t n = 12 + 6 * std::int64_t{static_cast<unsigned>(config.scale)};
+  const std::int64_t steps = 2 + 2 * std::int64_t{static_cast<unsigned>(config.scale)};
+  App app;
+  app.name = "hotspot";
+  app.domain = "Physics Simulation";
+  app.paper_loc = 218;
+
+  ir::IRBuilder b(app.module);
+  KernelBuilder k(b);
+  using ir::ICmpPred;
+  using ir::Type;
+
+  const auto temp_init = b.DeclareGlobal(
+      "temp_init", Type::F64(), static_cast<std::uint64_t>(n * n),
+      PackF64(RandomF64(static_cast<std::size_t>(n * n), config.seed ^ 0x407, 320.0, 340.0)));
+  const auto power = b.DeclareGlobal(
+      "power", Type::F64(), static_cast<std::uint64_t>(n * n),
+      PackF64(RandomF64(static_cast<std::size_t>(n * n), config.seed ^ 0x90E, 0.0, 0.5)));
+
+  (void)b.CreateFunction("main", Type::Void(), {});
+  const auto grid_a = b.MallocArray(Type::F64(), b.I64(n * n), "tA");
+  const auto grid_b = b.MallocArray(Type::F64(), b.I64(n * n), "tB");
+
+  k.For(b.I64(0), b.I64(n * n),
+        [&](ir::ValueRef i) { k.StoreAt(grid_a, i, k.LoadAt(b.Global(temp_init), i, "t0")); },
+        "init");
+
+  const std::uint32_t pre = b.CurrentBlock();
+  const std::uint32_t header = b.CreateBlock("step.header");
+  const std::uint32_t body = b.CreateBlock("step.body");
+  const std::uint32_t latch = b.CreateBlock("step.latch");
+  const std::uint32_t exit = b.CreateBlock("step.exit");
+  b.Br(header);
+
+  b.SetInsertPoint(header);
+  const ir::ValueRef step = b.Phi(Type::I64(), {{b.I64(0), pre}}, "step");
+  const ir::ValueRef cur = b.Phi(Type::F64().Ptr(), {{grid_a, pre}}, "cur");
+  const ir::ValueRef nxt = b.Phi(Type::F64().Ptr(), {{grid_b, pre}}, "nxt");
+  b.CondBr(b.ICmp(ICmpPred::kSlt, step, b.I64(steps), "step.cond"), body, exit);
+
+  b.SetInsertPoint(body);
+  const ir::ValueRef coeff = b.F64(0.1);
+  const ir::ValueRef cap = b.F64(0.05);
+  k.For(b.I64(0), b.I64(n), [&](ir::ValueRef i) {
+    k.For(b.I64(0), b.I64(n), [&](ir::ValueRef j) {
+      auto clamp = [&](ir::ValueRef v) {
+        const ir::ValueRef lo =
+            b.Select(b.ICmp(ICmpPred::kSlt, v, b.I64(0)), b.I64(0), v);
+        return b.Select(b.ICmp(ICmpPred::kSge, lo, b.I64(n)), b.I64(n - 1), lo, "cl");
+      };
+      const ir::ValueRef center = k.LoadAt(cur, k.Flat(i, j, n), "tc");
+      const ir::ValueRef north = k.LoadAt(cur, k.Flat(clamp(b.Sub(i, b.I64(1))), j, n), "tn");
+      const ir::ValueRef south = k.LoadAt(cur, k.Flat(clamp(b.Add(i, b.I64(1))), j, n), "ts");
+      const ir::ValueRef west = k.LoadAt(cur, k.Flat(i, clamp(b.Sub(j, b.I64(1))), n), "tw");
+      const ir::ValueRef east = k.LoadAt(cur, k.Flat(i, clamp(b.Add(j, b.I64(1))), n), "te");
+      const ir::ValueRef p = k.LoadAt(b.Global(power), k.Flat(i, j, n), "p");
+      // t' = t + coeff*(n + s + w + e - 4t) + cap*p
+      const ir::ValueRef lap = b.FSub(
+          b.FAdd(b.FAdd(north, south), b.FAdd(west, east), "nbrs"),
+          b.FMul(b.F64(4.0), center), "lap");
+      const ir::ValueRef updated = b.FAdd(
+          b.FAdd(center, b.FMul(coeff, lap), "diffused"), b.FMul(cap, p), "t1");
+      k.StoreAt(nxt, k.Flat(i, j, n), updated);
+    }, "sj");
+  }, "si");
+  b.Br(latch);
+
+  b.SetInsertPoint(latch);
+  const ir::ValueRef next_step = b.Add(step, b.I64(1), "step.next");
+  b.Br(header);
+  b.AddPhiIncoming(step, next_step, latch);
+  b.AddPhiIncoming(cur, nxt, latch);
+  b.AddPhiIncoming(nxt, cur, latch);
+
+  b.SetInsertPoint(exit);
+  k.For(b.I64(0), b.I64(n * n), [&](ir::ValueRef i) { b.Output(k.LoadAt(cur, i, "tf")); },
+        "out");
+  b.RetVoid();
+  return app;
+}
+
+}  // namespace epvf::apps

@@ -1,0 +1,139 @@
+// Shared helpers for authoring kernels against the IRBuilder.
+#pragma once
+
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "ir/builder.h"
+#include "support/rng.h"
+
+namespace epvf::apps {
+
+/// Structured-loop emitter: builds the canonical header/body/latch/exit CFG
+/// with a phi induction variable, the shape an LLVM frontend produces for a
+/// counted `for` loop.
+class KernelBuilder {
+ public:
+  explicit KernelBuilder(ir::IRBuilder& b) : b_(b) {}
+
+  /// for (i64 i = begin; i < end; i += 1) body(i).
+  /// On return the insertion point is the loop's exit block.
+  void For(ir::ValueRef begin, ir::ValueRef end,
+           const std::function<void(ir::ValueRef iv)>& body, const std::string& tag = "i") {
+    ForStep(begin, end, b_.I64(1), body, tag);
+  }
+
+  void ForStep(ir::ValueRef begin, ir::ValueRef end, ir::ValueRef step,
+               const std::function<void(ir::ValueRef iv)>& body, const std::string& tag = "i") {
+    const std::uint32_t pre = b_.CurrentBlock();
+    const std::uint32_t header = b_.CreateBlock(tag + ".header");
+    const std::uint32_t body_bb = b_.CreateBlock(tag + ".body");
+    const std::uint32_t latch = b_.CreateBlock(tag + ".latch");
+    const std::uint32_t exit = b_.CreateBlock(tag + ".exit");
+
+    b_.Br(header);
+    b_.SetInsertPoint(header);
+    const ir::ValueRef iv = b_.Phi(ir::Type::I64(), {{begin, pre}}, tag);
+    const ir::ValueRef cond = b_.ICmp(ir::ICmpPred::kSlt, iv, end, tag + ".cond");
+    b_.CondBr(cond, body_bb, exit);
+
+    b_.SetInsertPoint(body_bb);
+    body(iv);
+    b_.Br(latch);
+
+    b_.SetInsertPoint(latch);
+    const ir::ValueRef next = b_.Add(iv, step, tag + ".next");
+    b_.Br(header);
+    b_.AddPhiIncoming(iv, next, latch);
+
+    b_.SetInsertPoint(exit);
+  }
+
+  /// Loop carrying one accumulator: returns the final value after the loop.
+  /// `body(iv, acc)` returns the next accumulator value.
+  ir::ValueRef ForAccum(ir::ValueRef begin, ir::ValueRef end, ir::ValueRef init,
+                        const std::function<ir::ValueRef(ir::ValueRef, ir::ValueRef)>& body,
+                        const std::string& tag = "acc") {
+    const std::uint32_t pre = b_.CurrentBlock();
+    const std::uint32_t header = b_.CreateBlock(tag + ".header");
+    const std::uint32_t body_bb = b_.CreateBlock(tag + ".body");
+    const std::uint32_t latch = b_.CreateBlock(tag + ".latch");
+    const std::uint32_t exit = b_.CreateBlock(tag + ".exit");
+
+    b_.Br(header);
+    b_.SetInsertPoint(header);
+    const ir::ValueRef iv = b_.Phi(ir::Type::I64(), {{begin, pre}}, tag + ".i");
+    const ir::ValueRef acc = b_.Phi(b_.TypeOf(init), {{init, pre}}, tag);
+    const ir::ValueRef cond = b_.ICmp(ir::ICmpPred::kSlt, iv, end, tag + ".cond");
+    b_.CondBr(cond, body_bb, exit);
+
+    b_.SetInsertPoint(body_bb);
+    const ir::ValueRef next_acc = body(iv, acc);
+    b_.Br(latch);
+    const std::uint32_t body_end = b_.CurrentBlock();
+
+    b_.SetInsertPoint(latch);
+    const ir::ValueRef next_iv = b_.Add(iv, b_.I64(1), tag + ".next");
+    b_.Br(header);
+    b_.AddPhiIncoming(iv, next_iv, latch);
+    b_.AddPhiIncoming(acc, next_acc, latch);
+    (void)body_end;
+
+    b_.SetInsertPoint(exit);
+    return acc;
+  }
+
+  /// p[i] for typed pointers: gep + load.
+  ir::ValueRef LoadAt(ir::ValueRef ptr, ir::ValueRef index, const std::string& tag = {}) {
+    return b_.Load(b_.Gep(ptr, index, tag.empty() ? std::string{} : tag + ".addr"), tag);
+  }
+  void StoreAt(ir::ValueRef ptr, ir::ValueRef index, ir::ValueRef value) {
+    b_.Store(value, b_.Gep(ptr, index));
+  }
+
+  /// i * n + j as i64.
+  ir::ValueRef Flat(ir::ValueRef i, ir::ValueRef j, std::int64_t n) {
+    return b_.Add(b_.Mul(i, b_.I64(n)), j);
+  }
+
+  ir::IRBuilder& b() { return b_; }
+
+ private:
+  ir::IRBuilder& b_;
+};
+
+/// Deterministic input-data helpers: pack host-computed values into global
+/// initializer bytes.
+[[nodiscard]] inline std::vector<std::uint8_t> PackF64(const std::vector<double>& xs) {
+  std::vector<std::uint8_t> bytes(xs.size() * 8);
+  std::memcpy(bytes.data(), xs.data(), bytes.size());
+  return bytes;
+}
+
+[[nodiscard]] inline std::vector<std::uint8_t> PackI32(const std::vector<std::int32_t>& xs) {
+  std::vector<std::uint8_t> bytes(xs.size() * 4);
+  std::memcpy(bytes.data(), xs.data(), bytes.size());
+  return bytes;
+}
+
+/// Uniform doubles in [lo, hi) from the app seed.
+[[nodiscard]] inline std::vector<double> RandomF64(std::size_t n, std::uint64_t seed, double lo,
+                                                   double hi) {
+  Rng rng(seed);
+  std::vector<double> xs(n);
+  for (double& x : xs) x = lo + (hi - lo) * rng.NextDouble();
+  return xs;
+}
+
+[[nodiscard]] inline std::vector<std::int32_t> RandomI32(std::size_t n, std::uint64_t seed,
+                                                         std::int32_t lo, std::int32_t hi) {
+  Rng rng(seed);
+  std::vector<std::int32_t> xs(n);
+  for (auto& x : xs) {
+    x = lo + static_cast<std::int32_t>(rng.Below(static_cast<std::uint64_t>(hi - lo)));
+  }
+  return xs;
+}
+
+}  // namespace epvf::apps

@@ -1,0 +1,122 @@
+// kmeans — k-means clustering (from Table II's benchmark set; Rodinia).
+//
+// Lloyd iterations over 2-D points: nearest-centroid assignment (distance
+// loop), then centroid update with *data-dependent* accumulation indices —
+// the assigned-cluster value computes the store address, so faults in it feed
+// straight into the crash model. Integer division by cluster population
+// gives a natural arithmetic-error (AE) surface.
+#include "apps/app.h"
+#include "apps/kernel_util.h"
+
+namespace epvf::apps {
+
+App BuildKmeans(const AppConfig& config) {
+  const std::int64_t n = 64 + 48 * std::int64_t{static_cast<unsigned>(config.scale)};
+  const std::int64_t kc = 4;   // clusters
+  const std::int64_t dim = 2;  // coordinates per point
+  const std::int64_t iters = 3;
+  App app;
+  app.name = "kmeans";
+  app.domain = "Data Mining";
+  app.paper_loc = 365;
+
+  ir::IRBuilder b(app.module);
+  KernelBuilder k(b);
+  using ir::FCmpPred;
+  using ir::Type;
+
+  const auto points = b.DeclareGlobal(
+      "points", Type::F64(), static_cast<std::uint64_t>(n * dim),
+      PackF64(RandomF64(static_cast<std::size_t>(n * dim), config.seed ^ 0x3E, 0.0, 10.0)));
+
+  (void)b.CreateFunction("main", Type::Void(), {});
+  const auto centroids = b.MallocArray(Type::F64(), b.I64(kc * dim), "cent");
+  const auto member = b.MallocArray(Type::I64(), b.I64(n), "member");
+  const auto sums = b.MallocArray(Type::F64(), b.I64(kc * dim), "sums");
+  const auto counts = b.MallocArray(Type::I64(), b.I64(kc), "counts");
+
+  // Seed the centroids with the first k points.
+  k.For(b.I64(0), b.I64(kc * dim),
+        [&](ir::ValueRef i) { k.StoreAt(centroids, i, k.LoadAt(b.Global(points), i, "p0")); },
+        "seed");
+
+  k.For(b.I64(0), b.I64(iters), [&](ir::ValueRef) {
+    // Assignment step.
+    k.For(b.I64(0), b.I64(n), [&](ir::ValueRef p) {
+      const ir::ValueRef px = k.LoadAt(b.Global(points), b.Mul(p, b.I64(dim)), "px");
+      const ir::ValueRef py =
+          k.LoadAt(b.Global(points), b.Add(b.Mul(p, b.I64(dim)), b.I64(1)), "py");
+      // Scan clusters carrying (best_dist, best_idx) through two phis.
+      const std::uint32_t pre = b.CurrentBlock();
+      const std::uint32_t header = b.CreateBlock("assign.header");
+      const std::uint32_t body = b.CreateBlock("assign.body");
+      const std::uint32_t latch = b.CreateBlock("assign.latch");
+      const std::uint32_t exit = b.CreateBlock("assign.exit");
+      b.Br(header);
+      b.SetInsertPoint(header);
+      const ir::ValueRef c = b.Phi(Type::I64(), {{b.I64(0), pre}}, "c");
+      const ir::ValueRef best_d = b.Phi(Type::F64(), {{b.F64(1e30), pre}}, "bestd");
+      const ir::ValueRef best_i = b.Phi(Type::I64(), {{b.I64(0), pre}}, "besti");
+      b.CondBr(b.ICmp(ir::ICmpPred::kSlt, c, b.I64(kc), "c.cond"), body, exit);
+      b.SetInsertPoint(body);
+      const ir::ValueRef cx = k.LoadAt(centroids, b.Mul(c, b.I64(dim)), "cx");
+      const ir::ValueRef cy =
+          k.LoadAt(centroids, b.Add(b.Mul(c, b.I64(dim)), b.I64(1)), "cy");
+      const ir::ValueRef dx = b.FSub(px, cx, "dx");
+      const ir::ValueRef dy = b.FSub(py, cy, "dy");
+      const ir::ValueRef dist = b.FAdd(b.FMul(dx, dx), b.FMul(dy, dy), "dist");
+      const ir::ValueRef closer = b.FCmp(FCmpPred::kOlt, dist, best_d, "closer");
+      const ir::ValueRef new_d = b.Select(closer, dist, best_d, "newd");
+      const ir::ValueRef new_i = b.Select(closer, c, best_i, "newi");
+      b.Br(latch);
+      b.SetInsertPoint(latch);
+      const ir::ValueRef next_c = b.Add(c, b.I64(1), "c.next");
+      b.Br(header);
+      b.AddPhiIncoming(c, next_c, latch);
+      b.AddPhiIncoming(best_d, new_d, latch);
+      b.AddPhiIncoming(best_i, new_i, latch);
+      b.SetInsertPoint(exit);
+      k.StoreAt(member, p, best_i);
+    }, "pt");
+
+    // Update step: zero accumulators, accumulate by membership, divide.
+    k.For(b.I64(0), b.I64(kc * dim),
+          [&](ir::ValueRef i) { k.StoreAt(sums, i, b.F64(0.0)); }, "zs");
+    k.For(b.I64(0), b.I64(kc), [&](ir::ValueRef c) { k.StoreAt(counts, c, b.I64(0)); }, "zc");
+    k.For(b.I64(0), b.I64(n), [&](ir::ValueRef p) {
+      const ir::ValueRef who = k.LoadAt(member, p, "who");
+      const ir::ValueRef sx_idx = b.Mul(who, b.I64(dim), "sx.idx");
+      const ir::ValueRef sy_idx = b.Add(sx_idx, b.I64(1), "sy.idx");
+      const ir::ValueRef px = k.LoadAt(b.Global(points), b.Mul(p, b.I64(dim)), "apx");
+      const ir::ValueRef py =
+          k.LoadAt(b.Global(points), b.Add(b.Mul(p, b.I64(dim)), b.I64(1)), "apy");
+      k.StoreAt(sums, sx_idx, b.FAdd(k.LoadAt(sums, sx_idx, "sx"), px, "sx1"));
+      k.StoreAt(sums, sy_idx, b.FAdd(k.LoadAt(sums, sy_idx, "sy"), py, "sy1"));
+      k.StoreAt(counts, who, b.Add(k.LoadAt(counts, who, "cnt"), b.I64(1), "cnt1"));
+    }, "acc");
+    k.For(b.I64(0), b.I64(kc), [&](ir::ValueRef c) {
+      const ir::ValueRef cnt = k.LoadAt(counts, c, "den");
+      const std::uint32_t divide = b.CreateBlock("divide");
+      const std::uint32_t done = b.CreateBlock("done");
+      b.CondBr(b.ICmp(ir::ICmpPred::kSgt, cnt, b.I64(0), "nonzero"), divide, done);
+      b.SetInsertPoint(divide);
+      const ir::ValueRef fcnt = b.SIToFP(cnt, Type::F64(), "fcnt");
+      const ir::ValueRef xi = b.Mul(c, b.I64(dim), "xi");
+      const ir::ValueRef yi = b.Add(xi, b.I64(1), "yi");
+      k.StoreAt(centroids, xi, b.FDiv(k.LoadAt(sums, xi, "fx"), fcnt, "mx"));
+      k.StoreAt(centroids, yi, b.FDiv(k.LoadAt(sums, yi, "fy"), fcnt, "my"));
+      b.Br(done);
+      b.SetInsertPoint(done);
+    }, "upd");
+  }, "iter");
+
+  // Output centroids and memberships.
+  k.For(b.I64(0), b.I64(kc * dim),
+        [&](ir::ValueRef i) { b.Output(k.LoadAt(centroids, i, "cf")); }, "outc");
+  k.For(b.I64(0), b.I64(n), [&](ir::ValueRef p) { b.Output(k.LoadAt(member, p, "mf")); },
+        "outm");
+  b.RetVoid();
+  return app;
+}
+
+}  // namespace epvf::apps

@@ -1,0 +1,76 @@
+// lavaMD — particle potentials within neighbor boxes (paper Table IV:
+// Molecular Dynamics, 218 LOC).
+//
+// Simplified to one box pair sweep: for every particle, accumulate the
+// exp-kernel interaction with every other particle (positions and charges in
+// heap arrays), the inner computation lavaMD performs per neighbor box.
+// Heavy on sqrt/exp intrinsics and read-modify-write accumulation.
+#include "apps/app.h"
+#include "apps/kernel_util.h"
+
+namespace epvf::apps {
+
+App BuildLavaMd(const AppConfig& config) {
+  const std::int64_t n = 24 + 16 * std::int64_t{static_cast<unsigned>(config.scale)};
+  App app;
+  app.name = "lavaMD";
+  app.domain = "Molecular Dynamics";
+  app.paper_loc = 218;
+
+  ir::IRBuilder b(app.module);
+  KernelBuilder k(b);
+  using ir::Intrinsic;
+  using ir::Type;
+
+  const auto pos = b.DeclareGlobal(
+      "pos", Type::F64(), static_cast<std::uint64_t>(n * 3),
+      PackF64(RandomF64(static_cast<std::size_t>(n * 3), config.seed ^ 0x1A7A, 0.0, 4.0)));
+  const auto charge = b.DeclareGlobal(
+      "charge", Type::F64(), static_cast<std::uint64_t>(n),
+      PackF64(RandomF64(static_cast<std::size_t>(n), config.seed ^ 0xC4A6, 0.1, 1.0)));
+
+  (void)b.CreateFunction("main", Type::Void(), {});
+  const auto x = b.MallocArray(Type::F64(), b.I64(n), "x");
+  const auto y = b.MallocArray(Type::F64(), b.I64(n), "y");
+  const auto z = b.MallocArray(Type::F64(), b.I64(n), "z");
+  const auto potential = b.MallocArray(Type::F64(), b.I64(n), "v");
+
+  k.For(b.I64(0), b.I64(n), [&](ir::ValueRef i) {
+    const ir::ValueRef base = b.Mul(i, b.I64(3), "pbase");
+    k.StoreAt(x, i, k.LoadAt(b.Global(pos), base, "px"));
+    k.StoreAt(y, i, k.LoadAt(b.Global(pos), b.Add(base, b.I64(1)), "py"));
+    k.StoreAt(z, i, k.LoadAt(b.Global(pos), b.Add(base, b.I64(2)), "pz"));
+    k.StoreAt(potential, i, b.F64(0.0));
+  }, "init");
+
+  k.For(b.I64(0), b.I64(n), [&](ir::ValueRef i) {
+    const ir::ValueRef xi = k.LoadAt(x, i, "xi");
+    const ir::ValueRef yi = k.LoadAt(y, i, "yi");
+    const ir::ValueRef zi = k.LoadAt(z, i, "zi");
+    const ir::ValueRef acc = k.ForAccum(
+        b.I64(0), b.I64(n), b.F64(0.0),
+        [&](ir::ValueRef j, ir::ValueRef sum) {
+          const ir::ValueRef dx = b.FSub(xi, k.LoadAt(x, j, "xj"), "dx");
+          const ir::ValueRef dy = b.FSub(yi, k.LoadAt(y, j, "yj"), "dy");
+          const ir::ValueRef dz = b.FSub(zi, k.LoadAt(z, j, "zj"), "dz");
+          const ir::ValueRef r2 = b.FAdd(
+              b.FAdd(b.FMul(dx, dx), b.FMul(dy, dy)),
+              b.FAdd(b.FMul(dz, dz), b.F64(0.5)), "r2");  // softened: no self-singularity
+          const ir::ValueRef qj = k.LoadAt(b.Global(charge), j, "qj");
+          const ir::ValueRef u2 =
+              b.CallIntrinsic(Intrinsic::kExp, {b.FMul(b.F64(-0.5), r2, "mr2")}, "u2");
+          const ir::ValueRef rinv =
+              b.FDiv(b.F64(1.0), b.CallIntrinsic(Intrinsic::kSqrt, {r2}, "r"), "rinv");
+          return b.FAdd(sum, b.FMul(qj, b.FMul(u2, rinv, "kern"), "contrib"), "sum");
+        },
+        "pair");
+    k.StoreAt(potential, i, acc);
+  }, "outer");
+
+  k.For(b.I64(0), b.I64(n), [&](ir::ValueRef i) { b.Output(k.LoadAt(potential, i, "vf")); },
+        "out");
+  b.RetVoid();
+  return app;
+}
+
+}  // namespace epvf::apps

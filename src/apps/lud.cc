@@ -1,0 +1,57 @@
+// lud — LU decomposition (paper Table IV: Linear Algebra, 174 LOC).
+//
+// In-place Doolittle factorization of a diagonally dominant N×N matrix on
+// the heap; outputs the full factored matrix. Floating-point division by the
+// pivot gives the crash-propagation model div-rule coverage.
+#include "apps/app.h"
+#include "apps/kernel_util.h"
+
+namespace epvf::apps {
+
+App BuildLud(const AppConfig& config) {
+  const std::int64_t n = 10 + 6 * std::int64_t{static_cast<unsigned>(config.scale)};
+  App app;
+  app.name = "lud";
+  app.domain = "Linear Algebra";
+  app.paper_loc = 174;
+
+  ir::IRBuilder b(app.module);
+  KernelBuilder k(b);
+  using ir::Type;
+
+  // Diagonally dominant input so no pivoting is needed.
+  auto data = RandomF64(static_cast<std::size_t>(n * n), config.seed ^ 0x1CD, -1.0, 1.0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    data[static_cast<std::size_t>(i * n + i)] += static_cast<double>(n);
+  }
+  const auto a_init =
+      b.DeclareGlobal("a_init", Type::F64(), static_cast<std::uint64_t>(n * n), PackF64(data));
+
+  (void)b.CreateFunction("main", Type::Void(), {});
+  const auto mat = b.MallocArray(Type::F64(), b.I64(n * n), "A");
+  k.For(b.I64(0), b.I64(n * n),
+        [&](ir::ValueRef i) { k.StoreAt(mat, i, k.LoadAt(b.Global(a_init), i, "a0")); },
+        "copy");
+
+  k.For(b.I64(0), b.I64(n), [&](ir::ValueRef kk) {
+    const ir::ValueRef pivot = k.LoadAt(mat, k.Flat(kk, kk, n), "pivot");
+    const ir::ValueRef kp1 = b.Add(kk, b.I64(1), "kp1");
+    k.For(kp1, b.I64(n), [&](ir::ValueRef i) {
+      const ir::ValueRef lik =
+          b.FDiv(k.LoadAt(mat, k.Flat(i, kk, n), "aik"), pivot, "lik");
+      k.StoreAt(mat, k.Flat(i, kk, n), lik);
+      k.For(kp1, b.I64(n), [&](ir::ValueRef j) {
+        const ir::ValueRef aij = k.LoadAt(mat, k.Flat(i, j, n), "aij");
+        const ir::ValueRef akj = k.LoadAt(mat, k.Flat(kk, j, n), "akj");
+        k.StoreAt(mat, k.Flat(i, j, n), b.FSub(aij, b.FMul(lik, akj, "prod"), "upd"));
+      }, "j");
+    }, "i");
+  }, "k");
+
+  k.For(b.I64(0), b.I64(n * n), [&](ir::ValueRef i) { b.Output(k.LoadAt(mat, i, "lu")); },
+        "out");
+  b.RetVoid();
+  return app;
+}
+
+}  // namespace epvf::apps

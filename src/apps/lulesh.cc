@@ -1,0 +1,115 @@
+// lulesh — mini Lagrangian shock hydrodynamics proxy (paper Table IV:
+// Physics Modelling, 3000 LOC; LLNL's DOE proxy app).
+//
+// A 1-D staggered-grid Sedov-style hydro step at reduced scale, keeping the
+// kernel *structure* of LULESH's time step: force from pressure gradient,
+// nodal acceleration/velocity/position updates, element volume recompute
+// (with a positive-volume assert — LULESH aborts on negative volume, the
+// Table I "A" class), then EOS energy/pressure update. Many small kernels
+// over several arrays, like the original.
+#include "apps/app.h"
+#include "apps/kernel_util.h"
+
+namespace epvf::apps {
+
+App BuildLulesh(const AppConfig& config) {
+  const std::int64_t elems = 24 + 24 * std::int64_t{static_cast<unsigned>(config.scale)};
+  const std::int64_t nodes = elems + 1;
+  const std::int64_t steps = 8;
+  App app;
+  app.name = "lulesh";
+  app.domain = "Physics Modelling";
+  app.paper_loc = 3000;
+
+  ir::IRBuilder b(app.module);
+  KernelBuilder k(b);
+  using ir::FCmpPred;
+  using ir::Intrinsic;
+  using ir::Type;
+
+  const auto e_init = b.DeclareGlobal(
+      "e_init", Type::F64(), static_cast<std::uint64_t>(elems),
+      PackF64(RandomF64(static_cast<std::size_t>(elems), config.seed ^ 0x10E, 0.5, 1.5)));
+
+  (void)b.CreateFunction("main", Type::Void(), {});
+  const auto x = b.MallocArray(Type::F64(), b.I64(nodes), "x");      // node positions
+  const auto xd = b.MallocArray(Type::F64(), b.I64(nodes), "xd");    // node velocities
+  const auto force = b.MallocArray(Type::F64(), b.I64(nodes), "f");  // nodal force
+  const auto energy = b.MallocArray(Type::F64(), b.I64(elems), "e");
+  const auto pressure = b.MallocArray(Type::F64(), b.I64(elems), "p");
+  const auto volume = b.MallocArray(Type::F64(), b.I64(elems), "v");
+
+  // Mesh: unit spacing; initial energy deposition from the global table;
+  // a pressure spike in element 0 (the Sedov point blast).
+  k.For(b.I64(0), b.I64(nodes), [&](ir::ValueRef i) {
+    k.StoreAt(x, i, b.SIToFP(i, Type::F64(), "xi"));
+    k.StoreAt(xd, i, b.F64(0.0));
+  }, "nodes");
+  k.For(b.I64(0), b.I64(elems), [&](ir::ValueRef e) {
+    k.StoreAt(energy, e, k.LoadAt(b.Global(e_init), e, "e0"));
+    k.StoreAt(volume, e, b.F64(1.0));
+    k.StoreAt(pressure, e, b.F64(0.0));
+  }, "elems");
+  k.StoreAt(pressure, b.I64(0), b.F64(2.0));
+
+  const ir::ValueRef dt = b.F64(0.01);
+  const double gamma = 1.4;
+
+  k.For(b.I64(0), b.I64(steps), [&](ir::ValueRef) {
+    // 1. Nodal force from the pressure gradient (staggered grid).
+    k.For(b.I64(0), b.I64(nodes), [&](ir::ValueRef i) {
+      const ir::ValueRef left_e =
+          b.Select(b.ICmp(ir::ICmpPred::kSgt, i, b.I64(0)), b.Sub(i, b.I64(1)), b.I64(0),
+                   "le");
+      const ir::ValueRef right_e = b.Select(b.ICmp(ir::ICmpPred::kSlt, i, b.I64(elems)), i,
+                                            b.I64(elems - 1), "re");
+      const ir::ValueRef pl = k.LoadAt(pressure, left_e, "pl");
+      const ir::ValueRef pr = k.LoadAt(pressure, right_e, "pr");
+      k.StoreAt(force, i, b.FSub(pl, pr, "fi"));
+    }, "force");
+
+    // 2. Integrate nodal motion (unit mass).
+    k.For(b.I64(0), b.I64(nodes), [&](ir::ValueRef i) {
+      const ir::ValueRef v0 = k.LoadAt(xd, i, "v0");
+      const ir::ValueRef v1 =
+          b.FAdd(v0, b.FMul(k.LoadAt(force, i, "fa"), dt, "dv"), "v1");
+      k.StoreAt(xd, i, v1);
+      k.StoreAt(x, i, b.FAdd(k.LoadAt(x, i, "x0"), b.FMul(v1, dt, "dx"), "x1"));
+    }, "move");
+
+    // 3. Element volumes; LULESH aborts on non-positive volume.
+    k.For(b.I64(0), b.I64(elems), [&](ir::ValueRef e) {
+      const ir::ValueRef xl = k.LoadAt(x, e, "xl");
+      const ir::ValueRef xr = k.LoadAt(x, b.Add(e, b.I64(1)), "xr");
+      const ir::ValueRef vol = b.FSub(xr, xl, "vol");
+      (void)b.CallIntrinsic(Intrinsic::kAssert,
+                            {b.FCmp(FCmpPred::kOgt, vol, b.F64(0.0), "posvol")});
+      k.StoreAt(volume, e, vol);
+    }, "vol");
+
+    // 4. EOS update: work done, then p = (gamma - 1) * e / v.
+    k.For(b.I64(0), b.I64(elems), [&](ir::ValueRef e) {
+      const ir::ValueRef vol = k.LoadAt(volume, e, "ve");
+      const ir::ValueRef p_old = k.LoadAt(pressure, e, "pe");
+      const ir::ValueRef vl = k.LoadAt(xd, e, "vl");
+      const ir::ValueRef vr = k.LoadAt(xd, b.Add(e, b.I64(1)), "vr");
+      const ir::ValueRef dvol = b.FMul(b.FSub(vr, vl, "dvel"), dt, "dvol");
+      const ir::ValueRef work = b.FMul(p_old, dvol, "work");
+      const ir::ValueRef e_new =
+          b.FSub(k.LoadAt(energy, e, "ee"), work, "e1");
+      k.StoreAt(energy, e, e_new);
+      k.StoreAt(pressure, e,
+                b.FDiv(b.FMul(b.F64(gamma - 1.0), e_new, "ge"), vol, "p1"));
+    }, "eos");
+  }, "step");
+
+  // Output energies and final node positions.
+  k.For(b.I64(0), b.I64(elems), [&](ir::ValueRef e) { b.Output(k.LoadAt(energy, e, "ef")); },
+        "oute");
+  k.For(b.I64(0), b.I64(nodes), [&](ir::ValueRef i) { b.Output(k.LoadAt(x, i, "xf")); },
+        "outx");
+  b.RetVoid();
+  return app;
+}
+
+}  // namespace epvf::apps

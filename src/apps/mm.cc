@@ -1,0 +1,62 @@
+// mm — dense matrix multiplication (paper Table IV: "Matrix Multiplication",
+// Linear Algebra, 100 LOC; the authors' own kernel).
+//
+// C = A × B over N×N doubles. A is copied to the heap (heap load/store
+// traffic), B stays in the data segment (global accesses), C lives on the
+// heap; every element of C is emitted as program output, giving the ACE
+// analysis N² roots.
+#include "apps/app.h"
+#include "apps/kernel_util.h"
+
+namespace epvf::apps {
+
+App BuildMm(const AppConfig& config) {
+  const std::int64_t n = 10 + 6 * std::int64_t{static_cast<unsigned>(config.scale)};
+  App app;
+  app.name = "mm";
+  app.domain = "Linear Algebra";
+  app.paper_loc = 100;
+
+  ir::IRBuilder b(app.module);
+  KernelBuilder k(b);
+  using ir::Type;
+
+  const auto a_init = b.DeclareGlobal(
+      "a_init", Type::F64(), static_cast<std::uint64_t>(n * n),
+      PackF64(RandomF64(static_cast<std::size_t>(n * n), config.seed ^ 0xA, -1.0, 1.0)));
+  const auto b_data = b.DeclareGlobal(
+      "b_data", Type::F64(), static_cast<std::uint64_t>(n * n),
+      PackF64(RandomF64(static_cast<std::size_t>(n * n), config.seed ^ 0xB, -1.0, 1.0)));
+
+  (void)b.CreateFunction("main", Type::Void(), {});
+  const auto mat_a = b.MallocArray(Type::F64(), b.I64(n * n), "A");
+  const auto mat_c = b.MallocArray(Type::F64(), b.I64(n * n), "C");
+
+  // Stage A in the heap.
+  k.For(b.I64(0), b.I64(n * n),
+        [&](ir::ValueRef i) { k.StoreAt(mat_a, i, k.LoadAt(b.Global(a_init), i, "a")); },
+        "copy");
+
+  // C = A × B.
+  k.For(b.I64(0), b.I64(n), [&](ir::ValueRef i) {
+    k.For(b.I64(0), b.I64(n), [&](ir::ValueRef j) {
+      const ir::ValueRef sum = k.ForAccum(
+          b.I64(0), b.I64(n), b.F64(0.0),
+          [&](ir::ValueRef kk, ir::ValueRef acc) {
+            const ir::ValueRef av = k.LoadAt(mat_a, k.Flat(i, kk, n), "av");
+            const ir::ValueRef bv = k.LoadAt(b.Global(b_data), k.Flat(kk, j, n), "bv");
+            return b.FAdd(acc, b.FMul(av, bv, "prod"), "sum");
+          },
+          "dot");
+      k.StoreAt(mat_c, k.Flat(i, j, n), sum);
+    }, "j");
+  }, "i");
+
+  // Emit the full result matrix.
+  k.For(b.I64(0), b.I64(n * n), [&](ir::ValueRef i) { b.Output(k.LoadAt(mat_c, i, "c")); },
+        "out");
+  b.RetVoid();
+  return app;
+}
+
+}  // namespace epvf::apps

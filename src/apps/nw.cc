@@ -1,0 +1,73 @@
+// nw — Needleman-Wunsch sequence alignment (paper Table IV: Bioinformatics,
+// 272 LOC).
+//
+// Fills the (N+1)×(N+1) DP score matrix on the heap:
+//   F[i][j] = max(F[i-1][j-1] + sim[i][j], F[i-1][j] - penalty,
+//                 F[i][j-1] - penalty)
+// with the random similarity matrix in the data segment, then outputs the
+// last row and column (the alignment frontier).
+#include "apps/app.h"
+#include "apps/kernel_util.h"
+
+namespace epvf::apps {
+
+App BuildNw(const AppConfig& config) {
+  const std::int64_t n = 24 + 16 * std::int64_t{static_cast<unsigned>(config.scale)};
+  const std::int64_t m = n + 1;  // DP matrix dimension
+  const std::int64_t penalty = 2;
+  App app;
+  app.name = "nw";
+  app.domain = "Bioinformatics";
+  app.paper_loc = 272;
+
+  ir::IRBuilder b(app.module);
+  KernelBuilder k(b);
+  using ir::ICmpPred;
+  using ir::Type;
+
+  const auto sim = b.DeclareGlobal(
+      "sim", Type::I32(), static_cast<std::uint64_t>(n * n),
+      PackI32(RandomI32(static_cast<std::size_t>(n * n), config.seed ^ 0x2A2A, -4, 6)));
+
+  (void)b.CreateFunction("main", Type::Void(), {});
+  const auto score = b.MallocArray(Type::I32(), b.I64(m * m), "F");
+
+  // First row/column: gap penalties.
+  k.For(b.I64(0), b.I64(m), [&](ir::ValueRef i) {
+    const ir::ValueRef gap =
+        b.Trunc(b.Mul(i, b.I64(-penalty), "gap64"), Type::I32(), "gap");
+    k.StoreAt(score, i, gap);                     // F[0][i]
+    k.StoreAt(score, b.Mul(i, b.I64(m)), gap);    // F[i][0]
+  }, "borders");
+
+  k.For(b.I64(1), b.I64(m), [&](ir::ValueRef i) {
+    k.For(b.I64(1), b.I64(m), [&](ir::ValueRef j) {
+      const ir::ValueRef im1 = b.Sub(i, b.I64(1), "im1");
+      const ir::ValueRef jm1 = b.Sub(j, b.I64(1), "jm1");
+      const ir::ValueRef diag = k.LoadAt(score, k.Flat(im1, jm1, m), "diag");
+      const ir::ValueRef up = k.LoadAt(score, k.Flat(im1, j, m), "up");
+      const ir::ValueRef left = k.LoadAt(score, k.Flat(i, jm1, m), "left");
+      const ir::ValueRef s = k.LoadAt(b.Global(sim), k.Flat(im1, jm1, n), "sim");
+      const ir::ValueRef match = b.Add(diag, s, "match");
+      const ir::ValueRef del = b.Sub(up, b.I32(static_cast<std::int32_t>(penalty)), "del");
+      const ir::ValueRef ins = b.Sub(left, b.I32(static_cast<std::int32_t>(penalty)), "ins");
+      const ir::ValueRef max_md =
+          b.Select(b.ICmp(ICmpPred::kSgt, match, del), match, del, "maxmd");
+      const ir::ValueRef best =
+          b.Select(b.ICmp(ICmpPred::kSgt, max_md, ins), max_md, ins, "best");
+      k.StoreAt(score, k.Flat(i, j, m), best);
+    }, "j");
+  }, "i");
+
+  // Output the last row and the last column.
+  k.For(b.I64(0), b.I64(m),
+        [&](ir::ValueRef j) { b.Output(k.LoadAt(score, k.Flat(b.I64(m - 1), j, m), "row")); },
+        "outrow");
+  k.For(b.I64(0), b.I64(m),
+        [&](ir::ValueRef i) { b.Output(k.LoadAt(score, k.Flat(i, b.I64(m - 1), m), "col")); },
+        "outcol");
+  b.RetVoid();
+  return app;
+}
+
+}  // namespace epvf::apps

@@ -1,0 +1,118 @@
+// particlefilter — sequential Monte-Carlo tracking (paper Table IV: Medical
+// Imaging, 602 LOC).
+//
+// Per iteration: Gaussian-likelihood weight update against a drifting
+// observation, normalization (with a sanity assert — the paper's Table I "A"
+// crash class arises from such self-checks), cumulative distribution, and
+// systematic resampling whose CDF search makes loads data dependent.
+#include "apps/app.h"
+#include "apps/kernel_util.h"
+
+namespace epvf::apps {
+
+App BuildParticleFilter(const AppConfig& config) {
+  const std::int64_t n = 64 + 64 * std::int64_t{static_cast<unsigned>(config.scale)};
+  const std::int64_t iters = 3;
+  App app;
+  app.name = "particlefilter";
+  app.domain = "Medical Imaging";
+  app.paper_loc = 602;
+
+  ir::IRBuilder b(app.module);
+  KernelBuilder k(b);
+  using ir::FCmpPred;
+  using ir::ICmpPred;
+  using ir::Intrinsic;
+  using ir::Type;
+
+  const auto x_init = b.DeclareGlobal(
+      "x_init", Type::F64(), static_cast<std::uint64_t>(n),
+      PackF64(RandomF64(static_cast<std::size_t>(n), config.seed ^ 0x9F, -2.0, 2.0)));
+
+  (void)b.CreateFunction("main", Type::Void(), {});
+  const auto xs = b.MallocArray(Type::F64(), b.I64(n), "xs");
+  const auto weights = b.MallocArray(Type::F64(), b.I64(n), "w");
+  const auto cdf = b.MallocArray(Type::F64(), b.I64(n), "cdf");
+  const auto xs_new = b.MallocArray(Type::F64(), b.I64(n), "xs2");
+
+  k.For(b.I64(0), b.I64(n),
+        [&](ir::ValueRef i) { k.StoreAt(xs, i, k.LoadAt(b.Global(x_init), i, "x0")); },
+        "init");
+
+  k.For(b.I64(0), b.I64(iters), [&](ir::ValueRef t) {
+    // Observation drifts each iteration.
+    const ir::ValueRef obs =
+        b.FMul(b.SIToFP(t, Type::F64(), "tf"), b.F64(0.25), "obs");
+
+    // Weight update: w[i] = exp(-(x[i]-obs)^2).
+    k.For(b.I64(0), b.I64(n), [&](ir::ValueRef i) {
+      const ir::ValueRef xi = k.LoadAt(xs, i, "xi");
+      const ir::ValueRef d = b.FSub(xi, obs, "d");
+      k.StoreAt(weights, i,
+                b.CallIntrinsic(Intrinsic::kExp,
+                                {b.FMul(b.F64(-1.0), b.FMul(d, d, "d2"), "nd2")}, "wi"));
+    }, "wup");
+
+    // Normalize; a degenerate weight sum is a self-detected failure.
+    const ir::ValueRef sum = k.ForAccum(
+        b.I64(0), b.I64(n), b.F64(0.0),
+        [&](ir::ValueRef i, ir::ValueRef acc) { return b.FAdd(acc, k.LoadAt(weights, i, "wv")); },
+        "wsum");
+    (void)b.CallIntrinsic(Intrinsic::kAssert,
+                          {b.FCmp(FCmpPred::kOgt, sum, b.F64(0.0), "possum")});
+    k.For(b.I64(0), b.I64(n), [&](ir::ValueRef i) {
+      k.StoreAt(weights, i, b.FDiv(k.LoadAt(weights, i, "wn"), sum, "wnorm"));
+    }, "norm");
+
+    // Cumulative distribution.
+    (void)k.ForAccum(
+        b.I64(0), b.I64(n), b.F64(0.0),
+        [&](ir::ValueRef i, ir::ValueRef acc) {
+          const ir::ValueRef next = b.FAdd(acc, k.LoadAt(weights, i, "wc"), "run");
+          k.StoreAt(cdf, i, next);
+          return next;
+        },
+        "cum");
+
+    // Systematic resampling: for each slot, linear CDF search.
+    const ir::ValueRef inv_n = b.F64(1.0 / static_cast<double>(n));
+    k.For(b.I64(0), b.I64(n), [&](ir::ValueRef i) {
+      const ir::ValueRef u = b.FMul(
+          b.FAdd(b.SIToFP(i, Type::F64(), "fi"), b.F64(0.5), "iu"), inv_n, "u");
+      // find first j with cdf[j] >= u
+      const std::uint32_t pre = b.CurrentBlock();
+      const std::uint32_t header = b.CreateBlock("find.header");
+      const std::uint32_t check = b.CreateBlock("find.check");
+      const std::uint32_t bump = b.CreateBlock("find.bump");
+      const std::uint32_t found = b.CreateBlock("find.found");
+      b.Br(header);
+      b.SetInsertPoint(header);
+      const ir::ValueRef j = b.Phi(Type::I64(), {{b.I64(0), pre}}, "j");
+      b.CondBr(b.ICmp(ICmpPred::kSlt, j, b.I64(n - 1), "inb"), check, found);
+      b.SetInsertPoint(check);
+      const ir::ValueRef cj = k.LoadAt(cdf, j, "cj");
+      b.CondBr(b.FCmp(FCmpPred::kOge, cj, u, "hit"), found, bump);
+      b.SetInsertPoint(bump);
+      const ir::ValueRef next_j = b.Add(j, b.I64(1), "j.next");
+      b.Br(header);
+      b.AddPhiIncoming(j, next_j, bump);
+      b.SetInsertPoint(found);
+      k.StoreAt(xs_new, i, b.FAdd(k.LoadAt(xs, j, "xsel"), b.F64(0.01), "jit"));
+    }, "resample");
+
+    k.For(b.I64(0), b.I64(n),
+          [&](ir::ValueRef i) { k.StoreAt(xs, i, k.LoadAt(xs_new, i, "xn")); }, "commit");
+  }, "iter");
+
+  // Output the particle cloud and its mean.
+  const ir::ValueRef total = k.ForAccum(
+      b.I64(0), b.I64(n), b.F64(0.0),
+      [&](ir::ValueRef i, ir::ValueRef acc) { return b.FAdd(acc, k.LoadAt(xs, i, "xf")); },
+      "tot");
+  b.Output(b.FDiv(total, b.F64(static_cast<double>(n)), "meanx"));
+  k.For(b.I64(0), b.I64(n), [&](ir::ValueRef i) { b.Output(k.LoadAt(xs, i, "xo")); }, "out");
+  b.RetVoid();
+  return app;
+}
+
+}  // namespace epvf::apps

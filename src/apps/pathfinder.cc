@@ -1,0 +1,86 @@
+// pathfinder — dynamic programming over a grid (paper Table IV: Grid
+// Traversal, 135 LOC; the source of the paper's running example, Figure 3).
+//
+// Row by row, dst[j] = wall[i][j] + min(prev[j-1], prev[j], prev[j+1]) with
+// clamped borders; prev/dst heap buffers swap through pointer phis. The
+// final DP row is the program output.
+#include "apps/app.h"
+#include "apps/kernel_util.h"
+
+namespace epvf::apps {
+
+App BuildPathfinder(const AppConfig& config) {
+  const std::int64_t cols = 32 + 24 * std::int64_t{static_cast<unsigned>(config.scale)};
+  const std::int64_t rows = 12 + 10 * std::int64_t{static_cast<unsigned>(config.scale)};
+  App app;
+  app.name = "pathfinder";
+  app.domain = "Grid Traversal";
+  app.paper_loc = 135;
+
+  ir::IRBuilder b(app.module);
+  KernelBuilder k(b);
+  using ir::ICmpPred;
+  using ir::Type;
+
+  const auto wall = b.DeclareGlobal(
+      "wall", Type::I32(), static_cast<std::uint64_t>(rows * cols),
+      PackI32(RandomI32(static_cast<std::size_t>(rows * cols), config.seed ^ 0x9A7F, 0, 10)));
+
+  (void)b.CreateFunction("main", Type::Void(), {});
+  const auto buf_a = b.MallocArray(Type::I32(), b.I64(cols), "bufA");
+  const auto buf_b = b.MallocArray(Type::I32(), b.I64(cols), "bufB");
+
+  // prev = wall[0][*]
+  k.For(b.I64(0), b.I64(cols),
+        [&](ir::ValueRef j) { k.StoreAt(buf_a, j, k.LoadAt(b.Global(wall), j, "w0")); },
+        "init");
+
+  // DP rows with pointer-phi double buffering.
+  const std::uint32_t pre = b.CurrentBlock();
+  const std::uint32_t header = b.CreateBlock("row.header");
+  const std::uint32_t body = b.CreateBlock("row.body");
+  const std::uint32_t latch = b.CreateBlock("row.latch");
+  const std::uint32_t exit = b.CreateBlock("row.exit");
+  b.Br(header);
+
+  b.SetInsertPoint(header);
+  const ir::ValueRef row = b.Phi(Type::I64(), {{b.I64(1), pre}}, "row");
+  const ir::ValueRef prev = b.Phi(Type::I32().Ptr(), {{buf_a, pre}}, "prev");
+  const ir::ValueRef dst = b.Phi(Type::I32().Ptr(), {{buf_b, pre}}, "dst");
+  b.CondBr(b.ICmp(ICmpPred::kSlt, row, b.I64(rows), "row.cond"), body, exit);
+
+  b.SetInsertPoint(body);
+  k.For(b.I64(0), b.I64(cols), [&](ir::ValueRef j) {
+    const ir::ValueRef jm1 = b.Sub(j, b.I64(1), "jm1");
+    const ir::ValueRef jp1 = b.Add(j, b.I64(1), "jp1");
+    const ir::ValueRef left_idx =
+        b.Select(b.ICmp(ICmpPred::kSlt, jm1, b.I64(0)), b.I64(0), jm1, "lidx");
+    const ir::ValueRef right_idx =
+        b.Select(b.ICmp(ICmpPred::kSge, jp1, b.I64(cols)), b.I64(cols - 1), jp1, "ridx");
+    const ir::ValueRef left = k.LoadAt(prev, left_idx, "left");
+    const ir::ValueRef center = k.LoadAt(prev, j, "center");
+    const ir::ValueRef right = k.LoadAt(prev, right_idx, "right");
+    const ir::ValueRef min_lc =
+        b.Select(b.ICmp(ICmpPred::kSlt, left, center), left, center, "minlc");
+    const ir::ValueRef min3 =
+        b.Select(b.ICmp(ICmpPred::kSlt, min_lc, right), min_lc, right, "min3");
+    const ir::ValueRef w = k.LoadAt(b.Global(wall), k.Flat(row, j, cols), "w");
+    k.StoreAt(dst, j, b.Add(w, min3, "cell"));
+  }, "col");
+  b.Br(latch);
+
+  b.SetInsertPoint(latch);
+  const ir::ValueRef next_row = b.Add(row, b.I64(1), "row.next");
+  b.Br(header);
+  b.AddPhiIncoming(row, next_row, latch);
+  b.AddPhiIncoming(prev, dst, latch);  // swap buffers
+  b.AddPhiIncoming(dst, prev, latch);
+
+  b.SetInsertPoint(exit);
+  k.For(b.I64(0), b.I64(cols), [&](ir::ValueRef j) { b.Output(k.LoadAt(prev, j, "res")); },
+        "out");
+  b.RetVoid();
+  return app;
+}
+
+}  // namespace epvf::apps

@@ -1,0 +1,127 @@
+// srad — Speckle Reducing Anisotropic Diffusion (paper Table IV: Image
+// Processing / Biological Informatics, 388/285 LOC).
+//
+// Rodinia's SRAD main loop at reduced scale: per iteration, compute the image
+// mean/variance, per-pixel gradients against clamped neighbors, the
+// diffusion coefficient c = 1/(1 + (G²/L - q0)/(1+q0)), then the divergence
+// update. Exercises exp/log-style intrinsics (image initialization uses exp)
+// and float division chains.
+#include "apps/app.h"
+#include "apps/kernel_util.h"
+
+namespace epvf::apps {
+
+App BuildSrad(const AppConfig& config) {
+  const std::int64_t n = 10 + 6 * std::int64_t{static_cast<unsigned>(config.scale)};
+  const std::int64_t iters = 2;
+  const double lambda = 0.25;
+  App app;
+  app.name = "srad";
+  app.domain = "Image Processing";
+  app.paper_loc = 388;
+
+  ir::IRBuilder b(app.module);
+  KernelBuilder k(b);
+  using ir::ICmpPred;
+  using ir::Intrinsic;
+  using ir::Type;
+
+  const auto img_init = b.DeclareGlobal(
+      "img_init", Type::F64(), static_cast<std::uint64_t>(n * n),
+      PackF64(RandomF64(static_cast<std::size_t>(n * n), config.seed ^ 0x55AD, 0.0, 1.0)));
+
+  (void)b.CreateFunction("main", Type::Void(), {});
+  const auto img = b.MallocArray(Type::F64(), b.I64(n * n), "J");
+  const auto coef = b.MallocArray(Type::F64(), b.I64(n * n), "c");
+
+  // J = exp(raw image), Rodinia's log-compressed initialization inverted.
+  k.For(b.I64(0), b.I64(n * n), [&](ir::ValueRef i) {
+    const ir::ValueRef raw = k.LoadAt(b.Global(img_init), i, "raw");
+    k.StoreAt(img, i, b.CallIntrinsic(Intrinsic::kExp, {raw}, "J0"));
+  }, "init");
+
+  k.For(b.I64(0), b.I64(iters), [&](ir::ValueRef) {
+    // Mean and mean-of-squares over the image.
+    const ir::ValueRef sum = k.ForAccum(
+        b.I64(0), b.I64(n * n), b.F64(0.0),
+        [&](ir::ValueRef i, ir::ValueRef acc) { return b.FAdd(acc, k.LoadAt(img, i, "Jv")); },
+        "sum");
+    const ir::ValueRef sum2 = k.ForAccum(
+        b.I64(0), b.I64(n * n), b.F64(0.0),
+        [&](ir::ValueRef i, ir::ValueRef acc) {
+          const ir::ValueRef v = k.LoadAt(img, i, "Jv2");
+          return b.FAdd(acc, b.FMul(v, v));
+        },
+        "sum2");
+    const ir::ValueRef count = b.F64(static_cast<double>(n * n));
+    const ir::ValueRef mean = b.FDiv(sum, count, "mean");
+    const ir::ValueRef var = b.FSub(b.FDiv(sum2, count), b.FMul(mean, mean), "var");
+    const ir::ValueRef q0 = b.FDiv(var, b.FMul(mean, mean), "q0");
+
+    auto clamp = [&](ir::ValueRef v) {
+      const ir::ValueRef lo = b.Select(b.ICmp(ICmpPred::kSlt, v, b.I64(0)), b.I64(0), v);
+      return b.Select(b.ICmp(ICmpPred::kSge, lo, b.I64(n)), b.I64(n - 1), lo, "cl");
+    };
+
+    // Diffusion coefficient per pixel.
+    k.For(b.I64(0), b.I64(n), [&](ir::ValueRef i) {
+      k.For(b.I64(0), b.I64(n), [&](ir::ValueRef j) {
+        const ir::ValueRef jc = k.LoadAt(img, k.Flat(i, j, n), "Jc");
+        const ir::ValueRef dn =
+            b.FSub(k.LoadAt(img, k.Flat(clamp(b.Sub(i, b.I64(1))), j, n), "Jn"), jc, "dN");
+        const ir::ValueRef ds =
+            b.FSub(k.LoadAt(img, k.Flat(clamp(b.Add(i, b.I64(1))), j, n), "Js"), jc, "dS");
+        const ir::ValueRef dw =
+            b.FSub(k.LoadAt(img, k.Flat(i, clamp(b.Sub(j, b.I64(1))), n), "Jw"), jc, "dW");
+        const ir::ValueRef de =
+            b.FSub(k.LoadAt(img, k.Flat(i, clamp(b.Add(j, b.I64(1))), n), "Je"), jc, "dE");
+        const ir::ValueRef g2 = b.FDiv(
+            b.FAdd(b.FAdd(b.FMul(dn, dn), b.FMul(ds, ds)),
+                   b.FAdd(b.FMul(dw, dw), b.FMul(de, de)), "grad2"),
+            b.FMul(jc, jc), "G2");
+        const ir::ValueRef l =
+            b.FDiv(b.FAdd(b.FAdd(dn, ds), b.FAdd(dw, de), "lapsum"), jc, "L");
+        const ir::ValueRef num =
+            b.FSub(b.FMul(b.F64(0.5), g2),
+                   b.FMul(b.F64(1.0 / 16.0), b.FMul(l, l)), "num");
+        const ir::ValueRef den1 = b.FAdd(b.F64(1.0), b.FMul(b.F64(0.25), l), "den1");
+        const ir::ValueRef qsq = b.FDiv(num, b.FMul(den1, den1), "qsq");
+        const ir::ValueRef qdiff = b.FDiv(b.FSub(qsq, q0), b.FMul(q0, b.FAdd(b.F64(1.0), q0)),
+                                          "qdiff");
+        const ir::ValueRef c = b.FDiv(b.F64(1.0), b.FAdd(b.F64(1.0), qdiff), "cden");
+        // Clamp c to [0, 1].
+        const ir::ValueRef c_lo =
+            b.Select(b.FCmp(ir::FCmpPred::kOlt, c, b.F64(0.0)), b.F64(0.0), c, "clo");
+        const ir::ValueRef c_cl =
+            b.Select(b.FCmp(ir::FCmpPred::kOgt, c_lo, b.F64(1.0)), b.F64(1.0), c_lo, "ccl");
+        k.StoreAt(coef, k.Flat(i, j, n), c_cl);
+      }, "cj");
+    }, "ci");
+
+    // Divergence update.
+    k.For(b.I64(0), b.I64(n), [&](ir::ValueRef i) {
+      k.For(b.I64(0), b.I64(n), [&](ir::ValueRef j) {
+        const ir::ValueRef jc = k.LoadAt(img, k.Flat(i, j, n), "Jc2");
+        const ir::ValueRef cc = k.LoadAt(coef, k.Flat(i, j, n), "cC");
+        const ir::ValueRef cs = k.LoadAt(coef, k.Flat(clamp(b.Add(i, b.I64(1))), j, n), "cS");
+        const ir::ValueRef ce = k.LoadAt(coef, k.Flat(i, clamp(b.Add(j, b.I64(1))), n), "cE");
+        const ir::ValueRef js = k.LoadAt(img, k.Flat(clamp(b.Add(i, b.I64(1))), j, n), "JS");
+        const ir::ValueRef je = k.LoadAt(img, k.Flat(i, clamp(b.Add(j, b.I64(1))), n), "JE");
+        const ir::ValueRef jn = k.LoadAt(img, k.Flat(clamp(b.Sub(i, b.I64(1))), j, n), "JN");
+        const ir::ValueRef jw = k.LoadAt(img, k.Flat(i, clamp(b.Sub(j, b.I64(1))), n), "JW");
+        const ir::ValueRef div = b.FAdd(
+            b.FAdd(b.FMul(cs, b.FSub(js, jc)), b.FMul(ce, b.FSub(je, jc)), "divA"),
+            b.FAdd(b.FMul(cc, b.FSub(jn, jc)), b.FMul(cc, b.FSub(jw, jc)), "divB"), "div");
+        k.StoreAt(img, k.Flat(i, j, n),
+                  b.FAdd(jc, b.FMul(b.F64(lambda * 0.25), div), "J1"));
+      }, "uj");
+    }, "ui");
+  }, "iter");
+
+  k.For(b.I64(0), b.I64(n * n), [&](ir::ValueRef i) { b.Output(k.LoadAt(img, i, "Jf")); },
+        "out");
+  b.RetVoid();
+  return app;
+}
+
+}  // namespace epvf::apps

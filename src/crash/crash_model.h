@@ -1,0 +1,35 @@
+// The crash model (paper section III-D, Algorithm 3).
+//
+// Given one recorded memory access — its address, size, the memory-map
+// version current at the access, and ESP — CHECK_BOUNDARY returns the
+// interval of addresses that would NOT have raised a segmentation fault at
+// that moment. The segment boundaries come from the golden run's memory-map
+// snapshots (our equivalent of the paper's /proc probe instrumented at every
+// load and store), and the interval computation shares its implementation
+// with the interpreter's fault decision (mem/crash_semantics.h), so model
+// and platform agree by construction.
+#pragma once
+
+#include "ddg/graph.h"
+#include "mem/sim_memory.h"
+#include "support/interval.h"
+
+namespace epvf::crash {
+
+class CrashModel {
+ public:
+  /// `golden_memory` must outlive the model and have recorded map history.
+  explicit CrashModel(const mem::SimMemory& golden_memory) : memory_(golden_memory) {}
+
+  /// Algorithm 3: the allowed-address interval for one recorded access.
+  [[nodiscard]] Interval CheckBoundary(const ddg::AccessRecord& access) const {
+    const mem::MemoryMap& snapshot = memory_.Snapshot(access.map_version);
+    return mem::AllowedAddressInterval(snapshot, access.esp, access.addr, access.size,
+                                       memory_.layout());
+  }
+
+ private:
+  const mem::SimMemory& memory_;
+};
+
+}  // namespace epvf::crash

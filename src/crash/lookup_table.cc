@@ -1,0 +1,104 @@
+#include "crash/lookup_table.h"
+
+#include "support/bits.h"
+
+namespace epvf::crash {
+
+namespace {
+using ir::Opcode;
+using interval_ops::InverseAddConst;
+using interval_ops::InverseDivConst;
+using interval_ops::InverseMulConst;
+using interval_ops::InverseSubLeft;
+using interval_ops::InverseSubRight;
+}  // namespace
+
+namespace {
+
+/// Table III assumes non-negative operand values; the rows below extend it
+/// exactly where the inverse image stays a single interval in the unsigned
+/// domain (offsets that are "negative" as two's complement simply flip the
+/// add/sub direction) and stop where it would not.
+bool IsNegative(std::uint64_t value) { return static_cast<std::int64_t>(value) < 0; }
+std::uint64_t Magnitude(std::uint64_t value) { return ~value + 1; }
+
+/// dest = op + addend (mod 2^64), addend interpreted as two's complement.
+Interval InverseAddSigned(Interval dest_allowed, std::uint64_t addend) {
+  if (IsNegative(addend)) return InverseSubLeft(dest_allowed, Magnitude(addend));
+  return InverseAddConst(dest_allowed, addend);
+}
+
+}  // namespace
+
+std::optional<Interval> OperandAllowedInterval(const ir::Instruction& inst,
+                                               std::span<const std::uint64_t> operand_values,
+                                               std::span<const unsigned> operand_widths,
+                                               unsigned slot, Interval dest_allowed) {
+  switch (inst.op) {
+    case Opcode::kAdd: {
+      // dest = op0 + op1  (Table III row 1)
+      const unsigned other_slot = slot == 0 ? 1 : 0;
+      const std::uint64_t other =
+          SignExtendFrom(operand_values[other_slot], operand_widths[other_slot]);
+      return InverseAddSigned(dest_allowed, other);
+    }
+    case Opcode::kSub: {
+      // dest = op0 - op1  (Table III row 2)
+      if (slot == 0) {
+        const std::uint64_t op1 = SignExtendFrom(operand_values[1], operand_widths[1]);
+        return InverseAddSigned(dest_allowed, Magnitude(op1));
+      }
+      return InverseSubRight(dest_allowed, operand_values[0]);
+    }
+    case Opcode::kMul: {
+      // dest = op0 * op1  (Table III row 3); a negative multiplier flips the
+      // direction of the mapping, so the interval inverse no longer applies.
+      const unsigned other_slot = slot == 0 ? 1 : 0;
+      const std::uint64_t other =
+          SignExtendFrom(operand_values[other_slot], operand_widths[other_slot]);
+      if (IsNegative(other)) return std::nullopt;
+      return InverseMulConst(dest_allowed, other);
+    }
+    case Opcode::kUDiv:
+    case Opcode::kSDiv: {
+      // dest = op0 / op1  (Table III row 4); only the dividend is invertible
+      // to an interval under the positive-value assumption.
+      if (slot == 0 && !IsNegative(operand_values[0]) && !IsNegative(operand_values[1])) {
+        return InverseDivConst(dest_allowed, operand_values[1]);
+      }
+      return std::nullopt;
+    }
+    case Opcode::kGep: {
+      // dest = base + elem_bytes * index  (Table III row 6, getelementptr)
+      const std::uint64_t index = SignExtendFrom(operand_values[1], operand_widths[1]);
+      const std::uint64_t scaled = inst.gep_elem_bytes * index;
+      if (slot == 0) return InverseAddSigned(dest_allowed, scaled);
+      // index: first strip the base, then divide by the element size. A
+      // negative observed index keeps the base constraint exact (above) but
+      // the index inverse itself would straddle the wrap point: stop.
+      if (IsNegative(index)) return std::nullopt;
+      const Interval scaled_allowed = InverseAddConst(dest_allowed, operand_values[0]);
+      return InverseMulConst(scaled_allowed, inst.gep_elem_bytes);
+    }
+    case Opcode::kBitCast:   // Table III row 7: dest = op
+    case Opcode::kPtrToInt:
+    case Opcode::kIntToPtr:
+    case Opcode::kZExt:      // value-preserving under the positive assumption
+    case Opcode::kSExt:
+      return dest_allowed;
+    case Opcode::kPhi:
+    case Opcode::kSelect:
+      // Pass-through to the dynamically chosen operand; the caller is
+      // responsible for asking only about that operand.
+      return dest_allowed;
+    case Opcode::kLoad:
+      // Handled structurally by the propagation pass (through memory nodes).
+      return std::nullopt;
+    default:
+      // Not in Table III (bitwise logic, shifts, rem, float arithmetic,
+      // trunc, compares, ...): the inverse image is not an interval — stop.
+      return std::nullopt;
+  }
+}
+
+}  // namespace epvf::crash

@@ -1,0 +1,32 @@
+// The instruction-semantics lookup table (paper Table III).
+//
+// Given the allowed interval of an instruction's destination and the
+// observed run-time values of its operands, returns the allowed interval of
+// each source operand — the inverse image of the destination interval under
+// the instruction's semantics with the other operands held at their observed
+// values. Covers the opcodes Table III lists (add, sub, mul, div, bitcast,
+// getelementptr, plus value-preserving casts, phi and select pass-through);
+// opcodes outside the table (bitwise logic, shifts, rem, trunc, float
+// arithmetic) return "no constraint", stopping the propagation there exactly
+// as the paper's model does.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "ir/instruction.h"
+#include "support/interval.h"
+
+namespace epvf::crash {
+
+/// Result of one table lookup: the allowed interval for operand `slot`, or
+/// nullopt when the table has no (invertible) rule for that operand.
+/// `operand_widths` gives each operand's bit width (operand payloads are
+/// canonical zero-truncated values; GEP indices are sign-extended from their
+/// width before use, matching the platform's evaluation).
+[[nodiscard]] std::optional<Interval> OperandAllowedInterval(
+    const ir::Instruction& inst, std::span<const std::uint64_t> operand_values,
+    std::span<const unsigned> operand_widths, unsigned slot, Interval dest_allowed);
+
+}  // namespace epvf::crash

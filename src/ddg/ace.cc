@@ -1,0 +1,70 @@
+#include "ddg/ace.h"
+
+#include <deque>
+
+namespace epvf::ddg {
+
+AceResult ComputeAceFromRoots(const Graph& graph, std::span<const NodeId> roots) {
+  AceResult result;
+  result.in_ace.assign(graph.NumNodes(), 0);
+  result.total_bits = graph.TotalRegisterBits();
+
+  // Reverse BFS over predecessor edges (paper: "we run a reverse
+  // breadth-first search on the DDG").
+  std::deque<NodeId> frontier;
+  for (const NodeId root : roots) {
+    if (root != kNoNode && !result.in_ace[root]) {
+      result.in_ace[root] = 1;
+      frontier.push_back(root);
+    }
+  }
+  while (!frontier.empty()) {
+    const NodeId id = frontier.front();
+    frontier.pop_front();
+    for (const NodeId pred : graph.Preds(id)) {
+      if (pred == kNoNode || result.in_ace[pred]) continue;
+      result.in_ace[pred] = 1;
+      frontier.push_back(pred);
+    }
+  }
+
+  for (NodeId id = 0; id < graph.NumNodes(); ++id) {
+    if (!result.in_ace[id]) continue;
+    ++result.ace_node_count;
+    const Node& node = graph.GetNode(id);
+    if (node.kind == NodeKind::kRegister) {
+      result.ace_bits += node.width;
+      ++result.ace_register_nodes;
+    }
+  }
+  return result;
+}
+
+AceResult ComputeAce(const Graph& graph) {
+  const std::vector<NodeId> roots = graph.OrderedAceRoots();
+  return ComputeAceFromRoots(graph, roots);
+}
+
+std::vector<NodeId> BackwardSlice(const Graph& graph, NodeId start, bool follow_virtual) {
+  std::vector<NodeId> slice;
+  if (start == kNoNode) return slice;
+  std::vector<std::uint8_t> seen(graph.NumNodes(), 0);
+  std::deque<NodeId> frontier{start};
+  seen[start] = 1;
+  while (!frontier.empty()) {
+    const NodeId id = frontier.front();
+    frontier.pop_front();
+    slice.push_back(id);
+    const auto preds = graph.Preds(id);
+    for (unsigned i = 0; i < preds.size(); ++i) {
+      const NodeId pred = preds[i];
+      if (pred == kNoNode || seen[pred]) continue;
+      if (!follow_virtual && graph.PredIsVirtual(id, i)) continue;
+      seen[pred] = 1;
+      frontier.push_back(pred);
+    }
+  }
+  return slice;
+}
+
+}  // namespace epvf::ddg

@@ -1,0 +1,45 @@
+// ACE analysis over the DDG (paper section III-A).
+//
+// From each output root, a reverse breadth-first search collects every node
+// the output transitively depends on — the ACE graph. ACE bits are the summed
+// widths of the *register* nodes in that graph; divided by the width sum of
+// all register nodes in the trace this yields the PVF of the "used registers"
+// resource (Eq. 1), reproducing the paper's running example
+// (352 / 416 = 0.846 for the pathfinder fragment of Figure 3).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ddg/graph.h"
+
+namespace epvf::ddg {
+
+struct AceResult {
+  /// Per-node membership in the ACE graph.
+  std::vector<std::uint8_t> in_ace;
+  std::uint64_t ace_bits = 0;        ///< Σ widths of register nodes in the ACE graph
+  std::uint64_t total_bits = 0;      ///< Σ widths of all register nodes in the trace
+  std::uint64_t ace_node_count = 0;  ///< all node kinds, for Table V's "ACE nodes"
+  std::uint64_t ace_register_nodes = 0;
+
+  [[nodiscard]] double Pvf() const {
+    return total_bits == 0 ? 0.0 : static_cast<double>(ace_bits) / static_cast<double>(total_bits);
+  }
+  [[nodiscard]] bool Contains(NodeId id) const { return in_ace[id] != 0; }
+};
+
+/// ACE analysis rooted at all output roots of the graph.
+[[nodiscard]] AceResult ComputeAce(const Graph& graph);
+
+/// ACE analysis rooted at an arbitrary subset of roots — the primitive behind
+/// the ACE-graph sampling estimator of section IV-E.
+[[nodiscard]] AceResult ComputeAceFromRoots(const Graph& graph, std::span<const NodeId> roots);
+
+/// Backward slice of `start`: every node reachable through predecessor edges
+/// (data and, optionally, virtual addressing edges), including `start`.
+[[nodiscard]] std::vector<NodeId> BackwardSlice(const Graph& graph, NodeId start,
+                                                bool follow_virtual = true);
+
+}  // namespace epvf::ddg

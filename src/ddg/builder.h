@@ -1,0 +1,59 @@
+// GraphBuilder: constructs the DDG online while the interpreter runs.
+//
+// Implements the construction rules of paper section III-A as a TraceSink:
+// one register node per dynamic def, one memory node per store ("we create
+// new DDG nodes for each newly written memory address"), interned nodes for
+// constants and global addresses, data edges from source operands, and
+// virtual edges linking memory accesses to their addressing registers.
+// Calls/returns alias rather than copy: a callee's parameter registers map to
+// the caller's argument nodes and a call's result register maps to the
+// callee's returned node, so slices flow through function boundaries without
+// inflating the register bit totals.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ddg/graph.h"
+#include "vm/trace.h"
+
+namespace epvf::ddg {
+
+class GraphBuilder final : public vm::TraceSink {
+ public:
+  explicit GraphBuilder(const ir::Module& module);
+
+  /// Moves the finished graph out; the builder must not be reused after.
+  [[nodiscard]] Graph Take() { return std::move(graph_); }
+  [[nodiscard]] const Graph& graph() const { return graph_; }
+
+  // --- vm::TraceSink ---------------------------------------------------------
+  void OnInstruction(const vm::DynContext& ctx) override;
+  void OnEnterFunction(std::uint32_t function_index) override;
+  void OnExitFunction(bool has_value) override;
+
+ private:
+  struct ShadowFrame {
+    std::vector<NodeId> reg_nodes;
+  };
+  struct PendingCall {
+    std::uint32_t result_reg = ir::kInvalidIndex;
+  };
+
+  NodeId ConstantNode(std::uint32_t constant_index, std::uint64_t value, std::uint8_t width);
+  NodeId GlobalNode(std::uint32_t global_index, std::uint64_t value);
+  NodeId OperandNode(const vm::DynContext& ctx, std::size_t slot);
+
+  const ir::Module& module_;
+  Graph graph_;
+  std::vector<ShadowFrame> shadows_;
+  std::vector<PendingCall> call_stack_;
+  std::vector<NodeId> pending_args_;
+  NodeId pending_ret_node_ = kNoNode;
+  std::unordered_map<std::uint64_t, NodeId> memory_writer_;  ///< byte addr -> memory node
+  std::unordered_map<std::uint32_t, NodeId> constant_nodes_;
+  std::unordered_map<std::uint32_t, NodeId> global_nodes_;
+};
+
+}  // namespace epvf::ddg

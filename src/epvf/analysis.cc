@@ -1,0 +1,345 @@
+#include "epvf/analysis.h"
+
+#include <span>
+#include <stdexcept>
+
+#include "ddg/builder.h"
+#include "ir/verifier.h"
+#include "support/bits.h"
+#include "support/stopwatch.h"
+
+namespace epvf::core {
+
+Analysis Analysis::Run(const ir::Module& module, AnalysisOptions options) {
+  ir::VerifyModuleOrThrow(module);
+
+  Analysis analysis;
+  analysis.module_ = &module;
+  analysis.options_ = options;
+
+  // --- 1. golden run + DDG construction (the dynamic trace of §III-A) ------
+  Stopwatch watch;
+  vm::ExecOptions exec;
+  exec.max_instructions = options.max_instructions;
+  exec.layout = options.layout;
+  exec.record_map_history = true;  // the per-access /proc probe equivalent
+  analysis.interpreter_ = std::make_unique<vm::Interpreter>(module, exec);
+  ddg::GraphBuilder builder(module);
+  analysis.golden_ = analysis.interpreter_->Run(options.entry, &builder);
+  if (!analysis.golden_.Completed()) {
+    throw std::runtime_error(
+        std::string("Analysis: golden run trapped with ") +
+        std::string(vm::TrapKindName(analysis.golden_.trap)));
+  }
+  analysis.graph_ = builder.Take();
+  analysis.timings_.trace_and_graph_seconds = watch.ElapsedSeconds();
+
+  // --- 2. base ACE analysis -------------------------------------------------
+  watch.Restart();
+  analysis.ace_ = ddg::ComputeAce(analysis.graph_);
+  analysis.timings_.ace_seconds = watch.ElapsedSeconds();
+
+  // --- 3. crash model + propagation model -----------------------------------
+  watch.Restart();
+  analysis.crash_model_ = std::make_unique<crash::CrashModel>(analysis.interpreter_->memory());
+  analysis.crash_bits_ =
+      crash::PropagateCrashRanges(analysis.graph_, analysis.ace_, *analysis.crash_model_);
+  analysis.timings_.crash_model_seconds = watch.ElapsedSeconds();
+  return analysis;
+}
+
+double Analysis::Epvf() const {
+  if (ace_.total_bits == 0) return 0.0;
+  return static_cast<double>(ace_.ace_bits - crash_bits_.total_crash_bits) /
+         static_cast<double>(ace_.total_bits);
+}
+
+namespace {
+
+/// Dynamic use index: for every node, its (dyn_index, slot) register-operand
+/// uses in trace order. Built once per rate-estimate computation.
+struct UseIndex {
+  std::vector<std::uint32_t> offsets;  ///< per node, into the pools
+  std::vector<std::uint32_t> use_dyn;
+  std::vector<std::uint8_t> use_slot;
+
+};
+
+UseIndex BuildUseIndex(const ddg::Graph& graph) {
+  UseIndex index;
+  const std::size_t n = graph.NumNodes();
+  std::vector<std::uint32_t> counts(n + 1, 0);
+  auto for_each_use = [&](auto&& fn) {
+    for (std::uint32_t dyn = 0; dyn < graph.NumDynInstrs(); ++dyn) {
+      const ddg::DynInstr& d = graph.GetDyn(dyn);
+      const ir::Instruction& inst = graph.InstructionOf(d);
+      const auto nodes = graph.OperandNodes(dyn);
+      for (std::size_t slot = 0; slot < nodes.size(); ++slot) {
+        if (!inst.operands[slot].IsRegister()) continue;
+        if (inst.op == ir::Opcode::kPhi && slot != d.selected_operand) continue;
+        if (nodes[slot] == ddg::kNoNode) continue;
+        fn(nodes[slot], dyn, static_cast<std::uint8_t>(slot));
+      }
+    }
+  };
+  for_each_use([&](ddg::NodeId node, std::uint32_t, std::uint8_t) { ++counts[node + 1]; });
+  for (std::size_t i = 1; i <= n; ++i) counts[i] += counts[i - 1];
+  index.offsets = counts;
+  index.use_dyn.resize(index.offsets[n]);
+  index.use_slot.resize(index.offsets[n]);
+  std::vector<std::uint32_t> cursor(index.offsets.begin(), index.offsets.end() - 1);
+  for_each_use([&](ddg::NodeId node, std::uint32_t dyn, std::uint8_t slot) {
+    index.use_dyn[cursor[node]] = dyn;
+    index.use_slot[cursor[node]] = slot;
+    ++cursor[node];
+  });
+  return index;
+}
+
+/// What a flip applied at a use of `node` (from dynamic time `from_dyn` on)
+/// hits first: a memory address (crash surfaces), only compares/branches
+/// (control diverges — e.g. a corrupted induction variable exits its loop
+/// instead of reaching the body's out-of-bounds access), or nothing
+/// classified. This activation walk makes the model's rate estimates
+/// comparable with LLFI-style source-operand injections.
+///
+/// Control handling: hitting a compare does not end the walk — the corrupted
+/// value may still be consumed on the post-divergence path. Later uses count
+/// only if their block *postdominates* the compare's block (they execute
+/// whichever way the corrupted branch goes); a loop body does not postdominate
+/// its header, but a search loop's exit block does, so an index used as an
+/// address after the search still crashes.
+enum class UseEffect : std::uint8_t { kCrash, kControl, kOther };
+
+/// Control oracle: per-function postdominators plus a static forward walk
+/// answering "after a branch consuming this corrupted register diverges, can
+/// the register still reach a memory address?" — uses in blocks that
+/// postdominate the compare execute either way; selects are not traversed
+/// because under a corrupted condition they act as clamps (the other, intact
+/// operand is chosen — hotspot's border clamps are the canonical case).
+class ControlOracle {
+ public:
+  explicit ControlOracle(const ir::Module& module) : module_(module) {
+    ipdom_.reserve(module.functions.size());
+    static_uses_.reserve(module.functions.size());
+    for (const ir::Function& fn : module.functions) {
+      ipdom_.push_back(ir::ComputeImmediatePostDominators(fn));
+      StaticUseMap uses(fn.registers.size());
+      for (std::uint32_t b = 0; b < fn.blocks.size(); ++b) {
+        const auto& insts = fn.blocks[b].instructions;
+        for (std::uint32_t i = 0; i < insts.size(); ++i) {
+          for (std::size_t slot = 0; slot < insts[i].operands.size(); ++slot) {
+            if (!insts[i].operands[slot].IsRegister()) continue;
+            uses[insts[i].operands[slot].index].push_back(
+                StaticUse{b, i, static_cast<std::uint8_t>(slot)});
+          }
+        }
+      }
+      static_uses_.push_back(std::move(uses));
+    }
+  }
+
+  /// Corrupted register `reg` diverged a branch in `block` of `function`:
+  /// true if a postdominating static use chain still reaches an address.
+  [[nodiscard]] bool SurvivesToAddress(std::uint32_t function, std::uint32_t block,
+                                       std::uint32_t reg) const {
+    const ir::Function& fn = module_.functions[function];
+    const auto& ipdom = ipdom_[function];
+    const auto& uses = static_uses_[function];
+    std::vector<std::uint32_t> worklist{reg};
+    std::vector<std::uint8_t> seen(fn.registers.size(), 0);
+    seen[reg] = 1;
+    int budget = 64;
+    while (!worklist.empty() && budget-- > 0) {
+      const std::uint32_t r = worklist.back();
+      worklist.pop_back();
+      for (const StaticUse& use : uses[r]) {
+        if (!ir::PostDominates(ipdom, use.block, block)) continue;
+        const ir::Instruction& inst = fn.blocks[use.block].instructions[use.instr];
+        if (inst.AddressOperandSlot() == static_cast<int>(use.slot)) return true;
+        if (inst.op == ir::Opcode::kSelect || inst.op == ir::Opcode::kICmp ||
+            inst.op == ir::Opcode::kFCmp || inst.op == ir::Opcode::kCondBr) {
+          continue;  // clamps and further control don't carry the raw value
+        }
+        if (inst.DefinesValue() && !seen[inst.result]) {
+          seen[inst.result] = 1;
+          worklist.push_back(inst.result);
+        }
+      }
+    }
+    return false;
+  }
+
+ private:
+  struct StaticUse {
+    std::uint32_t block;
+    std::uint32_t instr;
+    std::uint8_t slot;
+  };
+  using StaticUseMap = std::vector<std::vector<StaticUse>>;
+
+  const ir::Module& module_;
+  std::vector<std::vector<std::uint32_t>> ipdom_;
+  std::vector<StaticUseMap> static_uses_;
+};
+
+UseEffect FirstEffect(const ddg::Graph& graph, const UseIndex& uses,
+                      const ControlOracle& control, ddg::NodeId node, std::uint32_t from_dyn,
+                      int depth) {
+  const auto offset_begin = uses.offsets[node];
+  const auto offset_end = uses.offsets[node + 1];
+  for (std::uint32_t u = offset_begin; u < offset_end; ++u) {
+    const std::uint32_t dyn = uses.use_dyn[u];
+    if (dyn < from_dyn) continue;
+    const ddg::DynInstr& d = graph.GetDyn(dyn);
+    const ir::Instruction& inst = graph.InstructionOf(d);
+    if (inst.AddressOperandSlot() == static_cast<int>(uses.use_slot[u])) {
+      return UseEffect::kCrash;
+    }
+    if (inst.op == ir::Opcode::kICmp || inst.op == ir::Opcode::kFCmp ||
+        inst.op == ir::Opcode::kCondBr) {
+      // Control diverges here. The corruption still crashes if the register
+      // is consumed as (part of) an address on the post-divergence path.
+      const std::uint32_t reg = inst.operands[uses.use_slot[u]].index;
+      return control.SurvivesToAddress(d.sid.function, d.sid.block, reg)
+                 ? UseEffect::kCrash
+                 : UseEffect::kControl;
+    }
+    if (d.result_node != ddg::kNoNode &&
+        graph.GetNode(d.result_node).kind == ddg::NodeKind::kRegister) {
+      if (depth <= 0) return UseEffect::kCrash;  // assume the slice reaches memory
+      return FirstEffect(graph, uses, control, d.result_node, dyn + 1, depth - 1);
+    }
+    // Store value / output operand: the corruption parks in memory or the
+    // output stream; keep scanning this node's later uses.
+  }
+  return UseEffect::kOther;
+}
+
+}  // namespace
+
+Analysis::UseWeightedBits Analysis::ComputeUseWeightedBits() const {
+  // Enumerate the fault-injection site distribution: every register operand
+  // of every dynamic instruction (for phi, only the taken incoming slot — the
+  // only one a register-level flip can influence), every bit equally likely.
+  // Crash bits are charged only to sites whose activation walk reaches a
+  // memory address (see FirstEffect above).
+  const UseIndex uses = BuildUseIndex(graph_);
+  const ControlOracle control(*module_);
+  UseWeightedBits sums;
+  for (std::uint32_t dyn = 0; dyn < graph_.NumDynInstrs(); ++dyn) {
+    const ddg::DynInstr& d = graph_.GetDyn(dyn);
+    const ir::Instruction& inst = graph_.InstructionOf(d);
+    const auto nodes = graph_.OperandNodes(dyn);
+    for (std::size_t slot = 0; slot < nodes.size(); ++slot) {
+      if (!inst.operands[slot].IsRegister()) continue;
+      if (inst.op == ir::Opcode::kPhi && slot != d.selected_operand) continue;
+      const ddg::NodeId node = nodes[slot];
+      if (node == ddg::kNoNode) continue;
+      const unsigned width = graph_.GetNode(node).width;
+      sums.total += width;
+      if (!ace_.Contains(node)) continue;
+      sums.ace += width;
+      const std::uint64_t mask = crash_bits_.crash_mask[node] & LowMask(width);
+      if (mask == 0) continue;
+      if (FirstEffect(graph_, uses, control, node, dyn, /*depth=*/6) == UseEffect::kCrash) {
+        sums.crash += PopCount(mask);
+      }
+    }
+  }
+  return sums;
+}
+
+double Analysis::CrashRateEstimate() const {
+  const UseWeightedBits sums = ComputeUseWeightedBits();
+  return sums.total == 0 ? 0.0
+                         : static_cast<double>(sums.crash) / static_cast<double>(sums.total);
+}
+
+double Analysis::PvfUseWeighted() const {
+  const UseWeightedBits sums = ComputeUseWeightedBits();
+  return sums.total == 0 ? 0.0
+                         : static_cast<double>(sums.ace) / static_cast<double>(sums.total);
+}
+
+double Analysis::EpvfUseWeighted() const {
+  const UseWeightedBits sums = ComputeUseWeightedBits();
+  return sums.total == 0 ? 0.0
+                         : static_cast<double>(sums.ace - sums.crash) /
+                               static_cast<double>(sums.total);
+}
+
+namespace {
+
+struct MemoryBits {
+  std::uint64_t total = 0;
+  std::uint64_t ace = 0;
+  std::uint64_t crash = 0;
+};
+
+MemoryBits ComputeMemoryBits(const ddg::Graph& graph, const ddg::AceResult& ace,
+                             const crash::CrashBits& crash_bits) {
+  MemoryBits sums;
+  for (ddg::NodeId id = 0; id < graph.NumNodes(); ++id) {
+    const ddg::Node& node = graph.GetNode(id);
+    if (node.kind != ddg::NodeKind::kMemory) continue;
+    sums.total += node.width;
+    if (!ace.Contains(id)) continue;
+    sums.ace += node.width;
+    const Interval allowed = crash_bits.allowed[id];
+    if (allowed.IsFull()) continue;
+    for (unsigned bit = 0; bit < node.width; ++bit) {
+      sums.crash += !allowed.Contains(FlipBit(node.value, bit));
+    }
+  }
+  return sums;
+}
+
+}  // namespace
+
+double Analysis::MemoryPvf() const {
+  const MemoryBits sums = ComputeMemoryBits(graph_, ace_, crash_bits_);
+  return sums.total == 0 ? 0.0 : static_cast<double>(sums.ace) / static_cast<double>(sums.total);
+}
+
+double Analysis::MemoryEpvf() const {
+  const MemoryBits sums = ComputeMemoryBits(graph_, ace_, crash_bits_);
+  return sums.total == 0 ? 0.0
+                         : static_cast<double>(sums.ace - sums.crash) /
+                               static_cast<double>(sums.total);
+}
+
+std::vector<InstrMetrics> Analysis::PerInstructionMetrics() const {
+  std::map<ir::StaticInstrId, InstrMetrics> by_sid;
+  for (std::uint32_t dyn = 0; dyn < graph_.NumDynInstrs(); ++dyn) {
+    const ddg::DynInstr& d = graph_.GetDyn(dyn);
+    InstrMetrics& m = by_sid[d.sid];
+    m.sid = d.sid;
+    m.exec_count += 1;
+
+    // Eq. 3's "register in inst": the register this instance defines — the
+    // value selective duplication would recompute and check. Instructions
+    // defining nothing (stores, branches) carry no per-instruction ePVF; their
+    // vulnerable bits are charged to the defining instructions of their
+    // operands. Crash-heavy destinations (address computations) score low,
+    // SDC-prone value chains score high — the discriminative power Figure 12
+    // shows.
+    if (d.result_node == ddg::kNoNode ||
+        graph_.GetNode(d.result_node).kind != ddg::NodeKind::kRegister) {
+      continue;
+    }
+    const ddg::NodeId id = d.result_node;
+    const unsigned width = graph_.GetNode(id).width;
+    m.total_bits += width;
+    if (ace_.Contains(id)) {
+      m.ace_bits += width;
+      m.crash_bits += PopCount(crash_bits_.crash_mask[id] & LowMask(width));
+    }
+  }
+  std::vector<InstrMetrics> out;
+  out.reserve(by_sid.size());
+  for (auto& [sid, metrics] : by_sid) out.push_back(metrics);
+  return out;
+}
+
+}  // namespace epvf::core

@@ -1,0 +1,134 @@
+// The ePVF analysis pipeline — the paper's primary contribution, end to end.
+//
+// Orchestrates Figure 2's three components over one program + input:
+//   1. golden (profiling) run on the interpreter, building the DDG and
+//      recording the per-access segment probes;
+//   2. base ACE analysis (reverse BFS from the output instructions);
+//   3. crash model + propagation model, yielding per-node crash-bit masks.
+//
+// The result object answers every metric the evaluation needs: PVF (Eq. 1),
+// ePVF (Eq. 2), the model-predicted crash rate (the Figure 8 estimate,
+// weighted by fault-injection site distribution), per-static-instruction
+// PVF/ePVF (Eq. 3, driving the Figure 12 CDFs and the section V protection
+// ranking), and the timing breakdown (Table V / Figure 10).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crash/crash_model.h"
+#include "crash/propagation.h"
+#include "ddg/ace.h"
+#include "ddg/graph.h"
+#include "ir/module.h"
+#include "vm/interpreter.h"
+
+namespace epvf::core {
+
+struct AnalysisOptions {
+  std::string entry = "main";
+  std::uint64_t max_instructions = 200'000'000;
+  mem::MemoryLayout layout;
+};
+
+struct AnalysisTimings {
+  double trace_and_graph_seconds = 0;  ///< golden run + DDG construction
+  double ace_seconds = 0;              ///< reverse BFS + bit accounting
+  double crash_model_seconds = 0;      ///< CHECK_BOUNDARY + propagation
+  [[nodiscard]] double TotalSeconds() const {
+    return trace_and_graph_seconds + ace_seconds + crash_model_seconds;
+  }
+};
+
+/// Per-static-instruction metrics (Eq. 3), averaged over dynamic instances.
+struct InstrMetrics {
+  ir::StaticInstrId sid;
+  std::uint64_t exec_count = 0;
+  std::uint64_t ace_bits = 0;
+  std::uint64_t crash_bits = 0;
+  std::uint64_t total_bits = 0;
+
+  [[nodiscard]] double Pvf() const {
+    return total_bits == 0 ? 0.0 : static_cast<double>(ace_bits) / static_cast<double>(total_bits);
+  }
+  [[nodiscard]] double Epvf() const {
+    return total_bits == 0
+               ? 0.0
+               : static_cast<double>(ace_bits - crash_bits) / static_cast<double>(total_bits);
+  }
+};
+
+class Analysis {
+ public:
+  /// Runs the whole pipeline. Throws on malformed modules or trapping golden
+  /// runs (a golden run must complete — the analysis is defined on the
+  /// fault-free execution).
+  [[nodiscard]] static Analysis Run(const ir::Module& module, AnalysisOptions options = {});
+
+  // --- artifacts --------------------------------------------------------------
+  [[nodiscard]] const ir::Module& module() const { return *module_; }
+  [[nodiscard]] const ddg::Graph& graph() const { return graph_; }
+  [[nodiscard]] const ddg::AceResult& ace() const { return ace_; }
+  [[nodiscard]] const crash::CrashBits& crash_bits() const { return crash_bits_; }
+  [[nodiscard]] const vm::RunResult& golden() const { return golden_; }
+  [[nodiscard]] const mem::SimMemory& memory() const { return interpreter_->memory(); }
+  [[nodiscard]] const AnalysisTimings& timings() const { return timings_; }
+  [[nodiscard]] const AnalysisOptions& options() const { return options_; }
+  [[nodiscard]] const crash::CrashModel& crash_model() const { return *crash_model_; }
+
+  // --- headline metrics -------------------------------------------------------
+  [[nodiscard]] double Pvf() const { return ace_.Pvf(); }
+
+  /// Eq. 2: (ACE bits − crash bits) / total bits.
+  [[nodiscard]] double Epvf() const;
+
+  /// Model-predicted crash rate under the fault-injection site distribution:
+  /// crash bits over total bits across all *uses* of register operands —
+  /// directly comparable to a campaign's measured crash fraction (Figure 8).
+  [[nodiscard]] double CrashRateEstimate() const;
+
+  /// Eq. 3 per static instruction, aggregated over dynamic instances.
+  [[nodiscard]] std::vector<InstrMetrics> PerInstructionMetrics() const;
+
+  /// PVF/ePVF evaluated over the fault-injection site distribution (register
+  /// *uses* weighted by bit width) instead of register defs. These are the
+  /// values directly comparable to campaign-measured rates (Figure 9): an
+  /// injected bit can cause an SDC only if its node is ACE and the bit is not
+  /// crash-causing.
+  [[nodiscard]] double PvfUseWeighted() const;
+  [[nodiscard]] double EpvfUseWeighted() const;
+
+  /// PVF/ePVF of the *memory* resource — Eq. 1/2 instantiated for the bits
+  /// held in memory versions rather than registers (the PVF framework is
+  /// defined per architectural resource R; the paper evaluates "used
+  /// registers", this is the same machinery pointed at the store-created
+  /// memory state). Crash bits of a memory version are the stored bits whose
+  /// flip would take a later crash-modeled address out of bounds.
+  [[nodiscard]] double MemoryPvf() const;
+  [[nodiscard]] double MemoryEpvf() const;
+
+ private:
+  Analysis() = default;
+
+  struct UseWeightedBits {
+    std::uint64_t total = 0;
+    std::uint64_t ace = 0;
+    std::uint64_t crash = 0;
+  };
+  [[nodiscard]] UseWeightedBits ComputeUseWeightedBits() const;
+
+  const ir::Module* module_ = nullptr;
+  AnalysisOptions options_;
+  std::unique_ptr<vm::Interpreter> interpreter_;
+  std::unique_ptr<crash::CrashModel> crash_model_;
+  vm::RunResult golden_;
+  ddg::Graph graph_;
+  ddg::AceResult ace_;
+  crash::CrashBits crash_bits_;
+  AnalysisTimings timings_;
+};
+
+}  // namespace epvf::core

@@ -1,0 +1,83 @@
+#include "epvf/sampling.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/rng.h"
+#include "support/statistics.h"
+
+namespace epvf::core {
+
+namespace {
+
+/// ePVF extrapolated from a root subset. The *expensive* stage of the
+/// analysis — the crash and propagation models, which dominate the total time
+/// (paper Figure 10) — runs only on the sampled partial ACE graph; the cheap
+/// full ACE ratio (PVF) is reused. For repetitive applications the sampled
+/// crash fraction of the ACE bits matches the full one, so
+///   ePVF ≈ PVF × (1 − crash_bits_p / ace_bits_p)
+/// extrapolates linearly, exactly the section IV-E observation.
+double ExtrapolatedEpvf(const Analysis& analysis, std::span<const ddg::NodeId> roots,
+                        double effective_fraction, std::uint64_t* ace_nodes_out) {
+  (void)effective_fraction;
+  const ddg::AceResult partial = ddg::ComputeAceFromRoots(analysis.graph(), roots);
+  const crash::CrashBits partial_crash =
+      crash::PropagateCrashRanges(analysis.graph(), partial, analysis.crash_model());
+  if (ace_nodes_out != nullptr) *ace_nodes_out = partial.ace_node_count;
+  if (partial.ace_bits == 0) return 0.0;
+  const double sampled_crash_fraction =
+      static_cast<double>(partial_crash.total_crash_bits) /
+      static_cast<double>(partial.ace_bits);
+  return analysis.Pvf() * (1.0 - sampled_crash_fraction);
+}
+
+}  // namespace
+
+SamplingEstimate EstimateBySampling(const Analysis& analysis, double fraction) {
+  SamplingEstimate estimate;
+  estimate.fraction = fraction;
+  estimate.full_epvf = analysis.Epvf();
+  estimate.full_ace_nodes = analysis.ace().ace_node_count;
+
+  // Paper section IV-E: "pick the first p% of the output nodes" (temporal
+  // order). Control roots are left to the full-PVF factor: their ACE mass is
+  // almost entirely shared with the output slices (loop indices feed both
+  // compares and addresses), so the sampled crash fraction is representative.
+  const std::vector<ddg::NodeId>& roots = analysis.graph().output_roots();
+  if (roots.empty()) return estimate;
+  const std::size_t take = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(roots.size()) * fraction));
+  estimate.effective_fraction =
+      static_cast<double>(take) / static_cast<double>(roots.size());
+  estimate.extrapolated_epvf = ExtrapolatedEpvf(
+      analysis, std::span<const ddg::NodeId>(roots.data(), take), estimate.effective_fraction,
+      &estimate.partial_ace_nodes);
+  return estimate;
+}
+
+RepetitivenessProbe ProbeRepetitiveness(const Analysis& analysis, double sub_fraction,
+                                        int trials, std::uint64_t seed) {
+  RepetitivenessProbe probe;
+  probe.trials = trials;
+  const std::vector<ddg::NodeId>& roots = analysis.graph().output_roots();
+  if (roots.empty() || trials <= 0) return probe;
+
+  const std::size_t take = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(roots.size()) * sub_fraction));
+  const double effective = static_cast<double>(take) / static_cast<double>(roots.size());
+
+  Rng rng(seed);
+  std::vector<double> estimates;
+  estimates.reserve(static_cast<std::size_t>(trials));
+  std::vector<ddg::NodeId> sample(take);
+  for (int t = 0; t < trials; ++t) {
+    for (std::size_t i = 0; i < take; ++i) {
+      sample[i] = roots[rng.Below(roots.size())];
+    }
+    estimates.push_back(ExtrapolatedEpvf(analysis, sample, effective, nullptr));
+  }
+  probe.normalized_variance = NormalizedVariance(estimates);
+  return probe;
+}
+
+}  // namespace epvf::core

@@ -1,0 +1,46 @@
+// ACE-graph sampling (paper section IV-E).
+//
+// HPC programs are repetitive, so analyzing only the first p% of the output
+// nodes (the trace preserves temporal order) and linearly extrapolating gives
+// a cheap ePVF estimate. The variance probe takes several small random
+// subsamples (1% each) and reports the normalized variance of their
+// estimates — the paper's test for whether an application is regular enough
+// for sampling to be trusted (low for lavaMD/particlefilter, high for lud).
+#pragma once
+
+#include <cstdint>
+
+#include "epvf/analysis.h"
+
+namespace epvf::core {
+
+struct SamplingEstimate {
+  double fraction = 0.0;           ///< requested output-root fraction
+  double effective_fraction = 0.0; ///< roots actually used / total roots
+  double extrapolated_epvf = 0.0;  ///< partial estimate scaled to the full app
+  double full_epvf = 0.0;          ///< exact value, for the Figure 11 comparison
+  std::uint64_t partial_ace_nodes = 0;
+  std::uint64_t full_ace_nodes = 0;
+
+  [[nodiscard]] double AbsoluteError() const {
+    const double e = extrapolated_epvf - full_epvf;
+    return e < 0 ? -e : e;
+  }
+};
+
+/// Estimates ePVF from the first `fraction` of output roots (Figure 11 uses
+/// fraction = 0.10) and compares against the full analysis.
+[[nodiscard]] SamplingEstimate EstimateBySampling(const Analysis& analysis, double fraction);
+
+struct RepetitivenessProbe {
+  double normalized_variance = 0.0;  ///< Var / Mean² over the subsample estimates
+  int trials = 0;
+};
+
+/// Draws `trials` random subsamples of `sub_fraction` of the output roots and
+/// measures how stable the extrapolated ePVF is across them.
+[[nodiscard]] RepetitivenessProbe ProbeRepetitiveness(const Analysis& analysis,
+                                                      double sub_fraction, int trials,
+                                                      std::uint64_t seed);
+
+}  // namespace epvf::core

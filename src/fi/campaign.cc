@@ -1,0 +1,116 @@
+#include "fi/campaign.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
+namespace epvf::fi {
+
+std::uint64_t CampaignStats::Total() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  return total;
+}
+
+double CampaignStats::Rate(Outcome outcome) const {
+  const std::uint64_t total = Total();
+  return total == 0 ? 0.0
+                    : static_cast<double>(Count(outcome)) / static_cast<double>(total);
+}
+
+ProportionCI CampaignStats::CI(Outcome outcome) const {
+  return BinomialCI95(Count(outcome), Total());
+}
+
+std::uint64_t CampaignStats::CrashCount() const {
+  return Count(Outcome::kCrashSegFault) + Count(Outcome::kCrashAbort) +
+         Count(Outcome::kCrashMisaligned) + Count(Outcome::kCrashArithmetic);
+}
+
+double CampaignStats::CrashRate() const {
+  const std::uint64_t total = Total();
+  return total == 0 ? 0.0 : static_cast<double>(CrashCount()) / static_cast<double>(total);
+}
+
+ProportionCI CampaignStats::CrashCI() const { return BinomialCI95(CrashCount(), Total()); }
+
+double CampaignStats::CrashShare(Outcome crash_class) const {
+  const std::uint64_t crashes = CrashCount();
+  return crashes == 0
+             ? 0.0
+             : static_cast<double>(Count(crash_class)) / static_cast<double>(crashes);
+}
+
+CampaignStats RunCampaign(const ir::Module& module, const ddg::Graph& graph,
+                          const vm::RunResult& golden, const CampaignOptions& options) {
+  const std::vector<FaultSite> sites = EnumerateFaultSites(graph);
+  if (sites.empty()) throw std::runtime_error("RunCampaign: no injectable fault sites");
+
+  Injector injector(module, golden, options.injector);
+  Rng rng(options.seed);
+
+  // Sample uniformly over the *register-bit* population of the trace: site
+  // probability proportional to operand width, bit uniform within the
+  // operand. This makes campaign rates directly comparable to the bit-ratio
+  // metrics (PVF/ePVF/crash-rate estimates) they are plotted against.
+  std::vector<std::uint64_t> cumulative_bits(sites.size());
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    running += sites[i].width;
+    cumulative_bits[i] = running;
+  }
+
+  // Pre-draw every run from the seed so outcomes are identical regardless of
+  // how many workers execute them.
+  struct PlannedRun {
+    FaultSite site;
+    std::uint8_t bit;
+    mem::LayoutJitter jitter;
+  };
+  std::vector<PlannedRun> plan;
+  plan.reserve(static_cast<std::size_t>(options.num_runs));
+  for (int i = 0; i < options.num_runs; ++i) {
+    const std::uint64_t r = rng.Below(running);
+    const std::size_t index = static_cast<std::size_t>(
+        std::upper_bound(cumulative_bits.begin(), cumulative_bits.end(), r) -
+        cumulative_bits.begin());
+    const FaultSite& site = sites[index];
+    const auto bit = static_cast<std::uint8_t>(rng.Below(site.width));
+    plan.push_back(PlannedRun{site, bit, injector.DrawJitter(rng)});
+  }
+
+  CampaignStats stats;
+  stats.records.resize(plan.size());
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned workers = options.num_threads == 0
+                               ? hw
+                               : static_cast<unsigned>(std::max(1, options.num_threads));
+
+  auto run_range = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const PlannedRun& r = plan[i];
+      const auto result = injector.Inject(r.site, r.bit, r.jitter);
+      stats.records[i] = FaultRecord{r.site, r.bit, result.outcome};
+    }
+  };
+
+  if (workers <= 1 || plan.size() < 2) {
+    run_range(0, plan.size());
+  } else {
+    std::vector<std::thread> pool;
+    const std::size_t chunk = (plan.size() + workers - 1) / workers;
+    for (unsigned w = 0; w < workers; ++w) {
+      const std::size_t begin = std::min(plan.size(), w * chunk);
+      const std::size_t end = std::min(plan.size(), begin + chunk);
+      if (begin < end) pool.emplace_back(run_range, begin, end);
+    }
+    for (std::thread& t : pool) t.join();
+  }
+
+  for (const FaultRecord& record : stats.records) {
+    stats.counts[static_cast<int>(record.outcome)] += 1;
+  }
+  return stats;
+}
+
+}  // namespace epvf::fi

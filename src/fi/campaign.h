@@ -1,0 +1,65 @@
+// Fault-injection campaigns.
+//
+// Reproduces the paper's campaign methodology (section IV-A): thousands of
+// independent single-bit injections per benchmark, outcome counts with 95%
+// confidence intervals. Site sampling is LLFI-like — uniformly random over
+// the executed register-operand sites of the golden trace, then a uniformly
+// random bit — and each run may draw fresh layout jitter.
+//
+// Campaign records keep the injected site (including its DDG node), which is
+// what the recall study (section IV-B) and the protection case study
+// (section V) consume.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "fi/injector.h"
+#include "support/statistics.h"
+
+namespace epvf::fi {
+
+struct CampaignOptions {
+  int num_runs = 1000;
+  std::uint64_t seed = 42;
+  InjectorOptions injector;
+  /// Worker threads for the injections. Runs are pre-drawn from `seed`, so
+  /// results are bit-identical for every thread count (the paper's section
+  /// VI-A observes that fault injection parallelizes trivially). 0 = one
+  /// thread per hardware core.
+  int num_threads = 1;
+};
+
+struct FaultRecord {
+  FaultSite site;
+  std::uint8_t bit = 0;
+  Outcome outcome = Outcome::kBenign;
+};
+
+struct CampaignStats {
+  std::array<std::uint64_t, kNumOutcomes> counts{};
+  std::vector<FaultRecord> records;
+
+  [[nodiscard]] std::uint64_t Total() const;
+  [[nodiscard]] std::uint64_t Count(Outcome outcome) const {
+    return counts[static_cast<int>(outcome)];
+  }
+  [[nodiscard]] double Rate(Outcome outcome) const;
+  [[nodiscard]] ProportionCI CI(Outcome outcome) const;
+
+  /// All crash classes combined (the paper's headline crash rate).
+  [[nodiscard]] std::uint64_t CrashCount() const;
+  [[nodiscard]] double CrashRate() const;
+  [[nodiscard]] ProportionCI CrashCI() const;
+
+  /// Crash-class shares *within* crashes — the rows of Table II.
+  [[nodiscard]] double CrashShare(Outcome crash_class) const;
+};
+
+/// Runs a campaign against a golden run whose DDG is `graph`.
+[[nodiscard]] CampaignStats RunCampaign(const ir::Module& module, const ddg::Graph& graph,
+                                        const vm::RunResult& golden,
+                                        const CampaignOptions& options);
+
+}  // namespace epvf::fi

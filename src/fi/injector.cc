@@ -1,0 +1,64 @@
+#include "fi/injector.h"
+
+namespace epvf::fi {
+
+std::vector<FaultSite> EnumerateFaultSites(const ddg::Graph& graph) {
+  std::vector<FaultSite> sites;
+  for (std::uint32_t dyn = 0; dyn < graph.NumDynInstrs(); ++dyn) {
+    const ddg::DynInstr& d = graph.GetDyn(dyn);
+    const ir::Instruction& inst = graph.InstructionOf(d);
+    const auto nodes = graph.OperandNodes(dyn);
+    for (std::size_t slot = 0; slot < nodes.size(); ++slot) {
+      if (!inst.operands[slot].IsRegister()) continue;
+      if (inst.op == ir::Opcode::kPhi && slot != d.selected_operand) continue;
+      const ddg::NodeId node = nodes[slot];
+      if (node == ddg::kNoNode) continue;
+      FaultSite site;
+      site.dyn_index = dyn;
+      site.slot = static_cast<std::uint8_t>(slot);
+      site.width = graph.GetNode(node).width;
+      site.node = node;
+      if (site.width == 0) continue;
+      sites.push_back(site);
+    }
+  }
+  return sites;
+}
+
+Injector::Injector(const ir::Module& module, const vm::RunResult& golden,
+                   InjectorOptions options)
+    : module_(module), golden_(golden), options_(std::move(options)), jitter_rng_(0x5EED) {}
+
+mem::LayoutJitter Injector::DrawJitter(Rng& rng) const {
+  mem::LayoutJitter jitter;
+  if (options_.jitter_pages == 0) return jitter;
+  const auto draw = [&]() {
+    const std::uint64_t span = 2ull * options_.jitter_pages + 1;
+    return static_cast<std::int64_t>(rng.Below(span)) -
+           static_cast<std::int64_t>(options_.jitter_pages);
+  };
+  jitter.data_shift_pages = draw();
+  jitter.heap_shift_pages = draw();
+  jitter.stack_shift_pages = draw();
+  jitter.heap_slack_shift_pages = draw();  // allocator nondeterminism
+  return jitter;
+}
+
+Injector::InjectionResult Injector::Inject(const FaultSite& site, std::uint8_t bit,
+                                           std::optional<mem::LayoutJitter> jitter) {
+  vm::ExecOptions exec;
+  exec.layout = options_.layout;
+  exec.jitter = jitter.has_value() ? *jitter : DrawJitter(jitter_rng_);
+  exec.max_instructions = static_cast<std::uint64_t>(
+      static_cast<double>(golden_.instructions_executed) * options_.hang_factor);
+  if (exec.max_instructions < 10'000) exec.max_instructions = 10'000;
+  exec.fault = vm::FaultPlan{site.dyn_index, site.slot, bit, options_.burst_length};
+
+  InjectionResult result;
+  vm::Interpreter interp(module_, exec);
+  result.run = interp.Run(options_.entry, nullptr);
+  result.outcome = Classify(result.run, golden_);
+  return result;
+}
+
+}  // namespace epvf::fi

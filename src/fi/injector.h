@@ -1,0 +1,79 @@
+// The fault injector — LLFI's role in the paper (section IV-A).
+//
+// Runs a module once with a single-bit FaultPlan and classifies the outcome
+// against a golden run. Injection sites are sampled the way LLFI samples
+// them: a uniformly random executed dynamic instruction, a uniformly random
+// *register* source operand of it, a uniformly random bit of that operand —
+// so every fault is activated. Optional per-run layout jitter reproduces the
+// environment nondeterminism between profiling and injected runs that the
+// paper identifies as its main accuracy loss.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ddg/graph.h"
+#include "fi/outcome.h"
+#include "ir/module.h"
+#include "support/rng.h"
+#include "vm/fault_plan.h"
+#include "vm/interpreter.h"
+
+namespace epvf::fi {
+
+/// One injectable site: a register operand of a dynamic instruction.
+struct FaultSite {
+  std::uint32_t dyn_index = 0;
+  std::uint8_t slot = 0;
+  std::uint8_t width = 0;           ///< operand bit width (bounds the bit choice)
+  ddg::NodeId node = ddg::kNoNode;  ///< DDG node of the operand's producing def
+};
+
+/// The full list of injectable sites of a golden run, derived from its DDG.
+/// For phi instructions only the taken incoming slot is injectable (the other
+/// incoming registers are not read).
+[[nodiscard]] std::vector<FaultSite> EnumerateFaultSites(const ddg::Graph& graph);
+
+struct InjectorOptions {
+  std::string entry = "main";
+  mem::MemoryLayout layout;
+  /// Hang threshold: budget = golden instruction count * hang_factor.
+  double hang_factor = 10.0;
+  /// Max pages of per-run random segment-base jitter (0 = deterministic).
+  std::uint32_t jitter_pages = 0;
+  /// Adjacent bits flipped per injection (1 = single-bit, the paper's primary
+  /// fault model; >1 = the section II-E multi-bit extension).
+  std::uint8_t burst_length = 1;
+};
+
+class Injector {
+ public:
+  /// `golden` must be the completed fault-free run of `module` under the same
+  /// layout and entry point.
+  Injector(const ir::Module& module, const vm::RunResult& golden, InjectorOptions options);
+
+  struct InjectionResult {
+    Outcome outcome = Outcome::kBenign;
+    vm::RunResult run;
+  };
+
+  /// Executes one injection at (site, bit). `jitter` overrides the per-run
+  /// layout jitter (pass std::nullopt to draw from `rng` per the options).
+  [[nodiscard]] InjectionResult Inject(const FaultSite& site, std::uint8_t bit,
+                                       std::optional<mem::LayoutJitter> jitter = std::nullopt);
+
+  /// Draws a uniformly random jitter allowed by the options.
+  [[nodiscard]] mem::LayoutJitter DrawJitter(Rng& rng) const;
+
+  [[nodiscard]] const vm::RunResult& golden() const { return golden_; }
+  [[nodiscard]] const InjectorOptions& options() const { return options_; }
+
+ private:
+  const ir::Module& module_;
+  const vm::RunResult& golden_;
+  InjectorOptions options_;
+  Rng jitter_rng_;
+};
+
+}  // namespace epvf::fi

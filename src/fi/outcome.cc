@@ -1,0 +1,32 @@
+#include "fi/outcome.h"
+
+namespace epvf::fi {
+
+std::string_view OutcomeName(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kBenign: return "benign";
+    case Outcome::kSdc: return "sdc";
+    case Outcome::kHang: return "hang";
+    case Outcome::kCrashSegFault: return "crash-segfault";
+    case Outcome::kCrashAbort: return "crash-abort";
+    case Outcome::kCrashMisaligned: return "crash-misaligned";
+    case Outcome::kCrashArithmetic: return "crash-arithmetic";
+    case Outcome::kDetected: return "detected";
+  }
+  return "<bad>";
+}
+
+Outcome Classify(const vm::RunResult& faulty, const vm::RunResult& golden) {
+  switch (faulty.trap) {
+    case vm::TrapKind::kSegFault: return Outcome::kCrashSegFault;
+    case vm::TrapKind::kAbort: return Outcome::kCrashAbort;
+    case vm::TrapKind::kMisaligned: return Outcome::kCrashMisaligned;
+    case vm::TrapKind::kArithmetic: return Outcome::kCrashArithmetic;
+    case vm::TrapKind::kDetected: return Outcome::kDetected;
+    case vm::TrapKind::kInstructionLimit: return Outcome::kHang;
+    case vm::TrapKind::kNone: break;
+  }
+  return faulty.output == golden.output ? Outcome::kBenign : Outcome::kSdc;
+}
+
+}  // namespace epvf::fi

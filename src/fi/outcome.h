@@ -1,0 +1,41 @@
+// Fault-injection outcome taxonomy.
+//
+// The paper classifies every injection into crash / SDC / hang / benign
+// (section I), with crashes subdivided by exception type (Table I). We add
+// "detected" for runs where a section-V duplication check fires before the
+// program completes.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "vm/interpreter.h"
+
+namespace epvf::fi {
+
+enum class Outcome : std::uint8_t {
+  kBenign,
+  kSdc,
+  kHang,
+  kCrashSegFault,    ///< Table I "SF"
+  kCrashAbort,       ///< Table I "A"
+  kCrashMisaligned,  ///< Table I "MMA"
+  kCrashArithmetic,  ///< Table I "AE"
+  kDetected,
+};
+
+inline constexpr int kNumOutcomes = static_cast<int>(Outcome::kDetected) + 1;
+
+[[nodiscard]] std::string_view OutcomeName(Outcome outcome);
+
+[[nodiscard]] constexpr bool IsCrash(Outcome outcome) {
+  return outcome == Outcome::kCrashSegFault || outcome == Outcome::kCrashAbort ||
+         outcome == Outcome::kCrashMisaligned || outcome == Outcome::kCrashArithmetic;
+}
+
+/// Classifies a finished fault-injection run against the golden run: traps
+/// map to their crash class, exceeding the instruction budget is a hang, and
+/// completed runs are SDC or benign by exact output-stream comparison.
+[[nodiscard]] Outcome Classify(const vm::RunResult& faulty, const vm::RunResult& golden);
+
+}  // namespace epvf::fi

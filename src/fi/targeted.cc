@@ -1,0 +1,91 @@
+#include "fi/targeted.h"
+
+#include <unordered_map>
+
+#include "support/bits.h"
+
+namespace epvf::fi {
+
+RecallStats MeasureRecall(const CampaignStats& campaign, const crash::CrashBits& crash_bits) {
+  RecallStats stats;
+  for (const FaultRecord& record : campaign.records) {
+    if (!IsCrash(record.outcome)) continue;
+    ++stats.crash_runs;
+    if (crash_bits.IsCrashBit(record.site.node, record.bit)) ++stats.predicted;
+  }
+  return stats;
+}
+
+PrecisionStats MeasurePrecision(Injector& injector, const ddg::Graph& graph,
+                                const crash::CrashBits& crash_bits,
+                                const PrecisionOptions& options) {
+  PrecisionStats stats;
+
+  // Predicted-crash-bit population: every (node, bit) in the crash-bit list.
+  // Each is injected at the node's use *on the address slice* — the use whose
+  // consumer propagated the range constraint (the paper's targeted experiment
+  // specifies "the dynamic instruction and the register to inject into" from
+  // the CRASHING_BIT_LIST context). Falling back to the first use otherwise.
+  const std::vector<FaultSite> sites = EnumerateFaultSites(graph);
+  std::unordered_map<ddg::NodeId, const FaultSite*> first_use;
+  first_use.reserve(sites.size());
+  for (const FaultSite& site : sites) {
+    const auto [it, inserted] = first_use.try_emplace(site.node, &site);
+    if (inserted) continue;
+    // Prefer the earliest use whose consumer is itself range-constrained
+    // (i.e. lies on an address backward slice) or is a memory access.
+    auto on_slice = [&](const FaultSite& s) {
+      const ddg::DynInstr& d = graph.GetDyn(s.dyn_index);
+      const ir::Instruction& inst = graph.InstructionOf(d);
+      if (inst.AddressOperandSlot() == static_cast<int>(s.slot)) return true;
+      return d.result_node != ddg::kNoNode &&
+             !crash_bits.allowed[d.result_node].IsFull();
+    };
+    if (!on_slice(*it->second) && on_slice(site)) it->second = &site;
+  }
+
+  struct Entry {
+    const FaultSite* site;
+    std::uint64_t mask;
+  };
+  std::vector<Entry> entries;
+  std::uint64_t total_bits = 0;
+  for (const auto& [node, site] : first_use) {
+    const std::uint64_t mask = crash_bits.crash_mask[node] & LowMask(site->width);
+    if (mask == 0) continue;
+    entries.push_back(Entry{site, mask});
+    total_bits += PopCount(mask);
+  }
+  if (entries.empty() || total_bits == 0) return stats;
+
+  Rng rng(options.seed);
+  for (int i = 0; i < options.num_samples; ++i) {
+    // Pick the r-th predicted crash bit uniformly over the whole population.
+    std::uint64_t r = rng.Below(total_bits);
+    const Entry* chosen = nullptr;
+    for (const Entry& entry : entries) {
+      const std::uint64_t n = PopCount(entry.mask);
+      if (r < n) {
+        chosen = &entry;
+        break;
+      }
+      r -= n;
+    }
+    if (chosen == nullptr) chosen = &entries.back();
+    // The r-th set bit of the chosen mask.
+    std::uint64_t mask = chosen->mask;
+    std::uint8_t bit = 0;
+    for (std::uint64_t seen = 0;; ++bit) {
+      if ((mask >> bit) & 1u) {
+        if (seen == r) break;
+        ++seen;
+      }
+    }
+    const auto result = injector.Inject(*chosen->site, bit);
+    ++stats.injections;
+    if (IsCrash(result.outcome)) ++stats.crashed;
+  }
+  return stats;
+}
+
+}  // namespace epvf::fi

@@ -1,0 +1,52 @@
+// Recall and precision of the crash model (paper section IV-B).
+//
+// Recall: of the campaign injections that actually crashed, how many did the
+// model list in its crash-bit set (checked at the injected (node, bit))?
+// Precision: sample bits the model predicts as crash-causing, inject each at
+// the first dynamic use of the predicted node, and measure how many actually
+// crash.
+#pragma once
+
+#include <cstdint>
+
+#include "crash/propagation.h"
+#include "fi/campaign.h"
+
+namespace epvf::fi {
+
+struct RecallStats {
+  std::uint64_t crash_runs = 0;      ///< injections that crashed
+  std::uint64_t predicted = 0;       ///< of those, bits the model had listed
+  [[nodiscard]] double Recall() const {
+    return crash_runs == 0 ? 0.0
+                           : static_cast<double>(predicted) / static_cast<double>(crash_runs);
+  }
+  [[nodiscard]] ProportionCI CI() const { return BinomialCI95(predicted, crash_runs); }
+};
+
+[[nodiscard]] RecallStats MeasureRecall(const CampaignStats& campaign,
+                                        const crash::CrashBits& crash_bits);
+
+struct PrecisionStats {
+  std::uint64_t injections = 0;  ///< targeted injections at predicted crash bits
+  std::uint64_t crashed = 0;     ///< of those, runs that actually crashed
+  [[nodiscard]] double Precision() const {
+    return injections == 0 ? 0.0
+                           : static_cast<double>(crashed) / static_cast<double>(injections);
+  }
+  [[nodiscard]] ProportionCI CI() const { return BinomialCI95(crashed, injections); }
+};
+
+struct PrecisionOptions {
+  int num_samples = 400;
+  std::uint64_t seed = 7;
+};
+
+/// Targeted precision experiment: draws (node, bit) pairs uniformly from the
+/// model's crash-bit set, injects each at the node's first dynamic use, and
+/// counts actual crashes. `injector` decides layout jitter per its options.
+[[nodiscard]] PrecisionStats MeasurePrecision(Injector& injector, const ddg::Graph& graph,
+                                              const crash::CrashBits& crash_bits,
+                                              const PrecisionOptions& options);
+
+}  // namespace epvf::fi

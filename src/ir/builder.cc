@@ -1,0 +1,402 @@
+#include "ir/builder.h"
+
+#include <stdexcept>
+
+namespace epvf::ir {
+
+std::uint32_t IRBuilder::DeclareGlobal(std::string name, Type element_type, std::uint64_t count,
+                                       std::vector<std::uint8_t> init) {
+  if (!init.empty() && init.size() != element_type.StoreSize() * count) {
+    Fail("global initializer size mismatch for @" + name);
+  }
+  module_.globals.push_back(GlobalVar{std::move(name), element_type, count, std::move(init)});
+  return static_cast<std::uint32_t>(module_.globals.size() - 1);
+}
+
+std::uint32_t IRBuilder::CreateFunction(std::string name, Type return_type,
+                                        std::span<const Type> param_types,
+                                        std::span<const std::string> param_names) {
+  Function fn;
+  fn.name = std::move(name);
+  fn.return_type = return_type;
+  fn.num_params = static_cast<std::uint32_t>(param_types.size());
+  for (std::size_t i = 0; i < param_types.size(); ++i) {
+    std::string pname = i < param_names.size() ? param_names[i] : "arg" + std::to_string(i);
+    (void)fn.AddRegister(param_types[i], std::move(pname));
+  }
+  module_.functions.push_back(std::move(fn));
+  func_ = static_cast<std::uint32_t>(module_.functions.size() - 1);
+  block_ = CurrentFunction().AddBlock("entry");
+  return func_;
+}
+
+void IRBuilder::SetFunction(std::uint32_t function_index) {
+  if (function_index >= module_.functions.size()) Fail("SetFunction: bad index");
+  func_ = function_index;
+  block_ = module_.functions[func_].blocks.empty() ? kInvalidIndex : 0;
+}
+
+std::uint32_t IRBuilder::CreateBlock(std::string name) {
+  // Suffix with the block index so labels are unique — the textual format
+  // identifies branch targets by label.
+  name += "." + std::to_string(CurrentFunction().blocks.size());
+  return CurrentFunction().AddBlock(std::move(name));
+}
+
+void IRBuilder::SetInsertPoint(std::uint32_t block) {
+  if (block >= CurrentFunction().blocks.size()) Fail("SetInsertPoint: bad block");
+  block_ = block;
+}
+
+ValueRef IRBuilder::Param(std::uint32_t i) const {
+  const Function& fn = module_.functions[func_];
+  if (i >= fn.num_params) Fail("Param: index out of range");
+  return ValueRef::Reg(i);
+}
+
+ValueRef IRBuilder::ConstInt(Type type, std::int64_t v) {
+  if (!type.IsIntOrPointer()) Fail("ConstInt: non-integer type");
+  return module_.InternConstant(MakeIntConstant(type, v));
+}
+
+Instruction& IRBuilder::Append(Instruction inst) {
+  if (func_ == kInvalidIndex || block_ == kInvalidIndex) Fail("no insertion point");
+  BasicBlock& bb = CurrentFunction().blocks[block_];
+  if (bb.HasTerminator()) Fail("appending after terminator in block " + bb.name);
+  bb.instructions.push_back(std::move(inst));
+  return bb.instructions.back();
+}
+
+ValueRef IRBuilder::Binary(Opcode op, ValueRef a, ValueRef b, std::string name) {
+  CheckSameType(a, b, OpcodeName(op).data());
+  const Type type = TypeOf(a);
+  const bool is_fp = op >= Opcode::kFAdd && op <= Opcode::kFDiv;
+  if (is_fp && !type.IsFloat()) Fail("fp opcode on non-float operands");
+  if (!is_fp && !type.IsInt()) Fail("int opcode on non-int operands");
+  Instruction inst;
+  inst.op = op;
+  inst.type = type;
+  inst.operands = {a, b};
+  inst.result = CurrentFunction().AddRegister(type, std::move(name));
+  return ValueRef::Reg(Append(std::move(inst)).result);
+}
+
+#define EPVF_BINARY(Name, Op)                                              \
+  ValueRef IRBuilder::Name(ValueRef a, ValueRef b, std::string name) {     \
+    return Binary(Opcode::Op, a, b, std::move(name));                      \
+  }
+EPVF_BINARY(Add, kAdd)
+EPVF_BINARY(Sub, kSub)
+EPVF_BINARY(Mul, kMul)
+EPVF_BINARY(SDiv, kSDiv)
+EPVF_BINARY(UDiv, kUDiv)
+EPVF_BINARY(SRem, kSRem)
+EPVF_BINARY(URem, kURem)
+EPVF_BINARY(FAdd, kFAdd)
+EPVF_BINARY(FSub, kFSub)
+EPVF_BINARY(FMul, kFMul)
+EPVF_BINARY(FDiv, kFDiv)
+EPVF_BINARY(And, kAnd)
+EPVF_BINARY(Or, kOr)
+EPVF_BINARY(Xor, kXor)
+EPVF_BINARY(Shl, kShl)
+EPVF_BINARY(LShr, kLShr)
+EPVF_BINARY(AShr, kAShr)
+#undef EPVF_BINARY
+
+ValueRef IRBuilder::ICmp(ICmpPred pred, ValueRef a, ValueRef b, std::string name) {
+  CheckSameType(a, b, "icmp");
+  if (!TypeOf(a).IsIntOrPointer()) Fail("icmp on non-integer operands");
+  Instruction inst;
+  inst.op = Opcode::kICmp;
+  inst.icmp_pred = pred;
+  inst.type = Type::I1();
+  inst.operands = {a, b};
+  inst.result = CurrentFunction().AddRegister(Type::I1(), std::move(name));
+  return ValueRef::Reg(Append(std::move(inst)).result);
+}
+
+ValueRef IRBuilder::FCmp(FCmpPred pred, ValueRef a, ValueRef b, std::string name) {
+  CheckSameType(a, b, "fcmp");
+  CheckFloat(a, "fcmp");
+  Instruction inst;
+  inst.op = Opcode::kFCmp;
+  inst.fcmp_pred = pred;
+  inst.type = Type::I1();
+  inst.operands = {a, b};
+  inst.result = CurrentFunction().AddRegister(Type::I1(), std::move(name));
+  return ValueRef::Reg(Append(std::move(inst)).result);
+}
+
+ValueRef IRBuilder::Select(ValueRef cond, ValueRef if_true, ValueRef if_false, std::string name) {
+  if (TypeOf(cond) != Type::I1()) Fail("select condition must be i1");
+  CheckSameType(if_true, if_false, "select");
+  const Type type = TypeOf(if_true);
+  Instruction inst;
+  inst.op = Opcode::kSelect;
+  inst.type = type;
+  inst.operands = {cond, if_true, if_false};
+  inst.result = CurrentFunction().AddRegister(type, std::move(name));
+  return ValueRef::Reg(Append(std::move(inst)).result);
+}
+
+ValueRef IRBuilder::Phi(Type type, std::span<const std::pair<ValueRef, std::uint32_t>> incoming,
+                        std::string name) {
+  if (incoming.empty()) Fail("phi with no incoming values");
+  Instruction inst;
+  inst.op = Opcode::kPhi;
+  inst.type = type;
+  for (const auto& [value, block] : incoming) {
+    if (TypeOf(value) != type) Fail("phi incoming value type mismatch");
+    inst.operands.push_back(value);
+    inst.phi_blocks.push_back(block);
+  }
+  inst.result = CurrentFunction().AddRegister(type, std::move(name));
+  return ValueRef::Reg(Append(std::move(inst)).result);
+}
+
+void IRBuilder::AddPhiIncoming(ValueRef phi, ValueRef value, std::uint32_t from_block) {
+  if (!phi.IsRegister()) Fail("AddPhiIncoming: phi handle must be a register");
+  Function& fn = CurrentFunction();
+  for (auto& bb : fn.blocks) {
+    for (auto& inst : bb.instructions) {
+      if (inst.op != Opcode::kPhi || inst.result != phi.index) continue;
+      if (TypeOf(value) != inst.type) Fail("AddPhiIncoming: type mismatch");
+      inst.operands.push_back(value);
+      inst.phi_blocks.push_back(from_block);
+      return;
+    }
+  }
+  Fail("AddPhiIncoming: no phi defines the given register");
+}
+
+ValueRef IRBuilder::Cast(Opcode op, ValueRef v, Type to, std::string name) {
+  Instruction inst;
+  inst.op = op;
+  inst.type = to;
+  inst.operands = {v};
+  inst.result = CurrentFunction().AddRegister(to, std::move(name));
+  return ValueRef::Reg(Append(std::move(inst)).result);
+}
+
+ValueRef IRBuilder::Trunc(ValueRef v, Type to, std::string name) {
+  CheckInt(v, "trunc");
+  if (!to.IsInt() || to.bits >= TypeOf(v).bits) Fail("trunc must narrow an integer");
+  return Cast(Opcode::kTrunc, v, to, std::move(name));
+}
+
+ValueRef IRBuilder::ZExt(ValueRef v, Type to, std::string name) {
+  CheckInt(v, "zext");
+  if (!to.IsInt() || to.bits <= TypeOf(v).bits) Fail("zext must widen an integer");
+  return Cast(Opcode::kZExt, v, to, std::move(name));
+}
+
+ValueRef IRBuilder::SExt(ValueRef v, Type to, std::string name) {
+  CheckInt(v, "sext");
+  if (!to.IsInt() || to.bits <= TypeOf(v).bits) Fail("sext must widen an integer");
+  return Cast(Opcode::kSExt, v, to, std::move(name));
+}
+
+ValueRef IRBuilder::BitCast(ValueRef v, Type to, std::string name) {
+  if (TypeOf(v).StoreSize() != to.StoreSize() &&
+      !(TypeOf(v).IsPointer() && to.IsPointer())) {
+    Fail("bitcast between different-size types");
+  }
+  return Cast(Opcode::kBitCast, v, to, std::move(name));
+}
+
+ValueRef IRBuilder::SIToFP(ValueRef v, Type to, std::string name) {
+  CheckInt(v, "sitofp");
+  if (!to.IsFloat()) Fail("sitofp target must be float");
+  return Cast(Opcode::kSIToFP, v, to, std::move(name));
+}
+
+ValueRef IRBuilder::UIToFP(ValueRef v, Type to, std::string name) {
+  CheckInt(v, "uitofp");
+  if (!to.IsFloat()) Fail("uitofp target must be float");
+  return Cast(Opcode::kUIToFP, v, to, std::move(name));
+}
+
+ValueRef IRBuilder::FPToSI(ValueRef v, Type to, std::string name) {
+  CheckFloat(v, "fptosi");
+  if (!to.IsInt()) Fail("fptosi target must be integer");
+  return Cast(Opcode::kFPToSI, v, to, std::move(name));
+}
+
+ValueRef IRBuilder::FPTrunc(ValueRef v, std::string name) {
+  if (TypeOf(v) != Type::F64()) Fail("fptrunc expects f64");
+  return Cast(Opcode::kFPTrunc, v, Type::F32(), std::move(name));
+}
+
+ValueRef IRBuilder::FPExt(ValueRef v, std::string name) {
+  if (TypeOf(v) != Type::F32()) Fail("fpext expects f32");
+  return Cast(Opcode::kFPExt, v, Type::F64(), std::move(name));
+}
+
+ValueRef IRBuilder::PtrToInt(ValueRef v, std::string name) {
+  if (!TypeOf(v).IsPointer()) Fail("ptrtoint expects a pointer");
+  return Cast(Opcode::kPtrToInt, v, Type::I64(), std::move(name));
+}
+
+ValueRef IRBuilder::IntToPtr(ValueRef v, Type to, std::string name) {
+  CheckInt(v, "inttoptr");
+  if (!to.IsPointer()) Fail("inttoptr target must be a pointer");
+  return Cast(Opcode::kIntToPtr, v, to, std::move(name));
+}
+
+ValueRef IRBuilder::Alloca(Type type, std::uint64_t count, std::string name) {
+  Instruction inst;
+  inst.op = Opcode::kAlloca;
+  inst.type = type.Ptr();
+  inst.alloca_bytes = type.StoreSize() * count;
+  inst.result = CurrentFunction().AddRegister(inst.type, std::move(name));
+  return ValueRef::Reg(Append(std::move(inst)).result);
+}
+
+ValueRef IRBuilder::Load(ValueRef ptr, std::string name) {
+  const Type ptr_type = TypeOf(ptr);
+  if (!ptr_type.IsPointer()) Fail("load from non-pointer");
+  const Type loaded = ptr_type.Pointee();
+  Instruction inst;
+  inst.op = Opcode::kLoad;
+  inst.type = loaded;
+  inst.align = loaded.NaturalAlign();
+  inst.operands = {ptr};
+  inst.result = CurrentFunction().AddRegister(loaded, std::move(name));
+  return ValueRef::Reg(Append(std::move(inst)).result);
+}
+
+void IRBuilder::Store(ValueRef value, ValueRef ptr) {
+  const Type ptr_type = TypeOf(ptr);
+  if (!ptr_type.IsPointer()) Fail("store to non-pointer");
+  if (TypeOf(value) != ptr_type.Pointee()) Fail("store value/pointee type mismatch");
+  Instruction inst;
+  inst.op = Opcode::kStore;
+  inst.type = Type::Void();
+  inst.align = ptr_type.Pointee().NaturalAlign();
+  inst.operands = {value, ptr};
+  Append(std::move(inst));
+}
+
+ValueRef IRBuilder::Gep(ValueRef ptr, ValueRef index, std::string name) {
+  const Type ptr_type = TypeOf(ptr);
+  if (!ptr_type.IsPointer()) Fail("gep base must be a pointer");
+  if (!TypeOf(index).IsInt()) Fail("gep index must be an integer");
+  Instruction inst;
+  inst.op = Opcode::kGep;
+  inst.type = ptr_type;
+  inst.gep_elem_bytes = ptr_type.Pointee().StoreSize();
+  inst.operands = {ptr, index};
+  inst.result = CurrentFunction().AddRegister(ptr_type, std::move(name));
+  return ValueRef::Reg(Append(std::move(inst)).result);
+}
+
+void IRBuilder::Br(std::uint32_t target) {
+  Instruction inst;
+  inst.op = Opcode::kBr;
+  inst.bb_true = target;
+  Append(std::move(inst));
+}
+
+void IRBuilder::CondBr(ValueRef cond, std::uint32_t if_true, std::uint32_t if_false) {
+  if (TypeOf(cond) != Type::I1()) Fail("condbr condition must be i1");
+  Instruction inst;
+  inst.op = Opcode::kCondBr;
+  inst.operands = {cond};
+  inst.bb_true = if_true;
+  inst.bb_false = if_false;
+  Append(std::move(inst));
+}
+
+void IRBuilder::RetVoid() {
+  if (!CurrentFunction().return_type.IsVoid()) Fail("ret void in non-void function");
+  Instruction inst;
+  inst.op = Opcode::kRet;
+  Append(std::move(inst));
+}
+
+void IRBuilder::Ret(ValueRef v) {
+  if (TypeOf(v) != CurrentFunction().return_type) Fail("ret type mismatch");
+  Instruction inst;
+  inst.op = Opcode::kRet;
+  inst.operands = {v};
+  Append(std::move(inst));
+}
+
+ValueRef IRBuilder::Call(std::uint32_t function_index, std::span<const ValueRef> args,
+                         std::string name) {
+  if (function_index >= module_.functions.size()) Fail("call: bad function index");
+  const Function& callee = module_.functions[function_index];
+  if (args.size() != callee.num_params) Fail("call: argument count mismatch");
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (TypeOf(args[i]) != callee.registers[i].type) Fail("call: argument type mismatch");
+  }
+  Instruction inst;
+  inst.op = Opcode::kCall;
+  inst.type = callee.return_type;
+  inst.callee = function_index;
+  inst.operands.assign(args.begin(), args.end());
+  if (!inst.type.IsVoid()) {
+    inst.result = CurrentFunction().AddRegister(inst.type, std::move(name));
+  }
+  const Instruction& placed = Append(std::move(inst));
+  return placed.DefinesValue() ? ValueRef::Reg(placed.result) : ValueRef::None();
+}
+
+ValueRef IRBuilder::CallIntrinsic(Intrinsic which, std::span<const ValueRef> args,
+                                  std::string name) {
+  if (args.size() != IntrinsicArity(which)) Fail("intrinsic argument count mismatch");
+  Instruction inst;
+  inst.op = Opcode::kCall;
+  inst.is_intrinsic = true;
+  inst.intrinsic = which;
+  inst.type = IntrinsicResultType(which);
+  inst.operands.assign(args.begin(), args.end());
+  if (!inst.type.IsVoid()) {
+    inst.result = CurrentFunction().AddRegister(inst.type, std::move(name));
+  }
+  const Instruction& placed = Append(std::move(inst));
+  return placed.DefinesValue() ? ValueRef::Reg(placed.result) : ValueRef::None();
+}
+
+void IRBuilder::Output(ValueRef v) {
+  Type type = TypeOf(v);
+  if (type.IsFloat()) {
+    if (type == Type::F32()) v = FPExt(v);
+    (void)CallIntrinsic(Intrinsic::kOutputF64, {v});
+    return;
+  }
+  if (type.IsPointer()) v = PtrToInt(v);
+  type = TypeOf(v);
+  if (type.bits < 64) v = type.bits == 1 ? ZExt(v, Type::I64()) : SExt(v, Type::I64());
+  (void)CallIntrinsic(Intrinsic::kOutputI64, {v});
+}
+
+ValueRef IRBuilder::MallocArray(Type pointee, ValueRef count, std::string name) {
+  if (TypeOf(count) != Type::I64()) Fail("MallocArray count must be i64");
+  ValueRef bytes = Mul(count, I64(pointee.StoreSize()));
+  ValueRef raw = CallIntrinsic(Intrinsic::kMalloc, {bytes});
+  return BitCast(raw, pointee.Ptr(), std::move(name));
+}
+
+Type IRBuilder::TypeOf(ValueRef v) const {
+  return module_.TypeOf(module_.functions[func_], v);
+}
+
+void IRBuilder::CheckInt(ValueRef v, const char* what) const {
+  if (!TypeOf(v).IsInt()) Fail(std::string(what) + ": integer operand required");
+}
+
+void IRBuilder::CheckFloat(ValueRef v, const char* what) const {
+  if (!TypeOf(v).IsFloat()) Fail(std::string(what) + ": float operand required");
+}
+
+void IRBuilder::CheckSameType(ValueRef a, ValueRef b, const char* what) const {
+  if (TypeOf(a) != TypeOf(b)) Fail(std::string(what) + ": operand type mismatch");
+}
+
+void IRBuilder::Fail(const std::string& message) const {
+  throw std::logic_error("IRBuilder: " + message);
+}
+
+}  // namespace epvf::ir

@@ -1,0 +1,167 @@
+// IRBuilder: the programmatic frontend for authoring modules.
+//
+// The ten evaluation kernels (paper Table IV) are authored in C++ against
+// this builder instead of being compiled from C by LLVM — the substitution
+// documented in DESIGN.md. The builder enforces the same structural rules an
+// LLVM frontend would (operand typing, terminator placement) and throws
+// std::logic_error on misuse, since a malformed module is a programming bug
+// in the kernel author, not a runtime condition.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace epvf::ir {
+
+class IRBuilder {
+ public:
+  explicit IRBuilder(Module& module) : module_(module) {}
+
+  // --- module-level construction -------------------------------------------
+  std::uint32_t DeclareGlobal(std::string name, Type element_type, std::uint64_t count,
+                              std::vector<std::uint8_t> init = {});
+
+  /// Creates a function, makes it current, and creates its entry block.
+  std::uint32_t CreateFunction(std::string name, Type return_type,
+                               std::span<const Type> param_types,
+                               std::span<const std::string> param_names = {});
+  std::uint32_t CreateFunction(std::string name, Type return_type,
+                               std::initializer_list<Type> param_types) {
+    const std::vector<Type> params(param_types);
+    return CreateFunction(std::move(name), return_type, params);
+  }
+
+  void SetFunction(std::uint32_t function_index);
+  [[nodiscard]] std::uint32_t CurrentFunctionIndex() const { return func_; }
+  [[nodiscard]] Function& CurrentFunction() { return module_.functions[func_]; }
+
+  std::uint32_t CreateBlock(std::string name);
+  void SetInsertPoint(std::uint32_t block);
+  [[nodiscard]] std::uint32_t CurrentBlock() const { return block_; }
+
+  [[nodiscard]] ValueRef Param(std::uint32_t i) const;
+  [[nodiscard]] ValueRef Global(std::uint32_t global_index) const {
+    return ValueRef::Global(global_index);
+  }
+
+  // --- constants ------------------------------------------------------------
+  [[nodiscard]] ValueRef ConstInt(Type type, std::int64_t v);
+  [[nodiscard]] ValueRef I1(bool v) { return ConstInt(Type::I1(), v ? 1 : 0); }
+  [[nodiscard]] ValueRef I32(std::int32_t v) { return ConstInt(Type::I32(), v); }
+  [[nodiscard]] ValueRef I64(std::int64_t v) { return ConstInt(Type::I64(), v); }
+  [[nodiscard]] ValueRef F32(float v) { return module_.InternConstant(MakeF32Constant(v)); }
+  [[nodiscard]] ValueRef F64(double v) { return module_.InternConstant(MakeF64Constant(v)); }
+  [[nodiscard]] ValueRef NullPtr(Type pointee) {
+    return module_.InternConstant(Constant{pointee.Ptr(), 0});
+  }
+
+  // --- arithmetic / bitwise ---------------------------------------------------
+  ValueRef Add(ValueRef a, ValueRef b, std::string name = {});
+  ValueRef Sub(ValueRef a, ValueRef b, std::string name = {});
+  ValueRef Mul(ValueRef a, ValueRef b, std::string name = {});
+  ValueRef SDiv(ValueRef a, ValueRef b, std::string name = {});
+  ValueRef UDiv(ValueRef a, ValueRef b, std::string name = {});
+  ValueRef SRem(ValueRef a, ValueRef b, std::string name = {});
+  ValueRef URem(ValueRef a, ValueRef b, std::string name = {});
+  ValueRef FAdd(ValueRef a, ValueRef b, std::string name = {});
+  ValueRef FSub(ValueRef a, ValueRef b, std::string name = {});
+  ValueRef FMul(ValueRef a, ValueRef b, std::string name = {});
+  ValueRef FDiv(ValueRef a, ValueRef b, std::string name = {});
+  ValueRef And(ValueRef a, ValueRef b, std::string name = {});
+  ValueRef Or(ValueRef a, ValueRef b, std::string name = {});
+  ValueRef Xor(ValueRef a, ValueRef b, std::string name = {});
+  ValueRef Shl(ValueRef a, ValueRef b, std::string name = {});
+  ValueRef LShr(ValueRef a, ValueRef b, std::string name = {});
+  ValueRef AShr(ValueRef a, ValueRef b, std::string name = {});
+
+  // --- comparisons / selection -----------------------------------------------
+  ValueRef ICmp(ICmpPred pred, ValueRef a, ValueRef b, std::string name = {});
+  ValueRef FCmp(FCmpPred pred, ValueRef a, ValueRef b, std::string name = {});
+  ValueRef Select(ValueRef cond, ValueRef if_true, ValueRef if_false, std::string name = {});
+
+  /// Creates a phi with the given incoming (value, block) pairs.
+  ValueRef Phi(Type type, std::span<const std::pair<ValueRef, std::uint32_t>> incoming,
+               std::string name = {});
+  ValueRef Phi(Type type, std::initializer_list<std::pair<ValueRef, std::uint32_t>> incoming,
+               std::string name = {}) {
+    const std::vector<std::pair<ValueRef, std::uint32_t>> pairs(incoming);
+    return Phi(type, std::span<const std::pair<ValueRef, std::uint32_t>>(pairs),
+               std::move(name));
+  }
+
+  /// Appends an incoming (value, block) pair to an existing phi — needed for
+  /// loop headers, whose back-edge value does not exist when the phi is
+  /// created. `phi` must be the result of a Phi() in the current function.
+  void AddPhiIncoming(ValueRef phi, ValueRef value, std::uint32_t from_block);
+
+  // --- casts -------------------------------------------------------------------
+  ValueRef Trunc(ValueRef v, Type to, std::string name = {});
+  ValueRef ZExt(ValueRef v, Type to, std::string name = {});
+  ValueRef SExt(ValueRef v, Type to, std::string name = {});
+  ValueRef BitCast(ValueRef v, Type to, std::string name = {});
+  ValueRef SIToFP(ValueRef v, Type to, std::string name = {});
+  ValueRef UIToFP(ValueRef v, Type to, std::string name = {});
+  ValueRef FPToSI(ValueRef v, Type to, std::string name = {});
+  ValueRef FPTrunc(ValueRef v, std::string name = {});
+  ValueRef FPExt(ValueRef v, std::string name = {});
+  ValueRef PtrToInt(ValueRef v, std::string name = {});
+  ValueRef IntToPtr(ValueRef v, Type to, std::string name = {});
+
+  // --- memory --------------------------------------------------------------------
+  /// Stack slot for `count` elements of `type`; result has type `type*`.
+  ValueRef Alloca(Type type, std::uint64_t count = 1, std::string name = {});
+  ValueRef Load(ValueRef ptr, std::string name = {});
+  void Store(ValueRef value, ValueRef ptr);
+  /// address = ptr + sizeof(pointee) * index, result typed like `ptr`.
+  ValueRef Gep(ValueRef ptr, ValueRef index, std::string name = {});
+
+  // --- control -----------------------------------------------------------------
+  void Br(std::uint32_t target);
+  void CondBr(ValueRef cond, std::uint32_t if_true, std::uint32_t if_false);
+  void RetVoid();
+  void Ret(ValueRef v);
+
+  // --- calls ---------------------------------------------------------------------
+  ValueRef Call(std::uint32_t function_index, std::span<const ValueRef> args,
+                std::string name = {});
+  ValueRef Call(std::uint32_t function_index, std::initializer_list<ValueRef> args,
+                std::string name = {}) {
+    const std::vector<ValueRef> a(args);
+    return Call(function_index, std::span<const ValueRef>(a), std::move(name));
+  }
+  ValueRef CallIntrinsic(Intrinsic which, std::span<const ValueRef> args, std::string name = {});
+  ValueRef CallIntrinsic(Intrinsic which, std::initializer_list<ValueRef> args,
+                         std::string name = {}) {
+    const std::vector<ValueRef> a(args);
+    return CallIntrinsic(which, std::span<const ValueRef>(a), std::move(name));
+  }
+
+  /// Emits output_i64 or output_f64 depending on the operand type; integers
+  /// narrower than 64 bits are sign-extended first.
+  void Output(ValueRef v);
+  /// malloc(`bytes`) bit-cast to `pointee.Ptr()`.
+  ValueRef MallocArray(Type pointee, ValueRef count, std::string name = {});
+
+  [[nodiscard]] Type TypeOf(ValueRef v) const;
+  [[nodiscard]] Module& module() { return module_; }
+
+ private:
+  Instruction& Append(Instruction inst);
+  ValueRef Binary(Opcode op, ValueRef a, ValueRef b, std::string name);
+  ValueRef Cast(Opcode op, ValueRef v, Type to, std::string name);
+  void CheckInt(ValueRef v, const char* what) const;
+  void CheckFloat(ValueRef v, const char* what) const;
+  void CheckSameType(ValueRef a, ValueRef b, const char* what) const;
+  [[noreturn]] void Fail(const std::string& message) const;
+
+  Module& module_;
+  std::uint32_t func_ = kInvalidIndex;
+  std::uint32_t block_ = kInvalidIndex;
+};
+
+}  // namespace epvf::ir

@@ -1,0 +1,59 @@
+// Basic blocks, functions and static instruction identity.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/instruction.h"
+
+namespace epvf::ir {
+
+struct BasicBlock {
+  std::string name;
+  std::vector<Instruction> instructions;
+
+  [[nodiscard]] bool HasTerminator() const {
+    return !instructions.empty() && IsTerminator(instructions.back().op);
+  }
+};
+
+/// Identifies one static instruction inside a module: (function, block,
+/// instruction index). Rankings in the protection case study and the
+/// per-instruction ePVF of Eq. 3 are keyed by this id.
+struct StaticInstrId {
+  std::uint32_t function = kInvalidIndex;
+  std::uint32_t block = kInvalidIndex;
+  std::uint32_t instr = kInvalidIndex;
+
+  constexpr bool operator==(const StaticInstrId&) const = default;
+  constexpr auto operator<=>(const StaticInstrId&) const = default;
+};
+
+struct Function {
+  std::string name;
+  Type return_type = Type::Void();
+  std::uint32_t num_params = 0;  ///< registers [0, num_params) are parameters
+  std::vector<RegisterInfo> registers;
+  std::vector<BasicBlock> blocks;  ///< blocks[0] is the entry block
+
+  [[nodiscard]] std::uint32_t AddRegister(Type type, std::string name = {}) {
+    registers.push_back(RegisterInfo{type, std::move(name)});
+    return static_cast<std::uint32_t>(registers.size() - 1);
+  }
+
+  [[nodiscard]] std::uint32_t AddBlock(std::string name) {
+    blocks.push_back(BasicBlock{std::move(name), {}});
+    return static_cast<std::uint32_t>(blocks.size() - 1);
+  }
+
+  [[nodiscard]] Type RegisterType(std::uint32_t reg) const { return registers[reg].type; }
+
+  [[nodiscard]] std::size_t InstructionCount() const {
+    std::size_t n = 0;
+    for (const auto& bb : blocks) n += bb.instructions.size();
+    return n;
+  }
+};
+
+}  // namespace epvf::ir

@@ -1,0 +1,48 @@
+#include "ir/intrinsics.h"
+
+#include <array>
+
+namespace epvf::ir {
+
+namespace {
+struct Info {
+  std::string_view name;
+  Type result;
+  unsigned arity;
+};
+
+constexpr std::array<Info, kNumIntrinsics> kInfo = {{
+    {"output_i64", Type::Void(), 1},
+    {"output_f64", Type::Void(), 1},
+    {"malloc", Type::I8().Ptr(), 1},
+    {"free", Type::Void(), 1},
+    {"abort", Type::Void(), 0},
+    {"assert", Type::Void(), 1},
+    {"sqrt", Type::F64(), 1},
+    {"fabs", Type::F64(), 1},
+    {"exp", Type::F64(), 1},
+    {"log", Type::F64(), 1},
+    {"pow", Type::F64(), 2},
+    {"fmin", Type::F64(), 2},
+    {"fmax", Type::F64(), 2},
+    {"sin", Type::F64(), 1},
+    {"cos", Type::F64(), 1},
+    {"floor", Type::F64(), 1},
+    {"detect", Type::Void(), 0},
+}};
+}  // namespace
+
+std::string_view IntrinsicName(Intrinsic which) { return kInfo[static_cast<int>(which)].name; }
+
+std::optional<Intrinsic> IntrinsicByName(std::string_view name) {
+  for (int i = 0; i < kNumIntrinsics; ++i) {
+    if (kInfo[i].name == name) return static_cast<Intrinsic>(i);
+  }
+  return std::nullopt;
+}
+
+Type IntrinsicResultType(Intrinsic which) { return kInfo[static_cast<int>(which)].result; }
+
+unsigned IntrinsicArity(Intrinsic which) { return kInfo[static_cast<int>(which)].arity; }
+
+}  // namespace epvf::ir

@@ -1,0 +1,45 @@
+// Runtime intrinsics callable from IR.
+//
+// The evaluated kernels need exactly the runtime surface the Rodinia C
+// sources use: heap allocation (the heap segment is where most segmentation
+// faults land), libm math, an output channel (which roots the ACE analysis —
+// paper section III-A identifies "output instructions" and slices backwards
+// from them), and abort (the "A" crash class of Table I).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "ir/type.h"
+
+namespace epvf::ir {
+
+enum class Intrinsic : std::uint8_t {
+  kOutputI64,  ///< output(i64) — appends to the program's output stream
+  kOutputF64,  ///< output(f64)
+  kMalloc,     ///< i8* malloc(i64 bytes)
+  kFree,       ///< void free(i8*)
+  kAbort,      ///< void abort() — self-terminating crash (Table I class "A")
+  kAssert,     ///< void assert(i1) — aborts when the condition is false
+  kSqrt, kFabs, kExp, kLog, kPow, kFmin, kFmax, kSin, kCos, kFloor,
+  kDetect,     ///< void detect() — duplication check fired (section V transform)
+};
+
+inline constexpr int kNumIntrinsics = static_cast<int>(Intrinsic::kDetect) + 1;
+
+[[nodiscard]] std::string_view IntrinsicName(Intrinsic which);
+[[nodiscard]] std::optional<Intrinsic> IntrinsicByName(std::string_view name);
+
+/// Result type of the intrinsic (void for output/free/abort/assert).
+[[nodiscard]] Type IntrinsicResultType(Intrinsic which);
+
+/// Number of arguments the intrinsic expects.
+[[nodiscard]] unsigned IntrinsicArity(Intrinsic which);
+
+/// True for the output intrinsics — the ACE analysis roots.
+[[nodiscard]] constexpr bool IsOutputIntrinsic(Intrinsic which) {
+  return which == Intrinsic::kOutputI64 || which == Intrinsic::kOutputF64;
+}
+
+}  // namespace epvf::ir

@@ -1,0 +1,41 @@
+#include "ir/module.h"
+
+namespace epvf::ir {
+
+ValueRef Module::InternConstant(const Constant& c) {
+  auto [it, inserted] = constant_index_.try_emplace(c, static_cast<std::uint32_t>(constants_.size()));
+  if (inserted) constants_.push_back(c);
+  return ValueRef::Const(it->second);
+}
+
+std::optional<std::uint32_t> Module::FindFunction(std::string_view name) const {
+  for (std::uint32_t i = 0; i < functions.size(); ++i) {
+    if (functions[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint32_t> Module::FindGlobal(std::string_view name) const {
+  for (std::uint32_t i = 0; i < globals.size(); ++i) {
+    if (globals[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+Type Module::TypeOf(const Function& fn, ValueRef ref) const {
+  switch (ref.kind) {
+    case ValueKind::kRegister: return fn.registers[ref.index].type;
+    case ValueKind::kConstant: return constants_[ref.index].type;
+    case ValueKind::kGlobal: return globals[ref.index].PointerType();
+    case ValueKind::kNone: return Type::Void();
+  }
+  return Type::Void();
+}
+
+std::size_t Module::TotalStaticInstructions() const {
+  std::size_t n = 0;
+  for (const auto& fn : functions) n += fn.InstructionCount();
+  return n;
+}
+
+}  // namespace epvf::ir

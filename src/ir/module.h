@@ -1,0 +1,68 @@
+// Module: the unit the whole pipeline operates on.
+//
+// Holds functions, globals and an interned constant pool. Constants are
+// interned so `ValueRef`s stay small and structural equality of modules is
+// cheap (the parser/printer round-trip tests rely on it).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace epvf::ir {
+
+/// A global variable: a named, fixed-size byte region in the data segment.
+/// `init` (optional) provides the initial bytes; zero-filled otherwise.
+struct GlobalVar {
+  std::string name;
+  Type element_type;        ///< type of one element (globals are arrays)
+  std::uint64_t count = 1;  ///< number of elements
+  std::vector<std::uint8_t> init;
+
+  [[nodiscard]] std::uint64_t ByteSize() const { return element_type.StoreSize() * count; }
+  /// The type a reference to this global has: pointer to the element type.
+  [[nodiscard]] Type PointerType() const { return element_type.Ptr(); }
+};
+
+class Module {
+ public:
+  std::vector<Function> functions;
+  std::vector<GlobalVar> globals;
+
+  /// Interns a constant and returns its pool reference.
+  [[nodiscard]] ValueRef InternConstant(const Constant& c);
+
+  [[nodiscard]] const Constant& GetConstant(std::uint32_t index) const {
+    return constants_[index];
+  }
+  [[nodiscard]] const std::vector<Constant>& constants() const { return constants_; }
+
+  [[nodiscard]] std::optional<std::uint32_t> FindFunction(std::string_view name) const;
+  [[nodiscard]] std::optional<std::uint32_t> FindGlobal(std::string_view name) const;
+
+  /// Type of any value reference, resolving registers against `fn`.
+  [[nodiscard]] Type TypeOf(const Function& fn, ValueRef ref) const;
+
+  [[nodiscard]] std::size_t TotalStaticInstructions() const;
+
+ private:
+  struct ConstantHash {
+    std::size_t operator()(const Constant& c) const noexcept {
+      std::size_t h = c.bits * 0x9E3779B97F4A7C15ull;
+      h ^= (static_cast<std::size_t>(c.type.scalar) << 1) ^
+           (static_cast<std::size_t>(c.type.bits) << 8) ^
+           (static_cast<std::size_t>(c.type.ptr_depth) << 16);
+      return h;
+    }
+  };
+
+  std::vector<Constant> constants_;
+  std::unordered_map<Constant, std::uint32_t, ConstantHash> constant_index_;
+};
+
+}  // namespace epvf::ir

@@ -1,0 +1,79 @@
+#include "ir/opcode.h"
+
+namespace epvf::ir {
+
+std::string_view OpcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::kAdd: return "add";
+    case Opcode::kSub: return "sub";
+    case Opcode::kMul: return "mul";
+    case Opcode::kSDiv: return "sdiv";
+    case Opcode::kUDiv: return "udiv";
+    case Opcode::kSRem: return "srem";
+    case Opcode::kURem: return "urem";
+    case Opcode::kFAdd: return "fadd";
+    case Opcode::kFSub: return "fsub";
+    case Opcode::kFMul: return "fmul";
+    case Opcode::kFDiv: return "fdiv";
+    case Opcode::kAnd: return "and";
+    case Opcode::kOr: return "or";
+    case Opcode::kXor: return "xor";
+    case Opcode::kShl: return "shl";
+    case Opcode::kLShr: return "lshr";
+    case Opcode::kAShr: return "ashr";
+    case Opcode::kICmp: return "icmp";
+    case Opcode::kFCmp: return "fcmp";
+    case Opcode::kSelect: return "select";
+    case Opcode::kPhi: return "phi";
+    case Opcode::kTrunc: return "trunc";
+    case Opcode::kZExt: return "zext";
+    case Opcode::kSExt: return "sext";
+    case Opcode::kBitCast: return "bitcast";
+    case Opcode::kSIToFP: return "sitofp";
+    case Opcode::kUIToFP: return "uitofp";
+    case Opcode::kFPToSI: return "fptosi";
+    case Opcode::kFPTrunc: return "fptrunc";
+    case Opcode::kFPExt: return "fpext";
+    case Opcode::kPtrToInt: return "ptrtoint";
+    case Opcode::kIntToPtr: return "inttoptr";
+    case Opcode::kAlloca: return "alloca";
+    case Opcode::kLoad: return "load";
+    case Opcode::kStore: return "store";
+    case Opcode::kGep: return "getelementptr";
+    case Opcode::kBr: return "br";
+    case Opcode::kCondBr: return "condbr";
+    case Opcode::kRet: return "ret";
+    case Opcode::kCall: return "call";
+  }
+  return "<bad-opcode>";
+}
+
+std::string_view ICmpPredName(ICmpPred pred) {
+  switch (pred) {
+    case ICmpPred::kEq: return "eq";
+    case ICmpPred::kNe: return "ne";
+    case ICmpPred::kSlt: return "slt";
+    case ICmpPred::kSle: return "sle";
+    case ICmpPred::kSgt: return "sgt";
+    case ICmpPred::kSge: return "sge";
+    case ICmpPred::kUlt: return "ult";
+    case ICmpPred::kUle: return "ule";
+    case ICmpPred::kUgt: return "ugt";
+    case ICmpPred::kUge: return "uge";
+  }
+  return "<bad-pred>";
+}
+
+std::string_view FCmpPredName(FCmpPred pred) {
+  switch (pred) {
+    case FCmpPred::kOeq: return "oeq";
+    case FCmpPred::kOne: return "one";
+    case FCmpPred::kOlt: return "olt";
+    case FCmpPred::kOle: return "ole";
+    case FCmpPred::kOgt: return "ogt";
+    case FCmpPred::kOge: return "oge";
+  }
+  return "<bad-pred>";
+}
+
+}  // namespace epvf::ir

@@ -1,0 +1,72 @@
+// Opcodes and their static traits.
+//
+// The set mirrors the LLVM instructions the paper's analysis actually
+// reasons about: the arithmetic/addressing opcodes of Table III
+// (add/sub/mul/div/rem/bitcast/getelementptr), loads/stores (the triggers of
+// the crash model), casts, compares/branches/phi (control flow that the DDG
+// slices across), and calls (including the output intrinsic that roots the
+// ACE analysis).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace epvf::ir {
+
+enum class Opcode : std::uint8_t {
+  // Integer arithmetic
+  kAdd, kSub, kMul, kSDiv, kUDiv, kSRem, kURem,
+  // Floating-point arithmetic
+  kFAdd, kFSub, kFMul, kFDiv,
+  // Bitwise
+  kAnd, kOr, kXor, kShl, kLShr, kAShr,
+  // Comparisons / selection
+  kICmp, kFCmp, kSelect, kPhi,
+  // Casts
+  kTrunc, kZExt, kSExt, kBitCast, kSIToFP, kUIToFP, kFPToSI, kFPTrunc, kFPExt,
+  kPtrToInt, kIntToPtr,
+  // Memory
+  kAlloca, kLoad, kStore, kGep,
+  // Control
+  kBr, kCondBr, kRet, kCall,
+};
+
+inline constexpr int kNumOpcodes = static_cast<int>(Opcode::kCall) + 1;
+
+enum class ICmpPred : std::uint8_t { kEq, kNe, kSlt, kSle, kSgt, kSge, kUlt, kUle, kUgt, kUge };
+enum class FCmpPred : std::uint8_t { kOeq, kOne, kOlt, kOle, kOgt, kOge };
+
+[[nodiscard]] std::string_view OpcodeName(Opcode op);
+[[nodiscard]] std::string_view ICmpPredName(ICmpPred pred);
+[[nodiscard]] std::string_view FCmpPredName(FCmpPred pred);
+
+[[nodiscard]] constexpr bool IsTerminator(Opcode op) {
+  return op == Opcode::kBr || op == Opcode::kCondBr || op == Opcode::kRet;
+}
+
+[[nodiscard]] constexpr bool IsMemoryAccess(Opcode op) {
+  return op == Opcode::kLoad || op == Opcode::kStore;
+}
+
+[[nodiscard]] constexpr bool IsBinaryArith(Opcode op) {
+  return op >= Opcode::kAdd && op <= Opcode::kAShr;
+}
+
+[[nodiscard]] constexpr bool IsCast(Opcode op) {
+  return op >= Opcode::kTrunc && op <= Opcode::kIntToPtr;
+}
+
+/// Whether the opcode defines a result register.
+[[nodiscard]] constexpr bool ProducesValue(Opcode op) {
+  switch (op) {
+    case Opcode::kStore:
+    case Opcode::kBr:
+    case Opcode::kCondBr:
+    case Opcode::kRet:
+      return false;  // stores/branches/rets define nothing
+    default:
+      return true;  // kCall may still be void; the instruction records that
+  }
+}
+
+}  // namespace epvf::ir

@@ -1,0 +1,574 @@
+#include "ir/parser.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+namespace epvf::ir {
+
+namespace {
+
+/// Line-oriented scanner: the dialect is newline-delimited, so the parser
+/// works line by line with a small cursor-based tokenizer per line.
+class LineScanner {
+ public:
+  explicit LineScanner(std::string_view line) : line_(line) {}
+
+  void SkipSpace() {
+    while (pos_ < line_.size() && std::isspace(static_cast<unsigned char>(line_[pos_]))) ++pos_;
+  }
+
+  [[nodiscard]] bool AtEnd() {
+    SkipSpace();
+    return pos_ >= line_.size();
+  }
+
+  [[nodiscard]] char Peek() {
+    SkipSpace();
+    return pos_ < line_.size() ? line_[pos_] : '\0';
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < line_.size() && line_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    SkipSpace();
+    if (line_.substr(pos_, word.size()) == word) {
+      const std::size_t after = pos_ + word.size();
+      if (after >= line_.size() || !IsWordChar(line_[after])) {
+        pos_ = after;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Reads an identifier-ish token: letters, digits, '_', '.', '%', '@', '!'.
+  [[nodiscard]] std::string_view ReadToken() {
+    SkipSpace();
+    const std::size_t start = pos_;
+    while (pos_ < line_.size() && IsWordChar(line_[pos_])) ++pos_;
+    return line_.substr(start, pos_ - start);
+  }
+
+  /// Reads a number token, permitting hexfloat / scientific / sign characters.
+  [[nodiscard]] std::string_view ReadNumber() {
+    SkipSpace();
+    const std::size_t start = pos_;
+    while (pos_ < line_.size()) {
+      const char c = line_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '.' || c == '+' || c == '-' ||
+          c == 'x' || c == 'X' || c == 'p' || c == 'P') {
+        // only accept +/- right after an exponent marker or at the start
+        if ((c == '+' || c == '-') && pos_ != start) {
+          const char prev = line_[pos_ - 1];
+          if (prev != 'e' && prev != 'E' && prev != 'p' && prev != 'P') break;
+        }
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    return line_.substr(start, pos_ - start);
+  }
+
+  [[nodiscard]] std::string_view Rest() {
+    SkipSpace();
+    return line_.substr(pos_);
+  }
+
+ private:
+  static bool IsWordChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.' || c == '%' ||
+           c == '@' || c == '!';
+  }
+
+  std::string_view line_;
+  std::size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::variant<Module, ParseError> Run() {
+    try {
+      while (NextLine()) {
+        LineScanner sc(line_);
+        if (sc.AtEnd()) continue;
+        if (sc.ConsumeWord("global")) {
+          ParseGlobal(sc);
+        } else if (sc.ConsumeWord("func")) {
+          ParseFunction(sc);
+        } else {
+          Fail("expected 'global' or 'func'");
+        }
+      }
+      ResolvePendingCalls();
+      return std::move(module_);
+    } catch (const ParseError& e) {
+      return e;
+    }
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& message) const {
+    throw ParseError{line_number_, message};
+  }
+
+  bool NextLine() {
+    if (cursor_ >= text_.size()) return false;
+    const std::size_t nl = text_.find('\n', cursor_);
+    const std::size_t end = nl == std::string_view::npos ? text_.size() : nl;
+    line_ = text_.substr(cursor_, end - cursor_);
+    cursor_ = end + 1;
+    ++line_number_;
+    return true;
+  }
+
+  Type ParseType(LineScanner& sc) {
+    std::string_view tok = sc.ReadToken();
+    if (tok.empty()) Fail("expected a type");
+    std::uint8_t depth = 0;
+    // pointer stars are not word chars; consume them after the base token
+    Type base;
+    if (tok == "void") {
+      base = Type::Void();
+    } else if (tok == "f32") {
+      base = Type::F32();
+    } else if (tok == "f64") {
+      base = Type::F64();
+    } else if (tok.size() >= 2 && tok[0] == 'i') {
+      int bits = 0;
+      const auto [ptr, ec] = std::from_chars(tok.data() + 1, tok.data() + tok.size(), bits);
+      if (ec != std::errc{} || ptr != tok.data() + tok.size() || bits < 1 || bits > 64) {
+        Fail("bad integer type '" + std::string(tok) + "'");
+      }
+      base = Type::Int(static_cast<std::uint8_t>(bits));
+    } else {
+      Fail("unknown type '" + std::string(tok) + "'");
+    }
+    while (sc.Consume('*')) ++depth;
+    base.ptr_depth = depth;
+    return base;
+  }
+
+  void ParseGlobal(LineScanner& sc) {
+    std::string_view name = sc.ReadToken();
+    if (name.empty() || name[0] != '@') Fail("expected @name after 'global'");
+    if (!sc.Consume(':')) Fail("expected ':' in global declaration");
+    const Type elem = ParseType(sc);
+    if (!sc.ConsumeWord("x")) Fail("expected 'x <count>' in global declaration");
+    const std::uint64_t count = ParseU64(sc);
+    std::vector<std::uint8_t> init;
+    if (sc.ConsumeWord("init")) {
+      const std::string_view blob = sc.ReadToken();
+      if (blob.size() % 2 != 0) Fail("odd-length init blob");
+      init.reserve(blob.size() / 2);
+      auto nibble = [&](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+        Fail("bad hex digit in init blob");
+      };
+      for (std::size_t i = 0; i < blob.size(); i += 2) {
+        init.push_back(static_cast<std::uint8_t>(nibble(blob[i]) * 16 + nibble(blob[i + 1])));
+      }
+      if (init.size() != elem.StoreSize() * count) Fail("init blob size mismatch");
+    }
+    module_.globals.push_back(
+        GlobalVar{std::string(name.substr(1)), elem, count, std::move(init)});
+  }
+
+  std::uint64_t ParseU64(LineScanner& sc) {
+    const std::string_view tok = sc.ReadNumber();
+    std::uint64_t v = 0;
+    const bool hex = tok.size() > 2 && tok[0] == '0' && (tok[1] == 'x' || tok[1] == 'X');
+    const auto first = tok.data() + (hex ? 2 : 0);
+    const auto [ptr, ec] = std::from_chars(first, tok.data() + tok.size(), v, hex ? 16 : 10);
+    if (ec != std::errc{} || ptr != tok.data() + tok.size()) {
+      Fail("bad integer '" + std::string(tok) + "'");
+    }
+    return v;
+  }
+
+  /// Parses "%name.N" / "%rN" into the register index N.
+  std::uint32_t ParseRegisterToken(std::string_view tok) {
+    if (tok.size() < 2 || tok[0] != '%') Fail("expected register, got '" + std::string(tok) + "'");
+    const std::size_t dot = tok.rfind('.');
+    std::string_view digits;
+    if (dot != std::string_view::npos) {
+      digits = tok.substr(dot + 1);
+    } else if (tok[1] == 'r') {
+      digits = tok.substr(2);
+    } else {
+      Fail("register token lacks an index: '" + std::string(tok) + "'");
+    }
+    std::uint32_t idx = 0;
+    const auto [ptr, ec] = std::from_chars(digits.data(), digits.data() + digits.size(), idx);
+    if (ec != std::errc{} || ptr != digits.data() + digits.size()) {
+      Fail("bad register index in '" + std::string(tok) + "'");
+    }
+    return idx;
+  }
+
+  static std::string RegisterBaseName(std::string_view tok) {
+    // "%name.N" -> "name"; "%rN" -> "".
+    if (tok.size() >= 2 && tok[1] == 'r' && tok.find('.') == std::string_view::npos) return {};
+    const std::size_t dot = tok.rfind('.');
+    if (dot == std::string_view::npos || dot < 1) return {};
+    return std::string(tok.substr(1, dot - 1));
+  }
+
+  void EnsureRegister(Function& fn, std::uint32_t index, Type type, std::string name) {
+    if (fn.registers.size() <= index) fn.registers.resize(index + 1);
+    fn.registers[index] = RegisterInfo{type, std::move(name)};
+  }
+
+  ValueRef ParseValue(LineScanner& sc, Function& fn) {
+    const char c = sc.Peek();
+    if (c == '%') {
+      return ValueRef::Reg(ParseRegisterToken(sc.ReadToken()));
+    }
+    if (c == '@') {
+      const std::string_view tok = sc.ReadToken();
+      const auto gi = module_.FindGlobal(tok.substr(1));
+      if (!gi) Fail("unknown global '" + std::string(tok) + "'");
+      return ValueRef::Global(*gi);
+    }
+    // Constant: <number>:<type>
+    const std::string_view num = sc.ReadNumber();
+    if (num.empty()) Fail("expected a value");
+    if (!sc.Consume(':')) Fail("expected ':' after constant literal");
+    const Type type = ParseType(sc);
+    Constant constant;
+    constant.type = type;
+    if (type.IsFloat()) {
+      const double d = std::strtod(std::string(num).c_str(), nullptr);
+      constant = type == Type::F32() ? MakeF32Constant(static_cast<float>(d)) : MakeF64Constant(d);
+    } else if (type.IsPointer()) {
+      constant.bits = StrToU64(num);
+    } else {
+      constant = MakeIntConstant(type, StrToI64(num));
+    }
+    (void)fn;
+    return module_.InternConstant(constant);
+  }
+
+  std::uint64_t StrToU64(std::string_view tok) {
+    return std::strtoull(std::string(tok).c_str(), nullptr, 0);
+  }
+  std::int64_t StrToI64(std::string_view tok) {
+    return std::strtoll(std::string(tok).c_str(), nullptr, 0);
+  }
+
+  void ParseFunction(LineScanner& sc) {
+    Function fn;
+    std::string_view name = sc.ReadToken();
+    if (name.empty() || name[0] != '@') Fail("expected @name after 'func'");
+    fn.name = std::string(name.substr(1));
+    if (!sc.Consume('(')) Fail("expected '(' in function header");
+    while (!sc.Consume(')')) {
+      const std::string_view reg_tok = sc.ReadToken();
+      const std::uint32_t index = ParseRegisterToken(reg_tok);
+      if (!sc.Consume(':')) Fail("expected ':' after parameter name");
+      const Type type = ParseType(sc);
+      EnsureRegister(fn, index, type, RegisterBaseName(reg_tok));
+      ++fn.num_params;
+      (void)sc.Consume(',');
+    }
+    if (!sc.Consume('-') || !sc.Consume('>')) Fail("expected '->' after parameter list");
+    fn.return_type = ParseType(sc);
+    if (!sc.Consume('{')) Fail("expected '{' to open function body");
+
+    // First pass over the body: collect block labels so branches can refer
+    // forward. We buffer the body lines, then parse instructions.
+    std::vector<std::pair<std::size_t, std::string>> body;  // (line number, text)
+    std::map<std::string, std::uint32_t, std::less<>> block_ids;
+    while (true) {
+      if (!NextLine()) Fail("unterminated function body");
+      LineScanner body_sc(line_);
+      if (body_sc.Consume('}')) break;
+      if (body_sc.AtEnd()) continue;
+      body.emplace_back(line_number_, std::string(line_));
+      const std::string_view trimmed = body_sc.Rest();
+      if (!trimmed.empty() && trimmed.back() == ':' &&
+          trimmed.find(' ') == std::string_view::npos) {
+        std::string label(trimmed.substr(0, trimmed.size() - 1));
+        block_ids.emplace(label, fn.AddBlock(label));
+      }
+    }
+    if (fn.blocks.empty()) Fail("function has no blocks");
+
+    std::uint32_t current_block = kInvalidIndex;
+    for (const auto& [lineno, text] : body) {
+      line_number_ = lineno;
+      LineScanner ls(text);
+      const std::string_view trimmed = ls.Rest();
+      if (!trimmed.empty() && trimmed.back() == ':' &&
+          trimmed.find(' ') == std::string_view::npos) {
+        current_block = block_ids.find(trimmed.substr(0, trimmed.size() - 1))->second;
+        continue;
+      }
+      if (current_block == kInvalidIndex) Fail("instruction before any block label");
+      LineScanner isc(text);
+      fn.blocks[current_block].instructions.push_back(ParseInstruction(isc, fn, block_ids));
+    }
+    module_.functions.push_back(std::move(fn));
+  }
+
+  Instruction ParseInstruction(LineScanner& sc, Function& fn,
+                               const std::map<std::string, std::uint32_t, std::less<>>& blocks) {
+    Instruction inst;
+    std::uint32_t result_index = kNoRegister;
+    std::string result_name;
+
+    if (sc.Peek() == '%') {
+      const std::string_view tok = sc.ReadToken();
+      result_index = ParseRegisterToken(tok);
+      result_name = RegisterBaseName(tok);
+      if (!sc.Consume('=')) Fail("expected '=' after result register");
+    }
+
+    const std::string_view op_tok = sc.ReadToken();
+    const std::optional<Opcode> op = OpcodeFromName(op_tok);
+    if (!op) Fail("unknown opcode '" + std::string(op_tok) + "'");
+    inst.op = *op;
+
+    auto finish_with_type = [&](Type type) {
+      inst.type = type;
+      if (result_index != kNoRegister) {
+        inst.result = result_index;
+        EnsureRegister(fn, result_index, type, std::move(result_name));
+      }
+    };
+
+    auto block_of = [&](std::string_view label) -> std::uint32_t {
+      const auto it = blocks.find(label);
+      if (it == blocks.end()) Fail("unknown block label '" + std::string(label) + "'");
+      return it->second;
+    };
+
+    switch (inst.op) {
+      case Opcode::kICmp: {
+        const std::string_view pred = sc.ReadToken();
+        inst.icmp_pred = ICmpPredFromName(pred);
+        inst.operands.push_back(ParseValue(sc, fn));
+        if (!sc.Consume(',')) Fail("expected ','");
+        inst.operands.push_back(ParseValue(sc, fn));
+        ExpectTypeSuffix(sc);
+        finish_with_type(Type::I1());
+        break;
+      }
+      case Opcode::kFCmp: {
+        const std::string_view pred = sc.ReadToken();
+        inst.fcmp_pred = FCmpPredFromName(pred);
+        inst.operands.push_back(ParseValue(sc, fn));
+        if (!sc.Consume(',')) Fail("expected ','");
+        inst.operands.push_back(ParseValue(sc, fn));
+        ExpectTypeSuffix(sc);
+        finish_with_type(Type::I1());
+        break;
+      }
+      case Opcode::kAlloca: {
+        inst.alloca_bytes = ParseU64(sc);
+        if (!sc.ConsumeWord("bytes")) Fail("expected 'bytes' in alloca");
+        if (!sc.Consume(':')) Fail("expected ':' in alloca");
+        finish_with_type(ParseType(sc));
+        break;
+      }
+      case Opcode::kCall: {
+        const std::string_view callee = sc.ReadToken();
+        if (callee.size() < 2 || callee[0] != '@') Fail("expected callee after 'call'");
+        const bool is_intrinsic = callee[1] == '!';
+        if (!sc.Consume('(')) Fail("expected '(' after callee");
+        while (!sc.Consume(')')) {
+          inst.operands.push_back(ParseValue(sc, fn));
+          (void)sc.Consume(',');
+        }
+        if (is_intrinsic) {
+          const auto which = IntrinsicByName(callee.substr(2));
+          if (!which) Fail("unknown intrinsic '" + std::string(callee) + "'");
+          inst.is_intrinsic = true;
+          inst.intrinsic = *which;
+          Type type = IntrinsicResultType(*which);
+          if (!type.IsVoid() && sc.Consume(':')) type = ParseType(sc);
+          finish_with_type(type);
+        } else {
+          // Callee may be defined later in the file; record for resolution.
+          pending_calls_.push_back(
+              {static_cast<std::uint32_t>(module_.functions.size()),
+               std::string(callee.substr(1)), line_number_});
+          inst.callee = kInvalidIndex;
+          Type type = Type::Void();
+          if (sc.Consume(':')) type = ParseType(sc);
+          finish_with_type(type);
+        }
+        break;
+      }
+      case Opcode::kPhi: {
+        while (sc.Consume('[')) {
+          inst.operands.push_back(ParseValue(sc, fn));
+          if (!sc.Consume(',')) Fail("expected ',' in phi pair");
+          inst.phi_blocks.push_back(block_of(sc.ReadToken()));
+          if (!sc.Consume(']')) Fail("expected ']' in phi pair");
+          (void)sc.Consume(',');
+        }
+        if (!sc.Consume(':')) Fail("expected ':' after phi");
+        finish_with_type(ParseType(sc));
+        break;
+      }
+      case Opcode::kBr: {
+        inst.bb_true = block_of(sc.ReadToken());
+        inst.type = Type::Void();
+        break;
+      }
+      case Opcode::kCondBr: {
+        inst.operands.push_back(ParseValue(sc, fn));
+        if (!sc.Consume(',')) Fail("expected ',' after condbr condition");
+        inst.bb_true = block_of(sc.ReadToken());
+        if (!sc.Consume(',')) Fail("expected ',' between condbr targets");
+        inst.bb_false = block_of(sc.ReadToken());
+        inst.type = Type::Void();
+        break;
+      }
+      case Opcode::kRet: {
+        if (!sc.AtEnd()) inst.operands.push_back(ParseValue(sc, fn));
+        inst.type = Type::Void();
+        break;
+      }
+      case Opcode::kLoad: {
+        inst.operands.push_back(ParseValue(sc, fn));
+        if (!sc.ConsumeWord("align")) Fail("expected 'align' on load");
+        inst.align = static_cast<std::uint32_t>(ParseU64(sc));
+        ExpectTypeSuffix(sc);
+        // Result type comes from the explicit suffix.
+        finish_with_type(suffix_type_);
+        break;
+      }
+      case Opcode::kStore: {
+        inst.operands.push_back(ParseValue(sc, fn));
+        if (!sc.Consume(',')) Fail("expected ',' in store");
+        inst.operands.push_back(ParseValue(sc, fn));
+        if (!sc.ConsumeWord("align")) Fail("expected 'align' on store");
+        inst.align = static_cast<std::uint32_t>(ParseU64(sc));
+        inst.type = Type::Void();
+        break;
+      }
+      case Opcode::kGep: {
+        inst.operands.push_back(ParseValue(sc, fn));
+        if (!sc.Consume(',')) Fail("expected ',' in gep");
+        inst.operands.push_back(ParseValue(sc, fn));
+        if (!sc.ConsumeWord("elem")) Fail("expected 'elem' in gep");
+        inst.gep_elem_bytes = ParseU64(sc);
+        (void)sc.Consume('B');
+        ExpectTypeSuffix(sc);
+        finish_with_type(suffix_type_);
+        break;
+      }
+      default: {
+        // Binary arithmetic, casts and select: "<op> v[, v]* : type".
+        inst.operands.push_back(ParseValue(sc, fn));
+        while (sc.Consume(',')) inst.operands.push_back(ParseValue(sc, fn));
+        ExpectTypeSuffix(sc);
+        finish_with_type(suffix_type_);
+        break;
+      }
+    }
+    return inst;
+  }
+
+  void ExpectTypeSuffix(LineScanner& sc) {
+    if (!sc.Consume(':')) Fail("expected ': <type>' suffix");
+    suffix_type_ = ParseType(sc);
+  }
+
+  static std::optional<Opcode> OpcodeFromName(std::string_view name) {
+    for (int i = 0; i < kNumOpcodes; ++i) {
+      const auto op = static_cast<Opcode>(i);
+      if (OpcodeName(op) == name) return op;
+    }
+    return std::nullopt;
+  }
+
+  ICmpPred ICmpPredFromName(std::string_view name) {
+    for (int i = 0; i <= static_cast<int>(ICmpPred::kUge); ++i) {
+      const auto pred = static_cast<ICmpPred>(i);
+      if (ICmpPredName(pred) == name) return pred;
+    }
+    Fail("unknown icmp predicate '" + std::string(name) + "'");
+  }
+
+  FCmpPred FCmpPredFromName(std::string_view name) {
+    for (int i = 0; i <= static_cast<int>(FCmpPred::kOge); ++i) {
+      const auto pred = static_cast<FCmpPred>(i);
+      if (FCmpPredName(pred) == name) return pred;
+    }
+    Fail("unknown fcmp predicate '" + std::string(name) + "'");
+  }
+
+  struct PendingCall {
+    std::uint32_t function_index;  ///< index the function will get in the module
+    std::string callee_name;
+    std::size_t line;
+  };
+
+  void ResolvePendingCalls() {
+    // Calls referencing functions by name are fixed up after all functions
+    // exist. We re-scan instructions because the instruction vector may have
+    // reallocated since parse time.
+    std::size_t pending = 0;
+    for (auto& fn : module_.functions) {
+      for (auto& bb : fn.blocks) {
+        for (auto& inst : bb.instructions) {
+          if (inst.op != Opcode::kCall || inst.is_intrinsic || inst.callee != kInvalidIndex) {
+            continue;
+          }
+          if (pending >= pending_calls_.size()) {
+            throw ParseError{0, "internal: unresolved call bookkeeping mismatch"};
+          }
+          const PendingCall& pc = pending_calls_[pending++];
+          const auto target = module_.FindFunction(pc.callee_name);
+          if (!target) {
+            throw ParseError{pc.line, "call to unknown function '@" + pc.callee_name + "'"};
+          }
+          inst.callee = *target;
+        }
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t cursor_ = 0;
+  std::size_t line_number_ = 0;
+  std::string_view line_;
+  Module module_;
+  Type suffix_type_;
+  std::vector<PendingCall> pending_calls_;
+};
+
+}  // namespace
+
+std::variant<Module, ParseError> ParseModule(std::string_view text) {
+  return Parser(text).Run();
+}
+
+Module ParseModuleOrThrow(std::string_view text) {
+  auto result = ParseModule(text);
+  if (auto* err = std::get_if<ParseError>(&result)) {
+    throw std::runtime_error("IR parse error: " + err->ToString());
+  }
+  return std::move(std::get<Module>(result));
+}
+
+}  // namespace epvf::ir

@@ -1,0 +1,31 @@
+// Parser for the textual IR dialect emitted by printer.h.
+//
+// Lets examples and tests ship kernels as text and guarantees the printer's
+// output is a faithful serialization (print → parse → print is a fixpoint,
+// which the round-trip tests assert).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "ir/module.h"
+
+namespace epvf::ir {
+
+struct ParseError {
+  std::size_t line = 0;
+  std::string message;
+
+  [[nodiscard]] std::string ToString() const {
+    return "line " + std::to_string(line) + ": " + message;
+  }
+};
+
+/// Parses a whole module; returns the module or the first error encountered.
+[[nodiscard]] std::variant<Module, ParseError> ParseModule(std::string_view text);
+
+/// Convenience wrapper that throws std::runtime_error on parse failure.
+[[nodiscard]] Module ParseModuleOrThrow(std::string_view text);
+
+}  // namespace epvf::ir

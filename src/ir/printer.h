@@ -1,0 +1,21 @@
+// Textual serialization of modules.
+//
+// The format is a compact LLVM-flavoured dialect; `Parser` (parser.h) reads
+// it back. Round-tripping is exercised by tests and lets examples ship IR as
+// text files.
+#pragma once
+
+#include <string>
+
+#include "ir/module.h"
+
+namespace epvf::ir {
+
+[[nodiscard]] std::string PrintModule(const Module& module);
+[[nodiscard]] std::string PrintFunction(const Module& module, const Function& fn);
+[[nodiscard]] std::string PrintInstruction(const Module& module, const Function& fn,
+                                           const Instruction& inst);
+/// Renders a value operand, e.g. "%idx:i32", "7:i64", "@grid".
+[[nodiscard]] std::string PrintValue(const Module& module, const Function& fn, ValueRef v);
+
+}  // namespace epvf::ir

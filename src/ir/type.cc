@@ -1,0 +1,17 @@
+#include "ir/type.h"
+
+namespace epvf::ir {
+
+std::string Type::ToString() const {
+  std::string base;
+  switch (scalar) {
+    case Scalar::kVoid: base = "void"; break;
+    case Scalar::kInt: base = "i" + std::to_string(static_cast<int>(bits)); break;
+    case Scalar::kFloat: base = "f32"; break;
+    case Scalar::kDouble: base = "f64"; break;
+  }
+  base.append(ptr_depth, '*');
+  return base;
+}
+
+}  // namespace epvf::ir

@@ -1,0 +1,95 @@
+// Type system of the mini LLVM-style IR.
+//
+// The ePVF methodology works at the LLVM IR abstraction level (paper section
+// II-D): typed virtual registers whose *bit widths* are the unit of ACE
+// accounting (the running example in section III-A sums 32- and 64-bit
+// registers). We reproduce the part of LLVM's type system the methodology
+// touches: fixed-width integers, float/double, and (possibly nested)
+// pointers. Aggregates are not modeled — `getelementptr` with a scaled index
+// covers the array addressing patterns of the evaluated kernels, and the
+// paper's Table III only reasons about scalar address arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace epvf::ir {
+
+enum class Scalar : std::uint8_t { kVoid, kInt, kFloat, kDouble };
+
+/// A value type: a scalar, or a pointer chain of depth `ptr_depth` ending in
+/// that scalar (e.g. {kInt,32,2} is `i32**`). Plain value semantics; types
+/// are tiny and compared by value.
+struct Type {
+  Scalar scalar = Scalar::kVoid;
+  std::uint8_t bits = 0;       ///< integer width when scalar == kInt (1..64)
+  std::uint8_t ptr_depth = 0;  ///< 0 = scalar value, N>0 = N levels of pointer
+
+  [[nodiscard]] static constexpr Type Void() { return {}; }
+  [[nodiscard]] static constexpr Type Int(std::uint8_t bits) { return {Scalar::kInt, bits, 0}; }
+  [[nodiscard]] static constexpr Type I1() { return Int(1); }
+  [[nodiscard]] static constexpr Type I8() { return Int(8); }
+  [[nodiscard]] static constexpr Type I16() { return Int(16); }
+  [[nodiscard]] static constexpr Type I32() { return Int(32); }
+  [[nodiscard]] static constexpr Type I64() { return Int(64); }
+  [[nodiscard]] static constexpr Type F32() { return {Scalar::kFloat, 32, 0}; }
+  [[nodiscard]] static constexpr Type F64() { return {Scalar::kDouble, 64, 0}; }
+
+  /// Pointer to this type (one more level of indirection).
+  [[nodiscard]] constexpr Type Ptr() const {
+    Type t = *this;
+    ++t.ptr_depth;
+    return t;
+  }
+
+  /// The pointee type; only valid when IsPointer().
+  [[nodiscard]] constexpr Type Pointee() const {
+    Type t = *this;
+    --t.ptr_depth;
+    return t;
+  }
+
+  [[nodiscard]] constexpr bool IsVoid() const { return scalar == Scalar::kVoid && ptr_depth == 0; }
+  [[nodiscard]] constexpr bool IsPointer() const { return ptr_depth > 0; }
+  [[nodiscard]] constexpr bool IsInt() const { return !IsPointer() && scalar == Scalar::kInt; }
+  [[nodiscard]] constexpr bool IsFloat() const {
+    return !IsPointer() && (scalar == Scalar::kFloat || scalar == Scalar::kDouble);
+  }
+  /// Integer or pointer — the domain Table III's range rules apply to.
+  [[nodiscard]] constexpr bool IsIntOrPointer() const { return IsPointer() || IsInt(); }
+
+  /// Width in bits for ACE/PVF accounting: pointers count as 64-bit
+  /// architectural registers, floats as their IEEE width.
+  [[nodiscard]] constexpr unsigned BitWidth() const {
+    if (IsPointer()) return 64;
+    switch (scalar) {
+      case Scalar::kVoid: return 0;
+      case Scalar::kInt: return bits;
+      case Scalar::kFloat: return 32;
+      case Scalar::kDouble: return 64;
+    }
+    return 0;
+  }
+
+  /// In-memory size in bytes (i1 occupies one byte, as in LLVM memory layout).
+  [[nodiscard]] constexpr unsigned StoreSize() const {
+    if (IsPointer()) return 8;
+    switch (scalar) {
+      case Scalar::kVoid: return 0;
+      case Scalar::kInt: return bits <= 8 ? 1 : bits / 8;
+      case Scalar::kFloat: return 4;
+      case Scalar::kDouble: return 8;
+    }
+    return 0;
+  }
+
+  /// Natural alignment used by the misaligned-access check (paper Table I
+  /// reports misaligned accesses as a distinct crash class).
+  [[nodiscard]] constexpr unsigned NaturalAlign() const { return StoreSize(); }
+
+  constexpr bool operator==(const Type&) const = default;
+
+  [[nodiscard]] std::string ToString() const;
+};
+
+}  // namespace epvf::ir

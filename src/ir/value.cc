@@ -1,0 +1,61 @@
+#include "ir/value.h"
+
+#include <cstring>
+#include <sstream>
+
+#include "support/bits.h"
+
+namespace epvf::ir {
+
+double Constant::AsDouble() const {
+  double d;
+  std::memcpy(&d, &bits, sizeof d);
+  return d;
+}
+
+float Constant::AsFloat() const {
+  const auto low = static_cast<std::uint32_t>(bits);
+  float f;
+  std::memcpy(&f, &low, sizeof f);
+  return f;
+}
+
+std::int64_t Constant::AsSigned() const {
+  return static_cast<std::int64_t>(SignExtendFrom(bits, type.BitWidth()));
+}
+
+std::string Constant::ToString() const {
+  std::ostringstream os;
+  if (type.IsFloat()) {
+    // Hexfloat is exact, so printed modules round-trip through the parser.
+    os << std::hexfloat;
+    if (type.scalar == Scalar::kFloat) {
+      os << static_cast<double>(AsFloat());
+    } else {
+      os << AsDouble();
+    }
+  } else if (type.IsPointer()) {
+    os << "0x" << std::hex << bits;
+  } else {
+    os << AsSigned();
+  }
+  return os.str();
+}
+
+Constant MakeIntConstant(Type type, std::int64_t value) {
+  return Constant{type, TruncateTo(static_cast<std::uint64_t>(value), type.BitWidth())};
+}
+
+Constant MakeF32Constant(float value) {
+  std::uint32_t raw;
+  std::memcpy(&raw, &value, sizeof raw);
+  return Constant{Type::F32(), raw};
+}
+
+Constant MakeF64Constant(double value) {
+  std::uint64_t raw;
+  std::memcpy(&raw, &value, sizeof raw);
+  return Constant{Type::F64(), raw};
+}
+
+}  // namespace epvf::ir

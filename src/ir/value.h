@@ -1,0 +1,70 @@
+// Value references and constants.
+//
+// Instructions refer to their operands through lightweight `ValueRef` handles
+// (index-based, not pointer-based): a handle either names an SSA register of
+// the enclosing function, an interned module-level constant, or a global
+// variable. Index-based storage keeps the IR trivially copyable — the
+// selective-duplication transform of the case study (paper section V) clones
+// instruction slices, and the interpreter maps registers to dense frame slots.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ir/type.h"
+
+namespace epvf::ir {
+
+inline constexpr std::uint32_t kInvalidIndex = 0xFFFFFFFFu;
+
+enum class ValueKind : std::uint8_t { kNone, kRegister, kConstant, kGlobal };
+
+struct ValueRef {
+  ValueKind kind = ValueKind::kNone;
+  std::uint32_t index = kInvalidIndex;
+
+  [[nodiscard]] static constexpr ValueRef None() { return {}; }
+  [[nodiscard]] static constexpr ValueRef Reg(std::uint32_t i) {
+    return {ValueKind::kRegister, i};
+  }
+  [[nodiscard]] static constexpr ValueRef Const(std::uint32_t i) {
+    return {ValueKind::kConstant, i};
+  }
+  [[nodiscard]] static constexpr ValueRef Global(std::uint32_t i) {
+    return {ValueKind::kGlobal, i};
+  }
+
+  [[nodiscard]] constexpr bool IsNone() const { return kind == ValueKind::kNone; }
+  [[nodiscard]] constexpr bool IsRegister() const { return kind == ValueKind::kRegister; }
+  [[nodiscard]] constexpr bool IsConstant() const { return kind == ValueKind::kConstant; }
+  [[nodiscard]] constexpr bool IsGlobal() const { return kind == ValueKind::kGlobal; }
+
+  constexpr bool operator==(const ValueRef&) const = default;
+};
+
+/// A typed constant. Floating-point payloads are stored bit-cast into
+/// `bits` (IEEE-754), integers are stored zero-extended in the low lanes.
+struct Constant {
+  Type type;
+  std::uint64_t bits = 0;
+
+  [[nodiscard]] double AsDouble() const;
+  [[nodiscard]] float AsFloat() const;
+  [[nodiscard]] std::int64_t AsSigned() const;
+
+  constexpr bool operator==(const Constant&) const = default;
+
+  [[nodiscard]] std::string ToString() const;
+};
+
+[[nodiscard]] Constant MakeIntConstant(Type type, std::int64_t value);
+[[nodiscard]] Constant MakeF32Constant(float value);
+[[nodiscard]] Constant MakeF64Constant(double value);
+
+/// SSA register metadata (type plus an optional debug name).
+struct RegisterInfo {
+  Type type;
+  std::string name;  ///< may be empty; printer falls back to %<index>
+};
+
+}  // namespace epvf::ir

@@ -1,0 +1,49 @@
+// Module verifier.
+//
+// Checks the structural invariants the interpreter and the analyses assume:
+// every block terminated, branch targets valid, SSA single-assignment, every
+// register use dominated by its definition (computed via a Cooper-Harvey-
+// Kennedy iterative dominator analysis), operand types consistent with each
+// opcode, phi incoming blocks matching the CFG predecessors, and call
+// signatures matching. Running it after construction (and after the
+// duplication transform) catches malformed IR before it can silently skew an
+// experiment.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace epvf::ir {
+
+struct VerifyResult {
+  std::vector<std::string> errors;
+
+  [[nodiscard]] bool ok() const { return errors.empty(); }
+  [[nodiscard]] std::string Summary() const;
+};
+
+[[nodiscard]] VerifyResult VerifyModule(const Module& module);
+
+/// Throws std::runtime_error with the error summary if verification fails.
+void VerifyModuleOrThrow(const Module& module);
+
+/// CFG helper: predecessor block ids for each block of `fn`.
+[[nodiscard]] std::vector<std::vector<std::uint32_t>> ComputePredecessors(const Function& fn);
+
+/// Immediate dominator of each block (entry's idom is itself); kInvalidIndex
+/// for unreachable blocks.
+[[nodiscard]] std::vector<std::uint32_t> ComputeImmediateDominators(const Function& fn);
+
+/// Immediate postdominator of each block, computed against a virtual exit
+/// node with index fn.blocks.size() that succeeds every ret-terminated block.
+/// Blocks that cannot reach an exit get kInvalidIndex.
+[[nodiscard]] std::vector<std::uint32_t> ComputeImmediatePostDominators(const Function& fn);
+
+/// True when every path from `b` to function exit passes through `a`
+/// (a == b counts). `ipdom` must come from ComputeImmediatePostDominators.
+[[nodiscard]] bool PostDominates(const std::vector<std::uint32_t>& ipdom, std::uint32_t a,
+                                 std::uint32_t b);
+
+}  // namespace epvf::ir

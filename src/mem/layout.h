@@ -1,0 +1,76 @@
+// Process memory layout of the simulated platform.
+//
+// The crash model is platform-specific by construction (paper section III-D):
+// it encodes how Linux on x86 lays out and checks memory segments. These
+// constants define our simulated platform's layout — text, data, heap and a
+// downward-growing stack with the 8 MB limit and the
+// `ESP - 65536 - 128` grow window the paper extracted from the kernel
+// sources (Figure 4).
+//
+// `LayoutJitter` reproduces the run-to-run environment nondeterminism (ASLR,
+// allocator drift) that the paper identifies as the main source of its <100%
+// recall/precision: fault-injection runs may shift segment bases relative to
+// the golden profiling run, so boundary-adjacent predictions can miss.
+#pragma once
+
+#include <cstdint>
+
+namespace epvf::mem {
+
+struct MemoryLayout {
+  std::uint64_t page_size = 4096;
+
+  std::uint64_t text_base = 0x0000000000400000ull;
+  std::uint64_t text_size = 0x10000;
+
+  std::uint64_t data_base = 0x0000000000600000ull;
+
+  std::uint64_t heap_base = 0x0000000010000000ull;
+  /// Pages the heap vma extends beyond the top allocation (allocator slack —
+  /// glibc keeps a mapped tail). The golden run uses this value; per-run
+  /// jitter varies it, modeling non-deterministic allocation, the paper's
+  /// stated source of model misses.
+  std::uint64_t heap_slack_pages = 2;
+
+  /// Stack occupies [stack_top - initial, stack_top), growing downward.
+  std::uint64_t stack_top = 0x00007FFFFFFF0000ull;
+  std::uint64_t stack_initial_bytes = 4 * 4096;
+  std::uint64_t stack_limit_bytes = 8ull << 20;  ///< RLIMIT_STACK default, 8 MiB
+
+  /// Linux stack auto-grow window below ESP (Figure 4, "case I"):
+  /// an access at `addr >= esp - stack_grow_window` extends the stack vma.
+  std::uint64_t stack_grow_window = 65536 + 128;
+};
+
+/// Per-run shifts applied to segment bases (page-granular). Zero by default:
+/// the simulated platform is deterministic unless an experiment opts in.
+struct LayoutJitter {
+  std::int64_t data_shift_pages = 0;
+  std::int64_t heap_shift_pages = 0;
+  std::int64_t stack_shift_pages = 0;
+  /// Added to MemoryLayout::heap_slack_pages (clamped at zero): the run's
+  /// allocator keeps more or fewer mapped tail pages than the profiled run.
+  std::int64_t heap_slack_shift_pages = 0;
+
+  [[nodiscard]] bool IsZero() const {
+    return data_shift_pages == 0 && heap_shift_pages == 0 && stack_shift_pages == 0 &&
+           heap_slack_shift_pages == 0;
+  }
+};
+
+/// Applies a jitter to a layout, producing the effective per-run layout.
+[[nodiscard]] inline MemoryLayout ApplyJitter(const MemoryLayout& base, const LayoutJitter& j) {
+  MemoryLayout out = base;
+  const auto shift = [&](std::uint64_t v, std::int64_t pages) {
+    return v + static_cast<std::uint64_t>(pages * static_cast<std::int64_t>(base.page_size));
+  };
+  out.data_base = shift(base.data_base, j.data_shift_pages);
+  out.heap_base = shift(base.heap_base, j.heap_shift_pages);
+  out.stack_top = shift(base.stack_top, j.stack_shift_pages);
+  const std::int64_t slack =
+      static_cast<std::int64_t>(base.heap_slack_pages) + j.heap_slack_shift_pages;
+  out.heap_slack_pages = slack < 0 ? 0 : static_cast<std::uint64_t>(slack);
+  return out;
+}
+
+}  // namespace epvf::mem

@@ -1,0 +1,93 @@
+// SimMemory: the simulated process address space.
+//
+// Backs the interpreter with a sparse paged byte store laid out per
+// MemoryLayout, and owns the MemoryMap against which every access is checked
+// through the Figure 4 decision logic. It also records the memory-map
+// history: the golden (profiling) run snapshots the map at every version
+// bump, which is this implementation's equivalent of the paper's
+// "/proc probe at each load and store" — CHECK_BOUNDARY later replays the
+// snapshot that was current at the time of the access.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/crash_semantics.h"
+#include "mem/layout.h"
+#include "mem/vma.h"
+
+namespace epvf::mem {
+
+class SimMemory {
+ public:
+  explicit SimMemory(const MemoryLayout& layout = MemoryLayout{},
+                     const LayoutJitter& jitter = LayoutJitter{});
+
+  // --- setup ----------------------------------------------------------------
+  /// Reserves `bytes` in the data segment; returns the base address.
+  std::uint64_t AllocateData(std::uint64_t bytes);
+
+  // --- heap -------------------------------------------------------------------
+  /// Bump allocation with 16-byte alignment; extends the heap vma to the next
+  /// page boundary. Returns the block's base address.
+  std::uint64_t Malloc(std::uint64_t bytes);
+  /// Free is a no-op on the vma (matching glibc behaviour for small blocks:
+  /// freed memory stays mapped), but is tracked for accounting.
+  void Free(std::uint64_t addr);
+
+  // --- stack ----------------------------------------------------------------
+  [[nodiscard]] std::uint64_t esp() const { return esp_; }
+  void SetEsp(std::uint64_t esp) { esp_ = esp; }
+  [[nodiscard]] std::uint64_t stack_top() const { return layout_.stack_top; }
+
+  // --- checked access ----------------------------------------------------------
+  /// Applies the Figure 4 decision for an access; on "case I" grows the stack
+  /// vma (bumping the map version). Returns the fault, kNone if allowed.
+  MemFault CheckAccess(std::uint64_t addr, unsigned size);
+
+  // --- raw data access (no checking; call CheckAccess first) -----------------
+  void ReadBytes(std::uint64_t addr, std::span<std::uint8_t> out) const;
+  void WriteBytes(std::uint64_t addr, std::span<const std::uint8_t> in);
+  [[nodiscard]] std::uint64_t LoadScalar(std::uint64_t addr, unsigned size) const;
+  void StoreScalar(std::uint64_t addr, unsigned size, std::uint64_t value);
+
+  // --- map & probes ---------------------------------------------------------
+  [[nodiscard]] const MemoryMap& map() const { return map_; }
+  [[nodiscard]] const MemoryLayout& layout() const { return layout_; }
+
+  /// When enabled, every map version is snapshotted (golden runs only).
+  void RecordHistory(bool enable);
+  /// Snapshot whose version is `version` (versions are dense from the first
+  /// recorded one). Requires RecordHistory(true) from construction time.
+  [[nodiscard]] const MemoryMap& Snapshot(std::uint64_t version) const;
+  [[nodiscard]] bool HasSnapshots() const { return !history_.empty(); }
+
+  [[nodiscard]] std::uint64_t heap_brk() const { return brk_; }
+  [[nodiscard]] std::uint64_t bytes_allocated() const { return bytes_allocated_; }
+
+ private:
+  void MaybeSnapshot();
+
+  static constexpr std::uint64_t kPageBits = 12;
+  static constexpr std::uint64_t kPageBytes = 1ull << kPageBits;
+  using Page = std::vector<std::uint8_t>;
+
+  [[nodiscard]] const Page* FindPage(std::uint64_t page_index) const;
+  Page& TouchPage(std::uint64_t page_index);
+
+  MemoryLayout layout_;
+  MemoryMap map_;
+  std::unordered_map<std::uint64_t, Page> pages_;
+  std::uint64_t data_cursor_ = 0;
+  std::uint64_t brk_ = 0;
+  std::uint64_t esp_ = 0;
+  std::uint64_t bytes_allocated_ = 0;
+  bool record_history_ = false;
+  std::uint64_t first_recorded_version_ = 0;
+  std::vector<MemoryMap> history_;
+};
+
+}  // namespace epvf::mem

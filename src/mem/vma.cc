@@ -1,0 +1,80 @@
+#include "mem/vma.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace epvf::mem {
+
+std::string_view SegmentKindName(SegmentKind kind) {
+  switch (kind) {
+    case SegmentKind::kText: return "text";
+    case SegmentKind::kData: return "data";
+    case SegmentKind::kHeap: return "heap";
+    case SegmentKind::kStack: return "stack";
+  }
+  return "<bad>";
+}
+
+void MemoryMap::Add(Vma vma) {
+  if (vma.start >= vma.end) throw std::invalid_argument("MemoryMap::Add: empty vma");
+  for (const Vma& existing : vmas_) {
+    const bool disjoint = vma.end <= existing.start || existing.end <= vma.start;
+    if (!disjoint) throw std::invalid_argument("MemoryMap::Add: overlapping vma");
+  }
+  vmas_.push_back(vma);
+  std::sort(vmas_.begin(), vmas_.end(),
+            [](const Vma& a, const Vma& b) { return a.start < b.start; });
+  BumpVersion();
+}
+
+const Vma* MemoryMap::Find(std::uint64_t addr) const {
+  // Binary search over the sorted vma list, as the kernel's rbtree lookup.
+  auto it = std::upper_bound(vmas_.begin(), vmas_.end(), addr,
+                             [](std::uint64_t a, const Vma& v) { return a < v.start; });
+  if (it == vmas_.begin()) return nullptr;
+  --it;
+  return it->Contains(addr) ? &*it : nullptr;
+}
+
+const Vma* MemoryMap::FindKind(SegmentKind kind) const {
+  for (const Vma& v : vmas_) {
+    if (v.kind == kind) return &v;
+  }
+  return nullptr;
+}
+
+void MemoryMap::ExtendDown(SegmentKind kind, std::uint64_t new_start) {
+  for (Vma& v : vmas_) {
+    if (v.kind != kind) continue;
+    if (new_start < v.start) {
+      v.start = new_start;
+      BumpVersion();
+    }
+    return;
+  }
+  throw std::logic_error("MemoryMap::ExtendDown: no vma of requested kind");
+}
+
+void MemoryMap::ExtendUp(SegmentKind kind, std::uint64_t new_end) {
+  for (Vma& v : vmas_) {
+    if (v.kind != kind) continue;
+    if (new_end > v.end) {
+      v.end = new_end;
+      BumpVersion();
+    }
+    return;
+  }
+  throw std::logic_error("MemoryMap::ExtendUp: no vma of requested kind");
+}
+
+std::string MemoryMap::ToString() const {
+  std::ostringstream os;
+  os << std::hex;
+  for (const Vma& v : vmas_) {
+    os << "0x" << v.start << "-0x" << v.end << ' ' << SegmentKindName(v.kind) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace epvf::mem

@@ -1,0 +1,59 @@
+// Virtual memory areas and the per-process memory map.
+//
+// Mirrors the Linux `vma` structures the paper's crash model probes through
+// /proc (section III-D "Obtaining the segment boundaries"): an ordered list
+// of disjoint [start, end) regions, each tagged with its segment kind. The
+// map is versioned: every mutation (heap growth, stack growth) bumps the
+// version, which is how the run-time probe associates each load/store with
+// the segment boundaries *at the time of that access*.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace epvf::mem {
+
+enum class SegmentKind : std::uint8_t { kText, kData, kHeap, kStack };
+
+[[nodiscard]] std::string_view SegmentKindName(SegmentKind kind);
+
+struct Vma {
+  std::uint64_t start = 0;  ///< inclusive
+  std::uint64_t end = 0;    ///< exclusive
+  SegmentKind kind = SegmentKind::kData;
+
+  [[nodiscard]] bool Contains(std::uint64_t addr) const { return start <= addr && addr < end; }
+  [[nodiscard]] std::uint64_t Size() const { return end - start; }
+};
+
+class MemoryMap {
+ public:
+  /// Adds a region; regions must not overlap (checked).
+  void Add(Vma vma);
+
+  /// The vma containing `addr`, or nullptr.
+  [[nodiscard]] const Vma* Find(std::uint64_t addr) const;
+
+  /// The vma of the given kind (first match), or nullptr.
+  [[nodiscard]] const Vma* FindKind(SegmentKind kind) const;
+
+  /// Extends the vma of `kind` so that it covers [new_start, old_end) or
+  /// [old_start, new_end). Used for heap brk growth and stack growth.
+  void ExtendDown(SegmentKind kind, std::uint64_t new_start);
+  void ExtendUp(SegmentKind kind, std::uint64_t new_end);
+
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+  [[nodiscard]] const std::vector<Vma>& vmas() const { return vmas_; }
+
+  [[nodiscard]] std::string ToString() const;
+
+ private:
+  void BumpVersion() { ++version_; }
+
+  std::vector<Vma> vmas_;  ///< kept sorted by start
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace epvf::mem

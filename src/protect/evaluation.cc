@@ -1,0 +1,19 @@
+#include "protect/evaluation.h"
+
+namespace epvf::protect {
+
+ProtectedRates EvaluateProtection(const fi::CampaignStats& baseline,
+                                  const ProtectionPlan& plan) {
+  ProtectedRates rates;
+  rates.stats.records.reserve(baseline.records.size());
+  for (fi::FaultRecord record : baseline.records) {
+    if (record.outcome == fi::Outcome::kSdc && plan.Covers(record.site.node)) {
+      record.outcome = fi::Outcome::kDetected;
+    }
+    rates.stats.counts[static_cast<int>(record.outcome)] += 1;
+    rates.stats.records.push_back(record);
+  }
+  return rates;
+}
+
+}  // namespace epvf::protect

@@ -1,0 +1,30 @@
+// Protection evaluation (paper section V, Figure 13).
+//
+// A duplication plan changes no program semantics in our cost model — it adds
+// redundant computation plus comparisons — so its effect on fault outcomes is
+// evaluated by reclassifying a baseline campaign: an injection whose fault
+// site lies in a duplicated slice diverges the redundant computation and is
+// caught by the comparison, so a would-be SDC becomes a detection. Crashes
+// stay crashes (the exception may fire before the check executes), hangs stay
+// hangs. This lets one campaign per benchmark evaluate the unprotected
+// program and both heuristics at every overhead budget.
+#pragma once
+
+#include "fi/campaign.h"
+#include "protect/duplication.h"
+
+namespace epvf::protect {
+
+struct ProtectedRates {
+  fi::CampaignStats stats;  ///< reclassified outcome counts
+
+  [[nodiscard]] double SdcRate() const { return stats.Rate(fi::Outcome::kSdc); }
+  [[nodiscard]] ProportionCI SdcCI() const { return stats.CI(fi::Outcome::kSdc); }
+  [[nodiscard]] double DetectedRate() const { return stats.Rate(fi::Outcome::kDetected); }
+};
+
+/// Reclassifies `baseline` under `plan`: protected-site SDCs become detections.
+[[nodiscard]] ProtectedRates EvaluateProtection(const fi::CampaignStats& baseline,
+                                                const ProtectionPlan& plan);
+
+}  // namespace epvf::protect

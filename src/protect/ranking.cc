@@ -1,0 +1,54 @@
+#include "protect/ranking.h"
+
+#include <algorithm>
+
+#include "support/rng.h"
+
+namespace epvf::protect {
+
+namespace {
+
+std::vector<RankedInstr> Build(const std::vector<core::InstrMetrics>& metrics,
+                               bool by_epvf) {
+  std::vector<RankedInstr> ranked;
+  ranked.reserve(metrics.size());
+  for (const core::InstrMetrics& m : metrics) {
+    if (m.total_bits == 0) continue;  // no registers involved — nothing to protect
+    RankedInstr r;
+    r.sid = m.sid;
+    r.exec_count = m.exec_count;
+    r.score = by_epvf ? m.Epvf() : static_cast<double>(m.exec_count);
+    ranked.push_back(r);
+  }
+  // Ties (many instructions share ePVF ≈ 1) break toward higher execution
+  // frequency: equal per-bit protection value, more fault mass covered.
+  std::stable_sort(ranked.begin(), ranked.end(), [](const RankedInstr& a, const RankedInstr& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.exec_count > b.exec_count;
+  });
+  return ranked;
+}
+
+}  // namespace
+
+std::vector<RankedInstr> RankByEpvf(const std::vector<core::InstrMetrics>& metrics) {
+  return Build(metrics, /*by_epvf=*/true);
+}
+
+std::vector<RankedInstr> RankByHotPath(const std::vector<core::InstrMetrics>& metrics) {
+  return Build(metrics, /*by_epvf=*/false);
+}
+
+std::vector<RankedInstr> RankRandomly(const std::vector<core::InstrMetrics>& metrics,
+                                      std::uint64_t seed) {
+  std::vector<RankedInstr> ranked = Build(metrics, /*by_epvf=*/false);
+  Rng rng(seed);
+  // Fisher-Yates with the deterministic generator.
+  for (std::size_t i = ranked.size(); i > 1; --i) {
+    std::swap(ranked[i - 1], ranked[rng.Below(i)]);
+  }
+  for (RankedInstr& r : ranked) r.score = 0.0;
+  return ranked;
+}
+
+}  // namespace epvf::protect

@@ -1,0 +1,31 @@
+// Instruction rankings for selective protection (paper section V).
+//
+// Two heuristics are compared: ePVF-informed (static instructions ranked by
+// their Eq. 3 ePVF value, descending) and hot-path (ranked by execution
+// frequency, the baseline of prior work). Both feed the same greedy
+// duplication planner.
+#pragma once
+
+#include <vector>
+
+#include "epvf/analysis.h"
+
+namespace epvf::protect {
+
+struct RankedInstr {
+  ir::StaticInstrId sid;
+  double score = 0.0;
+  std::uint64_t exec_count = 0;
+};
+
+[[nodiscard]] std::vector<RankedInstr> RankByEpvf(
+    const std::vector<core::InstrMetrics>& metrics);
+
+[[nodiscard]] std::vector<RankedInstr> RankByHotPath(
+    const std::vector<core::InstrMetrics>& metrics);
+
+/// Uniformly random order — the sanity baseline both heuristics must beat.
+[[nodiscard]] std::vector<RankedInstr> RankRandomly(
+    const std::vector<core::InstrMetrics>& metrics, std::uint64_t seed);
+
+}  // namespace epvf::protect

@@ -1,0 +1,377 @@
+#include "protect/transform.h"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace epvf::protect {
+
+namespace {
+
+using ir::Instruction;
+using ir::Opcode;
+
+/// Instructions the redundant stream may re-execute: pure register-to-
+/// register computation. Everything else (loads, phis, calls, allocas,
+/// parameters) is a synchronization point whose value enters the redundant
+/// stream through a def-time shadow copy.
+bool IsPureComputation(const Instruction& inst) {
+  return ir::IsBinaryArith(inst.op) || ir::IsCast(inst.op) || inst.op == Opcode::kICmp ||
+         inst.op == Opcode::kFCmp || inst.op == Opcode::kSelect || inst.op == Opcode::kGep;
+}
+
+/// Rewrites one function; appends check/detect blocks, shadow copies and
+/// clone registers.
+class FunctionDuplicator {
+ public:
+  FunctionDuplicator(const ir::Function& original, const std::set<ir::StaticInstrId>& chosen,
+                     std::uint32_t function_index, TransformStats& stats)
+      : original_(original), chosen_(chosen), function_index_(function_index), stats_(stats) {
+    // Static def sites of every register (SSA: at most one).
+    def_site_.assign(original.registers.size(), std::nullopt);
+    for (std::uint32_t b = 0; b < original.blocks.size(); ++b) {
+      const auto& insts = original.blocks[b].instructions;
+      for (std::uint32_t i = 0; i < insts.size(); ++i) {
+        if (insts[i].DefinesValue()) def_site_[insts[i].result] = DefSite{b, i};
+      }
+    }
+    CollectNeededLeaves();
+  }
+
+  [[nodiscard]] ir::Function Run() {
+    result_ = original_;
+    result_.blocks.clear();
+
+    block_start_.assign(original_.blocks.size(), 0);
+    block_end_.assign(original_.blocks.size(), 0);
+
+    // Parameters that feed protected chains get their shadows on entry.
+    for (std::uint32_t b = 0; b < original_.blocks.size(); ++b) {
+      current_ = NewBlock(original_.blocks[b].name);
+      block_start_[b] = current_;
+      if (b == 0) {
+        for (std::uint32_t reg = 0; reg < original_.num_params; ++reg) {
+          if (needed_leaves_.count(reg) != 0) EmitShadowCopy(reg);
+        }
+      }
+      EmitBlock(b);
+      block_end_[b] = current_;
+    }
+
+    // Remap branch targets and phi incoming blocks of *original* instructions
+    // (synthesized check/detect branches already use final indices).
+    for (const Fixup& fixup : fixups_) {
+      Instruction& inst = result_.blocks[fixup.block].instructions[fixup.instr];
+      switch (inst.op) {
+        case Opcode::kBr:
+          inst.bb_true = block_start_[inst.bb_true];
+          break;
+        case Opcode::kCondBr:
+          inst.bb_true = block_start_[inst.bb_true];
+          inst.bb_false = block_start_[inst.bb_false];
+          break;
+        case Opcode::kPhi:
+          for (std::uint32_t& incoming : inst.phi_blocks) {
+            incoming = block_end_[incoming];
+          }
+          break;
+        default:
+          break;
+      }
+    }
+    return std::move(result_);
+  }
+
+ private:
+  struct DefSite {
+    std::uint32_t block;
+    std::uint32_t instr;
+  };
+  struct Fixup {
+    std::uint32_t block;
+    std::uint32_t instr;
+  };
+
+  /// Walks the static pure-computation slices of every chosen instruction to
+  /// find the leaf registers needing def-time shadow copies.
+  void CollectNeededLeaves() {
+    std::unordered_set<std::uint32_t> visited;
+    std::vector<std::uint32_t> worklist;
+    auto push_operands = [&](const Instruction& inst) {
+      for (const ir::ValueRef& operand : inst.operands) {
+        if (operand.IsRegister() && visited.insert(operand.index).second) {
+          worklist.push_back(operand.index);
+        }
+      }
+    };
+    for (const ir::StaticInstrId& sid : chosen_) {
+      const Instruction& inst = original_.blocks[sid.block].instructions[sid.instr];
+      if (!inst.DefinesValue()) continue;
+      if (IsPureComputation(inst)) {
+        push_operands(inst);
+      } else {
+        // Chosen loads/phis are protected by comparing against their own
+        // def-time shadow copy.
+        needed_leaves_.insert(inst.result);
+      }
+    }
+    while (!worklist.empty()) {
+      const std::uint32_t reg = worklist.back();
+      worklist.pop_back();
+      const auto& site = def_site_[reg];
+      if (!site.has_value()) {
+        needed_leaves_.insert(reg);  // parameter
+        continue;
+      }
+      const Instruction& def = original_.blocks[site->block].instructions[site->instr];
+      if (IsPureComputation(def)) {
+        push_operands(def);
+      } else {
+        needed_leaves_.insert(reg);  // load/phi/call/alloca
+      }
+    }
+  }
+
+  std::uint32_t NewBlock(std::string name) {
+    result_.blocks.push_back(ir::BasicBlock{std::move(name), {}});
+    return static_cast<std::uint32_t>(result_.blocks.size() - 1);
+  }
+
+  void AppendOriginal(const Instruction& inst) {
+    result_.blocks[current_].instructions.push_back(inst);
+    if (inst.op == Opcode::kBr || inst.op == Opcode::kCondBr || inst.op == Opcode::kPhi) {
+      fixups_.push_back(Fixup{
+          current_, static_cast<std::uint32_t>(result_.blocks[current_].instructions.size() - 1)});
+    }
+  }
+
+  /// Emits the identity instruction that snapshots `reg` into the redundant
+  /// stream at its definition point (SWIFT's shadow move).
+  void EmitShadowCopy(std::uint32_t reg) {
+    const ir::Type type = original_.registers[reg].type;
+    Instruction copy;
+    if (type.IsPointer()) {
+      copy.op = Opcode::kGep;
+      const unsigned pointee = type.Pointee().StoreSize();
+      copy.gep_elem_bytes = pointee == 0 ? 1 : pointee;
+      copy.operands = {ir::ValueRef::Reg(reg), ir::ValueRef::Const(ZeroConstant64())};
+    } else if (type.IsFloat()) {
+      copy.op = Opcode::kFAdd;  // x + (-0.0) == x for every x
+      copy.operands = {ir::ValueRef::Reg(reg), ir::ValueRef::Const(NegZeroConstant(type))};
+    } else {
+      copy.op = Opcode::kAdd;
+      copy.operands = {ir::ValueRef::Reg(reg), ir::ValueRef::Const(ZeroConstant(type))};
+    }
+    copy.type = type;
+    copy.result = result_.AddRegister(type, original_.registers[reg].name + ".shadow");
+    result_.blocks[current_].instructions.push_back(copy);
+    shadow_.emplace(reg, copy.result);
+    ++stats_.cloned_instructions;
+  }
+
+  std::uint32_t ZeroConstant(ir::Type type) {
+    return module_->InternConstant(ir::MakeIntConstant(type, 0)).index;
+  }
+  std::uint32_t ZeroConstant64() { return ZeroConstant(ir::Type::I64()); }
+  std::uint32_t NegZeroConstant(ir::Type type) {
+    return type == ir::Type::F32()
+               ? module_->InternConstant(ir::MakeF32Constant(-0.0f)).index
+               : module_->InternConstant(ir::MakeF64Constant(-0.0)).index;
+  }
+
+ public:
+  void SetModule(ir::Module* module) { module_ = module; }
+
+ private:
+  void EmitBlock(std::uint32_t b) {
+    const auto& insts = original_.blocks[b].instructions;
+    // Checks are deferred until just before the protected value reaches a
+    // store/call (where corruption escapes the register file) or the block
+    // ends — maximizing the window in which a flip of the original diverges
+    // from the redundant recomputation.
+    std::vector<Instruction> pending;
+    auto flush_matching = [&](const Instruction& consumer) {
+      for (std::size_t p = 0; p < pending.size();) {
+        bool consumed = false;
+        for (const ir::ValueRef& operand : consumer.operands) {
+          consumed =
+              consumed || (operand.IsRegister() && operand.index == pending[p].result);
+        }
+        if (consumed) {
+          InsertCheck(pending[p]);
+          pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(p));
+        } else {
+          ++p;
+        }
+      }
+    };
+
+    bool in_leading_phis = true;
+    std::vector<std::uint32_t> pending_phi_shadows;
+    for (std::uint32_t i = 0; i < insts.size(); ++i) {
+      const Instruction& inst = insts[i];
+      if (in_leading_phis && inst.op != Opcode::kPhi) {
+        // The phi group ended: shadow copies of phi leaves are legal now.
+        for (const std::uint32_t reg : pending_phi_shadows) EmitShadowCopy(reg);
+        pending_phi_shadows.clear();
+        in_leading_phis = false;
+      }
+      if (ir::IsTerminator(inst.op)) {
+        for (const Instruction& protected_inst : pending) InsertCheck(protected_inst);
+        pending.clear();
+      } else if (inst.op == Opcode::kStore || inst.op == Opcode::kCall) {
+        flush_matching(inst);
+      }
+      AppendOriginal(inst);
+      if (inst.DefinesValue() && needed_leaves_.count(inst.result) != 0 &&
+          !IsPureComputation(inst)) {
+        if (inst.op == Opcode::kPhi) {
+          pending_phi_shadows.push_back(inst.result);
+        } else {
+          EmitShadowCopy(inst.result);
+        }
+      }
+      if (chosen_.count(ir::StaticInstrId{function_index_, b, i}) != 0) {
+        if (inst.DefinesValue()) {
+          pending.push_back(inst);
+        } else {
+          ++stats_.skipped_instructions;  // stores/branches define nothing to check
+        }
+      }
+    }
+  }
+
+  /// Clones the pure-computation chain ending at register `reg`; leaves read
+  /// their shadow copies.
+  std::uint32_t CloneChain(std::uint32_t reg,
+                           std::unordered_map<std::uint32_t, std::uint32_t>& memo, int& budget) {
+    const auto it = memo.find(reg);
+    if (it != memo.end()) return it->second;
+    const auto shadow = shadow_.find(reg);
+    if (shadow != shadow_.end()) return shadow->second;
+    const auto& site = def_site_[reg];
+    if (!site.has_value() || budget <= 0) return reg;
+    const Instruction& def = original_.blocks[site->block].instructions[site->instr];
+    if (!IsPureComputation(def)) return reg;  // leaf without shadow (budget path)
+    --budget;
+
+    Instruction clone = def;
+    for (ir::ValueRef& operand : clone.operands) {
+      if (!operand.IsRegister()) continue;
+      operand = ir::ValueRef::Reg(CloneChain(operand.index, memo, budget));
+    }
+    clone.result = result_.AddRegister(def.type, original_.registers[def.result].name + ".dup");
+    result_.blocks[current_].instructions.push_back(clone);
+    ++stats_.cloned_instructions;
+    memo.emplace(reg, clone.result);
+    return clone.result;
+  }
+
+  void InsertCheck(const Instruction& inst) {
+    std::uint32_t redundant_reg;
+    if (IsPureComputation(inst)) {
+      // Re-execute the computation chain in the redundant stream.
+      std::unordered_map<std::uint32_t, std::uint32_t> memo;
+      int budget = 64;
+      Instruction clone = inst;
+      for (ir::ValueRef& operand : clone.operands) {
+        if (!operand.IsRegister()) continue;
+        operand = ir::ValueRef::Reg(CloneChain(operand.index, memo, budget));
+      }
+      clone.result =
+          result_.AddRegister(inst.type, original_.registers[inst.result].name + ".dup");
+      result_.blocks[current_].instructions.push_back(clone);
+      ++stats_.cloned_instructions;
+      redundant_reg = clone.result;
+    } else {
+      // Leaf (load/phi): the redundant value is the def-time shadow copy.
+      const auto shadow = shadow_.find(inst.result);
+      if (shadow == shadow_.end()) {
+        ++stats_.skipped_instructions;
+        return;
+      }
+      redundant_reg = shadow->second;
+    }
+
+    // diff = (original != redundant). NaN compares unordered, so a fault that
+    // turns one stream into NaN slips past the ordered-ne predicate — the
+    // same blind spot real float duplication checkers have.
+    Instruction cmp;
+    cmp.type = ir::Type::I1();
+    cmp.operands = {ir::ValueRef::Reg(inst.result), ir::ValueRef::Reg(redundant_reg)};
+    if (inst.type.IsFloat()) {
+      cmp.op = Opcode::kFCmp;
+      cmp.fcmp_pred = ir::FCmpPred::kOne;
+    } else {
+      cmp.op = Opcode::kICmp;
+      cmp.icmp_pred = ir::ICmpPred::kNe;
+    }
+    cmp.result = result_.AddRegister(ir::Type::I1(), "diff");
+    result_.blocks[current_].instructions.push_back(cmp);
+    const std::uint32_t diff_reg = cmp.result;
+
+    const std::uint32_t detect_block = NewBlock("detect." + std::to_string(current_));
+    const std::uint32_t cont_block = NewBlock("cont." + std::to_string(current_));
+
+    Instruction branch;
+    branch.op = Opcode::kCondBr;
+    branch.operands = {ir::ValueRef::Reg(diff_reg)};
+    branch.bb_true = detect_block;  // final index: no fixup
+    branch.bb_false = cont_block;
+    result_.blocks[current_].instructions.push_back(branch);
+
+    Instruction detect_call;
+    detect_call.op = Opcode::kCall;
+    detect_call.is_intrinsic = true;
+    detect_call.intrinsic = ir::Intrinsic::kDetect;
+    detect_call.type = ir::Type::Void();
+    result_.blocks[detect_block].instructions.push_back(detect_call);
+    Instruction detect_br;
+    detect_br.op = Opcode::kBr;
+    detect_br.bb_true = cont_block;  // unreachable in practice (detect traps)
+    result_.blocks[detect_block].instructions.push_back(detect_br);
+
+    current_ = cont_block;
+    ++stats_.protected_instructions;
+  }
+
+  const ir::Function& original_;
+  const std::set<ir::StaticInstrId>& chosen_;
+  std::uint32_t function_index_;
+  TransformStats& stats_;
+
+  ir::Function result_;
+  std::uint32_t current_ = 0;
+  std::vector<std::optional<DefSite>> def_site_;
+  std::unordered_set<std::uint32_t> needed_leaves_;
+  std::unordered_map<std::uint32_t, std::uint32_t> shadow_;  ///< leaf -> shadow reg
+  std::vector<std::uint32_t> block_start_;  ///< old block -> first new piece
+  std::vector<std::uint32_t> block_end_;    ///< old block -> last new piece
+  std::vector<Fixup> fixups_;
+
+  ir::Module* module_ = nullptr;  ///< for interning identity-op constants
+};
+
+}  // namespace
+
+TransformResult ApplyDuplication(const ir::Module& original,
+                                 std::span<const ir::StaticInstrId> chosen) {
+  TransformResult result;
+  result.module = original;
+
+  std::map<std::uint32_t, std::set<ir::StaticInstrId>> by_function;
+  for (const ir::StaticInstrId& sid : chosen) by_function[sid.function].insert(sid);
+
+  for (const auto& [function_index, sids] : by_function) {
+    FunctionDuplicator duplicator(original.functions[function_index], sids, function_index,
+                                  result.stats);
+    duplicator.SetModule(&result.module);
+    result.module.functions[function_index] = duplicator.Run();
+  }
+  return result;
+}
+
+}  // namespace epvf::protect

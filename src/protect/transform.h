@@ -1,0 +1,46 @@
+// Real IR-level selective duplication (paper section V, as a transform).
+//
+// Where duplication.h *plans* protection on the golden DDG and
+// evaluation.h *models* its effect by reclassifying campaign records, this
+// transform actually rewrites the module: for every protected static
+// instruction, the pure-computation backward slice (arithmetic, casts,
+// compares, selects, geps — stopping at loads, phis, calls, allocas and
+// parameters, whose values are shared with the redundant stream) is cloned
+// right after the instruction, a comparison of the two results is inserted,
+// and a mismatch branches to a block that raises the `detect` trap.
+//
+// The transformed module is a semantics-preserving program (identical
+// outputs on fault-free runs — tested), so the case study can be evaluated
+// end-to-end: run fault-injection campaigns *on the transformed module* and
+// count kDetected outcomes, with the overhead measured as the real increase
+// in retired instructions. This closes the gap between the analytical
+// protection model and ground truth, the same model-vs-injection bridge the
+// paper builds for the crash model itself.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace epvf::protect {
+
+struct TransformStats {
+  std::uint64_t protected_instructions = 0;  ///< checks actually inserted
+  std::uint64_t cloned_instructions = 0;     ///< static clones emitted
+  std::uint64_t skipped_instructions = 0;    ///< chosen but uncheckable (loads/phis/...)
+};
+
+struct TransformResult {
+  ir::Module module;  ///< the rewritten program
+  TransformStats stats;
+};
+
+/// Applies duplication + checking for every checkable instruction in
+/// `chosen` (ids refer to `original`). The result verifies and computes the
+/// same outputs as `original` in fault-free runs.
+[[nodiscard]] TransformResult ApplyDuplication(const ir::Module& original,
+                                               std::span<const ir::StaticInstrId> chosen);
+
+}  // namespace epvf::protect

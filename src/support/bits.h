@@ -1,0 +1,57 @@
+// Bit-level helpers shared by the ACE, crash-bit and fault-injection layers.
+//
+// The whole ePVF methodology is phrased in terms of single-bit flips of
+// register values (the fault model of the paper, section II-E), so these tiny
+// helpers are used pervasively: the fault injector flips a bit of an operand,
+// the crash model asks "which bit flips of this value leave the allowed
+// address interval", and the ACE accounting sums bit widths.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace epvf {
+
+/// Returns `value` with bit `bit` (0 = LSB) inverted. Bits >= 64 are invalid.
+[[nodiscard]] constexpr std::uint64_t FlipBit(std::uint64_t value, unsigned bit) noexcept {
+  return value ^ (std::uint64_t{1} << bit);
+}
+
+/// Returns `value` with `count` adjacent bits starting at `bit` inverted —
+/// the burst model for multi-bit upsets (paper section II-E notes the
+/// methodology "can be easily extended to multiple-bit flips").
+[[nodiscard]] constexpr std::uint64_t FlipBits(std::uint64_t value, unsigned bit,
+                                               unsigned count) noexcept {
+  const std::uint64_t mask = count >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << count) - 1);
+  return value ^ (mask << bit);
+}
+
+/// True if bit `bit` of `value` is set.
+[[nodiscard]] constexpr bool TestBit(std::uint64_t value, unsigned bit) noexcept {
+  return ((value >> bit) & 1u) != 0;
+}
+
+/// Mask covering the low `bits` bits; `bits` == 64 yields all-ones.
+[[nodiscard]] constexpr std::uint64_t LowMask(unsigned bits) noexcept {
+  return bits >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << bits) - 1);
+}
+
+/// Truncates `value` to its low `bits` bits.
+[[nodiscard]] constexpr std::uint64_t TruncateTo(std::uint64_t value, unsigned bits) noexcept {
+  return value & LowMask(bits);
+}
+
+/// Sign-extends the low `bits` bits of `value` to 64 bits.
+[[nodiscard]] constexpr std::uint64_t SignExtendFrom(std::uint64_t value, unsigned bits) noexcept {
+  if (bits == 0 || bits >= 64) return value;
+  const std::uint64_t sign = std::uint64_t{1} << (bits - 1);
+  value &= LowMask(bits);
+  return (value ^ sign) - sign;
+}
+
+/// Number of set bits.
+[[nodiscard]] constexpr unsigned PopCount(std::uint64_t value) noexcept {
+  return static_cast<unsigned>(std::popcount(value));
+}
+
+}  // namespace epvf

@@ -1,0 +1,81 @@
+#include "support/interval.h"
+
+#include <sstream>
+
+namespace epvf {
+
+std::string Interval::ToString() const {
+  if (IsEmpty()) return "[empty]";
+  std::ostringstream os;
+  os << "[0x" << std::hex << lo << ", 0x" << hi << "]";
+  return os.str();
+}
+
+namespace interval_ops {
+
+std::uint64_t SatAdd(std::uint64_t a, std::uint64_t b) noexcept {
+  const std::uint64_t s = a + b;
+  return s < a ? ~std::uint64_t{0} : s;
+}
+
+std::uint64_t SatSub(std::uint64_t a, std::uint64_t b) noexcept {
+  return a < b ? 0 : a - b;
+}
+
+std::uint64_t SatMul(std::uint64_t a, std::uint64_t b) noexcept {
+  if (a == 0 || b == 0) return 0;
+  const auto wide = static_cast<__uint128_t>(a) * static_cast<__uint128_t>(b);
+  if (wide > static_cast<__uint128_t>(~std::uint64_t{0})) return ~std::uint64_t{0};
+  return static_cast<std::uint64_t>(wide);
+}
+
+Interval InverseAddConst(Interval d, std::uint64_t c) noexcept {
+  if (d.IsEmpty()) return Interval::Empty();
+  // op = dest - c. Destinations below c are unreachable for a non-negative op,
+  // so the effective destination interval is d ∩ [c, +inf).
+  if (d.hi < c) return Interval::Empty();
+  const std::uint64_t lo = SatSub(d.lo, c);
+  const std::uint64_t hi = d.hi - c;
+  return Interval{lo, hi};
+}
+
+Interval InverseSubLeft(Interval d, std::uint64_t c) noexcept {
+  if (d.IsEmpty()) return Interval::Empty();
+  // op = dest + c. If even the smallest allowed dest pushes op past the top of
+  // the domain, no operand value qualifies.
+  const std::uint64_t lo = d.lo + c;
+  if (lo < d.lo) return Interval::Empty();  // overflowed
+  const std::uint64_t hi = SatAdd(d.hi, c);
+  return Interval{lo, hi};
+}
+
+Interval InverseSubRight(Interval d, std::uint64_t a) noexcept {
+  if (d.IsEmpty()) return Interval::Empty();
+  // op = a - dest, valid only while dest <= a (unsigned semantics).
+  if (d.lo > a) return Interval::Empty();
+  const std::uint64_t hi_dest = d.hi < a ? d.hi : a;  // clamp dest to [d.lo, a]
+  return Interval{a - hi_dest, a - d.lo};
+}
+
+Interval InverseMulConst(Interval d, std::uint64_t c) noexcept {
+  if (d.IsEmpty()) return Interval::Empty();
+  if (c == 0) return d.Contains(0) ? Interval::Full() : Interval::Empty();
+  // op = dest / c, rounding the lower bound up and the upper bound down.
+  const std::uint64_t lo = d.lo / c + (d.lo % c != 0 ? 1 : 0);
+  const std::uint64_t hi = d.hi / c;
+  if (lo > hi) return Interval::Empty();
+  return Interval{lo, hi};
+}
+
+Interval InverseDivConst(Interval d, std::uint64_t c) noexcept {
+  if (d.IsEmpty()) return Interval::Empty();
+  if (c == 0) return Interval::Full();  // division by zero traps elsewhere
+  // dest = op / c  =>  op in [dest*c, dest*c + c - 1] for each dest.
+  const std::uint64_t lo = SatMul(d.lo, c);
+  const std::uint64_t hi = SatAdd(SatMul(d.hi, c), c - 1);
+  return Interval{lo, hi};
+}
+
+}  // namespace interval_ops
+
+}  // namespace epvf

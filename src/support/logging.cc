@@ -1,0 +1,22 @@
+#include "support/logging.h"
+
+#include <cstdio>
+
+namespace epvf {
+
+namespace {
+LogLevel g_level = LogLevel::kQuiet;
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+void LogInfo(const std::string& message) {
+  if (g_level >= LogLevel::kInfo) std::fprintf(stderr, "[epvf] %s\n", message.c_str());
+}
+
+void LogDebug(const std::string& message) {
+  if (g_level >= LogLevel::kDebug) std::fprintf(stderr, "[epvf:debug] %s\n", message.c_str());
+}
+
+}  // namespace epvf

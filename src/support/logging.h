@@ -1,0 +1,20 @@
+// Minimal leveled logging. The analysis pipeline is library code, so it never
+// prints by default; benches and examples may raise the level for progress
+// visibility. Not thread-safe by design — the pipeline is single-threaded and
+// the parallel backward-slice exploration (paper section VI-A) shards work
+// without shared logging.
+#pragma once
+
+#include <string>
+
+namespace epvf {
+
+enum class LogLevel { kQuiet = 0, kInfo = 1, kDebug = 2 };
+
+void SetLogLevel(LogLevel level);
+[[nodiscard]] LogLevel GetLogLevel();
+
+void LogInfo(const std::string& message);
+void LogDebug(const std::string& message);
+
+}  // namespace epvf

@@ -1,0 +1,88 @@
+#include "support/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace epvf {
+
+namespace {
+constexpr double kZ95 = 1.959963984540054;
+}  // namespace
+
+double ProportionCI::Low() const noexcept { return std::max(0.0, rate - half_width); }
+double ProportionCI::High() const noexcept { return std::min(1.0, rate + half_width); }
+
+ProportionCI BinomialCI95(std::uint64_t successes, std::uint64_t trials) noexcept {
+  ProportionCI ci;
+  ci.successes = successes;
+  ci.trials = trials;
+  if (trials == 0) return ci;
+  const double p = static_cast<double>(successes) / static_cast<double>(trials);
+  ci.rate = p;
+  ci.half_width = kZ95 * std::sqrt(p * (1.0 - p) / static_cast<double>(trials));
+  return ci;
+}
+
+ProportionCI WilsonCI95(std::uint64_t successes, std::uint64_t trials) noexcept {
+  ProportionCI ci;
+  ci.successes = successes;
+  ci.trials = trials;
+  if (trials == 0) return ci;
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = kZ95 * kZ95;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half = (kZ95 * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n))) / denom;
+  ci.rate = center;
+  ci.half_width = half;
+  return ci;
+}
+
+double Mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double Variance(std::span<const double> xs) noexcept {
+  if (xs.size() < 2) return 0.0;
+  const double mu = Mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - mu) * (x - mu);
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+double StdDev(std::span<const double> xs) noexcept { return std::sqrt(Variance(xs)); }
+
+double GeometricMean(std::span<const double> xs, double floor) noexcept {
+  if (xs.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double x : xs) log_sum += std::log(std::max(x, floor));
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double NormalizedVariance(std::span<const double> xs) noexcept {
+  const double mu = Mean(xs);
+  if (mu == 0.0) return 0.0;
+  return Variance(xs) / (mu * mu);
+}
+
+double PearsonCorrelation(std::span<const double> xs, std::span<const double> ys) noexcept {
+  if (xs.size() != ys.size() || xs.size() < 2) return 0.0;
+  const double mx = Mean(xs);
+  const double my = Mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace epvf

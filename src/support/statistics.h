@@ -1,0 +1,69 @@
+// Small statistics toolbox for the evaluation harness.
+//
+// The paper reports every fault-injection-derived rate with a 95% confidence
+// interval (error bars in Figures 5-9 and 13) and summarizes the protection
+// case study with a geometric mean. These helpers compute exactly those
+// quantities so the bench binaries can print paper-style rows.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace epvf {
+
+/// A proportion estimate with a symmetric normal-approximation confidence
+/// interval, the standard presentation for fault-injection outcome rates.
+struct ProportionCI {
+  double rate = 0.0;       ///< successes / trials
+  double half_width = 0.0; ///< z * sqrt(p(1-p)/n)
+  std::uint64_t successes = 0;
+  std::uint64_t trials = 0;
+
+  [[nodiscard]] double Low() const noexcept;
+  [[nodiscard]] double High() const noexcept;
+};
+
+/// 95% (z = 1.96) normal-approximation CI for a binomial proportion.
+[[nodiscard]] ProportionCI BinomialCI95(std::uint64_t successes, std::uint64_t trials) noexcept;
+
+/// Wilson score interval — better behaved for rates near 0 or 1 and the small
+/// per-benchmark campaign sizes used in tests.
+[[nodiscard]] ProportionCI WilsonCI95(std::uint64_t successes, std::uint64_t trials) noexcept;
+
+[[nodiscard]] double Mean(std::span<const double> xs) noexcept;
+[[nodiscard]] double Variance(std::span<const double> xs) noexcept;  ///< sample variance
+[[nodiscard]] double StdDev(std::span<const double> xs) noexcept;
+
+/// Geometric mean; zero entries are clamped to `floor` so a single perfectly
+/// protected benchmark does not zero out the aggregate (paper Figure 13 style).
+[[nodiscard]] double GeometricMean(std::span<const double> xs, double floor = 1e-6) noexcept;
+
+/// Coefficient-of-variation style normalized variance used by the paper's
+/// ACE-graph-sampling applicability probe (section IV-E): variance of the
+/// subsample estimates normalized by the squared mean.
+[[nodiscard]] double NormalizedVariance(std::span<const double> xs) noexcept;
+
+/// Pearson correlation, used to verify the "analysis time correlates with ACE
+/// graph size" claim around Table V.
+[[nodiscard]] double PearsonCorrelation(std::span<const double> xs,
+                                        std::span<const double> ys) noexcept;
+
+/// Simple accumulator for streaming outcome counts.
+class Counter {
+ public:
+  void Add(bool success) noexcept {
+    ++trials_;
+    if (success) ++successes_;
+  }
+  [[nodiscard]] std::uint64_t successes() const noexcept { return successes_; }
+  [[nodiscard]] std::uint64_t trials() const noexcept { return trials_; }
+  [[nodiscard]] ProportionCI CI95() const noexcept { return BinomialCI95(successes_, trials_); }
+
+ private:
+  std::uint64_t successes_ = 0;
+  std::uint64_t trials_ = 0;
+};
+
+}  // namespace epvf

@@ -1,0 +1,25 @@
+// Monotonic wall-clock stopwatch used for Table V / Figure 10 timing rows.
+#pragma once
+
+#include <chrono>
+
+namespace epvf {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  [[nodiscard]] double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace epvf

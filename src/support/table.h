@@ -1,0 +1,43 @@
+// ASCII table rendering for the bench binaries.
+//
+// Every bench target regenerates one table or figure from the paper as rows
+// on stdout; this helper keeps the formatting consistent (aligned columns,
+// optional title and footnote) without each bench reinventing printf layouts.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace epvf {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  /// Adds one row; the row is padded or truncated to the header width.
+  void AddRow(std::vector<std::string> cells);
+
+  void SetTitle(std::string title) { title_ = std::move(title); }
+  void SetFootnote(std::string footnote) { footnote_ = std::move(footnote); }
+
+  /// Renders with a box-drawing-free layout that is stable under `tee`.
+  void Print(std::ostream& os) const;
+
+  [[nodiscard]] std::string ToString() const;
+
+  /// Formats a double with `digits` fractional digits.
+  [[nodiscard]] static std::string Num(double value, int digits = 3);
+  /// Formats a proportion as a percentage string, e.g. "63.1%".
+  [[nodiscard]] static std::string Pct(double proportion, int digits = 1);
+  /// Formats "rate ± half" as percentages, the paper's error-bar style.
+  [[nodiscard]] static std::string PctCI(double rate, double half, int digits = 1);
+
+ private:
+  std::string title_;
+  std::string footnote_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace epvf

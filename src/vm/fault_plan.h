@@ -1,0 +1,23 @@
+// Fault specification for a single injection run.
+//
+// Mirrors LLFI's injection model as the paper uses it (section IV-A): a
+// single transient bit flip into a *source register* of one executed dynamic
+// instruction. Because the flip is applied to a register that is read by the
+// targeted instruction, every injected fault is activated by construction —
+// matching "all faults are activated as they are used in the instruction".
+#pragma once
+
+#include <cstdint>
+
+namespace epvf::vm {
+
+struct FaultPlan {
+  std::uint64_t dyn_index = 0;  ///< dynamic instruction at which to inject
+  std::uint8_t operand_slot = 0;  ///< which source operand's register to corrupt
+  std::uint8_t bit = 0;           ///< first bit to flip (must be < operand width)
+  /// Burst length: adjacent bits flipped together (1 = the paper's primary
+  /// single-bit model; >1 = the section II-E multi-bit extension).
+  std::uint8_t num_bits = 1;
+};
+
+}  // namespace epvf::vm

@@ -1,0 +1,543 @@
+#include "vm/interpreter.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+#include "vm/value.h"
+
+namespace epvf::vm {
+
+namespace {
+
+using ir::Opcode;
+using ir::Type;
+
+/// Saturating double→signed conversion (fptosi on hardware is UB-ish for out
+/// of range values; the simulated platform defines it as saturate, NaN → 0).
+std::int64_t SafeFpToInt(double d) {
+  if (std::isnan(d)) return 0;
+  constexpr double kMax = 9.2233720368547758e18;
+  if (d >= kMax) return std::numeric_limits<std::int64_t>::max();
+  if (d <= -kMax) return std::numeric_limits<std::int64_t>::min();
+  return static_cast<std::int64_t>(d);
+}
+
+bool EvalICmp(ir::ICmpPred pred, Type type, std::uint64_t a, std::uint64_t b) {
+  const std::int64_t sa = SignedOf(type, a);
+  const std::int64_t sb = SignedOf(type, b);
+  switch (pred) {
+    case ir::ICmpPred::kEq: return a == b;
+    case ir::ICmpPred::kNe: return a != b;
+    case ir::ICmpPred::kSlt: return sa < sb;
+    case ir::ICmpPred::kSle: return sa <= sb;
+    case ir::ICmpPred::kSgt: return sa > sb;
+    case ir::ICmpPred::kSge: return sa >= sb;
+    case ir::ICmpPred::kUlt: return a < b;
+    case ir::ICmpPred::kUle: return a <= b;
+    case ir::ICmpPred::kUgt: return a > b;
+    case ir::ICmpPred::kUge: return a >= b;
+  }
+  return false;
+}
+
+bool EvalFCmp(ir::FCmpPred pred, Type type, std::uint64_t a, std::uint64_t b) {
+  const double da = type == Type::F32() ? FloatFromBits(a) : DoubleFromBits(a);
+  const double db = type == Type::F32() ? FloatFromBits(b) : DoubleFromBits(b);
+  switch (pred) {
+    case ir::FCmpPred::kOeq: return da == db;
+    case ir::FCmpPred::kOne: return da != db && !std::isnan(da) && !std::isnan(db);
+    case ir::FCmpPred::kOlt: return da < db;
+    case ir::FCmpPred::kOle: return da <= db;
+    case ir::FCmpPred::kOgt: return da > db;
+    case ir::FCmpPred::kOge: return da >= db;
+  }
+  return false;
+}
+
+/// Integer/float binary evaluation; sets `trap` on arithmetic errors.
+std::uint64_t EvalBinary(Opcode op, Type type, std::uint64_t a, std::uint64_t b,
+                         TrapKind& trap) {
+  const unsigned width = type.BitWidth();
+  switch (op) {
+    case Opcode::kAdd: return a + b;
+    case Opcode::kSub: return a - b;
+    case Opcode::kMul: return a * b;
+    case Opcode::kUDiv:
+      if (b == 0) { trap = TrapKind::kArithmetic; return 0; }
+      return a / b;
+    case Opcode::kURem:
+      if (b == 0) { trap = TrapKind::kArithmetic; return 0; }
+      return a % b;
+    case Opcode::kSDiv: {
+      const std::int64_t sa = SignedOf(type, a);
+      const std::int64_t sb = SignedOf(type, b);
+      // x86 raises #DE on both divide-by-zero and INT_MIN / -1 overflow.
+      if (sb == 0 || (sb == -1 && sa == std::numeric_limits<std::int64_t>::min())) {
+        trap = TrapKind::kArithmetic;
+        return 0;
+      }
+      return static_cast<std::uint64_t>(sa / sb);
+    }
+    case Opcode::kSRem: {
+      const std::int64_t sa = SignedOf(type, a);
+      const std::int64_t sb = SignedOf(type, b);
+      if (sb == 0 || (sb == -1 && sa == std::numeric_limits<std::int64_t>::min())) {
+        trap = TrapKind::kArithmetic;
+        return 0;
+      }
+      return static_cast<std::uint64_t>(sa % sb);
+    }
+    case Opcode::kAnd: return a & b;
+    case Opcode::kOr: return a | b;
+    case Opcode::kXor: return a ^ b;
+    case Opcode::kShl: return b >= width ? 0 : a << b;
+    case Opcode::kLShr: return b >= width ? 0 : a >> b;
+    case Opcode::kAShr: {
+      const std::int64_t sa = SignedOf(type, a);
+      if (b >= width) return sa < 0 ? ~std::uint64_t{0} : 0;
+      return static_cast<std::uint64_t>(sa >> b);
+    }
+    case Opcode::kFAdd:
+    case Opcode::kFSub:
+    case Opcode::kFMul:
+    case Opcode::kFDiv: {
+      if (type == Type::F32()) {
+        const float fa = FloatFromBits(a);
+        const float fb = FloatFromBits(b);
+        float r = 0;
+        switch (op) {
+          case Opcode::kFAdd: r = fa + fb; break;
+          case Opcode::kFSub: r = fa - fb; break;
+          case Opcode::kFMul: r = fa * fb; break;
+          default: r = fa / fb; break;  // IEEE: /0 yields inf, no trap
+        }
+        return BitsFromFloat(r);
+      }
+      const double da = DoubleFromBits(a);
+      const double db = DoubleFromBits(b);
+      double r = 0;
+      switch (op) {
+        case Opcode::kFAdd: r = da + db; break;
+        case Opcode::kFSub: r = da - db; break;
+        case Opcode::kFMul: r = da * db; break;
+        default: r = da / db; break;
+      }
+      return BitsFromDouble(r);
+    }
+    default:
+      throw std::logic_error("EvalBinary: not a binary opcode");
+  }
+}
+
+std::uint64_t EvalIntrinsicMath(ir::Intrinsic which, std::uint64_t a, std::uint64_t b) {
+  const double x = DoubleFromBits(a);
+  const double y = DoubleFromBits(b);
+  double r = 0;
+  switch (which) {
+    case ir::Intrinsic::kSqrt: r = std::sqrt(x); break;
+    case ir::Intrinsic::kFabs: r = std::fabs(x); break;
+    case ir::Intrinsic::kExp: r = std::exp(x); break;
+    case ir::Intrinsic::kLog: r = std::log(x); break;
+    case ir::Intrinsic::kPow: r = std::pow(x, y); break;
+    case ir::Intrinsic::kFmin: r = std::fmin(x, y); break;
+    case ir::Intrinsic::kFmax: r = std::fmax(x, y); break;
+    case ir::Intrinsic::kSin: r = std::sin(x); break;
+    case ir::Intrinsic::kCos: r = std::cos(x); break;
+    case ir::Intrinsic::kFloor: r = std::floor(x); break;
+    default: throw std::logic_error("EvalIntrinsicMath: not a math intrinsic");
+  }
+  return BitsFromDouble(r);
+}
+
+TrapKind TrapFromMemFault(mem::MemFault fault) {
+  switch (fault) {
+    case mem::MemFault::kSegFault: return TrapKind::kSegFault;
+    case mem::MemFault::kMisaligned: return TrapKind::kMisaligned;
+    case mem::MemFault::kNone: return TrapKind::kNone;
+  }
+  return TrapKind::kNone;
+}
+
+}  // namespace
+
+std::string_view TrapKindName(TrapKind kind) {
+  switch (kind) {
+    case TrapKind::kNone: return "none";
+    case TrapKind::kSegFault: return "segfault";
+    case TrapKind::kAbort: return "abort";
+    case TrapKind::kMisaligned: return "misaligned";
+    case TrapKind::kArithmetic: return "arithmetic";
+    case TrapKind::kDetected: return "detected";
+    case TrapKind::kInstructionLimit: return "instruction-limit";
+  }
+  return "<bad>";
+}
+
+Interpreter::Interpreter(const ir::Module& module, ExecOptions options)
+    : module_(module), options_(std::move(options)), memory_(options_.layout, options_.jitter) {
+  if (options_.record_map_history) memory_.RecordHistory(true);
+  // Place globals in the data segment and write initializers.
+  global_addresses_.reserve(module_.globals.size());
+  for (const auto& g : module_.globals) {
+    const std::uint64_t addr = memory_.AllocateData(g.ByteSize());
+    global_addresses_.push_back(addr);
+    if (!g.init.empty()) {
+      memory_.WriteBytes(addr, std::span<const std::uint8_t>(g.init));
+    }
+  }
+}
+
+std::uint64_t Interpreter::ValueOf(const Frame& frame, ir::ValueRef ref) const {
+  switch (ref.kind) {
+    case ir::ValueKind::kRegister: return frame.regs[ref.index];
+    case ir::ValueKind::kConstant: return module_.GetConstant(ref.index).bits;
+    case ir::ValueKind::kGlobal: return global_addresses_[ref.index];
+    case ir::ValueKind::kNone: break;
+  }
+  throw std::logic_error("Interpreter::ValueOf: bad value reference");
+}
+
+RunResult Interpreter::Run(std::string_view entry, TraceSink* sink) {
+  RunResult result;
+  const auto entry_index = module_.FindFunction(entry);
+  if (!entry_index) throw std::invalid_argument("Interpreter: no function named " + std::string(entry));
+  const ir::Function& entry_fn = module_.functions[*entry_index];
+  if (entry_fn.num_params != 0) {
+    throw std::invalid_argument("Interpreter: entry function must take no parameters");
+  }
+
+  std::vector<Frame> stack;
+  {
+    Frame frame;
+    frame.fn = *entry_index;
+    frame.regs.assign(entry_fn.registers.size(), 0);
+    frame.saved_esp = memory_.esp();
+    stack.push_back(std::move(frame));
+  }
+  if (sink != nullptr) sink->OnEnterFunction(*entry_index);
+
+  std::uint64_t dyn = 0;
+  std::vector<std::uint64_t> operand_buf;
+
+  const std::optional<FaultPlan>& fault = options_.fault;
+
+  auto trap_out = [&](TrapKind kind, std::uint64_t addr) {
+    result.trap = kind;
+    result.trap_dyn_index = dyn;
+    result.trap_addr = addr;
+    result.instructions_executed = dyn;
+    return result;
+  };
+
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    const ir::Function& fn = module_.functions[frame.fn];
+    const ir::BasicBlock& bb = fn.blocks[frame.block];
+    if (frame.ip >= bb.instructions.size()) {
+      throw std::logic_error("Interpreter: fell off the end of block " + bb.name);
+    }
+    const ir::Instruction& inst = bb.instructions[frame.ip];
+
+    if (dyn >= options_.max_instructions) {
+      return trap_out(TrapKind::kInstructionLimit, 0);
+    }
+
+    DynContext ctx;
+    ctx.dyn_index = dyn;
+    ctx.sid = ir::StaticInstrId{frame.fn, frame.block, frame.ip};
+    ctx.module = &module_;
+    ctx.fn = &fn;
+    ctx.inst = &inst;
+
+    // --- operand gathering + fault injection --------------------------------
+    operand_buf.assign(inst.operands.size(), 0);
+    const bool fault_here = fault.has_value() && fault->dyn_index == dyn;
+
+    if (inst.op == Opcode::kPhi) {
+      // Precompute the whole leading phi group on first encounter so that
+      // mutually-referencing phis (buffer swaps) see pre-transfer values.
+      if (!frame.phi_values_valid) {
+        frame.phi_values.assign(bb.instructions.size(), 0);
+        for (std::uint32_t pi = frame.ip;
+             pi < bb.instructions.size() && bb.instructions[pi].op == Opcode::kPhi; ++pi) {
+          const ir::Instruction& phi = bb.instructions[pi];
+          bool found = false;
+          for (std::uint32_t i = 0; i < phi.phi_blocks.size(); ++i) {
+            if (phi.phi_blocks[i] == frame.prev_block) {
+              frame.phi_values[pi] = ValueOf(frame, phi.operands[i]);
+              found = true;
+              break;
+            }
+          }
+          if (!found) {
+            throw std::logic_error("Interpreter: phi has no incoming edge for predecessor");
+          }
+        }
+        frame.phi_values_valid = true;
+      }
+      std::uint32_t selected = DynContext::kNoSelection;
+      for (std::uint32_t i = 0; i < inst.phi_blocks.size(); ++i) {
+        if (inst.phi_blocks[i] == frame.prev_block) {
+          selected = i;
+          break;
+        }
+      }
+      ctx.selected_operand = selected;
+      operand_buf[selected] = frame.phi_values[frame.ip];
+      if (fault_here && fault->operand_slot == selected &&
+          inst.operands[selected].IsRegister()) {
+        // Source-register injection: corrupt the incoming register, and let
+        // this phi read the corrupted value.
+        const auto reg = inst.operands[selected].index;
+        const Type rt = fn.registers[reg].type;
+        frame.regs[reg] =
+            Canonicalize(rt, FlipBits(frame.regs[reg], fault->bit, fault->num_bits));
+        operand_buf[selected] = frame.regs[reg];
+        result.fault_was_applied = true;
+      }
+    } else {
+      frame.phi_values_valid = false;
+      if (fault_here && fault->operand_slot < inst.operands.size()) {
+        const ir::ValueRef target = inst.operands[fault->operand_slot];
+        if (target.IsRegister()) {
+          const Type rt = fn.registers[target.index].type;
+          frame.regs[target.index] = Canonicalize(
+              rt, FlipBits(frame.regs[target.index], fault->bit, fault->num_bits));
+          result.fault_was_applied = true;
+        }
+      }
+      for (std::size_t i = 0; i < inst.operands.size(); ++i) {
+        operand_buf[i] = ValueOf(frame, inst.operands[i]);
+      }
+      // Flips into constant/global operands corrupt only this use.
+      if (fault_here && fault->operand_slot < inst.operands.size() &&
+          !inst.operands[fault->operand_slot].IsRegister()) {
+        const Type ot = module_.TypeOf(fn, inst.operands[fault->operand_slot]);
+        operand_buf[fault->operand_slot] = Canonicalize(
+            ot, FlipBits(operand_buf[fault->operand_slot], fault->bit, fault->num_bits));
+        result.fault_was_applied = true;
+      }
+    }
+    ctx.operand_values = std::span<const std::uint64_t>(operand_buf);
+
+    auto set_result = [&](std::uint64_t bits) {
+      const std::uint64_t canonical = Canonicalize(inst.type, bits);
+      frame.regs[inst.result] = canonical;
+      ctx.has_result = true;
+      ctx.result_bits = canonical;
+    };
+
+    // --- execution ------------------------------------------------------------
+    std::uint32_t next_block = ir::kInvalidIndex;
+    bool did_return = false;
+    bool did_call = false;
+    std::uint64_t ret_bits = 0;
+    bool ret_has_value = false;
+
+    switch (inst.op) {
+      case Opcode::kICmp:
+        set_result(EvalICmp(inst.icmp_pred, module_.TypeOf(fn, inst.operands[0]),
+                            operand_buf[0], operand_buf[1])
+                       ? 1
+                       : 0);
+        break;
+      case Opcode::kFCmp:
+        set_result(EvalFCmp(inst.fcmp_pred, module_.TypeOf(fn, inst.operands[0]),
+                            operand_buf[0], operand_buf[1])
+                       ? 1
+                       : 0);
+        break;
+      case Opcode::kSelect:
+        set_result((operand_buf[0] & 1) != 0 ? operand_buf[1] : operand_buf[2]);
+        break;
+      case Opcode::kPhi:
+        set_result(operand_buf[ctx.selected_operand]);
+        break;
+      case Opcode::kTrunc:
+      case Opcode::kBitCast:
+      case Opcode::kPtrToInt:
+      case Opcode::kIntToPtr:
+        set_result(operand_buf[0]);  // canonicalization truncates as needed
+        break;
+      case Opcode::kZExt:
+        set_result(operand_buf[0]);
+        break;
+      case Opcode::kSExt:
+        set_result(SignExtendFrom(operand_buf[0],
+                                  module_.TypeOf(fn, inst.operands[0]).BitWidth()));
+        break;
+      case Opcode::kSIToFP: {
+        const auto sv = SignedOf(module_.TypeOf(fn, inst.operands[0]), operand_buf[0]);
+        set_result(inst.type == Type::F32()
+                       ? BitsFromFloat(static_cast<float>(sv))
+                       : BitsFromDouble(static_cast<double>(sv)));
+        break;
+      }
+      case Opcode::kUIToFP:
+        set_result(inst.type == Type::F32()
+                       ? BitsFromFloat(static_cast<float>(operand_buf[0]))
+                       : BitsFromDouble(static_cast<double>(operand_buf[0])));
+        break;
+      case Opcode::kFPToSI: {
+        const Type from = module_.TypeOf(fn, inst.operands[0]);
+        const double d =
+            from == Type::F32() ? FloatFromBits(operand_buf[0]) : DoubleFromBits(operand_buf[0]);
+        set_result(static_cast<std::uint64_t>(SafeFpToInt(d)));
+        break;
+      }
+      case Opcode::kFPTrunc:
+        set_result(BitsFromFloat(static_cast<float>(DoubleFromBits(operand_buf[0]))));
+        break;
+      case Opcode::kFPExt:
+        set_result(BitsFromDouble(static_cast<double>(FloatFromBits(operand_buf[0]))));
+        break;
+      case Opcode::kAlloca: {
+        const std::uint64_t new_esp = (memory_.esp() - inst.alloca_bytes) & ~std::uint64_t{15};
+        memory_.SetEsp(new_esp);
+        set_result(new_esp);
+        break;
+      }
+      case Opcode::kGep: {
+        const Type index_type = module_.TypeOf(fn, inst.operands[1]);
+        const std::uint64_t index = SignExtendFrom(operand_buf[1], index_type.BitWidth());
+        set_result(operand_buf[0] + inst.gep_elem_bytes * index);
+        break;
+      }
+      case Opcode::kLoad: {
+        const std::uint64_t addr = operand_buf[0];
+        const unsigned size = inst.type.StoreSize();
+        const mem::MemFault mf = memory_.CheckAccess(addr, size);
+        if (mf != mem::MemFault::kNone) return trap_out(TrapFromMemFault(mf), addr);
+        set_result(memory_.LoadScalar(addr, size));
+        ctx.is_mem_access = true;
+        ctx.mem_addr = addr;
+        ctx.mem_size = size;
+        ctx.map_version = memory_.map().version();
+        ctx.esp = memory_.esp();
+        break;
+      }
+      case Opcode::kStore: {
+        const std::uint64_t addr = operand_buf[1];
+        const Type value_type = module_.TypeOf(fn, inst.operands[0]);
+        const unsigned size = value_type.StoreSize();
+        const mem::MemFault mf = memory_.CheckAccess(addr, size);
+        if (mf != mem::MemFault::kNone) return trap_out(TrapFromMemFault(mf), addr);
+        memory_.StoreScalar(addr, size, operand_buf[0]);
+        ctx.is_mem_access = true;
+        ctx.mem_addr = addr;
+        ctx.mem_size = size;
+        ctx.map_version = memory_.map().version();
+        ctx.esp = memory_.esp();
+        break;
+      }
+      case Opcode::kBr:
+        next_block = inst.bb_true;
+        break;
+      case Opcode::kCondBr:
+        next_block = (operand_buf[0] & 1) != 0 ? inst.bb_true : inst.bb_false;
+        break;
+      case Opcode::kRet:
+        did_return = true;
+        ret_has_value = !inst.operands.empty();
+        if (ret_has_value) ret_bits = operand_buf[0];
+        break;
+      case Opcode::kCall: {
+        if (inst.is_intrinsic) {
+          switch (inst.intrinsic) {
+            case ir::Intrinsic::kOutputI64:
+              result.output.push_back(operand_buf[0]);
+              break;
+            case ir::Intrinsic::kOutputF64: {
+              // Programs emit output through printf-style formatting with
+              // limited precision ("%.6g" here); SDC detection compares that
+              // printed text, so sub-precision floating-point deviations are
+              // masked exactly as in the paper's LLFI-based methodology.
+              char text[64];
+              std::snprintf(text, sizeof text, "%.6g", DoubleFromBits(operand_buf[0]));
+              result.output.push_back(BitsFromDouble(std::strtod(text, nullptr)));
+              break;
+            }
+            case ir::Intrinsic::kMalloc:
+              set_result(memory_.Malloc(operand_buf[0]));
+              break;
+            case ir::Intrinsic::kFree:
+              memory_.Free(operand_buf[0]);
+              break;
+            case ir::Intrinsic::kAbort:
+              return trap_out(TrapKind::kAbort, 0);
+            case ir::Intrinsic::kAssert:
+              if ((operand_buf[0] & 1) == 0) return trap_out(TrapKind::kAbort, 0);
+              break;
+            case ir::Intrinsic::kDetect:
+              return trap_out(TrapKind::kDetected, 0);
+            default:
+              set_result(EvalIntrinsicMath(inst.intrinsic, operand_buf[0],
+                                           inst.operands.size() > 1 ? operand_buf[1] : 0));
+              break;
+          }
+        } else {
+          did_call = true;
+        }
+        break;
+      }
+      default: {
+        // Binary arithmetic/bitwise.
+        TrapKind arith = TrapKind::kNone;
+        const std::uint64_t r =
+            EvalBinary(inst.op, inst.type, operand_buf[0], operand_buf[1], arith);
+        if (arith != TrapKind::kNone) return trap_out(arith, 0);
+        set_result(r);
+        break;
+      }
+    }
+
+    if (sink != nullptr) sink->OnInstruction(ctx);
+    ++dyn;
+
+    if (did_return) {
+      const std::uint64_t restored_esp = frame.saved_esp;
+      const std::uint32_t result_reg = frame.caller_result_reg;
+      const Type ret_type = fn.return_type;
+      stack.pop_back();
+      memory_.SetEsp(restored_esp);
+      if (sink != nullptr) sink->OnExitFunction(ret_has_value && !stack.empty());
+      if (!stack.empty() && ret_has_value && result_reg != ir::kInvalidIndex) {
+        stack.back().regs[result_reg] = Canonicalize(ret_type, ret_bits);
+      }
+      continue;
+    }
+    if (did_call) {
+      // Advance the caller past the call before pushing the callee frame.
+      frame.ip += 1;
+      const std::uint32_t callee_index = inst.callee;
+      const ir::Function& callee = module_.functions[callee_index];
+      Frame callee_frame;
+      callee_frame.fn = callee_index;
+      callee_frame.regs.assign(callee.registers.size(), 0);
+      for (std::uint32_t i = 0; i < callee.num_params; ++i) {
+        callee_frame.regs[i] = Canonicalize(callee.registers[i].type, operand_buf[i]);
+      }
+      callee_frame.saved_esp = memory_.esp();
+      callee_frame.caller_result_reg = inst.DefinesValue() ? inst.result : ir::kInvalidIndex;
+      stack.push_back(std::move(callee_frame));
+      if (sink != nullptr) sink->OnEnterFunction(callee_index);
+      continue;
+    }
+    if (next_block != ir::kInvalidIndex) {
+      frame.prev_block = frame.block;
+      frame.block = next_block;
+      frame.ip = 0;
+      frame.phi_values_valid = false;
+      continue;
+    }
+    frame.ip += 1;
+  }
+
+  result.instructions_executed = dyn;
+  return result;
+}
+
+}  // namespace epvf::vm

@@ -1,0 +1,101 @@
+// The IR interpreter — our execution platform.
+//
+// Substitutes for the paper's native x86/Linux testbed: it executes modules
+// deterministically over a SimMemory address space, raising the exact crash
+// taxonomy of Table I (segmentation fault, abort, misaligned access,
+// arithmetic error), publishing the dynamic trace + per-access segment
+// probes to a TraceSink, and optionally applying a single-bit FaultPlan
+// (LLFI-style). The same engine therefore serves the three roles the paper
+// needs: golden profiling run, fault-injection run, and protected-program
+// evaluation run.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ir/module.h"
+#include "mem/sim_memory.h"
+#include "vm/fault_plan.h"
+#include "vm/trace.h"
+
+namespace epvf::vm {
+
+/// Why a run stopped. kNone means normal completion.
+enum class TrapKind : std::uint8_t {
+  kNone,
+  kSegFault,          ///< Table I "SF"
+  kAbort,             ///< Table I "A" (abort/assert intrinsics)
+  kMisaligned,        ///< Table I "MMA"
+  kArithmetic,        ///< Table I "AE" (div/rem by zero, INT_MIN / -1)
+  kDetected,          ///< duplication check fired (section V transform)
+  kInstructionLimit,  ///< budget exceeded — classified as a hang by the FI layer
+};
+
+[[nodiscard]] std::string_view TrapKindName(TrapKind kind);
+
+struct ExecOptions {
+  std::uint64_t max_instructions = 200'000'000;
+  mem::MemoryLayout layout;
+  mem::LayoutJitter jitter;
+  /// Snapshot the memory map at every version (golden/profiling runs).
+  bool record_map_history = false;
+  std::optional<FaultPlan> fault;
+};
+
+struct RunResult {
+  TrapKind trap = TrapKind::kNone;
+  std::uint64_t instructions_executed = 0;
+  std::uint64_t trap_dyn_index = 0;   ///< dyn index of the faulting instruction
+  std::uint64_t trap_addr = 0;        ///< faulting address for memory traps
+  bool fault_was_applied = false;     ///< the FaultPlan's site was reached
+  std::vector<std::uint64_t> output;  ///< raw output-stream payloads
+
+  [[nodiscard]] bool Completed() const { return trap == TrapKind::kNone; }
+  [[nodiscard]] bool Crashed() const {
+    return trap == TrapKind::kSegFault || trap == TrapKind::kAbort ||
+           trap == TrapKind::kMisaligned || trap == TrapKind::kArithmetic;
+  }
+};
+
+class Interpreter {
+ public:
+  Interpreter(const ir::Module& module, ExecOptions options);
+
+  /// Executes `entry` (no arguments) to completion or trap.
+  RunResult Run(std::string_view entry = "main", TraceSink* sink = nullptr);
+
+  [[nodiscard]] const mem::SimMemory& memory() const { return memory_; }
+  [[nodiscard]] mem::SimMemory& memory() { return memory_; }
+  [[nodiscard]] std::uint64_t GlobalAddress(std::uint32_t global_index) const {
+    return global_addresses_[global_index];
+  }
+
+ private:
+  struct Frame {
+    std::uint32_t fn = 0;
+    std::uint32_t block = 0;
+    std::uint32_t prev_block = ir::kInvalidIndex;
+    std::uint32_t ip = 0;  ///< next instruction index within block
+    std::vector<std::uint64_t> regs;
+    std::uint64_t saved_esp = 0;
+    std::uint32_t caller_result_reg = ir::kInvalidIndex;
+    /// LLVM phi semantics are parallel: all phis at a block's head read their
+    /// incoming values simultaneously (buffer-swap phis depend on this). The
+    /// leading phi group's values are computed together on block entry and
+    /// consumed one instruction at a time.
+    std::vector<std::uint64_t> phi_values;
+    bool phi_values_valid = false;
+  };
+
+  [[nodiscard]] std::uint64_t ValueOf(const Frame& frame, ir::ValueRef ref) const;
+
+  const ir::Module& module_;
+  ExecOptions options_;
+  mem::SimMemory memory_;
+  std::vector<std::uint64_t> global_addresses_;
+};
+
+}  // namespace epvf::vm

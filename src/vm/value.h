@@ -1,0 +1,54 @@
+// Runtime value representation.
+//
+// Every register holds a canonical 64-bit payload: integers are stored
+// zero-truncated to their declared width, floats/doubles are stored as their
+// IEEE bit patterns (f32 in the low 32 bits), pointers as raw addresses.
+// A single representation makes single-bit fault injection uniform — the
+// injector flips a payload bit and re-truncates, regardless of type.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "ir/type.h"
+#include "support/bits.h"
+
+namespace epvf::vm {
+
+[[nodiscard]] inline std::uint64_t BitsFromDouble(double d) {
+  std::uint64_t b;
+  std::memcpy(&b, &d, sizeof b);
+  return b;
+}
+
+[[nodiscard]] inline double DoubleFromBits(std::uint64_t b) {
+  double d;
+  std::memcpy(&d, &b, sizeof d);
+  return d;
+}
+
+[[nodiscard]] inline std::uint64_t BitsFromFloat(float f) {
+  std::uint32_t b;
+  std::memcpy(&b, &f, sizeof b);
+  return b;
+}
+
+[[nodiscard]] inline float FloatFromBits(std::uint64_t b) {
+  const auto low = static_cast<std::uint32_t>(b);
+  float f;
+  std::memcpy(&f, &low, sizeof f);
+  return f;
+}
+
+/// Canonicalizes a payload for a register of type `type` (truncates integers
+/// to width; f32 keeps only its low 32 bits).
+[[nodiscard]] inline std::uint64_t Canonicalize(ir::Type type, std::uint64_t bits) {
+  return TruncateTo(bits, type.BitWidth());
+}
+
+/// Signed view of an integer payload of the given type.
+[[nodiscard]] inline std::int64_t SignedOf(ir::Type type, std::uint64_t bits) {
+  return static_cast<std::int64_t>(SignExtendFrom(bits, type.BitWidth()));
+}
+
+}  // namespace epvf::vm

@@ -1,0 +1,145 @@
+// Crash-semantics tests: the Figure 4 fault-decision logic at bit-level
+// boundary precision, and its agreement with CHECK_BOUNDARY's intervals.
+#include <gtest/gtest.h>
+
+#include "mem/crash_semantics.h"
+#include "mem/sim_memory.h"
+#include "support/rng.h"
+
+namespace epvf::mem {
+namespace {
+
+class CrashSemanticsTest : public ::testing::Test {
+ protected:
+  CrashSemanticsTest() {
+    map_.Add(Vma{layout_.heap_base, layout_.heap_base + 0x4000, SegmentKind::kHeap});
+    map_.Add(Vma{layout_.stack_top - 0x4000, layout_.stack_top, SegmentKind::kStack});
+    esp_ = layout_.stack_top - 0x1000;
+  }
+
+  MemoryLayout layout_;
+  MemoryMap map_;
+  std::uint64_t esp_;
+};
+
+TEST_F(CrashSemanticsTest, CommonCaseInsideVma) {
+  const auto d = DecideAccess(map_, esp_, layout_.heap_base + 16, 4, layout_);
+  EXPECT_EQ(d.fault, MemFault::kNone);
+  EXPECT_FALSE(d.grow_stack);
+}
+
+TEST_F(CrashSemanticsTest, CaseTwoAboveVmaEndFaults) {
+  // One byte beyond the heap vma (Figure 4 "case II").
+  const auto d = DecideAccess(map_, esp_, layout_.heap_base + 0x4000, 1, layout_);
+  EXPECT_EQ(d.fault, MemFault::kSegFault);
+  // Last valid byte.
+  const auto ok = DecideAccess(map_, esp_, layout_.heap_base + 0x3FFF, 1, layout_);
+  EXPECT_EQ(ok.fault, MemFault::kNone);
+}
+
+TEST_F(CrashSemanticsTest, AccessStraddlingVmaEndFaults) {
+  const auto d = DecideAccess(map_, esp_, layout_.heap_base + 0x3FFD, 4, layout_);
+  EXPECT_EQ(d.fault, MemFault::kSegFault) << "4-byte access with 3 bytes in-bounds";
+}
+
+TEST_F(CrashSemanticsTest, CaseOneGrowWindowExactBoundaries) {
+  // Figure 4 "case I": addr >= esp - 65536 - 128 grows the stack.
+  const std::uint64_t floor = esp_ - 65536 - 128;
+  const auto grow = DecideAccess(map_, esp_, floor, 1, layout_);
+  EXPECT_EQ(grow.fault, MemFault::kNone);
+  EXPECT_TRUE(grow.grow_stack);
+  EXPECT_EQ(grow.grow_to, floor & ~std::uint64_t{4095});
+
+  const auto fault = DecideAccess(map_, esp_, floor - 1, 1, layout_);
+  EXPECT_EQ(fault.fault, MemFault::kSegFault) << "one byte below the grow window";
+}
+
+TEST_F(CrashSemanticsTest, StackGrowthRespectsEightMegabyteLimit) {
+  // Move ESP down near the 8 MB limit: the grow window clamps to the limit.
+  const std::uint64_t stack_bottom_limit = layout_.stack_top - layout_.stack_limit_bytes;
+  const std::uint64_t esp = stack_bottom_limit + 64;
+  const auto inside = DecideAccess(map_, esp, stack_bottom_limit, 1, layout_);
+  EXPECT_EQ(inside.fault, MemFault::kNone);
+  EXPECT_TRUE(inside.grow_stack);
+  const auto outside = DecideAccess(map_, esp, stack_bottom_limit - 1, 1, layout_);
+  EXPECT_EQ(outside.fault, MemFault::kSegFault)
+      << "growth must not exceed RLIMIT_STACK's 8 MB";
+}
+
+TEST_F(CrashSemanticsTest, UnmappedGapFaults) {
+  const auto d = DecideAccess(map_, esp_, 0x123, 4, layout_);
+  EXPECT_EQ(d.fault, MemFault::kSegFault);
+}
+
+TEST_F(CrashSemanticsTest, MisalignedAccessClassification) {
+  EXPECT_FALSE(IsMisaligned(layout_.heap_base + 1, 1));
+  EXPECT_FALSE(IsMisaligned(layout_.heap_base + 1, 2));
+  EXPECT_TRUE(IsMisaligned(layout_.heap_base + 1, 4));
+  EXPECT_TRUE(IsMisaligned(layout_.heap_base + 2, 8));
+  EXPECT_FALSE(IsMisaligned(layout_.heap_base + 4, 4));
+  EXPECT_FALSE(IsMisaligned(layout_.heap_base + 4, 8)) << "Table I: 4-byte alignment rule";
+
+  const auto d = DecideAccess(map_, esp_, layout_.heap_base + 2, 4, layout_);
+  EXPECT_EQ(d.fault, MemFault::kMisaligned);
+}
+
+TEST_F(CrashSemanticsTest, SegFaultTakesPriorityOverMisalignment) {
+  const auto d = DecideAccess(map_, esp_, 0x1001, 4, layout_);
+  EXPECT_EQ(d.fault, MemFault::kSegFault) << "page fault precedes alignment trap";
+}
+
+// --- CHECK_BOUNDARY agreement (the model <-> platform contract) --------------
+
+TEST_F(CrashSemanticsTest, AllowedIntervalMatchesHeapVma) {
+  const Interval i =
+      AllowedAddressInterval(map_, esp_, layout_.heap_base + 100, 4, layout_);
+  EXPECT_EQ(i.lo, layout_.heap_base);
+  EXPECT_EQ(i.hi, layout_.heap_base + 0x4000 - 4);
+}
+
+TEST_F(CrashSemanticsTest, AllowedIntervalWidensStackToGrowWindow) {
+  const Interval i =
+      AllowedAddressInterval(map_, esp_, layout_.stack_top - 64, 8, layout_);
+  EXPECT_EQ(i.lo, esp_ - 65536 - 128) << "stack lower bound is the grow window";
+  EXPECT_EQ(i.hi, layout_.stack_top - 8);
+}
+
+TEST_F(CrashSemanticsTest, AllowedIntervalEmptyOutsideAnyVma) {
+  EXPECT_TRUE(AllowedAddressInterval(map_, esp_, 0x42, 4, layout_).IsEmpty());
+}
+
+/// Property: for addresses inside the access's own segment, the interval
+/// returned by CHECK_BOUNDARY agrees exactly with the DecideAccess verdict.
+/// (Outside the segment the model conservatively predicts a fault even if the
+/// address lands in a *different* mapped segment — the documented source of
+/// <100% precision.)
+class BoundaryAgreement : public CrashSemanticsTest,
+                          public ::testing::WithParamInterface<unsigned> {};
+
+TEST_P(BoundaryAgreement, IntervalMatchesDecisionNearBoundaries) {
+  const unsigned size = GetParam();
+  const Interval allowed =
+      AllowedAddressInterval(map_, esp_, layout_.heap_base + 64, size, layout_);
+  Rng rng(size);
+  auto check = [&](std::uint64_t addr) {
+    const bool heap_range =
+        addr >= layout_.heap_base - 0x1000 && addr < layout_.heap_base + 0x5000;
+    if (!heap_range) return;  // interval only speaks for the access's segment
+    const auto d = DecideAccess(map_, esp_, addr, size, layout_);
+    const bool faults = d.fault == MemFault::kSegFault;
+    EXPECT_EQ(allowed.Contains(addr), !faults) << "addr=0x" << std::hex << addr;
+  };
+  // Exhaustive near both edges, random in the middle.
+  for (std::uint64_t delta = 0; delta < 16; ++delta) {
+    check(layout_.heap_base - 8 + delta);
+    check(layout_.heap_base + 0x4000 - 8 + delta);
+  }
+  for (int i = 0; i < 200; ++i) {
+    check(layout_.heap_base - 0x800 + rng.Below(0x5000));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BoundaryAgreement, ::testing::Values(1u, 2u, 4u, 8u));
+
+}  // namespace
+}  // namespace epvf::mem

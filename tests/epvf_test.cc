@@ -1,0 +1,160 @@
+// ePVF pipeline tests: headline metrics (Eq. 1-3), sampling estimator, and
+// the invariants that make ePVF a meaningful bound.
+#include <gtest/gtest.h>
+
+#include "apps/app.h"
+#include "epvf/analysis.h"
+#include "epvf/sampling.h"
+#include "ir/builder.h"
+
+namespace epvf::core {
+namespace {
+
+using ir::IRBuilder;
+using ir::Module;
+using ir::Type;
+using ir::ValueRef;
+
+TEST(Analysis, ThrowsOnTrappingGoldenRun) {
+  Module m;
+  IRBuilder b(m);
+  (void)b.CreateFunction("main", Type::Void(), {});
+  (void)b.CallIntrinsic(ir::Intrinsic::kAbort, {});
+  b.RetVoid();
+  EXPECT_THROW((void)Analysis::Run(m), std::runtime_error);
+}
+
+TEST(Analysis, ThrowsOnMalformedModule) {
+  Module m;
+  IRBuilder b(m);
+  (void)b.CreateFunction("main", Type::Void(), {});
+  // no terminator
+  EXPECT_THROW((void)Analysis::Run(m), std::runtime_error);
+}
+
+class AnalysisInvariants : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AnalysisInvariants, MetricOrderingHolds) {
+  const apps::App app = apps::BuildApp(GetParam(), apps::AppConfig{.scale = 0});
+  const Analysis a = Analysis::Run(app.module);
+
+  // Eq. 1/2 ordering: 0 <= ePVF <= PVF <= 1 (crash bits ⊆ ACE bits).
+  EXPECT_GE(a.Epvf(), 0.0);
+  EXPECT_LE(a.Epvf(), a.Pvf());
+  EXPECT_LE(a.Pvf(), 1.0);
+
+  // Same ordering in the use-weighted space, plus the crash estimate fits
+  // under the ACE mass.
+  EXPECT_LE(a.EpvfUseWeighted(), a.PvfUseWeighted());
+  EXPECT_LE(a.CrashRateEstimate(), a.PvfUseWeighted());
+  EXPECT_GE(a.CrashRateEstimate(), 0.0);
+  EXPECT_NEAR(a.EpvfUseWeighted() + a.CrashRateEstimate(), a.PvfUseWeighted(), 1e-9)
+      << "use-space: ACE mass = ePVF mass + crash mass";
+
+  // Crash-bit accounting consistency.
+  EXPECT_LE(a.crash_bits().total_crash_bits, a.ace().ace_bits);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AnalysisInvariants, ::testing::ValuesIn(apps::AppNames()),
+                         [](const auto& info) { return info.param; });
+
+TEST(Analysis, PerInstructionMetricsAggregateConsistently) {
+  const apps::App app = apps::BuildApp("mm", apps::AppConfig{.scale = 0});
+  const Analysis a = Analysis::Run(app.module);
+  const auto metrics = a.PerInstructionMetrics();
+  ASSERT_FALSE(metrics.empty());
+  std::uint64_t exec_total = 0;
+  for (const InstrMetrics& m : metrics) {
+    exec_total += m.exec_count;
+    EXPECT_LE(m.crash_bits, m.ace_bits);
+    EXPECT_LE(m.ace_bits, m.total_bits);
+    EXPECT_GE(m.Epvf(), 0.0);
+    EXPECT_LE(m.Epvf(), m.Pvf());
+  }
+  EXPECT_EQ(exec_total, a.graph().NumDynInstrs())
+      << "every dynamic instruction belongs to exactly one static instruction";
+}
+
+TEST(Analysis, EpvfDiscriminatesWherePvfSaturates) {
+  // The Figure 12 phenomenon: per-instruction PVF clusters at 1, while ePVF
+  // spreads out. Check the spread (variance) ordering on a real kernel.
+  const apps::App app = apps::BuildApp("nw", apps::AppConfig{.scale = 0});
+  const Analysis a = Analysis::Run(app.module);
+  const auto metrics = a.PerInstructionMetrics();
+  int pvf_at_one = 0;
+  int epvf_at_one = 0;
+  int counted = 0;
+  for (const InstrMetrics& m : metrics) {
+    if (m.total_bits == 0) continue;
+    ++counted;
+    pvf_at_one += m.Pvf() > 0.99;
+    epvf_at_one += m.Epvf() > 0.99;
+  }
+  ASSERT_GT(counted, 10);
+  EXPECT_GT(pvf_at_one, counted / 2) << "PVF clusters near 1";
+  EXPECT_LT(epvf_at_one, pvf_at_one) << "ePVF has more discriminative power";
+}
+
+TEST(Analysis, TimingsArePopulated) {
+  const apps::App app = apps::BuildApp("lud", apps::AppConfig{.scale = 0});
+  const Analysis a = Analysis::Run(app.module);
+  EXPECT_GT(a.timings().TotalSeconds(), 0.0);
+  EXPECT_GE(a.timings().trace_and_graph_seconds, 0.0);
+  EXPECT_GE(a.timings().crash_model_seconds, 0.0);
+}
+
+TEST(Analysis, InstructionBudgetIsHonored) {
+  const apps::App app = apps::BuildApp("mm", apps::AppConfig{.scale = 0});
+  AnalysisOptions options;
+  options.max_instructions = 100;  // far below the kernel's needs
+  EXPECT_THROW((void)Analysis::Run(app.module, options), std::runtime_error);
+}
+
+// --- sampling (section IV-E) -------------------------------------------------
+
+class SamplingAccuracy : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SamplingAccuracy, TenPercentExtrapolationIsClose) {
+  // Figure 11: regular kernels extrapolate well from 10% of the roots.
+  const apps::App app = apps::BuildApp(GetParam(), apps::AppConfig{.scale = 0});
+  const Analysis a = Analysis::Run(app.module);
+  const SamplingEstimate est = EstimateBySampling(a, 0.10);
+  EXPECT_GT(est.partial_ace_nodes, 0u);
+  EXPECT_LE(est.partial_ace_nodes, est.full_ace_nodes);
+  EXPECT_LT(est.AbsoluteError(), 0.15)
+      << "extrapolated=" << est.extrapolated_epvf << " full=" << est.full_epvf;
+}
+
+INSTANTIATE_TEST_SUITE_P(RegularApps, SamplingAccuracy,
+                         ::testing::Values("mm", "hotspot", "pathfinder", "lavaMD"),
+                         [](const auto& info) { return info.param; });
+
+TEST(Sampling, FullFractionRecoversExactValue) {
+  const apps::App app = apps::BuildApp("mm", apps::AppConfig{.scale = 0});
+  const Analysis a = Analysis::Run(app.module);
+  const SamplingEstimate est = EstimateBySampling(a, 1.0);
+  EXPECT_NEAR(est.extrapolated_epvf, est.full_epvf, 5e-2)
+      << "sampling every root must closely recover the full ePVF";
+  EXPECT_DOUBLE_EQ(est.effective_fraction, 1.0);
+}
+
+TEST(Sampling, LargerFractionsReduceError) {
+  const apps::App app = apps::BuildApp("hotspot", apps::AppConfig{.scale = 0});
+  const Analysis a = Analysis::Run(app.module);
+  const double err_small = EstimateBySampling(a, 0.02).AbsoluteError();
+  const double err_large = EstimateBySampling(a, 0.5).AbsoluteError();
+  EXPECT_LE(err_large, err_small + 0.05);
+}
+
+TEST(Sampling, RepetitivenessProbeIsFiniteAndDeterministic) {
+  const apps::App app = apps::BuildApp("lud", apps::AppConfig{.scale = 0});
+  const Analysis a = Analysis::Run(app.module);
+  const RepetitivenessProbe p1 = ProbeRepetitiveness(a, 0.01, 8, 7);
+  const RepetitivenessProbe p2 = ProbeRepetitiveness(a, 0.01, 8, 7);
+  EXPECT_EQ(p1.normalized_variance, p2.normalized_variance);
+  EXPECT_GE(p1.normalized_variance, 0.0);
+  EXPECT_EQ(p1.trials, 8);
+}
+
+}  // namespace
+}  // namespace epvf::core

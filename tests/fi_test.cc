@@ -1,0 +1,237 @@
+// Fault-injection layer tests: outcome classification, site enumeration,
+// campaign statistics/determinism, and the recall/precision experiments on
+// deterministic layouts (where the model's contract is exact).
+#include <gtest/gtest.h>
+
+#include "apps/app.h"
+#include "epvf/analysis.h"
+#include "fi/campaign.h"
+#include "fi/targeted.h"
+#include "ir/builder.h"
+
+namespace epvf::fi {
+namespace {
+
+using ir::IRBuilder;
+using ir::Module;
+using ir::Type;
+using ir::ValueRef;
+
+TEST(Outcome, ClassificationTable) {
+  vm::RunResult golden;
+  golden.output = {1, 2, 3};
+
+  vm::RunResult run;
+  run.output = {1, 2, 3};
+  EXPECT_EQ(Classify(run, golden), Outcome::kBenign);
+  run.output = {1, 2, 4};
+  EXPECT_EQ(Classify(run, golden), Outcome::kSdc);
+  run.output = {1, 2};  // truncated output is a mismatch
+  EXPECT_EQ(Classify(run, golden), Outcome::kSdc);
+
+  run.trap = vm::TrapKind::kSegFault;
+  EXPECT_EQ(Classify(run, golden), Outcome::kCrashSegFault);
+  run.trap = vm::TrapKind::kAbort;
+  EXPECT_EQ(Classify(run, golden), Outcome::kCrashAbort);
+  run.trap = vm::TrapKind::kMisaligned;
+  EXPECT_EQ(Classify(run, golden), Outcome::kCrashMisaligned);
+  run.trap = vm::TrapKind::kArithmetic;
+  EXPECT_EQ(Classify(run, golden), Outcome::kCrashArithmetic);
+  run.trap = vm::TrapKind::kInstructionLimit;
+  EXPECT_EQ(Classify(run, golden), Outcome::kHang);
+  run.trap = vm::TrapKind::kDetected;
+  EXPECT_EQ(Classify(run, golden), Outcome::kDetected);
+}
+
+TEST(Outcome, CrashPredicate) {
+  EXPECT_TRUE(IsCrash(Outcome::kCrashSegFault));
+  EXPECT_TRUE(IsCrash(Outcome::kCrashAbort));
+  EXPECT_TRUE(IsCrash(Outcome::kCrashMisaligned));
+  EXPECT_TRUE(IsCrash(Outcome::kCrashArithmetic));
+  EXPECT_FALSE(IsCrash(Outcome::kSdc));
+  EXPECT_FALSE(IsCrash(Outcome::kBenign));
+  EXPECT_FALSE(IsCrash(Outcome::kHang));
+  EXPECT_FALSE(IsCrash(Outcome::kDetected));
+}
+
+TEST(FaultSites, EnumerationSkipsConstantsAndUnselectedPhiSlots) {
+  Module m;
+  IRBuilder b(m);
+  (void)b.CreateFunction("main", Type::Void(), {});
+  const ValueRef x = b.Add(b.I64(1), b.I64(2), "x");  // both constant operands
+  const ValueRef y = b.Add(x, b.I64(3), "y");         // one register operand
+  b.Output(y);
+  b.RetVoid();
+  const core::Analysis a = core::Analysis::Run(m);
+  const auto sites = EnumerateFaultSites(a.graph());
+  // x's add: no register operands. y's add: slot 0. output call: slot 0.
+  ASSERT_EQ(sites.size(), 2u);
+  EXPECT_EQ(sites[0].slot, 0);
+  EXPECT_EQ(sites[0].width, 64);
+  EXPECT_EQ(sites[0].node, a.graph().GetDyn(sites[0].dyn_index).result_node == ddg::kNoNode
+                               ? sites[0].node
+                               : sites[0].node);  // node is x's def
+}
+
+TEST(Campaign, DeterministicForSameSeed) {
+  const apps::App app = apps::BuildApp("lud", apps::AppConfig{.scale = 0});
+  const core::Analysis a = core::Analysis::Run(app.module);
+  CampaignOptions options;
+  options.num_runs = 40;
+  options.seed = 123;
+  const CampaignStats s1 = RunCampaign(app.module, a.graph(), a.golden(), options);
+  const CampaignStats s2 = RunCampaign(app.module, a.graph(), a.golden(), options);
+  EXPECT_EQ(s1.counts, s2.counts);
+  options.seed = 124;
+  const CampaignStats s3 = RunCampaign(app.module, a.graph(), a.golden(), options);
+  EXPECT_NE(s1.records[0].site.dyn_index * 64 + s1.records[0].bit,
+            s3.records[0].site.dyn_index * 64 + s3.records[0].bit)
+      << "different seeds should pick different first sites (w.h.p.)";
+}
+
+TEST(Campaign, StatisticsAreConsistent) {
+  const apps::App app = apps::BuildApp("pathfinder", apps::AppConfig{.scale = 0});
+  const core::Analysis a = core::Analysis::Run(app.module);
+  CampaignOptions options;
+  options.num_runs = 80;
+  const CampaignStats stats = RunCampaign(app.module, a.graph(), a.golden(), options);
+  EXPECT_EQ(stats.Total(), 80u);
+  EXPECT_EQ(stats.records.size(), 80u);
+  double rate_sum = 0;
+  for (int i = 0; i < kNumOutcomes; ++i) rate_sum += stats.Rate(static_cast<Outcome>(i));
+  EXPECT_NEAR(rate_sum, 1.0, 1e-12);
+  EXPECT_EQ(stats.CrashCount(),
+            stats.Count(Outcome::kCrashSegFault) + stats.Count(Outcome::kCrashAbort) +
+                stats.Count(Outcome::kCrashMisaligned) +
+                stats.Count(Outcome::kCrashArithmetic));
+  double share_sum = 0;
+  if (stats.CrashCount() > 0) {
+    share_sum = stats.CrashShare(Outcome::kCrashSegFault) +
+                stats.CrashShare(Outcome::kCrashAbort) +
+                stats.CrashShare(Outcome::kCrashMisaligned) +
+                stats.CrashShare(Outcome::kCrashArithmetic);
+    EXPECT_NEAR(share_sum, 1.0, 1e-12);
+  }
+  EXPECT_GT(stats.CrashCI().half_width, 0.0);
+}
+
+TEST(Campaign, EveryRecordedFaultWasActivated) {
+  const apps::App app = apps::BuildApp("mm", apps::AppConfig{.scale = 0});
+  const core::Analysis a = core::Analysis::Run(app.module);
+  CampaignOptions options;
+  options.num_runs = 30;
+  Injector injector(app.module, a.golden(), options.injector);
+  const auto sites = EnumerateFaultSites(a.graph());
+  Rng rng(5);
+  for (int i = 0; i < options.num_runs; ++i) {
+    const FaultSite& site = sites[rng.Below(sites.size())];
+    const auto result = injector.Inject(site, static_cast<std::uint8_t>(rng.Below(site.width)));
+    EXPECT_TRUE(result.run.fault_was_applied)
+        << "source-register injection is activated by construction";
+  }
+}
+
+TEST(Injector, JitterIsBoundedAndSeedsDiffer) {
+  const apps::App app = apps::BuildApp("mm", apps::AppConfig{.scale = 0});
+  const core::Analysis a = core::Analysis::Run(app.module);
+  InjectorOptions options;
+  options.jitter_pages = 4;
+  Injector injector(app.module, a.golden(), options);
+  Rng rng(77);
+  for (int i = 0; i < 50; ++i) {
+    const mem::LayoutJitter j = injector.DrawJitter(rng);
+    EXPECT_LE(std::abs(j.heap_shift_pages), 4);
+    EXPECT_LE(std::abs(j.stack_shift_pages), 4);
+    EXPECT_LE(std::abs(j.data_shift_pages), 4);
+  }
+}
+
+TEST(Injector, ZeroJitterIsDeterministic) {
+  const apps::App app = apps::BuildApp("mm", apps::AppConfig{.scale = 0});
+  const core::Analysis a = core::Analysis::Run(app.module);
+  Injector injector(app.module, a.golden(), InjectorOptions{});
+  Rng rng(1);
+  const mem::LayoutJitter j = injector.DrawJitter(rng);
+  EXPECT_TRUE(j.IsZero());
+}
+
+// --- recall & precision (section IV-B) on a deterministic layout ---------------
+
+class TargetedExperiments : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TargetedExperiments, PrecisionIsHighWithoutJitter) {
+  const apps::App app = apps::BuildApp(GetParam(), apps::AppConfig{.scale = 0});
+  const core::Analysis a = core::Analysis::Run(app.module);
+  Injector injector(app.module, a.golden(), InjectorOptions{});
+  PrecisionOptions options;
+  options.num_samples = 120;
+  const PrecisionStats stats = MeasurePrecision(injector, a.graph(), a.crash_bits(), options);
+  ASSERT_EQ(stats.injections, 120u);
+  EXPECT_GT(stats.Precision(), 0.60)
+      << "predicted crash bits must mostly crash on the deterministic layout";
+}
+
+TEST_P(TargetedExperiments, RecallIsHighWithoutJitter) {
+  const apps::App app = apps::BuildApp(GetParam(), apps::AppConfig{.scale = 0});
+  const core::Analysis a = core::Analysis::Run(app.module);
+  CampaignOptions options;
+  options.num_runs = 250;
+  const CampaignStats stats = RunCampaign(app.module, a.graph(), a.golden(), options);
+  const RecallStats recall = MeasureRecall(stats, a.crash_bits());
+  ASSERT_GT(recall.crash_runs, 20u);
+  EXPECT_GT(recall.Recall(), 0.75);
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, TargetedExperiments,
+                         ::testing::Values("mm", "nw", "pathfinder", "bfs"),
+                         [](const auto& info) { return info.param; });
+
+TEST(Campaign, ThreadCountDoesNotChangeResults) {
+  const apps::App app = apps::BuildApp("pathfinder", apps::AppConfig{.scale = 0});
+  const core::Analysis a = core::Analysis::Run(app.module);
+  CampaignOptions options;
+  options.num_runs = 60;
+  options.injector.jitter_pages = 2;
+  options.num_threads = 1;
+  const CampaignStats serial = RunCampaign(app.module, a.graph(), a.golden(), options);
+  options.num_threads = 4;
+  const CampaignStats parallel = RunCampaign(app.module, a.graph(), a.golden(), options);
+  ASSERT_EQ(serial.records.size(), parallel.records.size());
+  for (std::size_t i = 0; i < serial.records.size(); ++i) {
+    EXPECT_EQ(serial.records[i].site.dyn_index, parallel.records[i].site.dyn_index);
+    EXPECT_EQ(serial.records[i].bit, parallel.records[i].bit);
+    EXPECT_EQ(serial.records[i].outcome, parallel.records[i].outcome)
+        << "campaigns must be bit-identical for any thread count";
+  }
+  EXPECT_EQ(serial.counts, parallel.counts);
+}
+
+TEST(Recall, CountsOnlyCrashRuns) {
+  CampaignStats stats;
+  crash::CrashBits cb;
+  cb.crash_mask.assign(4, 0);
+  cb.allowed.assign(4, Interval::Full());
+  cb.crash_mask[2] = 0b100;  // node 2, bit 2 predicted
+
+  FaultRecord hit;
+  hit.site.node = 2;
+  hit.bit = 2;
+  hit.outcome = Outcome::kCrashSegFault;
+  FaultRecord miss;
+  miss.site.node = 2;
+  miss.bit = 3;
+  miss.outcome = Outcome::kCrashSegFault;
+  FaultRecord benign;
+  benign.site.node = 2;
+  benign.bit = 2;
+  benign.outcome = Outcome::kBenign;
+  stats.records = {hit, miss, benign};
+
+  const RecallStats recall = MeasureRecall(stats, cb);
+  EXPECT_EQ(recall.crash_runs, 2u);
+  EXPECT_EQ(recall.predicted, 1u);
+  EXPECT_DOUBLE_EQ(recall.Recall(), 0.5);
+}
+
+}  // namespace
+}  // namespace epvf::fi

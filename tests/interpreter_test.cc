@@ -1,0 +1,377 @@
+// Interpreter tests: instruction semantics, traps (the Table I taxonomy),
+// control flow, calls, stack discipline, intrinsics, and fault application.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "ir/builder.h"
+#include "vm/interpreter.h"
+#include "vm/value.h"
+
+namespace epvf::vm {
+namespace {
+
+using ir::ICmpPred;
+using ir::IRBuilder;
+using ir::Intrinsic;
+using ir::Module;
+using ir::Type;
+using ir::ValueRef;
+
+RunResult RunModule(const Module& m, ExecOptions opts = {}) {
+  Interpreter interp(m, std::move(opts));
+  return interp.Run();
+}
+
+TEST(Interpreter, IntegerArithmeticAndOutput) {
+  Module m;
+  IRBuilder b(m);
+  (void)b.CreateFunction("main", Type::Void(), {});
+  const ValueRef v = b.Mul(b.Add(b.I32(6), b.I32(7)), b.I32(3));  // 39
+  b.Output(v);
+  b.Output(b.Sub(b.I32(1), b.I32(2)));  // -1
+  b.Output(b.SDiv(b.I32(-7), b.I32(2)));  // -3 (trunc toward zero)
+  b.Output(b.SRem(b.I32(-7), b.I32(2)));  // -1
+  b.Output(b.UDiv(b.I32(7), b.I32(2)));  // 3
+  b.RetVoid();
+
+  const RunResult r = RunModule(m);
+  ASSERT_TRUE(r.Completed());
+  ASSERT_EQ(r.output.size(), 5u);
+  EXPECT_EQ(static_cast<std::int64_t>(r.output[0]), 39);
+  EXPECT_EQ(static_cast<std::int64_t>(r.output[1]), -1);
+  EXPECT_EQ(static_cast<std::int64_t>(r.output[2]), -3);
+  EXPECT_EQ(static_cast<std::int64_t>(r.output[3]), -1);
+  EXPECT_EQ(static_cast<std::int64_t>(r.output[4]), 3);
+}
+
+TEST(Interpreter, NarrowIntegerWraparound) {
+  Module m;
+  IRBuilder b(m);
+  (void)b.CreateFunction("main", Type::Void(), {});
+  const ValueRef v = b.Add(b.ConstInt(Type::I8(), 200), b.ConstInt(Type::I8(), 100));
+  b.Output(v);  // 300 mod 256 = 44
+  b.RetVoid();
+  const RunResult r = RunModule(m);
+  EXPECT_EQ(static_cast<std::int64_t>(r.output[0]), 44);
+}
+
+TEST(Interpreter, ShiftSemantics) {
+  Module m;
+  IRBuilder b(m);
+  (void)b.CreateFunction("main", Type::Void(), {});
+  b.Output(b.Shl(b.I32(1), b.I32(5)));        // 32
+  b.Output(b.LShr(b.I32(-8), b.I32(1)));      // logical: huge positive
+  b.Output(b.AShr(b.I32(-8), b.I32(1)));      // arithmetic: -4
+  b.Output(b.Shl(b.I32(1), b.I32(40)));       // over-shift defined as 0
+  b.RetVoid();
+  const RunResult r = RunModule(m);
+  EXPECT_EQ(r.output[0], 32u);
+  EXPECT_EQ(static_cast<std::int64_t>(r.output[1]), 0x7FFFFFFC);
+  EXPECT_EQ(static_cast<std::int64_t>(r.output[2]), -4);
+  EXPECT_EQ(r.output[3], 0u);
+}
+
+TEST(Interpreter, FloatArithmeticAndIntrinsics) {
+  Module m;
+  IRBuilder b(m);
+  (void)b.CreateFunction("main", Type::Void(), {});
+  const ValueRef x = b.FMul(b.F64(3.0), b.F64(4.0));
+  b.Output(b.CallIntrinsic(Intrinsic::kSqrt, {x}));
+  b.Output(b.CallIntrinsic(Intrinsic::kPow, {b.F64(2.0), b.F64(10.0)}));
+  b.Output(b.CallIntrinsic(Intrinsic::kFmin, {b.F64(1.5), b.F64(-2.0)}));
+  b.RetVoid();
+  const RunResult r = RunModule(m);
+  // The output channel formats with "%.6g" (the printed-output comparison
+  // model), so float outputs carry six significant digits.
+  EXPECT_NEAR(DoubleFromBits(r.output[0]), std::sqrt(12.0), 1e-5);
+  EXPECT_DOUBLE_EQ(DoubleFromBits(r.output[1]), 1024.0);
+  EXPECT_DOUBLE_EQ(DoubleFromBits(r.output[2]), -2.0);
+}
+
+TEST(Interpreter, CastChain) {
+  Module m;
+  IRBuilder b(m);
+  (void)b.CreateFunction("main", Type::Void(), {});
+  const ValueRef wide = b.SExt(b.ConstInt(Type::I8(), -5), Type::I64());
+  b.Output(wide);  // -5
+  const ValueRef narrowed = b.Trunc(b.ConstInt(Type::I64(), 0x1FF), Type::I8());
+  b.Output(narrowed);  // 0xFF -> -1 signed
+  b.Output(b.SIToFP(b.I32(-3), Type::F64()));
+  b.Output(b.FPToSI(b.F64(2.9), Type::I32()));
+  b.Output(b.FPToSI(b.F64(1e300), Type::I32()));  // saturates, then truncates
+  b.RetVoid();
+  const RunResult r = RunModule(m);
+  EXPECT_EQ(static_cast<std::int64_t>(r.output[0]), -5);
+  EXPECT_EQ(static_cast<std::int64_t>(r.output[1]), -1);
+  EXPECT_DOUBLE_EQ(DoubleFromBits(r.output[2]), -3.0);
+  EXPECT_EQ(static_cast<std::int64_t>(r.output[3]), 2);
+}
+
+TEST(Interpreter, LoopWithPhiComputesSum) {
+  Module m;
+  IRBuilder b(m);
+  (void)b.CreateFunction("main", Type::Void(), {});
+  const std::uint32_t entry = b.CurrentBlock();
+  const std::uint32_t header = b.CreateBlock("header");
+  const std::uint32_t body = b.CreateBlock("body");
+  const std::uint32_t exit = b.CreateBlock("exit");
+  b.Br(header);
+  b.SetInsertPoint(header);
+  const ValueRef i = b.Phi(Type::I64(), {{b.I64(0), entry}}, "i");
+  const ValueRef sum = b.Phi(Type::I64(), {{b.I64(0), entry}}, "sum");
+  b.CondBr(b.ICmp(ICmpPred::kSlt, i, b.I64(10)), body, exit);
+  b.SetInsertPoint(body);
+  const ValueRef sum2 = b.Add(sum, i);
+  const ValueRef i2 = b.Add(i, b.I64(1));
+  b.Br(header);
+  b.AddPhiIncoming(i, i2, body);
+  b.AddPhiIncoming(sum, sum2, body);
+  b.SetInsertPoint(exit);
+  b.Output(sum);
+  b.RetVoid();
+  const RunResult r = RunModule(m);
+  EXPECT_EQ(r.output[0], 45u);
+}
+
+TEST(Interpreter, MemoryThroughHeapAndGlobals) {
+  Module m;
+  IRBuilder b(m);
+  std::vector<std::uint8_t> init(8);
+  const std::int64_t seed_value = 0x1234;
+  std::memcpy(init.data(), &seed_value, 8);
+  const auto g = b.DeclareGlobal("seed", Type::I64(), 1, init);
+  (void)b.CreateFunction("main", Type::Void(), {});
+  const ValueRef arr = b.MallocArray(Type::I64(), b.I64(4), "arr");
+  const ValueRef seed = b.Load(b.Global(g));
+  b.Store(b.Add(seed, b.I64(1)), b.Gep(arr, b.I64(2)));
+  b.Output(b.Load(b.Gep(arr, b.I64(2))));
+  b.Output(b.Load(b.Gep(arr, b.I64(0))));  // untouched heap reads zero
+  b.RetVoid();
+  const RunResult r = RunModule(m);
+  EXPECT_EQ(r.output[0], 0x1235u);
+  EXPECT_EQ(r.output[1], 0u);
+}
+
+TEST(Interpreter, AllocaStackDiscipline) {
+  Module m;
+  IRBuilder b(m);
+  const std::uint32_t callee = b.CreateFunction("callee", Type::I64(), {Type::I64()});
+  {
+    const ValueRef slot = b.Alloca(Type::I64(), 1, "slot");
+    b.Store(b.Mul(b.Param(0), b.I64(2)), slot);
+    b.Ret(b.Load(slot));
+  }
+  (void)b.CreateFunction("main", Type::Void(), {});
+  const ValueRef a = b.Call(callee, {b.I64(21)});
+  const ValueRef c = b.Call(callee, {b.I64(100)});
+  b.Output(a);
+  b.Output(c);
+  b.RetVoid();
+  const RunResult r = RunModule(m);
+  EXPECT_EQ(r.output[0], 42u);
+  EXPECT_EQ(r.output[1], 200u);
+}
+
+TEST(Interpreter, EspRestoredAfterCall) {
+  Module m;
+  IRBuilder b(m);
+  const std::uint32_t callee = b.CreateFunction("callee", Type::Void(), {});
+  (void)b.Alloca(Type::F64(), 100);
+  b.RetVoid();
+  (void)b.CreateFunction("main", Type::Void(), {});
+  (void)b.Call(callee, std::initializer_list<ValueRef>{});
+  (void)b.Call(callee, std::initializer_list<ValueRef>{});
+  b.RetVoid();
+  Interpreter interp(m, {});
+  const RunResult r = interp.Run();
+  ASSERT_TRUE(r.Completed());
+  EXPECT_EQ(interp.memory().esp(), interp.memory().layout().stack_top)
+      << "frames must unwind fully";
+}
+
+TEST(Interpreter, PhiGroupsEvaluateInParallel) {
+  // Buffer-swap pattern: two phis exchange values each iteration; sequential
+  // phi evaluation would alias them after one trip around the loop.
+  Module m;
+  IRBuilder b(m);
+  (void)b.CreateFunction("main", Type::Void(), {});
+  const std::uint32_t entry = b.CurrentBlock();
+  const std::uint32_t header = b.CreateBlock("header");
+  const std::uint32_t body = b.CreateBlock("body");
+  const std::uint32_t exit = b.CreateBlock("exit");
+  b.Br(header);
+  b.SetInsertPoint(header);
+  const ValueRef i = b.Phi(Type::I64(), {{b.I64(0), entry}}, "i");
+  const ValueRef a = b.Phi(Type::I64(), {{b.I64(111), entry}}, "a");
+  const ValueRef c = b.Phi(Type::I64(), {{b.I64(222), entry}}, "c");
+  b.CondBr(b.ICmp(ICmpPred::kSlt, i, b.I64(3)), body, exit);
+  b.SetInsertPoint(body);
+  const ValueRef next_i = b.Add(i, b.I64(1));
+  b.Br(header);
+  b.AddPhiIncoming(i, next_i, body);
+  b.AddPhiIncoming(a, c, body);  // swap
+  b.AddPhiIncoming(c, a, body);
+  b.SetInsertPoint(exit);
+  b.Output(a);
+  b.Output(c);
+  b.RetVoid();
+  const RunResult r = RunModule(m);
+  ASSERT_TRUE(r.Completed());
+  EXPECT_EQ(r.output[0], 222u) << "3 swaps: a ends with c's initial value";
+  EXPECT_EQ(r.output[1], 111u);
+}
+
+// --- traps: the Table I crash taxonomy ----------------------------------------
+
+TEST(Trap, SegFaultOnWildLoad) {
+  Module m;
+  IRBuilder b(m);
+  (void)b.CreateFunction("main", Type::Void(), {});
+  const ValueRef p = b.IntToPtr(b.I64(0x1234), Type::I64().Ptr());
+  b.Output(b.Load(p));
+  b.RetVoid();
+  const RunResult r = RunModule(m);
+  EXPECT_EQ(r.trap, TrapKind::kSegFault);
+  EXPECT_EQ(r.trap_addr, 0x1234u);
+  EXPECT_TRUE(r.Crashed());
+}
+
+TEST(Trap, MisalignedAccess) {
+  Module m;
+  IRBuilder b(m);
+  (void)b.CreateFunction("main", Type::Void(), {});
+  const ValueRef arr = b.MallocArray(Type::I8(), b.I64(64));
+  const ValueRef odd = b.Gep(arr, b.I64(1));
+  const ValueRef as_i32 = b.BitCast(odd, Type::I32().Ptr());
+  b.Output(b.Load(as_i32));
+  b.RetVoid();
+  const RunResult r = RunModule(m);
+  EXPECT_EQ(r.trap, TrapKind::kMisaligned);
+}
+
+TEST(Trap, DivisionByZero) {
+  Module m;
+  IRBuilder b(m);
+  (void)b.CreateFunction("main", Type::Void(), {});
+  b.Output(b.SDiv(b.I32(5), b.I32(0)));
+  b.RetVoid();
+  EXPECT_EQ(RunModule(m).trap, TrapKind::kArithmetic);
+}
+
+TEST(Trap, IntMinDividedByMinusOne) {
+  Module m;
+  IRBuilder b(m);
+  (void)b.CreateFunction("main", Type::Void(), {});
+  b.Output(b.SDiv(b.ConstInt(Type::I64(), std::numeric_limits<std::int64_t>::min()),
+                  b.ConstInt(Type::I64(), -1)));
+  b.RetVoid();
+  EXPECT_EQ(RunModule(m).trap, TrapKind::kArithmetic) << "x86 #DE overflow case";
+}
+
+TEST(Trap, AbortAndAssert) {
+  Module m;
+  IRBuilder b(m);
+  (void)b.CreateFunction("main", Type::Void(), {});
+  (void)b.CallIntrinsic(Intrinsic::kAssert, {b.I1(true)});  // passes
+  (void)b.CallIntrinsic(Intrinsic::kAssert, {b.I1(false)});
+  b.RetVoid();
+  EXPECT_EQ(RunModule(m).trap, TrapKind::kAbort);
+}
+
+TEST(Trap, InstructionLimitActsAsHangDetector) {
+  Module m;
+  IRBuilder b(m);
+  (void)b.CreateFunction("main", Type::Void(), {});
+  const std::uint32_t loop = b.CreateBlock("loop");
+  b.Br(loop);
+  b.SetInsertPoint(loop);
+  b.Br(loop);
+  ExecOptions opts;
+  opts.max_instructions = 1000;
+  const RunResult r = RunModule(m, opts);
+  EXPECT_EQ(r.trap, TrapKind::kInstructionLimit);
+  EXPECT_FALSE(r.Crashed());
+}
+
+TEST(Trap, StackGrowthAllowsLargeFrames) {
+  Module m;
+  IRBuilder b(m);
+  (void)b.CreateFunction("main", Type::Void(), {});
+  const ValueRef big = b.Alloca(Type::I8(), 256 * 1024, "big");  // 256 KiB frame
+  b.Store(b.ConstInt(Type::I8(), 1), big);  // touch the lowest byte
+  b.Output(b.Load(big));
+  b.RetVoid();
+  const RunResult r = RunModule(m);
+  ASSERT_TRUE(r.Completed()) << TrapKindName(r.trap);
+  EXPECT_EQ(r.output[0], 1u);
+}
+
+// --- fault application ----------------------------------------------------------
+
+TEST(Fault, FlippedOperandChangesOutput) {
+  Module m;
+  IRBuilder b(m);
+  (void)b.CreateFunction("main", Type::Void(), {});
+  const ValueRef x = b.Add(b.I64(0), b.I64(0), "x");  // dyn 0: x = 0
+  const ValueRef y = b.Add(x, b.I64(0), "y");         // dyn 1: y = x
+  b.Output(y);                                        // dyn 2
+  b.RetVoid();
+
+  ExecOptions opts;
+  opts.fault = FaultPlan{1, 0, 5};  // flip bit 5 of x at its use by dyn 1
+  const RunResult r = RunModule(m, opts);
+  ASSERT_TRUE(r.Completed());
+  EXPECT_TRUE(r.fault_was_applied);
+  EXPECT_EQ(r.output[0], 32u);
+}
+
+TEST(Fault, RegisterCorruptionPersistsAcrossUses) {
+  Module m;
+  IRBuilder b(m);
+  (void)b.CreateFunction("main", Type::Void(), {});
+  const ValueRef x = b.Add(b.I64(1), b.I64(0), "x");  // dyn 0
+  const ValueRef y = b.Add(x, b.I64(0), "y");         // dyn 1 (fault here)
+  const ValueRef z = b.Add(x, b.I64(0), "z");         // dyn 2: also sees the flip
+  b.Output(y);
+  b.Output(z);
+  b.RetVoid();
+  ExecOptions opts;
+  opts.fault = FaultPlan{1, 0, 3};
+  const RunResult r = RunModule(m, opts);
+  EXPECT_EQ(r.output[0], 9u);
+  EXPECT_EQ(r.output[1], 9u) << "LLFI semantics: the register itself is corrupted";
+}
+
+TEST(Fault, ConstantOperandFlipIsUseLocal) {
+  Module m;
+  IRBuilder b(m);
+  (void)b.CreateFunction("main", Type::Void(), {});
+  b.Output(b.Add(b.I64(0), b.I64(0)));  // dyn 0 add, fault on slot 0 (constant)
+  b.Output(b.Add(b.I64(0), b.I64(0)));  // same constant, unaffected
+  b.RetVoid();
+  ExecOptions opts;
+  opts.fault = FaultPlan{0, 0, 2};
+  const RunResult r = RunModule(m, opts);
+  EXPECT_EQ(r.output[0], 4u);
+  EXPECT_EQ(r.output[1], 0u);
+}
+
+TEST(Fault, AddressFlipCausesSegfault) {
+  Module m;
+  IRBuilder b(m);
+  (void)b.CreateFunction("main", Type::Void(), {});
+  const ValueRef arr = b.MallocArray(Type::I64(), b.I64(8));  // dyn 0..2
+  b.Output(b.Load(b.Gep(arr, b.I64(1))));                     // gep dyn 3, load dyn 4
+  b.RetVoid();
+  ExecOptions opts;
+  opts.fault = FaultPlan{4, 0, 40};  // flip bit 40 of the load address
+  const RunResult r = RunModule(m, opts);
+  EXPECT_EQ(r.trap, TrapKind::kSegFault);
+  EXPECT_TRUE(r.fault_was_applied);
+}
+
+}  // namespace
+}  // namespace epvf::vm

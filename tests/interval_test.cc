@@ -1,0 +1,190 @@
+// Interval arithmetic: exactness of the Table III inverse images.
+//
+// The key property behind the whole propagation model: for every inverse
+// operation, a value is inside the computed operand interval IF AND ONLY IF
+// applying the forward semantics puts the destination inside its interval
+// (up to the documented saturation at the domain edges).
+#include <gtest/gtest.h>
+
+#include "support/interval.h"
+#include "support/rng.h"
+
+namespace epvf {
+namespace {
+
+using interval_ops::InverseAddConst;
+using interval_ops::InverseDivConst;
+using interval_ops::InverseMulConst;
+using interval_ops::InverseSubLeft;
+using interval_ops::InverseSubRight;
+using interval_ops::SatAdd;
+using interval_ops::SatMul;
+using interval_ops::SatSub;
+
+TEST(Interval, BasicPredicates) {
+  EXPECT_TRUE(Interval::Full().IsFull());
+  EXPECT_FALSE(Interval::Full().IsEmpty());
+  EXPECT_TRUE(Interval::Empty().IsEmpty());
+  EXPECT_TRUE(Interval::Singleton(7).Contains(7));
+  EXPECT_FALSE(Interval::Singleton(7).Contains(8));
+  EXPECT_TRUE((Interval{10, 20}.Contains(10)));
+  EXPECT_TRUE((Interval{10, 20}.Contains(20)));
+  EXPECT_FALSE((Interval{10, 20}.Contains(21)));
+}
+
+TEST(Interval, Intersect) {
+  EXPECT_EQ((Interval{0, 10}.Intersect({5, 20})), (Interval{5, 10}));
+  EXPECT_TRUE(((Interval{0, 4}.Intersect({5, 9})).IsEmpty()));
+  EXPECT_TRUE(Interval::Empty().Intersect(Interval::Full()).IsEmpty());
+  EXPECT_EQ(Interval::Full().Intersect({3, 3}), Interval::Singleton(3));
+}
+
+TEST(Interval, ToStringShowsHex) {
+  EXPECT_EQ((Interval{0x10, 0x20}.ToString()), "[0x10, 0x20]");
+  EXPECT_EQ(Interval::Empty().ToString(), "[empty]");
+}
+
+TEST(SaturatingOps, Boundaries) {
+  const std::uint64_t max = ~std::uint64_t{0};
+  EXPECT_EQ(SatAdd(max, 1), max);
+  EXPECT_EQ(SatAdd(1, 2), 3u);
+  EXPECT_EQ(SatSub(1, 2), 0u);
+  EXPECT_EQ(SatSub(5, 2), 3u);
+  EXPECT_EQ(SatMul(max, 2), max);
+  EXPECT_EQ(SatMul(0, max), 0u);
+  EXPECT_EQ(SatMul(3, 4), 12u);
+}
+
+TEST(InverseAdd, HandCases) {
+  // dest = op + 10, dest allowed [100, 200] => op in [90, 190]
+  EXPECT_EQ(InverseAddConst({100, 200}, 10), (Interval{90, 190}));
+  // entire destination interval below the constant: impossible
+  EXPECT_TRUE(InverseAddConst({0, 5}, 10).IsEmpty());
+  // lower bound clamps at zero
+  EXPECT_EQ(InverseAddConst({5, 20}, 10), (Interval{0, 10}));
+}
+
+TEST(InverseSub, HandCases) {
+  // dest = op - 10, dest allowed [0, 5] => op in [10, 15]
+  EXPECT_EQ(InverseSubLeft({0, 5}, 10), (Interval{10, 15}));
+  // dest = 100 - op, dest allowed [10, 30] => op in [70, 90]
+  EXPECT_EQ(InverseSubRight({10, 30}, 100), (Interval{70, 90}));
+  // dest can never exceed the minuend for unsigned subtraction
+  EXPECT_TRUE(InverseSubRight({200, 300}, 100).IsEmpty());
+}
+
+TEST(InverseMul, HandCases) {
+  // dest = op * 4, dest allowed [10, 30] => op in [3, 7] (ceil/floor)
+  EXPECT_EQ(InverseMulConst({10, 30}, 4), (Interval{3, 7}));
+  // no multiple of 8 inside [9, 14] => empty... 9..14 has no multiple? 8*2=16 no. correct:
+  EXPECT_TRUE(InverseMulConst({9, 15}, 8).IsEmpty());
+  // zero multiplier: dest is identically 0
+  EXPECT_TRUE(InverseMulConst({1, 5}, 0).IsEmpty());
+  EXPECT_TRUE(InverseMulConst({0, 5}, 0).IsFull());
+}
+
+TEST(InverseDiv, HandCases) {
+  // dest = op / 4 (unsigned), dest allowed [2, 3] => op in [8, 15]
+  EXPECT_EQ(InverseDivConst({2, 3}, 4), (Interval{8, 15}));
+  // division by zero traps elsewhere: no constraint derived
+  EXPECT_TRUE(InverseDivConst({2, 3}, 0).IsFull());
+}
+
+TEST(InversePaperExample, GepRangeFromRunningExample) {
+  // Paper section III-C: r5 = r6 + 4*1 with bound (0x15FA000, 0x15FB800):
+  // min(r6) = 0x15FA000 - 4, max(r6) = 0x15FB800 - 4. (The paper prints the
+  // (max, min) pair; the arithmetic is the same.)
+  const Interval bound{0x15FA000, 0x15FB800};
+  const Interval r6 = InverseAddConst(bound, 4 * 1);
+  EXPECT_EQ(r6.lo, 0x15FA000u - 4);
+  EXPECT_EQ(r6.hi, 0x15FB800u - 4);
+}
+
+// --- property sweep: inverse images are exact ---------------------------------
+
+class InverseImageProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Rng rng_{GetParam()};
+
+  Interval RandomDest() {
+    // Mix small and large intervals, including near the domain top.
+    const std::uint64_t a = rng_.Next() >> (rng_.Below(60));
+    const std::uint64_t b = a + (rng_.Next() >> (rng_.Below(60)));
+    return Interval{a, b};
+  }
+};
+
+TEST_P(InverseImageProperty, AddIsExact) {
+  for (int i = 0; i < 300; ++i) {
+    const Interval d = RandomDest();
+    const std::uint64_t c = rng_.Next() >> rng_.Below(60);
+    const Interval inv = InverseAddConst(d, c);
+    for (int k = 0; k < 20; ++k) {
+      const std::uint64_t op = rng_.Next() >> rng_.Below(60);
+      const std::uint64_t dest = op + c;
+      const bool overflow = dest < op;
+      if (!overflow) {
+        EXPECT_EQ(inv.Contains(op), d.Contains(dest))
+            << "op=" << op << " c=" << c << " d=" << d.ToString();
+      }
+    }
+  }
+}
+
+TEST_P(InverseImageProperty, SubLeftIsExact) {
+  for (int i = 0; i < 300; ++i) {
+    const Interval d = RandomDest();
+    const std::uint64_t c = rng_.Next() >> rng_.Below(60);
+    const Interval inv = InverseSubLeft(d, c);
+    for (int k = 0; k < 20; ++k) {
+      const std::uint64_t op = rng_.Next() >> rng_.Below(60);
+      if (op < c) continue;  // unsigned semantics: no borrow in the model
+      EXPECT_EQ(inv.Contains(op), d.Contains(op - c)) << "op=" << op << " c=" << c;
+    }
+  }
+}
+
+TEST_P(InverseImageProperty, SubRightIsExact) {
+  for (int i = 0; i < 300; ++i) {
+    const Interval d = RandomDest();
+    const std::uint64_t a = rng_.Next() >> rng_.Below(60);
+    const Interval inv = InverseSubRight(d, a);
+    for (int k = 0; k < 20; ++k) {
+      const std::uint64_t op = rng_.Next() >> rng_.Below(60);
+      if (op > a) continue;
+      EXPECT_EQ(inv.Contains(op), d.Contains(a - op)) << "op=" << op << " a=" << a;
+    }
+  }
+}
+
+TEST_P(InverseImageProperty, MulIsExact) {
+  for (int i = 0; i < 300; ++i) {
+    const Interval d = RandomDest();
+    const std::uint64_t c = 1 + (rng_.Next() >> (40 + rng_.Below(20)));
+    const Interval inv = InverseMulConst(d, c);
+    for (int k = 0; k < 20; ++k) {
+      const std::uint64_t op = rng_.Next() >> (20 + rng_.Below(40));
+      const auto wide = static_cast<__uint128_t>(op) * c;
+      if (wide > ~std::uint64_t{0}) continue;  // forward overflow out of model
+      EXPECT_EQ(inv.Contains(op), d.Contains(static_cast<std::uint64_t>(wide)))
+          << "op=" << op << " c=" << c;
+    }
+  }
+}
+
+TEST_P(InverseImageProperty, DivIsExactForDividend) {
+  for (int i = 0; i < 300; ++i) {
+    const Interval d = RandomDest();
+    const std::uint64_t c = 1 + (rng_.Next() >> (40 + rng_.Below(20)));
+    const Interval inv = InverseDivConst(d, c);
+    for (int k = 0; k < 20; ++k) {
+      const std::uint64_t op = rng_.Next() >> rng_.Below(60);
+      EXPECT_EQ(inv.Contains(op), d.Contains(op / c)) << "op=" << op << " c=" << c;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InverseImageProperty, ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace epvf

@@ -1,0 +1,202 @@
+// IR core tests: types, constants, builder typing rules, module helpers.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "ir/builder.h"
+#include "ir/module.h"
+
+namespace epvf::ir {
+namespace {
+
+TEST(Type, WidthsAndSizes) {
+  EXPECT_EQ(Type::I1().BitWidth(), 1u);
+  EXPECT_EQ(Type::I1().StoreSize(), 1u);
+  EXPECT_EQ(Type::I32().BitWidth(), 32u);
+  EXPECT_EQ(Type::I32().StoreSize(), 4u);
+  EXPECT_EQ(Type::I64().StoreSize(), 8u);
+  EXPECT_EQ(Type::F32().BitWidth(), 32u);
+  EXPECT_EQ(Type::F64().StoreSize(), 8u);
+  EXPECT_EQ(Type::F64().Ptr().BitWidth(), 64u);
+  EXPECT_EQ(Type::F64().Ptr().StoreSize(), 8u);
+  EXPECT_EQ(Type::Void().BitWidth(), 0u);
+}
+
+TEST(Type, PointerRoundTrip) {
+  const Type pp = Type::I32().Ptr().Ptr();
+  EXPECT_TRUE(pp.IsPointer());
+  EXPECT_EQ(pp.ptr_depth, 2);
+  EXPECT_EQ(pp.Pointee(), Type::I32().Ptr());
+  EXPECT_EQ(pp.Pointee().Pointee(), Type::I32());
+  EXPECT_FALSE(pp.IsInt());
+  EXPECT_TRUE(pp.IsIntOrPointer());
+}
+
+TEST(Type, ToString) {
+  EXPECT_EQ(Type::I32().ToString(), "i32");
+  EXPECT_EQ(Type::F64().Ptr().ToString(), "f64*");
+  EXPECT_EQ(Type::I8().Ptr().Ptr().ToString(), "i8**");
+  EXPECT_EQ(Type::Void().ToString(), "void");
+}
+
+TEST(Constant, IntegerTruncationAndSignedView) {
+  const Constant c = MakeIntConstant(Type::I8(), -1);
+  EXPECT_EQ(c.bits, 0xFFu);
+  EXPECT_EQ(c.AsSigned(), -1);
+  const Constant big = MakeIntConstant(Type::I32(), 0x1'0000'0005ll);
+  EXPECT_EQ(big.bits, 5u);
+}
+
+TEST(Constant, FloatBitPatterns) {
+  const Constant f = MakeF32Constant(1.5f);
+  EXPECT_FLOAT_EQ(f.AsFloat(), 1.5f);
+  const Constant d = MakeF64Constant(-2.25);
+  EXPECT_DOUBLE_EQ(d.AsDouble(), -2.25);
+}
+
+TEST(Module, ConstantInterning) {
+  Module m;
+  const ValueRef a = m.InternConstant(MakeIntConstant(Type::I32(), 7));
+  const ValueRef b = m.InternConstant(MakeIntConstant(Type::I32(), 7));
+  const ValueRef c = m.InternConstant(MakeIntConstant(Type::I64(), 7));
+  EXPECT_EQ(a, b) << "identical constants must share a pool slot";
+  EXPECT_NE(a, c) << "same bits, different type: distinct constants";
+}
+
+TEST(Module, FindFunctionAndGlobal) {
+  Module m;
+  IRBuilder b(m);
+  (void)b.DeclareGlobal("buf", Type::I32(), 4);
+  (void)b.CreateFunction("main", Type::Void(), {});
+  b.RetVoid();
+  EXPECT_TRUE(m.FindFunction("main").has_value());
+  EXPECT_FALSE(m.FindFunction("nope").has_value());
+  EXPECT_TRUE(m.FindGlobal("buf").has_value());
+  EXPECT_EQ(m.globals[*m.FindGlobal("buf")].ByteSize(), 16u);
+}
+
+TEST(Builder, BinaryTypeChecking) {
+  Module m;
+  IRBuilder b(m);
+  (void)b.CreateFunction("f", Type::Void(), {});
+  EXPECT_THROW((void)b.Add(b.I32(1), b.I64(1)), std::logic_error);
+  EXPECT_THROW((void)b.FAdd(b.I32(1), b.I32(1)), std::logic_error);
+  EXPECT_THROW((void)b.Add(b.F64(1.0), b.F64(1.0)), std::logic_error);
+  const ValueRef ok = b.Add(b.I32(1), b.I32(2));
+  EXPECT_TRUE(ok.IsRegister());
+  EXPECT_EQ(b.TypeOf(ok), Type::I32());
+}
+
+TEST(Builder, CastRules) {
+  Module m;
+  IRBuilder b(m);
+  (void)b.CreateFunction("f", Type::Void(), {});
+  EXPECT_THROW((void)b.Trunc(b.I32(1), Type::I64()), std::logic_error);
+  EXPECT_THROW((void)b.ZExt(b.I64(1), Type::I32()), std::logic_error);
+  EXPECT_EQ(b.TypeOf(b.SExt(b.I32(5), Type::I64())), Type::I64());
+  EXPECT_EQ(b.TypeOf(b.PtrToInt(b.NullPtr(Type::F64()))), Type::I64());
+  EXPECT_THROW((void)b.PtrToInt(b.I32(0)), std::logic_error);
+}
+
+TEST(Builder, MemoryTyping) {
+  Module m;
+  IRBuilder b(m);
+  (void)b.CreateFunction("f", Type::Void(), {});
+  const ValueRef slot = b.Alloca(Type::I32(), 10, "slot");
+  EXPECT_EQ(b.TypeOf(slot), Type::I32().Ptr());
+  const ValueRef elem = b.Gep(slot, b.I64(3));
+  EXPECT_EQ(b.TypeOf(elem), Type::I32().Ptr());
+  const ValueRef loaded = b.Load(elem);
+  EXPECT_EQ(b.TypeOf(loaded), Type::I32());
+  EXPECT_THROW(b.Store(b.I64(1), elem), std::logic_error) << "pointee mismatch";
+  EXPECT_THROW((void)b.Load(b.I32(1)), std::logic_error) << "load from non-pointer";
+}
+
+TEST(Builder, GepElementSizeComesFromPointee) {
+  Module m;
+  IRBuilder b(m);
+  (void)b.CreateFunction("f", Type::Void(), {});
+  const ValueRef p64 = b.Alloca(Type::F64(), 4);
+  (void)b.Gep(p64, b.I64(1));
+  const auto& inst = m.functions[0].blocks[0].instructions.back();
+  EXPECT_EQ(inst.gep_elem_bytes, 8u);
+}
+
+TEST(Builder, TerminatorsSealBlocks) {
+  Module m;
+  IRBuilder b(m);
+  (void)b.CreateFunction("f", Type::Void(), {});
+  b.RetVoid();
+  EXPECT_THROW((void)b.Add(b.I32(1), b.I32(1)), std::logic_error)
+      << "appending after a terminator must fail";
+}
+
+TEST(Builder, CallArgumentChecking) {
+  Module m;
+  IRBuilder b(m);
+  const std::uint32_t callee = b.CreateFunction("callee", Type::I32(), {Type::I32()});
+  b.Ret(b.Add(b.Param(0), b.I32(1)));
+  (void)b.CreateFunction("main", Type::Void(), {});
+  EXPECT_THROW((void)b.Call(callee, {b.I64(1)}), std::logic_error);
+  EXPECT_THROW((void)b.Call(callee, std::initializer_list<ValueRef>{}), std::logic_error);
+  const ValueRef r = b.Call(callee, {b.I32(41)});
+  EXPECT_EQ(b.TypeOf(r), Type::I32());
+}
+
+TEST(Builder, OutputDispatchesOnType) {
+  Module m;
+  IRBuilder b(m);
+  (void)b.CreateFunction("f", Type::Void(), {});
+  b.Output(b.I32(1));   // sext + output_i64
+  b.Output(b.F64(1.0)); // output_f64
+  b.Output(b.F32(2.0f)); // fpext + output_f64
+  b.RetVoid();
+  int i64_outputs = 0, f64_outputs = 0;
+  for (const auto& inst : m.functions[0].blocks[0].instructions) {
+    if (inst.op == Opcode::kCall && inst.is_intrinsic) {
+      i64_outputs += inst.intrinsic == Intrinsic::kOutputI64;
+      f64_outputs += inst.intrinsic == Intrinsic::kOutputF64;
+    }
+  }
+  EXPECT_EQ(i64_outputs, 1);
+  EXPECT_EQ(f64_outputs, 2);
+}
+
+TEST(Builder, PhiIncomingPatching) {
+  Module m;
+  IRBuilder b(m);
+  (void)b.CreateFunction("f", Type::Void(), {});
+  const std::uint32_t entry = b.CurrentBlock();
+  const std::uint32_t loop = b.CreateBlock("loop");
+  b.Br(loop);
+  b.SetInsertPoint(loop);
+  const ValueRef iv = b.Phi(Type::I64(), {{b.I64(0), entry}});
+  const ValueRef next = b.Add(iv, b.I64(1));
+  b.AddPhiIncoming(iv, next, loop);
+  EXPECT_THROW(b.AddPhiIncoming(next, iv, loop), std::logic_error)
+      << "patching a non-phi register must fail";
+  EXPECT_THROW(b.AddPhiIncoming(iv, b.F64(0.0), loop), std::logic_error)
+      << "type mismatch in incoming value must fail";
+}
+
+TEST(Builder, MallocArrayTyping) {
+  Module m;
+  IRBuilder b(m);
+  (void)b.CreateFunction("f", Type::Void(), {});
+  const ValueRef arr = b.MallocArray(Type::F64(), b.I64(10));
+  EXPECT_EQ(b.TypeOf(arr), Type::F64().Ptr());
+  EXPECT_THROW((void)b.MallocArray(Type::F64(), b.I32(10)), std::logic_error)
+      << "count must be i64";
+}
+
+TEST(StaticInstrId, Ordering) {
+  const StaticInstrId a{0, 0, 0};
+  const StaticInstrId b{0, 0, 1};
+  const StaticInstrId c{0, 1, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (StaticInstrId{0, 0, 0}));
+}
+
+}  // namespace
+}  // namespace epvf::ir

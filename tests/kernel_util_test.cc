@@ -1,0 +1,133 @@
+// Tests for the kernel-authoring helpers (loop emitters, data packing) that
+// every benchmark kernel builds on.
+#include <gtest/gtest.h>
+
+#include "apps/kernel_util.h"
+#include "ir/verifier.h"
+#include "vm/interpreter.h"
+
+namespace epvf::apps {
+namespace {
+
+using ir::IRBuilder;
+using ir::Module;
+using ir::Type;
+using ir::ValueRef;
+
+TEST(KernelBuilder, ForRunsExactTripCount) {
+  Module m;
+  IRBuilder b(m);
+  KernelBuilder k(b);
+  (void)b.CreateFunction("main", Type::Void(), {});
+  const ValueRef slot = b.Alloca(Type::I64(), 1, "count");
+  b.Store(b.I64(0), slot);
+  k.For(b.I64(0), b.I64(17),
+        [&](ValueRef) { b.Store(b.Add(b.Load(slot), b.I64(1)), slot); });
+  b.Output(b.Load(slot));
+  b.RetVoid();
+  ASSERT_TRUE(ir::VerifyModule(m).ok()) << ir::VerifyModule(m).Summary();
+  vm::Interpreter interp(m, {});
+  EXPECT_EQ(interp.Run().output[0], 17u);
+}
+
+TEST(KernelBuilder, ForWithEmptyRangeSkipsBody) {
+  Module m;
+  IRBuilder b(m);
+  KernelBuilder k(b);
+  (void)b.CreateFunction("main", Type::Void(), {});
+  k.For(b.I64(5), b.I64(5), [&](ValueRef) { b.Output(b.I64(999)); });
+  b.Output(b.I64(1));
+  b.RetVoid();
+  vm::Interpreter interp(m, {});
+  const vm::RunResult r = interp.Run();
+  ASSERT_EQ(r.output.size(), 1u);
+  EXPECT_EQ(r.output[0], 1u);
+}
+
+TEST(KernelBuilder, ForStepStrides) {
+  Module m;
+  IRBuilder b(m);
+  KernelBuilder k(b);
+  (void)b.CreateFunction("main", Type::Void(), {});
+  k.ForStep(b.I64(0), b.I64(10), b.I64(3), [&](ValueRef iv) { b.Output(iv); });
+  b.RetVoid();
+  vm::Interpreter interp(m, {});
+  const vm::RunResult r = interp.Run();
+  ASSERT_EQ(r.output.size(), 4u);  // 0, 3, 6, 9
+  EXPECT_EQ(r.output[3], 9u);
+}
+
+TEST(KernelBuilder, ForAccumThreadsTheAccumulator) {
+  Module m;
+  IRBuilder b(m);
+  KernelBuilder k(b);
+  (void)b.CreateFunction("main", Type::Void(), {});
+  const ValueRef total = k.ForAccum(
+      b.I64(1), b.I64(6), b.I64(1),
+      [&](ValueRef iv, ValueRef acc) { return b.Mul(acc, iv); });  // 5!
+  b.Output(total);
+  b.RetVoid();
+  vm::Interpreter interp(m, {});
+  EXPECT_EQ(interp.Run().output[0], 120u);
+}
+
+TEST(KernelBuilder, NestedLoopsCompose) {
+  Module m;
+  IRBuilder b(m);
+  KernelBuilder k(b);
+  (void)b.CreateFunction("main", Type::Void(), {});
+  const ValueRef slot = b.Alloca(Type::I64(), 1);
+  b.Store(b.I64(0), slot);
+  k.For(b.I64(0), b.I64(4), [&](ValueRef i) {
+    k.For(b.I64(0), b.I64(5), [&](ValueRef j) {
+      b.Store(b.Add(b.Load(slot), k.Flat(i, j, 5)), slot);
+    });
+  });
+  b.Output(b.Load(slot));
+  b.RetVoid();
+  ASSERT_TRUE(ir::VerifyModule(m).ok());
+  vm::Interpreter interp(m, {});
+  // sum over i<4, j<5 of (5i + j) = sum of 0..19 = 190
+  EXPECT_EQ(interp.Run().output[0], 190u);
+}
+
+TEST(KernelBuilder, LoadAtStoreAtRoundTrip) {
+  Module m;
+  IRBuilder b(m);
+  KernelBuilder k(b);
+  (void)b.CreateFunction("main", Type::Void(), {});
+  const ValueRef arr = b.MallocArray(Type::I64(), b.I64(4), "arr");
+  k.StoreAt(arr, b.I64(2), b.I64(77));
+  b.Output(k.LoadAt(arr, b.I64(2)));
+  b.RetVoid();
+  vm::Interpreter interp(m, {});
+  EXPECT_EQ(interp.Run().output[0], 77u);
+}
+
+TEST(DataPacking, PackF64RoundTrips) {
+  const std::vector<double> xs = {1.5, -2.25, 0.0};
+  const auto bytes = PackF64(xs);
+  ASSERT_EQ(bytes.size(), 24u);
+  double back[3];
+  std::memcpy(back, bytes.data(), sizeof back);
+  EXPECT_EQ(back[0], 1.5);
+  EXPECT_EQ(back[1], -2.25);
+}
+
+TEST(DataPacking, RandomGeneratorsAreDeterministicAndBounded) {
+  const auto a = RandomF64(100, 7, -1.0, 1.0);
+  const auto b2 = RandomF64(100, 7, -1.0, 1.0);
+  EXPECT_EQ(a, b2);
+  for (const double x : a) {
+    EXPECT_GE(x, -1.0);
+    EXPECT_LT(x, 1.0);
+  }
+  const auto ints = RandomI32(100, 9, -5, 5);
+  for (const std::int32_t v : ints) {
+    EXPECT_GE(v, -5);
+    EXPECT_LT(v, 5);
+  }
+}
+
+}  // namespace
+}  // namespace epvf::apps

@@ -1,0 +1,156 @@
+// Dedicated coverage of the Table III lookup table: one test per row,
+// checking both operand slots and the stop conditions.
+#include <gtest/gtest.h>
+
+#include "crash/lookup_table.h"
+#include "ir/builder.h"
+
+namespace epvf::crash {
+namespace {
+
+using ir::IRBuilder;
+using ir::Module;
+using ir::Type;
+using ir::ValueRef;
+
+/// Builds a single-instruction function and returns that instruction.
+class TableRow : public ::testing::Test {
+ protected:
+  const ir::Instruction& Build(const std::function<ValueRef(IRBuilder&)>& make) {
+    b_ = std::make_unique<IRBuilder>(m_);
+    (void)b_->CreateFunction("f", Type::Void(), {});
+    (void)make(*b_);
+    b_->RetVoid();
+    // The instruction of interest is the last value-producing one.
+    const auto& insts = m_.functions.back().blocks[0].instructions;
+    for (auto it = insts.rbegin(); it != insts.rend(); ++it) {
+      if (it->DefinesValue()) return *it;
+    }
+    throw std::logic_error("no value-producing instruction");
+  }
+
+  Module m_;
+  std::unique_ptr<IRBuilder> b_;
+  static constexpr unsigned kW64[2] = {64, 64};
+};
+
+TEST_F(TableRow, Row1AddBothSlots) {
+  const auto& inst = Build([](IRBuilder& b) { return b.Add(b.I64(100), b.I64(30)); });
+  const std::uint64_t values[] = {100, 30};
+  // dest allowed [120, 140]: op0 in [90, 110], op1 in [20, 40].
+  auto op0 = OperandAllowedInterval(inst, values, kW64, 0, {120, 140});
+  auto op1 = OperandAllowedInterval(inst, values, kW64, 1, {120, 140});
+  ASSERT_TRUE(op0 && op1);
+  EXPECT_EQ(*op0, (Interval{90, 110}));
+  EXPECT_EQ(*op1, (Interval{20, 40}));
+}
+
+TEST_F(TableRow, Row2SubBothSlots) {
+  const auto& inst = Build([](IRBuilder& b) { return b.Sub(b.I64(100), b.I64(30)); });
+  const std::uint64_t values[] = {100, 30};
+  // dest = op0 - op1, dest allowed [60, 80]: op0 in [90, 110]; op1 in [20, 40].
+  auto op0 = OperandAllowedInterval(inst, values, kW64, 0, {60, 80});
+  auto op1 = OperandAllowedInterval(inst, values, kW64, 1, {60, 80});
+  ASSERT_TRUE(op0 && op1);
+  EXPECT_EQ(*op0, (Interval{90, 110}));
+  EXPECT_EQ(*op1, (Interval{20, 40}));
+}
+
+TEST_F(TableRow, Row3MulBothSlots) {
+  const auto& inst = Build([](IRBuilder& b) { return b.Mul(b.I64(12), b.I64(5)); });
+  const std::uint64_t values[] = {12, 5};
+  // dest allowed [50, 70]: op0 in [10, 14] (×5); op1 in [5, 5] (×12: 60 only).
+  auto op0 = OperandAllowedInterval(inst, values, kW64, 0, {50, 70});
+  auto op1 = OperandAllowedInterval(inst, values, kW64, 1, {50, 70});
+  ASSERT_TRUE(op0 && op1);
+  EXPECT_EQ(*op0, (Interval{10, 14}));
+  EXPECT_EQ(*op1, (Interval{5, 5}));
+}
+
+TEST_F(TableRow, Row4DivDividendOnly) {
+  const auto& inst = Build([](IRBuilder& b) { return b.UDiv(b.I64(100), b.I64(7)); });
+  const std::uint64_t values[] = {100, 7};
+  // dest allowed [10, 12]: dividend in [70, 90]; divisor: stop.
+  auto op0 = OperandAllowedInterval(inst, values, kW64, 0, {10, 12});
+  ASSERT_TRUE(op0.has_value());
+  EXPECT_EQ(*op0, (Interval{70, 90}));
+  EXPECT_FALSE(OperandAllowedInterval(inst, values, kW64, 1, {10, 12}).has_value());
+}
+
+TEST_F(TableRow, Row5RemStops) {
+  const auto& inst = Build([](IRBuilder& b) { return b.URem(b.I64(100), b.I64(7)); });
+  const std::uint64_t values[] = {100, 7};
+  EXPECT_FALSE(OperandAllowedInterval(inst, values, kW64, 0, {0, 6}).has_value())
+      << "remainder is non-invertible: the propagation must stop";
+}
+
+TEST_F(TableRow, Row7BitcastAndPointerCastsPassThrough) {
+  const auto& bitcast = Build([](IRBuilder& b) {
+    return b.BitCast(b.MallocArray(Type::I64(), b.I64(4)), Type::I8().Ptr());
+  });
+  const std::uint64_t values[] = {0x1000};
+  const Interval d{0x1000, 0x2000};
+  auto through = OperandAllowedInterval(bitcast, values, kW64, 0, d);
+  ASSERT_TRUE(through.has_value());
+  EXPECT_EQ(*through, d);
+
+  const auto& p2i = Build([](IRBuilder& b) {
+    return b.PtrToInt(b.MallocArray(Type::I64(), b.I64(4)));
+  });
+  auto p2i_through = OperandAllowedInterval(p2i, values, kW64, 0, d);
+  ASSERT_TRUE(p2i_through.has_value());
+  EXPECT_EQ(*p2i_through, d);
+}
+
+TEST_F(TableRow, WideningCastsPassThroughUnderPositivity) {
+  const auto& zext = Build([](IRBuilder& b) { return b.ZExt(b.I32(7), Type::I64()); });
+  const std::uint64_t values[] = {7};
+  const unsigned widths[] = {32};
+  const Interval d{5, 9};
+  auto through = OperandAllowedInterval(zext, values, widths, 0, d);
+  ASSERT_TRUE(through.has_value());
+  EXPECT_EQ(*through, d);
+}
+
+TEST_F(TableRow, TruncStops) {
+  const auto& trunc = Build([](IRBuilder& b) {
+    return b.Trunc(b.I64(300), Type::I8());
+  });
+  const std::uint64_t values[] = {300};
+  const unsigned widths[] = {64};
+  EXPECT_FALSE(OperandAllowedInterval(trunc, values, widths, 0, {0, 44}).has_value())
+      << "trunc's inverse image is a union of intervals: stop";
+}
+
+TEST_F(TableRow, GepNegativeIndexStillInvertsViaSignExtension) {
+  const auto& inst = Build([](IRBuilder& b) {
+    const ValueRef arr = b.MallocArray(Type::I64(), b.I64(4));
+    const ValueRef shifted = b.Gep(arr, b.I64(2));
+    return b.Gep(shifted, b.I64(-1));  // index -1: one element back
+  });
+  ASSERT_EQ(inst.op, ir::Opcode::kGep);
+  const std::uint64_t base = 0x1010;
+  const std::uint64_t values[] = {base, static_cast<std::uint64_t>(-1)};
+  // dest = base + 8 * (-1) = 0x1008. dest allowed exactly {0x1008}: the base
+  // must be exactly 0x1010.
+  auto op0 = OperandAllowedInterval(inst, values, kW64, 0, Interval::Singleton(0x1008));
+  ASSERT_TRUE(op0.has_value());
+  EXPECT_EQ(*op0, Interval::Singleton(0x1010));
+}
+
+TEST_F(TableRow, FloatArithmeticStops) {
+  const auto& inst = Build([](IRBuilder& b) { return b.FAdd(b.F64(1.0), b.F64(2.0)); });
+  const std::uint64_t values[] = {0, 0};
+  EXPECT_FALSE(OperandAllowedInterval(inst, values, kW64, 0, {0, 10}).has_value());
+}
+
+TEST_F(TableRow, EmptyDestinationPropagatesEmpty) {
+  const auto& inst = Build([](IRBuilder& b) { return b.Add(b.I64(1), b.I64(2)); });
+  const std::uint64_t values[] = {1, 2};
+  auto op0 = OperandAllowedInterval(inst, values, kW64, 0, Interval::Empty());
+  ASSERT_TRUE(op0.has_value());
+  EXPECT_TRUE(op0->IsEmpty());
+}
+
+}  // namespace
+}  // namespace epvf::crash

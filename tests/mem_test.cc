@@ -1,0 +1,136 @@
+// Memory substrate tests: vma map bookkeeping and SimMemory behaviour.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "mem/sim_memory.h"
+
+namespace epvf::mem {
+namespace {
+
+TEST(MemoryMap, AddFindAndOrdering) {
+  MemoryMap map;
+  map.Add(Vma{0x1000, 0x2000, SegmentKind::kData});
+  map.Add(Vma{0x4000, 0x5000, SegmentKind::kHeap});
+  EXPECT_EQ(map.Find(0x0FFF), nullptr);
+  ASSERT_NE(map.Find(0x1000), nullptr);
+  EXPECT_EQ(map.Find(0x1000)->kind, SegmentKind::kData);
+  EXPECT_NE(map.Find(0x1FFF), nullptr);
+  EXPECT_EQ(map.Find(0x2000), nullptr) << "end is exclusive";
+  EXPECT_EQ(map.Find(0x3000), nullptr) << "gap between segments";
+  EXPECT_EQ(map.Find(0x4800)->kind, SegmentKind::kHeap);
+}
+
+TEST(MemoryMap, RejectsOverlapsAndEmpty) {
+  MemoryMap map;
+  map.Add(Vma{0x1000, 0x2000, SegmentKind::kData});
+  EXPECT_THROW(map.Add(Vma{0x1800, 0x2800, SegmentKind::kHeap}), std::invalid_argument);
+  EXPECT_THROW(map.Add(Vma{0x3000, 0x3000, SegmentKind::kHeap}), std::invalid_argument);
+}
+
+TEST(MemoryMap, VersionBumpsOnMutation) {
+  MemoryMap map;
+  const std::uint64_t v0 = map.version();
+  map.Add(Vma{0x1000, 0x2000, SegmentKind::kHeap});
+  EXPECT_EQ(map.version(), v0 + 1);
+  map.ExtendUp(SegmentKind::kHeap, 0x3000);
+  EXPECT_EQ(map.version(), v0 + 2);
+  map.ExtendUp(SegmentKind::kHeap, 0x3000);  // no growth, no bump
+  EXPECT_EQ(map.version(), v0 + 2);
+  map.ExtendDown(SegmentKind::kHeap, 0x800);
+  EXPECT_EQ(map.version(), v0 + 3);
+}
+
+TEST(MemoryMap, FindKind) {
+  MemoryMap map;
+  map.Add(Vma{0x1000, 0x2000, SegmentKind::kStack});
+  EXPECT_NE(map.FindKind(SegmentKind::kStack), nullptr);
+  EXPECT_EQ(map.FindKind(SegmentKind::kText), nullptr);
+}
+
+TEST(SimMemory, LayoutSegmentsPresent) {
+  const SimMemory mem;
+  const MemoryMap& map = mem.map();
+  EXPECT_NE(map.FindKind(SegmentKind::kText), nullptr);
+  EXPECT_NE(map.FindKind(SegmentKind::kData), nullptr);
+  EXPECT_NE(map.FindKind(SegmentKind::kHeap), nullptr);
+  EXPECT_NE(map.FindKind(SegmentKind::kStack), nullptr);
+  EXPECT_EQ(mem.esp(), mem.layout().stack_top);
+}
+
+TEST(SimMemory, MallocBumpsAndExtendsHeapVma) {
+  SimMemory mem;
+  const std::uint64_t a = mem.Malloc(100);
+  const std::uint64_t b = mem.Malloc(100);
+  EXPECT_GE(b, a + 100);
+  EXPECT_EQ(a % 16, 0u);
+  EXPECT_EQ(b % 16, 0u);
+  const std::uint64_t big = mem.Malloc(3 * 4096);
+  const Vma* heap = mem.map().FindKind(SegmentKind::kHeap);
+  ASSERT_NE(heap, nullptr);
+  EXPECT_GE(heap->end, big + 3 * 4096);
+  EXPECT_EQ(mem.bytes_allocated(), 200u + 3 * 4096);
+}
+
+TEST(SimMemory, ScalarRoundTrip) {
+  SimMemory mem;
+  const std::uint64_t p = mem.Malloc(64);
+  mem.StoreScalar(p, 8, 0x1122334455667788ull);
+  EXPECT_EQ(mem.LoadScalar(p, 8), 0x1122334455667788ull);
+  EXPECT_EQ(mem.LoadScalar(p, 4), 0x55667788u) << "little-endian platform model";
+  EXPECT_EQ(mem.LoadScalar(p + 4, 4), 0x11223344u);
+  mem.StoreScalar(p + 1, 1, 0xAB);
+  EXPECT_EQ(mem.LoadScalar(p, 2), 0xAB88u);
+}
+
+TEST(SimMemory, UntouchedMemoryReadsZero) {
+  SimMemory mem;
+  const std::uint64_t p = mem.Malloc(16);
+  EXPECT_EQ(mem.LoadScalar(p, 8), 0u);
+}
+
+TEST(SimMemory, CrossPageAccess) {
+  SimMemory mem;
+  const std::uint64_t base = mem.Malloc(3 * 4096);
+  const std::uint64_t straddle = ((base / 4096) + 1) * 4096 - 4;
+  mem.StoreScalar(straddle, 8, 0xCAFEBABE12345678ull);
+  EXPECT_EQ(mem.LoadScalar(straddle, 8), 0xCAFEBABE12345678ull);
+}
+
+TEST(SimMemory, SnapshotHistoryTracksVersions) {
+  SimMemory mem;
+  mem.RecordHistory(true);
+  const std::uint64_t v0 = mem.map().version();
+  (void)mem.Malloc(3 * 4096);  // extends heap vma -> version bump
+  const std::uint64_t v1 = mem.map().version();
+  ASSERT_GT(v1, v0);
+  const MemoryMap& old_snapshot = mem.Snapshot(v0);
+  const MemoryMap& new_snapshot = mem.Snapshot(v1);
+  EXPECT_LT(old_snapshot.FindKind(SegmentKind::kHeap)->end,
+            new_snapshot.FindKind(SegmentKind::kHeap)->end);
+  EXPECT_THROW((void)mem.Snapshot(v1 + 100), std::out_of_range);
+}
+
+TEST(SimMemory, JitterShiftsSegments) {
+  LayoutJitter jitter;
+  jitter.heap_shift_pages = 3;
+  jitter.stack_shift_pages = -2;
+  const SimMemory base;
+  const SimMemory moved(MemoryLayout{}, jitter);
+  EXPECT_EQ(moved.map().FindKind(SegmentKind::kHeap)->start,
+            base.map().FindKind(SegmentKind::kHeap)->start + 3 * 4096);
+  EXPECT_EQ(moved.map().FindKind(SegmentKind::kStack)->end,
+            base.map().FindKind(SegmentKind::kStack)->end - 2 * 4096);
+}
+
+TEST(SimMemory, DataAllocationGrowsDataSegment) {
+  SimMemory mem;
+  const std::uint64_t g1 = mem.AllocateData(100);
+  const std::uint64_t g2 = mem.AllocateData(8192);
+  EXPECT_GE(g2, g1 + 100);
+  const Vma* data = mem.map().FindKind(SegmentKind::kData);
+  EXPECT_GE(data->end, g2 + 8192);
+}
+
+}  // namespace
+}  // namespace epvf::mem

@@ -1,0 +1,168 @@
+// Printer/parser tests: hand-written programs parse to verified modules, and
+// print -> parse -> print is a fixpoint (including on every benchmark app).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ir/builder.h"
+
+#include "apps/app.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+
+namespace epvf::ir {
+namespace {
+
+TEST(Parser, ParsesMinimalFunction) {
+  const Module m = ParseModuleOrThrow(
+      "func @main() -> void {\n"
+      "entry:\n"
+      "  ret\n"
+      "}\n");
+  ASSERT_EQ(m.functions.size(), 1u);
+  EXPECT_EQ(m.functions[0].name, "main");
+  EXPECT_TRUE(VerifyModule(m).ok());
+}
+
+TEST(Parser, ParsesGlobalsAndArithmetic) {
+  const Module m = ParseModuleOrThrow(
+      "global @table : i32 x 16\n"
+      "func @main() -> void {\n"
+      "entry:\n"
+      "  %sum.0 = add 1:i32, 2:i32 : i32\n"
+      "  %p.1 = getelementptr @table, 3:i64 elem 4 : i32*\n"
+      "  store %sum.0, %p.1 align 4\n"
+      "  %v.2 = load %p.1 align 4 : i32\n"
+      "  ret\n"
+      "}\n");
+  EXPECT_TRUE(VerifyModule(m).ok()) << VerifyModule(m).Summary();
+  EXPECT_EQ(m.globals.size(), 1u);
+  EXPECT_EQ(m.functions[0].InstructionCount(), 5u);
+}
+
+TEST(Parser, ParsesControlFlowAndPhi) {
+  const Module m = ParseModuleOrThrow(
+      "func @count() -> i64 {\n"
+      "entry:\n"
+      "  br header\n"
+      "header:\n"
+      "  %iv.0 = phi [0:i64, entry], [%next.2, body] : i64\n"
+      "  %cond.1 = icmp slt %iv.0, 10:i64 : i1\n"
+      "  condbr %cond.1, body, exit\n"
+      "body:\n"
+      "  %next.2 = add %iv.0, 1:i64 : i64\n"
+      "  br header\n"
+      "exit:\n"
+      "  ret %iv.0\n"
+      "}\n");
+  EXPECT_TRUE(VerifyModule(m).ok()) << VerifyModule(m).Summary();
+}
+
+TEST(Parser, ParsesCallsAndIntrinsics) {
+  const Module m = ParseModuleOrThrow(
+      "func @helper(%x.0 : i64) -> i64 {\n"
+      "entry:\n"
+      "  %y.1 = mul %x.0, 3:i64 : i64\n"
+      "  ret %y.1\n"
+      "}\n"
+      "func @main() -> void {\n"
+      "entry:\n"
+      "  %r.0 = call @helper(14:i64) : i64\n"
+      "  call @!output_i64(%r.0)\n"
+      "  ret\n"
+      "}\n");
+  EXPECT_TRUE(VerifyModule(m).ok()) << VerifyModule(m).Summary();
+}
+
+TEST(Parser, ForwardCallReferencesResolve) {
+  const Module m = ParseModuleOrThrow(
+      "func @main() -> void {\n"
+      "entry:\n"
+      "  %r.0 = call @later(1:i64) : i64\n"
+      "  ret\n"
+      "}\n"
+      "func @later(%x.0 : i64) -> i64 {\n"
+      "entry:\n"
+      "  ret %x.0\n"
+      "}\n");
+  EXPECT_EQ(m.functions[0].blocks[0].instructions[0].callee, 1u);
+}
+
+TEST(Parser, ReportsErrorsWithLineNumbers) {
+  auto result = ParseModule("func @f() -> void {\nentry:\n  bogus 1:i32 : i32\n}\n");
+  auto* err = std::get_if<ParseError>(&result);
+  ASSERT_NE(err, nullptr);
+  EXPECT_EQ(err->line, 3u);
+  EXPECT_NE(err->message.find("bogus"), std::string::npos);
+}
+
+TEST(Parser, RejectsUnknownCallee) {
+  auto result = ParseModule(
+      "func @main() -> void {\nentry:\n  %r.0 = call @ghost() : i64\n  ret\n}\n");
+  EXPECT_NE(std::get_if<ParseError>(&result), nullptr);
+}
+
+TEST(Parser, RejectsUnknownBlockLabel) {
+  auto result = ParseModule("func @main() -> void {\nentry:\n  br nowhere\n}\n");
+  EXPECT_NE(std::get_if<ParseError>(&result), nullptr);
+}
+
+TEST(RoundTrip, FixpointOnHandWrittenModule) {
+  const Module m = ParseModuleOrThrow(
+      "global @g : f64 x 8\n"
+      "func @main() -> void {\n"
+      "entry:\n"
+      "  %x.0 = fadd 0x1.8p+0:f64, 0x1p-1:f64 : f64\n"
+      "  call @!output_f64(%x.0)\n"
+      "  ret\n"
+      "}\n");
+  const std::string once = PrintModule(m);
+  const Module reparsed = ParseModuleOrThrow(once);
+  EXPECT_EQ(PrintModule(reparsed), once);
+}
+
+TEST(RoundTrip, GlobalInitializersSurvive) {
+  Module m;
+  {
+    IRBuilder b(m);
+    std::vector<std::uint8_t> init = {0xDE, 0xAD, 0xBE, 0xEF, 1, 2, 3, 4};
+    (void)b.DeclareGlobal("blob", Type::I64(), 1, init);
+    (void)b.CreateFunction("main", Type::Void(), {});
+    b.Output(b.Load(b.Global(0)));
+    b.RetVoid();
+  }
+  const std::string text = PrintModule(m);
+  EXPECT_NE(text.find("init deadbeef01020304"), std::string::npos) << text;
+  const Module reparsed = ParseModuleOrThrow(text);
+  ASSERT_EQ(reparsed.globals.size(), 1u);
+  EXPECT_EQ(reparsed.globals[0].init, m.globals[0].init);
+}
+
+TEST(RoundTrip, RejectsMalformedInitBlobs) {
+  EXPECT_NE(std::get_if<ParseError>(
+                &*std::make_unique<std::variant<Module, ParseError>>(
+                    ParseModule("global @g : i8 x 2 init abc\n"))),
+            nullptr)
+      << "odd-length blob";
+  auto size_mismatch = ParseModule("global @g : i8 x 2 init aabbcc\n");
+  EXPECT_NE(std::get_if<ParseError>(&size_mismatch), nullptr);
+  auto bad_digit = ParseModule("global @g : i8 x 1 init zz\n");
+  EXPECT_NE(std::get_if<ParseError>(&bad_digit), nullptr);
+}
+
+class AppRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AppRoundTrip, PrintParsePrintIsFixpoint) {
+  const apps::App app = apps::BuildApp(GetParam(), apps::AppConfig{.scale = 0});
+  const std::string once = PrintModule(app.module);
+  const Module reparsed = ParseModuleOrThrow(once);
+  EXPECT_TRUE(VerifyModule(reparsed).ok()) << VerifyModule(reparsed).Summary();
+  EXPECT_EQ(PrintModule(reparsed), once) << "round-trip must be a fixpoint";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppRoundTrip, ::testing::ValuesIn(apps::AppNames()),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace epvf::ir

@@ -1,0 +1,256 @@
+// Crash model + propagation model tests (paper Algorithms 1-3, Table III).
+//
+// The central soundness property on a deterministic layout: if the model
+// marks (node, bit) as crash-causing, then injecting exactly that flip must
+// crash the program; and if a bit of an address-slice node is NOT marked, the
+// flip must not crash. (With layout jitter this degrades into the paper's
+// 89%/92% recall/precision, measured by the targeted-experiment tests.)
+#include <gtest/gtest.h>
+
+#include "crash/lookup_table.h"
+#include "epvf/analysis.h"
+#include "fi/injector.h"
+#include "ir/builder.h"
+#include "support/bits.h"
+
+namespace epvf::crash {
+namespace {
+
+using ir::IRBuilder;
+using ir::Module;
+using ir::Type;
+using ir::ValueRef;
+
+/// A tiny kernel with a heap array indexed through an add/mul chain — every
+/// Table III opcode class appears on the address backward slice.
+Module AddressChainModule() {
+  Module m;
+  IRBuilder b(m);
+  (void)b.CreateFunction("main", Type::Void(), {});
+  const ValueRef arr = b.MallocArray(Type::I64(), b.I64(64), "arr");
+  const ValueRef base_i = b.Add(b.I64(2), b.I64(1), "base_i");   // 3
+  const ValueRef scaled = b.Mul(base_i, b.I64(4), "scaled");     // 12
+  const ValueRef idx = b.Sub(scaled, b.I64(5), "idx");           // 7
+  const ValueRef p = b.Gep(arr, idx, "p");
+  b.Store(b.I64(42), p);
+  b.Output(b.Load(p, "v"));
+  b.RetVoid();
+  return m;
+}
+
+TEST(Propagation, SeedsAddressNodesFromAccesses) {
+  const Module m = AddressChainModule();
+  const core::Analysis a = core::Analysis::Run(m);
+  const CrashBits& cb = a.crash_bits();
+  EXPECT_GT(cb.seeded_accesses, 0u);
+  EXPECT_GT(cb.constrained_nodes, 0u);
+  EXPECT_GT(cb.total_crash_bits, 0u);
+
+  // The gep result (the address itself) must be constrained to the heap vma.
+  const ddg::Graph& g = a.graph();
+  const ddg::AccessRecord& store = g.accesses()[0];
+  EXPECT_FALSE(cb.allowed[store.addr_node].IsFull());
+  const auto heap = a.memory().map().FindKind(mem::SegmentKind::kHeap);
+  EXPECT_GE(cb.allowed[store.addr_node].lo, heap->start);
+}
+
+TEST(Propagation, RangesPropagateUpTheBackwardSlice) {
+  const Module m = AddressChainModule();
+  const core::Analysis a = core::Analysis::Run(m);
+  const CrashBits& cb = a.crash_bits();
+  const ddg::Graph& g = a.graph();
+  // Every register on the address chain must carry a constraint.
+  int constrained_named = 0;
+  for (std::uint32_t dyn = 0; dyn < g.NumDynInstrs(); ++dyn) {
+    const ddg::DynInstr& d = g.GetDyn(dyn);
+    if (d.result_node == ddg::kNoNode) continue;
+    const ir::Instruction& inst = g.InstructionOf(d);
+    if (inst.op == ir::Opcode::kAdd || inst.op == ir::Opcode::kMul ||
+        inst.op == ir::Opcode::kSub) {
+      if (!cb.allowed[d.result_node].IsFull()) ++constrained_named;
+    }
+  }
+  EXPECT_GE(constrained_named, 3) << "add, mul and sub on the slice all constrained";
+}
+
+TEST(Propagation, CrashMaskHighBitsOfAddressesAreSet) {
+  const Module m = AddressChainModule();
+  const core::Analysis a = core::Analysis::Run(m);
+  const ddg::Graph& g = a.graph();
+  const ddg::AccessRecord& store = g.accesses()[0];
+  const std::uint64_t mask = a.crash_bits().crash_mask[store.addr_node];
+  // Flipping any high bit of a heap pointer leaves all mapped segments.
+  for (unsigned bit = 48; bit < 64; ++bit) {
+    EXPECT_TRUE((mask >> bit) & 1u) << "bit " << bit << " must be crash-causing";
+  }
+  // The lowest bits move the access within the 64-element array: benign.
+  EXPECT_FALSE(mask & 1u) << "bit 0 keeps the address in-segment";
+}
+
+/// Model-vs-platform agreement, exhaustively over one address node's bits.
+TEST(Propagation, MaskAgreesWithActualInjectionOnDeterministicLayout) {
+  const Module m = AddressChainModule();
+  const core::Analysis a = core::Analysis::Run(m);
+  const ddg::Graph& g = a.graph();
+  const ddg::AccessRecord& store = g.accesses()[0];
+  const std::uint64_t mask = a.crash_bits().crash_mask[store.addr_node];
+
+  fi::Injector injector(m, a.golden(), fi::InjectorOptions{});
+  // The address node's use: the store's address operand (slot 1).
+  fi::FaultSite site;
+  site.dyn_index = store.dyn_index;
+  site.slot = 1;
+  site.width = 64;
+  site.node = store.addr_node;
+
+  for (unsigned bit = 0; bit < 64; ++bit) {
+    const auto result = injector.Inject(site, static_cast<std::uint8_t>(bit));
+    const bool predicted = (mask >> bit) & 1u;
+    if (predicted) {
+      EXPECT_TRUE(fi::IsCrash(result.outcome))
+          << "bit " << bit << ": predicted crash bits must crash (100% precision "
+          << "on a deterministic layout)";
+    } else {
+      // The crash model covers segmentation faults only (section III-B:
+      // ~99% of crashes); low-bit flips may still trap as misaligned access.
+      EXPECT_NE(result.outcome, fi::Outcome::kCrashSegFault)
+          << "bit " << bit << ": unpredicted segfault (recall hole)";
+    }
+  }
+}
+
+TEST(Propagation, IntersectionAcrossMultipleUses) {
+  // One index addresses two arrays of different sizes: its allowed range is
+  // the intersection of both constraints (the smaller array dominates).
+  Module m;
+  IRBuilder b(m);
+  (void)b.CreateFunction("main", Type::Void(), {});
+  const ValueRef small_arr = b.MallocArray(Type::I64(), b.I64(4), "small");
+  const ValueRef big_arr = b.MallocArray(Type::I64(), b.I64(4096), "big");
+  const ValueRef idx = b.Add(b.I64(1), b.I64(1), "idx");
+  b.Store(b.I64(1), b.Gep(small_arr, idx));
+  b.Store(b.I64(2), b.Gep(big_arr, idx));
+  b.Output(b.Load(b.Gep(small_arr, idx)));
+  b.Output(b.Load(b.Gep(big_arr, idx)));
+  b.RetVoid();
+  const core::Analysis a = core::Analysis::Run(m);
+  const ddg::Graph& g = a.graph();
+  ddg::NodeId idx_node = ddg::kNoNode;
+  for (std::uint32_t dyn = 0; dyn < g.NumDynInstrs(); ++dyn) {
+    if (g.InstructionAt(dyn).op == ir::Opcode::kAdd) {
+      idx_node = g.GetDyn(dyn).result_node;
+      break;
+    }
+  }
+  ASSERT_NE(idx_node, ddg::kNoNode);
+  const Interval allowed = a.crash_bits().allowed[idx_node];
+  ASSERT_FALSE(allowed.IsFull());
+  // Both arrays share one heap page here, so the differing constraints come
+  // from the gep bases; the intersection must be at most the small window
+  // translated to index space — in particular far narrower than 4096 slots.
+  EXPECT_LT(allowed.hi - allowed.lo, 4096u * 8u);
+}
+
+TEST(LookupTable, UnsupportedOpcodesYieldNoConstraint) {
+  Module m;
+  IRBuilder b(m);
+  (void)b.CreateFunction("main", Type::Void(), {});
+  const ValueRef x = b.Xor(b.I64(1), b.I64(2), "x");
+  b.RetVoid();
+  (void)x;
+  const ir::Instruction& inst = m.functions[0].blocks[0].instructions[0];
+  const std::uint64_t values[] = {1, 2};
+  const unsigned widths[] = {64, 64};
+  EXPECT_FALSE(
+      OperandAllowedInterval(inst, values, widths, 0, Interval{0, 100}).has_value())
+      << "xor is not in Table III: propagation must stop";
+}
+
+TEST(LookupTable, GepIndexInverseUsesElementSize) {
+  Module m;
+  IRBuilder b(m);
+  (void)b.CreateFunction("main", Type::Void(), {});
+  const ValueRef arr = b.Alloca(Type::I32(), 100, "arr");
+  const ValueRef p = b.Gep(arr, b.I64(10), "p");
+  b.RetVoid();
+  (void)p;
+  const ir::Instruction& gep = m.functions[0].blocks[0].instructions[1];
+  ASSERT_EQ(gep.op, ir::Opcode::kGep);
+  const std::uint64_t base = 0x1000;
+  const std::uint64_t values[] = {base, 10};
+  const unsigned widths[] = {64, 64};
+  // dest allowed [0x1000, 0x1000 + 399] => index in [0, 99].
+  const auto idx_interval =
+      OperandAllowedInterval(gep, values, widths, 1, Interval{0x1000, 0x1000 + 399});
+  ASSERT_TRUE(idx_interval.has_value());
+  EXPECT_EQ(idx_interval->lo, 0u);
+  EXPECT_EQ(idx_interval->hi, 99u);
+  // base: dest - 4*10.
+  const auto base_interval =
+      OperandAllowedInterval(gep, values, widths, 0, Interval{0x1000, 0x1000 + 399});
+  ASSERT_TRUE(base_interval.has_value());
+  EXPECT_EQ(base_interval->lo, 0x1000u - 40);
+  EXPECT_EQ(base_interval->hi, 0x1000u + 399 - 40);
+}
+
+TEST(Propagation, LoadValueIdentityPassesRangesThroughMemory) {
+  // An index stored to memory, reloaded, and used as an address: the range
+  // must reach the original register through the memory version.
+  Module m;
+  IRBuilder b(m);
+  (void)b.CreateFunction("main", Type::Void(), {});
+  const ValueRef arr = b.MallocArray(Type::I64(), b.I64(32), "arr");
+  const ValueRef slot = b.Alloca(Type::I64(), 1, "slot");
+  const ValueRef idx = b.Add(b.I64(3), b.I64(4), "idx");  // 7
+  b.Store(idx, slot);
+  const ValueRef reloaded = b.Load(slot, "reloaded");
+  b.Store(b.I64(9), b.Gep(arr, reloaded));
+  b.Output(b.Load(b.Gep(arr, reloaded)));
+  b.RetVoid();
+  const core::Analysis a = core::Analysis::Run(m);
+  const ddg::Graph& g = a.graph();
+  ddg::NodeId idx_node = ddg::kNoNode;
+  for (std::uint32_t dyn = 0; dyn < g.NumDynInstrs(); ++dyn) {
+    if (g.InstructionAt(dyn).op == ir::Opcode::kAdd &&
+        g.GetDyn(dyn).result_node != ddg::kNoNode &&
+        g.GetNode(g.GetDyn(dyn).result_node).value == 7) {
+      idx_node = g.GetDyn(dyn).result_node;
+    }
+  }
+  ASSERT_NE(idx_node, ddg::kNoNode);
+  EXPECT_FALSE(a.crash_bits().allowed[idx_node].IsFull())
+      << "the constraint must traverse store -> memory version -> load";
+}
+
+TEST(Propagation, NonAceAccessesAreNotSeeded) {
+  // A store whose value is never read (dead) is outside the ACE graph: the
+  // paper's crash coverage misses it (the Figure 8 lavaMD/lulesh effect).
+  Module m;
+  IRBuilder b(m);
+  (void)b.CreateFunction("main", Type::Void(), {});
+  const ValueRef arr = b.MallocArray(Type::I64(), b.I64(16), "arr");
+  const ValueRef dead_idx = b.Add(b.I64(11), b.I64(0), "dead_idx");
+  b.Store(b.I64(123), b.Gep(arr, dead_idx));  // dead store
+  const ValueRef live_idx = b.Add(b.I64(2), b.I64(0), "live_idx");
+  b.Store(b.I64(7), b.Gep(arr, live_idx));
+  b.Output(b.Load(b.Gep(arr, live_idx)));
+  b.RetVoid();
+  const core::Analysis a = core::Analysis::Run(m);
+  const ddg::Graph& g = a.graph();
+  ddg::NodeId dead_node = ddg::kNoNode;
+  ddg::NodeId live_node = ddg::kNoNode;
+  for (std::uint32_t dyn = 0; dyn < g.NumDynInstrs(); ++dyn) {
+    if (g.InstructionAt(dyn).op != ir::Opcode::kAdd) continue;
+    const ddg::NodeId node = g.GetDyn(dyn).result_node;
+    if (g.GetNode(node).value == 11) dead_node = node;
+    if (g.GetNode(node).value == 2) live_node = node;
+  }
+  ASSERT_NE(dead_node, ddg::kNoNode);
+  ASSERT_NE(live_node, ddg::kNoNode);
+  EXPECT_TRUE(a.crash_bits().allowed[dead_node].IsFull())
+      << "dead-store address slices are outside the ACE graph";
+  EXPECT_FALSE(a.crash_bits().allowed[live_node].IsFull());
+}
+
+}  // namespace
+}  // namespace epvf::crash

@@ -1,0 +1,141 @@
+// Selective-duplication case-study tests (paper section V): rankings,
+// greedy plan construction under an overhead budget, and evaluation.
+#include <gtest/gtest.h>
+
+#include "apps/app.h"
+#include "epvf/analysis.h"
+#include "fi/campaign.h"
+#include "protect/evaluation.h"
+
+namespace epvf::protect {
+namespace {
+
+struct Fixture {
+  apps::App app;
+  core::Analysis analysis;
+  std::vector<core::InstrMetrics> metrics;
+
+  explicit Fixture(const std::string& name)
+      : app(apps::BuildApp(name, apps::AppConfig{.scale = 0})),
+        analysis(core::Analysis::Run(app.module)),
+        metrics(analysis.PerInstructionMetrics()) {}
+};
+
+TEST(Ranking, EpvfDescendingAndHotPathByFrequency) {
+  const Fixture f("nw");
+  const auto by_epvf = RankByEpvf(f.metrics);
+  const auto by_hot = RankByHotPath(f.metrics);
+  ASSERT_GT(by_epvf.size(), 4u);
+  ASSERT_EQ(by_epvf.size(), by_hot.size());
+  for (std::size_t i = 1; i < by_epvf.size(); ++i) {
+    EXPECT_GE(by_epvf[i - 1].score, by_epvf[i].score);
+    EXPECT_GE(by_hot[i - 1].score, by_hot[i].score);
+  }
+  // Hot-path scores are execution counts.
+  EXPECT_EQ(by_hot[0].score, static_cast<double>(by_hot[0].exec_count));
+}
+
+TEST(Plan, RespectsOverheadBudget) {
+  const Fixture f("nw");
+  const auto ranking = RankByEpvf(f.metrics);
+  for (const double budget : {0.08, 0.16, 0.24}) {
+    PlanOptions options;
+    options.overhead_budget = budget;
+    const ProtectionPlan plan = BuildDuplicationPlan(f.analysis, ranking, options);
+    EXPECT_LE(plan.overhead, budget + 1e-12);
+    EXPECT_GT(plan.CoveredNodes(), 0u);
+  }
+}
+
+TEST(Plan, LargerBudgetCoversMore) {
+  const Fixture f("lud");
+  const auto ranking = RankByEpvf(f.metrics);
+  PlanOptions small;
+  small.overhead_budget = 0.08;
+  PlanOptions large;
+  large.overhead_budget = 0.32;
+  const ProtectionPlan plan_small = BuildDuplicationPlan(f.analysis, ranking, small);
+  const ProtectionPlan plan_large = BuildDuplicationPlan(f.analysis, ranking, large);
+  EXPECT_GE(plan_large.CoveredNodes(), plan_small.CoveredNodes());
+  EXPECT_GE(plan_large.overhead, plan_small.overhead);
+  EXPECT_GE(plan_large.chosen.size(), plan_small.chosen.size());
+}
+
+TEST(Plan, CoversOnlyRegisterNodes) {
+  const Fixture f("mm");
+  const auto ranking = RankByEpvf(f.metrics);
+  PlanOptions options;
+  options.overhead_budget = 0.24;
+  const ProtectionPlan plan = BuildDuplicationPlan(f.analysis, ranking, options);
+  const ddg::Graph& g = f.analysis.graph();
+  for (ddg::NodeId id = 0; id < g.NumNodes(); ++id) {
+    if (plan.Covers(id)) {
+      EXPECT_EQ(g.GetNode(id).kind, ddg::NodeKind::kRegister)
+          << "duplication re-executes instructions; only register defs are covered";
+    }
+  }
+}
+
+TEST(Evaluation, ReclassifiesProtectedSdcAsDetected) {
+  fi::CampaignStats baseline;
+  ProtectionPlan plan;
+  plan.node_protected.assign(4, 0);
+  plan.node_protected[1] = 1;
+
+  fi::FaultRecord protected_sdc;
+  protected_sdc.site.node = 1;
+  protected_sdc.outcome = fi::Outcome::kSdc;
+  fi::FaultRecord unprotected_sdc;
+  unprotected_sdc.site.node = 2;
+  unprotected_sdc.outcome = fi::Outcome::kSdc;
+  fi::FaultRecord protected_crash;
+  protected_crash.site.node = 1;
+  protected_crash.outcome = fi::Outcome::kCrashSegFault;
+  baseline.records = {protected_sdc, unprotected_sdc, protected_crash};
+
+  const ProtectedRates rates = EvaluateProtection(baseline, plan);
+  EXPECT_EQ(rates.stats.Count(fi::Outcome::kDetected), 1u);
+  EXPECT_EQ(rates.stats.Count(fi::Outcome::kSdc), 1u);
+  EXPECT_EQ(rates.stats.Count(fi::Outcome::kCrashSegFault), 1u)
+      << "crashes fire before the duplication check";
+  EXPECT_DOUBLE_EQ(rates.SdcRate(), 1.0 / 3.0);
+}
+
+TEST(Evaluation, ProtectionNeverIncreasesSdcRate) {
+  const Fixture f("nw");
+  fi::CampaignOptions campaign_options;
+  campaign_options.num_runs = 200;
+  const fi::CampaignStats baseline =
+      fi::RunCampaign(f.app.module, f.analysis.graph(), f.analysis.golden(), campaign_options);
+
+  for (const bool use_epvf : {true, false}) {
+    const auto ranking = use_epvf ? RankByEpvf(f.metrics) : RankByHotPath(f.metrics);
+    PlanOptions options;
+    options.overhead_budget = 0.24;
+    const ProtectionPlan plan = BuildDuplicationPlan(f.analysis, ranking, options);
+    const ProtectedRates rates = EvaluateProtection(baseline, plan);
+    EXPECT_LE(rates.SdcRate(), baseline.Rate(fi::Outcome::kSdc) + 1e-12);
+    EXPECT_EQ(rates.stats.Total(), baseline.Total());
+  }
+}
+
+TEST(Evaluation, EpvfRankingBeatsOrMatchesHotPathOnNw) {
+  // The paper's headline for section V, on one benchmark at the 24% budget.
+  const Fixture f("nw");
+  fi::CampaignOptions campaign_options;
+  campaign_options.num_runs = 300;
+  const fi::CampaignStats baseline =
+      fi::RunCampaign(f.app.module, f.analysis.graph(), f.analysis.golden(), campaign_options);
+  PlanOptions options;
+  options.overhead_budget = 0.24;
+  const ProtectionPlan epvf_plan = BuildDuplicationPlan(f.analysis, RankByEpvf(f.metrics), options);
+  const ProtectionPlan hot_plan =
+      BuildDuplicationPlan(f.analysis, RankByHotPath(f.metrics), options);
+  const double epvf_sdc = EvaluateProtection(baseline, epvf_plan).SdcRate();
+  const double hot_sdc = EvaluateProtection(baseline, hot_plan).SdcRate();
+  EXPECT_LE(epvf_sdc, hot_sdc + 0.02)
+      << "ePVF-informed duplication should not lose to hot-path at equal budget";
+}
+
+}  // namespace
+}  // namespace epvf::protect

@@ -1,0 +1,91 @@
+// Tests for the section-VIII utilities: structure vulnerability report and
+// the checkpoint advisor.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/app.h"
+#include "epvf/report.h"
+
+namespace epvf::core {
+namespace {
+
+TEST(StructureReport, MassesAreConsistentWithGlobalAccounting) {
+  const apps::App app = apps::BuildApp("mm", apps::AppConfig{.scale = 0});
+  const Analysis a = Analysis::Run(app.module);
+  const auto report = StructureReport(a);
+
+  std::uint64_t total = 0, ace = 0, crash = 0;
+  for (const StructureVulnerability& entry : report) {
+    EXPECT_LE(entry.crash_bits, entry.ace_bits);
+    EXPECT_LE(entry.ace_bits, entry.total_bits);
+    total += entry.total_bits;
+    ace += entry.ace_bits;
+    crash += entry.crash_bits;
+  }
+  EXPECT_EQ(total, a.ace().total_bits);
+  EXPECT_EQ(ace, a.ace().ace_bits);
+  EXPECT_EQ(crash, a.crash_bits().total_crash_bits);
+}
+
+TEST(StructureReport, PointersAreTheCrashProneClass) {
+  // Addresses carry the crash mass: the pointer class's crash fraction must
+  // dominate the float class's (float data never addresses memory).
+  const apps::App app = apps::BuildApp("mm", apps::AppConfig{.scale = 0});
+  const Analysis a = Analysis::Run(app.module);
+  const auto report = StructureReport(a);
+  const auto& ptr = report[static_cast<int>(RegisterClass::kPointer)];
+  const auto& flt = report[static_cast<int>(RegisterClass::kFloat)];
+  ASSERT_GT(ptr.total_bits, 0u);
+  ASSERT_GT(flt.total_bits, 0u);
+  EXPECT_GT(ptr.CrashFraction(), flt.CrashFraction());
+  EXPECT_GT(flt.Epvf(), ptr.Epvf())
+      << "float data is the SDC-prone structure, pointers the crash-prone one";
+}
+
+TEST(StructureReport, MostSdcProneStructureIsFloatForFpKernels) {
+  const apps::App app = apps::BuildApp("lavaMD", apps::AppConfig{.scale = 0});
+  const Analysis a = Analysis::Run(app.module);
+  // lavaMD's state is overwhelmingly f64 accumulation.
+  EXPECT_EQ(MostSdcProneStructure(a), RegisterClass::kFloat);
+}
+
+TEST(StructureReport, ClassNames) {
+  EXPECT_EQ(RegisterClassName(RegisterClass::kPointer), "pointer");
+  EXPECT_EQ(RegisterClassName(RegisterClass::kPredicate), "predicate");
+}
+
+TEST(CheckpointAdvisor, YoungsFormula) {
+  const apps::App app = apps::BuildApp("lud", apps::AppConfig{.scale = 0});
+  const Analysis a = Analysis::Run(app.module);
+  const double fault_rate = 1e-4;  // faults/s into live state
+  const double checkpoint_cost = 2.0;
+  const CheckpointAdvice advice = AdviseCheckpointInterval(a, fault_rate, checkpoint_cost);
+  ASSERT_GT(advice.crash_probability_per_fault, 0.0);
+  const double mtbc = 1.0 / (fault_rate * advice.crash_probability_per_fault);
+  EXPECT_DOUBLE_EQ(advice.mean_time_between_crashes_s, mtbc);
+  EXPECT_DOUBLE_EQ(advice.optimal_interval_s, std::sqrt(2.0 * checkpoint_cost * mtbc));
+  EXPECT_LT(advice.optimal_interval_s, mtbc) << "checkpoint well before the expected crash";
+}
+
+TEST(CheckpointAdvisor, DegenerateInputsYieldZeros) {
+  const apps::App app = apps::BuildApp("lud", apps::AppConfig{.scale = 0});
+  const Analysis a = Analysis::Run(app.module);
+  EXPECT_EQ(AdviseCheckpointInterval(a, 0.0, 1.0).optimal_interval_s, 0.0);
+  EXPECT_EQ(AdviseCheckpointInterval(a, 1.0, 0.0).optimal_interval_s, 0.0);
+}
+
+TEST(CheckpointAdvisor, HigherCrashRateMeansShorterInterval) {
+  // Compare two kernels with very different predicted crash rates.
+  const apps::App heavy = apps::BuildApp("nw", apps::AppConfig{.scale = 0});
+  const apps::App light = apps::BuildApp("lavaMD", apps::AppConfig{.scale = 0});
+  const Analysis a_heavy = Analysis::Run(heavy.module);
+  const Analysis a_light = Analysis::Run(light.module);
+  ASSERT_GT(a_heavy.CrashRateEstimate(), a_light.CrashRateEstimate());
+  const auto advice_heavy = AdviseCheckpointInterval(a_heavy, 1e-4, 2.0);
+  const auto advice_light = AdviseCheckpointInterval(a_light, 1e-4, 2.0);
+  EXPECT_LT(advice_heavy.optimal_interval_s, advice_light.optimal_interval_s);
+}
+
+}  // namespace
+}  // namespace epvf::core

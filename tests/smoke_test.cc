@@ -1,0 +1,55 @@
+// End-to-end smoke: every benchmark builds, verifies, runs to completion,
+// and the full ePVF pipeline produces sane headline numbers.
+#include <gtest/gtest.h>
+
+#include "apps/app.h"
+#include "epvf/analysis.h"
+#include "fi/campaign.h"
+
+namespace epvf {
+namespace {
+
+class SmokeTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SmokeTest, PipelineProducesSaneMetrics) {
+  apps::AppConfig config;
+  config.scale = 0;  // tiny sizes for tests
+  const apps::App app = apps::BuildApp(GetParam(), config);
+
+  const core::Analysis analysis = core::Analysis::Run(app.module);
+  EXPECT_TRUE(analysis.golden().Completed());
+  EXPECT_GT(analysis.golden().instructions_executed, 100u);
+  EXPECT_FALSE(analysis.golden().output.empty());
+
+  const double pvf = analysis.Pvf();
+  const double epvf = analysis.Epvf();
+  EXPECT_GT(pvf, 0.0);
+  EXPECT_LE(pvf, 1.0);
+  EXPECT_GE(epvf, 0.0);
+  EXPECT_LE(epvf, pvf) << "ePVF must not exceed PVF (crash bits are a subset of ACE bits)";
+  EXPECT_LT(epvf, pvf) << "some crash bits should have been found";
+
+  const double crash_rate = analysis.CrashRateEstimate();
+  EXPECT_GT(crash_rate, 0.0);
+  EXPECT_LT(crash_rate, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, SmokeTest, ::testing::ValuesIn(apps::AppNames()),
+                         [](const auto& info) { return info.param; });
+
+TEST(SmokeCampaign, SmallCampaignClassifiesOutcomes) {
+  const apps::App app = apps::BuildApp("mm", apps::AppConfig{.scale = 0});
+  const core::Analysis analysis = core::Analysis::Run(app.module);
+
+  fi::CampaignOptions options;
+  options.num_runs = 60;
+  const fi::CampaignStats stats =
+      fi::RunCampaign(app.module, analysis.graph(), analysis.golden(), options);
+  EXPECT_EQ(stats.Total(), 60u);
+  EXPECT_GT(stats.CrashCount() + stats.Count(fi::Outcome::kSdc) +
+                stats.Count(fi::Outcome::kBenign),
+            0u);
+}
+
+}  // namespace
+}  // namespace epvf

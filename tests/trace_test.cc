@@ -1,0 +1,202 @@
+// Trace-sink contract tests: event ordering, operand values, memory probes
+// and function enter/exit bracketing — the interface the DDG builder (and
+// any other analysis) depends on.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ir/builder.h"
+#include "vm/interpreter.h"
+
+namespace epvf::vm {
+namespace {
+
+using ir::IRBuilder;
+using ir::Module;
+using ir::Type;
+using ir::ValueRef;
+
+struct RecordingSink final : TraceSink {
+  struct Event {
+    std::string kind;  // "instr", "enter", "exit"
+    ir::Opcode op = ir::Opcode::kRet;
+    std::uint64_t dyn_index = 0;
+    std::vector<std::uint64_t> operands;
+    std::uint64_t result = 0;
+    bool has_result = false;
+    bool is_mem = false;
+    std::uint64_t addr = 0;
+    unsigned size = 0;
+    std::uint64_t esp = 0;
+    std::uint64_t map_version = 0;
+    std::uint32_t function = 0;
+  };
+  std::vector<Event> events;
+
+  void OnInstruction(const DynContext& ctx) override {
+    Event e;
+    e.kind = "instr";
+    e.op = ctx.inst->op;
+    e.dyn_index = ctx.dyn_index;
+    e.operands.assign(ctx.operand_values.begin(), ctx.operand_values.end());
+    e.has_result = ctx.has_result;
+    e.result = ctx.result_bits;
+    e.is_mem = ctx.is_mem_access;
+    e.addr = ctx.mem_addr;
+    e.size = ctx.mem_size;
+    e.esp = ctx.esp;
+    e.map_version = ctx.map_version;
+    events.push_back(std::move(e));
+  }
+  void OnEnterFunction(std::uint32_t function_index) override {
+    Event e;
+    e.kind = "enter";
+    e.function = function_index;
+    events.push_back(std::move(e));
+  }
+  void OnExitFunction(bool) override {
+    Event e;
+    e.kind = "exit";
+    events.push_back(std::move(e));
+  }
+};
+
+TEST(TraceSink, DynIndicesAreDenseAndOrdered) {
+  Module m;
+  IRBuilder b(m);
+  (void)b.CreateFunction("main", Type::Void(), {});
+  b.Output(b.Add(b.I64(1), b.I64(2)));
+  b.Output(b.Mul(b.I64(3), b.I64(4)));
+  b.RetVoid();
+  RecordingSink sink;
+  Interpreter interp(m, {});
+  const RunResult r = interp.Run("main", &sink);
+  ASSERT_TRUE(r.Completed());
+
+  std::uint64_t expected = 0;
+  for (const auto& e : sink.events) {
+    if (e.kind != "instr") continue;
+    EXPECT_EQ(e.dyn_index, expected++);
+  }
+  EXPECT_EQ(expected, r.instructions_executed);
+}
+
+TEST(TraceSink, OperandAndResultValuesAreObserved) {
+  Module m;
+  IRBuilder b(m);
+  (void)b.CreateFunction("main", Type::Void(), {});
+  (void)b.Add(b.I64(20), b.I64(22), "x");
+  b.RetVoid();
+  RecordingSink sink;
+  Interpreter interp(m, {});
+  (void)interp.Run("main", &sink);
+  ASSERT_GE(sink.events.size(), 2u);
+  const auto& add = sink.events[1];  // [0] is the enter event
+  EXPECT_EQ(add.op, ir::Opcode::kAdd);
+  ASSERT_EQ(add.operands.size(), 2u);
+  EXPECT_EQ(add.operands[0], 20u);
+  EXPECT_EQ(add.operands[1], 22u);
+  EXPECT_TRUE(add.has_result);
+  EXPECT_EQ(add.result, 42u);
+}
+
+TEST(TraceSink, MemoryProbesCarryAddressSizeEspVersion) {
+  Module m;
+  IRBuilder b(m);
+  (void)b.CreateFunction("main", Type::Void(), {});
+  const ValueRef arr = b.MallocArray(Type::I32(), b.I64(64), "arr");
+  b.Store(b.I32(7), b.Gep(arr, b.I64(5)));
+  b.Output(b.Load(b.Gep(arr, b.I64(5))));
+  b.RetVoid();
+  RecordingSink sink;
+  Interpreter interp(m, {});
+  (void)interp.Run("main", &sink);
+
+  const RecordingSink::Event* store = nullptr;
+  const RecordingSink::Event* load = nullptr;
+  for (const auto& e : sink.events) {
+    if (e.kind != "instr") continue;
+    if (e.op == ir::Opcode::kStore) store = &e;
+    if (e.op == ir::Opcode::kLoad) load = &e;
+  }
+  ASSERT_NE(store, nullptr);
+  ASSERT_NE(load, nullptr);
+  EXPECT_TRUE(store->is_mem);
+  EXPECT_TRUE(load->is_mem);
+  EXPECT_EQ(store->addr, load->addr);
+  EXPECT_EQ(store->size, 4u);
+  EXPECT_EQ(store->esp, interp.memory().layout().stack_top) << "no allocas: esp untouched";
+  // The probe's map version must be resolvable against the recorded history.
+  vm::ExecOptions history_opts;
+  history_opts.record_map_history = true;
+  Interpreter with_history(m, history_opts);
+  RecordingSink sink2;
+  (void)with_history.Run("main", &sink2);
+  for (const auto& e : sink2.events) {
+    if (e.kind == "instr" && e.is_mem) {
+      EXPECT_NO_THROW((void)with_history.memory().Snapshot(e.map_version));
+    }
+  }
+}
+
+TEST(TraceSink, CallsBracketWithEnterExit) {
+  Module m;
+  IRBuilder b(m);
+  const std::uint32_t callee = b.CreateFunction("helper", Type::I64(), {Type::I64()});
+  b.Ret(b.Add(b.Param(0), b.I64(1)));
+  (void)b.CreateFunction("main", Type::Void(), {});
+  b.Output(b.Call(callee, {b.I64(41)}));
+  b.RetVoid();
+  RecordingSink sink;
+  Interpreter interp(m, {});
+  (void)interp.Run("main", &sink);
+
+  // Expected shape: enter(main), instr(call), enter(helper), instr(add),
+  // instr(ret), exit, ... exit for main at the end.
+  std::vector<std::string> kinds;
+  for (const auto& e : sink.events) kinds.push_back(e.kind);
+  ASSERT_GE(kinds.size(), 7u);
+  EXPECT_EQ(kinds.front(), "enter");
+  int depth = 0;
+  int max_depth = 0;
+  for (const auto& e : sink.events) {
+    if (e.kind == "enter") max_depth = std::max(max_depth, ++depth);
+    if (e.kind == "exit") --depth;
+  }
+  EXPECT_EQ(depth, 0) << "enter/exit must balance";
+  EXPECT_EQ(max_depth, 2) << "main + helper";
+  // The call instruction event fires before the callee's enter event.
+  std::size_t call_pos = 0, enter_helper_pos = 0;
+  for (std::size_t i = 0; i < sink.events.size(); ++i) {
+    // The first kCall event is the user call (the output intrinsic follows).
+    if (call_pos == 0 && sink.events[i].kind == "instr" &&
+        sink.events[i].op == ir::Opcode::kCall) {
+      call_pos = i;
+    }
+    if (enter_helper_pos == 0 && sink.events[i].kind == "enter" &&
+        sink.events[i].function == 0) {
+      enter_helper_pos = i;  // helper was created first: function index 0
+    }
+  }
+  ASSERT_NE(call_pos, 0u);
+  ASSERT_NE(enter_helper_pos, 0u);
+  EXPECT_LT(call_pos, enter_helper_pos);
+}
+
+TEST(TraceSink, IntrinsicCallsDoNotEnterFrames) {
+  Module m;
+  IRBuilder b(m);
+  (void)b.CreateFunction("main", Type::Void(), {});
+  (void)b.CallIntrinsic(ir::Intrinsic::kSqrt, {b.F64(4.0)});
+  b.RetVoid();
+  RecordingSink sink;
+  Interpreter interp(m, {});
+  (void)interp.Run("main", &sink);
+  int enters = 0;
+  for (const auto& e : sink.events) enters += e.kind == "enter";
+  EXPECT_EQ(enters, 1) << "only the entry function";
+}
+
+}  // namespace
+}  // namespace epvf::vm

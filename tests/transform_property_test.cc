@@ -1,0 +1,76 @@
+// Property tests for the duplication transform, swept across the whole
+// benchmark suite: for randomized protection plans the transformed module
+// must verify, preserve fault-free semantics exactly, and cost instructions
+// monotonically in plan size.
+#include <gtest/gtest.h>
+
+#include "apps/app.h"
+#include "ir/verifier.h"
+#include "protect/transform.h"
+#include "support/rng.h"
+#include "vm/interpreter.h"
+
+namespace epvf::protect {
+namespace {
+
+std::vector<ir::StaticInstrId> RandomValueInstructions(const ir::Module& m, double fraction,
+                                                       std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ir::StaticInstrId> chosen;
+  for (std::uint32_t f = 0; f < m.functions.size(); ++f) {
+    const ir::Function& fn = m.functions[f];
+    for (std::uint32_t b = 0; b < fn.blocks.size(); ++b) {
+      for (std::uint32_t i = 0; i < fn.blocks[b].instructions.size(); ++i) {
+        if (!fn.blocks[b].instructions[i].DefinesValue()) continue;
+        if (rng.NextDouble() < fraction) chosen.push_back(ir::StaticInstrId{f, b, i});
+      }
+    }
+  }
+  return chosen;
+}
+
+class TransformSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TransformSweep, RandomPlansPreserveSemantics) {
+  const apps::App app = apps::BuildApp(GetParam(), apps::AppConfig{.scale = 0});
+  vm::Interpreter base(app.module, {});
+  const vm::RunResult golden = base.Run();
+  ASSERT_TRUE(golden.Completed());
+
+  for (const std::uint64_t seed : {11ull, 22ull, 33ull}) {
+    const auto chosen = RandomValueInstructions(app.module, 0.3, seed);
+    const TransformResult result = ApplyDuplication(app.module, chosen);
+    const ir::VerifyResult verdict = ir::VerifyModule(result.module);
+    ASSERT_TRUE(verdict.ok()) << GetParam() << " seed " << seed << ": " << verdict.Summary();
+
+    vm::Interpreter transformed(result.module, {});
+    const vm::RunResult r = transformed.Run();
+    ASSERT_TRUE(r.Completed())
+        << GetParam() << " seed " << seed << " trapped with " << vm::TrapKindName(r.trap)
+        << " — a fault-free transformed run must never detect";
+    EXPECT_EQ(r.output, golden.output) << GetParam() << " seed " << seed;
+    EXPECT_GE(r.instructions_executed, golden.instructions_executed);
+  }
+}
+
+TEST_P(TransformSweep, ProtectingEverythingStillWorks) {
+  const apps::App app = apps::BuildApp(GetParam(), apps::AppConfig{.scale = 0});
+  const auto everything = RandomValueInstructions(app.module, 1.1, 1);
+  const TransformResult result = ApplyDuplication(app.module, everything);
+  ASSERT_TRUE(ir::VerifyModule(result.module).ok());
+
+  vm::Interpreter base(app.module, {});
+  vm::Interpreter transformed(result.module, {});
+  const vm::RunResult golden = base.Run();
+  const vm::RunResult r = transformed.Run();
+  ASSERT_TRUE(r.Completed()) << vm::TrapKindName(r.trap);
+  EXPECT_EQ(r.output, golden.output);
+  // Full duplication costs a significant fraction of extra work.
+  EXPECT_GT(r.instructions_executed, golden.instructions_executed * 5 / 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, TransformSweep, ::testing::ValuesIn(apps::AppNames()),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace epvf::protect

@@ -1,0 +1,255 @@
+// epvf — command-line driver for the whole toolkit.
+//
+//   epvf list
+//   epvf analyze  <benchmark|file.ir> [--scale N]
+//   epvf inject   <benchmark|file.ir> [--runs N] [--jitter P] [--burst B] [--seed S]
+//   epvf sample   <benchmark|file.ir> [--fraction F]
+//   epvf protect  <benchmark>         [--budget PCT] [--rank epvf|hot] [--real]
+//   epvf print    <benchmark|file.ir>
+//
+// A target is either a bundled benchmark name (see `epvf list`) or a path to
+// a textual-IR file (anything containing '.' or '/').
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "apps/app.h"
+#include "epvf/analysis.h"
+#include "epvf/report.h"
+#include "epvf/sampling.h"
+#include "fi/campaign.h"
+#include "fi/targeted.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "protect/evaluation.h"
+#include "protect/transform.h"
+#include "support/table.h"
+#include "vm/interpreter.h"
+
+namespace {
+
+using namespace epvf;
+
+struct Options {
+  std::string command;
+  std::string target;
+  std::map<std::string, std::string> flags;
+
+  [[nodiscard]] int Int(const std::string& name, int fallback) const {
+    const auto it = flags.find(name);
+    return it == flags.end() ? fallback : std::atoi(it->second.c_str());
+  }
+  [[nodiscard]] double Double(const std::string& name, double fallback) const {
+    const auto it = flags.find(name);
+    return it == flags.end() ? fallback : std::atof(it->second.c_str());
+  }
+  [[nodiscard]] std::string Str(const std::string& name, std::string fallback) const {
+    const auto it = flags.find(name);
+    return it == flags.end() ? fallback : it->second;
+  }
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: epvf <command> [target] [flags]\n"
+               "  list                             bundled benchmarks\n"
+               "  analyze <target> [--scale N]     PVF/ePVF/crash metrics + structure report\n"
+               "  inject  <target> [--runs N] [--jitter P] [--burst B] [--seed S]\n"
+               "                                   fault-injection campaign + model validation\n"
+               "  sample  <target> [--fraction F]  ACE-graph sampling estimate\n"
+               "  protect <benchmark> [--budget PCT] [--rank epvf|hot] [--real]\n"
+               "                                   section-V selective duplication\n"
+               "  print   <target>                 dump the textual IR\n"
+               "a target is a benchmark name or a .ir file path\n");
+  return 2;
+}
+
+/// Loads a benchmark by name or parses a textual-IR file.
+ir::Module LoadTarget(const Options& options) {
+  const bool looks_like_path = options.target.find('.') != std::string::npos ||
+                               options.target.find('/') != std::string::npos;
+  if (!looks_like_path) {
+    apps::AppConfig config;
+    config.scale = options.Int("scale", 1);
+    return apps::BuildApp(options.target, config).module;
+  }
+  std::ifstream in(options.target);
+  if (!in) throw std::runtime_error("cannot open " + options.target);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ir::ParseModuleOrThrow(buffer.str());
+}
+
+int CmdList() {
+  AsciiTable table({"benchmark", "domain", "paper LOC"});
+  table.SetTitle("bundled benchmarks (paper Table IV + kmeans)");
+  for (const std::string& name : apps::AppNames()) {
+    const apps::App app = apps::BuildApp(name, apps::AppConfig{.scale = 0});
+    table.AddRow({app.name, app.domain, std::to_string(app.paper_loc)});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+int CmdAnalyze(const Options& options) {
+  const ir::Module module = LoadTarget(options);
+  const core::Analysis a = core::Analysis::Run(module);
+
+  std::printf("dynamic instructions : %llu\n",
+              static_cast<unsigned long long>(a.golden().instructions_executed));
+  std::printf("DDG nodes            : %zu (ACE: %llu)\n", a.graph().NumNodes(),
+              static_cast<unsigned long long>(a.ace().ace_node_count));
+  std::printf("PVF  (Eq. 1)         : %.4f\n", a.Pvf());
+  std::printf("ePVF (Eq. 2)         : %.4f\n", a.Epvf());
+  std::printf("crash-rate estimate  : %.4f\n", a.CrashRateEstimate());
+  std::printf("memory resource      : PVF %.4f, ePVF %.4f\n", a.MemoryPvf(), a.MemoryEpvf());
+  std::printf("analysis time        : %.1f ms (trace+DDG %.1f, ACE %.1f, crash %.1f)\n",
+              a.timings().TotalSeconds() * 1e3, a.timings().trace_and_graph_seconds * 1e3,
+              a.timings().ace_seconds * 1e3, a.timings().crash_model_seconds * 1e3);
+
+  AsciiTable table({"structure", "total bits", "ACE", "crash", "class ePVF"});
+  table.SetTitle("structure vulnerability");
+  for (const core::StructureVulnerability& entry : core::StructureReport(a)) {
+    if (entry.total_bits == 0) continue;
+    table.AddRow({std::string(core::RegisterClassName(entry.cls)),
+                  std::to_string(entry.total_bits), std::to_string(entry.ace_bits),
+                  std::to_string(entry.crash_bits), AsciiTable::Num(entry.Epvf())});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+int CmdInject(const Options& options) {
+  const ir::Module module = LoadTarget(options);
+  const core::Analysis a = core::Analysis::Run(module);
+
+  fi::CampaignOptions campaign;
+  campaign.num_runs = options.Int("runs", 500);
+  campaign.seed = static_cast<std::uint64_t>(options.Int("seed", 42));
+  campaign.injector.jitter_pages = static_cast<std::uint32_t>(options.Int("jitter", 2));
+  campaign.injector.burst_length = static_cast<std::uint8_t>(options.Int("burst", 1));
+  const fi::CampaignStats stats = fi::RunCampaign(module, a.graph(), a.golden(), campaign);
+
+  AsciiTable table({"outcome", "count", "rate"});
+  table.SetTitle("campaign (" + std::to_string(stats.Total()) + " injections)");
+  for (int i = 0; i < fi::kNumOutcomes; ++i) {
+    const auto outcome = static_cast<fi::Outcome>(i);
+    if (stats.Count(outcome) == 0) continue;
+    const auto ci = stats.CI(outcome);
+    table.AddRow({std::string(fi::OutcomeName(outcome)), std::to_string(stats.Count(outcome)),
+                  AsciiTable::PctCI(ci.rate, ci.half_width)});
+  }
+  table.Print(std::cout);
+
+  const fi::RecallStats recall = fi::MeasureRecall(stats, a.crash_bits());
+  std::printf("model crash estimate %.3f vs measured %.3f | recall %.1f%% (%llu/%llu)\n",
+              a.CrashRateEstimate(), stats.CrashRate(), recall.Recall() * 100,
+              static_cast<unsigned long long>(recall.predicted),
+              static_cast<unsigned long long>(recall.crash_runs));
+  return 0;
+}
+
+int CmdSample(const Options& options) {
+  const ir::Module module = LoadTarget(options);
+  const core::Analysis a = core::Analysis::Run(module);
+  const double fraction = options.Double("fraction", 0.10);
+  const core::SamplingEstimate est = core::EstimateBySampling(a, fraction);
+  const core::RepetitivenessProbe probe = core::ProbeRepetitiveness(a, 0.01, 8, 7);
+  std::printf("sampled ePVF (%.0f%% of output roots): %.4f\n", fraction * 100,
+              est.extrapolated_epvf);
+  std::printf("full ePVF                        : %.4f (|error| %.4f)\n", est.full_epvf,
+              est.AbsoluteError());
+  std::printf("1%%-subsample normalized variance : %.4f %s\n", probe.normalized_variance,
+              probe.normalized_variance < 0.02 ? "(regular: sampling trustworthy)"
+                                               : "(irregular: prefer the full analysis)");
+  return 0;
+}
+
+int CmdProtect(const Options& options) {
+  apps::AppConfig config;
+  config.scale = options.Int("scale", 1);
+  const apps::App app = apps::BuildApp(options.target, config);
+  const core::Analysis a = core::Analysis::Run(app.module);
+  const auto metrics = a.PerInstructionMetrics();
+
+  const std::string rank = options.Str("rank", "epvf");
+  const auto ranking =
+      rank == "hot" ? protect::RankByHotPath(metrics) : protect::RankByEpvf(metrics);
+  protect::PlanOptions plan_options;
+  plan_options.overhead_budget = options.Int("budget", 24) / 100.0;
+  const protect::ProtectionPlan plan =
+      protect::BuildDuplicationPlan(a, ranking, plan_options);
+
+  fi::CampaignOptions campaign;
+  campaign.num_runs = options.Int("runs", 500);
+  campaign.injector.jitter_pages = 2;
+  const fi::CampaignStats baseline = fi::RunCampaign(app.module, a.graph(), a.golden(), campaign);
+  const protect::ProtectedRates modeled = protect::EvaluateProtection(baseline, plan);
+
+  std::printf("ranking %s, budget %.0f%%: %zu instructions chosen, modeled overhead %.1f%%\n",
+              rank.c_str(), plan_options.overhead_budget * 100, plan.chosen.size(),
+              plan.overhead * 100);
+  std::printf("SDC rate: %.1f%% unprotected -> %.1f%% modeled\n",
+              baseline.Rate(fi::Outcome::kSdc) * 100, modeled.SdcRate() * 100);
+
+  if (options.flags.count("real") != 0) {
+    const protect::TransformResult transformed =
+        protect::ApplyDuplication(app.module, plan.chosen);
+    const core::Analysis real_analysis = core::Analysis::Run(transformed.module);
+    const fi::CampaignStats real = fi::RunCampaign(
+        transformed.module, real_analysis.graph(), real_analysis.golden(), campaign);
+    std::printf("real transform: %llu checks, SDC %.1f%%, detected %.1f%%, overhead %.1f%%\n",
+                static_cast<unsigned long long>(transformed.stats.protected_instructions),
+                real.Rate(fi::Outcome::kSdc) * 100, real.Rate(fi::Outcome::kDetected) * 100,
+                (static_cast<double>(real_analysis.golden().instructions_executed) /
+                     static_cast<double>(a.golden().instructions_executed) -
+                 1.0) *
+                    100);
+  }
+  return 0;
+}
+
+int CmdPrint(const Options& options) {
+  const ir::Module module = LoadTarget(options);
+  std::fputs(ir::PrintModule(module).c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Options options;
+  options.command = argv[1];
+  int cursor = 2;
+  if (cursor < argc && argv[cursor][0] != '-') options.target = argv[cursor++];
+  for (; cursor < argc; ++cursor) {
+    std::string flag = argv[cursor];
+    if (flag.rfind("--", 0) != 0) return Usage();
+    flag = flag.substr(2);
+    if (cursor + 1 < argc && argv[cursor + 1][0] != '-') {
+      options.flags[flag] = argv[++cursor];
+    } else {
+      options.flags[flag] = "1";
+    }
+  }
+
+  try {
+    if (options.command == "list") return CmdList();
+    if (options.target.empty()) return Usage();
+    if (options.command == "analyze") return CmdAnalyze(options);
+    if (options.command == "inject") return CmdInject(options);
+    if (options.command == "sample") return CmdSample(options);
+    if (options.command == "protect") return CmdProtect(options);
+    if (options.command == "print") return CmdPrint(options);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "epvf: %s\n", error.what());
+    return 1;
+  }
+  return Usage();
+}
