@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_multibit"
+  "../bench/bench_ablation_multibit.pdb"
+  "CMakeFiles/bench_ablation_multibit.dir/bench_ablation_multibit.cc.o"
+  "CMakeFiles/bench_ablation_multibit.dir/bench_ablation_multibit.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multibit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_protection"
+  "../bench/bench_ablation_protection.pdb"
+  "CMakeFiles/bench_ablation_protection.dir/bench_ablation_protection.cc.o"
+  "CMakeFiles/bench_ablation_protection.dir/bench_ablation_protection.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_protection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

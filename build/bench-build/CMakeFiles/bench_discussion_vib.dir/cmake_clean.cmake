@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_discussion_vib"
+  "../bench/bench_discussion_vib.pdb"
+  "CMakeFiles/bench_discussion_vib.dir/bench_discussion_vib.cc.o"
+  "CMakeFiles/bench_discussion_vib.dir/bench_discussion_vib.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_discussion_vib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

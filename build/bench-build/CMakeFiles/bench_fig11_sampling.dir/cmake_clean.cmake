@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_sampling"
+  "../bench/bench_fig11_sampling.pdb"
+  "CMakeFiles/bench_fig11_sampling.dir/bench_fig11_sampling.cc.o"
+  "CMakeFiles/bench_fig11_sampling.dir/bench_fig11_sampling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_protection"
+  "../bench/bench_fig13_protection.pdb"
+  "CMakeFiles/bench_fig13_protection.dir/bench_fig13_protection.cc.o"
+  "CMakeFiles/bench_fig13_protection.dir/bench_fig13_protection.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_protection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_outcomes"
+  "../bench/bench_fig5_outcomes.pdb"
+  "CMakeFiles/bench_fig5_outcomes.dir/bench_fig5_outcomes.cc.o"
+  "CMakeFiles/bench_fig5_outcomes.dir/bench_fig5_outcomes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_outcomes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_recall"
+  "../bench/bench_fig6_recall.pdb"
+  "CMakeFiles/bench_fig6_recall.dir/bench_fig6_recall.cc.o"
+  "CMakeFiles/bench_fig6_recall.dir/bench_fig6_recall.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_recall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_pvf_epvf_sdc"
+  "../bench/bench_fig9_pvf_epvf_sdc.pdb"
+  "CMakeFiles/bench_fig9_pvf_epvf_sdc.dir/bench_fig9_pvf_epvf_sdc.cc.o"
+  "CMakeFiles/bench_fig9_pvf_epvf_sdc.dir/bench_fig9_pvf_epvf_sdc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_pvf_epvf_sdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

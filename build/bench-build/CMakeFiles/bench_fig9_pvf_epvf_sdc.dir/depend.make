@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig9_pvf_epvf_sdc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_structure_report"
+  "../bench/bench_structure_report.pdb"
+  "CMakeFiles/bench_structure_report.dir/bench_structure_report.cc.o"
+  "CMakeFiles/bench_structure_report.dir/bench_structure_report.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_structure_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selective_protection.dir/selective_protection.cpp.o"
+  "CMakeFiles/selective_protection.dir/selective_protection.cpp.o.d"
+  "selective_protection"
+  "selective_protection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selective_protection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/textual_ir_analysis.dir/textual_ir_analysis.cpp.o"
+  "CMakeFiles/textual_ir_analysis.dir/textual_ir_analysis.cpp.o.d"
+  "textual_ir_analysis"
+  "textual_ir_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/textual_ir_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

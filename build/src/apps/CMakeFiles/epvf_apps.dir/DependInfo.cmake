@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/app.cc" "src/apps/CMakeFiles/epvf_apps.dir/app.cc.o" "gcc" "src/apps/CMakeFiles/epvf_apps.dir/app.cc.o.d"
+  "/root/repo/src/apps/bfs.cc" "src/apps/CMakeFiles/epvf_apps.dir/bfs.cc.o" "gcc" "src/apps/CMakeFiles/epvf_apps.dir/bfs.cc.o.d"
+  "/root/repo/src/apps/hotspot.cc" "src/apps/CMakeFiles/epvf_apps.dir/hotspot.cc.o" "gcc" "src/apps/CMakeFiles/epvf_apps.dir/hotspot.cc.o.d"
+  "/root/repo/src/apps/kmeans.cc" "src/apps/CMakeFiles/epvf_apps.dir/kmeans.cc.o" "gcc" "src/apps/CMakeFiles/epvf_apps.dir/kmeans.cc.o.d"
+  "/root/repo/src/apps/lavamd.cc" "src/apps/CMakeFiles/epvf_apps.dir/lavamd.cc.o" "gcc" "src/apps/CMakeFiles/epvf_apps.dir/lavamd.cc.o.d"
+  "/root/repo/src/apps/lud.cc" "src/apps/CMakeFiles/epvf_apps.dir/lud.cc.o" "gcc" "src/apps/CMakeFiles/epvf_apps.dir/lud.cc.o.d"
+  "/root/repo/src/apps/lulesh.cc" "src/apps/CMakeFiles/epvf_apps.dir/lulesh.cc.o" "gcc" "src/apps/CMakeFiles/epvf_apps.dir/lulesh.cc.o.d"
+  "/root/repo/src/apps/mm.cc" "src/apps/CMakeFiles/epvf_apps.dir/mm.cc.o" "gcc" "src/apps/CMakeFiles/epvf_apps.dir/mm.cc.o.d"
+  "/root/repo/src/apps/nw.cc" "src/apps/CMakeFiles/epvf_apps.dir/nw.cc.o" "gcc" "src/apps/CMakeFiles/epvf_apps.dir/nw.cc.o.d"
+  "/root/repo/src/apps/particlefilter.cc" "src/apps/CMakeFiles/epvf_apps.dir/particlefilter.cc.o" "gcc" "src/apps/CMakeFiles/epvf_apps.dir/particlefilter.cc.o.d"
+  "/root/repo/src/apps/pathfinder.cc" "src/apps/CMakeFiles/epvf_apps.dir/pathfinder.cc.o" "gcc" "src/apps/CMakeFiles/epvf_apps.dir/pathfinder.cc.o.d"
+  "/root/repo/src/apps/srad.cc" "src/apps/CMakeFiles/epvf_apps.dir/srad.cc.o" "gcc" "src/apps/CMakeFiles/epvf_apps.dir/srad.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/epvf_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/epvf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epvf_apps.dir/app.cc.o"
+  "CMakeFiles/epvf_apps.dir/app.cc.o.d"
+  "CMakeFiles/epvf_apps.dir/bfs.cc.o"
+  "CMakeFiles/epvf_apps.dir/bfs.cc.o.d"
+  "CMakeFiles/epvf_apps.dir/hotspot.cc.o"
+  "CMakeFiles/epvf_apps.dir/hotspot.cc.o.d"
+  "CMakeFiles/epvf_apps.dir/kmeans.cc.o"
+  "CMakeFiles/epvf_apps.dir/kmeans.cc.o.d"
+  "CMakeFiles/epvf_apps.dir/lavamd.cc.o"
+  "CMakeFiles/epvf_apps.dir/lavamd.cc.o.d"
+  "CMakeFiles/epvf_apps.dir/lud.cc.o"
+  "CMakeFiles/epvf_apps.dir/lud.cc.o.d"
+  "CMakeFiles/epvf_apps.dir/lulesh.cc.o"
+  "CMakeFiles/epvf_apps.dir/lulesh.cc.o.d"
+  "CMakeFiles/epvf_apps.dir/mm.cc.o"
+  "CMakeFiles/epvf_apps.dir/mm.cc.o.d"
+  "CMakeFiles/epvf_apps.dir/nw.cc.o"
+  "CMakeFiles/epvf_apps.dir/nw.cc.o.d"
+  "CMakeFiles/epvf_apps.dir/particlefilter.cc.o"
+  "CMakeFiles/epvf_apps.dir/particlefilter.cc.o.d"
+  "CMakeFiles/epvf_apps.dir/pathfinder.cc.o"
+  "CMakeFiles/epvf_apps.dir/pathfinder.cc.o.d"
+  "CMakeFiles/epvf_apps.dir/srad.cc.o"
+  "CMakeFiles/epvf_apps.dir/srad.cc.o.d"
+  "libepvf_apps.a"
+  "libepvf_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epvf_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libepvf_apps.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epvf_crash.dir/lookup_table.cc.o"
+  "CMakeFiles/epvf_crash.dir/lookup_table.cc.o.d"
+  "CMakeFiles/epvf_crash.dir/propagation.cc.o"
+  "CMakeFiles/epvf_crash.dir/propagation.cc.o.d"
+  "libepvf_crash.a"
+  "libepvf_crash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epvf_crash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ddg/ace.cc" "src/ddg/CMakeFiles/epvf_ddg.dir/ace.cc.o" "gcc" "src/ddg/CMakeFiles/epvf_ddg.dir/ace.cc.o.d"
+  "/root/repo/src/ddg/builder.cc" "src/ddg/CMakeFiles/epvf_ddg.dir/builder.cc.o" "gcc" "src/ddg/CMakeFiles/epvf_ddg.dir/builder.cc.o.d"
+  "/root/repo/src/ddg/graph.cc" "src/ddg/CMakeFiles/epvf_ddg.dir/graph.cc.o" "gcc" "src/ddg/CMakeFiles/epvf_ddg.dir/graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/epvf_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/epvf_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/epvf_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/epvf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

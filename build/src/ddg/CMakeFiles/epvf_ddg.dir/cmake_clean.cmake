@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epvf_ddg.dir/ace.cc.o"
+  "CMakeFiles/epvf_ddg.dir/ace.cc.o.d"
+  "CMakeFiles/epvf_ddg.dir/builder.cc.o"
+  "CMakeFiles/epvf_ddg.dir/builder.cc.o.d"
+  "CMakeFiles/epvf_ddg.dir/graph.cc.o"
+  "CMakeFiles/epvf_ddg.dir/graph.cc.o.d"
+  "libepvf_ddg.a"
+  "libepvf_ddg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epvf_ddg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epvf_core.dir/analysis.cc.o"
+  "CMakeFiles/epvf_core.dir/analysis.cc.o.d"
+  "CMakeFiles/epvf_core.dir/report.cc.o"
+  "CMakeFiles/epvf_core.dir/report.cc.o.d"
+  "CMakeFiles/epvf_core.dir/sampling.cc.o"
+  "CMakeFiles/epvf_core.dir/sampling.cc.o.d"
+  "libepvf_core.a"
+  "libepvf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epvf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epvf_fi.dir/campaign.cc.o"
+  "CMakeFiles/epvf_fi.dir/campaign.cc.o.d"
+  "CMakeFiles/epvf_fi.dir/injector.cc.o"
+  "CMakeFiles/epvf_fi.dir/injector.cc.o.d"
+  "CMakeFiles/epvf_fi.dir/outcome.cc.o"
+  "CMakeFiles/epvf_fi.dir/outcome.cc.o.d"
+  "CMakeFiles/epvf_fi.dir/targeted.cc.o"
+  "CMakeFiles/epvf_fi.dir/targeted.cc.o.d"
+  "libepvf_fi.a"
+  "libepvf_fi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epvf_fi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/builder.cc" "src/ir/CMakeFiles/epvf_ir.dir/builder.cc.o" "gcc" "src/ir/CMakeFiles/epvf_ir.dir/builder.cc.o.d"
+  "/root/repo/src/ir/intrinsics.cc" "src/ir/CMakeFiles/epvf_ir.dir/intrinsics.cc.o" "gcc" "src/ir/CMakeFiles/epvf_ir.dir/intrinsics.cc.o.d"
+  "/root/repo/src/ir/module.cc" "src/ir/CMakeFiles/epvf_ir.dir/module.cc.o" "gcc" "src/ir/CMakeFiles/epvf_ir.dir/module.cc.o.d"
+  "/root/repo/src/ir/opcode.cc" "src/ir/CMakeFiles/epvf_ir.dir/opcode.cc.o" "gcc" "src/ir/CMakeFiles/epvf_ir.dir/opcode.cc.o.d"
+  "/root/repo/src/ir/parser.cc" "src/ir/CMakeFiles/epvf_ir.dir/parser.cc.o" "gcc" "src/ir/CMakeFiles/epvf_ir.dir/parser.cc.o.d"
+  "/root/repo/src/ir/printer.cc" "src/ir/CMakeFiles/epvf_ir.dir/printer.cc.o" "gcc" "src/ir/CMakeFiles/epvf_ir.dir/printer.cc.o.d"
+  "/root/repo/src/ir/type.cc" "src/ir/CMakeFiles/epvf_ir.dir/type.cc.o" "gcc" "src/ir/CMakeFiles/epvf_ir.dir/type.cc.o.d"
+  "/root/repo/src/ir/value.cc" "src/ir/CMakeFiles/epvf_ir.dir/value.cc.o" "gcc" "src/ir/CMakeFiles/epvf_ir.dir/value.cc.o.d"
+  "/root/repo/src/ir/verifier.cc" "src/ir/CMakeFiles/epvf_ir.dir/verifier.cc.o" "gcc" "src/ir/CMakeFiles/epvf_ir.dir/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/epvf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

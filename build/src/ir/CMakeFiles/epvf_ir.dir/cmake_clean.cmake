@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epvf_ir.dir/builder.cc.o"
+  "CMakeFiles/epvf_ir.dir/builder.cc.o.d"
+  "CMakeFiles/epvf_ir.dir/intrinsics.cc.o"
+  "CMakeFiles/epvf_ir.dir/intrinsics.cc.o.d"
+  "CMakeFiles/epvf_ir.dir/module.cc.o"
+  "CMakeFiles/epvf_ir.dir/module.cc.o.d"
+  "CMakeFiles/epvf_ir.dir/opcode.cc.o"
+  "CMakeFiles/epvf_ir.dir/opcode.cc.o.d"
+  "CMakeFiles/epvf_ir.dir/parser.cc.o"
+  "CMakeFiles/epvf_ir.dir/parser.cc.o.d"
+  "CMakeFiles/epvf_ir.dir/printer.cc.o"
+  "CMakeFiles/epvf_ir.dir/printer.cc.o.d"
+  "CMakeFiles/epvf_ir.dir/type.cc.o"
+  "CMakeFiles/epvf_ir.dir/type.cc.o.d"
+  "CMakeFiles/epvf_ir.dir/value.cc.o"
+  "CMakeFiles/epvf_ir.dir/value.cc.o.d"
+  "CMakeFiles/epvf_ir.dir/verifier.cc.o"
+  "CMakeFiles/epvf_ir.dir/verifier.cc.o.d"
+  "libepvf_ir.a"
+  "libepvf_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epvf_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/crash_semantics.cc" "src/mem/CMakeFiles/epvf_mem.dir/crash_semantics.cc.o" "gcc" "src/mem/CMakeFiles/epvf_mem.dir/crash_semantics.cc.o.d"
+  "/root/repo/src/mem/sim_memory.cc" "src/mem/CMakeFiles/epvf_mem.dir/sim_memory.cc.o" "gcc" "src/mem/CMakeFiles/epvf_mem.dir/sim_memory.cc.o.d"
+  "/root/repo/src/mem/vma.cc" "src/mem/CMakeFiles/epvf_mem.dir/vma.cc.o" "gcc" "src/mem/CMakeFiles/epvf_mem.dir/vma.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/epvf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epvf_mem.dir/crash_semantics.cc.o"
+  "CMakeFiles/epvf_mem.dir/crash_semantics.cc.o.d"
+  "CMakeFiles/epvf_mem.dir/sim_memory.cc.o"
+  "CMakeFiles/epvf_mem.dir/sim_memory.cc.o.d"
+  "CMakeFiles/epvf_mem.dir/vma.cc.o"
+  "CMakeFiles/epvf_mem.dir/vma.cc.o.d"
+  "libepvf_mem.a"
+  "libepvf_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epvf_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

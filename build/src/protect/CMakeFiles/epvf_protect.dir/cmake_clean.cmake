@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epvf_protect.dir/duplication.cc.o"
+  "CMakeFiles/epvf_protect.dir/duplication.cc.o.d"
+  "CMakeFiles/epvf_protect.dir/evaluation.cc.o"
+  "CMakeFiles/epvf_protect.dir/evaluation.cc.o.d"
+  "CMakeFiles/epvf_protect.dir/ranking.cc.o"
+  "CMakeFiles/epvf_protect.dir/ranking.cc.o.d"
+  "CMakeFiles/epvf_protect.dir/transform.cc.o"
+  "CMakeFiles/epvf_protect.dir/transform.cc.o.d"
+  "libepvf_protect.a"
+  "libepvf_protect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epvf_protect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

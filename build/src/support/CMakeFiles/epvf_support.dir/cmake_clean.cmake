@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epvf_support.dir/interval.cc.o"
+  "CMakeFiles/epvf_support.dir/interval.cc.o.d"
+  "CMakeFiles/epvf_support.dir/logging.cc.o"
+  "CMakeFiles/epvf_support.dir/logging.cc.o.d"
+  "CMakeFiles/epvf_support.dir/statistics.cc.o"
+  "CMakeFiles/epvf_support.dir/statistics.cc.o.d"
+  "CMakeFiles/epvf_support.dir/table.cc.o"
+  "CMakeFiles/epvf_support.dir/table.cc.o.d"
+  "libepvf_support.a"
+  "libepvf_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epvf_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

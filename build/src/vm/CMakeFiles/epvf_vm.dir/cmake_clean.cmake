@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epvf_vm.dir/interpreter.cc.o"
+  "CMakeFiles/epvf_vm.dir/interpreter.cc.o.d"
+  "libepvf_vm.a"
+  "libepvf_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epvf_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

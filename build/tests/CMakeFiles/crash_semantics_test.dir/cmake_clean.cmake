@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crash_semantics_test.dir/crash_semantics_test.cc.o"
+  "CMakeFiles/crash_semantics_test.dir/crash_semantics_test.cc.o.d"
+  "crash_semantics_test"
+  "crash_semantics_test.pdb"
+  "crash_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crash_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epvf_test.dir/epvf_test.cc.o"
+  "CMakeFiles/epvf_test.dir/epvf_test.cc.o.d"
+  "epvf_test"
+  "epvf_test.pdb"
+  "epvf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epvf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/protect_test.cc" "tests/CMakeFiles/protect_test.dir/protect_test.cc.o" "gcc" "tests/CMakeFiles/protect_test.dir/protect_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/epvf_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/protect/CMakeFiles/epvf_protect.dir/DependInfo.cmake"
+  "/root/repo/build/src/fi/CMakeFiles/epvf_fi.dir/DependInfo.cmake"
+  "/root/repo/build/src/epvf/CMakeFiles/epvf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/crash/CMakeFiles/epvf_crash.dir/DependInfo.cmake"
+  "/root/repo/build/src/ddg/CMakeFiles/epvf_ddg.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/epvf_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/epvf_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/epvf_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/epvf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

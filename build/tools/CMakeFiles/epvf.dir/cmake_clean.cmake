@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epvf.dir/epvf_cli.cc.o"
+  "CMakeFiles/epvf.dir/epvf_cli.cc.o.d"
+  "epvf"
+  "epvf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epvf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
