@@ -8,10 +8,19 @@
 //   EPVF_JITTER_PAGES per-run layout jitter (pages) (default 2 — the paper's
 //                     environment nondeterminism; 0 = deterministic)
 //   EPVF_SEED         campaign seed                 (default 42)
+//   EPVF_JOBS         analysis/campaign threads     (default 0 = hw cores;
+//                     results identical at every setting)
+//   EPVF_BENCH_JSON   when set, each bench also writes BENCH_<name>.json
+//                     (machine-readable metrics; value = output directory,
+//                     "1" = current directory) so perf is trackable across
+//                     commits
 #pragma once
 
+#include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "apps/app.h"
@@ -30,6 +39,68 @@ inline int Scale() { return EnvInt("EPVF_SCALE", 1); }
 inline int FiRuns() { return EnvInt("EPVF_FI_RUNS", 400); }
 inline int JitterPages() { return EnvInt("EPVF_JITTER_PAGES", 2); }
 inline std::uint64_t Seed() { return static_cast<std::uint64_t>(EnvInt("EPVF_SEED", 42)); }
+inline int Jobs() { return EnvInt("EPVF_JOBS", 0); }
+
+/// Analysis options every bench shares: the EPVF_JOBS knob plumbs into the
+/// parallel pipeline stages (results are thread-count-invariant).
+inline core::AnalysisOptions DefaultAnalysisOptions() {
+  core::AnalysisOptions options;
+  options.jobs = Jobs();
+  return options;
+}
+
+/// Machine-readable companion to the ASCII tables. Collects flat
+/// (row, metric, value) measurements and, when EPVF_BENCH_JSON is set,
+/// writes them to BENCH_<name>.json on destruction:
+///   {"bench":"<name>","rows":[{"row":"mm","metric":"total_ms","value":1.5},...]}
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+  ~BenchJson() { Write(); }
+
+  void Add(const std::string& row, const std::string& metric, double value) {
+    rows_.emplace_back(row, metric, value);
+  }
+
+  void Write() {
+    if (written_) return;
+    written_ = true;
+    const char* dir = std::getenv("EPVF_BENCH_JSON");
+    if (dir == nullptr || dir[0] == '\0') return;
+    const std::string base = std::string(dir) == "1" ? "." : std::string(dir);
+    const std::string path = base + "/BENCH_" + name_ + ".json";
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "BenchJson: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(out, "{\"bench\":\"%s\",\"rows\":[", Escape(name_).c_str());
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const auto& [row, metric, value] = rows_[i];
+      std::fprintf(out, "%s{\"row\":\"%s\",\"metric\":\"%s\",\"value\":%.17g}",
+                   i == 0 ? "" : ",", Escape(row).c_str(), Escape(metric).c_str(), value);
+    }
+    std::fprintf(out, "]}\n");
+    std::fclose(out);
+  }
+
+ private:
+  static std::string Escape(const std::string& raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (const char c : raw) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<std::tuple<std::string, std::string, double>> rows_;
+  bool written_ = false;
+};
 
 /// The paper's Table IV suite (ten benchmarks).
 inline std::vector<std::string> TableIVApps() {
@@ -57,7 +128,7 @@ struct Prepared {
 
   explicit Prepared(const std::string& name)
       : app(apps::BuildApp(name, apps::AppConfig{.scale = Scale()})),
-        analysis(core::Analysis::Run(app.module)) {}
+        analysis(core::Analysis::Run(app.module, DefaultAnalysisOptions())) {}
 
   Prepared(const Prepared&) = delete;
   Prepared& operator=(const Prepared&) = delete;
@@ -70,6 +141,7 @@ inline fi::CampaignStats Campaign(const Prepared& p, int runs = 0) {
   options.num_runs = runs > 0 ? runs : FiRuns();
   options.seed = Seed();
   options.injector.jitter_pages = static_cast<std::uint32_t>(JitterPages());
+  options.num_threads = Jobs();
   return fi::RunCampaign(p.app.module, p.analysis.graph(), p.analysis.golden(), options);
 }
 

@@ -12,15 +12,22 @@
 int main() {
   using namespace epvf;
   AsciiTable table({"Benchmark", "trace+graph (ms)", "ACE (ms)", "crash+prop (ms)",
-                    "total (ms)"});
+                    "total (ms)", "jobs"});
   table.SetTitle("Figure 10 — ePVF analysis time breakdown");
+  bench::BenchJson json("fig10_time_breakdown");
   for (const std::string& name : bench::TableIVApps()) {
     const bench::Prepared p = bench::Prepare(name);
     const core::AnalysisTimings& t = p.analysis.timings();
     table.AddRow({name, AsciiTable::Num(t.trace_and_graph_seconds * 1e3, 1),
                   AsciiTable::Num(t.ace_seconds * 1e3, 1),
                   AsciiTable::Num(t.crash_model_seconds * 1e3, 1),
-                  AsciiTable::Num(t.TotalSeconds() * 1e3, 1)});
+                  AsciiTable::Num(t.TotalSeconds() * 1e3, 1),
+                  std::to_string(t.crash_threads)});
+    json.Add(name, "trace_graph_ms", t.trace_and_graph_seconds * 1e3);
+    json.Add(name, "ace_ms", t.ace_seconds * 1e3);
+    json.Add(name, "crash_prop_ms", t.crash_model_seconds * 1e3);
+    json.Add(name, "total_ms", t.TotalSeconds() * 1e3);
+    json.Add(name, "jobs", t.crash_threads);
   }
   table.SetFootnote("the paper's Python prototype spent most time in the crash/propagation "
                     "models (hours); the single-pass DAG propagation here removes that "

@@ -9,20 +9,27 @@
 int main() {
   using namespace epvf;
   AsciiTable table({"Benchmark", "scale", "dyn IR instructions", "ACE nodes",
-                    "modeling time (ms)"});
+                    "modeling time (ms)", "jobs"});
   table.SetTitle("Table V — ACE graph size and analysis time");
+  bench::BenchJson json("table5_scalability");
   std::vector<double> sizes;
   std::vector<double> times;
   for (const std::string& name : bench::TableIVApps()) {
     for (const int scale : {bench::Scale(), bench::Scale() + 1}) {
       const apps::App app = apps::BuildApp(name, apps::AppConfig{.scale = scale});
-      const core::Analysis analysis = core::Analysis::Run(app.module);
+      const core::Analysis analysis =
+          core::Analysis::Run(app.module, bench::DefaultAnalysisOptions());
       const double ms = analysis.timings().TotalSeconds() * 1e3;
       sizes.push_back(static_cast<double>(analysis.ace().ace_node_count));
       times.push_back(ms);
       table.AddRow({name, std::to_string(scale),
                     std::to_string(analysis.graph().NumDynInstrs()),
-                    std::to_string(analysis.ace().ace_node_count), AsciiTable::Num(ms, 1)});
+                    std::to_string(analysis.ace().ace_node_count), AsciiTable::Num(ms, 1),
+                    std::to_string(analysis.timings().crash_threads)});
+      const std::string row = name + "@" + std::to_string(scale);
+      json.Add(row, "dyn_instructions", static_cast<double>(analysis.graph().NumDynInstrs()));
+      json.Add(row, "ace_nodes", static_cast<double>(analysis.ace().ace_node_count));
+      json.Add(row, "modeling_ms", ms);
     }
   }
   table.SetFootnote(

@@ -4,6 +4,7 @@
 
 #include "crash/lookup_table.h"
 #include "support/bits.h"
+#include "support/thread_pool.h"
 
 namespace epvf::crash {
 
@@ -25,7 +26,7 @@ void Narrow(const ddg::Graph& graph, std::vector<Interval>& allowed, NodeId node
 }  // namespace
 
 CrashBits PropagateCrashRanges(const ddg::Graph& graph, const ddg::AceResult& ace,
-                               const CrashModel& model) {
+                               const CrashModel& model, int jobs) {
   CrashBits result;
   const std::size_t n = graph.NumNodes();
   result.allowed.assign(n, Interval::Full());
@@ -114,20 +115,42 @@ CrashBits PropagateCrashRanges(const ddg::Graph& graph, const ddg::AceResult& ac
   }
 
   // --- crash-bit masks (the CRASHING_BIT_LIST) --------------------------------
-  for (NodeId id = 0; id < n; ++id) {
-    const Interval allowed = result.allowed[id];
-    if (allowed.IsFull()) continue;
-    const ddg::Node& node = graph.GetNode(id);
-    if (node.kind != ddg::NodeKind::kRegister || !ace.Contains(id)) continue;
-    ++result.constrained_nodes;
-    std::uint64_t mask = 0;
-    for (unsigned bit = 0; bit < node.width; ++bit) {
-      const std::uint64_t flipped = FlipBit(node.value, bit);
-      if (!allowed.Contains(flipped)) mask |= std::uint64_t{1} << bit;
-    }
-    result.crash_mask[id] = mask;
-    result.total_crash_bits += PopCount(mask);
-  }
+  // Per-node independent (flip-and-test over up to 64 bits × every node), so
+  // this sweep runs data-parallel; each node writes only its own mask slot and
+  // the totals fold in chunk order, keeping the result thread-count-invariant.
+  struct MaskTotals {
+    std::uint64_t nodes = 0;
+    std::uint64_t bits = 0;
+  };
+  const MaskTotals totals = ParallelReduce(
+      std::size_t{0}, n, MaskTotals{},
+      [&](std::size_t chunk_begin, std::size_t chunk_end) {
+        MaskTotals part;
+        for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
+          const NodeId id = static_cast<NodeId>(i);
+          const Interval allowed = result.allowed[id];
+          if (allowed.IsFull()) continue;
+          const ddg::Node& node = graph.GetNode(id);
+          if (node.kind != ddg::NodeKind::kRegister || !ace.Contains(id)) continue;
+          ++part.nodes;
+          std::uint64_t mask = 0;
+          for (unsigned bit = 0; bit < node.width; ++bit) {
+            const std::uint64_t flipped = FlipBit(node.value, bit);
+            if (!allowed.Contains(flipped)) mask |= std::uint64_t{1} << bit;
+          }
+          result.crash_mask[id] = mask;
+          part.bits += PopCount(mask);
+        }
+        return part;
+      },
+      [](MaskTotals acc, const MaskTotals& part) {
+        acc.nodes += part.nodes;
+        acc.bits += part.bits;
+        return acc;
+      },
+      ParallelOptions{.jobs = jobs});
+  result.constrained_nodes = totals.nodes;
+  result.total_crash_bits = totals.bits;
   return result;
 }
 

@@ -47,8 +47,12 @@ struct CrashBits {
 
 /// Runs the full crash + propagation analysis over the ACE subset of `graph`.
 /// `ace` must come from ComputeAce on the same graph; `model` supplies
-/// CHECK_BOUNDARY for the graph's recorded accesses.
+/// CHECK_BOUNDARY for the graph's recorded accesses. The interval seeding and
+/// the DAG sweep are order-dependent and stay sequential; the crash-bit mask
+/// extraction (flip-and-test over up to 64 bits per node) runs on `jobs`
+/// threads (<= 0 = one per hardware core) with results bit-identical at every
+/// thread count.
 [[nodiscard]] CrashBits PropagateCrashRanges(const ddg::Graph& graph, const ddg::AceResult& ace,
-                                             const CrashModel& model);
+                                             const CrashModel& model, int jobs = 0);
 
 }  // namespace epvf::crash

@@ -2,9 +2,11 @@
 
 #include <deque>
 
+#include "support/thread_pool.h"
+
 namespace epvf::ddg {
 
-AceResult ComputeAceFromRoots(const Graph& graph, std::span<const NodeId> roots) {
+AceResult ComputeAceFromRoots(const Graph& graph, std::span<const NodeId> roots, int jobs) {
   AceResult result;
   result.in_ace.assign(graph.NumNodes(), 0);
   result.total_bits = graph.TotalRegisterBits();
@@ -28,21 +30,45 @@ AceResult ComputeAceFromRoots(const Graph& graph, std::span<const NodeId> roots)
     }
   }
 
-  for (NodeId id = 0; id < graph.NumNodes(); ++id) {
-    if (!result.in_ace[id]) continue;
-    ++result.ace_node_count;
-    const Node& node = graph.GetNode(id);
-    if (node.kind == NodeKind::kRegister) {
-      result.ace_bits += node.width;
-      ++result.ace_register_nodes;
-    }
-  }
+  // Bit accounting over the marked nodes: per-node independent reads, so the
+  // sweep is data-parallel with a chunk-ordered (thread-count-invariant) fold.
+  struct Totals {
+    std::uint64_t nodes = 0;
+    std::uint64_t register_nodes = 0;
+    std::uint64_t bits = 0;
+  };
+  const Totals totals = ParallelReduce(
+      std::size_t{0}, graph.NumNodes(), Totals{},
+      [&](std::size_t chunk_begin, std::size_t chunk_end) {
+        Totals part;
+        for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
+          const NodeId id = static_cast<NodeId>(i);
+          if (!result.in_ace[id]) continue;
+          ++part.nodes;
+          const Node& node = graph.GetNode(id);
+          if (node.kind == NodeKind::kRegister) {
+            part.bits += node.width;
+            ++part.register_nodes;
+          }
+        }
+        return part;
+      },
+      [](Totals acc, const Totals& part) {
+        acc.nodes += part.nodes;
+        acc.register_nodes += part.register_nodes;
+        acc.bits += part.bits;
+        return acc;
+      },
+      ParallelOptions{.jobs = jobs});
+  result.ace_node_count = totals.nodes;
+  result.ace_register_nodes = totals.register_nodes;
+  result.ace_bits = totals.bits;
   return result;
 }
 
-AceResult ComputeAce(const Graph& graph) {
+AceResult ComputeAce(const Graph& graph, int jobs) {
   const std::vector<NodeId> roots = graph.OrderedAceRoots();
-  return ComputeAceFromRoots(graph, roots);
+  return ComputeAceFromRoots(graph, roots, jobs);
 }
 
 std::vector<NodeId> BackwardSlice(const Graph& graph, NodeId start, bool follow_virtual) {

@@ -30,12 +30,16 @@ struct AceResult {
   [[nodiscard]] bool Contains(NodeId id) const { return in_ace[id] != 0; }
 };
 
-/// ACE analysis rooted at all output roots of the graph.
-[[nodiscard]] AceResult ComputeAce(const Graph& graph);
+/// ACE analysis rooted at all output roots of the graph. The reverse BFS is
+/// inherently sequential; the bit-accounting sweep over the marked nodes runs
+/// on `jobs` threads (<= 0 = one per hardware core), bit-identical at every
+/// thread count.
+[[nodiscard]] AceResult ComputeAce(const Graph& graph, int jobs = 0);
 
 /// ACE analysis rooted at an arbitrary subset of roots — the primitive behind
 /// the ACE-graph sampling estimator of section IV-E.
-[[nodiscard]] AceResult ComputeAceFromRoots(const Graph& graph, std::span<const NodeId> roots);
+[[nodiscard]] AceResult ComputeAceFromRoots(const Graph& graph, std::span<const NodeId> roots,
+                                            int jobs = 0);
 
 /// Backward slice of `start`: every node reachable through predecessor edges
 /// (data and, optionally, virtual addressing edges), including `start`.

@@ -7,6 +7,7 @@
 #include "ir/verifier.h"
 #include "support/bits.h"
 #include "support/stopwatch.h"
+#include "support/thread_pool.h"
 
 namespace epvf::core {
 
@@ -36,15 +37,17 @@ Analysis Analysis::Run(const ir::Module& module, AnalysisOptions options) {
 
   // --- 2. base ACE analysis -------------------------------------------------
   watch.Restart();
-  analysis.ace_ = ddg::ComputeAce(analysis.graph_);
+  analysis.ace_ = ddg::ComputeAce(analysis.graph_, options.jobs);
   analysis.timings_.ace_seconds = watch.ElapsedSeconds();
+  analysis.timings_.ace_threads = ThreadPool::ResolveJobs(options.jobs);
 
   // --- 3. crash model + propagation model -----------------------------------
   watch.Restart();
   analysis.crash_model_ = std::make_unique<crash::CrashModel>(analysis.interpreter_->memory());
-  analysis.crash_bits_ =
-      crash::PropagateCrashRanges(analysis.graph_, analysis.ace_, *analysis.crash_model_);
+  analysis.crash_bits_ = crash::PropagateCrashRanges(analysis.graph_, analysis.ace_,
+                                                     *analysis.crash_model_, options.jobs);
   analysis.timings_.crash_model_seconds = watch.ElapsedSeconds();
+  analysis.timings_.crash_threads = ThreadPool::ResolveJobs(options.jobs);
   return analysis;
 }
 
@@ -65,33 +68,88 @@ struct UseIndex {
 
 };
 
-UseIndex BuildUseIndex(const ddg::Graph& graph) {
+/// Enumerates the register-operand uses of dyn instructions [begin, end) in
+/// trace order — the shared traversal of both use-index passes.
+template <typename Fn>
+void ForEachUse(const ddg::Graph& graph, std::uint32_t begin, std::uint32_t end, Fn&& fn) {
+  for (std::uint32_t dyn = begin; dyn < end; ++dyn) {
+    const ddg::DynInstr& d = graph.GetDyn(dyn);
+    const ir::Instruction& inst = graph.InstructionOf(d);
+    const auto nodes = graph.OperandNodes(dyn);
+    for (std::size_t slot = 0; slot < nodes.size(); ++slot) {
+      if (!inst.operands[slot].IsRegister()) continue;
+      if (inst.op == ir::Opcode::kPhi && slot != d.selected_operand) continue;
+      if (nodes[slot] == ddg::kNoNode) continue;
+      fn(nodes[slot], dyn, static_cast<std::uint8_t>(slot));
+    }
+  }
+}
+
+/// Two-pass counting sort of the uses, parallelized as a static partition of
+/// the dyn range: each slice counts into its own per-node array, a serial
+/// interleave turns the counts into slice-local write cursors (slice-major
+/// within each node), and each slice scatters its own uses. The output is
+/// byte-identical to the serial sort — uses stay in trace order per node —
+/// at every thread count.
+UseIndex BuildUseIndex(const ddg::Graph& graph, int jobs) {
   UseIndex index;
   const std::size_t n = graph.NumNodes();
-  std::vector<std::uint32_t> counts(n + 1, 0);
-  auto for_each_use = [&](auto&& fn) {
-    for (std::uint32_t dyn = 0; dyn < graph.NumDynInstrs(); ++dyn) {
-      const ddg::DynInstr& d = graph.GetDyn(dyn);
-      const ir::Instruction& inst = graph.InstructionOf(d);
-      const auto nodes = graph.OperandNodes(dyn);
-      for (std::size_t slot = 0; slot < nodes.size(); ++slot) {
-        if (!inst.operands[slot].IsRegister()) continue;
-        if (inst.op == ir::Opcode::kPhi && slot != d.selected_operand) continue;
-        if (nodes[slot] == ddg::kNoNode) continue;
-        fn(nodes[slot], dyn, static_cast<std::uint8_t>(slot));
-      }
+  const auto num_dyn = static_cast<std::uint32_t>(graph.NumDynInstrs());
+
+  unsigned parts = ThreadPool::ResolveJobs(jobs);
+  // Each slice carries an O(NumNodes) count array; stop splitting when the
+  // slices are too small to pay for it.
+  parts = std::min<unsigned>(parts, std::max<std::uint32_t>(1, num_dyn / 4096));
+  if (parts > 1) parts = ThreadPool::Shared().PrepareParticipants(parts);
+
+  if (parts <= 1) {
+    std::vector<std::uint32_t> counts(n + 1, 0);
+    ForEachUse(graph, 0, num_dyn,
+               [&](ddg::NodeId node, std::uint32_t, std::uint8_t) { ++counts[node + 1]; });
+    for (std::size_t i = 1; i <= n; ++i) counts[i] += counts[i - 1];
+    index.offsets = counts;
+    index.use_dyn.resize(index.offsets[n]);
+    index.use_slot.resize(index.offsets[n]);
+    std::vector<std::uint32_t> cursor(index.offsets.begin(), index.offsets.end() - 1);
+    ForEachUse(graph, 0, num_dyn, [&](ddg::NodeId node, std::uint32_t dyn, std::uint8_t slot) {
+      index.use_dyn[cursor[node]] = dyn;
+      index.use_slot[cursor[node]] = slot;
+      ++cursor[node];
+    });
+    return index;
+  }
+
+  std::vector<std::uint32_t> slice_begin(parts + 1);
+  for (unsigned w = 0; w <= parts; ++w) {
+    slice_begin[w] = static_cast<std::uint32_t>(std::uint64_t{num_dyn} * w / parts);
+  }
+  std::vector<std::vector<std::uint32_t>> counts(parts);
+  ThreadPool::Shared().Run(parts, [&](unsigned w) {
+    counts[w].assign(n, 0);
+    ForEachUse(graph, slice_begin[w], slice_begin[w + 1],
+               [&](ddg::NodeId node, std::uint32_t, std::uint8_t) { ++counts[w][node]; });
+  });
+
+  index.offsets.assign(n + 1, 0);
+  std::uint32_t running = 0;
+  for (std::size_t node = 0; node < n; ++node) {
+    index.offsets[node] = running;
+    for (unsigned w = 0; w < parts; ++w) {
+      const std::uint32_t c = counts[w][node];
+      counts[w][node] = running;  // becomes slice w's write cursor for `node`
+      running += c;
     }
-  };
-  for_each_use([&](ddg::NodeId node, std::uint32_t, std::uint8_t) { ++counts[node + 1]; });
-  for (std::size_t i = 1; i <= n; ++i) counts[i] += counts[i - 1];
-  index.offsets = counts;
-  index.use_dyn.resize(index.offsets[n]);
-  index.use_slot.resize(index.offsets[n]);
-  std::vector<std::uint32_t> cursor(index.offsets.begin(), index.offsets.end() - 1);
-  for_each_use([&](ddg::NodeId node, std::uint32_t dyn, std::uint8_t slot) {
-    index.use_dyn[cursor[node]] = dyn;
-    index.use_slot[cursor[node]] = slot;
-    ++cursor[node];
+  }
+  index.offsets[n] = running;
+  index.use_dyn.resize(running);
+  index.use_slot.resize(running);
+  ThreadPool::Shared().Run(parts, [&](unsigned w) {
+    ForEachUse(graph, slice_begin[w], slice_begin[w + 1],
+               [&](ddg::NodeId node, std::uint32_t dyn, std::uint8_t slot) {
+                 const std::uint32_t pos = counts[w][node]++;
+                 index.use_dyn[pos] = dyn;
+                 index.use_slot[pos] = slot;
+               });
   });
   return index;
 }
@@ -218,36 +276,58 @@ UseEffect FirstEffect(const ddg::Graph& graph, const UseIndex& uses,
 
 }  // namespace
 
-Analysis::UseWeightedBits Analysis::ComputeUseWeightedBits() const {
+const Analysis::UseWeightedBits& Analysis::ComputeUseWeightedBits() const {
   // Enumerate the fault-injection site distribution: every register operand
   // of every dynamic instruction (for phi, only the taken incoming slot — the
   // only one a register-level flip can influence), every bit equally likely.
   // Crash bits are charged only to sites whose activation walk reaches a
-  // memory address (see FirstEffect above).
-  const UseIndex uses = BuildUseIndex(graph_);
+  // memory address (see FirstEffect above). Each dyn instruction's sites are
+  // independent (the index, oracle, and masks are read-only), so the walks
+  // fan out across the pool; the chunk-ordered fold keeps the sums
+  // thread-count-invariant. The pass is cached: every use-weighted metric
+  // shares it.
+  if (use_weighted_.has_value()) return *use_weighted_;
+  Stopwatch watch;
+  const UseIndex uses = BuildUseIndex(graph_, options_.jobs);
   const ControlOracle control(*module_);
-  UseWeightedBits sums;
-  for (std::uint32_t dyn = 0; dyn < graph_.NumDynInstrs(); ++dyn) {
-    const ddg::DynInstr& d = graph_.GetDyn(dyn);
-    const ir::Instruction& inst = graph_.InstructionOf(d);
-    const auto nodes = graph_.OperandNodes(dyn);
-    for (std::size_t slot = 0; slot < nodes.size(); ++slot) {
-      if (!inst.operands[slot].IsRegister()) continue;
-      if (inst.op == ir::Opcode::kPhi && slot != d.selected_operand) continue;
-      const ddg::NodeId node = nodes[slot];
-      if (node == ddg::kNoNode) continue;
-      const unsigned width = graph_.GetNode(node).width;
-      sums.total += width;
-      if (!ace_.Contains(node)) continue;
-      sums.ace += width;
-      const std::uint64_t mask = crash_bits_.crash_mask[node] & LowMask(width);
-      if (mask == 0) continue;
-      if (FirstEffect(graph_, uses, control, node, dyn, /*depth=*/6) == UseEffect::kCrash) {
-        sums.crash += PopCount(mask);
-      }
-    }
-  }
-  return sums;
+  use_weighted_ = ParallelReduce(
+      std::size_t{0}, graph_.NumDynInstrs(), UseWeightedBits{},
+      [&](std::size_t chunk_begin, std::size_t chunk_end) {
+        UseWeightedBits part;
+        for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
+          const auto dyn = static_cast<std::uint32_t>(i);
+          const ddg::DynInstr& d = graph_.GetDyn(dyn);
+          const ir::Instruction& inst = graph_.InstructionOf(d);
+          const auto nodes = graph_.OperandNodes(dyn);
+          for (std::size_t slot = 0; slot < nodes.size(); ++slot) {
+            if (!inst.operands[slot].IsRegister()) continue;
+            if (inst.op == ir::Opcode::kPhi && slot != d.selected_operand) continue;
+            const ddg::NodeId node = nodes[slot];
+            if (node == ddg::kNoNode) continue;
+            const unsigned width = graph_.GetNode(node).width;
+            part.total += width;
+            if (!ace_.Contains(node)) continue;
+            part.ace += width;
+            const std::uint64_t mask = crash_bits_.crash_mask[node] & LowMask(width);
+            if (mask == 0) continue;
+            if (FirstEffect(graph_, uses, control, node, dyn, /*depth=*/6) ==
+                UseEffect::kCrash) {
+              part.crash += PopCount(mask);
+            }
+          }
+        }
+        return part;
+      },
+      [](UseWeightedBits acc, const UseWeightedBits& part) {
+        acc.total += part.total;
+        acc.ace += part.ace;
+        acc.crash += part.crash;
+        return acc;
+      },
+      ParallelOptions{.jobs = options_.jobs});
+  timings_.rate_estimate_seconds = watch.ElapsedSeconds();
+  timings_.rate_estimate_threads = ThreadPool::ResolveJobs(options_.jobs);
+  return *use_weighted_;
 }
 
 double Analysis::CrashRateEstimate() const {

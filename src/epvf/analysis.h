@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -32,14 +33,38 @@ struct AnalysisOptions {
   std::string entry = "main";
   std::uint64_t max_instructions = 200'000'000;
   mem::MemoryLayout layout;
+  /// Worker threads for the parallel stages (ACE accounting, crash-bit mask
+  /// extraction, the use-weighted rate-estimate walks). Results are
+  /// bit-identical at every thread count. <= 0 = one job per hardware core.
+  int jobs = 0;
 };
 
 struct AnalysisTimings {
   double trace_and_graph_seconds = 0;  ///< golden run + DDG construction
   double ace_seconds = 0;              ///< reverse BFS + bit accounting
   double crash_model_seconds = 0;      ///< CHECK_BOUNDARY + propagation
+  /// Use-index construction + activation walks behind the crash-rate
+  /// estimate; 0 until a use-weighted metric is first computed (lazy, cached).
+  double rate_estimate_seconds = 0;
+
+  // Threads each stage actually ran with (the parallel breakdown Figure 10 /
+  // Table V benches report). The golden run is inherently sequential.
+  unsigned trace_threads = 1;
+  unsigned ace_threads = 1;
+  unsigned crash_threads = 1;
+  unsigned rate_estimate_threads = 1;
+
+  /// The three pipeline stages of Analysis::Run (excludes the lazy
+  /// rate-estimate pass, which not every caller triggers).
   [[nodiscard]] double TotalSeconds() const {
     return trace_and_graph_seconds + ace_seconds + crash_model_seconds;
+  }
+  /// End-to-end speedup (pipeline + rate estimate) over a baseline run of the
+  /// same workload, e.g. one executed with jobs = 1.
+  [[nodiscard]] double SpeedupOver(const AnalysisTimings& baseline) const {
+    const double mine = TotalSeconds() + rate_estimate_seconds;
+    const double base = baseline.TotalSeconds() + baseline.rate_estimate_seconds;
+    return mine <= 0 ? 0.0 : base / mine;
   }
 };
 
@@ -118,7 +143,9 @@ class Analysis {
     std::uint64_t ace = 0;
     std::uint64_t crash = 0;
   };
-  [[nodiscard]] UseWeightedBits ComputeUseWeightedBits() const;
+  /// Computed once and cached: CrashRateEstimate / PvfUseWeighted /
+  /// EpvfUseWeighted all share the same (expensive) activation-walk pass.
+  [[nodiscard]] const UseWeightedBits& ComputeUseWeightedBits() const;
 
   const ir::Module* module_ = nullptr;
   AnalysisOptions options_;
@@ -128,7 +155,9 @@ class Analysis {
   ddg::Graph graph_;
   ddg::AceResult ace_;
   crash::CrashBits crash_bits_;
-  AnalysisTimings timings_;
+  /// Mutable: the lazy rate-estimate pass records its timing on first use.
+  mutable AnalysisTimings timings_;
+  mutable std::optional<UseWeightedBits> use_weighted_;
 };
 
 }  // namespace epvf::core

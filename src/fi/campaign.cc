@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <stdexcept>
-#include <thread>
+
+#include "support/thread_pool.h"
 
 namespace epvf::fi {
 
@@ -81,31 +82,20 @@ CampaignStats RunCampaign(const ir::Module& module, const ddg::Graph& graph,
 
   CampaignStats stats;
   stats.records.resize(plan.size());
-  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-  const unsigned workers = options.num_threads == 0
-                               ? hw
-                               : static_cast<unsigned>(std::max(1, options.num_threads));
-
-  auto run_range = [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      const PlannedRun& r = plan[i];
-      const auto result = injector.Inject(r.site, r.bit, r.jitter);
-      stats.records[i] = FaultRecord{r.site, r.bit, result.outcome};
-    }
-  };
-
-  if (workers <= 1 || plan.size() < 2) {
-    run_range(0, plan.size());
-  } else {
-    std::vector<std::thread> pool;
-    const std::size_t chunk = (plan.size() + workers - 1) / workers;
-    for (unsigned w = 0; w < workers; ++w) {
-      const std::size_t begin = std::min(plan.size(), w * chunk);
-      const std::size_t end = std::min(plan.size(), begin + chunk);
-      if (begin < end) pool.emplace_back(run_range, begin, end);
-    }
-    for (std::thread& t : pool) t.join();
-  }
+  // Dynamically scheduled on the shared pool, one run per task: runs that
+  // crash (or trap early) finish far sooner than benign runs that execute to
+  // completion, so a free worker immediately claims the next planned run
+  // instead of idling behind a statically chunked tail. Grain 1 is right
+  // here — each task is a whole program execution, dwarfing the scheduling
+  // atomics. This also removes the old static-chunk hazard where
+  // plan.size() < workers produced zero-width ranges. Records land at their
+  // plan index, so outcomes are bit-identical for every thread count.
+  ParallelFor(0, plan.size(), ParallelOptions{.jobs = options.num_threads, .grain = 1},
+              [&](std::size_t i) {
+                const PlannedRun& r = plan[i];
+                const auto result = injector.Inject(r.site, r.bit, r.jitter);
+                stats.records[i] = FaultRecord{r.site, r.bit, result.outcome};
+              });
 
   for (const FaultRecord& record : stats.records) {
     stats.counts[static_cast<int>(record.outcome)] += 1;

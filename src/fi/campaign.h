@@ -24,11 +24,14 @@ struct CampaignOptions {
   int num_runs = 1000;
   std::uint64_t seed = 42;
   InjectorOptions injector;
-  /// Worker threads for the injections. Runs are pre-drawn from `seed`, so
-  /// results are bit-identical for every thread count (the paper's section
-  /// VI-A observes that fault injection parallelizes trivially). 0 = one
+  /// Worker threads for the injections, scheduled dynamically on the shared
+  /// pool (crash runs terminate early, so static chunking load-imbalances —
+  /// dynamic work stealing keeps stragglers from serializing the campaign).
+  /// Runs are pre-drawn from `seed` and recorded by plan index, so results
+  /// are bit-identical for every thread count (the paper's section VI-A
+  /// observes that fault injection parallelizes trivially). <= 0 = one
   /// thread per hardware core.
-  int num_threads = 1;
+  int num_threads = 0;
 };
 
 struct FaultRecord {

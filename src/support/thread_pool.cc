@@ -1,0 +1,114 @@
+#include "support/thread_pool.h"
+
+namespace epvf {
+
+namespace {
+thread_local bool tls_pool_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned max_workers)
+    : max_workers_(std::min(max_workers, kMaxThreads)) {}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+unsigned ThreadPool::HardwareJobs() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+unsigned ThreadPool::ResolveJobs(int jobs) {
+  const unsigned resolved = jobs <= 0 ? HardwareJobs() : static_cast<unsigned>(jobs);
+  return std::clamp(resolved, 1u, kMaxThreads);
+}
+
+bool ThreadPool::OnWorkerThread() { return tls_pool_worker; }
+
+void ThreadPool::EnsureWorkersLocked(unsigned count) {
+  count = std::min(count, max_workers_);
+  while (workers_.size() < count) {
+    try {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    } catch (...) {
+      // Thread creation failed (resource exhaustion): run with what we have.
+      break;
+    }
+  }
+}
+
+unsigned ThreadPool::PrepareParticipants(unsigned participants) {
+  if (participants <= 1 || OnWorkerThread()) return 1;
+  const std::lock_guard<std::mutex> run_lock(run_mutex_);
+  EnsureWorkersLocked(participants - 1);
+  return std::min<unsigned>(static_cast<unsigned>(workers_.size()) + 1, participants);
+}
+
+void ThreadPool::Run(unsigned participants, const std::function<void(unsigned)>& fn) {
+  if (participants <= 1 || OnWorkerThread()) {
+    fn(0);
+    return;
+  }
+  const std::lock_guard<std::mutex> run_lock(run_mutex_);
+  EnsureWorkersLocked(participants - 1);
+  const unsigned helpers =
+      std::min<unsigned>(static_cast<unsigned>(workers_.size()), participants - 1);
+  if (helpers == 0) {
+    fn(0);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    pending_slots_ = helpers;
+    next_participant_ = 1;
+  }
+  work_cv_.notify_all();
+  // The caller counts as a pool participant while it runs its share: a
+  // nested Run from inside fn must degrade to inline execution instead of
+  // re-entering run_mutex_ on this same thread (self-deadlock). Helpers are
+  // always waited for, even on a throw — they hold a reference to fn.
+  tls_pool_worker = true;
+  std::exception_ptr error;
+  try {
+    fn(0);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  tls_pool_worker = false;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return pending_slots_ == 0 && running_ == 0; });
+    job_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::WorkerLoop() {
+  tls_pool_worker = true;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stop_ || pending_slots_ > 0; });
+    if (stop_) return;
+    --pending_slots_;
+    const unsigned participant = next_participant_++;
+    const std::function<void(unsigned)>* job = job_;
+    ++running_;
+    lock.unlock();
+    (*job)(participant);
+    lock.lock();
+    --running_;
+    if (pending_slots_ == 0 && running_ == 0) done_cv_.notify_one();
+  }
+}
+
+}  // namespace epvf

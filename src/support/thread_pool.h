@@ -1,0 +1,185 @@
+// Shared thread pool and data-parallel primitives for the analysis engine.
+//
+// The ePVF pipeline's selling point over brute-force fault injection is
+// analysis time (paper Table V / Figure 10), and its hot loops — the
+// crash-bit mask sweep, the per-use activation walks behind the crash-rate
+// estimate, the ACE bit accounting, and the injection campaigns themselves —
+// are all embarrassingly parallel. This header provides the one pool every
+// stage shares plus two primitives built on it:
+//
+//   ParallelFor     dynamic chunking via an atomic cursor: workers grab the
+//                   next chunk when they finish the last, so early-exiting
+//                   items (a campaign's crash runs) never leave a straggler
+//                   holding a statically assigned tail.
+//   ParallelReduce  chunked map + an ordered serial fold. The chunk width is
+//                   a pure function of the range size — never of the thread
+//                   count — so partials combine in the same order at every
+//                   `jobs` setting and results (including floating point) are
+//                   bit-identical across thread counts.
+//
+// Determinism contract: any computation expressed through these primitives
+// with index-addressed writes (ParallelFor) or chunk-ordered folds
+// (ParallelReduce) produces identical results at 1, 2 or N threads. The
+// analysis stages and campaigns rely on this; tests assert it.
+//
+// The pool over-subscribes on request: asking for 8 jobs on a 2-core box
+// spawns 8 true threads (they time-slice). This keeps the determinism tests
+// meaningful on small machines and costs nothing when `jobs` ≤ cores.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace epvf {
+
+class ThreadPool {
+ public:
+  /// Hard cap on pool workers; larger jobs requests are clamped.
+  static constexpr unsigned kMaxThreads = 64;
+
+  explicit ThreadPool(unsigned max_workers = kMaxThreads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// The process-wide pool shared by every analysis stage and campaign.
+  /// Workers are spawned lazily, only up to what calls actually request.
+  [[nodiscard]] static ThreadPool& Shared();
+
+  /// max(1, std::thread::hardware_concurrency()).
+  [[nodiscard]] static unsigned HardwareJobs();
+
+  /// Resolves a user-facing jobs knob: <= 0 means "one job per hardware
+  /// core"; the result is clamped to [1, kMaxThreads].
+  [[nodiscard]] static unsigned ResolveJobs(int jobs);
+
+  /// True when called from one of this process's pool workers.
+  [[nodiscard]] static bool OnWorkerThread();
+
+  /// Invokes `fn(participant)` exactly once for each participant in
+  /// [0, participants): participant 0 on the calling thread, the rest on
+  /// pool workers. Returns after every participant has finished. Calls from
+  /// inside a pool worker degrade to `fn(0)` inline — nested submission is
+  /// safe and never deadlocks.
+  void Run(unsigned participants, const std::function<void(unsigned)>& fn);
+
+  /// Spawns workers for a `Run(participants, ...)` call and returns how many
+  /// participants it will actually use (≤ participants). Use this when the
+  /// work must be partitioned per participant before the call.
+  [[nodiscard]] unsigned PrepareParticipants(unsigned participants);
+
+ private:
+  void WorkerLoop();
+  /// Grows the worker set to `count` (capped at max_workers_). Caller must
+  /// hold run_mutex_.
+  void EnsureWorkersLocked(unsigned count);
+
+  const unsigned max_workers_;
+  std::mutex run_mutex_;  ///< serializes Run() calls from distinct threads
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  const std::function<void(unsigned)>* job_ = nullptr;
+  unsigned pending_slots_ = 0;  ///< helpers yet to pick up the current job
+  unsigned next_participant_ = 0;
+  unsigned running_ = 0;
+  bool stop_ = false;
+};
+
+struct ParallelOptions {
+  int jobs = 0;           ///< worker threads; <= 0 = one per hardware core
+  std::size_t grain = 0;  ///< items per scheduling chunk; 0 = auto
+};
+
+namespace parallel_detail {
+
+/// Chunk width for ParallelFor's dynamic scheduler. May depend on `jobs`
+/// because per-index writes are order-independent.
+inline std::size_t ForGrain(std::size_t count, unsigned jobs, std::size_t requested) {
+  if (requested > 0) return requested;
+  return std::clamp<std::size_t>(count / (std::size_t{jobs} * 8), 1, 4096);
+}
+
+/// Chunk width for ParallelReduce. A pure function of `count` — never of the
+/// thread count — so the fold order (and thus any floating-point result) is
+/// identical at every `jobs` setting.
+inline std::size_t ReduceGrain(std::size_t count, std::size_t requested) {
+  if (requested > 0) return requested;
+  return std::clamp<std::size_t>(count / 64, 1, 8192);
+}
+
+}  // namespace parallel_detail
+
+/// Calls `fn(i)` for every i in [begin, end) across up to `options.jobs`
+/// threads, chunks dynamically claimed from an atomic cursor. The first
+/// exception thrown by `fn` cancels the remaining chunks and is rethrown on
+/// the caller (in-flight chunks still finish).
+template <typename Fn>
+void ParallelFor(std::size_t begin, std::size_t end, const ParallelOptions& options, Fn&& fn) {
+  if (begin >= end) return;
+  const std::size_t count = end - begin;
+  unsigned jobs = ThreadPool::ResolveJobs(options.jobs);
+  if (std::size_t{jobs} > count) jobs = static_cast<unsigned>(count);
+  if (jobs <= 1 || ThreadPool::OnWorkerThread()) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  const std::size_t grain = parallel_detail::ForGrain(count, jobs, options.grain);
+  std::atomic<std::size_t> cursor{begin};
+  std::atomic<bool> cancelled{false};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+  const std::function<void(unsigned)> body = [&](unsigned) {
+    while (!cancelled.load(std::memory_order_relaxed)) {
+      const std::size_t chunk = cursor.fetch_add(grain, std::memory_order_relaxed);
+      if (chunk >= end) return;
+      const std::size_t chunk_end = std::min(end, chunk + grain);
+      try {
+        for (std::size_t i = chunk; i < chunk_end; ++i) fn(i);
+      } catch (...) {
+        cancelled.store(true, std::memory_order_relaxed);
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+        return;
+      }
+    }
+  };
+  ThreadPool::Shared().Run(jobs, body);
+  if (error) std::rethrow_exception(error);
+}
+
+/// Chunked reduction: `map(chunk_begin, chunk_end) -> T` runs in parallel per
+/// chunk, then the partials are folded with `combine(acc, partial)` serially
+/// in chunk order. Chunking depends only on the range size, so the result is
+/// bit-identical across thread counts even for non-associative (floating
+/// point) combines.
+template <typename T, typename MapFn, typename CombineFn>
+[[nodiscard]] T ParallelReduce(std::size_t begin, std::size_t end, T identity, MapFn&& map,
+                               CombineFn&& combine, const ParallelOptions& options = {}) {
+  if (begin >= end) return identity;
+  const std::size_t count = end - begin;
+  const std::size_t grain = parallel_detail::ReduceGrain(count, options.grain);
+  const std::size_t num_chunks = (count + grain - 1) / grain;
+  std::vector<T> partials(num_chunks, identity);
+  ParallelFor(0, num_chunks, ParallelOptions{.jobs = options.jobs, .grain = 1},
+              [&](std::size_t c) {
+                const std::size_t chunk_begin = begin + c * grain;
+                partials[c] = map(chunk_begin, std::min(end, chunk_begin + grain));
+              });
+  T result = std::move(identity);
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    result = combine(std::move(result), partials[c]);
+  }
+  return result;
+}
+
+}  // namespace epvf

@@ -1,0 +1,93 @@
+// Determinism of the parallel analysis engine: every ePVF metric and every
+// campaign outcome must be bit-identical at 1, 2 and 8 threads. This is the
+// invariant that makes `--jobs` a pure performance knob — the paper's
+// numbers cannot depend on the machine the reproduction runs on.
+#include <gtest/gtest.h>
+
+#include "apps/app.h"
+#include "epvf/analysis.h"
+#include "fi/campaign.h"
+
+namespace epvf {
+namespace {
+
+core::Analysis Analyze(const ir::Module& module, int jobs) {
+  core::AnalysisOptions options;
+  options.jobs = jobs;
+  return core::Analysis::Run(module, options);
+}
+
+TEST(ParallelDeterminism, AnalysisMetricsIdenticalAcrossJobs) {
+  const apps::App app = apps::BuildApp("pathfinder", apps::AppConfig{.scale = 0});
+  const core::Analysis serial = Analyze(app.module, 1);
+  for (const int jobs : {2, 8}) {
+    const core::Analysis parallel = Analyze(app.module, jobs);
+    // Exact equality on purpose: the parallel stages must not change a single
+    // bit of any metric, integer or floating point.
+    EXPECT_EQ(serial.ace().ace_bits, parallel.ace().ace_bits) << "jobs=" << jobs;
+    EXPECT_EQ(serial.ace().ace_node_count, parallel.ace().ace_node_count) << "jobs=" << jobs;
+    EXPECT_EQ(serial.ace().ace_register_nodes, parallel.ace().ace_register_nodes)
+        << "jobs=" << jobs;
+    EXPECT_EQ(serial.crash_bits().total_crash_bits, parallel.crash_bits().total_crash_bits)
+        << "jobs=" << jobs;
+    EXPECT_EQ(serial.crash_bits().constrained_nodes, parallel.crash_bits().constrained_nodes)
+        << "jobs=" << jobs;
+    EXPECT_EQ(serial.crash_bits().crash_mask, parallel.crash_bits().crash_mask)
+        << "jobs=" << jobs;
+    EXPECT_EQ(serial.Pvf(), parallel.Pvf()) << "jobs=" << jobs;
+    EXPECT_EQ(serial.Epvf(), parallel.Epvf()) << "jobs=" << jobs;
+    EXPECT_EQ(serial.CrashRateEstimate(), parallel.CrashRateEstimate()) << "jobs=" << jobs;
+    EXPECT_EQ(serial.PvfUseWeighted(), parallel.PvfUseWeighted()) << "jobs=" << jobs;
+    EXPECT_EQ(serial.EpvfUseWeighted(), parallel.EpvfUseWeighted()) << "jobs=" << jobs;
+    EXPECT_EQ(serial.MemoryEpvf(), parallel.MemoryEpvf()) << "jobs=" << jobs;
+  }
+}
+
+TEST(ParallelDeterminism, CampaignStatsIdenticalAcrossThreadCounts) {
+  const apps::App app = apps::BuildApp("mm", apps::AppConfig{.scale = 0});
+  const core::Analysis a = Analyze(app.module, 1);
+  fi::CampaignOptions options;
+  options.num_runs = 48;
+  options.seed = 7;
+  options.injector.jitter_pages = 2;
+  options.num_threads = 1;
+  const fi::CampaignStats serial = fi::RunCampaign(app.module, a.graph(), a.golden(), options);
+  for (const int threads : {2, 8}) {
+    options.num_threads = threads;
+    const fi::CampaignStats parallel =
+        fi::RunCampaign(app.module, a.graph(), a.golden(), options);
+    EXPECT_EQ(serial.counts, parallel.counts) << "threads=" << threads;
+    ASSERT_EQ(serial.records.size(), parallel.records.size());
+    for (std::size_t i = 0; i < serial.records.size(); ++i) {
+      EXPECT_EQ(serial.records[i].site.dyn_index, parallel.records[i].site.dyn_index);
+      EXPECT_EQ(serial.records[i].site.slot, parallel.records[i].site.slot);
+      EXPECT_EQ(serial.records[i].bit, parallel.records[i].bit);
+      EXPECT_EQ(serial.records[i].outcome, parallel.records[i].outcome)
+          << "run " << i << " at threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelDeterminism, CampaignWithFewerRunsThanThreads) {
+  // Regression: the old static-chunk split spawned zero-width ranges when
+  // plan.size() < workers; dynamic scheduling must execute all runs exactly
+  // once regardless.
+  const apps::App app = apps::BuildApp("lud", apps::AppConfig{.scale = 0});
+  const core::Analysis a = Analyze(app.module, 1);
+  fi::CampaignOptions options;
+  options.num_runs = 3;
+  options.seed = 11;
+  options.num_threads = 1;
+  const fi::CampaignStats serial = fi::RunCampaign(app.module, a.graph(), a.golden(), options);
+  options.num_threads = 8;
+  const fi::CampaignStats parallel = fi::RunCampaign(app.module, a.graph(), a.golden(), options);
+  EXPECT_EQ(parallel.Total(), 3u);
+  EXPECT_EQ(parallel.records.size(), 3u);
+  EXPECT_EQ(serial.counts, parallel.counts);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(serial.records[i].outcome, parallel.records[i].outcome) << "run " << i;
+  }
+}
+
+}  // namespace
+}  // namespace epvf

@@ -1,0 +1,128 @@
+// Thread-pool and data-parallel-primitive tests: the determinism contract
+// (bit-identical results at every thread count), exception propagation,
+// nested-submit safety, and scheduling edge cases (empty ranges, more
+// threads than items).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "support/thread_pool.h"
+
+namespace epvf {
+namespace {
+
+TEST(ThreadPool, ResolveJobsSemantics) {
+  EXPECT_EQ(ThreadPool::ResolveJobs(0), ThreadPool::HardwareJobs());
+  EXPECT_EQ(ThreadPool::ResolveJobs(-3), ThreadPool::HardwareJobs());
+  EXPECT_EQ(ThreadPool::ResolveJobs(5), 5u);
+  EXPECT_EQ(ThreadPool::ResolveJobs(1'000'000), ThreadPool::kMaxThreads);
+  EXPECT_GE(ThreadPool::HardwareJobs(), 1u);
+}
+
+TEST(ThreadPool, EmptyRangeInvokesNothing) {
+  int calls = 0;
+  ParallelFor(5, 5, ParallelOptions{.jobs = 8}, [&](std::size_t) { ++calls; });
+  ParallelFor(7, 3, ParallelOptions{.jobs = 8}, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  const int reduced = ParallelReduce(
+      std::size_t{4}, std::size_t{4}, 41, [](std::size_t, std::size_t) { return 1; },
+      [](int a, int b) { return a + b; }, ParallelOptions{.jobs = 8});
+  EXPECT_EQ(reduced, 41) << "empty range returns the identity untouched";
+}
+
+TEST(ThreadPool, VisitsEveryIndexExactlyOnce) {
+  constexpr std::size_t kCount = 10'000;
+  std::vector<std::atomic<int>> visits(kCount);
+  ParallelFor(0, kCount, ParallelOptions{.jobs = 8, .grain = 7},
+              [&](std::size_t i) { visits[i].fetch_add(1, std::memory_order_relaxed); });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, MoreThreadsThanItems) {
+  std::vector<std::atomic<int>> visits(3);
+  ParallelFor(0, visits.size(), ParallelOptions{.jobs = 16, .grain = 1},
+              [&](std::size_t i) { visits[i].fetch_add(1, std::memory_order_relaxed); });
+  for (std::size_t i = 0; i < visits.size(); ++i) EXPECT_EQ(visits[i].load(), 1);
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndPoolSurvives) {
+  EXPECT_THROW(
+      ParallelFor(0, 1000, ParallelOptions{.jobs = 8, .grain = 1},
+                  [&](std::size_t i) {
+                    if (i == 500) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+  // The pool must remain fully usable after a failed parallel region.
+  std::atomic<std::uint64_t> sum{0};
+  ParallelFor(0, 100, ParallelOptions{.jobs = 8},
+              [&](std::size_t i) { sum.fetch_add(i, std::memory_order_relaxed); });
+  EXPECT_EQ(sum.load(), 99u * 100u / 2);
+}
+
+TEST(ThreadPool, NestedSubmitRunsSerialWithoutDeadlock) {
+  std::atomic<std::uint64_t> total{0};
+  ParallelFor(0, 8, ParallelOptions{.jobs = 4, .grain = 1}, [&](std::size_t) {
+    // Inner region submitted from (potentially) a pool worker: must degrade
+    // to inline execution rather than deadlocking on the shared pool.
+    ParallelFor(0, 100, ParallelOptions{.jobs = 4},
+                [&](std::size_t) { total.fetch_add(1, std::memory_order_relaxed); });
+  });
+  EXPECT_EQ(total.load(), 800u);
+}
+
+TEST(ThreadPool, ReduceMatchesSerialSum) {
+  constexpr std::size_t kCount = 100'000;
+  for (const int jobs : {1, 2, 8}) {
+    const std::uint64_t sum = ParallelReduce(
+        std::size_t{0}, kCount, std::uint64_t{0},
+        [](std::size_t begin, std::size_t end) {
+          std::uint64_t part = 0;
+          for (std::size_t i = begin; i < end; ++i) part += i;
+          return part;
+        },
+        [](std::uint64_t a, std::uint64_t b) { return a + b; }, ParallelOptions{.jobs = jobs});
+    EXPECT_EQ(sum, std::uint64_t{kCount} * (kCount - 1) / 2) << "jobs=" << jobs;
+  }
+}
+
+TEST(ThreadPool, ReduceFloatingPointBitIdenticalAcrossJobs) {
+  // The fold order depends only on the range size, never the thread count, so
+  // even a non-associative double sum must be *exactly* equal at every jobs
+  // setting — the invariant the analysis metrics rely on.
+  constexpr std::size_t kCount = 54'321;
+  const auto run = [&](int jobs) {
+    return ParallelReduce(
+        std::size_t{0}, kCount, 0.0,
+        [](std::size_t begin, std::size_t end) {
+          double part = 0.0;
+          for (std::size_t i = begin; i < end; ++i) part += 1.0 / static_cast<double>(i + 1);
+          return part;
+        },
+        [](double a, double b) { return a + b; }, ParallelOptions{.jobs = jobs});
+  };
+  const double at1 = run(1);
+  EXPECT_EQ(at1, run(2));
+  EXPECT_EQ(at1, run(8));
+  EXPECT_EQ(at1, run(ThreadPool::kMaxThreads));
+}
+
+TEST(ThreadPool, RunInvokesEveryParticipantExactlyOnce) {
+  constexpr unsigned kParticipants = 6;
+  const unsigned actual = ThreadPool::Shared().PrepareParticipants(kParticipants);
+  ASSERT_GE(actual, 1u);
+  ASSERT_LE(actual, kParticipants);
+  std::vector<std::atomic<int>> hits(actual);
+  ThreadPool::Shared().Run(actual, [&](unsigned participant) {
+    ASSERT_LT(participant, actual);
+    hits[participant].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (unsigned p = 0; p < actual; ++p) EXPECT_EQ(hits[p].load(), 1) << "participant " << p;
+}
+
+}  // namespace
+}  // namespace epvf

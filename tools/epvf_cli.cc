@@ -1,14 +1,16 @@
 // epvf — command-line driver for the whole toolkit.
 //
 //   epvf list
-//   epvf analyze  <benchmark|file.ir> [--scale N]
-//   epvf inject   <benchmark|file.ir> [--runs N] [--jitter P] [--burst B] [--seed S]
-//   epvf sample   <benchmark|file.ir> [--fraction F]
-//   epvf protect  <benchmark>         [--budget PCT] [--rank epvf|hot] [--real]
+//   epvf analyze  <benchmark|file.ir> [--scale N] [--jobs N]
+//   epvf inject   <benchmark|file.ir> [--runs N] [--jitter P] [--burst B] [--seed S] [--jobs N]
+//   epvf sample   <benchmark|file.ir> [--fraction F] [--jobs N]
+//   epvf protect  <benchmark>         [--budget PCT] [--rank epvf|hot] [--real] [--jobs N]
 //   epvf print    <benchmark|file.ir>
 //
 // A target is either a bundled benchmark name (see `epvf list`) or a path to
-// a textual-IR file (anything containing '.' or '/').
+// a textual-IR file (anything containing '.' or '/'). `--jobs 0` (the
+// default) uses one worker per hardware core; results are bit-identical at
+// every jobs setting.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -65,8 +67,18 @@ int Usage() {
                "  protect <benchmark> [--budget PCT] [--rank epvf|hot] [--real]\n"
                "                                   section-V selective duplication\n"
                "  print   <target>                 dump the textual IR\n"
-               "a target is a benchmark name or a .ir file path\n");
+               "a target is a benchmark name or a .ir file path\n"
+               "--jobs N picks the analysis/campaign thread count (0 = hardware\n"
+               "concurrency, the default); results are identical for any N\n");
   return 2;
+}
+
+/// Analysis options shared by every analyzing command: --jobs plumbs into the
+/// parallel pipeline stages.
+core::AnalysisOptions AnalysisOpts(const Options& options) {
+  core::AnalysisOptions opts;
+  opts.jobs = options.Int("jobs", 0);
+  return opts;
 }
 
 /// Loads a benchmark by name or parses a textual-IR file.
@@ -98,7 +110,7 @@ int CmdList() {
 
 int CmdAnalyze(const Options& options) {
   const ir::Module module = LoadTarget(options);
-  const core::Analysis a = core::Analysis::Run(module);
+  const core::Analysis a = core::Analysis::Run(module, AnalysisOpts(options));
 
   std::printf("dynamic instructions : %llu\n",
               static_cast<unsigned long long>(a.golden().instructions_executed));
@@ -108,9 +120,12 @@ int CmdAnalyze(const Options& options) {
   std::printf("ePVF (Eq. 2)         : %.4f\n", a.Epvf());
   std::printf("crash-rate estimate  : %.4f\n", a.CrashRateEstimate());
   std::printf("memory resource      : PVF %.4f, ePVF %.4f\n", a.MemoryPvf(), a.MemoryEpvf());
-  std::printf("analysis time        : %.1f ms (trace+DDG %.1f, ACE %.1f, crash %.1f)\n",
-              a.timings().TotalSeconds() * 1e3, a.timings().trace_and_graph_seconds * 1e3,
-              a.timings().ace_seconds * 1e3, a.timings().crash_model_seconds * 1e3);
+  std::printf(
+      "analysis time        : %.1f ms (trace+DDG %.1f, ACE %.1f, crash %.1f, "
+      "rate est %.1f) at %u jobs\n",
+      a.timings().TotalSeconds() * 1e3, a.timings().trace_and_graph_seconds * 1e3,
+      a.timings().ace_seconds * 1e3, a.timings().crash_model_seconds * 1e3,
+      a.timings().rate_estimate_seconds * 1e3, a.timings().ace_threads);
 
   AsciiTable table({"structure", "total bits", "ACE", "crash", "class ePVF"});
   table.SetTitle("structure vulnerability");
@@ -126,13 +141,14 @@ int CmdAnalyze(const Options& options) {
 
 int CmdInject(const Options& options) {
   const ir::Module module = LoadTarget(options);
-  const core::Analysis a = core::Analysis::Run(module);
+  const core::Analysis a = core::Analysis::Run(module, AnalysisOpts(options));
 
   fi::CampaignOptions campaign;
   campaign.num_runs = options.Int("runs", 500);
   campaign.seed = static_cast<std::uint64_t>(options.Int("seed", 42));
   campaign.injector.jitter_pages = static_cast<std::uint32_t>(options.Int("jitter", 2));
   campaign.injector.burst_length = static_cast<std::uint8_t>(options.Int("burst", 1));
+  campaign.num_threads = options.Int("jobs", 0);
   const fi::CampaignStats stats = fi::RunCampaign(module, a.graph(), a.golden(), campaign);
 
   AsciiTable table({"outcome", "count", "rate"});
@@ -156,7 +172,7 @@ int CmdInject(const Options& options) {
 
 int CmdSample(const Options& options) {
   const ir::Module module = LoadTarget(options);
-  const core::Analysis a = core::Analysis::Run(module);
+  const core::Analysis a = core::Analysis::Run(module, AnalysisOpts(options));
   const double fraction = options.Double("fraction", 0.10);
   const core::SamplingEstimate est = core::EstimateBySampling(a, fraction);
   const core::RepetitivenessProbe probe = core::ProbeRepetitiveness(a, 0.01, 8, 7);
@@ -174,7 +190,7 @@ int CmdProtect(const Options& options) {
   apps::AppConfig config;
   config.scale = options.Int("scale", 1);
   const apps::App app = apps::BuildApp(options.target, config);
-  const core::Analysis a = core::Analysis::Run(app.module);
+  const core::Analysis a = core::Analysis::Run(app.module, AnalysisOpts(options));
   const auto metrics = a.PerInstructionMetrics();
 
   const std::string rank = options.Str("rank", "epvf");
@@ -188,6 +204,7 @@ int CmdProtect(const Options& options) {
   fi::CampaignOptions campaign;
   campaign.num_runs = options.Int("runs", 500);
   campaign.injector.jitter_pages = 2;
+  campaign.num_threads = options.Int("jobs", 0);
   const fi::CampaignStats baseline = fi::RunCampaign(app.module, a.graph(), a.golden(), campaign);
   const protect::ProtectedRates modeled = protect::EvaluateProtection(baseline, plan);
 
@@ -200,7 +217,8 @@ int CmdProtect(const Options& options) {
   if (options.flags.count("real") != 0) {
     const protect::TransformResult transformed =
         protect::ApplyDuplication(app.module, plan.chosen);
-    const core::Analysis real_analysis = core::Analysis::Run(transformed.module);
+    const core::Analysis real_analysis =
+        core::Analysis::Run(transformed.module, AnalysisOpts(options));
     const fi::CampaignStats real = fi::RunCampaign(
         transformed.module, real_analysis.graph(), real_analysis.golden(), campaign);
     std::printf("real transform: %llu checks, SDC %.1f%%, detected %.1f%%, overhead %.1f%%\n",
