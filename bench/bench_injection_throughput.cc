@@ -1,0 +1,83 @@
+// Campaign throughput with the checkpoint/replay fast path.
+//
+// Every injected run is bit-identical to the golden run up to its injection
+// site, so a campaign that snapshots the golden run and executes only the
+// suffix of each injection skips (on average) half the trace per run. This
+// bench measures that: runs/sec and speedup vs. from-scratch injection at
+// 0/4/16/64 checkpoints on the longer-trace apps, with the outcome counts
+// cross-checked for bit-identity at every setting.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "support/stopwatch.h"
+
+int main() {
+  using namespace epvf;
+
+  bench::BenchJson json("injection_throughput");
+  const int runs = bench::FiRuns();
+  const int checkpoint_counts[] = {0, 4, 16, 64};
+
+  AsciiTable table({"Benchmark", "trace", "ckpts", "runs/s", "speedup", "prefix skipped",
+                    "identical"});
+  table.SetTitle("Injection throughput: suffix replay vs. from-scratch (" +
+                 std::to_string(runs) + " runs/campaign)");
+
+  bool all_identical = true;
+  for (const std::string& name :
+       {std::string("lulesh"), std::string("lavaMD"), std::string("srad")}) {
+    const bench::Prepared p = bench::Prepare(name);
+    double scratch_runs_per_sec = 0;
+    fi::CampaignStats baseline;
+    for (const int n : checkpoint_counts) {
+      fi::CampaignOptions options;
+      options.num_runs = runs;
+      options.seed = bench::Seed();
+      // The fast path only serves jitter-free runs; keep the comparison pure.
+      options.injector.jitter_pages = 0;
+      options.num_threads = bench::Jobs();
+      options.checkpoint_interval = bench::CheckpointIntervalFor(p.analysis, n);
+      Stopwatch watch;
+      const fi::CampaignStats stats =
+          fi::RunCampaign(p.app.module, p.analysis.graph(), p.analysis.golden(), options);
+      const double seconds = watch.ElapsedSeconds();
+      const double runs_per_sec = seconds > 0 ? runs / seconds : 0;
+      if (n == 0) {
+        scratch_runs_per_sec = runs_per_sec;
+        baseline = stats;
+      }
+      bool identical = stats.records.size() == baseline.records.size() &&
+                       stats.counts == baseline.counts;
+      for (std::size_t i = 0; identical && i < stats.records.size(); ++i) {
+        identical = stats.records[i].outcome == baseline.records[i].outcome &&
+                    stats.records[i].site.dyn_index == baseline.records[i].site.dyn_index &&
+                    stats.records[i].bit == baseline.records[i].bit;
+      }
+      all_identical = all_identical && identical;
+      const double speedup = scratch_runs_per_sec > 0 ? runs_per_sec / scratch_runs_per_sec : 0;
+      const double total_prefix = static_cast<double>(p.analysis.TraceLength()) *
+                                  static_cast<double>(runs);
+      const double skipped_share =
+          total_prefix > 0 ? static_cast<double>(stats.perf.skipped_instructions) / total_prefix
+                           : 0;
+
+      table.AddRow({name, std::to_string(p.analysis.TraceLength()), std::to_string(n),
+                    AsciiTable::Num(runs_per_sec, 1), AsciiTable::Num(speedup, 2) + "x",
+                    AsciiTable::Num(skipped_share * 100, 1) + "%",
+                    identical ? "yes" : "NO"});
+
+      const std::string row = name + "/ckpt" + std::to_string(n);
+      json.Add(row, "runs_per_sec", runs_per_sec);
+      json.Add(row, "speedup_vs_scratch", speedup);
+      json.Add(row, "checkpoints", static_cast<double>(stats.perf.checkpoints));
+      json.Add(row, "checkpointed_runs", static_cast<double>(stats.perf.checkpointed_runs));
+      json.Add(row, "skipped_instructions",
+               static_cast<double>(stats.perf.skipped_instructions));
+      json.Add(row, "outcomes_identical", identical ? 1.0 : 0.0);
+    }
+  }
+  table.SetFootnote("speedup vs. the 0-checkpoint campaign of the same app; 'identical' "
+                    "checks the outcome distribution matches from-scratch injection exactly");
+  table.Print(std::cout);
+  return all_identical ? 0 : 1;
+}

@@ -71,12 +71,15 @@ AceResult ComputeAce(const Graph& graph, int jobs) {
   return ComputeAceFromRoots(graph, roots, jobs);
 }
 
-std::vector<NodeId> BackwardSlice(const Graph& graph, NodeId start, bool follow_virtual) {
+std::vector<NodeId> BackwardSlice(const Graph& graph, NodeId start, bool follow_virtual,
+                                  SliceVisited* visited) {
   std::vector<NodeId> slice;
   if (start == kNoNode) return slice;
-  std::vector<std::uint8_t> seen(graph.NumNodes(), 0);
+  SliceVisited scratch;
+  SliceVisited& seen = visited != nullptr ? *visited : scratch;
+  seen.Reset(graph.NumNodes());
   std::deque<NodeId> frontier{start};
-  seen[start] = 1;
+  seen.Insert(start);
   while (!frontier.empty()) {
     const NodeId id = frontier.front();
     frontier.pop_front();
@@ -84,10 +87,9 @@ std::vector<NodeId> BackwardSlice(const Graph& graph, NodeId start, bool follow_
     const auto preds = graph.Preds(id);
     for (unsigned i = 0; i < preds.size(); ++i) {
       const NodeId pred = preds[i];
-      if (pred == kNoNode || seen[pred]) continue;
+      if (pred == kNoNode) continue;
       if (!follow_virtual && graph.PredIsVirtual(id, i)) continue;
-      seen[pred] = 1;
-      frontier.push_back(pred);
+      if (seen.Insert(pred)) frontier.push_back(pred);
     }
   }
   return slice;

@@ -41,9 +41,40 @@ struct AceResult {
 [[nodiscard]] AceResult ComputeAceFromRoots(const Graph& graph, std::span<const NodeId> roots,
                                             int jobs = 0);
 
+/// Reusable visited set for repeated graph traversals. Membership is an
+/// epoch stamp per node, so Reset() is O(1) — bump the epoch — instead of
+/// refilling an O(NumNodes) byte vector for every slice (the stamp array is
+/// (re)allocated only when the graph grows or the 32-bit epoch wraps).
+class SliceVisited {
+ public:
+  /// Clears the set and sizes it for `num_nodes` nodes.
+  void Reset(std::size_t num_nodes) {
+    ++epoch_;
+    if (stamps_.size() != num_nodes || epoch_ == 0) {
+      epoch_ = 1;
+      stamps_.assign(num_nodes, 0);
+    }
+  }
+  /// Marks `id`; returns true if it was newly inserted.
+  bool Insert(NodeId id) {
+    if (stamps_[id] == epoch_) return false;
+    stamps_[id] = epoch_;
+    return true;
+  }
+  [[nodiscard]] bool Contains(NodeId id) const { return stamps_[id] == epoch_; }
+
+ private:
+  std::vector<std::uint32_t> stamps_;
+  std::uint32_t epoch_ = 0;
+};
+
 /// Backward slice of `start`: every node reachable through predecessor edges
 /// (data and, optionally, virtual addressing edges), including `start`.
+/// Repeated slicing (propagation diagnostics, protect/transform planning)
+/// should pass a reusable `visited` buffer to avoid reallocating an
+/// O(NumNodes) vector per call; with nullptr a scratch buffer is used.
 [[nodiscard]] std::vector<NodeId> BackwardSlice(const Graph& graph, NodeId start,
-                                                bool follow_virtual = true);
+                                                bool follow_virtual = true,
+                                                SliceVisited* visited = nullptr);
 
 }  // namespace epvf::ddg

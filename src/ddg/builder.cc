@@ -9,6 +9,24 @@ namespace {
 using ir::Opcode;
 }  // namespace
 
+const WriterShadow::Page* WriterShadow::FindPage(std::uint64_t page_index) const {
+  if (page_index == cached_index_) return cached_page_;
+  const auto it = pages_.find(page_index);
+  if (it == pages_.end()) return nullptr;
+  cached_index_ = page_index;
+  cached_page_ = it->second.get();
+  return cached_page_;
+}
+
+WriterShadow::Page& WriterShadow::TouchPage(std::uint64_t page_index) {
+  if (page_index == cached_index_) return *cached_page_;
+  std::unique_ptr<Page>& slot = pages_[page_index];
+  if (slot == nullptr) slot = std::make_unique<Page>(kPageBytes, kNoNode);
+  cached_index_ = page_index;
+  cached_page_ = slot.get();
+  return *slot;
+}
+
 GraphBuilder::GraphBuilder(const ir::Module& module) : module_(module), graph_(&module) {}
 
 NodeId GraphBuilder::ConstantNode(std::uint32_t constant_index, std::uint64_t value,
@@ -126,9 +144,7 @@ void GraphBuilder::OnInstruction(const vm::DynContext& ctx) {
       // address used and the register... this edge is virtual").
       const std::array<NodeId, 2> preds = {value_node, addr_node};
       const NodeId mem_node = graph_.AddNode(node, preds, /*virtual_mask=*/0b10);
-      for (std::uint64_t b = 0; b < ctx.mem_size; ++b) {
-        memory_writer_[ctx.mem_addr + b] = mem_node;
-      }
+      memory_writer_.Record(ctx.mem_addr, ctx.mem_size, mem_node);
       header.result_node = mem_node;
       graph_.AddAccess(AccessRecord{dyn_index, addr_node, ctx.mem_addr, ctx.mem_size,
                                     ctx.map_version, ctx.esp, /*is_store=*/true});
@@ -136,17 +152,25 @@ void GraphBuilder::OnInstruction(const vm::DynContext& ctx) {
     }
     case Opcode::kLoad: {
       const NodeId addr_node = op_nodes[0];
-      // Collect the distinct memory versions this load reads.
+      // Collect the distinct memory versions this load reads. The PredRange
+      // keeps at most 7 data slots (+ the virtual addressing edge); versions
+      // beyond that are dropped, but now counted into a graph stat instead of
+      // vanishing silently (surfaced by bench_structure_report).
       std::array<NodeId, 8> preds{};
       std::uint8_t count = 0;
       for (std::uint64_t b = 0; b < ctx.mem_size; ++b) {
-        const auto it = memory_writer_.find(ctx.mem_addr + b);
-        if (it == memory_writer_.end()) continue;
+        const NodeId writer = memory_writer_.Lookup(ctx.mem_addr + b);
+        if (writer == kNoNode) continue;
         bool seen = false;
         for (std::uint8_t k = 0; k < count; ++k) {
-          seen = seen || preds[k] == it->second;
+          seen = seen || preds[k] == writer;
         }
-        if (!seen && count < 7) preds[count++] = it->second;
+        if (seen) continue;
+        if (count < 7) {
+          preds[count++] = writer;
+        } else {
+          graph_.NoteDroppedLoadPred();
+        }
       }
       preds[count] = addr_node;
       const auto virtual_mask = static_cast<std::uint8_t>(1u << count);

@@ -11,7 +11,9 @@
 // inflating the register bit totals.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -19,6 +21,48 @@
 #include "vm/trace.h"
 
 namespace epvf::ddg {
+
+/// Byte-granular shadow of memory mapping each address to the node of its
+/// last writer. Keyed by 4 KiB page with a dense NodeId array per page: the
+/// DDG build touches every load/store byte, so per-byte hashing (the old
+/// `unordered_map<addr, NodeId>`) dominated construction — a paged array
+/// costs one hash per page (usually amortized away by the MRU cache) and a
+/// plain indexed store per byte.
+class WriterShadow {
+ public:
+  static constexpr std::uint64_t kPageBits = 12;
+  static constexpr std::uint64_t kPageBytes = 1ull << kPageBits;
+
+  /// The last writer of `addr`, or kNoNode.
+  [[nodiscard]] NodeId Lookup(std::uint64_t addr) const {
+    const Page* page = FindPage(addr >> kPageBits);
+    return page == nullptr ? kNoNode : (*page)[addr & (kPageBytes - 1)];
+  }
+
+  /// Records `node` as the writer of `size` bytes at `addr`.
+  void Record(std::uint64_t addr, std::uint64_t size, NodeId node) {
+    while (size > 0) {
+      Page& page = TouchPage(addr >> kPageBits);
+      std::uint64_t offset = addr & (kPageBytes - 1);
+      const std::uint64_t chunk = std::min(size, kPageBytes - offset);
+      for (std::uint64_t b = 0; b < chunk; ++b) page[offset + b] = node;
+      addr += chunk;
+      size -= chunk;
+    }
+  }
+
+ private:
+  using Page = std::vector<NodeId>;
+
+  [[nodiscard]] const Page* FindPage(std::uint64_t page_index) const;
+  Page& TouchPage(std::uint64_t page_index);
+
+  // Pages are owned by the map; the MRU cache stays valid across rehashes
+  // because it points at the heap-allocated page storage, not into the map.
+  std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+  mutable std::uint64_t cached_index_ = ~std::uint64_t{0};
+  mutable Page* cached_page_ = nullptr;
+};
 
 class GraphBuilder final : public vm::TraceSink {
  public:
@@ -51,7 +95,7 @@ class GraphBuilder final : public vm::TraceSink {
   std::vector<PendingCall> call_stack_;
   std::vector<NodeId> pending_args_;
   NodeId pending_ret_node_ = kNoNode;
-  std::unordered_map<std::uint64_t, NodeId> memory_writer_;  ///< byte addr -> memory node
+  WriterShadow memory_writer_;  ///< byte addr -> last-writing memory node
   std::unordered_map<std::uint32_t, NodeId> constant_nodes_;
   std::unordered_map<std::uint32_t, NodeId> global_nodes_;
 };

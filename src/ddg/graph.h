@@ -143,6 +143,14 @@ class Graph {
   [[nodiscard]] std::uint64_t TotalRegisterBits() const;
   [[nodiscard]] std::uint64_t NumRegisterNodes() const;
 
+  // --- construction diagnostics ----------------------------------------------
+  /// Distinct memory-version predecessors a load had to drop because its pred
+  /// list was full (the 8-slot PredRange keeps 7 data slots + the virtual
+  /// addressing edge). Nonzero means some loads under-report their slices —
+  /// previously this happened silently.
+  [[nodiscard]] std::uint64_t dropped_load_preds() const { return dropped_load_preds_; }
+  void NoteDroppedLoadPred() { dropped_load_preds_ += 1; }
+
  private:
   const ir::Module* module_;
   std::vector<Node> nodes_;
@@ -154,6 +162,7 @@ class Graph {
   std::vector<AccessRecord> accesses_;
   std::vector<NodeId> output_roots_;
   std::vector<NodeId> control_roots_;
+  std::uint64_t dropped_load_preds_ = 0;
 };
 
 }  // namespace epvf::ddg

@@ -104,6 +104,11 @@ class Analysis {
   [[nodiscard]] const AnalysisOptions& options() const { return options_; }
   [[nodiscard]] const crash::CrashModel& crash_model() const { return *crash_model_; }
 
+  /// Dynamic-trace length of the golden run — the quantity the campaign
+  /// suffix-replay checkpoint spacing (fi::ResolveCheckpointInterval), hang
+  /// budgets, and the `--checkpoints N` → interval conversion key off.
+  [[nodiscard]] std::uint64_t TraceLength() const { return golden_.instructions_executed; }
+
   // --- headline metrics -------------------------------------------------------
   [[nodiscard]] double Pvf() const { return ace_.Pvf(); }
 

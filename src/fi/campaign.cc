@@ -1,8 +1,10 @@
 #include "fi/campaign.h"
 
 #include <algorithm>
+#include <numeric>
 #include <stdexcept>
 
+#include "support/stopwatch.h"
 #include "support/thread_pool.h"
 
 namespace epvf::fi {
@@ -40,6 +42,34 @@ double CampaignStats::CrashShare(Outcome crash_class) const {
   return crashes == 0
              ? 0.0
              : static_cast<double>(Count(crash_class)) / static_cast<double>(crashes);
+}
+
+std::uint64_t ResolveCheckpointInterval(std::int64_t checkpoint_interval,
+                                        std::uint64_t trace_length) {
+  if (checkpoint_interval > 0) return static_cast<std::uint64_t>(checkpoint_interval);
+  if (checkpoint_interval < 0) return 0;
+  // Auto policy: ~32 snapshots spread over the trace. Below ~4k instructions
+  // per segment the prefix a snapshot spares is too small to beat the cost of
+  // the extra replay plus the snapshot copies, so short traces opt out.
+  constexpr std::uint64_t kAutoCheckpointTarget = 32;
+  constexpr std::uint64_t kMinAutoInterval = 4096;
+  const std::uint64_t interval = trace_length / (kAutoCheckpointTarget + 1);
+  return interval < kMinAutoInterval ? 0 : interval;
+}
+
+std::vector<std::uint64_t> CheckpointSites(std::uint64_t trace_length, std::uint64_t interval) {
+  std::vector<std::uint64_t> sites;
+  if (interval == 0 || trace_length == 0) return sites;
+  // Memory backstop: never more than 1024 snapshots, however small the
+  // requested spacing.
+  constexpr std::uint64_t kMaxCheckpoints = 1024;
+  if (trace_length / interval > kMaxCheckpoints) {
+    interval = (trace_length + kMaxCheckpoints - 1) / kMaxCheckpoints;
+  }
+  for (std::uint64_t at = interval; at < trace_length; at += interval) {
+    sites.push_back(at);
+  }
+  return sites;
 }
 
 CampaignStats RunCampaign(const ir::Module& module, const ddg::Graph& graph,
@@ -82,6 +112,29 @@ CampaignStats RunCampaign(const ir::Module& module, const ddg::Graph& graph,
 
   CampaignStats stats;
   stats.records.resize(plan.size());
+
+  // Suffix-replay fast path: one extra golden replay drops evenly spaced
+  // checkpoints, and each zero-jitter injection then executes only the trace
+  // suffix from the nearest checkpoint at or before its site. Jittered
+  // campaigns skip it entirely — every run diverges from instruction zero.
+  const std::uint64_t interval =
+      options.injector.jitter_pages == 0
+          ? ResolveCheckpointInterval(options.checkpoint_interval, golden.instructions_executed)
+          : 0;
+  std::vector<std::uint32_t> order(plan.size());
+  std::iota(order.begin(), order.end(), 0u);
+  if (interval > 0) {
+    Stopwatch checkpoint_watch;
+    stats.perf.checkpoints =
+        injector.BuildCheckpoints(CheckpointSites(golden.instructions_executed, interval));
+    stats.perf.checkpoint_seconds = checkpoint_watch.ElapsedSeconds();
+    // Execute in site order so neighbouring runs resume from the same
+    // checkpoint (warm snapshot pages); records still land at plan index.
+    std::stable_sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+      return plan[a].site.dyn_index < plan[b].site.dyn_index;
+    });
+  }
+
   // Dynamically scheduled on the shared pool, one run per task: runs that
   // crash (or trap early) finish far sooner than benign runs that execute to
   // completion, so a free worker immediately claims the next planned run
@@ -89,16 +142,28 @@ CampaignStats RunCampaign(const ir::Module& module, const ddg::Graph& graph,
   // here — each task is a whole program execution, dwarfing the scheduling
   // atomics. This also removes the old static-chunk hazard where
   // plan.size() < workers produced zero-width ranges. Records land at their
-  // plan index, so outcomes are bit-identical for every thread count.
+  // plan index, so outcomes are bit-identical for every thread count and
+  // every checkpoint setting.
+  std::vector<std::uint64_t> resumed_from(plan.size(), 0);
+  Stopwatch inject_watch;
   ParallelFor(0, plan.size(), ParallelOptions{.jobs = options.num_threads, .grain = 1},
-              [&](std::size_t i) {
+              [&](std::size_t k) {
+                const std::size_t i = order[k];
                 const PlannedRun& r = plan[i];
                 const auto result = injector.Inject(r.site, r.bit, r.jitter);
+                resumed_from[i] = result.resumed_from;
                 stats.records[i] = FaultRecord{r.site, r.bit, result.outcome};
               });
+  stats.perf.inject_seconds = inject_watch.ElapsedSeconds();
 
-  for (const FaultRecord& record : stats.records) {
-    stats.counts[static_cast<int>(record.outcome)] += 1;
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    stats.counts[static_cast<int>(stats.records[i].outcome)] += 1;
+    if (resumed_from[i] > 0) {
+      stats.perf.checkpointed_runs += 1;
+      stats.perf.skipped_instructions += resumed_from[i];
+    } else {
+      stats.perf.full_runs += 1;
+    }
   }
   return stats;
 }

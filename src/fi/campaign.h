@@ -32,6 +32,25 @@ struct CampaignOptions {
   /// observes that fault injection parallelizes trivially). <= 0 = one
   /// thread per hardware core.
   int num_threads = 0;
+  /// Spacing (in dynamic instructions) of the suffix-replay checkpoints
+  /// dropped during one extra golden replay: each zero-jitter injection then
+  /// starts from the nearest checkpoint at or before its site instead of
+  /// from instruction zero. 0 = auto from the trace length (disabled for
+  /// short traces), < 0 = disabled, > 0 = explicit spacing. Campaigns with
+  /// nonzero jitter_pages never checkpoint — jittered runs diverge from
+  /// instruction zero. Outcomes are bit-identical at every setting.
+  std::int64_t checkpoint_interval = 0;
+};
+
+/// Fast-path accounting for one campaign (not part of the outcome data; all
+/// outcome statistics are bit-identical whether or not the fast path ran).
+struct CampaignPerf {
+  std::uint64_t checkpoints = 0;           ///< snapshots captured for the fast path
+  std::uint64_t checkpointed_runs = 0;     ///< runs resumed from a snapshot
+  std::uint64_t full_runs = 0;             ///< runs executed from instruction zero
+  std::uint64_t skipped_instructions = 0;  ///< golden-prefix work the fast path avoided
+  double checkpoint_seconds = 0;           ///< extra golden replay + snapshot capture
+  double inject_seconds = 0;               ///< wall time of the injection loop
 };
 
 struct FaultRecord {
@@ -43,6 +62,7 @@ struct FaultRecord {
 struct CampaignStats {
   std::array<std::uint64_t, kNumOutcomes> counts{};
   std::vector<FaultRecord> records;
+  CampaignPerf perf;
 
   [[nodiscard]] std::uint64_t Total() const;
   [[nodiscard]] std::uint64_t Count(Outcome outcome) const {
@@ -59,6 +79,20 @@ struct CampaignStats {
   /// Crash-class shares *within* crashes — the rows of Table II.
   [[nodiscard]] double CrashShare(Outcome crash_class) const;
 };
+
+/// Resolves CampaignOptions::checkpoint_interval against a golden trace
+/// length: explicit spacing (> 0) passes through, auto (0) targets ~32
+/// evenly spaced snapshots on traces long enough for the extra replay to pay
+/// for itself, disabled (< 0) — and too-short traces — return 0.
+[[nodiscard]] std::uint64_t ResolveCheckpointInterval(std::int64_t checkpoint_interval,
+                                                      std::uint64_t trace_length);
+
+/// The evenly spaced checkpoint sites {interval, 2*interval, ...} inside a
+/// trace of `trace_length` dynamic instructions. The count is capped (the
+/// spacing is widened) so a tiny explicit interval on a huge trace cannot
+/// exhaust memory with snapshots.
+[[nodiscard]] std::vector<std::uint64_t> CheckpointSites(std::uint64_t trace_length,
+                                                         std::uint64_t interval);
 
 /// Runs a campaign against a golden run whose DDG is `graph`.
 [[nodiscard]] CampaignStats RunCampaign(const ir::Module& module, const ddg::Graph& graph,

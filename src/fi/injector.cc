@@ -1,5 +1,8 @@
 #include "fi/injector.h"
 
+#include <algorithm>
+#include <stdexcept>
+
 namespace epvf::fi {
 
 std::vector<FaultSite> EnumerateFaultSites(const ddg::Graph& graph) {
@@ -44,19 +47,55 @@ mem::LayoutJitter Injector::DrawJitter(Rng& rng) const {
   return jitter;
 }
 
+std::uint64_t Injector::HangBudget() const {
+  auto budget = static_cast<std::uint64_t>(
+      static_cast<double>(golden_.instructions_executed) * options_.hang_factor);
+  return budget < 10'000 ? 10'000 : budget;
+}
+
+const vm::Interpreter::Checkpoint* Injector::NearestCheckpoint(std::uint64_t dyn) const {
+  const auto it = std::upper_bound(
+      checkpoints_.begin(), checkpoints_.end(), dyn,
+      [](std::uint64_t d, const vm::Interpreter::Checkpoint& c) { return d < c.dyn_index; });
+  return it == checkpoints_.begin() ? nullptr : &*std::prev(it);
+}
+
+std::size_t Injector::BuildCheckpoints(std::span<const std::uint64_t> at) {
+  checkpoints_.clear();
+  if (at.empty()) return 0;
+  vm::ExecOptions exec;
+  exec.layout = options_.layout;
+  exec.max_instructions = HangBudget();
+  vm::Interpreter interp(module_, exec);
+  const vm::RunResult replay = interp.RunWithCheckpoints(options_.entry, at, checkpoints_);
+  if (!replay.Completed() || replay.instructions_executed != golden_.instructions_executed ||
+      replay.output != golden_.output) {
+    checkpoints_.clear();
+    throw std::runtime_error(
+        "Injector::BuildCheckpoints: golden replay diverged from the supplied golden run");
+  }
+  return checkpoints_.size();
+}
+
 Injector::InjectionResult Injector::Inject(const FaultSite& site, std::uint8_t bit,
                                            std::optional<mem::LayoutJitter> jitter) {
   vm::ExecOptions exec;
   exec.layout = options_.layout;
   exec.jitter = jitter.has_value() ? *jitter : DrawJitter(jitter_rng_);
-  exec.max_instructions = static_cast<std::uint64_t>(
-      static_cast<double>(golden_.instructions_executed) * options_.hang_factor);
-  if (exec.max_instructions < 10'000) exec.max_instructions = 10'000;
+  exec.max_instructions = HangBudget();
   exec.fault = vm::FaultPlan{site.dyn_index, site.slot, bit, options_.burst_length};
+
+  // Suffix-replay fast path: every run is bit-identical to the golden run up
+  // to the injection point, so a zero-jitter run can start from the nearest
+  // checkpoint at or before its site. Jittered runs diverge from instruction
+  // zero (checkpoints hold jitter-free addresses) and run from scratch.
+  const vm::Interpreter::Checkpoint* ckpt =
+      exec.jitter.IsZero() ? NearestCheckpoint(site.dyn_index) : nullptr;
 
   InjectionResult result;
   vm::Interpreter interp(module_, exec);
-  result.run = interp.Run(options_.entry, nullptr);
+  result.run = ckpt != nullptr ? interp.ResumeFrom(*ckpt) : interp.Run(options_.entry, nullptr);
+  result.resumed_from = ckpt != nullptr ? ckpt->dyn_index : 0;
   result.outcome = Classify(result.run, golden_);
   return result;
 }

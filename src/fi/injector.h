@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "ddg/graph.h"
@@ -56,12 +57,31 @@ class Injector {
   struct InjectionResult {
     Outcome outcome = Outcome::kBenign;
     vm::RunResult run;
+    /// Dyn index the run started from: 0 = executed from scratch, >0 =
+    /// resumed from the checkpoint captured before that instruction.
+    std::uint64_t resumed_from = 0;
   };
 
   /// Executes one injection at (site, bit). `jitter` overrides the per-run
   /// layout jitter (pass std::nullopt to draw from `rng` per the options).
+  /// When checkpoints are loaded (BuildCheckpoints) and the effective jitter
+  /// is zero, the run resumes from the nearest checkpoint at or before the
+  /// site and executes only the suffix — outcomes are bit-identical to a
+  /// from-scratch run. Jittered runs diverge from instruction zero, so they
+  /// always fall back to full execution.
   [[nodiscard]] InjectionResult Inject(const FaultSite& site, std::uint8_t bit,
                                        std::optional<mem::LayoutJitter> jitter = std::nullopt);
+
+  /// Captures suffix-replay checkpoints with one extra golden replay (no
+  /// fault, zero jitter): the full execution state immediately before each
+  /// dyn index in `at` (sorted ascending; indices past the trace end are
+  /// ignored). The replay is verified against the golden run and the call
+  /// throws if it diverges. Returns the number of checkpoints captured. The
+  /// store is immutable until the next BuildCheckpoints/ClearCheckpoints, so
+  /// concurrent Inject calls may share it.
+  std::size_t BuildCheckpoints(std::span<const std::uint64_t> at);
+  void ClearCheckpoints() { checkpoints_.clear(); }
+  [[nodiscard]] std::size_t NumCheckpoints() const { return checkpoints_.size(); }
 
   /// Draws a uniformly random jitter allowed by the options.
   [[nodiscard]] mem::LayoutJitter DrawJitter(Rng& rng) const;
@@ -70,10 +90,15 @@ class Injector {
   [[nodiscard]] const InjectorOptions& options() const { return options_; }
 
  private:
+  [[nodiscard]] std::uint64_t HangBudget() const;
+  /// Last checkpoint with dyn_index <= dyn, or nullptr.
+  [[nodiscard]] const vm::Interpreter::Checkpoint* NearestCheckpoint(std::uint64_t dyn) const;
+
   const ir::Module& module_;
   const vm::RunResult& golden_;
   InjectorOptions options_;
   Rng jitter_rng_;
+  std::vector<vm::Interpreter::Checkpoint> checkpoints_;  ///< sorted by dyn_index
 };
 
 }  // namespace epvf::fi

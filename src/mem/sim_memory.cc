@@ -58,13 +58,21 @@ MemFault SimMemory::CheckAccess(std::uint64_t addr, unsigned size) {
 
 const SimMemory::Page* SimMemory::FindPage(std::uint64_t page_index) const {
   const auto it = pages_.find(page_index);
-  return it == pages_.end() ? nullptr : &it->second;
+  return it == pages_.end() ? nullptr : it->second.get();
 }
 
 SimMemory::Page& SimMemory::TouchPage(std::uint64_t page_index) {
-  Page& page = pages_[page_index];
-  if (page.empty()) page.resize(kPageBytes, 0);
-  return page;
+  std::shared_ptr<Page>& slot = pages_[page_index];
+  if (slot == nullptr) {
+    slot = std::make_shared<Page>(kPageBytes, std::uint8_t{0});
+  } else if (slot.use_count() > 1) {
+    // Copy-on-write: the page is shared with a live snapshot (or with other
+    // runs restored from one), so clone it before the first local mutation.
+    // Safe concurrently: a snapshot always holds its own stable reference, so
+    // a page visible to another thread can never read use_count() == 1 here.
+    slot = std::make_shared<Page>(*slot);
+  }
+  return *slot;
 }
 
 void SimMemory::ReadBytes(std::uint64_t addr, std::span<std::uint8_t> out) const {
@@ -111,6 +119,39 @@ void SimMemory::StoreScalar(std::uint64_t addr, unsigned size, std::uint64_t val
   std::uint8_t buf[8];
   std::memcpy(buf, &value, sizeof buf);
   WriteBytes(addr, std::span<const std::uint8_t>(buf, size));
+}
+
+MemSnapshot SimMemory::TakeSnapshot() const {
+  if (record_history_) {
+    throw std::logic_error("SimMemory::TakeSnapshot: unsupported while recording map history");
+  }
+  MemSnapshot snap;
+  snap.layout = layout_;
+  snap.map = map_;
+  snap.pages = pages_;
+  snap.data_cursor = data_cursor_;
+  snap.brk = brk_;
+  snap.esp = esp_;
+  snap.bytes_allocated = bytes_allocated_;
+  return snap;
+}
+
+void SimMemory::RestoreSnapshot(const MemSnapshot& snapshot) {
+  if (record_history_) {
+    throw std::logic_error("SimMemory::RestoreSnapshot: unsupported while recording map history");
+  }
+  if (snapshot.layout.text_base != layout_.text_base ||
+      snapshot.layout.data_base != layout_.data_base ||
+      snapshot.layout.heap_base != layout_.heap_base ||
+      snapshot.layout.stack_top != layout_.stack_top) {
+    throw std::invalid_argument("SimMemory::RestoreSnapshot: snapshot from a different layout");
+  }
+  map_ = snapshot.map;
+  pages_ = snapshot.pages;
+  data_cursor_ = snapshot.data_cursor;
+  brk_ = snapshot.brk;
+  esp_ = snapshot.esp;
+  bytes_allocated_ = snapshot.bytes_allocated;
 }
 
 void SimMemory::RecordHistory(bool enable) {

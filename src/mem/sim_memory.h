@@ -21,6 +21,22 @@
 
 namespace epvf::mem {
 
+/// One copy-on-write snapshot of a SimMemory: the memory map, the allocation
+/// cursors, and a shared reference to every data page live at snapshot time.
+/// Pages are never mutated through a snapshot — a SimMemory restored from one
+/// clones a page on its first write — so snapshots are cheap to take, hold,
+/// and restore regardless of the memory footprint, and one snapshot can seed
+/// any number of concurrent runs.
+struct MemSnapshot {
+  MemoryLayout layout;  ///< identifies the (jittered) layout the pages belong to
+  MemoryMap map;
+  std::unordered_map<std::uint64_t, std::shared_ptr<std::vector<std::uint8_t>>> pages;
+  std::uint64_t data_cursor = 0;
+  std::uint64_t brk = 0;
+  std::uint64_t esp = 0;
+  std::uint64_t bytes_allocated = 0;
+};
+
 class SimMemory {
  public:
   explicit SimMemory(const MemoryLayout& layout = MemoryLayout{},
@@ -65,6 +81,18 @@ class SimMemory {
   [[nodiscard]] const MemoryMap& Snapshot(std::uint64_t version) const;
   [[nodiscard]] bool HasSnapshots() const { return !history_.empty(); }
 
+  // --- checkpoint / restore -------------------------------------------------
+  /// Captures the full mutable state as a copy-on-write snapshot. O(pages) in
+  /// shared_ptr copies, no byte copying. Not available while recording map
+  /// history (snapshots are a replay-run mechanism; the golden profiling run
+  /// records history instead).
+  [[nodiscard]] MemSnapshot TakeSnapshot() const;
+  /// Overwrites the mutable state from `snapshot`. Pages become shared with
+  /// the snapshot; the first write to each clones it (see TouchPage). The
+  /// snapshot must come from a SimMemory with the identical (jittered)
+  /// layout.
+  void RestoreSnapshot(const MemSnapshot& snapshot);
+
   [[nodiscard]] std::uint64_t heap_brk() const { return brk_; }
   [[nodiscard]] std::uint64_t bytes_allocated() const { return bytes_allocated_; }
 
@@ -80,7 +108,9 @@ class SimMemory {
 
   MemoryLayout layout_;
   MemoryMap map_;
-  std::unordered_map<std::uint64_t, Page> pages_;
+  // Pages are shared with any live MemSnapshot; TouchPage clones a shared
+  // page before the first local write (copy-on-write).
+  std::unordered_map<std::uint64_t, std::shared_ptr<Page>> pages_;
   std::uint64_t data_cursor_ = 0;
   std::uint64_t brk_ = 0;
   std::uint64_t esp_ = 0;

@@ -201,7 +201,28 @@ std::uint64_t Interpreter::ValueOf(const Frame& frame, ir::ValueRef ref) const {
 }
 
 RunResult Interpreter::Run(std::string_view entry, TraceSink* sink) {
+  return Execute(EntryStack(entry, sink), 0, RunResult{}, {}, nullptr, sink);
+}
+
+RunResult Interpreter::RunWithCheckpoints(std::string_view entry,
+                                          std::span<const std::uint64_t> checkpoint_at,
+                                          std::vector<Checkpoint>& checkpoints,
+                                          TraceSink* sink) {
+  if (options_.record_map_history) {
+    throw std::logic_error("Interpreter::RunWithCheckpoints: unsupported with map history");
+  }
+  return Execute(EntryStack(entry, sink), 0, RunResult{}, checkpoint_at, &checkpoints, sink);
+}
+
+RunResult Interpreter::ResumeFrom(const Checkpoint& checkpoint, TraceSink* sink) {
+  memory_.RestoreSnapshot(checkpoint.memory);
   RunResult result;
+  result.output = checkpoint.output;
+  result.fault_was_applied = checkpoint.fault_was_applied;
+  return Execute(checkpoint.frames, checkpoint.dyn_index, std::move(result), {}, nullptr, sink);
+}
+
+std::vector<Interpreter::Frame> Interpreter::EntryStack(std::string_view entry, TraceSink* sink) {
   const auto entry_index = module_.FindFunction(entry);
   if (!entry_index) throw std::invalid_argument("Interpreter: no function named " + std::string(entry));
   const ir::Function& entry_fn = module_.functions[*entry_index];
@@ -210,17 +231,23 @@ RunResult Interpreter::Run(std::string_view entry, TraceSink* sink) {
   }
 
   std::vector<Frame> stack;
-  {
-    Frame frame;
-    frame.fn = *entry_index;
-    frame.regs.assign(entry_fn.registers.size(), 0);
-    frame.saved_esp = memory_.esp();
-    stack.push_back(std::move(frame));
-  }
+  Frame frame;
+  frame.fn = *entry_index;
+  frame.regs.assign(entry_fn.registers.size(), 0);
+  frame.saved_esp = memory_.esp();
+  stack.push_back(std::move(frame));
   if (sink != nullptr) sink->OnEnterFunction(*entry_index);
+  return stack;
+}
 
-  std::uint64_t dyn = 0;
+RunResult Interpreter::Execute(std::vector<Frame> stack, std::uint64_t dyn, RunResult result,
+                               std::span<const std::uint64_t> checkpoint_at,
+                               std::vector<Checkpoint>* checkpoints, TraceSink* sink) {
   std::vector<std::uint64_t> operand_buf;
+  std::size_t next_checkpoint = 0;
+  while (next_checkpoint < checkpoint_at.size() && checkpoint_at[next_checkpoint] < dyn) {
+    ++next_checkpoint;
+  }
 
   const std::optional<FaultPlan>& fault = options_.fault;
 
@@ -233,6 +260,21 @@ RunResult Interpreter::Run(std::string_view entry, TraceSink* sink) {
   };
 
   while (!stack.empty()) {
+    if (next_checkpoint < checkpoint_at.size() && dyn == checkpoint_at[next_checkpoint]) {
+      // Capture state *before* instruction #dyn executes: a run resumed from
+      // this checkpoint replays exactly the instructions from dyn onward.
+      Checkpoint ckpt;
+      ckpt.dyn_index = dyn;
+      ckpt.fault_was_applied = result.fault_was_applied;
+      ckpt.frames = stack;
+      ckpt.output = result.output;
+      ckpt.memory = memory_.TakeSnapshot();
+      checkpoints->push_back(std::move(ckpt));
+      do {
+        ++next_checkpoint;  // skip duplicates
+      } while (next_checkpoint < checkpoint_at.size() && checkpoint_at[next_checkpoint] <= dyn);
+    }
+
     Frame& frame = stack.back();
     const ir::Function& fn = module_.functions[frame.fn];
     const ir::BasicBlock& bb = fn.blocks[frame.block];

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -62,18 +63,6 @@ struct RunResult {
 
 class Interpreter {
  public:
-  Interpreter(const ir::Module& module, ExecOptions options);
-
-  /// Executes `entry` (no arguments) to completion or trap.
-  RunResult Run(std::string_view entry = "main", TraceSink* sink = nullptr);
-
-  [[nodiscard]] const mem::SimMemory& memory() const { return memory_; }
-  [[nodiscard]] mem::SimMemory& memory() { return memory_; }
-  [[nodiscard]] std::uint64_t GlobalAddress(std::uint32_t global_index) const {
-    return global_addresses_[global_index];
-  }
-
- private:
   struct Frame {
     std::uint32_t fn = 0;
     std::uint32_t block = 0;
@@ -90,7 +79,60 @@ class Interpreter {
     bool phi_values_valid = false;
   };
 
+  /// Full execution state immediately *before* instruction `dyn_index` runs:
+  /// the call stack (registers, PC, phi buffers), the output stream so far,
+  /// and a copy-on-write memory snapshot. A checkpoint is self-contained —
+  /// any Interpreter over the same module/options can resume from it, and one
+  /// checkpoint can seed any number of concurrent resumed runs.
+  struct Checkpoint {
+    std::uint64_t dyn_index = 0;
+    bool fault_was_applied = false;
+    std::vector<Frame> frames;
+    std::vector<std::uint64_t> output;
+    mem::MemSnapshot memory;
+  };
+
+  Interpreter(const ir::Module& module, ExecOptions options);
+
+  /// Executes `entry` (no arguments) to completion or trap.
+  RunResult Run(std::string_view entry = "main", TraceSink* sink = nullptr);
+
+  /// Like Run, but captures a Checkpoint immediately before each dynamic
+  /// instruction index in `checkpoint_at` (must be sorted ascending; indices
+  /// past the end of the trace are ignored). Requires record_map_history to
+  /// be off — checkpointing is a replay-run mechanism.
+  RunResult RunWithCheckpoints(std::string_view entry,
+                               std::span<const std::uint64_t> checkpoint_at,
+                               std::vector<Checkpoint>& checkpoints,
+                               TraceSink* sink = nullptr);
+
+  /// Resumes execution from `checkpoint`, as if the prefix had just been
+  /// executed: the dynamic instruction counter continues from
+  /// checkpoint.dyn_index, so instruction budgets, fault-plan sites, and
+  /// RunResult fields all stay absolute — a resumed run is bit-identical to
+  /// a from-scratch run that reached the checkpoint with the same state.
+  /// The interpreter must share the module and (jitter-free) layout of the
+  /// run that captured the checkpoint. `sink` observes only the suffix.
+  RunResult ResumeFrom(const Checkpoint& checkpoint, TraceSink* sink = nullptr);
+
+  [[nodiscard]] const mem::SimMemory& memory() const { return memory_; }
+  [[nodiscard]] mem::SimMemory& memory() { return memory_; }
+  [[nodiscard]] std::uint64_t GlobalAddress(std::uint32_t global_index) const {
+    return global_addresses_[global_index];
+  }
+
+ private:
   [[nodiscard]] std::uint64_t ValueOf(const Frame& frame, ir::ValueRef ref) const;
+
+  /// Builds the single entry frame for `entry` and announces it to `sink`.
+  std::vector<Frame> EntryStack(std::string_view entry, TraceSink* sink);
+
+  /// The fetch-execute loop, resumable at any instruction boundary: starts
+  /// from an arbitrary (stack, dyn counter, partial result) state and runs to
+  /// completion or trap, optionally dropping checkpoints along the way.
+  RunResult Execute(std::vector<Frame> stack, std::uint64_t dyn, RunResult result,
+                    std::span<const std::uint64_t> checkpoint_at,
+                    std::vector<Checkpoint>* checkpoints, TraceSink* sink);
 
   const ir::Module& module_;
   ExecOptions options_;

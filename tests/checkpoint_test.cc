@@ -1,0 +1,283 @@
+// Checkpoint/replay fault injection: copy-on-write memory snapshots, resumable
+// interpreter state, and the campaign fast path. The load-bearing invariant
+// everywhere: a run resumed from a checkpoint is bit-identical to the same run
+// executed from scratch — for every site, bit, seed, and thread count.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/app.h"
+#include "ddg/ace.h"
+#include "epvf/analysis.h"
+#include "fi/campaign.h"
+#include "mem/sim_memory.h"
+#include "vm/interpreter.h"
+
+namespace epvf {
+namespace {
+
+// --- mem::SimMemory copy-on-write snapshots ---------------------------------
+
+TEST(MemSnapshot, RestoreRoundTripsState) {
+  mem::SimMemory memory;
+  const std::uint64_t addr = memory.AllocateData(64);
+  memory.StoreScalar(addr, 8, 0x1122334455667788ull);
+  memory.SetEsp(memory.stack_top() - 256);
+
+  const mem::MemSnapshot snap = memory.TakeSnapshot();
+  const std::uint64_t version_at_snap = memory.map().version();
+
+  // Mutate everything the snapshot covers.
+  memory.StoreScalar(addr, 8, 0xDEADBEEFull);
+  memory.Malloc(4096 * 8);  // bumps brk + map version
+  memory.SetEsp(memory.stack_top() - 4096);
+
+  memory.RestoreSnapshot(snap);
+  EXPECT_EQ(memory.LoadScalar(addr, 8), 0x1122334455667788ull);
+  EXPECT_EQ(memory.map().version(), version_at_snap);
+  EXPECT_EQ(memory.esp(), memory.stack_top() - 256);
+}
+
+TEST(MemSnapshot, CopyOnWriteIsolatesSnapshotFromLaterWrites) {
+  mem::SimMemory memory;
+  const std::uint64_t addr = memory.AllocateData(16);
+  memory.StoreScalar(addr, 4, 0xAAAAAAAAull);
+  const mem::MemSnapshot snap = memory.TakeSnapshot();
+
+  // Writing through the live memory must clone the shared page, not mutate
+  // the snapshot's view of it.
+  memory.StoreScalar(addr, 4, 0xBBBBBBBBull);
+  EXPECT_EQ(memory.LoadScalar(addr, 4), 0xBBBBBBBBull);
+
+  mem::SimMemory restored;
+  restored.RestoreSnapshot(snap);
+  EXPECT_EQ(restored.LoadScalar(addr, 4), 0xAAAAAAAAull);
+
+  // Two memories restored from one snapshot stay independent of each other.
+  mem::SimMemory sibling;
+  sibling.RestoreSnapshot(snap);
+  restored.StoreScalar(addr, 4, 0xCCCCCCCCull);
+  EXPECT_EQ(sibling.LoadScalar(addr, 4), 0xAAAAAAAAull);
+}
+
+TEST(MemSnapshot, RejectedWhileRecordingHistory) {
+  mem::SimMemory memory;
+  memory.RecordHistory(true);
+  EXPECT_THROW((void)memory.TakeSnapshot(), std::logic_error);
+}
+
+TEST(MemSnapshot, RejectsLayoutMismatch) {
+  mem::SimMemory plain;
+  const mem::MemSnapshot snap = plain.TakeSnapshot();
+  mem::LayoutJitter jitter;
+  jitter.data_shift_pages = 2;
+  mem::SimMemory jittered(mem::MemoryLayout{}, jitter);
+  EXPECT_THROW(jittered.RestoreSnapshot(snap), std::invalid_argument);
+}
+
+// --- vm::Interpreter checkpoint + resume ------------------------------------
+
+TEST(InterpreterCheckpoint, ResumeMatchesFromScratch) {
+  const apps::App app = apps::BuildApp("mm", apps::AppConfig{.scale = 0});
+  vm::ExecOptions exec;
+  vm::Interpreter golden_interp(app.module, exec);
+  const vm::RunResult golden = golden_interp.Run();
+  ASSERT_TRUE(golden.Completed());
+  const std::uint64_t len = golden.instructions_executed;
+  ASSERT_GT(len, 16u);
+
+  const std::vector<std::uint64_t> at = {len / 4, len / 2, (3 * len) / 4};
+  std::vector<vm::Interpreter::Checkpoint> checkpoints;
+  vm::Interpreter ckpt_interp(app.module, exec);
+  const vm::RunResult replay = ckpt_interp.RunWithCheckpoints("main", at, checkpoints);
+  EXPECT_EQ(replay.instructions_executed, golden.instructions_executed);
+  EXPECT_EQ(replay.output, golden.output);
+  ASSERT_EQ(checkpoints.size(), at.size());
+
+  for (const vm::Interpreter::Checkpoint& ckpt : checkpoints) {
+    vm::Interpreter resumed_interp(app.module, exec);
+    const vm::RunResult resumed = resumed_interp.ResumeFrom(ckpt);
+    // Absolute dyn accounting: a resumed run reports the same totals as the
+    // full run, not suffix-relative ones.
+    EXPECT_EQ(resumed.instructions_executed, golden.instructions_executed)
+        << "checkpoint at " << ckpt.dyn_index;
+    EXPECT_EQ(resumed.output, golden.output) << "checkpoint at " << ckpt.dyn_index;
+    EXPECT_EQ(resumed.trap, golden.trap);
+  }
+}
+
+TEST(InterpreterCheckpoint, CheckpointsPastTraceEndAreIgnored) {
+  const apps::App app = apps::BuildApp("lud", apps::AppConfig{.scale = 0});
+  vm::ExecOptions exec;
+  vm::Interpreter golden_interp(app.module, exec);
+  const vm::RunResult golden = golden_interp.Run();
+  const std::uint64_t len = golden.instructions_executed;
+
+  const std::vector<std::uint64_t> at = {len / 2, len * 2, len * 3};
+  std::vector<vm::Interpreter::Checkpoint> checkpoints;
+  vm::Interpreter interp(app.module, exec);
+  const vm::RunResult replay = interp.RunWithCheckpoints("main", at, checkpoints);
+  EXPECT_TRUE(replay.Completed());
+  EXPECT_EQ(checkpoints.size(), 1u);
+}
+
+// --- fi::Injector fast path ---------------------------------------------------
+
+TEST(InjectorCheckpoint, InjectionsBitIdenticalWithAndWithoutCheckpoints) {
+  const apps::App app = apps::BuildApp("pathfinder", apps::AppConfig{.scale = 0});
+  const core::Analysis a = core::Analysis::Run(app.module);
+  const std::vector<fi::FaultSite> sites = fi::EnumerateFaultSites(a.graph());
+  ASSERT_FALSE(sites.empty());
+
+  fi::InjectorOptions options;
+  fi::Injector scratch(app.module, a.golden(), options);
+  fi::Injector fast(app.module, a.golden(), options);
+  const std::uint64_t len = a.TraceLength();
+  ASSERT_EQ(fast.BuildCheckpoints(fi::CheckpointSites(len, len / 5 + 1)), 4u);
+
+  const mem::LayoutJitter no_jitter;
+  // A spread of sites across the trace, including ones before the first
+  // checkpoint (which must fall back to full execution).
+  for (std::size_t i = 0; i < sites.size(); i += sites.size() / 23 + 1) {
+    const fi::FaultSite& site = sites[i];
+    for (const std::uint8_t bit : {std::uint8_t{0}, static_cast<std::uint8_t>(site.width - 1)}) {
+      const auto want = scratch.Inject(site, bit, no_jitter);
+      const auto got = fast.Inject(site, bit, no_jitter);
+      EXPECT_EQ(got.outcome, want.outcome) << "site " << site.dyn_index << " bit " << int{bit};
+      EXPECT_EQ(got.run.trap, want.run.trap);
+      EXPECT_EQ(got.run.instructions_executed, want.run.instructions_executed);
+      EXPECT_EQ(got.run.trap_dyn_index, want.run.trap_dyn_index);
+      EXPECT_EQ(got.run.output, want.run.output);
+      EXPECT_EQ(got.run.fault_was_applied, want.run.fault_was_applied);
+      EXPECT_EQ(want.resumed_from, 0u);
+      if (site.dyn_index >= len / 5 + 1) {
+        EXPECT_GT(got.resumed_from, 0u) << "site " << site.dyn_index;
+        EXPECT_LE(got.resumed_from, site.dyn_index);
+      }
+    }
+  }
+}
+
+TEST(InjectorCheckpoint, JitteredRunsBypassTheFastPath) {
+  const apps::App app = apps::BuildApp("mm", apps::AppConfig{.scale = 0});
+  const core::Analysis a = core::Analysis::Run(app.module);
+  const std::vector<fi::FaultSite> sites = fi::EnumerateFaultSites(a.graph());
+  fi::InjectorOptions options;
+  options.jitter_pages = 2;
+  fi::Injector injector(app.module, a.golden(), options);
+  const std::uint64_t len = a.TraceLength();
+  ASSERT_GT(injector.BuildCheckpoints(fi::CheckpointSites(len, len / 5 + 1)), 0u);
+
+  mem::LayoutJitter jitter;
+  jitter.heap_shift_pages = 1;
+  const fi::FaultSite& late_site = sites.back();
+  const auto result = injector.Inject(late_site, 0, jitter);
+  EXPECT_EQ(result.resumed_from, 0u);  // diverges from instruction zero
+}
+
+// --- fi::RunCampaign equivalence ----------------------------------------------
+
+TEST(CampaignCheckpoint, RecordsBitIdenticalAcrossAppsJobsAndJitter) {
+  for (const char* name : {"mm", "pathfinder", "lud"}) {
+    const apps::App app = apps::BuildApp(name, apps::AppConfig{.scale = 0});
+    const core::Analysis a = core::Analysis::Run(app.module);
+    const auto interval =
+        static_cast<std::int64_t>(a.TraceLength() / 9 + 1);  // ~8 checkpoints
+
+    for (const std::uint32_t jitter_pages : {0u, 2u}) {
+      fi::CampaignOptions options;
+      options.num_runs = 36;
+      options.seed = 13;
+      options.injector.jitter_pages = jitter_pages;
+      options.num_threads = 1;
+      options.checkpoint_interval = -1;  // from-scratch baseline
+      const fi::CampaignStats baseline =
+          fi::RunCampaign(app.module, a.graph(), a.golden(), options);
+      EXPECT_EQ(baseline.perf.checkpoints, 0u);
+      EXPECT_EQ(baseline.perf.checkpointed_runs, 0u);
+
+      for (const int threads : {1, 2, 8}) {
+        options.num_threads = threads;
+        options.checkpoint_interval = interval;
+        const fi::CampaignStats fast =
+            fi::RunCampaign(app.module, a.graph(), a.golden(), options);
+        EXPECT_EQ(fast.counts, baseline.counts)
+            << name << " jitter=" << jitter_pages << " threads=" << threads;
+        ASSERT_EQ(fast.records.size(), baseline.records.size());
+        for (std::size_t i = 0; i < fast.records.size(); ++i) {
+          EXPECT_EQ(fast.records[i].site.dyn_index, baseline.records[i].site.dyn_index);
+          EXPECT_EQ(fast.records[i].site.slot, baseline.records[i].site.slot);
+          EXPECT_EQ(fast.records[i].bit, baseline.records[i].bit);
+          EXPECT_EQ(fast.records[i].outcome, baseline.records[i].outcome)
+              << name << " run " << i << " jitter=" << jitter_pages
+              << " threads=" << threads;
+        }
+        if (jitter_pages == 0) {
+          EXPECT_GT(fast.perf.checkpoints, 0u);
+          EXPECT_EQ(fast.perf.checkpointed_runs + fast.perf.full_runs, fast.Total());
+        } else {
+          // Jittered campaigns never checkpoint: every run diverges from
+          // instruction zero.
+          EXPECT_EQ(fast.perf.checkpoints, 0u);
+          EXPECT_EQ(fast.perf.checkpointed_runs, 0u);
+        }
+      }
+    }
+  }
+}
+
+TEST(CampaignCheckpoint, IntervalLargerThanTraceDegradesToFromScratch) {
+  const apps::App app = apps::BuildApp("mm", apps::AppConfig{.scale = 0});
+  const core::Analysis a = core::Analysis::Run(app.module);
+  fi::CampaignOptions options;
+  options.num_runs = 8;
+  options.injector.jitter_pages = 0;
+  options.checkpoint_interval = static_cast<std::int64_t>(a.TraceLength() * 2);
+  const fi::CampaignStats stats = fi::RunCampaign(app.module, a.graph(), a.golden(), options);
+  EXPECT_EQ(stats.Total(), 8u);
+  EXPECT_EQ(stats.perf.checkpoints, 0u);
+  EXPECT_EQ(stats.perf.full_runs, 8u);
+}
+
+// --- checkpoint-site policy ---------------------------------------------------
+
+TEST(CheckpointPolicy, ResolveInterval) {
+  EXPECT_EQ(fi::ResolveCheckpointInterval(500, 1000), 500u);  // explicit wins
+  EXPECT_EQ(fi::ResolveCheckpointInterval(-1, 1'000'000), 0u);  // disabled
+  EXPECT_EQ(fi::ResolveCheckpointInterval(0, 1'000'000), 1'000'000u / 33);  // auto
+  EXPECT_EQ(fi::ResolveCheckpointInterval(0, 1000), 0u);  // too short for auto
+}
+
+TEST(CheckpointPolicy, SitesAreEvenlySpacedAndCapped) {
+  const auto sites = fi::CheckpointSites(1000, 250);
+  ASSERT_EQ(sites.size(), 3u);
+  EXPECT_EQ(sites[0], 250u);
+  EXPECT_EQ(sites[2], 750u);
+  EXPECT_TRUE(fi::CheckpointSites(1000, 0).empty());
+  // A pathologically small interval is widened to the snapshot cap.
+  EXPECT_LE(fi::CheckpointSites(10'000'000, 1).size(), 1024u);
+}
+
+// --- ddg::SliceVisited (epoch-stamped visited buffer) ------------------------
+
+TEST(SliceVisited, ReusedBufferMatchesFreshAllocations) {
+  const apps::App app = apps::BuildApp("pathfinder", apps::AppConfig{.scale = 0});
+  const core::Analysis a = core::Analysis::Run(app.module);
+  const ddg::Graph& graph = a.graph();
+  ddg::SliceVisited visited;
+  int compared = 0;
+  for (ddg::NodeId id = 0; id < graph.NumNodes() && compared < 50;
+       id += static_cast<ddg::NodeId>(graph.NumNodes() / 50 + 1), ++compared) {
+    const auto fresh = ddg::BackwardSlice(graph, id, true);
+    const auto reused = ddg::BackwardSlice(graph, id, true, &visited);
+    EXPECT_EQ(fresh, reused) << "node " << id;
+    const auto fresh_data = ddg::BackwardSlice(graph, id, false);
+    const auto reused_data = ddg::BackwardSlice(graph, id, false, &visited);
+    EXPECT_EQ(fresh_data, reused_data) << "node " << id;
+  }
+  EXPECT_GT(compared, 10);
+}
+
+}  // namespace
+}  // namespace epvf

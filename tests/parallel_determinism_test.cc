@@ -68,6 +68,37 @@ TEST(ParallelDeterminism, CampaignStatsIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(ParallelDeterminism, CheckpointedCampaignIdenticalAcrossThreadCounts) {
+  // The suffix-replay fast path re-orders execution (runs sorted by injection
+  // site, resumed from snapshots) — records must still be bit-identical to
+  // the from-scratch serial campaign at every thread count.
+  const apps::App app = apps::BuildApp("mm", apps::AppConfig{.scale = 0});
+  const core::Analysis a = Analyze(app.module, 1);
+  fi::CampaignOptions options;
+  options.num_runs = 48;
+  options.seed = 7;
+  options.injector.jitter_pages = 0;
+  options.num_threads = 1;
+  options.checkpoint_interval = -1;  // from-scratch baseline
+  const fi::CampaignStats serial = fi::RunCampaign(app.module, a.graph(), a.golden(), options);
+  options.checkpoint_interval =
+      static_cast<std::int64_t>(a.TraceLength() / 9 + 1);  // ~8 checkpoints
+  for (const int threads : {1, 2, 8}) {
+    options.num_threads = threads;
+    const fi::CampaignStats fast = fi::RunCampaign(app.module, a.graph(), a.golden(), options);
+    EXPECT_EQ(serial.counts, fast.counts) << "threads=" << threads;
+    EXPECT_GT(fast.perf.checkpoints, 0u);
+    ASSERT_EQ(serial.records.size(), fast.records.size());
+    for (std::size_t i = 0; i < serial.records.size(); ++i) {
+      EXPECT_EQ(serial.records[i].site.dyn_index, fast.records[i].site.dyn_index);
+      EXPECT_EQ(serial.records[i].site.slot, fast.records[i].site.slot);
+      EXPECT_EQ(serial.records[i].bit, fast.records[i].bit);
+      EXPECT_EQ(serial.records[i].outcome, fast.records[i].outcome)
+          << "run " << i << " at threads=" << threads;
+    }
+  }
+}
+
 TEST(ParallelDeterminism, CampaignWithFewerRunsThanThreads) {
   // Regression: the old static-chunk split spawned zero-width ranges when
   // plan.size() < workers; dynamic scheduling must execute all runs exactly

@@ -62,7 +62,12 @@ int Usage() {
                "  list                             bundled benchmarks\n"
                "  analyze <target> [--scale N]     PVF/ePVF/crash metrics + structure report\n"
                "  inject  <target> [--runs N] [--jitter P] [--burst B] [--seed S]\n"
+               "                   [--checkpoints N]\n"
                "                                   fault-injection campaign + model validation\n"
+               "                                   (--checkpoints: suffix-replay snapshots per\n"
+               "                                   campaign; -1 = auto, 0 = off; outcomes are\n"
+               "                                   identical at every setting; needs --jitter 0,\n"
+               "                                   jittered runs always execute from scratch)\n"
                "  sample  <target> [--fraction F]  ACE-graph sampling estimate\n"
                "  protect <benchmark> [--budget PCT] [--rank epvf|hot] [--real]\n"
                "                                   section-V selective duplication\n"
@@ -149,6 +154,16 @@ int CmdInject(const Options& options) {
   campaign.injector.jitter_pages = static_cast<std::uint32_t>(options.Int("jitter", 2));
   campaign.injector.burst_length = static_cast<std::uint8_t>(options.Int("burst", 1));
   campaign.num_threads = options.Int("jobs", 0);
+  // --checkpoints N = snapshots to spread over the golden trace (N > 0),
+  // 0 = fast path off, -1 (default) = auto from the trace length.
+  const int checkpoints = options.Int("checkpoints", -1);
+  if (checkpoints == 0) {
+    campaign.checkpoint_interval = -1;
+  } else if (checkpoints > 0) {
+    const std::uint64_t interval =
+        a.TraceLength() / (static_cast<std::uint64_t>(checkpoints) + 1);
+    campaign.checkpoint_interval = static_cast<std::int64_t>(interval < 1 ? 1 : interval);
+  }
   const fi::CampaignStats stats = fi::RunCampaign(module, a.graph(), a.golden(), campaign);
 
   AsciiTable table({"outcome", "count", "rate"});
@@ -167,6 +182,16 @@ int CmdInject(const Options& options) {
               a.CrashRateEstimate(), stats.CrashRate(), recall.Recall() * 100,
               static_cast<unsigned long long>(recall.predicted),
               static_cast<unsigned long long>(recall.crash_runs));
+  const fi::CampaignPerf& perf = stats.perf;
+  if (perf.checkpoints > 0) {
+    std::printf(
+        "checkpoint fast path : %llu snapshots (built in %.1f ms), %llu/%llu runs resumed, "
+        "%.1f Minstr of golden prefix skipped, inject %.1f ms\n",
+        static_cast<unsigned long long>(perf.checkpoints), perf.checkpoint_seconds * 1e3,
+        static_cast<unsigned long long>(perf.checkpointed_runs),
+        static_cast<unsigned long long>(stats.Total()),
+        static_cast<double>(perf.skipped_instructions) * 1e-6, perf.inject_seconds * 1e3);
+  }
   return 0;
 }
 
