@@ -1,0 +1,85 @@
+// Artifact-cache throughput: cold (compute + serialize + store) vs. warm
+// (mmap + verify + deserialize) analysis, per app.
+//
+// The cache's value proposition is that re-running `epvf analyze` against an
+// unchanged program costs a deserialization, not a pipeline execution. This
+// bench measures that directly — cold wall time, warm wall time, speedup,
+// artifact size — and cross-checks that the warm analysis reproduces the cold
+// metrics exactly (a cache that changes results is worse than no cache).
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "store/cache.h"
+#include "support/stopwatch.h"
+
+int main() {
+  using namespace epvf;
+  namespace fs = std::filesystem;
+
+  bench::BenchJson json("cache_throughput");
+
+  std::string tmpl = (fs::temp_directory_path() / "epvf_cache_bench_XXXXXX").string();
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  const char* made = mkdtemp(buf.data());
+  if (made == nullptr) {
+    std::fprintf(stderr, "bench_cache_throughput: cannot create temp cache dir\n");
+    return 1;
+  }
+  const std::string cache_dir = made;
+
+  AsciiTable table({"Benchmark", "cold (ms)", "warm (ms)", "speedup", "artifact (KB)",
+                    "identical"});
+  table.SetTitle("Artifact cache: cold compute+store vs. warm load");
+
+  bool all_identical = true;
+  for (const std::string& name :
+       {std::string("mm"), std::string("hotspot"), std::string("lulesh")}) {
+    const apps::App app = apps::BuildApp(name, apps::AppConfig{.scale = bench::Scale()});
+    const core::AnalysisOptions options = bench::DefaultAnalysisOptions();
+    store::AnalysisKey key;
+    key.app = name;
+    key.config = "scale=" + std::to_string(bench::Scale());
+    key.module_fingerprint = store::ModuleFingerprint(app.module);
+    key.options = options;
+
+    store::ArtifactCache cache(cache_dir);
+    Stopwatch cold_watch;
+    const core::Analysis cold = store::RunAnalysisCached(app.module, options, key, cache);
+    const double cold_ms = cold_watch.ElapsedMillis();
+
+    Stopwatch warm_watch;
+    const core::Analysis warm = store::RunAnalysisCached(app.module, options, key, cache);
+    const double warm_ms = warm_watch.ElapsedMillis();
+
+    const bool identical = warm.timings().cache_hit && warm.Pvf() == cold.Pvf() &&
+                           warm.Epvf() == cold.Epvf() &&
+                           warm.CrashRateEstimate() == cold.CrashRateEstimate() &&
+                           warm.MemoryEpvf() == cold.MemoryEpvf() &&
+                           warm.golden().output == cold.golden().output &&
+                           warm.graph().NumNodes() == cold.graph().NumNodes();
+    all_identical = all_identical && identical;
+
+    const double artifact_bytes = static_cast<double>(cache.session_counters().bytes_written);
+    const double speedup = warm_ms > 0 ? cold_ms / warm_ms : 0;
+    table.AddRow({name, AsciiTable::Num(cold_ms, 1), AsciiTable::Num(warm_ms, 2),
+                  AsciiTable::Num(speedup, 1) + "x", AsciiTable::Num(artifact_bytes / 1024, 1),
+                  identical ? "yes" : "NO"});
+    json.Add(name, "cold_ms", cold_ms);
+    json.Add(name, "warm_ms", warm_ms);
+    json.Add(name, "speedup", speedup);
+    json.Add(name, "artifact_bytes", artifact_bytes);
+    json.Add(name, "identical", identical ? 1.0 : 0.0);
+  }
+
+  table.SetFootnote("cold = full pipeline + serialize + atomic store; warm = mmap + CRC verify + "
+                    "deserialize; 'identical' cross-checks every headline metric");
+  table.Print(std::cout);
+
+  std::error_code ec;
+  fs::remove_all(cache_dir, ec);
+  return all_identical ? 0 : 1;
+}

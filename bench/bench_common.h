@@ -30,6 +30,7 @@
 #include "apps/app.h"
 #include "epvf/analysis.h"
 #include "fi/campaign.h"
+#include "support/atomic_file.h"
 #include "support/table.h"
 
 namespace epvf::bench {
@@ -87,19 +88,21 @@ class BenchJson {
     if (dir == nullptr || dir[0] == '\0') return;
     const std::string base = std::string(dir) == "1" ? "." : std::string(dir);
     const std::string path = base + "/BENCH_" + name_ + ".json";
-    std::FILE* out = std::fopen(path.c_str(), "w");
-    if (out == nullptr) {
-      std::fprintf(stderr, "BenchJson: cannot write %s\n", path.c_str());
-      return;
-    }
-    std::fprintf(out, "{\"bench\":\"%s\",\"rows\":[", Escape(name_).c_str());
+    std::string json = "{\"bench\":\"" + Escape(name_) + "\",\"rows\":[";
     for (std::size_t i = 0; i < rows_.size(); ++i) {
       const auto& [row, metric, value] = rows_[i];
-      std::fprintf(out, "%s{\"row\":\"%s\",\"metric\":\"%s\",\"value\":%.17g}",
-                   i == 0 ? "" : ",", Escape(row).c_str(), Escape(metric).c_str(), value);
+      char num[64];
+      std::snprintf(num, sizeof(num), "%.17g", value);
+      if (i != 0) json += ',';
+      json += "{\"row\":\"" + Escape(row) + "\",\"metric\":\"" + Escape(metric) +
+              "\",\"value\":" + num + "}";
     }
-    std::fprintf(out, "]}\n");
-    std::fclose(out);
+    json += "]}\n";
+    // Atomic publish: a crashed or concurrent bench never leaves a
+    // half-written JSON file behind for the perf tracker to choke on.
+    if (!AtomicWriteFile(path, json)) {
+      std::fprintf(stderr, "BenchJson: cannot write %s\n", path.c_str());
+    }
   }
 
  private:

@@ -51,6 +51,39 @@ Analysis Analysis::Run(const ir::Module& module, AnalysisOptions options) {
   return analysis;
 }
 
+Analysis Analysis::Restore(const ir::Module& module, AnalysisOptions options,
+                           vm::RunResult golden, ddg::Graph graph, ddg::AceResult ace,
+                           crash::CrashBits crash_bits,
+                           std::optional<UseWeightedBits> use_weighted) {
+  Analysis analysis;
+  analysis.module_ = &module;
+  analysis.options_ = std::move(options);
+  analysis.golden_ = std::move(golden);
+  analysis.graph_ = std::move(graph);
+  analysis.ace_ = std::move(ace);
+  analysis.crash_bits_ = std::move(crash_bits);
+  analysis.use_weighted_ = use_weighted;
+  return analysis;
+}
+
+const mem::SimMemory& Analysis::memory() const {
+  if (interpreter_ == nullptr) {
+    throw std::logic_error(
+        "Analysis::memory(): restored from artifacts, no live interpreter — "
+        "run the full pipeline for memory-state consumers");
+  }
+  return interpreter_->memory();
+}
+
+const crash::CrashModel& Analysis::crash_model() const {
+  if (crash_model_ == nullptr) {
+    throw std::logic_error(
+        "Analysis::crash_model(): restored from artifacts, no live crash model — "
+        "run the full pipeline for crash-model consumers");
+  }
+  return *crash_model_;
+}
+
 double Analysis::Epvf() const {
   if (ace_.total_bits == 0) return 0.0;
   return static_cast<double>(ace_.ace_bits - crash_bits_.total_crash_bits) /

@@ -113,6 +113,32 @@ CampaignStats RunCampaign(const ir::Module& module, const ddg::Graph& graph,
   CampaignStats stats;
   stats.records.resize(plan.size());
 
+  // Resume from a persisted campaign artifact: adopt every completed plan
+  // index whose recorded (site, bit) matches the deterministically re-drawn
+  // plan. A single mismatch means the artifact belongs to different options
+  // or a different seed, so the whole resume payload is discarded — outcomes
+  // are always those of an uninterrupted campaign.
+  std::vector<std::uint8_t> completed(plan.size(), 0);
+  if (options.resume_records != nullptr && options.resume_completed != nullptr &&
+      options.resume_records->size() == plan.size() &&
+      options.resume_completed->size() == plan.size()) {
+    bool consistent = true;
+    for (std::size_t i = 0; i < plan.size() && consistent; ++i) {
+      if ((*options.resume_completed)[i] == 0) continue;
+      const FaultRecord& r = (*options.resume_records)[i];
+      consistent = r.site.dyn_index == plan[i].site.dyn_index &&
+                   r.site.slot == plan[i].site.slot && r.bit == plan[i].bit;
+    }
+    if (consistent) {
+      for (std::size_t i = 0; i < plan.size(); ++i) {
+        if ((*options.resume_completed)[i] == 0) continue;
+        stats.records[i] = (*options.resume_records)[i];
+        completed[i] = 1;
+        stats.perf.resumed_records += 1;
+      }
+    }
+  }
+
   // Suffix-replay fast path: one extra golden replay drops evenly spaced
   // checkpoints, and each zero-jitter injection then executes only the trace
   // suffix from the nearest checkpoint at or before its site. Jittered
@@ -124,15 +150,22 @@ CampaignStats RunCampaign(const ir::Module& module, const ddg::Graph& graph,
   std::vector<std::uint32_t> order(plan.size());
   std::iota(order.begin(), order.end(), 0u);
   if (interval > 0) {
-    Stopwatch checkpoint_watch;
-    stats.perf.checkpoints =
-        injector.BuildCheckpoints(CheckpointSites(golden.instructions_executed, interval));
-    stats.perf.checkpoint_seconds = checkpoint_watch.ElapsedSeconds();
     // Execute in site order so neighbouring runs resume from the same
     // checkpoint (warm snapshot pages); records still land at plan index.
     std::stable_sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
       return plan[a].site.dyn_index < plan[b].site.dyn_index;
     });
+  }
+  std::vector<std::uint32_t> pending;
+  pending.reserve(plan.size());
+  for (const std::uint32_t i : order) {
+    if (completed[i] == 0) pending.push_back(i);
+  }
+  if (interval > 0 && !pending.empty()) {
+    Stopwatch checkpoint_watch;
+    stats.perf.checkpoints =
+        injector.BuildCheckpoints(CheckpointSites(golden.instructions_executed, interval));
+    stats.perf.checkpoint_seconds = checkpoint_watch.ElapsedSeconds();
   }
 
   // Dynamically scheduled on the shared pool, one run per task: runs that
@@ -142,22 +175,42 @@ CampaignStats RunCampaign(const ir::Module& module, const ddg::Graph& graph,
   // here — each task is a whole program execution, dwarfing the scheduling
   // atomics. This also removes the old static-chunk hazard where
   // plan.size() < workers produced zero-width ranges. Records land at their
-  // plan index, so outcomes are bit-identical for every thread count and
-  // every checkpoint setting.
+  // plan index, so outcomes are bit-identical for every thread count, every
+  // checkpoint setting, and every progress-batch size.
+  //
+  // When a progress callback is set, the pending runs execute in batches with
+  // a persistence call (from this coordinating thread) after each: an
+  // interrupted process loses at most one batch of work. Each run is a whole
+  // program execution, so the batch barriers cost noise.
   std::vector<std::uint64_t> resumed_from(plan.size(), 0);
+  const std::size_t batch =
+      options.on_progress && options.progress_interval > 0
+          ? static_cast<std::size_t>(options.progress_interval)
+          : (pending.empty() ? std::size_t{1} : pending.size());
   Stopwatch inject_watch;
-  ParallelFor(0, plan.size(), ParallelOptions{.jobs = options.num_threads, .grain = 1},
-              [&](std::size_t k) {
-                const std::size_t i = order[k];
-                const PlannedRun& r = plan[i];
-                const auto result = injector.Inject(r.site, r.bit, r.jitter);
-                resumed_from[i] = result.resumed_from;
-                stats.records[i] = FaultRecord{r.site, r.bit, result.outcome};
-              });
-  stats.perf.inject_seconds = inject_watch.ElapsedSeconds();
+  for (std::size_t begin = 0; begin < pending.size(); begin += batch) {
+    const std::size_t end = std::min(begin + batch, pending.size());
+    ParallelFor(begin, end, ParallelOptions{.jobs = options.num_threads, .grain = 1},
+                [&](std::size_t k) {
+                  const std::size_t i = pending[k];
+                  const PlannedRun& r = plan[i];
+                  const auto result = injector.Inject(r.site, r.bit, r.jitter);
+                  resumed_from[i] = result.resumed_from;
+                  stats.records[i] = FaultRecord{r.site, r.bit, result.outcome};
+                  completed[i] = 1;
+                });
+    if (options.on_progress) {
+      Stopwatch persist_watch;
+      options.on_progress(stats.records, completed);
+      stats.perf.persist_seconds += persist_watch.ElapsedSeconds();
+    }
+  }
+  stats.perf.inject_seconds = inject_watch.ElapsedSeconds() - stats.perf.persist_seconds;
 
   for (std::size_t i = 0; i < plan.size(); ++i) {
     stats.counts[static_cast<int>(stats.records[i].outcome)] += 1;
+  }
+  for (const std::uint32_t i : pending) {
     if (resumed_from[i] > 0) {
       stats.perf.checkpointed_runs += 1;
       stats.perf.skipped_instructions += resumed_from[i];

@@ -13,12 +13,19 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "fi/injector.h"
 #include "support/statistics.h"
 
 namespace epvf::fi {
+
+struct FaultRecord {
+  FaultSite site;
+  std::uint8_t bit = 0;
+  Outcome outcome = Outcome::kBenign;
+};
 
 struct CampaignOptions {
   int num_runs = 1000;
@@ -40,6 +47,26 @@ struct CampaignOptions {
   /// nonzero jitter_pages never checkpoint — jittered runs diverge from
   /// instruction zero. Outcomes are bit-identical at every setting.
   std::int64_t checkpoint_interval = 0;
+
+  // --- interruption / resume (the artifact store's campaign persistence) ----
+  /// Records and per-plan-index completion mask persisted from an earlier,
+  /// interrupted campaign. Since the plan is pre-drawn deterministically from
+  /// `seed`, a completed index's (site, bit) must match the re-drawn plan;
+  /// matching indices are adopted without re-execution, and any mismatch (a
+  /// stale artifact for different options) discards the resume data wholesale
+  /// — outcomes are always identical to an uninterrupted campaign. Both
+  /// vectors must have num_runs entries.
+  const std::vector<FaultRecord>* resume_records = nullptr;
+  const std::vector<std::uint8_t>* resume_completed = nullptr;
+
+  /// Invoked from the coordinating thread after every `progress_interval`
+  /// completed runs with all records and the completion mask so far — the
+  /// artifact store hooks atomic campaign persistence here so an interrupted
+  /// process can resume. 0 disables batching (one uninterrupted pass).
+  std::function<void(const std::vector<FaultRecord>& records,
+                     const std::vector<std::uint8_t>& completed)>
+      on_progress;
+  int progress_interval = 0;
 };
 
 /// Fast-path accounting for one campaign (not part of the outcome data; all
@@ -51,12 +78,14 @@ struct CampaignPerf {
   std::uint64_t skipped_instructions = 0;  ///< golden-prefix work the fast path avoided
   double checkpoint_seconds = 0;           ///< extra golden replay + snapshot capture
   double inject_seconds = 0;               ///< wall time of the injection loop
-};
 
-struct FaultRecord {
-  FaultSite site;
-  std::uint8_t bit = 0;
-  Outcome outcome = Outcome::kBenign;
+  // Artifact-store accounting (zero unless the campaign ran through
+  // store::RunCampaignCached or with resume data).
+  std::uint64_t resumed_records = 0;  ///< plan indices adopted from a persisted campaign
+  double persist_seconds = 0;         ///< time inside on_progress persistence callbacks
+  bool cache_hit = false;             ///< every record served from the artifact store
+  double cache_load_seconds = 0;      ///< artifact map + verify + deserialize
+  double cache_store_seconds = 0;     ///< final serialize + atomic publish
 };
 
 struct CampaignStats {

@@ -1,0 +1,83 @@
+// (De)serialization of the pipeline's core artifacts.
+//
+// One analysis artifact bundles everything Analysis::Run produces that
+// downstream consumers read: the golden-run trace metadata (vm::RunResult),
+// the full ddg::Graph storage, the ACE result, the crash-bit masks, and the
+// (lazily computed, expensive) use-weighted sums behind the crash-rate
+// estimate. One campaign artifact carries a fault-injection campaign's
+// records plus a per-plan-index completion mask, so an interrupted campaign
+// resumes by skipping completed indices.
+//
+// Readers return std::nullopt on any structural inconsistency — section
+// missing, short/overlong payload, cross-array size mismatch, reference out
+// of bounds — so a decoding failure (like a CRC failure one layer below)
+// degrades to recomputation, never a crash.
+#pragma once
+
+#include <optional>
+
+#include "epvf/analysis.h"
+#include "fi/campaign.h"
+#include "store/serializer.h"
+
+namespace epvf::store {
+
+// --- piece-wise serializers (each also exercised directly by tests) ---------
+
+void WriteRunResult(const vm::RunResult& run, ByteWriter& out);
+[[nodiscard]] std::optional<vm::RunResult> ReadRunResult(ByteReader& in);
+
+void WriteGraph(const ddg::Graph& graph, ByteWriter& out);
+/// `module` must be the module the graph was traced from (the cache key
+/// fingerprints it); the decoded storage is bounds-validated against it.
+[[nodiscard]] std::optional<ddg::Graph> ReadGraph(const ir::Module& module, ByteReader& in);
+
+void WriteAce(const ddg::AceResult& ace, ByteWriter& out);
+[[nodiscard]] std::optional<ddg::AceResult> ReadAce(ByteReader& in);
+
+void WriteCrashBits(const crash::CrashBits& bits, ByteWriter& out);
+[[nodiscard]] std::optional<crash::CrashBits> ReadCrashBits(ByteReader& in);
+
+// --- whole artifacts ---------------------------------------------------------
+
+/// Serializes the analysis (forcing the use-weighted pass so warm loads can
+/// serve the crash-rate estimate without recomputing it).
+void WriteAnalysisArtifact(const core::Analysis& analysis, ArtifactWriter& writer);
+
+/// The decoded parts of an analysis artifact, ready for Analysis::Restore.
+struct AnalysisArtifactData {
+  vm::RunResult golden;
+  ddg::Graph graph;
+  ddg::AceResult ace;
+  crash::CrashBits crash_bits;
+  std::optional<core::Analysis::UseWeightedBits> use_weighted;
+};
+
+[[nodiscard]] std::optional<AnalysisArtifactData> ReadAnalysisArtifact(
+    const ir::Module& module, const ArtifactReader& reader);
+
+/// A persisted campaign: identity fields (verified against the resuming
+/// campaign's options), per-plan-index records, and the completion mask.
+struct CampaignArtifact {
+  std::uint64_t seed = 0;
+  std::uint32_t num_runs = 0;
+  std::uint32_t jitter_pages = 0;
+  std::uint8_t burst_length = 1;
+  std::vector<fi::FaultRecord> records;
+  std::vector<std::uint8_t> completed;  ///< 1 = records[i] is final
+
+  [[nodiscard]] bool Matches(const fi::CampaignOptions& options) const {
+    return num_runs == static_cast<std::uint32_t>(options.num_runs) && seed == options.seed &&
+           jitter_pages == options.injector.jitter_pages &&
+           burst_length == options.injector.burst_length;
+  }
+  [[nodiscard]] std::uint64_t CompletedCount() const;
+  [[nodiscard]] bool Complete() const {
+    return !records.empty() && CompletedCount() == records.size();
+  }
+};
+
+void WriteCampaignArtifact(const CampaignArtifact& campaign, ArtifactWriter& writer);
+[[nodiscard]] std::optional<CampaignArtifact> ReadCampaignArtifact(const ArtifactReader& reader);
+
+}  // namespace epvf::store

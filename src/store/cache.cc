@@ -1,0 +1,284 @@
+#include "store/cache.h"
+
+#include <filesystem>
+#include <sstream>
+
+#include "ir/printer.h"
+#include "support/atomic_file.h"
+#include "support/logging.h"
+#include "support/stopwatch.h"
+
+namespace epvf::store {
+
+namespace fs = std::filesystem;
+
+std::uint64_t Fnv1a64(std::string_view data) {
+  std::uint64_t hash = 0xCBF29CE484222325ull;
+  for (const char c : data) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x00000100000001B3ull;
+  }
+  return hash;
+}
+
+std::uint64_t ModuleFingerprint(const ir::Module& module) {
+  return Fnv1a64(ir::PrintModule(module));
+}
+
+namespace {
+
+std::string Hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+void AppendLayout(std::ostringstream& out, const mem::MemoryLayout& l) {
+  out << "|layout=" << l.page_size << ',' << l.text_base << ',' << l.text_size << ','
+      << l.data_base << ',' << l.heap_base << ',' << l.heap_slack_pages << ',' << l.stack_top
+      << ',' << l.stack_initial_bytes << ',' << l.stack_limit_bytes << ','
+      << l.stack_grow_window;
+}
+
+constexpr std::string_view kAnalysisSuffix = ".analysis.epvfa";
+constexpr std::string_view kCampaignSuffix = ".campaign.epvfa";
+
+std::string_view SuffixFor(ArtifactKind kind) {
+  return kind == ArtifactKind::kAnalysis ? kAnalysisSuffix : kCampaignSuffix;
+}
+
+}  // namespace
+
+std::string CanonicalKey(const AnalysisKey& key) {
+  std::ostringstream out;
+  out << "epvf-analysis|v" << kFormatVersion << "|app=" << key.app << "|cfg=" << key.config
+      << "|module=" << Hex16(key.module_fingerprint) << "|entry=" << key.options.entry
+      << "|max=" << key.options.max_instructions;
+  AppendLayout(out, key.options.layout);
+  return std::move(out).str();
+}
+
+std::string CanonicalKey(const CampaignKey& key) {
+  std::ostringstream out;
+  out << CanonicalKey(key.analysis) << "|campaign|runs=" << key.options.num_runs
+      << "|seed=" << key.options.seed << "|jitter=" << key.options.injector.jitter_pages
+      << "|burst=" << static_cast<unsigned>(key.options.injector.burst_length)
+      << "|hang=" << key.options.injector.hang_factor
+      << "|ientry=" << key.options.injector.entry;
+  AppendLayout(out, key.options.injector.layout);
+  return std::move(out).str();
+}
+
+std::string CacheId(const AnalysisKey& key) { return Hex16(Fnv1a64(CanonicalKey(key))); }
+std::string CacheId(const CampaignKey& key) { return Hex16(Fnv1a64(CanonicalKey(key))); }
+
+// --- ArtifactCache ------------------------------------------------------------
+
+ArtifactCache::ArtifactCache(std::string dir) : dir_(std::move(dir)) {
+  if (dir_.empty()) return;
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    LogWarn("cache: cannot create " + dir_ + " (" + ec.message() + ") — caching disabled");
+    dir_.clear();
+  }
+}
+
+ArtifactCache::~ArtifactCache() {
+  if (!enabled()) return;
+  if (session_.hits == 0 && session_.misses == 0 && session_.bytes_written == 0) return;
+  // Advisory merge: read-modify-write of the counter file. Concurrent
+  // sessions may lose increments to the race; artifacts are never affected.
+  CacheCounters total = ReadPersistedCounters();
+  total.hits += session_.hits;
+  total.misses += session_.misses;
+  total.bytes_read += session_.bytes_read;
+  total.bytes_written += session_.bytes_written;
+  std::ostringstream out;
+  out << "hits " << total.hits << "\nmisses " << total.misses << "\nbytes_read "
+      << total.bytes_read << "\nbytes_written " << total.bytes_written << '\n';
+  AtomicWriteFile(CountersPath(), out.str());
+}
+
+std::string ArtifactCache::CountersPath() const { return dir_ + "/cache_stats.txt"; }
+
+CacheCounters ArtifactCache::ReadPersistedCounters() const {
+  CacheCounters counters;
+  const auto text = ReadWholeFile(CountersPath());
+  if (!text.has_value()) return counters;
+  std::istringstream in(*text);
+  std::string name;
+  std::uint64_t value = 0;
+  while (in >> name >> value) {
+    if (name == "hits") counters.hits = value;
+    if (name == "misses") counters.misses = value;
+    if (name == "bytes_read") counters.bytes_read = value;
+    if (name == "bytes_written") counters.bytes_written = value;
+  }
+  return counters;
+}
+
+std::string ArtifactCache::EntryPath(const std::string& id, ArtifactKind kind) const {
+  return dir_ + "/" + id + std::string(SuffixFor(kind));
+}
+
+std::optional<ArtifactReader> ArtifactCache::Load(const std::string& id, ArtifactKind kind) {
+  if (!enabled()) return std::nullopt;
+  auto reader = ArtifactReader::Open(EntryPath(id, kind), kind);
+  if (!reader.has_value()) {
+    session_.misses += 1;
+    return std::nullopt;
+  }
+  session_.hits += 1;
+  session_.bytes_read += reader->file_size();
+  return reader;
+}
+
+bool ArtifactCache::Store(const std::string& id, const ArtifactWriter& writer) {
+  if (!enabled()) return false;
+  const std::string image = writer.Finish();
+  if (!AtomicWriteFile(EntryPath(id, writer.kind()), image)) return false;
+  session_.bytes_written += image.size();
+  return true;
+}
+
+void ArtifactCache::DemoteLastHit() {
+  if (session_.hits > 0) session_.hits -= 1;
+  session_.misses += 1;
+}
+
+ArtifactCache::DirStats ArtifactCache::Stats() const {
+  DirStats stats;
+  stats.lifetime = ReadPersistedCounters();
+  stats.lifetime.hits += session_.hits;
+  stats.lifetime.misses += session_.misses;
+  stats.lifetime.bytes_read += session_.bytes_read;
+  stats.lifetime.bytes_written += session_.bytes_written;
+  if (!enabled()) return stats;
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (!name.ends_with(".epvfa")) continue;
+    stats.entries += 1;
+    stats.bytes += entry.file_size(ec);
+  }
+  return stats;
+}
+
+std::size_t ArtifactCache::Clear() {
+  if (!enabled()) return 0;
+  std::size_t removed = 0;
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (!name.ends_with(".epvfa") && name != "cache_stats.txt") continue;
+    if (fs::remove(entry.path(), ec) && name.ends_with(".epvfa")) removed += 1;
+  }
+  return removed;
+}
+
+// --- cached pipelines ---------------------------------------------------------
+
+core::Analysis RunAnalysisCached(const ir::Module& module, const core::AnalysisOptions& options,
+                                 const AnalysisKey& key, ArtifactCache& cache) {
+  const std::string id = CacheId(key);
+  if (cache.enabled()) {
+    Stopwatch load_watch;
+    if (auto reader = cache.Load(id, ArtifactKind::kAnalysis)) {
+      if (auto data = ReadAnalysisArtifact(module, *reader)) {
+        core::Analysis analysis = core::Analysis::Restore(
+            module, options, std::move(data->golden), std::move(data->graph),
+            std::move(data->ace), std::move(data->crash_bits), data->use_weighted);
+        analysis.NoteCacheActivity(/*hit=*/true, load_watch.ElapsedSeconds(),
+                                   /*store_seconds=*/0);
+        return analysis;
+      }
+      // Structurally undecodable despite passing CRC (e.g. written by a
+      // buggy build): treat as a miss and rewrite below.
+      LogWarn("cache: entry " + id + " undecodable — recomputing");
+      cache.DemoteLastHit();
+    }
+  }
+  core::Analysis analysis = core::Analysis::Run(module, options);
+  Stopwatch store_watch;
+  double store_seconds = 0;
+  if (cache.enabled()) {
+    ArtifactWriter writer(ArtifactKind::kAnalysis);
+    WriteAnalysisArtifact(analysis, writer);
+    cache.Store(id, writer);
+    store_seconds = store_watch.ElapsedSeconds();
+  }
+  analysis.NoteCacheActivity(/*hit=*/false, /*load_seconds=*/0, store_seconds);
+  return analysis;
+}
+
+fi::CampaignStats RunCampaignCached(const ir::Module& module, const ddg::Graph& graph,
+                                    const vm::RunResult& golden, fi::CampaignOptions options,
+                                    const CampaignKey& key, ArtifactCache& cache,
+                                    int persist_every) {
+  const std::string id = CacheId(key);
+  std::optional<CampaignArtifact> prior;
+  double load_seconds = 0;
+  if (cache.enabled()) {
+    Stopwatch load_watch;
+    if (auto reader = cache.Load(id, ArtifactKind::kCampaign)) {
+      prior = ReadCampaignArtifact(*reader);
+      if (prior.has_value() && !prior->Matches(options)) {
+        // A hash collision or hand-edited entry: identity fields disagree, so
+        // the records cannot be adopted.
+        LogWarn("cache: campaign entry " + id + " does not match options — recomputing");
+        prior.reset();
+      }
+      if (!prior.has_value()) cache.DemoteLastHit();
+    }
+    load_seconds = load_watch.ElapsedSeconds();
+  }
+
+  if (prior.has_value() && prior->Complete()) {
+    // Every record persisted: rebuild the stats without executing anything.
+    fi::CampaignStats stats;
+    stats.records = std::move(prior->records);
+    for (const fi::FaultRecord& r : stats.records) {
+      stats.counts[static_cast<int>(r.outcome)] += 1;
+    }
+    stats.perf.cache_hit = true;
+    stats.perf.cache_load_seconds = load_seconds;
+    stats.perf.resumed_records = stats.records.size();
+    return stats;
+  }
+
+  const auto persist = [&](const std::vector<fi::FaultRecord>& records,
+                           const std::vector<std::uint8_t>& completed) {
+    CampaignArtifact artifact;
+    artifact.seed = options.seed;
+    artifact.num_runs = static_cast<std::uint32_t>(options.num_runs);
+    artifact.jitter_pages = options.injector.jitter_pages;
+    artifact.burst_length = options.injector.burst_length;
+    artifact.records = records;
+    artifact.completed = completed;
+    ArtifactWriter writer(ArtifactKind::kCampaign);
+    WriteCampaignArtifact(artifact, writer);
+    cache.Store(id, writer);
+  };
+
+  if (prior.has_value()) {
+    options.resume_records = &prior->records;
+    options.resume_completed = &prior->completed;
+  }
+  if (cache.enabled()) {
+    options.on_progress = persist;
+    options.progress_interval = persist_every;
+  }
+  fi::CampaignStats stats = fi::RunCampaign(module, graph, golden, options);
+  stats.perf.cache_load_seconds = load_seconds;
+  if (cache.enabled()) {
+    // The batched on_progress already persisted the final state; its time is
+    // the campaign's serialization cost.
+    stats.perf.cache_store_seconds = stats.perf.persist_seconds;
+  }
+  return stats;
+}
+
+}  // namespace epvf::store

@@ -1,0 +1,154 @@
+// Content-addressed on-disk cache of analysis and campaign artifacts.
+//
+// Every epvf invocation used to recompute the entire pipeline — dynamic
+// trace, DDG, crash-bit masks, ePVF accounting — even when nothing changed.
+// The cache turns analyze-once results into reusable artifacts: entries are
+// keyed by a 64-bit content address hashing (app name + kernel config + IR
+// module fingerprint + the result-affecting analysis options + format
+// version), so any change to the program, its inputs, or the format lands on
+// a different address and stale entries are simply never read.
+//
+// Degradation and concurrency: a missing, truncated, version-mismatched, or
+// checksum-failing entry logs a warning, counts as a miss, and the caller
+// recomputes and rewrites the entry — never a crash, never a wrong result.
+// Writes are atomic (temp file + fsync + rename), so any number of
+// concurrent --jobs processes can share one cache directory: readers see
+// complete files only and racing writers of the same key produce identical
+// bytes anyway.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "epvf/analysis.h"
+#include "fi/campaign.h"
+#include "store/artifact.h"
+#include "store/serializer.h"
+
+namespace epvf::store {
+
+/// FNV-1a 64-bit over a byte string — the content-address hash.
+[[nodiscard]] std::uint64_t Fnv1a64(std::string_view data);
+
+/// 64-bit fingerprint of a module via its canonical textual printing (the
+/// printer is deterministic and covers functions, globals and constants).
+[[nodiscard]] std::uint64_t ModuleFingerprint(const ir::Module& module);
+
+/// Everything that determines an analysis artifact's identity.
+struct AnalysisKey {
+  std::string app;     ///< benchmark name or IR file path
+  std::string config;  ///< kernel config fingerprint, e.g. "scale=2"
+  std::uint64_t module_fingerprint = 0;
+  /// Only the result-affecting options enter the key (entry, budget, layout);
+  /// `jobs` does not — results are bit-identical at every thread count.
+  core::AnalysisOptions options;
+};
+
+/// A campaign's identity: the analysis it runs against plus the
+/// outcome-affecting campaign options (seed, runs, jitter, burst, hang
+/// budget). Thread count and checkpoint spacing are excluded — outcomes are
+/// bit-identical at every setting.
+struct CampaignKey {
+  AnalysisKey analysis;
+  fi::CampaignOptions options;
+};
+
+/// The canonical key strings (hashed into the content address; also what
+/// docs/STORE_FORMAT.md specifies).
+[[nodiscard]] std::string CanonicalKey(const AnalysisKey& key);
+[[nodiscard]] std::string CanonicalKey(const CampaignKey& key);
+
+/// 16-hex-digit content addresses.
+[[nodiscard]] std::string CacheId(const AnalysisKey& key);
+[[nodiscard]] std::string CacheId(const CampaignKey& key);
+
+/// Hit/miss and byte counters. Session counters are merged into the cache
+/// directory's persistent counters (read-modify-write of a tiny text file,
+/// atomically replaced) when the cache is destroyed; `epvf cache stats`
+/// reports the accumulated values. The merge is advisory — concurrent
+/// processes may lose increments to races, artifacts never.
+struct CacheCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+};
+
+class ArtifactCache {
+ public:
+  /// `dir` empty = disabled: every Load misses, every Store is a no-op. A
+  /// nonempty directory is created on demand.
+  explicit ArtifactCache(std::string dir);
+  ArtifactCache(const ArtifactCache&) = delete;
+  ArtifactCache& operator=(const ArtifactCache&) = delete;
+  ~ArtifactCache();
+
+  [[nodiscard]] bool enabled() const { return !dir_.empty(); }
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+  /// Loads and fully validates entry `id`. std::nullopt counts as a miss:
+  /// silently when the entry is absent, with a logged warning when it exists
+  /// but is truncated, version-mismatched, or checksum-failing (the caller
+  /// recomputes and rewrites it).
+  [[nodiscard]] std::optional<ArtifactReader> Load(const std::string& id, ArtifactKind kind);
+
+  /// Serializes `writer` and atomically publishes it as entry `id`.
+  bool Store(const std::string& id, const ArtifactWriter& writer);
+
+  /// An entry that passed Load's integrity checks but could not be decoded or
+  /// used (stale identity fields, undecodable payload): reclassify the Load
+  /// as a miss so the counters reflect what actually got served.
+  void DemoteLastHit();
+
+  /// Path of entry `id` (exists or not).
+  [[nodiscard]] std::string EntryPath(const std::string& id, ArtifactKind kind) const;
+
+  [[nodiscard]] const CacheCounters& session_counters() const { return session_; }
+
+  struct DirStats {
+    std::uint64_t entries = 0;
+    std::uint64_t bytes = 0;
+    CacheCounters lifetime;  ///< persisted counters + this session
+  };
+  /// Scans the directory (artifact entries only) and folds in the persisted
+  /// counter file.
+  [[nodiscard]] DirStats Stats() const;
+
+  /// Removes every artifact entry and the counter file; returns the number of
+  /// entries removed.
+  std::size_t Clear();
+
+ private:
+  [[nodiscard]] std::string CountersPath() const;
+  [[nodiscard]] CacheCounters ReadPersistedCounters() const;
+
+  std::string dir_;
+  CacheCounters session_;
+};
+
+/// Load-or-compute for the analysis pipeline: a valid cache entry restores
+/// the Analysis without executing anything; otherwise the full pipeline runs
+/// (including the use-weighted rate-estimate pass) and the artifact is
+/// written back. Either way the returned Analysis carries cache hit/miss and
+/// (de)serialization timings in timings().
+[[nodiscard]] core::Analysis RunAnalysisCached(const ir::Module& module,
+                                               const core::AnalysisOptions& options,
+                                               const AnalysisKey& key, ArtifactCache& cache);
+
+/// Load-or-compute-or-resume for fault-injection campaigns. A complete
+/// persisted campaign is served entirely from the artifact (perf.cache_hit);
+/// a partial one resumes by skipping already-completed plan indices; in both
+/// cases outcomes are bit-identical to an uncached run. While running,
+/// progress is persisted atomically every `persist_every` runs (so an
+/// interrupted process loses at most one batch), and the completed campaign
+/// is written back at the end.
+[[nodiscard]] fi::CampaignStats RunCampaignCached(const ir::Module& module,
+                                                  const ddg::Graph& graph,
+                                                  const vm::RunResult& golden,
+                                                  fi::CampaignOptions options,
+                                                  const CampaignKey& key, ArtifactCache& cache,
+                                                  int persist_every = 64);
+
+}  // namespace epvf::store

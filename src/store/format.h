@@ -1,0 +1,50 @@
+// On-disk artifact format constants (see docs/STORE_FORMAT.md).
+//
+// Every artifact file is:
+//
+//   header   : u32 magic "EPVF" | u32 format version | u32 artifact kind
+//              | u32 section count
+//   table    : per section — u32 section id | u32 CRC32 of the payload
+//              | u64 payload offset (from file start) | u64 payload size
+//   payloads : the section byte streams, in table order
+//
+// All integers are little-endian. The header and table are validated before
+// any payload is touched; each section carries its own CRC32 so a bit flip
+// anywhere in the payload region is detected before deserialization. Bumping
+// kFormatVersion invalidates every existing artifact (the version is both
+// checked on load and mixed into the content-address hash).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace epvf::store {
+
+/// "EPVF" in little-endian byte order.
+inline constexpr std::uint32_t kMagic = 0x46565045u;
+
+/// Bump on ANY change to the serialized layout of any artifact.
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+enum class ArtifactKind : std::uint32_t {
+  kAnalysis = 1,  ///< golden trace metadata + DDG + ACE + crash bits (+ use-weighted sums)
+  kCampaign = 2,  ///< fault-injection campaign records + completion mask
+};
+
+enum class SectionId : std::uint32_t {
+  kGoldenRun = 1,    ///< vm::RunResult of the golden run (trace metadata)
+  kGraph = 2,        ///< ddg::Graph flat storage
+  kAce = 3,          ///< ddg::AceResult
+  kCrashBits = 4,    ///< crash::CrashBits (allowed intervals + masks)
+  kUseWeighted = 5,  ///< Analysis::UseWeightedBits (the rate-estimate pass)
+  kCampaign = 6,     ///< campaign meta + records + completion mask
+};
+
+inline constexpr std::size_t kHeaderBytes = 16;
+inline constexpr std::size_t kSectionEntryBytes = 24;
+
+/// Standard CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), the same
+/// checksum zlib/PNG use.
+[[nodiscard]] std::uint32_t Crc32(const void* data, std::size_t size);
+
+}  // namespace epvf::store

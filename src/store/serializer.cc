@@ -1,0 +1,181 @@
+#include "store/serializer.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <utility>
+
+#include "support/logging.h"
+
+namespace epvf::store {
+
+namespace {
+
+std::array<std::uint32_t, 256> BuildCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32(const void* data, std::size_t size) {
+  static const std::array<std::uint32_t, 256> table = BuildCrcTable();
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+// --- MappedFile ---------------------------------------------------------------
+
+std::optional<MappedFile> MappedFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return std::nullopt;
+  struct ::stat st{};
+  if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  MappedFile file;
+  file.size_ = static_cast<std::size_t>(st.st_size);
+  if (file.size_ > 0) {
+    void* addr = ::mmap(nullptr, file.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      ::close(fd);
+      return std::nullopt;
+    }
+    file.addr_ = addr;
+  }
+  ::close(fd);  // the mapping keeps the file alive
+  return file;
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : addr_(std::exchange(other.addr_, nullptr)), size_(std::exchange(other.size_, 0)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    if (addr_ != nullptr) ::munmap(addr_, size_);
+    addr_ = std::exchange(other.addr_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+MappedFile::~MappedFile() {
+  if (addr_ != nullptr) ::munmap(addr_, size_);
+}
+
+// --- ArtifactWriter -----------------------------------------------------------
+
+ByteWriter& ArtifactWriter::Section(SectionId id) {
+  for (auto& [sid, writer] : sections_) {
+    if (sid == id) return writer;
+  }
+  sections_.emplace_back(id, ByteWriter{});
+  return sections_.back().second;
+}
+
+std::string ArtifactWriter::Finish() const {
+  ByteWriter out;
+  out.U32(kMagic);
+  out.U32(kFormatVersion);
+  out.U32(static_cast<std::uint32_t>(kind_));
+  out.U32(static_cast<std::uint32_t>(sections_.size()));
+  std::uint64_t offset = kHeaderBytes + kSectionEntryBytes * sections_.size();
+  for (const auto& [id, writer] : sections_) {
+    out.U32(static_cast<std::uint32_t>(id));
+    out.U32(Crc32(writer.bytes().data(), writer.size()));
+    out.U64(offset);
+    out.U64(writer.size());
+    offset += writer.size();
+  }
+  std::string image = out.bytes();
+  for (const auto& [id, writer] : sections_) image += writer.bytes();
+  return image;
+}
+
+// --- ArtifactReader -----------------------------------------------------------
+
+std::optional<ArtifactReader> ArtifactReader::Open(const std::string& path,
+                                                   ArtifactKind expect) {
+  auto mapped = MappedFile::Open(path);
+  if (!mapped.has_value()) return std::nullopt;  // absent: a plain miss, not a warning
+  ArtifactReader reader;
+  reader.mapped_ = std::move(*mapped);
+  reader.bytes_ = reader.mapped_.bytes();
+  return Validate(std::move(reader), expect, path);
+}
+
+std::optional<ArtifactReader> ArtifactReader::Parse(std::vector<std::uint8_t> data,
+                                                    ArtifactKind expect,
+                                                    std::string_view origin) {
+  ArtifactReader reader;
+  reader.owned_ = std::move(data);
+  reader.bytes_ = reader.owned_;
+  return Validate(std::move(reader), expect, origin);
+}
+
+std::optional<ArtifactReader> ArtifactReader::Validate(ArtifactReader reader,
+                                                       ArtifactKind expect,
+                                                       std::string_view origin) {
+  const auto reject = [&](const std::string& why) -> std::optional<ArtifactReader> {
+    LogWarn("artifact " + std::string(origin) + ": " + why + " — falling back to recompute");
+    return std::nullopt;
+  };
+  const std::span<const std::uint8_t> bytes = reader.bytes_;
+  if (bytes.size() < kHeaderBytes) return reject("truncated header");
+  ByteReader header(bytes.first(kHeaderBytes));
+  if (header.U32() != kMagic) return reject("bad magic (not an epvf artifact)");
+  const std::uint32_t version = header.U32();
+  if (version != kFormatVersion) {
+    return reject("format version " + std::to_string(version) + " != " +
+                  std::to_string(kFormatVersion));
+  }
+  const std::uint32_t kind = header.U32();
+  if (kind != static_cast<std::uint32_t>(expect)) {
+    return reject("artifact kind " + std::to_string(kind) + " != expected " +
+                  std::to_string(static_cast<std::uint32_t>(expect)));
+  }
+  const std::uint32_t count = header.U32();
+  const std::uint64_t table_end =
+      kHeaderBytes + std::uint64_t{kSectionEntryBytes} * count;
+  if (table_end > bytes.size()) return reject("truncated section table");
+  ByteReader table(bytes.subspan(kHeaderBytes, kSectionEntryBytes * count));
+  for (std::uint32_t i = 0; i < count; ++i) {
+    SectionEntry entry{};
+    entry.id = static_cast<SectionId>(table.U32());
+    const std::uint32_t crc = table.U32();
+    const std::uint64_t offset = table.U64();
+    const std::uint64_t size = table.U64();
+    if (offset < table_end || offset > bytes.size() || size > bytes.size() - offset) {
+      return reject("section " + std::to_string(static_cast<std::uint32_t>(entry.id)) +
+                    " out of bounds");
+    }
+    entry.offset = static_cast<std::size_t>(offset);
+    entry.size = static_cast<std::size_t>(size);
+    if (Crc32(bytes.data() + entry.offset, entry.size) != crc) {
+      return reject("section " + std::to_string(static_cast<std::uint32_t>(entry.id)) +
+                    " CRC mismatch (corrupted)");
+    }
+    reader.sections_.push_back(entry);
+  }
+  return reader;
+}
+
+std::optional<ByteReader> ArtifactReader::Section(SectionId id) const {
+  for (const SectionEntry& entry : sections_) {
+    if (entry.id == id) return ByteReader(bytes_.subspan(entry.offset, entry.size));
+  }
+  return std::nullopt;
+}
+
+}  // namespace epvf::store

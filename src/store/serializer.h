@@ -1,0 +1,188 @@
+// Versioned binary serialization with per-section CRC32 integrity.
+//
+// ByteWriter/ByteReader are the little-endian primitive layer; ArtifactWriter
+// assembles named sections into one artifact image, and ArtifactReader
+// validates an image (magic, version, kind, table bounds, per-section CRC)
+// before handing out bounds-checked section readers. Readers never throw on
+// malformed input — every failure path degrades to "no artifact" so callers
+// fall back to recomputation (a corrupted cache must never take the pipeline
+// down). Loads are mmap-backed and zero-copy up to the final deserialized
+// containers: the reader parses the mapped image in place.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "store/format.h"
+
+namespace epvf::store {
+
+/// Append-only little-endian byte buffer.
+class ByteWriter {
+ public:
+  void U8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void U32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) U8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void U64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) U8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void F64(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof v);
+    __builtin_memcpy(&bits, &v, sizeof bits);
+    U64(bits);
+  }
+  void Bytes(const void* data, std::size_t size) {
+    buf_.append(static_cast<const char*>(data), size);
+  }
+  void Str(std::string_view s) {
+    U64(s.size());
+    Bytes(s.data(), s.size());
+  }
+
+  [[nodiscard]] const std::string& bytes() const { return buf_; }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked little-endian reader over a borrowed byte span. Reads past
+/// the end return zero values and latch ok() to false — callers deserialize
+/// unconditionally and check ok() once at the end.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t U8() {
+    if (pos_ >= data_.size()) return Fail();
+    return data_[pos_++];
+  }
+  std::uint32_t U32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{U8()} << (8 * i);
+    return v;
+  }
+  std::uint64_t U64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{U8()} << (8 * i);
+    return v;
+  }
+  double F64() {
+    const std::uint64_t bits = U64();
+    double v;
+    __builtin_memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  std::string Str() {
+    const std::uint64_t n = U64();
+    if (n > Remaining()) {
+      ok_ = false;
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] std::size_t Remaining() const { return data_.size() - pos_; }
+  /// ok() and everything consumed — a complete, exact parse.
+  [[nodiscard]] bool Finished() const { return ok_ && pos_ == data_.size(); }
+
+ private:
+  std::uint8_t Fail() {
+    ok_ = false;
+    return 0;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Read-only memory mapping of a file (empty files map to an empty span).
+/// Move-only; unmaps on destruction.
+class MappedFile {
+ public:
+  [[nodiscard]] static std::optional<MappedFile> Open(const std::string& path);
+
+  MappedFile() = default;
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const {
+    return {static_cast<const std::uint8_t*>(addr_), size_};
+  }
+
+ private:
+  void* addr_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Collects sections and emits the final artifact image.
+class ArtifactWriter {
+ public:
+  explicit ArtifactWriter(ArtifactKind kind) : kind_(kind) {}
+
+  /// The writer for section `id`, created on first use. Re-requesting an id
+  /// keeps appending to the same section.
+  ByteWriter& Section(SectionId id);
+
+  /// Header + section table (with CRCs) + payloads.
+  [[nodiscard]] std::string Finish() const;
+
+  [[nodiscard]] ArtifactKind kind() const { return kind_; }
+
+ private:
+  ArtifactKind kind_;
+  std::vector<std::pair<SectionId, ByteWriter>> sections_;
+};
+
+/// A validated artifact image. Open() maps a file; Parse() adopts an
+/// in-memory buffer (tests, pre-read data). Both return std::nullopt — after
+/// logging a warning naming `origin` — when the image is missing, truncated,
+/// carries the wrong magic/version/kind, has an out-of-bounds section table,
+/// or fails any section CRC.
+class ArtifactReader {
+ public:
+  [[nodiscard]] static std::optional<ArtifactReader> Open(const std::string& path,
+                                                          ArtifactKind expect);
+  [[nodiscard]] static std::optional<ArtifactReader> Parse(std::vector<std::uint8_t> data,
+                                                           ArtifactKind expect,
+                                                           std::string_view origin);
+
+  /// Bounds-checked reader over section `id`'s payload; nullopt if absent.
+  [[nodiscard]] std::optional<ByteReader> Section(SectionId id) const;
+
+  [[nodiscard]] std::size_t file_size() const { return bytes_.size(); }
+
+ private:
+  struct SectionEntry {
+    SectionId id;
+    std::size_t offset;
+    std::size_t size;
+  };
+
+  [[nodiscard]] static std::optional<ArtifactReader> Validate(ArtifactReader reader,
+                                                              ArtifactKind expect,
+                                                              std::string_view origin);
+
+  // Backing storage: exactly one of `mapped_` (Open) or `owned_` (Parse) is
+  // active; `bytes_` views it. The underlying allocation/mapping address is
+  // stable across moves, so the span stays valid.
+  MappedFile mapped_;
+  std::vector<std::uint8_t> owned_;
+  std::span<const std::uint8_t> bytes_;
+  std::vector<SectionEntry> sections_;
+};
+
+}  // namespace epvf::store

@@ -1,0 +1,66 @@
+#include "support/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "support/logging.h"
+
+namespace epvf {
+
+bool AtomicWriteFile(const std::string& path, std::string_view data) {
+  // The temp file must live in the target's directory: rename(2) is atomic
+  // only within one filesystem.
+  std::string temp = path + ".tmpXXXXXX";
+  std::vector<char> temp_buf(temp.begin(), temp.end());
+  temp_buf.push_back('\0');
+  const int fd = ::mkstemp(temp_buf.data());
+  if (fd < 0) {
+    LogWarn("AtomicWriteFile: mkstemp for " + path + " failed: " + std::strerror(errno));
+    return false;
+  }
+  temp.assign(temp_buf.data());
+
+  bool ok = true;
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ::ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      LogWarn("AtomicWriteFile: write to " + temp + " failed: " + std::strerror(errno));
+      ok = false;
+      break;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  // fsync before rename: otherwise a crash can promote an empty inode to the
+  // final name, which is exactly the torn file this helper exists to prevent.
+  if (ok && ::fsync(fd) != 0) {
+    LogWarn("AtomicWriteFile: fsync of " + temp + " failed: " + std::strerror(errno));
+    ok = false;
+  }
+  ::close(fd);
+  if (ok && ::rename(temp.c_str(), path.c_str()) != 0) {
+    LogWarn("AtomicWriteFile: rename to " + path + " failed: " + std::strerror(errno));
+    ok = false;
+  }
+  if (!ok) ::unlink(temp.c_str());
+  return ok;
+}
+
+std::optional<std::string> ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) return std::nullopt;
+  return std::move(buffer).str();
+}
+
+}  // namespace epvf

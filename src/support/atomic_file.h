@@ -1,0 +1,27 @@
+// Crash-safe whole-file writes.
+//
+// The artifact store and the BenchJson emitter both publish files that other
+// processes (or the next run) read back; a process killed mid-write must
+// never leave a torn file behind. AtomicWriteFile gives the POSIX guarantee:
+// the data lands in a unique temp file in the same directory, is fsynced,
+// and then rename(2)d over the target — readers see either the old complete
+// file or the new complete file, never a prefix. Concurrent writers race
+// safely (last rename wins).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace epvf {
+
+/// Atomically replaces `path` with `data`. Returns false (after logging a
+/// warning and removing any temp file) if the directory is unwritable, the
+/// disk fills, or the rename fails. The parent directory must exist.
+bool AtomicWriteFile(const std::string& path, std::string_view data);
+
+/// Reads the entire file at `path`; std::nullopt if it cannot be opened or
+/// read (not logged — absent files are an expected cache miss).
+[[nodiscard]] std::optional<std::string> ReadWholeFile(const std::string& path);
+
+}  // namespace epvf

@@ -19,4 +19,8 @@ void LogDebug(const std::string& message) {
   if (g_level >= LogLevel::kDebug) std::fprintf(stderr, "[epvf:debug] %s\n", message.c_str());
 }
 
+void LogWarn(const std::string& message) {
+  std::fprintf(stderr, "[epvf:warn] %s\n", message.c_str());
+}
+
 }  // namespace epvf

@@ -17,4 +17,9 @@ void SetLogLevel(LogLevel level);
 void LogInfo(const std::string& message);
 void LogDebug(const std::string& message);
 
+/// Warnings are exceptional conditions the user should see even at the
+/// default quiet level (e.g. a corrupted cache artifact being discarded), so
+/// they always print to stderr.
+void LogWarn(const std::string& message);
+
 }  // namespace epvf

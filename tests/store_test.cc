@@ -1,0 +1,475 @@
+// Artifact-store tests: primitive and artifact round-trips, corruption
+// fallback (bit flips, truncation, version/magic/kind mismatch — never a
+// crash, always identical recomputed results), the content-addressed cache
+// end to end, and campaign resume from a partially persisted artifact.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "apps/app.h"
+#include "epvf/analysis.h"
+#include "fi/campaign.h"
+#include "store/artifact.h"
+#include "store/cache.h"
+#include "store/format.h"
+#include "store/serializer.h"
+#include "support/atomic_file.h"
+
+namespace epvf::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A throwaway directory, removed (with contents) on scope exit.
+struct TempDir {
+  std::string path;
+
+  TempDir() {
+    std::string tmpl = (fs::temp_directory_path() / "epvf_store_XXXXXX").string();
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    char* made = mkdtemp(buf.data());
+    EXPECT_NE(made, nullptr);
+    path = made == nullptr ? std::string() : std::string(made);
+  }
+  ~TempDir() {
+    if (path.empty()) return;
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+};
+
+std::vector<std::uint8_t> AsBytes(const std::string& image) {
+  return {image.begin(), image.end()};
+}
+
+core::Analysis Analyze(const ir::Module& module) {
+  core::AnalysisOptions options;
+  options.jobs = 2;
+  return core::Analysis::Run(module, options);
+}
+
+/// Serializes an analysis into a finished artifact image.
+std::string AnalysisImage(const core::Analysis& analysis) {
+  ArtifactWriter writer(ArtifactKind::kAnalysis);
+  WriteAnalysisArtifact(analysis, writer);
+  return writer.Finish();
+}
+
+// --- primitives ---------------------------------------------------------------
+
+TEST(Serializer, PrimitiveRoundTrip) {
+  ByteWriter out;
+  out.U8(0xAB);
+  out.U32(0xDEADBEEF);
+  out.U64(0x0123456789ABCDEFull);
+  out.F64(-1234.5678);
+  out.Str("hello, artifact");
+
+  const std::string& buf = out.bytes();
+  ByteReader in({reinterpret_cast<const std::uint8_t*>(buf.data()), buf.size()});
+  EXPECT_EQ(in.U8(), 0xAB);
+  EXPECT_EQ(in.U32(), 0xDEADBEEFu);
+  EXPECT_EQ(in.U64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(in.F64(), -1234.5678);
+  EXPECT_EQ(in.Str(), "hello, artifact");
+  EXPECT_TRUE(in.Finished());
+}
+
+TEST(Serializer, ReaderLatchesOnOverrun) {
+  const std::uint8_t bytes[2] = {1, 2};
+  ByteReader in({bytes, 2});
+  (void)in.U32();  // needs 4 bytes, only 2 present
+  EXPECT_FALSE(in.ok());
+  EXPECT_EQ(in.U64(), 0u);  // stays failed
+  EXPECT_FALSE(in.Finished());
+}
+
+TEST(Serializer, ReaderRejectsOversizedString) {
+  ByteWriter out;
+  out.U64(1'000'000);  // claims a megabyte that is not there
+  const std::string& buf = out.bytes();
+  ByteReader in({reinterpret_cast<const std::uint8_t*>(buf.data()), buf.size()});
+  EXPECT_EQ(in.Str(), "");
+  EXPECT_FALSE(in.ok());
+}
+
+TEST(Format, Crc32KnownAnswer) {
+  // The standard CRC-32 check value.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+}
+
+TEST(Support, AtomicWriteFileReplacesAndReadsBack) {
+  TempDir dir;
+  const std::string path = dir.path + "/file.txt";
+  EXPECT_TRUE(AtomicWriteFile(path, "first"));
+  EXPECT_TRUE(AtomicWriteFile(path, "second version"));
+  const auto text = ReadWholeFile(path);
+  ASSERT_TRUE(text.has_value());
+  EXPECT_EQ(*text, "second version");
+  // No temp droppings left behind.
+  std::size_t files = 0;
+  for (const auto& entry : fs::directory_iterator(dir.path)) {
+    (void)entry;
+    files += 1;
+  }
+  EXPECT_EQ(files, 1u);
+}
+
+TEST(Support, AtomicWriteFileFailsGracefullyOnMissingDirectory) {
+  EXPECT_FALSE(AtomicWriteFile("/nonexistent-epvf-dir/file.txt", "data"));
+  EXPECT_FALSE(ReadWholeFile("/nonexistent-epvf-dir/file.txt").has_value());
+}
+
+// --- artifact container -------------------------------------------------------
+
+TEST(Artifact, SectionRoundTrip) {
+  ArtifactWriter writer(ArtifactKind::kAnalysis);
+  writer.Section(SectionId::kGoldenRun).U64(42);
+  writer.Section(SectionId::kAce).Str("ace payload");
+  writer.Section(SectionId::kGoldenRun).U64(43);  // appends to the same section
+
+  auto reader = ArtifactReader::Parse(AsBytes(writer.Finish()), ArtifactKind::kAnalysis, "test");
+  ASSERT_TRUE(reader.has_value());
+  auto golden = reader->Section(SectionId::kGoldenRun);
+  ASSERT_TRUE(golden.has_value());
+  EXPECT_EQ(golden->U64(), 42u);
+  EXPECT_EQ(golden->U64(), 43u);
+  EXPECT_TRUE(golden->Finished());
+  auto ace = reader->Section(SectionId::kAce);
+  ASSERT_TRUE(ace.has_value());
+  EXPECT_EQ(ace->Str(), "ace payload");
+  EXPECT_FALSE(reader->Section(SectionId::kGraph).has_value());
+}
+
+TEST(Artifact, RejectsWrongMagicVersionAndKind) {
+  ArtifactWriter writer(ArtifactKind::kAnalysis);
+  writer.Section(SectionId::kGoldenRun).U64(7);
+  const std::string image = writer.Finish();
+
+  auto magic = AsBytes(image);
+  magic[0] ^= 0xFF;
+  EXPECT_FALSE(ArtifactReader::Parse(std::move(magic), ArtifactKind::kAnalysis, "t").has_value());
+
+  auto version = AsBytes(image);
+  version[4] += 1;  // future format version
+  EXPECT_FALSE(
+      ArtifactReader::Parse(std::move(version), ArtifactKind::kAnalysis, "t").has_value());
+
+  // Right image, wrong expected kind.
+  EXPECT_FALSE(
+      ArtifactReader::Parse(AsBytes(image), ArtifactKind::kCampaign, "t").has_value());
+}
+
+TEST(Artifact, RejectsEveryTruncation) {
+  ArtifactWriter writer(ArtifactKind::kAnalysis);
+  writer.Section(SectionId::kGoldenRun).Str("some payload bytes");
+  const std::string image = writer.Finish();
+  for (std::size_t keep = 0; keep < image.size(); ++keep) {
+    auto cut = AsBytes(image.substr(0, keep));
+    EXPECT_FALSE(ArtifactReader::Parse(std::move(cut), ArtifactKind::kAnalysis, "t").has_value())
+        << "truncation to " << keep << " bytes parsed";
+  }
+}
+
+TEST(Artifact, DetectsPayloadBitFlips) {
+  ArtifactWriter writer(ArtifactKind::kCampaign);
+  writer.Section(SectionId::kCampaign).Str("payload under checksum");
+  const std::string image = writer.Finish();
+  // Flip one bit in every payload byte: the per-section CRC must catch each.
+  const std::size_t payload_start = kHeaderBytes + kSectionEntryBytes;
+  for (std::size_t at = payload_start; at < image.size(); ++at) {
+    auto bytes = AsBytes(image);
+    bytes[at] ^= 0x10;
+    EXPECT_FALSE(ArtifactReader::Parse(std::move(bytes), ArtifactKind::kCampaign, "t").has_value())
+        << "bit flip at " << at << " went undetected";
+  }
+}
+
+// --- pipeline artifacts -------------------------------------------------------
+
+TEST(AnalysisArtifact, RoundTripsBitIdentically) {
+  const apps::App app = apps::BuildApp("mm", apps::AppConfig{.scale = 0});
+  const core::Analysis a = Analyze(app.module);
+  const std::string image = AnalysisImage(a);
+
+  auto reader = ArtifactReader::Parse(AsBytes(image), ArtifactKind::kAnalysis, "t");
+  ASSERT_TRUE(reader.has_value());
+  auto data = ReadAnalysisArtifact(app.module, *reader);
+  ASSERT_TRUE(data.has_value());
+  ASSERT_TRUE(data->use_weighted.has_value());
+
+  core::Analysis restored = core::Analysis::Restore(
+      app.module, a.options(), std::move(data->golden), std::move(data->graph),
+      std::move(data->ace), std::move(data->crash_bits), data->use_weighted);
+  EXPECT_EQ(restored.golden().instructions_executed, a.golden().instructions_executed);
+  EXPECT_EQ(restored.golden().output, a.golden().output);
+  EXPECT_EQ(restored.graph().NumNodes(), a.graph().NumNodes());
+  EXPECT_EQ(restored.Pvf(), a.Pvf());
+  EXPECT_EQ(restored.Epvf(), a.Epvf());
+  EXPECT_EQ(restored.CrashRateEstimate(), a.CrashRateEstimate());
+  EXPECT_EQ(restored.MemoryPvf(), a.MemoryPvf());
+  EXPECT_EQ(restored.MemoryEpvf(), a.MemoryEpvf());
+  // Strongest equality: re-serializing the restored analysis reproduces the
+  // original image byte for byte.
+  EXPECT_EQ(AnalysisImage(restored), image);
+  // The live-interpreter accessors are the one unsupported surface.
+  EXPECT_THROW((void)restored.memory(), std::logic_error);
+  EXPECT_THROW((void)restored.crash_model(), std::logic_error);
+}
+
+TEST(AnalysisArtifact, GraphValidationRejectsForeignModule) {
+  const apps::App mm = apps::BuildApp("mm", apps::AppConfig{.scale = 0});
+  const apps::App lud = apps::BuildApp("lud", apps::AppConfig{.scale = 0});
+  const core::Analysis a = Analyze(mm.module);
+  auto reader = ArtifactReader::Parse(AsBytes(AnalysisImage(a)), ArtifactKind::kAnalysis, "t");
+  ASSERT_TRUE(reader.has_value());
+  // Decoding against a different module must fail structural validation, not
+  // produce a bogus graph.
+  EXPECT_FALSE(ReadAnalysisArtifact(lud.module, *reader).has_value());
+}
+
+TEST(CampaignArtifact, RoundTripAndIdentity) {
+  CampaignArtifact campaign;
+  campaign.seed = 99;
+  campaign.num_runs = 3;
+  campaign.jitter_pages = 2;
+  campaign.burst_length = 1;
+  campaign.records.resize(3);
+  campaign.records[1].site.dyn_index = 17;
+  campaign.records[1].site.slot = 1;
+  campaign.records[1].site.width = 32;
+  campaign.records[1].site.node = 5;
+  campaign.records[1].bit = 12;
+  campaign.records[1].outcome = fi::Outcome::kSdc;
+  campaign.completed = {1, 1, 0};
+
+  ArtifactWriter writer(ArtifactKind::kCampaign);
+  WriteCampaignArtifact(campaign, writer);
+  auto reader = ArtifactReader::Parse(AsBytes(writer.Finish()), ArtifactKind::kCampaign, "t");
+  ASSERT_TRUE(reader.has_value());
+  auto loaded = ReadCampaignArtifact(*reader);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->seed, 99u);
+  EXPECT_EQ(loaded->num_runs, 3u);
+  EXPECT_EQ(loaded->records[1].site.dyn_index, 17u);
+  EXPECT_EQ(loaded->records[1].bit, 12);
+  EXPECT_EQ(loaded->records[1].outcome, fi::Outcome::kSdc);
+  EXPECT_EQ(loaded->CompletedCount(), 2u);
+  EXPECT_FALSE(loaded->Complete());
+
+  fi::CampaignOptions options;
+  options.num_runs = 3;
+  options.seed = 99;
+  options.injector.jitter_pages = 2;
+  options.injector.burst_length = 1;
+  EXPECT_TRUE(loaded->Matches(options));
+  options.seed = 100;
+  EXPECT_FALSE(loaded->Matches(options));
+}
+
+// --- content-addressed cache --------------------------------------------------
+
+TEST(Cache, KeySeparatesIdentities) {
+  const apps::App app = apps::BuildApp("mm", apps::AppConfig{.scale = 0});
+  AnalysisKey key;
+  key.app = "mm";
+  key.config = "scale=0";
+  key.module_fingerprint = ModuleFingerprint(app.module);
+  const std::string base = CacheId(key);
+
+  AnalysisKey other = key;
+  other.config = "scale=1";
+  EXPECT_NE(CacheId(other), base);
+  other = key;
+  other.module_fingerprint ^= 1;
+  EXPECT_NE(CacheId(other), base);
+  other = key;
+  other.options.max_instructions += 1;
+  EXPECT_NE(CacheId(other), base);
+
+  fi::CampaignOptions campaign;
+  const std::string cbase = CacheId(CampaignKey{key, campaign});
+  EXPECT_NE(cbase, base);
+  campaign.seed += 1;
+  EXPECT_NE(CacheId(CampaignKey{key, campaign}), cbase);
+}
+
+TEST(Cache, AnalysisHitServesIdenticalResults) {
+  TempDir dir;
+  const apps::App app = apps::BuildApp("mm", apps::AppConfig{.scale = 0});
+  core::AnalysisOptions options;
+  options.jobs = 2;
+  AnalysisKey key{"mm", "scale=0", ModuleFingerprint(app.module), options};
+
+  ArtifactCache cache(dir.path);
+  ASSERT_TRUE(cache.enabled());
+  const core::Analysis cold = RunAnalysisCached(app.module, options, key, cache);
+  EXPECT_FALSE(cold.timings().cache_hit);
+  EXPECT_EQ(cache.session_counters().misses, 1u);
+  EXPECT_GT(cache.session_counters().bytes_written, 0u);
+
+  const core::Analysis warm = RunAnalysisCached(app.module, options, key, cache);
+  EXPECT_TRUE(warm.timings().cache_hit);
+  EXPECT_EQ(cache.session_counters().hits, 1u);
+  EXPECT_EQ(warm.Pvf(), cold.Pvf());
+  EXPECT_EQ(warm.Epvf(), cold.Epvf());
+  EXPECT_EQ(warm.CrashRateEstimate(), cold.CrashRateEstimate());
+  EXPECT_EQ(warm.golden().output, cold.golden().output);
+
+  const ArtifactCache::DirStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, 0u);
+  EXPECT_EQ(cache.Clear(), 1u);
+  EXPECT_EQ(cache.Stats().entries, 0u);
+}
+
+TEST(Cache, CorruptedEntryFallsBackToIdenticalRecompute) {
+  TempDir dir;
+  const apps::App app = apps::BuildApp("mm", apps::AppConfig{.scale = 0});
+  core::AnalysisOptions options;
+  options.jobs = 2;
+  AnalysisKey key{"mm", "scale=0", ModuleFingerprint(app.module), options};
+
+  ArtifactCache cache(dir.path);
+  const core::Analysis reference = RunAnalysisCached(app.module, options, key, cache);
+  const std::string path = cache.EntryPath(CacheId(key), ArtifactKind::kAnalysis);
+  const auto pristine = ReadWholeFile(path);
+  ASSERT_TRUE(pristine.has_value());
+
+  // Bit-flip a sample of offsets across header, table and payloads: every
+  // corruption must degrade to a recompute with identical results, and the
+  // miss rewrites a valid entry (verified by the follow-up hit).
+  for (std::size_t at = 0; at < pristine->size(); at += 1 + pristine->size() / 16) {
+    std::string mangled = *pristine;
+    mangled[at] = static_cast<char>(mangled[at] ^ 0x08);
+    ASSERT_TRUE(AtomicWriteFile(path, mangled));
+    const core::Analysis recomputed = RunAnalysisCached(app.module, options, key, cache);
+    EXPECT_EQ(recomputed.Pvf(), reference.Pvf()) << "offset " << at;
+    EXPECT_EQ(recomputed.Epvf(), reference.Epvf()) << "offset " << at;
+    EXPECT_EQ(recomputed.CrashRateEstimate(), reference.CrashRateEstimate()) << "offset " << at;
+    const core::Analysis rewarmed = RunAnalysisCached(app.module, options, key, cache);
+    EXPECT_TRUE(rewarmed.timings().cache_hit) << "offset " << at;
+    EXPECT_EQ(rewarmed.Epvf(), reference.Epvf());
+  }
+
+  // Truncations, including an empty file.
+  for (const std::size_t keep : {std::size_t{0}, std::size_t{5}, kHeaderBytes,
+                                 pristine->size() / 2, pristine->size() - 1}) {
+    ASSERT_TRUE(AtomicWriteFile(path, pristine->substr(0, keep)));
+    const core::Analysis recomputed = RunAnalysisCached(app.module, options, key, cache);
+    EXPECT_FALSE(recomputed.timings().cache_hit) << "kept " << keep;
+    EXPECT_EQ(recomputed.Epvf(), reference.Epvf()) << "kept " << keep;
+  }
+}
+
+TEST(Cache, CampaignFullHitAndResume) {
+  TempDir dir;
+  const apps::App app = apps::BuildApp("lud", apps::AppConfig{.scale = 0});
+  const core::Analysis a = Analyze(app.module);
+  fi::CampaignOptions options;
+  options.num_runs = 40;
+  options.seed = 7;
+  options.num_threads = 2;
+
+  // Uncached reference.
+  const fi::CampaignStats reference = fi::RunCampaign(app.module, a.graph(), a.golden(), options);
+
+  AnalysisKey akey{"lud", "scale=0", ModuleFingerprint(app.module), core::AnalysisOptions{}};
+  const CampaignKey key{akey, options};
+  ArtifactCache cache(dir.path);
+
+  const fi::CampaignStats cold =
+      RunCampaignCached(app.module, a.graph(), a.golden(), options, key, cache, /*persist_every=*/8);
+  EXPECT_FALSE(cold.perf.cache_hit);
+  EXPECT_EQ(cold.counts, reference.counts);
+  ASSERT_EQ(cold.records.size(), reference.records.size());
+  for (std::size_t i = 0; i < reference.records.size(); ++i) {
+    EXPECT_EQ(cold.records[i].site.dyn_index, reference.records[i].site.dyn_index);
+    EXPECT_EQ(cold.records[i].bit, reference.records[i].bit);
+    EXPECT_EQ(cold.records[i].outcome, reference.records[i].outcome);
+  }
+
+  // Second run: everything served from the artifact.
+  const fi::CampaignStats warm =
+      RunCampaignCached(app.module, a.graph(), a.golden(), options, key, cache);
+  EXPECT_TRUE(warm.perf.cache_hit);
+  EXPECT_EQ(warm.perf.resumed_records, reference.records.size());
+  EXPECT_EQ(warm.counts, reference.counts);
+
+  // Interrupted-campaign simulation: persist only the even plan indices and
+  // resume — the odd ones re-execute, outcomes stay bit-identical.
+  CampaignArtifact partial;
+  partial.seed = options.seed;
+  partial.num_runs = static_cast<std::uint32_t>(options.num_runs);
+  partial.jitter_pages = options.injector.jitter_pages;
+  partial.burst_length = options.injector.burst_length;
+  partial.records = reference.records;
+  partial.completed.assign(partial.records.size(), 0);
+  for (std::size_t i = 0; i < partial.records.size(); i += 2) partial.completed[i] = 1;
+  for (std::size_t i = 1; i < partial.records.size(); i += 2) {
+    partial.records[i] = fi::FaultRecord{};  // incomplete slots carry no data
+  }
+  ArtifactWriter writer(ArtifactKind::kCampaign);
+  WriteCampaignArtifact(partial, writer);
+  ASSERT_TRUE(cache.Store(CacheId(key), writer));
+
+  const fi::CampaignStats resumed =
+      RunCampaignCached(app.module, a.graph(), a.golden(), options, key, cache);
+  EXPECT_FALSE(resumed.perf.cache_hit);
+  EXPECT_EQ(resumed.perf.resumed_records, (reference.records.size() + 1) / 2);
+  EXPECT_EQ(resumed.counts, reference.counts);
+  for (std::size_t i = 0; i < reference.records.size(); ++i) {
+    EXPECT_EQ(resumed.records[i].outcome, reference.records[i].outcome) << "index " << i;
+  }
+
+  // A tampered completed record (site disagrees with the re-drawn plan)
+  // discards the resume data wholesale — results still identical.
+  partial.records[0].site.dyn_index += 1;
+  ArtifactWriter tampered_writer(ArtifactKind::kCampaign);
+  WriteCampaignArtifact(partial, tampered_writer);
+  ASSERT_TRUE(cache.Store(CacheId(key), tampered_writer));
+  const fi::CampaignStats retried =
+      RunCampaignCached(app.module, a.graph(), a.golden(), options, key, cache);
+  EXPECT_EQ(retried.perf.resumed_records, 0u);
+  EXPECT_EQ(retried.counts, reference.counts);
+}
+
+TEST(Cache, DisabledCacheComputesWithoutTouchingDisk) {
+  const apps::App app = apps::BuildApp("mm", apps::AppConfig{.scale = 0});
+  core::AnalysisOptions options;
+  options.jobs = 2;
+  AnalysisKey key{"mm", "scale=0", ModuleFingerprint(app.module), options};
+  ArtifactCache cache("");
+  EXPECT_FALSE(cache.enabled());
+  const core::Analysis a = RunAnalysisCached(app.module, options, key, cache);
+  EXPECT_FALSE(a.timings().cache_hit);
+  EXPECT_EQ(cache.session_counters().hits + cache.session_counters().misses, 0u);
+}
+
+TEST(Cache, PersistsCountersAcrossSessions) {
+  TempDir dir;
+  const apps::App app = apps::BuildApp("mm", apps::AppConfig{.scale = 0});
+  core::AnalysisOptions options;
+  options.jobs = 2;
+  AnalysisKey key{"mm", "scale=0", ModuleFingerprint(app.module), options};
+  {
+    ArtifactCache cache(dir.path);
+    (void)RunAnalysisCached(app.module, options, key, cache);  // miss + store
+    (void)RunAnalysisCached(app.module, options, key, cache);  // hit
+  }
+  ArtifactCache next_session(dir.path);
+  const ArtifactCache::DirStats stats = next_session.Stats();
+  EXPECT_EQ(stats.lifetime.hits, 1u);
+  EXPECT_EQ(stats.lifetime.misses, 1u);
+  EXPECT_GT(stats.lifetime.bytes_written, 0u);
+}
+
+}  // namespace
+}  // namespace epvf::store

@@ -1,22 +1,33 @@
 // epvf — command-line driver for the whole toolkit.
 //
 //   epvf list
-//   epvf analyze  <benchmark|file.ir> [--scale N] [--jobs N]
+//   epvf analyze  <benchmark|file.ir> [--scale N] [--jobs N] [--cache-dir D] [--no-cache]
 //   epvf inject   <benchmark|file.ir> [--runs N] [--jitter P] [--burst B] [--seed S] [--jobs N]
 //   epvf sample   <benchmark|file.ir> [--fraction F] [--jobs N]
 //   epvf protect  <benchmark>         [--budget PCT] [--rank epvf|hot] [--real] [--jobs N]
 //   epvf print    <benchmark|file.ir>
+//   epvf cache    stats|clear         [--cache-dir D]
 //
 // A target is either a bundled benchmark name (see `epvf list`) or a path to
 // a textual-IR file (anything containing '.' or '/'). `--jobs 0` (the
 // default) uses one worker per hardware core; results are bit-identical at
 // every jobs setting.
+//
+// analyze and inject consult the on-disk artifact cache when a directory is
+// given via --cache-dir or EPVF_CACHE_DIR (--no-cache overrides both). All
+// cache/timing diagnostics go to stderr, so stdout is byte-identical between
+// cold and warm runs.
+//
+// Exit codes: 0 success, 1 runtime error, 2 usage, 3 unknown command,
+// 4 unknown flag.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <string>
 
@@ -30,12 +41,17 @@
 #include "ir/printer.h"
 #include "protect/evaluation.h"
 #include "protect/transform.h"
+#include "store/cache.h"
 #include "support/table.h"
 #include "vm/interpreter.h"
 
 namespace {
 
 using namespace epvf;
+
+constexpr int kExitUsage = 2;
+constexpr int kExitUnknownCommand = 3;
+constexpr int kExitUnknownFlag = 4;
 
 struct Options {
   std::string command;
@@ -56,6 +72,23 @@ struct Options {
   }
 };
 
+/// Flags each command accepts — anything else is rejected with the offending
+/// name on stderr and a distinct exit code.
+const std::map<std::string, std::set<std::string>>& AllowedFlags() {
+  static const std::map<std::string, std::set<std::string>> allowed = {
+      {"list", {}},
+      {"analyze", {"scale", "jobs", "cache-dir", "no-cache"}},
+      {"inject",
+       {"scale", "runs", "jitter", "burst", "seed", "jobs", "checkpoints", "cache-dir",
+        "no-cache"}},
+      {"sample", {"scale", "fraction", "jobs"}},
+      {"protect", {"scale", "budget", "rank", "real", "jobs", "runs"}},
+      {"print", {"scale"}},
+      {"cache", {"cache-dir"}},
+  };
+  return allowed;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: epvf <command> [target] [flags]\n"
@@ -72,10 +105,14 @@ int Usage() {
                "  protect <benchmark> [--budget PCT] [--rank epvf|hot] [--real]\n"
                "                                   section-V selective duplication\n"
                "  print   <target>                 dump the textual IR\n"
+               "  cache   stats|clear              inspect / empty the artifact cache\n"
                "a target is a benchmark name or a .ir file path\n"
                "--jobs N picks the analysis/campaign thread count (0 = hardware\n"
-               "concurrency, the default); results are identical for any N\n");
-  return 2;
+               "concurrency, the default); results are identical for any N\n"
+               "analyze/inject reuse on-disk artifacts when --cache-dir DIR (or the\n"
+               "EPVF_CACHE_DIR environment variable) names a cache directory;\n"
+               "--no-cache forces a full recompute without touching the cache\n");
+  return kExitUsage;
 }
 
 /// Analysis options shared by every analyzing command: --jobs plumbs into the
@@ -84,6 +121,34 @@ core::AnalysisOptions AnalysisOpts(const Options& options) {
   core::AnalysisOptions opts;
   opts.jobs = options.Int("jobs", 0);
   return opts;
+}
+
+/// --cache-dir beats EPVF_CACHE_DIR; --no-cache beats both. Empty = disabled.
+std::string ResolveCacheDir(const Options& options) {
+  if (options.flags.count("no-cache") != 0) return {};
+  const auto it = options.flags.find("cache-dir");
+  if (it != options.flags.end()) return it->second;
+  const char* env = std::getenv("EPVF_CACHE_DIR");
+  return env == nullptr ? std::string() : std::string(env);
+}
+
+/// The content-address identity of this invocation's analysis: target name,
+/// kernel config, and the IR module fingerprint (which covers file targets
+/// whose content changed under the same path).
+store::AnalysisKey MakeAnalysisKey(const Options& options, const ir::Module& module,
+                                   const core::AnalysisOptions& opts) {
+  store::AnalysisKey key;
+  key.app = options.target;
+  key.config = "scale=" + std::to_string(options.Int("scale", 1));
+  key.module_fingerprint = store::ModuleFingerprint(module);
+  key.options = opts;
+  return key;
+}
+
+void PrintCacheStatus(const char* what, const std::string& id, bool hit, double load_seconds,
+                      double store_seconds) {
+  std::fprintf(stderr, "cache: %s %s (%s, load %.2f ms, store %.2f ms)\n", hit ? "hit" : "miss",
+               id.c_str(), what, load_seconds * 1e3, store_seconds * 1e3);
 }
 
 /// Loads a benchmark by name or parses a textual-IR file.
@@ -115,7 +180,12 @@ int CmdList() {
 
 int CmdAnalyze(const Options& options) {
   const ir::Module module = LoadTarget(options);
-  const core::Analysis a = core::Analysis::Run(module, AnalysisOpts(options));
+  const core::AnalysisOptions opts = AnalysisOpts(options);
+  store::ArtifactCache cache(ResolveCacheDir(options));
+  std::optional<store::AnalysisKey> key;
+  if (cache.enabled()) key = MakeAnalysisKey(options, module, opts);
+  const core::Analysis a = cache.enabled() ? store::RunAnalysisCached(module, opts, *key, cache)
+                                           : core::Analysis::Run(module, opts);
 
   std::printf("dynamic instructions : %llu\n",
               static_cast<unsigned long long>(a.golden().instructions_executed));
@@ -125,12 +195,19 @@ int CmdAnalyze(const Options& options) {
   std::printf("ePVF (Eq. 2)         : %.4f\n", a.Epvf());
   std::printf("crash-rate estimate  : %.4f\n", a.CrashRateEstimate());
   std::printf("memory resource      : PVF %.4f, ePVF %.4f\n", a.MemoryPvf(), a.MemoryEpvf());
-  std::printf(
+  // Timing + cache status are diagnostics, not results: stderr, so stdout is
+  // byte-identical between cold and warm runs (the CI smoke diffs it).
+  std::fprintf(
+      stderr,
       "analysis time        : %.1f ms (trace+DDG %.1f, ACE %.1f, crash %.1f, "
       "rate est %.1f) at %u jobs\n",
       a.timings().TotalSeconds() * 1e3, a.timings().trace_and_graph_seconds * 1e3,
       a.timings().ace_seconds * 1e3, a.timings().crash_model_seconds * 1e3,
       a.timings().rate_estimate_seconds * 1e3, a.timings().ace_threads);
+  if (cache.enabled()) {
+    PrintCacheStatus("analysis", store::CacheId(*key), a.timings().cache_hit,
+                     a.timings().cache_load_seconds, a.timings().cache_store_seconds);
+  }
 
   AsciiTable table({"structure", "total bits", "ACE", "crash", "class ePVF"});
   table.SetTitle("structure vulnerability");
@@ -146,7 +223,16 @@ int CmdAnalyze(const Options& options) {
 
 int CmdInject(const Options& options) {
   const ir::Module module = LoadTarget(options);
-  const core::Analysis a = core::Analysis::Run(module, AnalysisOpts(options));
+  const core::AnalysisOptions opts = AnalysisOpts(options);
+  store::ArtifactCache cache(ResolveCacheDir(options));
+  std::optional<store::AnalysisKey> key;
+  if (cache.enabled()) key = MakeAnalysisKey(options, module, opts);
+  const core::Analysis a = cache.enabled() ? store::RunAnalysisCached(module, opts, *key, cache)
+                                           : core::Analysis::Run(module, opts);
+  if (cache.enabled()) {
+    PrintCacheStatus("analysis", store::CacheId(*key), a.timings().cache_hit,
+                     a.timings().cache_load_seconds, a.timings().cache_store_seconds);
+  }
 
   fi::CampaignOptions campaign;
   campaign.num_runs = options.Int("runs", 500);
@@ -164,7 +250,20 @@ int CmdInject(const Options& options) {
         a.TraceLength() / (static_cast<std::uint64_t>(checkpoints) + 1);
     campaign.checkpoint_interval = static_cast<std::int64_t>(interval < 1 ? 1 : interval);
   }
-  const fi::CampaignStats stats = fi::RunCampaign(module, a.graph(), a.golden(), campaign);
+  fi::CampaignStats stats;
+  if (cache.enabled()) {
+    const store::CampaignKey ckey{*key, campaign};
+    stats = store::RunCampaignCached(module, a.graph(), a.golden(), campaign, ckey, cache);
+    PrintCacheStatus("campaign", store::CacheId(ckey), stats.perf.cache_hit,
+                     stats.perf.cache_load_seconds, stats.perf.cache_store_seconds);
+    if (!stats.perf.cache_hit && stats.perf.resumed_records > 0) {
+      std::fprintf(stderr, "cache: resumed %llu/%llu completed runs from a prior campaign\n",
+                   static_cast<unsigned long long>(stats.perf.resumed_records),
+                   static_cast<unsigned long long>(stats.Total()));
+    }
+  } else {
+    stats = fi::RunCampaign(module, a.graph(), a.golden(), campaign);
+  }
 
   AsciiTable table({"outcome", "count", "rate"});
   table.SetTitle("campaign (" + std::to_string(stats.Total()) + " injections)");
@@ -184,7 +283,10 @@ int CmdInject(const Options& options) {
               static_cast<unsigned long long>(recall.crash_runs));
   const fi::CampaignPerf& perf = stats.perf;
   if (perf.checkpoints > 0) {
-    std::printf(
+    // Diagnostics on stderr: the fast-path accounting differs between cold,
+    // resumed and fully cached campaigns while the outcomes do not.
+    std::fprintf(
+        stderr,
         "checkpoint fast path : %llu snapshots (built in %.1f ms), %llu/%llu runs resumed, "
         "%.1f Minstr of golden prefix skipped, inject %.1f ms\n",
         static_cast<unsigned long long>(perf.checkpoints), perf.checkpoint_seconds * 1e3,
@@ -263,18 +365,71 @@ int CmdPrint(const Options& options) {
   return 0;
 }
 
+int CmdCache(const Options& options) {
+  // For `epvf cache` the target slot carries the subcommand.
+  const std::string& sub = options.target;
+  if (sub != "stats" && sub != "clear") {
+    std::fprintf(stderr, "epvf cache: unknown subcommand '%s' (expected stats or clear)\n",
+                 sub.c_str());
+    return kExitUsage;
+  }
+  const std::string dir = ResolveCacheDir(options);
+  if (dir.empty()) {
+    std::fprintf(stderr,
+                 "epvf cache: no cache directory — pass --cache-dir or set EPVF_CACHE_DIR\n");
+    return 1;
+  }
+  store::ArtifactCache cache(dir);
+  if (!cache.enabled()) return 1;
+
+  if (sub == "clear") {
+    const std::size_t removed = cache.Clear();
+    std::printf("cleared %zu entries from %s\n", removed, cache.dir().c_str());
+    return 0;
+  }
+  const store::ArtifactCache::DirStats stats = cache.Stats();
+  std::printf("cache directory      : %s\n", cache.dir().c_str());
+  std::printf("entries              : %llu (%llu bytes)\n",
+              static_cast<unsigned long long>(stats.entries),
+              static_cast<unsigned long long>(stats.bytes));
+  std::printf("hits / misses        : %llu / %llu\n",
+              static_cast<unsigned long long>(stats.lifetime.hits),
+              static_cast<unsigned long long>(stats.lifetime.misses));
+  std::printf("bytes read / written : %llu / %llu\n",
+              static_cast<unsigned long long>(stats.lifetime.bytes_read),
+              static_cast<unsigned long long>(stats.lifetime.bytes_written));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   Options options;
   options.command = argv[1];
+
+  const auto& allowed = AllowedFlags();
+  const auto allowed_it = allowed.find(options.command);
+  if (allowed_it == allowed.end()) {
+    std::fprintf(stderr, "epvf: unknown command '%s' (run `epvf` for usage)\n",
+                 options.command.c_str());
+    return kExitUnknownCommand;
+  }
+
   int cursor = 2;
   if (cursor < argc && argv[cursor][0] != '-') options.target = argv[cursor++];
   for (; cursor < argc; ++cursor) {
     std::string flag = argv[cursor];
-    if (flag.rfind("--", 0) != 0) return Usage();
+    if (flag.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "epvf: unexpected argument '%s'\n", flag.c_str());
+      return kExitUsage;
+    }
     flag = flag.substr(2);
+    if (allowed_it->second.count(flag) == 0) {
+      std::fprintf(stderr, "epvf: unknown flag '--%s' for command '%s'\n", flag.c_str(),
+                   options.command.c_str());
+      return kExitUnknownFlag;
+    }
     if (cursor + 1 < argc && argv[cursor + 1][0] != '-') {
       options.flags[flag] = argv[++cursor];
     } else {
@@ -290,6 +445,7 @@ int main(int argc, char** argv) {
     if (options.command == "sample") return CmdSample(options);
     if (options.command == "protect") return CmdProtect(options);
     if (options.command == "print") return CmdPrint(options);
+    if (options.command == "cache") return CmdCache(options);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "epvf: %s\n", error.what());
     return 1;
