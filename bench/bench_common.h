@@ -18,6 +18,12 @@
 //                     (machine-readable metrics; value = output directory,
 //                     "1" = current directory) so perf is trackable across
 //                     commits
+//   EPVF_TRACE        0 = tracing off (default), 1 = write epvf-trace.json,
+//                     anything else = the trace path; benches that declare a
+//                     ScopedObservability export a Chrome trace_event JSON of
+//                     their pipeline spans on exit
+//   EPVF_METRICS_OUT  when set, dump the obs metrics registry (counters +
+//                     stage histograms) to this path on exit
 #pragma once
 
 #include <cstdio>
@@ -30,10 +36,45 @@
 #include "apps/app.h"
 #include "epvf/analysis.h"
 #include "fi/campaign.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/atomic_file.h"
 #include "support/table.h"
 
 namespace epvf::bench {
+
+/// Env-driven observability for a bench run: EPVF_TRACE enables span tracing
+/// for the scope's lifetime and writes the Chrome trace on destruction;
+/// EPVF_METRICS_OUT dumps the metrics registry alongside. Declare one at the
+/// top of main — with neither variable set this is a no-op, so the measured
+/// numbers stay untouched by default.
+class ScopedObservability {
+ public:
+  ScopedObservability() {
+    const char* trace = std::getenv("EPVF_TRACE");
+    if (trace != nullptr && std::string(trace) != "0") {
+      trace_path_ = std::string(trace) == "1" ? "epvf-trace.json" : trace;
+      obs::SetTracingEnabled(true);
+    }
+    const char* metrics = std::getenv("EPVF_METRICS_OUT");
+    if (metrics != nullptr && metrics[0] != '\0') metrics_path_ = metrics;
+  }
+  ScopedObservability(const ScopedObservability&) = delete;
+  ScopedObservability& operator=(const ScopedObservability&) = delete;
+  ~ScopedObservability() {
+    if (!trace_path_.empty() && obs::WriteChromeTrace(trace_path_)) {
+      std::fprintf(stderr, "trace: wrote %s\n", trace_path_.c_str());
+    }
+    if (!metrics_path_.empty() &&
+        obs::MetricsRegistry::Global().WriteJsonFile(metrics_path_)) {
+      std::fprintf(stderr, "metrics: wrote %s\n", metrics_path_.c_str());
+    }
+  }
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+};
 
 inline int EnvInt(const char* name, int fallback) {
   const char* value = std::getenv(name);

@@ -11,6 +11,7 @@
 
 int main() {
   using namespace epvf;
+  const bench::ScopedObservability observability;
   AsciiTable table({"Benchmark", "trace+graph (ms)", "ACE (ms)", "crash+prop (ms)",
                     "total (ms)", "jobs"});
   table.SetTitle("Figure 10 — ePVF analysis time breakdown");

@@ -14,6 +14,7 @@
 int main() {
   using namespace epvf;
 
+  const bench::ScopedObservability observability;
   bench::BenchJson json("injection_throughput");
   const int runs = bench::FiRuns();
   const int checkpoint_counts[] = {0, 4, 16, 64};

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "ir/verifier.h"
+#include "obs/trace.h"
 
 namespace epvf::apps {
 
@@ -40,6 +41,7 @@ std::vector<std::string> AppNames() {
 App BuildApp(std::string_view name, const AppConfig& config) {
   for (const Entry& entry : kRegistry) {
     if (entry.name == name) {
+      const obs::TraceSpan span("parse", "build-app");
       App app = entry.build(config);
       ir::VerifyModuleOrThrow(app.module);
       return app;

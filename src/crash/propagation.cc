@@ -3,6 +3,7 @@
 #include <array>
 
 #include "crash/lookup_table.h"
+#include "obs/trace.h"
 #include "support/bits.h"
 #include "support/thread_pool.h"
 
@@ -27,6 +28,7 @@ void Narrow(const ddg::Graph& graph, std::vector<Interval>& allowed, NodeId node
 
 CrashBits PropagateCrashRanges(const ddg::Graph& graph, const ddg::AceResult& ace,
                                const CrashModel& model, int jobs) {
+  const obs::TraceSpan span("crash-model", "propagate-crash-ranges");
   CrashBits result;
   const std::size_t n = graph.NumNodes();
   result.allowed.assign(n, Interval::Full());

@@ -2,11 +2,13 @@
 
 #include <deque>
 
+#include "obs/trace.h"
 #include "support/thread_pool.h"
 
 namespace epvf::ddg {
 
 AceResult ComputeAceFromRoots(const Graph& graph, std::span<const NodeId> roots, int jobs) {
+  const obs::TraceSpan span("ace", "compute-ace");
   AceResult result;
   result.in_ace.assign(graph.NumNodes(), 0);
   result.total_bits = graph.TotalRegisterBits();

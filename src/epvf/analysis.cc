@@ -5,8 +5,8 @@
 
 #include "ddg/builder.h"
 #include "ir/verifier.h"
+#include "obs/timing.h"
 #include "support/bits.h"
-#include "support/stopwatch.h"
 #include "support/thread_pool.h"
 
 namespace epvf::core {
@@ -18,35 +18,47 @@ Analysis Analysis::Run(const ir::Module& module, AnalysisOptions options) {
   analysis.module_ = &module;
   analysis.options_ = options;
 
+  obs::GetCounter("analysis.runs").Add();
+
+  // Each stage's wall time flows through one TimedSection into the trace
+  // buffer, the metrics registry, and the AnalysisTimings field at once.
   // --- 1. golden run + DDG construction (the dynamic trace of §III-A) ------
-  Stopwatch watch;
-  vm::ExecOptions exec;
-  exec.max_instructions = options.max_instructions;
-  exec.layout = options.layout;
-  exec.record_map_history = true;  // the per-access /proc probe equivalent
-  analysis.interpreter_ = std::make_unique<vm::Interpreter>(module, exec);
-  ddg::GraphBuilder builder(module);
-  analysis.golden_ = analysis.interpreter_->Run(options.entry, &builder);
-  if (!analysis.golden_.Completed()) {
-    throw std::runtime_error(
-        std::string("Analysis: golden run trapped with ") +
-        std::string(vm::TrapKindName(analysis.golden_.trap)));
+  {
+    const obs::TimedSection timed("ddg", "trace-and-graph", "analysis.trace_and_graph.us",
+                                  &analysis.timings_.trace_and_graph_seconds);
+    vm::ExecOptions exec;
+    exec.max_instructions = options.max_instructions;
+    exec.layout = options.layout;
+    exec.record_map_history = true;  // the per-access /proc probe equivalent
+    analysis.interpreter_ = std::make_unique<vm::Interpreter>(module, exec);
+    ddg::GraphBuilder builder(module);
+    analysis.golden_ = analysis.interpreter_->Run(options.entry, &builder);
+    if (!analysis.golden_.Completed()) {
+      throw std::runtime_error(
+          std::string("Analysis: golden run trapped with ") +
+          std::string(vm::TrapKindName(analysis.golden_.trap)));
+    }
+    analysis.graph_ = builder.Take();
   }
-  analysis.graph_ = builder.Take();
-  analysis.timings_.trace_and_graph_seconds = watch.ElapsedSeconds();
+  obs::GetCounter("analysis.dyn_instructions").Add(analysis.golden_.instructions_executed);
 
   // --- 2. base ACE analysis -------------------------------------------------
-  watch.Restart();
-  analysis.ace_ = ddg::ComputeAce(analysis.graph_, options.jobs);
-  analysis.timings_.ace_seconds = watch.ElapsedSeconds();
+  {
+    const obs::TimedSection timed("ace", "compute-ace", "analysis.ace.us",
+                                  &analysis.timings_.ace_seconds);
+    analysis.ace_ = ddg::ComputeAce(analysis.graph_, options.jobs);
+  }
   analysis.timings_.ace_threads = ThreadPool::ResolveJobs(options.jobs);
 
   // --- 3. crash model + propagation model -----------------------------------
-  watch.Restart();
-  analysis.crash_model_ = std::make_unique<crash::CrashModel>(analysis.interpreter_->memory());
-  analysis.crash_bits_ = crash::PropagateCrashRanges(analysis.graph_, analysis.ace_,
-                                                     *analysis.crash_model_, options.jobs);
-  analysis.timings_.crash_model_seconds = watch.ElapsedSeconds();
+  {
+    const obs::TimedSection timed("crash-model", "crash-model", "analysis.crash_model.us",
+                                  &analysis.timings_.crash_model_seconds);
+    analysis.crash_model_ =
+        std::make_unique<crash::CrashModel>(analysis.interpreter_->memory());
+    analysis.crash_bits_ = crash::PropagateCrashRanges(analysis.graph_, analysis.ace_,
+                                                       *analysis.crash_model_, options.jobs);
+  }
   analysis.timings_.crash_threads = ThreadPool::ResolveJobs(options.jobs);
   return analysis;
 }
@@ -320,7 +332,8 @@ const Analysis::UseWeightedBits& Analysis::ComputeUseWeightedBits() const {
   // thread-count-invariant. The pass is cached: every use-weighted metric
   // shares it.
   if (use_weighted_.has_value()) return *use_weighted_;
-  Stopwatch watch;
+  const obs::TimedSection timed("ace", "use-weighted-walks", "analysis.rate_estimate.us",
+                                &timings_.rate_estimate_seconds);
   const UseIndex uses = BuildUseIndex(graph_, options_.jobs);
   const ControlOracle control(*module_);
   use_weighted_ = ParallelReduce(
@@ -358,7 +371,6 @@ const Analysis::UseWeightedBits& Analysis::ComputeUseWeightedBits() const {
         return acc;
       },
       ParallelOptions{.jobs = options_.jobs});
-  timings_.rate_estimate_seconds = watch.ElapsedSeconds();
   timings_.rate_estimate_threads = ThreadPool::ResolveJobs(options_.jobs);
   return *use_weighted_;
 }

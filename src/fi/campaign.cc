@@ -4,7 +4,8 @@
 #include <numeric>
 #include <stdexcept>
 
-#include "support/stopwatch.h"
+#include "obs/progress.h"
+#include "obs/timing.h"
 #include "support/thread_pool.h"
 
 namespace epvf::fi {
@@ -74,6 +75,7 @@ std::vector<std::uint64_t> CheckpointSites(std::uint64_t trace_length, std::uint
 
 CampaignStats RunCampaign(const ir::Module& module, const ddg::Graph& graph,
                           const vm::RunResult& golden, const CampaignOptions& options) {
+  const obs::TraceSpan campaign_span("injection", "campaign");
   const std::vector<FaultSite> sites = EnumerateFaultSites(graph);
   if (sites.empty()) throw std::runtime_error("RunCampaign: no injectable fault sites");
 
@@ -162,10 +164,10 @@ CampaignStats RunCampaign(const ir::Module& module, const ddg::Graph& graph,
     if (completed[i] == 0) pending.push_back(i);
   }
   if (interval > 0 && !pending.empty()) {
-    Stopwatch checkpoint_watch;
+    const obs::TimedSection timed("injection", "checkpoint-build", "campaign.checkpoint_build.us",
+                                  &stats.perf.checkpoint_seconds);
     stats.perf.checkpoints =
         injector.BuildCheckpoints(CheckpointSites(golden.instructions_executed, interval));
-    stats.perf.checkpoint_seconds = checkpoint_watch.ElapsedSeconds();
   }
 
   // Dynamically scheduled on the shared pool, one run per task: runs that
@@ -187,7 +189,20 @@ CampaignStats RunCampaign(const ir::Module& module, const ddg::Graph& graph,
       options.on_progress && options.progress_interval > 0
           ? static_cast<std::size_t>(options.progress_interval)
           : (pending.empty() ? std::size_t{1} : pending.size());
-  Stopwatch inject_watch;
+
+  // Periodic visibility into a long campaign: workers tick lock-free atomics,
+  // a reporter thread prints runs/sec + outcome tallies + ETA to stderr (only
+  // when stderr is a terminal or EPVF_PROGRESS=1 — stdout never changes).
+  obs::ProgressReporter::Options progress_options;
+  progress_options.label = "campaign";
+  progress_options.total = pending.size();
+  progress_options.categories.reserve(kNumOutcomes);
+  for (int o = 0; o < kNumOutcomes; ++o) {
+    progress_options.categories.emplace_back(OutcomeName(static_cast<Outcome>(o)));
+  }
+  obs::ProgressReporter progress(std::move(progress_options));
+
+  obs::TimedSection inject_timed("injection", "inject-loop", "campaign.inject.us");
   for (std::size_t begin = 0; begin < pending.size(); begin += batch) {
     const std::size_t end = std::min(begin + batch, pending.size());
     ParallelFor(begin, end, ParallelOptions{.jobs = options.num_threads, .grain = 1},
@@ -198,17 +213,30 @@ CampaignStats RunCampaign(const ir::Module& module, const ddg::Graph& graph,
                   resumed_from[i] = result.resumed_from;
                   stats.records[i] = FaultRecord{r.site, r.bit, result.outcome};
                   completed[i] = 1;
+                  progress.Tick(static_cast<std::size_t>(result.outcome));
                 });
     if (options.on_progress) {
-      Stopwatch persist_watch;
-      options.on_progress(stats.records, completed);
-      stats.perf.persist_seconds += persist_watch.ElapsedSeconds();
+      double batch_persist_seconds = 0;
+      {
+        const obs::TimedSection timed("store", "persist-progress", "campaign.persist.us",
+                                      &batch_persist_seconds);
+        options.on_progress(stats.records, completed);
+      }
+      stats.perf.persist_seconds += batch_persist_seconds;
     }
   }
-  stats.perf.inject_seconds = inject_watch.ElapsedSeconds() - stats.perf.persist_seconds;
+  stats.perf.inject_seconds = inject_timed.Stop() - stats.perf.persist_seconds;
+  progress.Finish();
 
   for (std::size_t i = 0; i < plan.size(); ++i) {
     stats.counts[static_cast<int>(stats.records[i].outcome)] += 1;
+  }
+  for (int o = 0; o < kNumOutcomes; ++o) {
+    if (stats.counts[o] != 0) {
+      obs::GetCounter(std::string("campaign.outcome.") +
+                      std::string(OutcomeName(static_cast<Outcome>(o))))
+          .Add(stats.counts[o]);
+    }
   }
   for (const std::uint32_t i : pending) {
     if (resumed_from[i] > 0) {

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace epvf::fi {
 
 std::vector<FaultSite> EnumerateFaultSites(const ddg::Graph& graph) {
@@ -61,6 +64,7 @@ const vm::Interpreter::Checkpoint* Injector::NearestCheckpoint(std::uint64_t dyn
 }
 
 std::size_t Injector::BuildCheckpoints(std::span<const std::uint64_t> at) {
+  const obs::TraceSpan span("injection", "build-checkpoints");
   checkpoints_.clear();
   if (at.empty()) return 0;
   vm::ExecOptions exec;
@@ -74,11 +78,19 @@ std::size_t Injector::BuildCheckpoints(std::span<const std::uint64_t> at) {
     throw std::runtime_error(
         "Injector::BuildCheckpoints: golden replay diverged from the supplied golden run");
   }
+  obs::GetCounter("campaign.checkpoints").Add(checkpoints_.size());
   return checkpoints_.size();
 }
 
 Injector::InjectionResult Injector::Inject(const FaultSite& site, std::uint8_t bit,
                                            std::optional<mem::LayoutJitter> jitter) {
+  // One span per run; the name is settled once we know whether the run could
+  // resume from a snapshot. The counters are cached — registry lookup stays
+  // off the per-injection path.
+  static obs::Counter& full_counter = obs::GetCounter("campaign.runs.full");
+  static obs::Counter& resumed_counter = obs::GetCounter("campaign.runs.resumed");
+  static obs::Counter& skipped_counter = obs::GetCounter("campaign.skipped_instructions");
+  obs::TraceSpan span("injection", "inject-full");
   vm::ExecOptions exec;
   exec.layout = options_.layout;
   exec.jitter = jitter.has_value() ? *jitter : DrawJitter(jitter_rng_);
@@ -97,6 +109,13 @@ Injector::InjectionResult Injector::Inject(const FaultSite& site, std::uint8_t b
   result.run = ckpt != nullptr ? interp.ResumeFrom(*ckpt) : interp.Run(options_.entry, nullptr);
   result.resumed_from = ckpt != nullptr ? ckpt->dyn_index : 0;
   result.outcome = Classify(result.run, golden_);
+  if (ckpt != nullptr) {
+    span.Rename("inject-resume");
+    resumed_counter.Add();
+    skipped_counter.Add(result.resumed_from);
+  } else {
+    full_counter.Add();
+  }
   return result;
 }
 

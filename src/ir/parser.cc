@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace epvf::ir {
 
 namespace {
@@ -560,6 +562,7 @@ class Parser {
 }  // namespace
 
 std::variant<Module, ParseError> ParseModule(std::string_view text) {
+  const obs::TraceSpan span("parse", "parse-module");
   return Parser(text).Run();
 }
 

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "ir/printer.h"
+#include "obs/trace.h"
 
 namespace epvf::ir {
 
@@ -453,6 +454,7 @@ std::string VerifyResult::Summary() const {
 }
 
 VerifyResult VerifyModule(const Module& module) {
+  const obs::TraceSpan span("parse", "verify-module");
   VerifyResult result;
   for (std::uint32_t f = 0; f < module.functions.size(); ++f) {
     FunctionVerifier(module, module.functions[f], f, result.errors).Run();

@@ -1,0 +1,307 @@
+#include "obs/metrics.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace epvf::obs {
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked on purpose: worker threads (and atexit exporters) may record after
+  // static destructors start tearing other objects down.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>()).first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snap() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->Value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->Value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot h;
+    h.count = histogram->Count();
+    h.sum = histogram->Sum();
+    h.min = histogram->Min();
+    h.max = histogram->Max();
+    for (unsigned b = 0; b < Histogram::kNumBuckets; ++b) {
+      const std::uint64_t n = histogram->BucketCount(b);
+      if (n != 0) h.buckets.emplace_back(Histogram::BucketLowerBound(b), n);
+    }
+    snap.histograms.emplace_back(name, std::move(h));
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::ToJson() const { return MetricsJson(Snap()); }
+
+bool MetricsRegistry::WriteJsonFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "obs: cannot write metrics file %s\n", path.c_str());
+    return false;
+  }
+  out << ToJson();
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+void MetricsRegistry::ResetForTest() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+namespace {
+
+void AppendEscaped(std::string& out, std::string_view raw) {
+  for (const char c : raw) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+  }
+}
+
+}  // namespace
+
+std::string MetricsJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\"schema\":\"epvf-metrics-v1\",\n\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n\"";
+    AppendEscaped(out, name);
+    out += "\":" + std::to_string(value);
+  }
+  out += "},\n\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n\"";
+    AppendEscaped(out, name);
+    out += "\":" + std::to_string(value);
+  }
+  out += "},\n\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n\"";
+    AppendEscaped(out, name);
+    out += "\":{\"count\":" + std::to_string(h.count) + ",\"sum\":" + std::to_string(h.sum) +
+           ",\"min\":" + std::to_string(h.min) + ",\"max\":" + std::to_string(h.max) +
+           ",\"buckets\":[";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i != 0) out += ',';
+      out += '[' + std::to_string(h.buckets[i].first) + ',' +
+             std::to_string(h.buckets[i].second) + ']';
+    }
+    out += "]}";
+  }
+  out += "}}\n";
+  return out;
+}
+
+namespace {
+
+/// Minimal cursor over the epvf-metrics-v1 grammar. Whitespace-tolerant;
+/// rejects anything outside the schema rather than guessing.
+class JsonCursor {
+ public:
+  explicit JsonCursor(std::string_view text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool Eat(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  [[nodiscard]] bool Peek(char c) {
+    SkipSpace();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool ReadString(std::string& out) {
+    if (!Eat('"')) return false;
+    out.clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        c = text_[pos_++];
+      }
+      out.push_back(c);
+    }
+    return pos_ < text_.size() && text_[pos_++] == '"';
+  }
+
+  bool ReadUint(std::uint64_t& out) {
+    SkipSpace();
+    if (pos_ >= text_.size() || std::isdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+      return false;
+    }
+    out = 0;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+      out = out * 10 + static_cast<std::uint64_t>(text_[pos_++] - '0');
+    }
+    return true;
+  }
+
+  bool ReadInt(std::int64_t& out) {
+    SkipSpace();
+    const bool negative = pos_ < text_.size() && text_[pos_] == '-';
+    if (negative) ++pos_;
+    std::uint64_t magnitude = 0;
+    if (!ReadUint(magnitude)) return false;
+    out = negative ? -static_cast<std::int64_t>(magnitude)
+                   : static_cast<std::int64_t>(magnitude);
+    return true;
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+bool ReadHistogramObject(JsonCursor& cursor, HistogramSnapshot& h) {
+  if (!cursor.Eat('{')) return false;
+  bool first = true;
+  while (!cursor.Peek('}')) {
+    if (!first && !cursor.Eat(',')) return false;
+    first = false;
+    std::string field;
+    if (!cursor.ReadString(field) || !cursor.Eat(':')) return false;
+    if (field == "count") {
+      if (!cursor.ReadUint(h.count)) return false;
+    } else if (field == "sum") {
+      if (!cursor.ReadUint(h.sum)) return false;
+    } else if (field == "min") {
+      if (!cursor.ReadUint(h.min)) return false;
+    } else if (field == "max") {
+      if (!cursor.ReadUint(h.max)) return false;
+    } else if (field == "buckets") {
+      if (!cursor.Eat('[')) return false;
+      while (!cursor.Peek(']')) {
+        if (!h.buckets.empty() && !cursor.Eat(',')) return false;
+        std::uint64_t lower = 0;
+        std::uint64_t count = 0;
+        if (!cursor.Eat('[') || !cursor.ReadUint(lower) || !cursor.Eat(',') ||
+            !cursor.ReadUint(count) || !cursor.Eat(']')) {
+          return false;
+        }
+        h.buckets.emplace_back(lower, count);
+      }
+      if (!cursor.Eat(']')) return false;
+    } else {
+      return false;
+    }
+  }
+  return cursor.Eat('}');
+}
+
+}  // namespace
+
+std::optional<MetricsSnapshot> ParseMetricsJson(std::string_view json) {
+  JsonCursor cursor(json);
+  MetricsSnapshot snap;
+  std::string key;
+  if (!cursor.Eat('{') || !cursor.ReadString(key) || key != "schema" || !cursor.Eat(':') ||
+      !cursor.ReadString(key) || key != "epvf-metrics-v1") {
+    return std::nullopt;
+  }
+
+  const auto read_section = [&](const char* want) -> std::optional<bool> {
+    if (!cursor.Eat(',') || !cursor.ReadString(key) || key != want || !cursor.Eat(':') ||
+        !cursor.Eat('{')) {
+      return std::nullopt;
+    }
+    return true;
+  };
+
+  if (!read_section("counters").has_value()) return std::nullopt;
+  bool first = true;
+  while (!cursor.Peek('}')) {
+    if (!first && !cursor.Eat(',')) return std::nullopt;
+    first = false;
+    std::uint64_t value = 0;
+    if (!cursor.ReadString(key) || !cursor.Eat(':') || !cursor.ReadUint(value)) {
+      return std::nullopt;
+    }
+    snap.counters.emplace_back(key, value);
+  }
+  if (!cursor.Eat('}')) return std::nullopt;
+
+  if (!read_section("gauges").has_value()) return std::nullopt;
+  first = true;
+  while (!cursor.Peek('}')) {
+    if (!first && !cursor.Eat(',')) return std::nullopt;
+    first = false;
+    std::int64_t value = 0;
+    if (!cursor.ReadString(key) || !cursor.Eat(':') || !cursor.ReadInt(value)) {
+      return std::nullopt;
+    }
+    snap.gauges.emplace_back(key, value);
+  }
+  if (!cursor.Eat('}')) return std::nullopt;
+
+  if (!read_section("histograms").has_value()) return std::nullopt;
+  first = true;
+  while (!cursor.Peek('}')) {
+    if (!first && !cursor.Eat(',')) return std::nullopt;
+    first = false;
+    HistogramSnapshot h;
+    if (!cursor.ReadString(key) || !cursor.Eat(':') || !ReadHistogramObject(cursor, h)) {
+      return std::nullopt;
+    }
+    snap.histograms.emplace_back(key, std::move(h));
+  }
+  if (!cursor.Eat('}') || !cursor.Eat('}')) return std::nullopt;
+  return snap;
+}
+
+}  // namespace epvf::obs

@@ -1,0 +1,208 @@
+// Process-wide metrics registry: named counters, gauges and histograms.
+//
+// The registry is the measurement substrate every timing report draws from —
+// the analysis stage breakdown (Table V / Figure 10), the campaign fast-path
+// accounting, and the artifact-cache hit/byte counters all flow through it,
+// so one `--metrics-out` dump (or `epvf metrics FILE`) shows where a run's
+// time and work went without recompiling anything.
+//
+// Concurrency and cost: instruments are registered once under a mutex and
+// then addressed by reference; every update on the hot path is a single
+// relaxed atomic RMW (lock-free, no allocation). Callers on per-item paths
+// cache the reference (`static obs::Counter& c = obs::GetCounter(...)`), so
+// the registry lookup never lands in a loop. Instruments are never removed:
+// references stay valid for the life of the process.
+//
+// Naming convention (docs/OBSERVABILITY.md): lowercase dotted paths,
+// "<subsystem>.<thing>[.<unit>]" — e.g. "analysis.ace.us",
+// "campaign.runs.resumed", "store.cache.bytes_read". Durations are recorded
+// in integer microseconds with a ".us" suffix.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace epvf::obs {
+
+/// Monotonically increasing event count. Lock-free.
+class Counter {
+ public:
+  void Add(std::uint64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  /// Reclassification only (e.g. a demoted cache hit) — not for hot paths.
+  void Sub(std::uint64_t delta = 1) { value_.fetch_sub(delta, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins signed level (queue depths, active workers). Lock-free.
+class Gauge {
+ public:
+  void Set(std::int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(std::int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Power-of-two-bucketed distribution of unsigned values (durations in µs,
+/// sizes in bytes). Bucket b counts values in [2^(b-1), 2^b); bucket 0 counts
+/// zeros. All updates are relaxed atomics — concurrent Observe calls never
+/// lock, and a concurrent snapshot is approximate only in that it may miss
+/// in-flight updates, never torn per-cell.
+class Histogram {
+ public:
+  static constexpr unsigned kNumBuckets = 65;
+
+  void Observe(std::uint64_t value) {
+    buckets_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    AtomicMin(min_, value);
+    AtomicMax(max_, value);
+  }
+
+  [[nodiscard]] std::uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// 0 when empty.
+  [[nodiscard]] std::uint64_t Min() const {
+    const std::uint64_t v = min_.load(std::memory_order_relaxed);
+    return v == kEmptyMin ? 0 : v;
+  }
+  [[nodiscard]] std::uint64_t Max() const { return max_.load(std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t BucketCount(unsigned bucket) const {
+    return buckets_[bucket].load(std::memory_order_relaxed);
+  }
+
+  /// Index of the bucket a value lands in; bucket b's inclusive lower bound
+  /// is BucketLowerBound(b).
+  [[nodiscard]] static unsigned BucketOf(std::uint64_t value) {
+    unsigned bits = 0;
+    while (value != 0) {
+      value >>= 1;
+      ++bits;
+    }
+    return bits;
+  }
+  [[nodiscard]] static std::uint64_t BucketLowerBound(unsigned bucket) {
+    return bucket == 0 ? 0 : std::uint64_t{1} << (bucket - 1);
+  }
+
+  void Reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    min_.store(kEmptyMin, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::uint64_t kEmptyMin = ~std::uint64_t{0};
+
+  static void AtomicMin(std::atomic<std::uint64_t>& slot, std::uint64_t value) {
+    std::uint64_t current = slot.load(std::memory_order_relaxed);
+    while (value < current &&
+           !slot.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+    }
+  }
+  static void AtomicMax(std::atomic<std::uint64_t>& slot, std::uint64_t value) {
+    std::uint64_t current = slot.load(std::memory_order_relaxed);
+    while (value > current &&
+           !slot.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{kEmptyMin};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// A point-in-time copy of one histogram, JSON-round-trippable.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  /// (bucket lower bound, count) for every non-empty bucket, ascending.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+
+  [[nodiscard]] double Mean() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+/// A point-in-time copy of the whole registry (names sorted).
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  [[nodiscard]] bool Empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every subsystem records into.
+  [[nodiscard]] static MetricsRegistry& Global();
+
+  /// Get-or-create. The returned reference is valid for the registry's
+  /// lifetime; cache it on hot paths.
+  [[nodiscard]] Counter& GetCounter(std::string_view name);
+  [[nodiscard]] Gauge& GetGauge(std::string_view name);
+  [[nodiscard]] Histogram& GetHistogram(std::string_view name);
+
+  [[nodiscard]] MetricsSnapshot Snap() const;
+  /// docs/OBSERVABILITY.md "epvf-metrics-v1" JSON (deterministic key order).
+  [[nodiscard]] std::string ToJson() const;
+  /// Writes ToJson() to `path`; false (with a message on stderr) on failure.
+  bool WriteJsonFile(const std::string& path) const;
+
+  /// Zeroes every instrument (references stay valid). Tests only.
+  void ResetForTest();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Shorthands for the global registry.
+[[nodiscard]] inline Counter& GetCounter(std::string_view name) {
+  return MetricsRegistry::Global().GetCounter(name);
+}
+[[nodiscard]] inline Gauge& GetGauge(std::string_view name) {
+  return MetricsRegistry::Global().GetGauge(name);
+}
+[[nodiscard]] inline Histogram& GetHistogram(std::string_view name) {
+  return MetricsRegistry::Global().GetHistogram(name);
+}
+
+/// Serializes a snapshot as "epvf-metrics-v1" JSON.
+[[nodiscard]] std::string MetricsJson(const MetricsSnapshot& snapshot);
+
+/// Parses "epvf-metrics-v1" JSON (as written by MetricsJson / --metrics-out).
+/// std::nullopt on anything malformed — this is a schema-specific reader, not
+/// a general JSON parser.
+[[nodiscard]] std::optional<MetricsSnapshot> ParseMetricsJson(std::string_view json);
+
+}  // namespace epvf::obs

@@ -1,0 +1,125 @@
+#include "obs/progress.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/metrics.h"
+
+namespace epvf::obs {
+
+namespace {
+
+bool ResolveEnabled(int enable) {
+  if (enable == 0) return false;
+  if (enable > 0) return true;
+  const char* env = std::getenv("EPVF_PROGRESS");
+  if (env != nullptr) return env[0] != '0';
+  return isatty(STDERR_FILENO) == 1;
+}
+
+}  // namespace
+
+ProgressReporter::ProgressReporter(Options options)
+    : options_(std::move(options)),
+      enabled_(ResolveEnabled(options_.enable)),
+      start_(std::chrono::steady_clock::now()) {
+  category_counts_.reserve(options_.categories.size());
+  for (std::size_t i = 0; i < options_.categories.size(); ++i) {
+    category_counts_.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
+  }
+  if (!enabled_) return;
+  thread_ = std::thread([this] { ReportLoop(); });
+}
+
+ProgressReporter::~ProgressReporter() { Finish(); }
+
+void ProgressReporter::Tick(std::size_t category, std::uint64_t delta) {
+  done_.fetch_add(delta, std::memory_order_relaxed);
+  if (category < category_counts_.size()) {
+    category_counts_[category]->fetch_add(delta, std::memory_order_relaxed);
+  }
+}
+
+void ProgressReporter::Finish() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (finished_) return;
+    finished_ = true;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  if (enabled_) PrintLine(/*final_line=*/true);
+}
+
+std::string ProgressReporter::StatusLine() const {
+  const std::uint64_t done = done_.load(std::memory_order_relaxed);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  const double rate = elapsed > 0 ? static_cast<double>(done) / elapsed : 0.0;
+
+  char head[160];
+  if (options_.total > 0) {
+    const double pct =
+        100.0 * static_cast<double>(done) / static_cast<double>(options_.total);
+    std::snprintf(head, sizeof head, "[%s] %llu/%llu (%.1f%%) %.0f/s",
+                  options_.label.c_str(), static_cast<unsigned long long>(done),
+                  static_cast<unsigned long long>(options_.total), pct, rate);
+  } else {
+    std::snprintf(head, sizeof head, "[%s] %llu done %.0f/s", options_.label.c_str(),
+                  static_cast<unsigned long long>(done), rate);
+  }
+  std::string line = head;
+
+  if (options_.total > 0 && rate > 0 && done < options_.total) {
+    const double eta = static_cast<double>(options_.total - done) / rate;
+    char buf[48];
+    if (eta >= 90) {
+      std::snprintf(buf, sizeof buf, " ETA %.1f min", eta / 60);
+    } else {
+      std::snprintf(buf, sizeof buf, " ETA %.0f s", eta);
+    }
+    line += buf;
+  }
+
+  bool first = true;
+  for (std::size_t i = 0; i < category_counts_.size(); ++i) {
+    const std::uint64_t n = category_counts_[i]->load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    line += first ? " | " : " ";
+    first = false;
+    line += options_.categories[i] + " " + std::to_string(n);
+  }
+
+  // The artifact cache records into the global registry; surface its hit
+  // count so a resumed/warm campaign is visible as such.
+  const std::uint64_t hits = GetCounter("store.cache.hits").Value();
+  if (hits > 0) line += " | cache hits " + std::to_string(hits);
+  return line;
+}
+
+void ProgressReporter::PrintLine(bool final_line) {
+  const std::string line = StatusLine();
+  const bool tty = isatty(STDERR_FILENO) == 1;
+  if (tty) {
+    // Overwrite in place on a terminal; the final line is left standing.
+    std::fprintf(stderr, "\r\033[2K%s%s", line.c_str(), final_line ? "\n" : "");
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+  std::fflush(stderr);
+}
+
+void ProgressReporter::ReportLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto interval = std::chrono::duration<double>(options_.interval_seconds);
+  while (!cv_.wait_for(lock, interval, [this] { return stop_; })) {
+    lock.unlock();
+    PrintLine(/*final_line=*/false);
+    lock.lock();
+  }
+}
+
+}  // namespace epvf::obs

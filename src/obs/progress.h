@@ -1,0 +1,78 @@
+// Periodic progress reporter for long-running campaigns and analyses.
+//
+// A multi-hour injection campaign used to be a black box between its first
+// and last line of output. The reporter opens a small window into it: a
+// background thread wakes on an interval and prints completed/total,
+// instantaneous rate, an ETA, per-category outcome tallies, and the artifact
+// cache's hit counter to stderr. Workers tick lock-free atomics; the
+// reporting thread does all the formatting, so the hot path stays unmeasured.
+//
+// Output discipline: everything goes to stderr (stdout stays byte-identical
+// with or without progress, the same contract the cache diagnostics follow).
+// Enabled when stderr is a terminal; EPVF_PROGRESS=1 forces it on for
+// redirected runs (plain newline-terminated lines), EPVF_PROGRESS=0 forces
+// it off.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace epvf::obs {
+
+class ProgressReporter {
+ public:
+  struct Options {
+    std::string label;         ///< printed as the line prefix, e.g. "inject"
+    std::uint64_t total = 0;   ///< expected Tick count (0 = unknown, no ETA)
+    /// Names of the per-category tallies shown on the line (e.g. outcome
+    /// class names). Tick(category) indexes into this list.
+    std::vector<std::string> categories;
+    double interval_seconds = 1.0;
+    /// -1 = auto (EPVF_PROGRESS env var, else whether stderr is a tty),
+    /// 0 = force off, 1 = force on.
+    int enable = -1;
+  };
+
+  explicit ProgressReporter(Options options);
+  ProgressReporter(const ProgressReporter&) = delete;
+  ProgressReporter& operator=(const ProgressReporter&) = delete;
+  /// Finishes (prints the final line) if Finish was not already called.
+  ~ProgressReporter();
+
+  /// Records one completed unit, attributed to `category` when the reporter
+  /// was configured with category names. Lock-free; callable from any thread.
+  void Tick(std::size_t category = 0, std::uint64_t delta = 1);
+
+  /// Stops the reporting thread and prints one final summary line.
+  void Finish();
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  /// The line the reporter would print now (no trailing newline). Exposed so
+  /// tests can exercise the formatting without a terminal.
+  [[nodiscard]] std::string StatusLine() const;
+
+ private:
+  void ReportLoop();
+  void PrintLine(bool final_line);
+
+  Options options_;
+  bool enabled_ = false;
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<std::uint64_t> done_{0};
+  std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> category_counts_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool finished_ = false;
+  std::thread thread_;
+};
+
+}  // namespace epvf::obs

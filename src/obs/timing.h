@@ -1,0 +1,56 @@
+// TimedSection: the one measurement path behind every stage timing.
+//
+// Opens a TraceSpan and a wall clock together; on Stop (or destruction) the
+// elapsed time lands in three places at once — the trace buffer (when
+// tracing is on), a registry histogram in integer microseconds, and an
+// optional double field of a legacy timing struct (AnalysisTimings,
+// CampaignPerf). The structs therefore *read from* the same measurement the
+// registry records: one clock read, no drift between the stderr reports and
+// a --metrics-out dump.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace epvf::obs {
+
+class TimedSection {
+ public:
+  /// `category`/`name` label the trace span (string literals); `histogram`
+  /// names the registry histogram the elapsed µs are observed into;
+  /// `seconds_out` (optional) receives the elapsed seconds on Stop.
+  TimedSection(const char* category, const char* name, const char* histogram,
+               double* seconds_out = nullptr)
+      : span_(category, name),
+        histogram_(histogram),
+        seconds_out_(seconds_out),
+        start_(std::chrono::steady_clock::now()) {}
+
+  TimedSection(const TimedSection&) = delete;
+  TimedSection& operator=(const TimedSection&) = delete;
+  ~TimedSection() { Stop(); }
+
+  /// Ends the measurement now (idempotent) and returns the elapsed seconds.
+  double Stop() {
+    if (stopped_) return seconds_;
+    stopped_ = true;
+    seconds_ = std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+    span_.Close();
+    GetHistogram(histogram_).Observe(static_cast<std::uint64_t>(seconds_ * 1e6));
+    if (seconds_out_ != nullptr) *seconds_out_ = seconds_;
+    return seconds_;
+  }
+
+ private:
+  TraceSpan span_;
+  const char* histogram_;
+  double* seconds_out_;
+  std::chrono::steady_clock::time_point start_;
+  double seconds_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace epvf::obs

@@ -1,0 +1,179 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+
+namespace epvf::obs {
+
+namespace trace_detail {
+
+std::atomic<bool> g_enabled{false};
+
+}  // namespace trace_detail
+
+namespace {
+
+/// Spans retained per thread (a ring: oldest dropped first). 16 Ki spans ≈
+/// 640 KiB per recording thread, far above what a stage-granular
+/// instrumentation of even a long campaign emits per worker.
+constexpr std::uint64_t kRingCapacity = 1 << 14;
+
+struct ThreadBuffer {
+  std::uint32_t tid = 0;
+  std::vector<TraceEvent> ring;
+  /// Spans ever recorded by this thread. The owner thread stores events
+  /// before publishing the new total with release; collectors acquire it and
+  /// read only published slots.
+  std::atomic<std::uint64_t> total{0};
+};
+
+struct TraceState {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;  ///< never shrunk
+  std::uint32_t next_tid = 1;
+  std::chrono::steady_clock::time_point epoch = std::chrono::steady_clock::now();
+};
+
+TraceState& State() {
+  // Leaked on purpose: pool workers may still record while static
+  // destructors run.
+  static TraceState* state = new TraceState();
+  return *state;
+}
+
+thread_local ThreadBuffer* t_buffer = nullptr;
+
+ThreadBuffer& LocalBuffer() {
+  if (t_buffer == nullptr) {
+    auto buffer = std::make_unique<ThreadBuffer>();
+    buffer->ring.resize(kRingCapacity);
+    TraceState& state = State();
+    const std::lock_guard<std::mutex> lock(state.mutex);
+    buffer->tid = state.next_tid++;
+    t_buffer = buffer.get();
+    state.buffers.push_back(std::move(buffer));
+  }
+  return *t_buffer;
+}
+
+}  // namespace
+
+namespace trace_detail {
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now() - State().epoch)
+                                        .count());
+}
+
+void Record(const char* category, const char* name, std::uint64_t start_ns,
+            std::uint64_t end_ns) {
+  ThreadBuffer& buffer = LocalBuffer();
+  const std::uint64_t n = buffer.total.load(std::memory_order_relaxed);
+  buffer.ring[n % kRingCapacity] =
+      TraceEvent{category, name, start_ns, end_ns - start_ns, buffer.tid};
+  buffer.total.store(n + 1, std::memory_order_release);
+}
+
+}  // namespace trace_detail
+
+void SetTracingEnabled(bool enabled) {
+  trace_detail::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent> CollectTraceEvents() {
+  TraceState& state = State();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  std::vector<TraceEvent> out;
+  for (const auto& buffer : state.buffers) {
+    const std::uint64_t total = buffer->total.load(std::memory_order_acquire);
+    const std::uint64_t kept = std::min(total, kRingCapacity);
+    for (std::uint64_t i = total - kept; i < total; ++i) {
+      out.push_back(buffer->ring[i % kRingCapacity]);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    return a.start_ns < b.start_ns;
+  });
+  return out;
+}
+
+std::uint64_t DroppedTraceEvents() {
+  TraceState& state = State();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  std::uint64_t dropped = 0;
+  for (const auto& buffer : state.buffers) {
+    const std::uint64_t total = buffer->total.load(std::memory_order_acquire);
+    if (total > kRingCapacity) dropped += total - kRingCapacity;
+  }
+  return dropped;
+}
+
+namespace {
+
+void AppendEscaped(std::string& out, const char* raw) {
+  for (; *raw != '\0'; ++raw) {
+    const char c = *raw;
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+  }
+}
+
+}  // namespace
+
+std::string ChromeTraceJson() {
+  const std::vector<TraceEvent> events = CollectTraceEvents();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  out +=
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"epvf\"}}";
+  std::uint32_t max_tid = 0;
+  for (const TraceEvent& event : events) max_tid = std::max(max_tid, event.tid);
+  for (std::uint32_t tid = 1; tid <= max_tid; ++tid) {
+    char line[128];
+    std::snprintf(line, sizeof line,
+                  ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":%u,\"name\":\"thread_name\","
+                  "\"args\":{\"name\":\"epvf-thread-%u\"}}",
+                  tid, tid);
+    out += line;
+  }
+  for (const TraceEvent& event : events) {
+    char prefix[160];
+    std::snprintf(prefix, sizeof prefix,
+                  ",\n{\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f,\"cat\":\"",
+                  event.tid, static_cast<double>(event.start_ns) / 1e3,
+                  static_cast<double>(event.dur_ns) / 1e3);
+    out += prefix;
+    AppendEscaped(out, event.category);
+    out += "\",\"name\":\"";
+    AppendEscaped(out, event.name);
+    out += "\"}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool WriteChromeTrace(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "obs: cannot write trace file %s\n", path.c_str());
+    return false;
+  }
+  out << ChromeTraceJson();
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+void ResetTraceForTest() {
+  TraceState& state = State();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  for (const auto& buffer : state.buffers) {
+    buffer->total.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace epvf::obs

@@ -1,0 +1,100 @@
+// Scoped tracing: RAII spans recorded into per-thread ring buffers and
+// exported as Chrome trace_event JSON (load the file in chrome://tracing or
+// https://ui.perfetto.dev to see the pipeline's time layout — the interactive
+// version of the paper's Figure 10 breakdown).
+//
+// Cost model: tracing is off by default, and a disabled TraceSpan is one
+// relaxed atomic load plus a branch — no clock read, no allocation, nothing
+// stored (obs_test pins the no-allocation property). When enabled, recording
+// a span is two steady_clock reads and one index-addressed store into the
+// calling thread's ring buffer; no lock is ever taken on the record path.
+// Instrument freely at stage/task/run granularity; keep spans out of
+// per-instruction loops.
+//
+// Contracts:
+//   - category/name must be string literals (or otherwise outlive the
+//     process): the buffers store the pointers, not copies.
+//   - each thread's buffer holds the most recent kRingCapacity spans; older
+//     ones are dropped oldest-first and counted (DroppedTraceEvents).
+//   - export (CollectTraceEvents / WriteChromeTrace) is meant for quiescent
+//     moments — end of main, after a campaign joins its workers. A span
+//     recorded concurrently with an export may be missed; it is never torn
+//     into the output, and buffers are never freed, so late recorders stay
+//     safe.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace epvf::obs {
+
+namespace trace_detail {
+extern std::atomic<bool> g_enabled;
+[[nodiscard]] std::uint64_t NowNs();
+void Record(const char* category, const char* name, std::uint64_t start_ns,
+            std::uint64_t end_ns);
+}  // namespace trace_detail
+
+[[nodiscard]] inline bool TracingEnabled() {
+  return trace_detail::g_enabled.load(std::memory_order_relaxed);
+}
+void SetTracingEnabled(bool enabled);
+
+/// One completed span, as drained from the ring buffers.
+struct TraceEvent {
+  const char* category = nullptr;
+  const char* name = nullptr;
+  std::uint64_t start_ns = 0;  ///< since the process's trace epoch
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;  ///< small per-thread id assigned at first record
+};
+
+/// RAII scoped span: records [construction, destruction) when tracing is
+/// enabled, does nothing otherwise. Rename() swaps the recorded name before
+/// close — for spans whose label is only known at the end (an injection that
+/// turned out to resume from a checkpoint).
+class TraceSpan {
+ public:
+  TraceSpan(const char* category, const char* name) {
+    if (!trace_detail::g_enabled.load(std::memory_order_relaxed)) return;
+    category_ = category;
+    name_ = name;
+    start_ns_ = trace_detail::NowNs();
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan() { Close(); }
+
+  void Rename(const char* name) {
+    if (category_ != nullptr) name_ = name;
+  }
+
+  /// Records the span now instead of at destruction. Idempotent.
+  void Close() {
+    if (category_ == nullptr) return;
+    trace_detail::Record(category_, name_, start_ns_, trace_detail::NowNs());
+    category_ = nullptr;
+  }
+
+ private:
+  const char* category_ = nullptr;
+  const char* name_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+};
+
+/// Every buffered span across all threads, sorted by start time.
+[[nodiscard]] std::vector<TraceEvent> CollectTraceEvents();
+/// Spans lost to ring-buffer wraparound since the last reset.
+[[nodiscard]] std::uint64_t DroppedTraceEvents();
+/// Chrome trace_event JSON ("X" complete events, ts/dur in µs) of every
+/// buffered span, plus process/thread metadata records.
+[[nodiscard]] std::string ChromeTraceJson();
+/// Writes ChromeTraceJson() to `path`; false (message on stderr) on failure.
+bool WriteChromeTrace(const std::string& path);
+/// Empties every thread's buffer and the drop counter (buffers stay
+/// registered — never call concurrently with active spans). Tests only.
+void ResetTraceForTest();
+
+}  // namespace epvf::obs

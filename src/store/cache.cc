@@ -4,6 +4,8 @@
 #include <sstream>
 
 #include "ir/printer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/atomic_file.h"
 #include "support/logging.h"
 #include "support/stopwatch.h"
@@ -124,27 +126,36 @@ std::string ArtifactCache::EntryPath(const std::string& id, ArtifactKind kind) c
 
 std::optional<ArtifactReader> ArtifactCache::Load(const std::string& id, ArtifactKind kind) {
   if (!enabled()) return std::nullopt;
+  const obs::TraceSpan span("store", "load-artifact");
   auto reader = ArtifactReader::Open(EntryPath(id, kind), kind);
   if (!reader.has_value()) {
     session_.misses += 1;
+    obs::GetCounter("store.cache.misses").Add();
     return std::nullopt;
   }
   session_.hits += 1;
   session_.bytes_read += reader->file_size();
+  obs::GetCounter("store.cache.hits").Add();
+  obs::GetCounter("store.cache.bytes_read").Add(reader->file_size());
   return reader;
 }
 
 bool ArtifactCache::Store(const std::string& id, const ArtifactWriter& writer) {
   if (!enabled()) return false;
+  const obs::TraceSpan span("store", "store-artifact");
   const std::string image = writer.Finish();
   if (!AtomicWriteFile(EntryPath(id, writer.kind()), image)) return false;
   session_.bytes_written += image.size();
+  obs::GetCounter("store.cache.bytes_written").Add(image.size());
   return true;
 }
 
 void ArtifactCache::DemoteLastHit() {
   if (session_.hits > 0) session_.hits -= 1;
   session_.misses += 1;
+  obs::Counter& hits = obs::GetCounter("store.cache.hits");
+  if (hits.Value() > 0) hits.Sub();
+  obs::GetCounter("store.cache.misses").Add();
 }
 
 ArtifactCache::DirStats ArtifactCache::Stats() const {
@@ -185,6 +196,7 @@ core::Analysis RunAnalysisCached(const ir::Module& module, const core::AnalysisO
                                  const AnalysisKey& key, ArtifactCache& cache) {
   const std::string id = CacheId(key);
   if (cache.enabled()) {
+    const obs::TraceSpan span("store", "load-analysis");
     Stopwatch load_watch;
     if (auto reader = cache.Load(id, ArtifactKind::kAnalysis)) {
       if (auto data = ReadAnalysisArtifact(module, *reader)) {
@@ -205,6 +217,7 @@ core::Analysis RunAnalysisCached(const ir::Module& module, const core::AnalysisO
   Stopwatch store_watch;
   double store_seconds = 0;
   if (cache.enabled()) {
+    const obs::TraceSpan span("store", "store-analysis");
     ArtifactWriter writer(ArtifactKind::kAnalysis);
     WriteAnalysisArtifact(analysis, writer);
     cache.Store(id, writer);
@@ -222,6 +235,7 @@ fi::CampaignStats RunCampaignCached(const ir::Module& module, const ddg::Graph& 
   std::optional<CampaignArtifact> prior;
   double load_seconds = 0;
   if (cache.enabled()) {
+    const obs::TraceSpan span("store", "load-campaign");
     Stopwatch load_watch;
     if (auto reader = cache.Load(id, ArtifactKind::kCampaign)) {
       prior = ReadCampaignArtifact(*reader);

@@ -1,5 +1,7 @@
 #include "support/thread_pool.h"
 
+#include "obs/trace.h"
+
 namespace epvf {
 
 namespace {
@@ -80,6 +82,7 @@ void ThreadPool::Run(unsigned participants, const std::function<void(unsigned)>&
   tls_pool_worker = true;
   std::exception_ptr error;
   try {
+    const obs::TraceSpan span("pool", "task");
     fn(0);
   } catch (...) {
     error = std::current_exception();
@@ -104,7 +107,10 @@ void ThreadPool::WorkerLoop() {
     const std::function<void(unsigned)>* job = job_;
     ++running_;
     lock.unlock();
-    (*job)(participant);
+    {
+      const obs::TraceSpan span("pool", "task");
+      (*job)(participant);
+    }
     lock.lock();
     --running_;
     if (pending_slots_ == 0 && running_ == 0) done_cv_.notify_one();

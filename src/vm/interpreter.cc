@@ -6,6 +6,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/trace.h"
 #include "vm/value.h"
 
 namespace epvf::vm {
@@ -201,6 +202,7 @@ std::uint64_t Interpreter::ValueOf(const Frame& frame, ir::ValueRef ref) const {
 }
 
 RunResult Interpreter::Run(std::string_view entry, TraceSink* sink) {
+  const obs::TraceSpan span("vm", "run");
   return Execute(EntryStack(entry, sink), 0, RunResult{}, {}, nullptr, sink);
 }
 
@@ -211,11 +213,15 @@ RunResult Interpreter::RunWithCheckpoints(std::string_view entry,
   if (options_.record_map_history) {
     throw std::logic_error("Interpreter::RunWithCheckpoints: unsupported with map history");
   }
+  const obs::TraceSpan span("vm", "run-with-checkpoints");
   return Execute(EntryStack(entry, sink), 0, RunResult{}, checkpoint_at, &checkpoints, sink);
 }
 
 RunResult Interpreter::ResumeFrom(const Checkpoint& checkpoint, TraceSink* sink) {
+  const obs::TraceSpan span("vm", "resume-from");
+  obs::TraceSpan restore_span("vm", "restore-snapshot");
   memory_.RestoreSnapshot(checkpoint.memory);
+  restore_span.Close();
   RunResult result;
   result.output = checkpoint.output;
   result.fault_was_applied = checkpoint.fault_was_applied;

@@ -1,0 +1,232 @@
+// End-to-end tests of the epvf binary: golden-diffed stdout for the stable
+// report surfaces (analyze, inject, cache stats), exit-code contracts, the
+// cache subcommands on a missing/empty directory, and the observability
+// flags (--trace-out / --metrics-out) added with the obs layer.
+//
+// Each test forks the real binary (path baked in via EPVF_CLI_PATH), so this
+// is the one suite that exercises flag parsing, dispatch and report printing
+// exactly as a user sees them. Set EPVF_UPDATE_GOLDENS=1 to regenerate the
+// golden files after an intentional output change.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct CliResult {
+  std::string stdout_text;
+  int exit_code = -1;
+};
+
+/// Runs `epvf <args>` capturing stdout; stderr is diagnostics-only and
+/// discarded unless the caller redirects it into stdout via `args`. `env`
+/// prepends NAME=VALUE assignments to the invocation.
+CliResult RunCli(const std::string& args, const std::string& env = {}) {
+  const std::string command = (env.empty() ? std::string() : "env " + env + " ") +
+                              std::string(EPVF_CLI_PATH) + " " + args + " 2>/dev/null";
+  CliResult result;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buffer[4096];
+  std::size_t n = 0;
+  while ((n = fread(buffer, 1, sizeof buffer, pipe)) > 0) {
+    result.stdout_text.append(buffer, n);
+  }
+  const int status = pclose(pipe);
+  if (WIFEXITED(status)) result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
+/// A throwaway directory, removed (with contents) on scope exit.
+struct TempDir {
+  std::string path;
+
+  TempDir() {
+    std::string tmpl = (fs::temp_directory_path() / "epvf_cli_XXXXXX").string();
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    char* made = mkdtemp(buf.data());
+    EXPECT_NE(made, nullptr);
+    path = made == nullptr ? std::string() : std::string(made);
+  }
+  ~TempDir() {
+    if (path.empty()) return;
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+};
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Replaces every occurrence of `from` in `text` with `to` — used to strip
+/// run-specific paths before a golden comparison.
+std::string ReplaceAll(std::string text, const std::string& from, const std::string& to) {
+  for (std::size_t pos = 0; (pos = text.find(from, pos)) != std::string::npos;
+       pos += to.size()) {
+    text.replace(pos, from.size(), to);
+  }
+  return text;
+}
+
+/// Diffs `actual` against tests/golden/<name>; EPVF_UPDATE_GOLDENS=1 rewrites
+/// the golden instead of failing.
+void ExpectMatchesGolden(const std::string& name, const std::string& actual) {
+  const std::string path = std::string(EPVF_GOLDEN_DIR) + "/" + name;
+  const char* update = std::getenv("EPVF_UPDATE_GOLDENS");
+  if (update != nullptr && update[0] == '1') {
+    std::ofstream out(path, std::ios::trunc);
+    out << actual;
+    ASSERT_TRUE(static_cast<bool>(out)) << "cannot update golden " << path;
+    return;
+  }
+  const std::string expected = ReadFileOrEmpty(path);
+  ASSERT_FALSE(expected.empty()) << "missing golden file " << path
+                                 << " (run with EPVF_UPDATE_GOLDENS=1 to create it)";
+  EXPECT_EQ(actual, expected) << "stdout diverged from golden " << name
+                              << "; if intentional, rerun with EPVF_UPDATE_GOLDENS=1";
+}
+
+// --- exit codes --------------------------------------------------------------
+
+TEST(CliExitCodes, NoArgumentsIsUsage) { EXPECT_EQ(RunCli("").exit_code, 2); }
+
+TEST(CliExitCodes, UnknownCommandIsThree) {
+  const CliResult r = RunCli("frobnicate");
+  EXPECT_EQ(r.exit_code, 3);
+  EXPECT_TRUE(r.stdout_text.empty());  // the complaint goes to stderr
+}
+
+TEST(CliExitCodes, UnknownFlagIsFour) {
+  EXPECT_EQ(RunCli("analyze mm --bogus-flag").exit_code, 4);
+  EXPECT_EQ(RunCli("inject mm --fraction 0.5").exit_code, 4);  // wrong command's flag
+}
+
+TEST(CliExitCodes, CacheUnknownSubcommandIsUsage) {
+  EXPECT_EQ(RunCli("cache purge").exit_code, 2);
+}
+
+TEST(CliExitCodes, MissingTargetFileIsRuntimeError) {
+  EXPECT_EQ(RunCli("analyze /nonexistent/path.ir").exit_code, 1);
+}
+
+// --- golden stdout -----------------------------------------------------------
+
+TEST(CliGolden, AnalyzeMm) {
+  const CliResult r = RunCli("analyze mm --scale 0 --no-cache");
+  ASSERT_EQ(r.exit_code, 0);
+  ExpectMatchesGolden("analyze_mm.txt", r.stdout_text);
+}
+
+TEST(CliGolden, InjectMmFixedSeed) {
+  const CliResult r = RunCli("inject mm --scale 0 --runs 40 --seed 7 --no-cache");
+  ASSERT_EQ(r.exit_code, 0);
+  ExpectMatchesGolden("inject_mm.txt", r.stdout_text);
+}
+
+TEST(CliGolden, CacheStatsOnMissingDir) {
+  TempDir tmp;
+  const std::string missing = tmp.path + "/never-created";
+  const CliResult r = RunCli("cache stats --cache-dir " + missing);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_FALSE(fs::exists(missing)) << "a stats query must not create the directory";
+  ExpectMatchesGolden("cache_stats_missing.txt",
+                      ReplaceAll(r.stdout_text, missing, "<DIR>"));
+}
+
+// --- cache subcommands on a missing/empty directory (regression) -------------
+
+TEST(CliCache, ClearOnMissingDirSucceedsWithoutCreatingIt) {
+  TempDir tmp;
+  const std::string missing = tmp.path + "/never-created";
+  const CliResult r = RunCli("cache clear --cache-dir " + missing);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.stdout_text.find("nothing to clear"), std::string::npos);
+  EXPECT_FALSE(fs::exists(missing));
+}
+
+TEST(CliCache, StatsOnEmptyDirReportsZeroEntries) {
+  TempDir tmp;
+  const CliResult r = RunCli("cache stats --cache-dir " + tmp.path);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.stdout_text.find("entries              : 0"), std::string::npos);
+}
+
+TEST(CliCache, ClearOnEmptyDirReportsZeroCleared) {
+  TempDir tmp;
+  const CliResult r = RunCli("cache clear --cache-dir " + tmp.path);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.stdout_text.find("cleared 0 entries"), std::string::npos);
+}
+
+// --- observability flags -----------------------------------------------------
+
+TEST(CliObservability, TraceOutCoversThePipeline) {
+  TempDir tmp;
+  const std::string trace = tmp.path + "/trace.json";
+  const CliResult r = RunCli("inject mm --scale 0 --runs 20 --no-cache --trace-out " + trace);
+  ASSERT_EQ(r.exit_code, 0);
+  const std::string json = ReadFileOrEmpty(trace);
+  ASSERT_FALSE(json.empty());
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // The acceptance bar: spans from at least five distinct pipeline layers.
+  for (const char* cat : {"parse", "ddg", "ace", "crash-model", "vm", "injection"}) {
+    EXPECT_NE(json.find("\"cat\":\"" + std::string(cat) + "\""), std::string::npos)
+        << "missing span category " << cat;
+  }
+}
+
+TEST(CliObservability, EnvVarEnablesTracingToNamedFile) {
+  TempDir tmp;
+  const std::string trace = tmp.path + "/env-trace.json";
+  const CliResult r = RunCli("analyze mm --scale 0 --no-cache", "EPVF_TRACE=" + trace);
+  ASSERT_EQ(r.exit_code, 0);
+  EXPECT_NE(ReadFileOrEmpty(trace).find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(CliObservability, MetricsOutRoundTripsThroughMetricsCommand) {
+  TempDir tmp;
+  const std::string metrics = tmp.path + "/metrics.json";
+  ASSERT_EQ(RunCli("analyze mm --scale 0 --no-cache --metrics-out " + metrics).exit_code, 0);
+  const CliResult pretty = RunCli("metrics " + metrics);
+  EXPECT_EQ(pretty.exit_code, 0);
+  EXPECT_NE(pretty.stdout_text.find("analysis.runs"), std::string::npos);
+  EXPECT_NE(pretty.stdout_text.find("analysis.ace.us"), std::string::npos);
+}
+
+TEST(CliObservability, MetricsCommandRejectsGarbage) {
+  TempDir tmp;
+  const std::string bogus = tmp.path + "/bogus.json";
+  std::ofstream(bogus) << "{\"schema\":\"wrong\"}";
+  EXPECT_EQ(RunCli("metrics " + bogus).exit_code, 1);
+  EXPECT_EQ(RunCli("metrics " + tmp.path + "/missing.json").exit_code, 1);
+}
+
+TEST(CliObservability, StdoutIsByteIdenticalWithAndWithoutTracing) {
+  TempDir tmp;
+  const CliResult plain = RunCli("inject mm --scale 0 --runs 20 --seed 3 --no-cache");
+  const CliResult traced =
+      RunCli("inject mm --scale 0 --runs 20 --seed 3 --no-cache --trace-out " + tmp.path + "/t.json");
+  ASSERT_EQ(plain.exit_code, 0);
+  ASSERT_EQ(traced.exit_code, 0);
+  EXPECT_EQ(plain.stdout_text, traced.stdout_text);
+}
+
+}  // namespace

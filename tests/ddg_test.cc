@@ -258,5 +258,81 @@ TEST(Ace, SubsetRootsGiveSubsetBits) {
   }
 }
 
+TEST(WriterShadow, RecordSpanningPageBoundaryIsVisibleOnBothSides) {
+  WriterShadow shadow;
+  // A 4-byte write straddling the 4 KiB page boundary: 2 bytes land at the
+  // end of page 4, 2 at the start of page 5. The paged-array fast path has to
+  // split this into two per-page chunks.
+  const std::uint64_t boundary = 5 * WriterShadow::kPageBytes;
+  const NodeId writer = 42;
+  shadow.Record(boundary - 2, 4, writer);
+  EXPECT_EQ(shadow.Lookup(boundary - 3), kNoNode);
+  EXPECT_EQ(shadow.Lookup(boundary - 2), writer);
+  EXPECT_EQ(shadow.Lookup(boundary - 1), writer);
+  EXPECT_EQ(shadow.Lookup(boundary), writer);
+  EXPECT_EQ(shadow.Lookup(boundary + 1), writer);
+  EXPECT_EQ(shadow.Lookup(boundary + 2), kNoNode);
+  // Overwrite one side only; the other page keeps the first writer.
+  const NodeId second = 43;
+  shadow.Record(boundary, 2, second);
+  EXPECT_EQ(shadow.Lookup(boundary - 1), writer);
+  EXPECT_EQ(shadow.Lookup(boundary), second);
+  EXPECT_EQ(shadow.Lookup(boundary + 1), second);
+}
+
+TEST(WriterShadow, RecordSpanningMultipleWholePages) {
+  WriterShadow shadow;
+  const std::uint64_t base = 7 * WriterShadow::kPageBytes - 1;
+  const std::uint64_t size = 2 * WriterShadow::kPageBytes + 2;
+  const NodeId writer = 7;
+  shadow.Record(base, size, writer);
+  EXPECT_EQ(shadow.Lookup(base - 1), kNoNode);
+  EXPECT_EQ(shadow.Lookup(base), writer);
+  EXPECT_EQ(shadow.Lookup(base + size / 2), writer);
+  EXPECT_EQ(shadow.Lookup(base + size - 1), writer);
+  EXPECT_EQ(shadow.Lookup(base + size), kNoNode);
+}
+
+TEST(GraphBuilder, LoadWithTooManyMemoryVersionsCountsDroppedPreds) {
+  // Eight byte-stores write eight distinct memory versions into one i64
+  // cell; the i64 load that reads them back can keep only 7 data preds (the
+  // 8-slot PredRange reserves one slot for the virtual addressing edge), so
+  // exactly one distinct version must be counted as dropped.
+  Module m;
+  IRBuilder b(m);
+  const auto cell = b.DeclareGlobal("cell", Type::I64(), 1);
+  (void)b.CreateFunction("main", Type::Void(), {});
+  const ValueRef base = b.BitCast(b.Global(cell), Type::I8().Ptr());
+  for (int i = 0; i < 8; ++i) {
+    const ValueRef p = b.Gep(base, b.I64(i));
+    b.Store(b.Trunc(b.I64(10 + i), Type::I8()), p);
+  }
+  const ValueRef wide = b.BitCast(base, Type::I64().Ptr());
+  b.Output(b.Load(wide));
+  b.RetVoid();
+
+  const Graph g = RunAndBuild(m);
+  EXPECT_EQ(g.dropped_load_preds(), 1u);
+
+  // The load kept 7 distinct data preds plus the virtual addressing edge.
+  const AccessRecord& load = g.accesses().back();
+  ASSERT_FALSE(load.is_store);
+  const DynInstr& load_dyn = g.GetDyn(load.dyn_index);
+  EXPECT_EQ(g.Preds(load_dyn.result_node).size(), 8u);
+}
+
+TEST(GraphBuilder, LoadWithinPredBudgetDropsNothing) {
+  Module m;
+  IRBuilder b(m);
+  const auto cell = b.DeclareGlobal("cell", Type::I64(), 1);
+  (void)b.CreateFunction("main", Type::Void(), {});
+  const ValueRef p = b.Gep(b.Global(cell), b.I64(0));
+  b.Store(b.I64(5), p);
+  b.Output(b.Load(p));
+  b.RetVoid();
+  const Graph g = RunAndBuild(m);
+  EXPECT_EQ(g.dropped_load_preds(), 0u);
+}
+
 }  // namespace
 }  // namespace epvf::ddg

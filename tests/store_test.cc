@@ -224,6 +224,26 @@ TEST(AnalysisArtifact, RoundTripsBitIdentically) {
   EXPECT_THROW((void)restored.crash_model(), std::logic_error);
 }
 
+TEST(AnalysisArtifact, RestoredAnalysisThrowsOnLiveAccessorsButServesMetrics) {
+  // Dedicated regression for the restore contract: every derived metric works
+  // without the live interpreter, and the two accessors that need it fail
+  // loudly (std::logic_error) instead of returning stale state.
+  const apps::App app = apps::BuildApp("mm", apps::AppConfig{.scale = 0});
+  const core::Analysis a = Analyze(app.module);
+  auto reader = ArtifactReader::Parse(AsBytes(AnalysisImage(a)), ArtifactKind::kAnalysis, "t");
+  ASSERT_TRUE(reader.has_value());
+  auto data = ReadAnalysisArtifact(app.module, *reader);
+  ASSERT_TRUE(data.has_value());
+  const core::Analysis restored = core::Analysis::Restore(
+      app.module, a.options(), std::move(data->golden), std::move(data->graph),
+      std::move(data->ace), std::move(data->crash_bits), data->use_weighted);
+  EXPECT_THROW((void)restored.memory(), std::logic_error);
+  EXPECT_THROW((void)restored.crash_model(), std::logic_error);
+  EXPECT_EQ(restored.Epvf(), a.Epvf());
+  EXPECT_EQ(restored.CrashRateEstimate(), a.CrashRateEstimate());
+  EXPECT_NO_THROW((void)restored.PerInstructionMetrics());
+}
+
 TEST(AnalysisArtifact, GraphValidationRejectsForeignModule) {
   const apps::App mm = apps::BuildApp("mm", apps::AppConfig{.scale = 0});
   const apps::App lud = apps::BuildApp("lud", apps::AppConfig{.scale = 0});

@@ -7,6 +7,7 @@
 //   epvf protect  <benchmark>         [--budget PCT] [--rank epvf|hot] [--real] [--jobs N]
 //   epvf print    <benchmark|file.ir>
 //   epvf cache    stats|clear         [--cache-dir D]
+//   epvf metrics  <file.json>
 //
 // A target is either a bundled benchmark name (see `epvf list`) or a path to
 // a textual-IR file (anything containing '.' or '/'). `--jobs 0` (the
@@ -14,15 +15,19 @@
 // every jobs setting.
 //
 // analyze and inject consult the on-disk artifact cache when a directory is
-// given via --cache-dir or EPVF_CACHE_DIR (--no-cache overrides both). All
-// cache/timing diagnostics go to stderr, so stdout is byte-identical between
-// cold and warm runs.
+// given via --cache-dir or EPVF_CACHE_DIR (--no-cache overrides both), and
+// accept --trace-out FILE (Chrome trace_event JSON of the run's spans; the
+// EPVF_TRACE env var does the same for every command) and --metrics-out FILE
+// (obs metrics registry dump, pretty-printed by `epvf metrics`). All
+// cache/timing/observability diagnostics go to stderr, so stdout is
+// byte-identical between cold and warm runs and with tracing on or off.
 //
 // Exit codes: 0 success, 1 runtime error, 2 usage, 3 unknown command,
 // 4 unknown flag.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -39,6 +44,8 @@
 #include "fi/targeted.h"
 #include "ir/parser.h"
 #include "ir/printer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "protect/evaluation.h"
 #include "protect/transform.h"
 #include "store/cache.h"
@@ -77,14 +84,15 @@ struct Options {
 const std::map<std::string, std::set<std::string>>& AllowedFlags() {
   static const std::map<std::string, std::set<std::string>> allowed = {
       {"list", {}},
-      {"analyze", {"scale", "jobs", "cache-dir", "no-cache"}},
+      {"analyze", {"scale", "jobs", "cache-dir", "no-cache", "trace-out", "metrics-out"}},
       {"inject",
        {"scale", "runs", "jitter", "burst", "seed", "jobs", "checkpoints", "cache-dir",
-        "no-cache"}},
+        "no-cache", "trace-out", "metrics-out"}},
       {"sample", {"scale", "fraction", "jobs"}},
       {"protect", {"scale", "budget", "rank", "real", "jobs", "runs"}},
       {"print", {"scale"}},
       {"cache", {"cache-dir"}},
+      {"metrics", {}},
   };
   return allowed;
 }
@@ -106,7 +114,12 @@ int Usage() {
                "                                   section-V selective duplication\n"
                "  print   <target>                 dump the textual IR\n"
                "  cache   stats|clear              inspect / empty the artifact cache\n"
+               "  metrics <file.json>              pretty-print a --metrics-out dump\n"
                "a target is a benchmark name or a .ir file path\n"
+               "analyze/inject observability: --trace-out FILE writes a Chrome\n"
+               "trace_event JSON (chrome://tracing / Perfetto) of the run's spans\n"
+               "(EPVF_TRACE=FILE does the same; 0 = off, 1 = epvf-trace.json);\n"
+               "--metrics-out FILE dumps the counter/histogram registry as JSON\n"
                "--jobs N picks the analysis/campaign thread count (0 = hardware\n"
                "concurrency, the default); results are identical for any N\n"
                "analyze/inject reuse on-disk artifacts when --cache-dir DIR (or the\n"
@@ -153,6 +166,7 @@ void PrintCacheStatus(const char* what, const std::string& id, bool hit, double 
 
 /// Loads a benchmark by name or parses a textual-IR file.
 ir::Module LoadTarget(const Options& options) {
+  const obs::TraceSpan span("parse", "load-target");
   const bool looks_like_path = options.target.find('.') != std::string::npos ||
                                options.target.find('/') != std::string::npos;
   if (!looks_like_path) {
@@ -379,6 +393,20 @@ int CmdCache(const Options& options) {
                  "epvf cache: no cache directory — pass --cache-dir or set EPVF_CACHE_DIR\n");
     return 1;
   }
+  // A cache directory that was never populated is an ordinary state, not an
+  // error: report it cleanly and succeed without creating the directory as a
+  // side effect of what is a read-only query.
+  if (!std::filesystem::exists(dir)) {
+    if (sub == "clear") {
+      std::printf("cache directory %s does not exist — nothing to clear\n", dir.c_str());
+    } else {
+      std::printf("cache directory      : %s (not yet created)\n", dir.c_str());
+      std::printf("entries              : 0 (0 bytes)\n");
+      std::printf("hits / misses        : 0 / 0\n");
+      std::printf("bytes read / written : 0 / 0\n");
+    }
+    return 0;
+  }
   store::ArtifactCache cache(dir);
   if (!cache.enabled()) return 1;
 
@@ -399,6 +427,91 @@ int CmdCache(const Options& options) {
               static_cast<unsigned long long>(stats.lifetime.bytes_read),
               static_cast<unsigned long long>(stats.lifetime.bytes_written));
   return 0;
+}
+
+int CmdMetrics(const Options& options) {
+  // The target slot carries the metrics-file path.
+  std::ifstream in(options.target);
+  if (!in) {
+    std::fprintf(stderr, "epvf metrics: cannot open %s\n", options.target.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::optional<obs::MetricsSnapshot> snap = obs::ParseMetricsJson(buffer.str());
+  if (!snap.has_value()) {
+    std::fprintf(stderr, "epvf metrics: %s is not an epvf-metrics-v1 file\n",
+                 options.target.c_str());
+    return 1;
+  }
+  if (snap->Empty()) {
+    std::printf("no metrics recorded in %s\n", options.target.c_str());
+    return 0;
+  }
+  if (!snap->counters.empty() || !snap->gauges.empty()) {
+    AsciiTable table({"counter / gauge", "value"});
+    table.SetTitle("counters");
+    for (const auto& [name, value] : snap->counters) {
+      table.AddRow({name, std::to_string(value)});
+    }
+    for (const auto& [name, value] : snap->gauges) {
+      table.AddRow({name, std::to_string(value)});
+    }
+    table.Print(std::cout);
+  }
+  if (!snap->histograms.empty()) {
+    AsciiTable table({"histogram", "count", "mean", "min", "max"});
+    table.SetTitle("histograms (durations in us)");
+    for (const auto& [name, h] : snap->histograms) {
+      table.AddRow({name, std::to_string(h.count), AsciiTable::Num(h.Mean()),
+                    std::to_string(h.min), std::to_string(h.max)});
+    }
+    table.Print(std::cout);
+  }
+  return 0;
+}
+
+/// --trace-out beats EPVF_TRACE. Env values: 0 = off, 1 = epvf-trace.json,
+/// anything else is the output path. Empty = tracing disabled.
+std::string ResolveTraceOut(const Options& options) {
+  const auto it = options.flags.find("trace-out");
+  if (it != options.flags.end()) return it->second;
+  const char* env = std::getenv("EPVF_TRACE");
+  if (env == nullptr || std::strcmp(env, "0") == 0) return {};
+  if (std::strcmp(env, "1") == 0) return "epvf-trace.json";
+  return env;
+}
+
+int Dispatch(const Options& options) {
+  if (options.command == "list") return CmdList();
+  if (options.target.empty()) return Usage();
+  if (options.command == "analyze") return CmdAnalyze(options);
+  if (options.command == "inject") return CmdInject(options);
+  if (options.command == "sample") return CmdSample(options);
+  if (options.command == "protect") return CmdProtect(options);
+  if (options.command == "print") return CmdPrint(options);
+  if (options.command == "cache") return CmdCache(options);
+  if (options.command == "metrics") return CmdMetrics(options);
+  return Usage();
+}
+
+/// Trace/metrics export runs after the command finishes (successfully or
+/// not): the buffers are quiescent by then, and a failed run's partial trace
+/// is exactly what one wants when debugging the failure.
+void ExportObservability(const std::string& trace_out, const std::string& metrics_out) {
+  if (!trace_out.empty() && obs::WriteChromeTrace(trace_out)) {
+    std::fprintf(stderr, "trace: wrote %s (load in chrome://tracing or Perfetto)\n",
+                 trace_out.c_str());
+    const std::uint64_t dropped = obs::DroppedTraceEvents();
+    if (dropped > 0) {
+      std::fprintf(stderr, "trace: ring buffers overflowed — oldest %llu events dropped\n",
+                   static_cast<unsigned long long>(dropped));
+    }
+  }
+  if (!metrics_out.empty() && obs::MetricsRegistry::Global().WriteJsonFile(metrics_out)) {
+    std::fprintf(stderr, "metrics: wrote %s (inspect with `epvf metrics %s`)\n",
+                 metrics_out.c_str(), metrics_out.c_str());
+  }
 }
 
 }  // namespace
@@ -437,18 +550,16 @@ int main(int argc, char** argv) {
     }
   }
 
+  const std::string trace_out = ResolveTraceOut(options);
+  const std::string metrics_out = options.Str("metrics-out", "");
+  if (!trace_out.empty()) obs::SetTracingEnabled(true);
+
+  int exit_code = 1;
   try {
-    if (options.command == "list") return CmdList();
-    if (options.target.empty()) return Usage();
-    if (options.command == "analyze") return CmdAnalyze(options);
-    if (options.command == "inject") return CmdInject(options);
-    if (options.command == "sample") return CmdSample(options);
-    if (options.command == "protect") return CmdProtect(options);
-    if (options.command == "print") return CmdPrint(options);
-    if (options.command == "cache") return CmdCache(options);
+    exit_code = Dispatch(options);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "epvf: %s\n", error.what());
-    return 1;
   }
-  return Usage();
+  ExportObservability(trace_out, metrics_out);
+  return exit_code;
 }
