@@ -4,6 +4,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "fi/shard.h"
 #include "obs/progress.h"
 #include "obs/timing.h"
 #include "support/thread_pool.h"
@@ -158,10 +159,14 @@ CampaignStats RunCampaign(const ir::Module& module, const ddg::Graph& graph,
       return plan[a].site.dyn_index < plan[b].site.dyn_index;
     });
   }
+  // The shard window: a contiguous slice of plan indices (the whole plan for
+  // shard_count 1). Everything outside the window is someone else's work —
+  // never executed, never marked complete, never counted.
+  const ShardRange window = ShardSlice(plan.size(), options.shard_count, options.shard_index);
   std::vector<std::uint32_t> pending;
-  pending.reserve(plan.size());
+  pending.reserve(window.Size());
   for (const std::uint32_t i : order) {
-    if (completed[i] == 0) pending.push_back(i);
+    if (completed[i] == 0 && window.Contains(i)) pending.push_back(i);
   }
   if (interval > 0 && !pending.empty()) {
     const obs::TimedSection timed("injection", "checkpoint-build", "campaign.checkpoint_build.us",
@@ -196,6 +201,8 @@ CampaignStats RunCampaign(const ir::Module& module, const ddg::Graph& graph,
   obs::ProgressReporter::Options progress_options;
   progress_options.label = "campaign";
   progress_options.total = pending.size();
+  progress_options.snapshot_path = options.progress_file;
+  progress_options.enable = options.progress_enable;
   progress_options.categories.reserve(kNumOutcomes);
   for (int o = 0; o < kNumOutcomes; ++o) {
     progress_options.categories.emplace_back(OutcomeName(static_cast<Outcome>(o)));
@@ -228,7 +235,11 @@ CampaignStats RunCampaign(const ir::Module& module, const ddg::Graph& graph,
   stats.perf.inject_seconds = inject_timed.Stop() - stats.perf.persist_seconds;
   progress.Finish();
 
+  // Count completed indices only: in a shard run the records outside this
+  // shard's window are default-initialized placeholders, not outcomes. A
+  // full campaign has every index complete here, so nothing changes for it.
   for (std::size_t i = 0; i < plan.size(); ++i) {
+    if (completed[i] == 0) continue;
     stats.counts[static_cast<int>(stats.records[i].outcome)] += 1;
   }
   for (int o = 0; o < kNumOutcomes; ++o) {

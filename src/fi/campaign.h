@@ -48,6 +48,26 @@ struct CampaignOptions {
   /// instruction zero. Outcomes are bit-identical at every setting.
   std::int64_t checkpoint_interval = 0;
 
+  // --- sharding (multi-process campaign decomposition) ----------------------
+  /// Execute only the plan indices of shard `shard_index` of `shard_count`
+  /// contiguous slices (see fi/shard.h). The full plan is still drawn — the
+  /// slice is a window over the same deterministic run list, so per-shard
+  /// records recombine into exactly the single-process record stream.
+  /// Records outside the window stay default-initialized with their
+  /// completion-mask entries zero, and outcome counts cover only completed
+  /// indices. shard_count 1 (the default) is an ordinary full campaign.
+  int shard_index = 0;
+  int shard_count = 1;
+
+  /// When nonempty, the campaign's progress reporter atomically publishes
+  /// its counters to this file each interval (epvf-progress-v1), so a
+  /// supervising process can aggregate shard heartbeats into one
+  /// campaign-wide line. See obs::ProgressReporter::Options::snapshot_path.
+  std::string progress_file;
+  /// Progress-line gating, forwarded to the reporter: -1 = auto
+  /// (EPVF_PROGRESS env, else tty), 0 = force off, 1 = force on.
+  int progress_enable = -1;
+
   // --- interruption / resume (the artifact store's campaign persistence) ----
   /// Records and per-plan-index completion mask persisted from an earlier,
   /// interrupted campaign. Since the plan is pre-drawn deterministically from

@@ -1,0 +1,151 @@
+#include "fi/supervisor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "support/stopwatch.h"
+
+namespace epvf::fi {
+
+bool SupervisorResult::AllSucceeded() const {
+  return std::all_of(shards.begin(), shards.end(),
+                     [](const ShardOutcome& s) { return s.succeeded; });
+}
+
+int SupervisorResult::TotalRelaunches() const {
+  int relaunches = 0;
+  for (const ShardOutcome& s : shards) relaunches += std::max(0, s.launches - 1);
+  return relaunches;
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Supervisor-side view of one shard's lifecycle.
+struct ShardState {
+  ShardOutcome outcome;
+  std::optional<Subprocess> child;   ///< engaged while an attempt runs
+  Clock::time_point deadline;        ///< kill time for the running attempt
+  Clock::time_point next_launch;     ///< backoff gate for the next attempt
+  bool exhausted = false;            ///< launch budget spent without success
+};
+
+}  // namespace
+
+SupervisorResult RunShardSupervisor(const SupervisorOptions& options) {
+  if (!options.command) throw std::invalid_argument("RunShardSupervisor: no command builder");
+  if (options.shards < 1) throw std::invalid_argument("RunShardSupervisor: shards < 1");
+
+  const obs::TraceSpan span("injection", "shard-supervisor");
+  const auto emit = [&](const std::string& message) {
+    if (options.on_event) options.on_event(message);
+  };
+  const auto backoff = [&](int relaunch_number) {
+    double delay = options.backoff_initial_seconds;
+    for (int i = 1; i < relaunch_number; ++i) delay *= 2;
+    return std::min(delay, options.backoff_max_seconds);
+  };
+
+  Stopwatch wall;
+  std::vector<ShardState> states(static_cast<std::size_t>(options.shards));
+  const auto start = Clock::now();
+  for (ShardState& s : states) s.next_launch = start;
+
+  const int max_launches = std::max(1, options.retries + 1);
+  while (true) {
+    const auto now = Clock::now();
+    bool any_pending = false;
+
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      ShardState& s = states[i];
+      if (s.outcome.succeeded || s.exhausted) continue;
+      any_pending = true;
+
+      if (!s.child.has_value()) {
+        if (now < s.next_launch) continue;  // still backing off
+        s.child = Subprocess::Spawn(options.command(static_cast<int>(i)));
+        if (!s.child.has_value()) {
+          // A spawn failure (fork/redirection) consumes an attempt like any
+          // other death — a full disk must not loop forever.
+          s.outcome.launches += 1;
+          s.outcome.last_status = ExitStatus{.exited = true, .code = -1, .signal = 0};
+          obs::GetCounter("campaign.shard.spawn_failures").Add();
+          if (s.outcome.launches >= max_launches) {
+            s.exhausted = true;
+            emit("shard " + std::to_string(i) + ": giving up after " +
+                 std::to_string(s.outcome.launches) + " failed launches");
+          } else {
+            s.next_launch = now + std::chrono::duration_cast<Clock::duration>(
+                                      std::chrono::duration<double>(backoff(s.outcome.launches)));
+          }
+          continue;
+        }
+        s.outcome.launches += 1;
+        obs::GetCounter("campaign.shard.launches").Add();
+        if (s.outcome.launches > 1) {
+          obs::GetCounter("campaign.shard.relaunches").Add();
+          emit("shard " + std::to_string(i) + ": relaunch attempt " +
+               std::to_string(s.outcome.launches) + "/" + std::to_string(max_launches));
+        }
+        if (options.shard_timeout_seconds > 0) {
+          s.deadline = now + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double>(options.shard_timeout_seconds));
+        }
+        continue;
+      }
+
+      // A running attempt: reap it if it ended, kill it if it blew the
+      // deadline (the kill's exit is observed by the next poll round).
+      std::optional<ExitStatus> status = s.child->Poll();
+      if (!status.has_value()) {
+        if (options.shard_timeout_seconds > 0 && now >= s.deadline) {
+          char seconds[32];
+          std::snprintf(seconds, sizeof(seconds), "%.1f", options.shard_timeout_seconds);
+          emit("shard " + std::to_string(i) + ": hung for more than " + seconds +
+               " s — killing worker");
+          s.outcome.timeouts += 1;
+          obs::GetCounter("campaign.shard.timeouts").Add();
+          s.child->Kill();
+          status = s.child->Wait();
+        } else {
+          continue;
+        }
+      }
+      s.outcome.last_status = *status;
+      s.child.reset();
+      if (status->Success()) {
+        s.outcome.succeeded = true;
+        continue;
+      }
+      emit("shard " + std::to_string(i) + ": worker ended with " + status->Describe());
+      if (s.outcome.launches >= max_launches) {
+        s.exhausted = true;
+        obs::GetCounter("campaign.shard.failures").Add();
+        emit("shard " + std::to_string(i) + ": giving up after " +
+             std::to_string(s.outcome.launches) + " attempts");
+      } else {
+        s.next_launch = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                           std::chrono::duration<double>(
+                                               backoff(s.outcome.launches)));
+      }
+    }
+
+    if (!any_pending) break;
+    std::this_thread::sleep_for(std::chrono::duration<double>(options.poll_interval_seconds));
+  }
+
+  SupervisorResult result;
+  result.shards.reserve(states.size());
+  for (ShardState& s : states) result.shards.push_back(s.outcome);
+  result.wall_seconds = wall.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace epvf::fi

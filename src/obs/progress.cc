@@ -1,9 +1,12 @@
 #include "obs/progress.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 
 #include "obs/metrics.h"
 
@@ -19,7 +22,64 @@ bool ResolveEnabled(int enable) {
   return isatty(STDERR_FILENO) == 1;
 }
 
+constexpr std::string_view kSnapshotSchema = "epvf-progress-v1";
+
+/// Temp + rename publish, self-contained because obs sits below support (the
+/// store's AtomicWriteFile lives up there). Snapshots are advisory telemetry,
+/// so the fsync is skipped: a lost snapshot costs one stale heartbeat line.
+bool PublishFile(const std::string& path, const std::string& data) {
+  const std::string temp = path + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  const char* cursor = data.data();
+  std::size_t left = data.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, cursor, left);
+    if (n <= 0) {
+      ::close(fd);
+      ::unlink(temp.c_str());
+      return false;
+    }
+    cursor += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  if (::rename(temp.c_str(), path.c_str()) != 0) {
+    ::unlink(temp.c_str());
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
+
+std::optional<ProgressSnapshot> ReadProgressSnapshot(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  const std::string text = std::move(buffer).str();
+  std::istringstream in(text);
+  std::string schema;
+  in >> schema;
+  if (schema != kSnapshotSchema) return std::nullopt;
+  ProgressSnapshot snap;
+  std::string name;
+  while (in >> name) {
+    if (name == "done") {
+      in >> snap.done;
+    } else if (name == "total") {
+      in >> snap.total;
+    } else if (name == "cat") {
+      std::uint64_t value = 0;
+      in >> value;
+      snap.category_counts.push_back(value);
+    } else {
+      break;  // unknown field from a future writer — keep what parsed
+    }
+  }
+  return snap;
+}
 
 ProgressReporter::ProgressReporter(Options options)
     : options_(std::move(options)),
@@ -29,7 +89,9 @@ ProgressReporter::ProgressReporter(Options options)
   for (std::size_t i = 0; i < options_.categories.size(); ++i) {
     category_counts_.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
   }
-  if (!enabled_) return;
+  // The loop thread runs for the stderr line, the snapshot file, or both —
+  // a muted worker still has to publish for its supervisor.
+  if (!enabled_ && options_.snapshot_path.empty()) return;
   thread_ = std::thread([this] { ReportLoop(); });
 }
 
@@ -51,11 +113,42 @@ void ProgressReporter::Finish() {
   }
   cv_.notify_all();
   if (thread_.joinable()) thread_.join();
+  PublishSnapshot();
   if (enabled_) PrintLine(/*final_line=*/true);
 }
 
+ProgressSnapshot ProgressReporter::Aggregate() const {
+  ProgressSnapshot snap;
+  snap.done = done_.load(std::memory_order_relaxed);
+  snap.total = options_.total;
+  snap.category_counts.reserve(category_counts_.size());
+  for (const auto& count : category_counts_) {
+    snap.category_counts.push_back(count->load(std::memory_order_relaxed));
+  }
+  for (const std::string& path : options_.aggregate_paths) {
+    const std::optional<ProgressSnapshot> other = ReadProgressSnapshot(path);
+    if (!other.has_value()) continue;
+    snap.done += other->done;
+    for (std::size_t i = 0;
+         i < other->category_counts.size() && i < snap.category_counts.size(); ++i) {
+      snap.category_counts[i] += other->category_counts[i];
+    }
+  }
+  return snap;
+}
+
+void ProgressReporter::PublishSnapshot() const {
+  if (options_.snapshot_path.empty()) return;
+  const ProgressSnapshot snap = Aggregate();
+  std::ostringstream out;
+  out << kSnapshotSchema << "\ndone " << snap.done << "\ntotal " << snap.total << '\n';
+  for (const std::uint64_t count : snap.category_counts) out << "cat " << count << '\n';
+  PublishFile(options_.snapshot_path, out.str());
+}
+
 std::string ProgressReporter::StatusLine() const {
-  const std::uint64_t done = done_.load(std::memory_order_relaxed);
+  const ProgressSnapshot snap = Aggregate();
+  const std::uint64_t done = snap.done;
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
   const double rate = elapsed > 0 ? static_cast<double>(done) / elapsed : 0.0;
@@ -85,8 +178,8 @@ std::string ProgressReporter::StatusLine() const {
   }
 
   bool first = true;
-  for (std::size_t i = 0; i < category_counts_.size(); ++i) {
-    const std::uint64_t n = category_counts_[i]->load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < snap.category_counts.size(); ++i) {
+    const std::uint64_t n = snap.category_counts[i];
     if (n == 0) continue;
     line += first ? " | " : " ";
     first = false;
@@ -117,7 +210,8 @@ void ProgressReporter::ReportLoop() {
   const auto interval = std::chrono::duration<double>(options_.interval_seconds);
   while (!cv_.wait_for(lock, interval, [this] { return stop_; })) {
     lock.unlock();
-    PrintLine(/*final_line=*/false);
+    PublishSnapshot();
+    if (enabled_) PrintLine(/*final_line=*/false);
     lock.lock();
   }
 }

@@ -12,6 +12,13 @@
 // Enabled when stderr is a terminal; EPVF_PROGRESS=1 forces it on for
 // redirected runs (plain newline-terminated lines), EPVF_PROGRESS=0 forces
 // it off.
+//
+// Multi-process aggregation: a sharded campaign runs one reporter per worker
+// process, and N interleaved per-process lines are useless. Instead each
+// worker publishes its raw counters to a snapshot file (snapshot_path,
+// atomically replaced each interval) with its stderr line muted, and the
+// supervisor's reporter folds every worker snapshot (aggregate_paths) into
+// its own counts — one campaign-wide done/total/ETA line.
 #pragma once
 
 #include <atomic>
@@ -20,11 +27,24 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 namespace epvf::obs {
+
+/// The counters one reporter publishes for another process to aggregate.
+struct ProgressSnapshot {
+  std::uint64_t done = 0;
+  std::uint64_t total = 0;
+  std::vector<std::uint64_t> category_counts;
+};
+
+/// Parses an epvf-progress-v1 snapshot file; std::nullopt when the file is
+/// absent or not a snapshot (a torn read is impossible — snapshots are
+/// published via temp-file + rename).
+[[nodiscard]] std::optional<ProgressSnapshot> ReadProgressSnapshot(const std::string& path);
 
 class ProgressReporter {
  public:
@@ -36,8 +56,16 @@ class ProgressReporter {
     std::vector<std::string> categories;
     double interval_seconds = 1.0;
     /// -1 = auto (EPVF_PROGRESS env var, else whether stderr is a tty),
-    /// 0 = force off, 1 = force on.
+    /// 0 = force off, 1 = force on. Gates the stderr line only; snapshot
+    /// publication runs whenever snapshot_path is set.
     int enable = -1;
+    /// When nonempty, the reporter atomically writes a ProgressSnapshot of
+    /// its own counters to this file each interval and on Finish.
+    std::string snapshot_path;
+    /// Snapshot files of other processes' reporters; their done and
+    /// category counts are folded into this reporter's line/snapshot.
+    /// Missing or not-yet-written files count zero.
+    std::vector<std::string> aggregate_paths;
   };
 
   explicit ProgressReporter(Options options);
@@ -61,6 +89,9 @@ class ProgressReporter {
  private:
   void ReportLoop();
   void PrintLine(bool final_line);
+  void PublishSnapshot() const;
+  /// done + per-category counts, own ticks folded with every aggregate file.
+  [[nodiscard]] ProgressSnapshot Aggregate() const;
 
   Options options_;
   bool enabled_ = false;

@@ -2,6 +2,9 @@
 
 #include <filesystem>
 #include <sstream>
+#include <stdexcept>
+
+#include "fi/shard.h"
 
 #include "ir/printer.h"
 #include "obs/metrics.h"
@@ -73,6 +76,11 @@ std::string CanonicalKey(const CampaignKey& key) {
 
 std::string CacheId(const AnalysisKey& key) { return Hex16(Fnv1a64(CanonicalKey(key))); }
 std::string CacheId(const CampaignKey& key) { return Hex16(Fnv1a64(CanonicalKey(key))); }
+
+std::string ShardCacheId(const std::string& campaign_id, int shard_index, int shard_count) {
+  return campaign_id + "-shard-" + std::to_string(shard_index) + "of" +
+         std::to_string(shard_count);
+}
 
 // --- ArtifactCache ------------------------------------------------------------
 
@@ -156,6 +164,12 @@ void ArtifactCache::DemoteLastHit() {
   obs::Counter& hits = obs::GetCounter("store.cache.hits");
   if (hits.Value() > 0) hits.Sub();
   obs::GetCounter("store.cache.misses").Add();
+}
+
+bool ArtifactCache::RemoveEntry(const std::string& id, ArtifactKind kind) {
+  if (!enabled()) return false;
+  std::error_code ec;
+  return fs::remove(EntryPath(id, kind), ec);
 }
 
 ArtifactCache::DirStats ArtifactCache::Stats() const {
@@ -292,6 +306,171 @@ fi::CampaignStats RunCampaignCached(const ir::Module& module, const ddg::Graph& 
     // the campaign's serialization cost.
     stats.perf.cache_store_seconds = stats.perf.persist_seconds;
   }
+  return stats;
+}
+
+// --- sharded campaigns -------------------------------------------------------
+
+namespace {
+
+/// One campaign artifact image from the current records + mask under
+/// `options`' identity fields.
+void PersistCampaignEntry(ArtifactCache& cache, const std::string& entry_id,
+                          const fi::CampaignOptions& options,
+                          const std::vector<fi::FaultRecord>& records,
+                          const std::vector<std::uint8_t>& completed) {
+  CampaignArtifact artifact;
+  artifact.seed = options.seed;
+  artifact.num_runs = static_cast<std::uint32_t>(options.num_runs);
+  artifact.jitter_pages = options.injector.jitter_pages;
+  artifact.burst_length = options.injector.burst_length;
+  artifact.records = records;
+  artifact.completed = completed;
+  ArtifactWriter writer(ArtifactKind::kCampaign);
+  WriteCampaignArtifact(artifact, writer);
+  cache.Store(entry_id, writer);
+}
+
+/// Loads entry `entry_id` as a campaign artifact matching `options`;
+/// demotes the cache hit and returns std::nullopt on any mismatch.
+std::optional<CampaignArtifact> LoadMatchingCampaign(ArtifactCache& cache,
+                                                     const std::string& entry_id,
+                                                     const fi::CampaignOptions& options) {
+  auto reader = cache.Load(entry_id, ArtifactKind::kCampaign);
+  if (!reader.has_value()) return std::nullopt;
+  std::optional<CampaignArtifact> artifact = ReadCampaignArtifact(*reader);
+  if (artifact.has_value() && !artifact->Matches(options)) {
+    LogWarn("cache: campaign entry " + entry_id + " does not match options — ignoring");
+    artifact.reset();
+  }
+  if (!artifact.has_value()) cache.DemoteLastHit();
+  return artifact;
+}
+
+}  // namespace
+
+std::optional<fi::CampaignStats> LoadCompleteCampaign(const CampaignKey& key,
+                                                      ArtifactCache& cache) {
+  if (!cache.enabled()) return std::nullopt;
+  const obs::TraceSpan span("store", "load-campaign");
+  Stopwatch load_watch;
+  std::optional<CampaignArtifact> prior = LoadMatchingCampaign(cache, CacheId(key), key.options);
+  if (!prior.has_value() || !prior->Complete()) {
+    // This probe only serves complete campaigns; a partial artifact counts
+    // as a miss here and is picked up by the resuming paths instead.
+    if (prior.has_value()) cache.DemoteLastHit();
+    return std::nullopt;
+  }
+  fi::CampaignStats stats;
+  stats.records = std::move(prior->records);
+  for (const fi::FaultRecord& r : stats.records) {
+    stats.counts[static_cast<int>(r.outcome)] += 1;
+  }
+  stats.perf.cache_hit = true;
+  stats.perf.cache_load_seconds = load_watch.ElapsedSeconds();
+  stats.perf.resumed_records = stats.records.size();
+  return stats;
+}
+
+fi::CampaignStats RunCampaignShard(
+    const ir::Module& module, const ddg::Graph& graph, const vm::RunResult& golden,
+    fi::CampaignOptions options, const CampaignKey& key, ArtifactCache& cache,
+    int persist_every, const std::function<void(std::uint64_t completed)>& after_persist) {
+  if (!cache.enabled()) {
+    throw std::invalid_argument("RunCampaignShard: shard persistence needs an enabled cache");
+  }
+  const obs::TraceSpan span("store", "run-shard");
+  const std::string entry_id =
+      ShardCacheId(CacheId(key), options.shard_index, options.shard_count);
+
+  // A relaunched worker resumes from whatever its predecessor persisted; the
+  // records are validated index-by-index against the re-drawn plan inside
+  // RunCampaign, so a stale artifact degrades to a from-scratch shard.
+  Stopwatch load_watch;
+  const std::optional<CampaignArtifact> prior =
+      LoadMatchingCampaign(cache, entry_id, options);
+  const double load_seconds = load_watch.ElapsedSeconds();
+  if (prior.has_value()) {
+    options.resume_records = &prior->records;
+    options.resume_completed = &prior->completed;
+  }
+
+  options.on_progress = [&](const std::vector<fi::FaultRecord>& records,
+                            const std::vector<std::uint8_t>& completed) {
+    PersistCampaignEntry(cache, entry_id, options, records, completed);
+    if (after_persist) {
+      std::uint64_t done = 0;
+      for (const std::uint8_t c : completed) done += c;
+      after_persist(done);
+    }
+  };
+  options.progress_interval = persist_every;
+
+  fi::CampaignStats stats = fi::RunCampaign(module, graph, golden, options);
+  stats.perf.cache_load_seconds = load_seconds;
+  stats.perf.cache_store_seconds = stats.perf.persist_seconds;
+  return stats;
+}
+
+fi::CampaignStats MergeShardedCampaign(const ir::Module& module, const ddg::Graph& graph,
+                                       const vm::RunResult& golden,
+                                       fi::CampaignOptions options, const CampaignKey& key,
+                                       ArtifactCache& cache, int shard_count,
+                                       ShardMergeInfo* info) {
+  if (!cache.enabled()) {
+    throw std::invalid_argument("MergeShardedCampaign: shard merge needs an enabled cache");
+  }
+  const obs::TraceSpan span("store", "merge-shards");
+  const std::string id = CacheId(key);
+
+  ShardMergeInfo merge_info;
+  std::vector<fi::ShardRecords> shards;
+  shards.reserve(static_cast<std::size_t>(shard_count));
+  for (int i = 0; i < shard_count; ++i) {
+    std::optional<CampaignArtifact> artifact =
+        LoadMatchingCampaign(cache, ShardCacheId(id, i, shard_count), options);
+    if (!artifact.has_value()) continue;
+    merge_info.shards_loaded += 1;
+    shards.push_back(fi::ShardRecords{std::move(artifact->records),
+                                      std::move(artifact->completed)});
+  }
+  const fi::MergedRecords merged =
+      fi::MergeShards(static_cast<std::size_t>(options.num_runs), shards);
+  merge_info.merged = merged.merged;
+  merge_info.missing = merged.missing;
+  merge_info.conflicts = merged.conflicts;
+  if (merged.conflicts > 0) {
+    LogWarn("cache: " + std::to_string(merged.conflicts) +
+            " conflicting shard records discarded — re-executing those runs");
+  }
+
+  // The merge run: shard window = the whole plan, resume = the merged
+  // stream. RunCampaign validates every adopted record against the re-drawn
+  // plan and executes exactly the indices no shard delivered — for a clean
+  // sharded run that is zero injections, and the stats it rebuilds are
+  // byte-identical to a single-process campaign.
+  options.shard_index = 0;
+  options.shard_count = 1;
+  options.resume_records = &merged.records;
+  options.resume_completed = &merged.completed;
+  options.on_progress = nullptr;
+  options.progress_interval = 0;
+  fi::CampaignStats stats = fi::RunCampaign(module, graph, golden, options);
+  merge_info.revalidated = stats.perf.resumed_records;
+  if (stats.perf.resumed_records < merged.merged) {
+    LogWarn("cache: merged shard records failed plan validation — campaign re-executed");
+  }
+
+  Stopwatch store_watch;
+  {
+    std::vector<std::uint8_t> all_complete(stats.records.size(), 1);
+    PersistCampaignEntry(cache, id, options, stats.records, all_complete);
+  }
+  stats.perf.cache_store_seconds = store_watch.ElapsedSeconds();
+  for (int i = 0; i < shard_count; ++i) {
+    cache.RemoveEntry(ShardCacheId(id, i, shard_count), ArtifactKind::kCampaign);
+  }
+  if (info != nullptr) *info = merge_info;
   return stats;
 }
 

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -64,6 +65,14 @@ struct CampaignKey {
 [[nodiscard]] std::string CacheId(const AnalysisKey& key);
 [[nodiscard]] std::string CacheId(const CampaignKey& key);
 
+/// Entry id of one shard's slice of campaign `campaign_id` under a
+/// `shard_count`-way decomposition: "<id>-shard-<i>of<n>". Shard artifacts
+/// are ordinary campaign artifacts (full-length record and completion
+/// vectors, only the shard's own window completed), so every existing
+/// integrity/degradation path applies to them unchanged.
+[[nodiscard]] std::string ShardCacheId(const std::string& campaign_id, int shard_index,
+                                       int shard_count);
+
 /// Hit/miss and byte counters. Session counters are merged into the cache
 /// directory's persistent counters (read-modify-write of a tiny text file,
 /// atomically replaced) when the cache is destroyed; `epvf cache stats`
@@ -104,6 +113,10 @@ class ArtifactCache {
 
   /// Path of entry `id` (exists or not).
   [[nodiscard]] std::string EntryPath(const std::string& id, ArtifactKind kind) const;
+
+  /// Deletes entry `id` if present (e.g. shard slices after a successful
+  /// merge). Returns true when a file was removed.
+  bool RemoveEntry(const std::string& id, ArtifactKind kind);
 
   [[nodiscard]] const CacheCounters& session_counters() const { return session_; }
 
@@ -150,5 +163,53 @@ class ArtifactCache {
                                                   fi::CampaignOptions options,
                                                   const CampaignKey& key, ArtifactCache& cache,
                                                   int persist_every = 64);
+
+// --- sharded campaigns -------------------------------------------------------
+
+/// A fully persisted campaign artifact under `key`, rebuilt into stats
+/// without executing anything (perf.cache_hit set); std::nullopt when the
+/// entry is absent, partial, or does not match the options. Used by the
+/// shard supervisor to skip spawning workers for an already-complete
+/// campaign.
+[[nodiscard]] std::optional<fi::CampaignStats> LoadCompleteCampaign(const CampaignKey& key,
+                                                                    ArtifactCache& cache);
+
+/// Worker side of a sharded campaign: runs the shard window named by
+/// `options.shard_index` / `options.shard_count`, resuming from this shard's
+/// persisted completion mask when a previous (killed or hung) attempt left
+/// one behind, and persisting records + mask to the shard-scoped entry every
+/// `persist_every` completed runs — so a relaunched worker loses at most one
+/// batch. `after_persist(completed_so_far)` fires after each persisted batch
+/// (test hooks inject worker deaths there; pass nullptr otherwise). The
+/// cache must be enabled.
+[[nodiscard]] fi::CampaignStats RunCampaignShard(
+    const ir::Module& module, const ddg::Graph& graph, const vm::RunResult& golden,
+    fi::CampaignOptions options, const CampaignKey& key, ArtifactCache& cache,
+    int persist_every = 64,
+    const std::function<void(std::uint64_t completed)>& after_persist = nullptr);
+
+/// Supervisor side: merge diagnostics alongside the recombined stats.
+struct ShardMergeInfo {
+  int shards_loaded = 0;           ///< shard artifacts that decoded and matched
+  std::uint64_t merged = 0;        ///< plan indices adopted from shard artifacts
+  std::uint64_t missing = 0;       ///< indices no shard delivered (re-executed locally)
+  std::uint64_t conflicts = 0;     ///< disagreeing double-claims (re-executed locally)
+  std::uint64_t revalidated = 0;   ///< merged records that survived plan validation
+};
+
+/// Loads every shard entry of `key`'s campaign, merges the record streams,
+/// re-draws the plan and validates every merged record against it (any
+/// mismatch discards the resume data and re-executes — outcomes are always
+/// those of an uninterrupted single-process campaign), executes whatever
+/// indices no shard delivered, persists the merged campaign under the plain
+/// campaign id, and removes the now-redundant shard entries. The returned
+/// stats are byte-identical to a single-process run.
+[[nodiscard]] fi::CampaignStats MergeShardedCampaign(const ir::Module& module,
+                                                     const ddg::Graph& graph,
+                                                     const vm::RunResult& golden,
+                                                     fi::CampaignOptions options,
+                                                     const CampaignKey& key,
+                                                     ArtifactCache& cache, int shard_count,
+                                                     ShardMergeInfo* info = nullptr);
 
 }  // namespace epvf::store

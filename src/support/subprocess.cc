@@ -1,0 +1,166 @@
+#include "support/subprocess.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/logging.h"
+
+extern char** environ;
+
+namespace epvf {
+
+std::string ExitStatus::Describe() const {
+  if (exited) return "exit " + std::to_string(code);
+  return "signal " + std::to_string(signal);
+}
+
+namespace {
+
+ExitStatus FromWaitStatus(int status) {
+  ExitStatus out;
+  if (WIFEXITED(status)) {
+    out.exited = true;
+    out.code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    out.exited = false;
+    out.signal = WTERMSIG(status);
+  } else {
+    // Stopped/continued never reaches us (no WUNTRACED); treat anything
+    // unexpected as an abnormal end.
+    out.exited = true;
+    out.code = -1;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<Subprocess> Subprocess::Spawn(const SubprocessOptions& options) {
+  if (options.argv.empty()) {
+    LogWarn("Subprocess: empty argv");
+    return std::nullopt;
+  }
+
+  // Everything the child needs is materialized before fork(): between fork
+  // and execve only async-signal-safe calls (open/dup2/execve/_exit) run, so
+  // spawning from a process with live threads (the shared pool) is safe.
+  std::vector<char*> argv;
+  argv.reserve(options.argv.size() + 1);
+  for (const std::string& arg : options.argv) argv.push_back(const_cast<char*>(arg.c_str()));
+  argv.push_back(nullptr);
+
+  std::vector<std::string> env_storage;
+  std::vector<char*> envp;
+  for (char** e = environ; e != nullptr && *e != nullptr; ++e) envp.push_back(*e);
+  env_storage.reserve(options.env.size());
+  for (const std::string& extra : options.env) {
+    env_storage.push_back(extra);
+    envp.push_back(const_cast<char*>(env_storage.back().c_str()));
+  }
+  envp.push_back(nullptr);
+
+  // Open redirection targets in the parent so a bad path fails loudly here
+  // instead of as a silent exit-127 child.
+  int stdout_fd = -1;
+  int stderr_fd = -1;
+  if (!options.stdout_path.empty()) {
+    stdout_fd = ::open(options.stdout_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (stdout_fd < 0) {
+      LogWarn("Subprocess: cannot open " + options.stdout_path + ": " + std::strerror(errno));
+      return std::nullopt;
+    }
+  }
+  if (!options.stderr_path.empty()) {
+    if (options.stderr_path == options.stdout_path) {
+      stderr_fd = stdout_fd;
+    } else {
+      stderr_fd = ::open(options.stderr_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      if (stderr_fd < 0) {
+        LogWarn("Subprocess: cannot open " + options.stderr_path + ": " + std::strerror(errno));
+        ::close(stdout_fd);
+        return std::nullopt;
+      }
+    }
+  }
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    LogWarn(std::string("Subprocess: fork failed: ") + std::strerror(errno));
+    if (stdout_fd >= 0) ::close(stdout_fd);
+    if (stderr_fd >= 0 && stderr_fd != stdout_fd) ::close(stderr_fd);
+    return std::nullopt;
+  }
+  if (pid == 0) {
+    if (stdout_fd >= 0) ::dup2(stdout_fd, STDOUT_FILENO);
+    if (stderr_fd >= 0) ::dup2(stderr_fd, STDERR_FILENO);
+    ::execve(argv[0], argv.data(), envp.data());
+    _exit(127);  // exec failed — the conventional shell "command not found" code
+  }
+  if (stdout_fd >= 0) ::close(stdout_fd);
+  if (stderr_fd >= 0 && stderr_fd != stdout_fd) ::close(stderr_fd);
+
+  Subprocess child;
+  child.pid_ = pid;
+  return child;
+}
+
+Subprocess::Subprocess(Subprocess&& other) noexcept
+    : pid_(other.pid_), status_(std::move(other.status_)) {
+  other.pid_ = -1;
+  other.status_.reset();
+}
+
+Subprocess& Subprocess::operator=(Subprocess&& other) noexcept {
+  if (this == &other) return *this;
+  if (pid_ >= 0 && !status_.has_value()) {
+    Kill();
+    Wait();
+  }
+  pid_ = other.pid_;
+  status_ = std::move(other.status_);
+  other.pid_ = -1;
+  other.status_.reset();
+  return *this;
+}
+
+Subprocess::~Subprocess() {
+  if (pid_ < 0 || status_.has_value()) return;
+  Kill();
+  Wait();
+}
+
+std::optional<ExitStatus> Subprocess::Poll() {
+  if (status_.has_value()) return status_;
+  if (pid_ < 0) return std::nullopt;
+  int status = 0;
+  const pid_t r = ::waitpid(pid_, &status, WNOHANG);
+  if (r == 0) return std::nullopt;  // still running
+  if (r < 0) {
+    // ECHILD etc. — the child is gone but unobservable; report abnormal end.
+    status_ = ExitStatus{.exited = true, .code = -1, .signal = 0};
+    return status_;
+  }
+  status_ = FromWaitStatus(status);
+  return status_;
+}
+
+ExitStatus Subprocess::Wait() {
+  if (status_.has_value()) return *status_;
+  int status = 0;
+  while (::waitpid(pid_, &status, 0) < 0 && errno == EINTR) {
+  }
+  status_ = FromWaitStatus(status);
+  return *status_;
+}
+
+void Subprocess::Kill(int signal) {
+  if (pid_ < 0 || status_.has_value()) return;
+  ::kill(pid_, signal);
+}
+
+}  // namespace epvf

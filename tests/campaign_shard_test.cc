@@ -1,0 +1,243 @@
+// Sharded-campaign property tests: the shard decomposition must be invisible
+// in the results. ShardSlice partitions the plan exactly; running every
+// shard's window separately and merging the per-shard record streams must
+// reproduce the single-process campaign byte for byte — same records, same
+// outcome counts, same confidence intervals — across applications, seeds,
+// shard counts, and checkpoint settings. The merge itself must survive
+// missing shards, wrong-shape shards, and conflicting double-claims by
+// falling back to re-execution, never to wrong answers.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "apps/app.h"
+#include "epvf/analysis.h"
+#include "fi/campaign.h"
+#include "fi/shard.h"
+
+namespace epvf::fi {
+namespace {
+
+bool SameRecord(const FaultRecord& a, const FaultRecord& b) {
+  return a.site.dyn_index == b.site.dyn_index && a.site.slot == b.site.slot &&
+         a.site.width == b.site.width && a.site.node == b.site.node && a.bit == b.bit &&
+         a.outcome == b.outcome;
+}
+
+bool SameRecords(const std::vector<FaultRecord>& a, const std::vector<FaultRecord>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!SameRecord(a[i], b[i])) return false;
+  }
+  return true;
+}
+
+// --- ShardSlice: exact partition ---------------------------------------------
+
+TEST(ShardSlice, PartitionsEveryIndexExactlyOnce) {
+  for (const std::size_t num_runs : {0UL, 1UL, 7UL, 64UL, 1000UL}) {
+    for (const int shard_count : {1, 2, 3, 4, 8, 13}) {
+      std::vector<int> owners(num_runs, 0);
+      std::size_t covered = 0;
+      for (int shard = 0; shard < shard_count; ++shard) {
+        const ShardRange range = ShardSlice(num_runs, shard_count, shard);
+        ASSERT_LE(range.begin, range.end);
+        ASSERT_LE(range.end, num_runs);
+        covered += range.Size();
+        for (std::size_t i = range.begin; i < range.end; ++i) owners[i] += 1;
+      }
+      EXPECT_EQ(covered, num_runs) << num_runs << " runs over " << shard_count << " shards";
+      for (std::size_t i = 0; i < num_runs; ++i) {
+        EXPECT_EQ(owners[i], 1) << "index " << i << " owned " << owners[i] << " times";
+      }
+    }
+  }
+}
+
+TEST(ShardSlice, SlicesAreBalancedWithinOneRun) {
+  for (const std::size_t num_runs : {5UL, 97UL, 1000UL}) {
+    for (const int shard_count : {2, 3, 7}) {
+      std::size_t smallest = num_runs;
+      std::size_t largest = 0;
+      for (int shard = 0; shard < shard_count; ++shard) {
+        const std::size_t size = ShardSlice(num_runs, shard_count, shard).Size();
+        smallest = std::min(smallest, size);
+        largest = std::max(largest, size);
+      }
+      EXPECT_LE(largest - smallest, 1UL);
+    }
+  }
+}
+
+TEST(ShardSlice, RejectsInvalidCoordinates) {
+  EXPECT_THROW((void)ShardSlice(10, 0, 0), std::invalid_argument);
+  EXPECT_THROW((void)ShardSlice(10, -1, 0), std::invalid_argument);
+  EXPECT_THROW((void)ShardSlice(10, 4, -1), std::invalid_argument);
+  EXPECT_THROW((void)ShardSlice(10, 4, 4), std::invalid_argument);
+}
+
+// --- MergeShards: recombination and degradation ------------------------------
+
+FaultRecord MakeRecord(std::uint32_t dyn_index, std::uint8_t bit, Outcome outcome) {
+  FaultRecord record;
+  record.site.dyn_index = dyn_index;
+  record.bit = bit;
+  record.outcome = outcome;
+  return record;
+}
+
+TEST(MergeShards, AdoptsSingleClaimsAndCountsMissing) {
+  const std::size_t num_runs = 6;
+  std::vector<ShardRecords> shards(2);
+  for (ShardRecords& shard : shards) {
+    shard.records.resize(num_runs);
+    shard.completed.assign(num_runs, 0);
+  }
+  shards[0].records[0] = MakeRecord(10, 3, Outcome::kSdc);
+  shards[0].completed[0] = 1;
+  shards[1].records[4] = MakeRecord(40, 1, Outcome::kBenign);
+  shards[1].completed[4] = 1;
+
+  const MergedRecords merged = MergeShards(num_runs, shards);
+  EXPECT_EQ(merged.merged, 2u);
+  EXPECT_EQ(merged.missing, 4u);
+  EXPECT_EQ(merged.conflicts, 0u);
+  EXPECT_EQ(merged.completed[0], 1);
+  EXPECT_EQ(merged.completed[4], 1);
+  EXPECT_TRUE(SameRecord(merged.records[0], shards[0].records[0]));
+  EXPECT_TRUE(SameRecord(merged.records[4], shards[1].records[4]));
+}
+
+TEST(MergeShards, DisagreeingDoubleClaimIsDroppedToIncomplete) {
+  const std::size_t num_runs = 3;
+  std::vector<ShardRecords> shards(2);
+  for (ShardRecords& shard : shards) {
+    shard.records.resize(num_runs);
+    shard.completed.assign(num_runs, 0);
+  }
+  shards[0].records[1] = MakeRecord(7, 2, Outcome::kSdc);
+  shards[0].completed[1] = 1;
+  shards[1].records[1] = MakeRecord(7, 2, Outcome::kBenign);  // disagrees
+  shards[1].completed[1] = 1;
+
+  const MergedRecords merged = MergeShards(num_runs, shards);
+  EXPECT_EQ(merged.conflicts, 1u);
+  EXPECT_EQ(merged.completed[1], 0) << "a conflicted index must be re-executed";
+}
+
+TEST(MergeShards, IdenticalDoubleClaimIsHarmless) {
+  const std::size_t num_runs = 3;
+  std::vector<ShardRecords> shards(2);
+  for (ShardRecords& shard : shards) {
+    shard.records.resize(num_runs);
+    shard.completed.assign(num_runs, 0);
+    shard.records[2] = MakeRecord(9, 5, Outcome::kHang);
+    shard.completed[2] = 1;
+  }
+  const MergedRecords merged = MergeShards(num_runs, shards);
+  EXPECT_EQ(merged.conflicts, 0u);
+  EXPECT_EQ(merged.completed[2], 1);
+}
+
+TEST(MergeShards, WrongShapeShardIsSkippedNotTrusted) {
+  const std::size_t num_runs = 4;
+  std::vector<ShardRecords> shards(1);
+  shards[0].records.resize(num_runs - 1);  // stale artifact for other options
+  shards[0].completed.assign(num_runs - 1, 1);
+  const MergedRecords merged = MergeShards(num_runs, shards);
+  EXPECT_EQ(merged.merged, 0u);
+  EXPECT_EQ(merged.missing, num_runs);
+}
+
+// --- the headline property: sharded == single-process ------------------------
+
+struct ShardIdentityCase {
+  const char* app;
+  std::uint64_t seed;
+  std::int64_t checkpoint_interval;  // -1 = fast path off, 0 = auto
+  std::uint32_t jitter_pages;
+};
+
+class ShardIdentity : public ::testing::TestWithParam<ShardIdentityCase> {};
+
+TEST_P(ShardIdentity, ShardedRunsRecombineIntoTheSingleProcessStream) {
+  const ShardIdentityCase& param = GetParam();
+  const apps::App app = apps::BuildApp(param.app, apps::AppConfig{.scale = 0});
+  const core::Analysis a = core::Analysis::Run(app.module);
+
+  CampaignOptions options;
+  options.num_runs = 60;
+  options.seed = param.seed;
+  options.num_threads = 2;
+  options.checkpoint_interval = param.checkpoint_interval;
+  options.injector.jitter_pages = param.jitter_pages;
+
+  const CampaignStats full = RunCampaign(app.module, a.graph(), a.golden(), options);
+  ASSERT_EQ(full.records.size(), static_cast<std::size_t>(options.num_runs));
+
+  for (const int shard_count : {2, 4, 8}) {
+    // Run every shard window independently, as the worker processes would.
+    std::vector<ShardRecords> shards;
+    shards.reserve(static_cast<std::size_t>(shard_count));
+    for (int shard = 0; shard < shard_count; ++shard) {
+      CampaignOptions shard_options = options;
+      shard_options.shard_index = shard;
+      shard_options.shard_count = shard_count;
+      const CampaignStats stats =
+          RunCampaign(app.module, a.graph(), a.golden(), shard_options);
+      const ShardRange window =
+          ShardSlice(static_cast<std::size_t>(options.num_runs), shard_count, shard);
+      EXPECT_EQ(stats.Total(), window.Size())
+          << "a shard must count only its own window's outcomes";
+      ShardRecords contribution;
+      contribution.records = stats.records;
+      contribution.completed.assign(static_cast<std::size_t>(options.num_runs), 0);
+      for (std::size_t i = window.begin; i < window.end; ++i) contribution.completed[i] = 1;
+      shards.push_back(std::move(contribution));
+    }
+
+    const MergedRecords merged =
+        MergeShards(static_cast<std::size_t>(options.num_runs), shards);
+    EXPECT_EQ(merged.merged, static_cast<std::uint64_t>(options.num_runs));
+    EXPECT_EQ(merged.missing, 0u);
+    EXPECT_EQ(merged.conflicts, 0u);
+    EXPECT_TRUE(SameRecords(merged.records, full.records))
+        << param.app << " seed " << param.seed << " at " << shard_count << " shards";
+
+    // Feeding the merged stream back through the campaign as resume data is
+    // exactly what the supervisor's merge does: every record must validate
+    // against the re-drawn plan and the rebuilt statistics must match.
+    CampaignOptions resume_options = options;
+    resume_options.resume_records = &merged.records;
+    resume_options.resume_completed = &merged.completed;
+    const CampaignStats rebuilt =
+        RunCampaign(app.module, a.graph(), a.golden(), resume_options);
+    EXPECT_EQ(rebuilt.perf.resumed_records, static_cast<std::uint64_t>(options.num_runs))
+        << "every merged record must survive plan validation";
+    EXPECT_TRUE(SameRecords(rebuilt.records, full.records));
+    EXPECT_EQ(rebuilt.counts, full.counts);
+    for (int o = 0; o < kNumOutcomes; ++o) {
+      const auto outcome = static_cast<Outcome>(o);
+      EXPECT_DOUBLE_EQ(rebuilt.CI(outcome).rate, full.CI(outcome).rate);
+      EXPECT_DOUBLE_EQ(rebuilt.CI(outcome).half_width, full.CI(outcome).half_width);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AppsSeedsAndCheckpoints, ShardIdentity,
+    ::testing::Values(ShardIdentityCase{"mm", 7, -1, 2},
+                      ShardIdentityCase{"mm", 11, 0, 0},
+                      ShardIdentityCase{"nw", 7, -1, 2},
+                      ShardIdentityCase{"nw", 123, 0, 0}),
+    [](const ::testing::TestParamInfo<ShardIdentityCase>& info) {
+      return std::string(info.param.app) + "_seed" + std::to_string(info.param.seed) +
+             (info.param.checkpoint_interval < 0 ? "_nockpt" : "_ckpt") +
+             (info.param.jitter_pages > 0 ? "_jitter" : "_nojitter");
+    });
+
+}  // namespace
+}  // namespace epvf::fi

@@ -151,6 +151,49 @@ TEST(CliGolden, CacheStatsOnMissingDir) {
                       ReplaceAll(r.stdout_text, missing, "<DIR>"));
 }
 
+// --- campaign ----------------------------------------------------------------
+
+TEST(CliCampaign, SingleShardMatchesTheInjectGolden) {
+  // campaign is inject scaled across processes: with the same parameters its
+  // stdout must be byte-for-byte the inject report, so it shares the golden.
+  const CliResult r = RunCli("campaign mm --scale 0 --runs 40 --seed 7 --shards 1 --no-cache");
+  ASSERT_EQ(r.exit_code, 0);
+  ExpectMatchesGolden("inject_mm.txt", r.stdout_text);
+}
+
+TEST(CliCampaign, ShardedStdoutIsByteIdenticalToSingleShard) {
+  const CliResult one = RunCli("campaign mm --scale 0 --runs 40 --seed 7 --shards 1");
+  const CliResult three = RunCli("campaign mm --scale 0 --runs 40 --seed 7 --shards 3");
+  ASSERT_EQ(one.exit_code, 0);
+  ASSERT_EQ(three.exit_code, 0);
+  EXPECT_EQ(three.stdout_text, one.stdout_text);
+  ExpectMatchesGolden("inject_mm.txt", three.stdout_text);
+}
+
+TEST(CliCampaign, EnvVarPicksTheShardCount) {
+  const CliResult flagged = RunCli("campaign mm --scale 0 --runs 40 --seed 7 --shards 2");
+  const CliResult env = RunCli("campaign mm --scale 0 --runs 40 --seed 7", "EPVF_SHARDS=2");
+  ASSERT_EQ(flagged.exit_code, 0);
+  ASSERT_EQ(env.exit_code, 0);
+  EXPECT_EQ(env.stdout_text, flagged.stdout_text);
+}
+
+TEST(CliCampaign, ExitCodeContractsMatchTheOtherCommands) {
+  EXPECT_EQ(RunCli("campaign").exit_code, 2);                      // no target
+  EXPECT_EQ(RunCli("campaign mm --bogus-flag").exit_code, 4);      // unknown flag
+  EXPECT_EQ(RunCli("campaign mm --fraction 0.5").exit_code, 4);    // wrong command's flag
+  EXPECT_EQ(RunCli("campaign mm --worker-shard 0 --no-cache").exit_code, 1);
+}
+
+TEST(CliCampaign, DiagnosticsStayOffStdout) {
+  // The merge/supervision summary is stderr-only; stdout is the report.
+  const CliResult r = RunCli("campaign mm --scale 0 --runs 40 --seed 7 --shards 2");
+  ASSERT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.stdout_text.find("shard"), std::string::npos);
+  EXPECT_EQ(r.stdout_text.find("merged"), std::string::npos);
+  EXPECT_EQ(r.stdout_text.find("cache:"), std::string::npos);
+}
+
 // --- cache subcommands on a missing/empty directory (regression) -------------
 
 TEST(CliCache, ClearOnMissingDirSucceedsWithoutCreatingIt) {

@@ -3,6 +3,8 @@
 //   epvf list
 //   epvf analyze  <benchmark|file.ir> [--scale N] [--jobs N] [--cache-dir D] [--no-cache]
 //   epvf inject   <benchmark|file.ir> [--runs N] [--jitter P] [--burst B] [--seed S] [--jobs N]
+//   epvf campaign <benchmark|file.ir> [--shards N] [--shard-timeout S] [--shard-retries R]
+//                                     [+ every inject flag]
 //   epvf sample   <benchmark|file.ir> [--fraction F] [--jobs N]
 //   epvf protect  <benchmark>         [--budget PCT] [--rank epvf|hot] [--real] [--jobs N]
 //   epvf print    <benchmark|file.ir>
@@ -14,6 +16,16 @@
 // default) uses one worker per hardware core; results are bit-identical at
 // every jobs setting.
 //
+// campaign is inject scaled out across worker *processes*: a supervisor
+// shards the deterministic run plan into --shards contiguous slices (env
+// EPVF_SHARDS when the flag is absent), runs each slice in its own relaunch
+// of this binary (the hidden --worker-shard flag), and merges the per-shard
+// artifacts into one record stream that is byte-identical to a
+// single-process run — including runs where a worker is killed or hangs
+// mid-shard and is relaunched (workers resume from their shard's persisted
+// completion mask). All supervision diagnostics go to stderr; worker output
+// lands in per-shard log files inside the cache directory.
+//
 // analyze and inject consult the on-disk artifact cache when a directory is
 // given via --cache-dir or EPVF_CACHE_DIR (--no-cache overrides both), and
 // accept --trace-out FILE (Chrome trace_event JSON of the run's spans; the
@@ -24,10 +36,17 @@
 //
 // Exit codes: 0 success, 1 runtime error, 2 usage, 3 unknown command,
 // 4 unknown flag.
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <functional>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -35,21 +54,28 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "apps/app.h"
 #include "epvf/analysis.h"
 #include "epvf/report.h"
 #include "epvf/sampling.h"
 #include "fi/campaign.h"
+#include "fi/shard.h"
+#include "fi/supervisor.h"
 #include "fi/targeted.h"
 #include "ir/parser.h"
 #include "ir/printer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/progress.h"
 #include "protect/evaluation.h"
 #include "protect/transform.h"
 #include "store/cache.h"
+#include "support/subprocess.h"
 #include "support/table.h"
+#include "support/thread_pool.h"
 #include "vm/interpreter.h"
 
 namespace {
@@ -88,6 +114,12 @@ const std::map<std::string, std::set<std::string>>& AllowedFlags() {
       {"inject",
        {"scale", "runs", "jitter", "burst", "seed", "jobs", "checkpoints", "cache-dir",
         "no-cache", "trace-out", "metrics-out"}},
+      // --worker-shard is internal plumbing (the supervisor relaunching this
+      // binary for one shard), accepted but undocumented.
+      {"campaign",
+       {"scale", "runs", "jitter", "burst", "seed", "jobs", "checkpoints", "cache-dir",
+        "no-cache", "trace-out", "metrics-out", "shards", "shard-timeout", "shard-retries",
+        "worker-shard"}},
       {"sample", {"scale", "fraction", "jobs"}},
       {"protect", {"scale", "budget", "rank", "real", "jobs", "runs"}},
       {"print", {"scale"}},
@@ -109,6 +141,13 @@ int Usage() {
                "                                   campaign; -1 = auto, 0 = off; outcomes are\n"
                "                                   identical at every setting; needs --jitter 0,\n"
                "                                   jittered runs always execute from scratch)\n"
+               "  campaign <target> [--shards N] [--shard-timeout S] [--shard-retries R]\n"
+               "                   [+ every inject flag]\n"
+               "                                   inject sharded across N worker processes\n"
+               "                                   (EPVF_SHARDS default; records and statistics\n"
+               "                                   are byte-identical to --shards 1, workers\n"
+               "                                   that die or hang are relaunched and resume\n"
+               "                                   from their shard's completion mask)\n"
                "  sample  <target> [--fraction F]  ACE-graph sampling estimate\n"
                "  protect <benchmark> [--budget PCT] [--rank epvf|hot] [--real]\n"
                "                                   section-V selective duplication\n"
@@ -235,19 +274,10 @@ int CmdAnalyze(const Options& options) {
   return 0;
 }
 
-int CmdInject(const Options& options) {
-  const ir::Module module = LoadTarget(options);
-  const core::AnalysisOptions opts = AnalysisOpts(options);
-  store::ArtifactCache cache(ResolveCacheDir(options));
-  std::optional<store::AnalysisKey> key;
-  if (cache.enabled()) key = MakeAnalysisKey(options, module, opts);
-  const core::Analysis a = cache.enabled() ? store::RunAnalysisCached(module, opts, *key, cache)
-                                           : core::Analysis::Run(module, opts);
-  if (cache.enabled()) {
-    PrintCacheStatus("analysis", store::CacheId(*key), a.timings().cache_hit,
-                     a.timings().cache_load_seconds, a.timings().cache_store_seconds);
-  }
-
+/// Campaign options shared by inject and campaign — same flags, same
+/// defaults, so the two commands print byte-identical reports for the same
+/// invocation parameters.
+fi::CampaignOptions MakeCampaignOptions(const Options& options, const core::Analysis& a) {
   fi::CampaignOptions campaign;
   campaign.num_runs = options.Int("runs", 500);
   campaign.seed = static_cast<std::uint64_t>(options.Int("seed", 42));
@@ -264,21 +294,14 @@ int CmdInject(const Options& options) {
         a.TraceLength() / (static_cast<std::uint64_t>(checkpoints) + 1);
     campaign.checkpoint_interval = static_cast<std::int64_t>(interval < 1 ? 1 : interval);
   }
-  fi::CampaignStats stats;
-  if (cache.enabled()) {
-    const store::CampaignKey ckey{*key, campaign};
-    stats = store::RunCampaignCached(module, a.graph(), a.golden(), campaign, ckey, cache);
-    PrintCacheStatus("campaign", store::CacheId(ckey), stats.perf.cache_hit,
-                     stats.perf.cache_load_seconds, stats.perf.cache_store_seconds);
-    if (!stats.perf.cache_hit && stats.perf.resumed_records > 0) {
-      std::fprintf(stderr, "cache: resumed %llu/%llu completed runs from a prior campaign\n",
-                   static_cast<unsigned long long>(stats.perf.resumed_records),
-                   static_cast<unsigned long long>(stats.Total()));
-    }
-  } else {
-    stats = fi::RunCampaign(module, a.graph(), a.golden(), campaign);
-  }
+  return campaign;
+}
 
+/// The campaign report both inject and campaign print: outcome table with
+/// CIs on stdout plus the model-validation line. Everything else (timings,
+/// cache status, shard supervision) is stderr-only diagnostics, so a sharded
+/// campaign's stdout is byte-identical to a single-process one.
+void PrintCampaignReport(const core::Analysis& a, const fi::CampaignStats& stats) {
   AsciiTable table({"outcome", "count", "rate"});
   table.SetTitle("campaign (" + std::to_string(stats.Total()) + " injections)");
   for (int i = 0; i < fi::kNumOutcomes; ++i) {
@@ -295,6 +318,38 @@ int CmdInject(const Options& options) {
               a.CrashRateEstimate(), stats.CrashRate(), recall.Recall() * 100,
               static_cast<unsigned long long>(recall.predicted),
               static_cast<unsigned long long>(recall.crash_runs));
+}
+
+int CmdInject(const Options& options) {
+  const ir::Module module = LoadTarget(options);
+  const core::AnalysisOptions opts = AnalysisOpts(options);
+  store::ArtifactCache cache(ResolveCacheDir(options));
+  std::optional<store::AnalysisKey> key;
+  if (cache.enabled()) key = MakeAnalysisKey(options, module, opts);
+  const core::Analysis a = cache.enabled() ? store::RunAnalysisCached(module, opts, *key, cache)
+                                           : core::Analysis::Run(module, opts);
+  if (cache.enabled()) {
+    PrintCacheStatus("analysis", store::CacheId(*key), a.timings().cache_hit,
+                     a.timings().cache_load_seconds, a.timings().cache_store_seconds);
+  }
+
+  const fi::CampaignOptions campaign = MakeCampaignOptions(options, a);
+  fi::CampaignStats stats;
+  if (cache.enabled()) {
+    const store::CampaignKey ckey{*key, campaign};
+    stats = store::RunCampaignCached(module, a.graph(), a.golden(), campaign, ckey, cache);
+    PrintCacheStatus("campaign", store::CacheId(ckey), stats.perf.cache_hit,
+                     stats.perf.cache_load_seconds, stats.perf.cache_store_seconds);
+    if (!stats.perf.cache_hit && stats.perf.resumed_records > 0) {
+      std::fprintf(stderr, "cache: resumed %llu/%llu completed runs from a prior campaign\n",
+                   static_cast<unsigned long long>(stats.perf.resumed_records),
+                   static_cast<unsigned long long>(stats.Total()));
+    }
+  } else {
+    stats = fi::RunCampaign(module, a.graph(), a.golden(), campaign);
+  }
+
+  PrintCampaignReport(a, stats);
   const fi::CampaignPerf& perf = stats.perf;
   if (perf.checkpoints > 0) {
     // Diagnostics on stderr: the fast-path accounting differs between cold,
@@ -308,6 +363,290 @@ int CmdInject(const Options& options) {
         static_cast<unsigned long long>(stats.Total()),
         static_cast<double>(perf.skipped_instructions) * 1e-6, perf.inject_seconds * 1e3);
   }
+  return 0;
+}
+
+/// Absolute path of this binary, resolved once in main(): the supervisor
+/// relaunches itself as the worker executable, and argv[0] alone is not
+/// reliable after a chdir.
+std::string g_self_exe;  // NOLINT(cppcoreguidelines-avoid-non-const-global-variables)
+
+/// Atomically claims a once-marker file: true for exactly one claimant across
+/// any number of racing worker processes (O_CREAT|O_EXCL). The fault-
+/// injection tests use these to make exactly one worker die or stall no
+/// matter how shards race.
+bool ClaimOnceMarker(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+  if (fd < 0) return false;
+  ::close(fd);
+  return true;
+}
+
+/// Worker half of `epvf campaign`: executes one shard window against the
+/// shared cache directory and exits. Spawned by the supervisor with
+/// --worker-shard; never invoked by users directly.
+int CmdCampaignWorker(const Options& options) {
+  store::ArtifactCache cache(ResolveCacheDir(options));
+  if (!cache.enabled()) {
+    std::fprintf(stderr, "epvf campaign: --worker-shard requires --cache-dir\n");
+    return 1;
+  }
+  const int shard_index = options.Int("worker-shard", 0);
+  const int shard_count = options.Int("shards", 1);
+
+  const ir::Module module = LoadTarget(options);
+  const core::AnalysisOptions opts = AnalysisOpts(options);
+  const store::AnalysisKey key = MakeAnalysisKey(options, module, opts);
+  // The supervisor warmed the analysis artifact before spawning workers, so
+  // this is a cache load, not a recompute.
+  const core::Analysis a = store::RunAnalysisCached(module, opts, key, cache);
+
+  fi::CampaignOptions campaign = MakeCampaignOptions(options, a);
+  campaign.shard_index = shard_index;
+  campaign.shard_count = shard_count;
+  if (const char* progress_file = std::getenv("EPVF_PROGRESS_FILE")) {
+    campaign.progress_file = progress_file;
+  }
+
+  int persist_every = 64;
+  if (const char* env = std::getenv("EPVF_PERSIST_EVERY")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) persist_every = parsed;
+  }
+
+  // Fault-tolerance test hooks: after the first persisted batch, the single
+  // worker that claims the marker dies by SIGKILL / wedges until the
+  // supervisor's deadline kills it. Inert unless the env vars are set.
+  std::function<void(std::uint64_t)> after_persist;
+  const char* kill_env = std::getenv("EPVF_TEST_WORKER_KILL_ONCE");
+  const char* stall_env = std::getenv("EPVF_TEST_WORKER_STALL_ONCE");
+  if (kill_env != nullptr || stall_env != nullptr) {
+    const std::string kill_marker = kill_env == nullptr ? "" : kill_env;
+    const std::string stall_marker = stall_env == nullptr ? "" : stall_env;
+    after_persist = [kill_marker, stall_marker](std::uint64_t) {
+      if (!kill_marker.empty() && ClaimOnceMarker(kill_marker)) ::raise(SIGKILL);
+      if (!stall_marker.empty() && ClaimOnceMarker(stall_marker)) {
+        std::this_thread::sleep_for(std::chrono::seconds(1000));
+      }
+    };
+  }
+
+  const fi::CampaignStats stats = store::RunCampaignShard(
+      module, a.graph(), a.golden(), campaign, store::CampaignKey{key, campaign}, cache,
+      persist_every, after_persist);
+  std::fprintf(stderr, "worker shard %d/%d: done (%llu resumed from a prior attempt)\n",
+               shard_index, shard_count,
+               static_cast<unsigned long long>(stats.perf.resumed_records));
+  return 0;
+}
+
+int CmdCampaign(const Options& options) {
+  if (options.flags.count("worker-shard") != 0) return CmdCampaignWorker(options);
+
+  // --shards beats EPVF_SHARDS; never more shards than runs, never fewer
+  // than one.
+  int shards = options.Int("shards", 0);
+  if (shards <= 0) {
+    const char* env = std::getenv("EPVF_SHARDS");
+    shards = env == nullptr ? 1 : std::atoi(env);
+  }
+  const int num_runs = options.Int("runs", 500);
+  if (shards < 1) shards = 1;
+  if (shards > num_runs) shards = num_runs > 0 ? num_runs : 1;
+
+  const ir::Module module = LoadTarget(options);
+  const core::AnalysisOptions opts = AnalysisOpts(options);
+  const std::string user_cache_dir = ResolveCacheDir(options);
+
+  // Single-shard campaigns run in-process and are literally `epvf inject`:
+  // same code path, same stdout, same cache behaviour.
+  if (shards == 1) {
+    store::ArtifactCache cache(user_cache_dir);
+    std::optional<store::AnalysisKey> key;
+    if (cache.enabled()) key = MakeAnalysisKey(options, module, opts);
+    const core::Analysis a = cache.enabled()
+                                 ? store::RunAnalysisCached(module, opts, *key, cache)
+                                 : core::Analysis::Run(module, opts);
+    if (cache.enabled()) {
+      PrintCacheStatus("analysis", store::CacheId(*key), a.timings().cache_hit,
+                       a.timings().cache_load_seconds, a.timings().cache_store_seconds);
+    }
+    const fi::CampaignOptions campaign = MakeCampaignOptions(options, a);
+    fi::CampaignStats stats;
+    if (cache.enabled()) {
+      const store::CampaignKey ckey{*key, campaign};
+      stats = store::RunCampaignCached(module, a.graph(), a.golden(), campaign, ckey, cache);
+      PrintCacheStatus("campaign", store::CacheId(ckey), stats.perf.cache_hit,
+                       stats.perf.cache_load_seconds, stats.perf.cache_store_seconds);
+    } else {
+      stats = fi::RunCampaign(module, a.graph(), a.golden(), campaign);
+    }
+    PrintCampaignReport(a, stats);
+    return 0;
+  }
+
+  // Sharded: the shard artifacts need a directory every worker can reach.
+  // Without a user cache the supervisor fabricates a private one and removes
+  // it afterwards — sharding works with or without --cache-dir.
+  std::string shard_dir = user_cache_dir;
+  bool private_dir = false;
+  if (shard_dir.empty()) {
+    std::string pattern =
+        (std::filesystem::temp_directory_path() / "epvf-campaign-XXXXXX").string();
+    char* made = ::mkdtemp(pattern.data());
+    if (made == nullptr) {
+      std::fprintf(stderr, "epvf campaign: cannot create a temporary shard directory\n");
+      return 1;
+    }
+    shard_dir = made;
+    private_dir = true;
+  }
+
+  // Held in an optional so a private shard directory can be torn down in the
+  // right order: the cache destructor persists its counters into the
+  // directory, so it must run before remove_all.
+  std::optional<store::ArtifactCache> cache_slot(std::in_place, shard_dir);
+  store::ArtifactCache& cache = *cache_slot;
+  const store::AnalysisKey key = MakeAnalysisKey(options, module, opts);
+  // Warm the analysis artifact so every worker loads it instead of redoing
+  // the trace/DDG pipeline N times.
+  const core::Analysis a = store::RunAnalysisCached(module, opts, key, cache);
+  if (!user_cache_dir.empty()) {
+    PrintCacheStatus("analysis", store::CacheId(key), a.timings().cache_hit,
+                     a.timings().cache_load_seconds, a.timings().cache_store_seconds);
+  }
+
+  const fi::CampaignOptions campaign = MakeCampaignOptions(options, a);
+  const store::CampaignKey ckey{key, campaign};
+
+  // A fully persisted campaign needs no workers at all.
+  if (std::optional<fi::CampaignStats> cached = store::LoadCompleteCampaign(ckey, cache)) {
+    PrintCacheStatus("campaign", store::CacheId(ckey), true, cached->perf.cache_load_seconds,
+                     0.0);
+    PrintCampaignReport(a, *cached);
+    if (private_dir) {
+      cache_slot.reset();
+      std::filesystem::remove_all(shard_dir);
+    }
+    return 0;
+  }
+
+  // One campaign-wide progress line: workers publish counter snapshots into
+  // the shard directory with their own stderr lines muted (EPVF_PROGRESS=0),
+  // and this reporter folds them into a single done/total/ETA line.
+  std::vector<std::string> progress_files;
+  progress_files.reserve(static_cast<std::size_t>(shards));
+  std::vector<std::string> log_files;
+  log_files.reserve(static_cast<std::size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    progress_files.push_back(shard_dir + "/progress-" + std::to_string(i) + ".txt");
+    log_files.push_back(shard_dir + "/shard-" + std::to_string(i) + "of" +
+                        std::to_string(shards) + ".log");
+  }
+  obs::ProgressReporter::Options progress_options;
+  progress_options.label = "campaign";
+  progress_options.total = static_cast<std::uint64_t>(num_runs);
+  progress_options.categories.reserve(fi::kNumOutcomes);
+  for (int o = 0; o < fi::kNumOutcomes; ++o) {
+    progress_options.categories.emplace_back(fi::OutcomeName(static_cast<fi::Outcome>(o)));
+  }
+  progress_options.aggregate_paths = progress_files;
+  obs::ProgressReporter progress(std::move(progress_options));
+
+  // Each worker gets an even slice of the host: a 4-shard campaign on an
+  // 8-way machine runs 2 analysis threads per worker unless --jobs says
+  // otherwise.
+  const int worker_jobs =
+      options.flags.count("jobs") != 0
+          ? options.Int("jobs", 0)
+          : std::max(1, static_cast<int>(ThreadPool::HardwareJobs()) / shards);
+
+  fi::SupervisorOptions sup;
+  sup.shards = shards;
+  sup.shard_timeout_seconds = options.Double("shard-timeout", 0.0);
+  sup.retries = options.Int("shard-retries", 2);
+  sup.command = [&](int shard) {
+    SubprocessOptions cmd;
+    cmd.argv = {g_self_exe, "campaign", options.target};
+    // Forward only the flags the user actually passed: the worker applies
+    // the same defaults, and values like the --checkpoints auto sentinel
+    // (-1) cannot round-trip through the flag parser anyway.
+    for (const char* flag : {"scale", "runs", "jitter", "burst", "seed", "checkpoints"}) {
+      const auto it = options.flags.find(flag);
+      if (it == options.flags.end()) continue;
+      cmd.argv.push_back(std::string("--") + flag);
+      cmd.argv.push_back(it->second);
+    }
+    cmd.argv.push_back("--jobs");
+    cmd.argv.push_back(std::to_string(worker_jobs));
+    cmd.argv.push_back("--cache-dir");
+    cmd.argv.push_back(shard_dir);
+    cmd.argv.push_back("--shards");
+    cmd.argv.push_back(std::to_string(shards));
+    cmd.argv.push_back("--worker-shard");
+    cmd.argv.push_back(std::to_string(shard));
+    cmd.env = {"EPVF_PROGRESS=0", "EPVF_PROGRESS_FILE=" + progress_files[shard],
+               // Workers must not inherit the supervisor's trace/metrics
+               // sinks — they would clobber each other's output files.
+               "EPVF_TRACE=0"};
+    cmd.stdout_path = log_files[shard];
+    cmd.stderr_path = log_files[shard];
+    return cmd;
+  };
+  sup.on_event = [](const std::string& message) {
+    std::fprintf(stderr, "campaign: %s\n", message.c_str());
+  };
+
+  const fi::SupervisorResult sup_result = fi::RunShardSupervisor(sup);
+  progress.Finish();
+  for (int i = 0; i < shards; ++i) {
+    const fi::ShardOutcome& shard = sup_result.shards[static_cast<std::size_t>(i)];
+    if (shard.succeeded) continue;
+    std::fprintf(stderr,
+                 "campaign: shard %d failed after %d launch(es) (%s) — its runs execute "
+                 "in-process during the merge; log: %s\n",
+                 i, shard.launches, shard.last_status.Describe().c_str(),
+                 log_files[static_cast<std::size_t>(i)].c_str());
+  }
+
+  // Merge the shard record streams, validate every record against the
+  // re-drawn plan, and execute whatever no shard delivered. The result is
+  // byte-identical to a single-process campaign by construction.
+  store::ShardMergeInfo merge_info;
+  const fi::CampaignStats stats = store::MergeShardedCampaign(
+      module, a.graph(), a.golden(), campaign, ckey, cache, shards, &merge_info);
+  std::fprintf(stderr,
+               "campaign: %d shard(s), %d relaunch(es), merged %llu record(s) from %d shard "
+               "artifact(s) (%llu missing, %llu conflicting, %llu revalidated) in %.2f s\n",
+               shards, sup_result.TotalRelaunches(),
+               static_cast<unsigned long long>(merge_info.merged), merge_info.shards_loaded,
+               static_cast<unsigned long long>(merge_info.missing),
+               static_cast<unsigned long long>(merge_info.conflicts),
+               static_cast<unsigned long long>(merge_info.revalidated),
+               sup_result.wall_seconds);
+  if (!user_cache_dir.empty()) {
+    PrintCacheStatus("campaign", store::CacheId(ckey), stats.perf.cache_hit,
+                     stats.perf.cache_load_seconds, stats.perf.cache_store_seconds);
+  }
+  PrintCampaignReport(a, stats);
+
+  if (private_dir) {
+    cache_slot.reset();
+    std::filesystem::remove_all(shard_dir);
+  } else {
+    // In a user cache dir keep only the durable artifacts: progress
+    // snapshots always go, per-shard logs only when their shard succeeded.
+    std::error_code ec;
+    for (int i = 0; i < shards; ++i) {
+      std::filesystem::remove(progress_files[static_cast<std::size_t>(i)], ec);
+      if (sup_result.shards[static_cast<std::size_t>(i)].succeeded) {
+        std::filesystem::remove(log_files[static_cast<std::size_t>(i)], ec);
+      }
+    }
+  }
+  // Shard failures are not campaign failures: the merge re-executed whatever
+  // the failed shards left behind, so the results above are complete and
+  // correct — the failures were already reported on stderr.
   return 0;
 }
 
@@ -487,6 +826,7 @@ int Dispatch(const Options& options) {
   if (options.target.empty()) return Usage();
   if (options.command == "analyze") return CmdAnalyze(options);
   if (options.command == "inject") return CmdInject(options);
+  if (options.command == "campaign") return CmdCampaign(options);
   if (options.command == "sample") return CmdSample(options);
   if (options.command == "protect") return CmdProtect(options);
   if (options.command == "print") return CmdPrint(options);
@@ -518,6 +858,19 @@ void ExportObservability(const std::string& trace_out, const std::string& metric
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
+  // Resolve this binary's path up front: the campaign supervisor re-execs it
+  // as the shard worker. /proc/self/exe is exact on Linux; argv[0] is the
+  // fallback elsewhere.
+  {
+    char self[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", self, sizeof(self) - 1);
+    if (n > 0) {
+      self[n] = '\0';
+      g_self_exe = self;
+    } else {
+      g_self_exe = argv[0];
+    }
+  }
   Options options;
   options.command = argv[1];
 
