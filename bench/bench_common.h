@@ -17,7 +17,8 @@
 //   EPVF_BENCH_JSON   when set, each bench also writes BENCH_<name>.json
 //                     (machine-readable metrics; value = output directory,
 //                     "1" = current directory) so perf is trackable across
-//                     commits
+//                     commits; benches whose JSON is committed at the repo
+//                     root write there by default even when unset
 //   EPVF_TRACE        0 = tracing off (default), 1 = write epvf-trace.json,
 //                     anything else = the trace path; benches that declare a
 //                     ScopedObservability export a Chrome trace_event JSON of
@@ -111,9 +112,14 @@ inline core::AnalysisOptions DefaultAnalysisOptions() {
 /// (row, metric, value) measurements and, when EPVF_BENCH_JSON is set,
 /// writes them to BENCH_<name>.json on destruction:
 ///   {"bench":"<name>","rows":[{"row":"mm","metric":"total_ms","value":1.5},...]}
+/// Benches whose JSON is tracked in-repo pass `default_to_repo_root = true`:
+/// with EPVF_BENCH_JSON unset they still publish to the source tree root
+/// (EPVF_REPO_ROOT, baked in by bench/CMakeLists.txt) so the committed
+/// BENCH_*.json trajectory regenerates by just running the binary.
 class BenchJson {
  public:
-  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+  explicit BenchJson(std::string name, bool default_to_repo_root = false)
+      : name_(std::move(name)), default_to_repo_root_(default_to_repo_root) {}
   BenchJson(const BenchJson&) = delete;
   BenchJson& operator=(const BenchJson&) = delete;
   ~BenchJson() { Write(); }
@@ -126,8 +132,16 @@ class BenchJson {
     if (written_) return;
     written_ = true;
     const char* dir = std::getenv("EPVF_BENCH_JSON");
-    if (dir == nullptr || dir[0] == '\0') return;
-    const std::string base = std::string(dir) == "1" ? "." : std::string(dir);
+    std::string base;
+    if (dir != nullptr && dir[0] != '\0') {
+      base = std::string(dir) == "1" ? "." : std::string(dir);
+    }
+#ifdef EPVF_REPO_ROOT
+    else if (default_to_repo_root_) {
+      base = EPVF_REPO_ROOT;
+    }
+#endif
+    if (base.empty()) return;
     const std::string path = base + "/BENCH_" + name_ + ".json";
     std::string json = "{\"bench\":\"" + Escape(name_) + "\",\"rows\":[";
     for (std::size_t i = 0; i < rows_.size(); ++i) {
@@ -158,6 +172,7 @@ class BenchJson {
   }
 
   std::string name_;
+  bool default_to_repo_root_ = false;
   std::vector<std::tuple<std::string, std::string, double>> rows_;
   bool written_ = false;
 };

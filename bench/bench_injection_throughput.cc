@@ -1,84 +1,113 @@
-// Campaign throughput with the checkpoint/replay fast path.
+// Campaign throughput across the execution tiers and the checkpoint/replay
+// fast path.
 //
-// Every injected run is bit-identical to the golden run up to its injection
-// site, so a campaign that snapshots the golden run and executes only the
-// suffix of each injection skips (on average) half the trace per run. This
-// bench measures that: runs/sec and speedup vs. from-scratch injection at
-// 0/4/16/64 checkpoints on the longer-trace apps, with the outcome counts
-// cross-checked for bit-identity at every setting.
+// Two orthogonal speedups compose here. (1) Every injected run is
+// bit-identical to the golden run up to its injection site, so a campaign
+// that snapshots the golden run and executes only the suffix of each
+// injection skips (on average) half the trace per run. (2) Injected runs are
+// uninstrumented, so they execute on the flat-bytecode tier
+// (src/vm/exec_bytecode.cc) instead of the tree interpreter. This bench
+// measures both: runs/sec, speedup vs. from-scratch, and speedup vs. the
+// tree tier at 0/4/64/auto checkpoints — with every engine x checkpoint
+// setting cross-checked for per-record bit-identity against the tree
+// from-scratch campaign. Its JSON lands at the repo root
+// (BENCH_injection_throughput.json) so the trajectory is tracked in-repo.
 #include <iostream>
 
 #include "bench/bench_common.h"
 #include "support/stopwatch.h"
 
+namespace {
+
+using namespace epvf;
+
+/// Per-record identity: same sites, same bits, same outcomes, in order.
+bool RecordsIdentical(const fi::CampaignStats& a, const fi::CampaignStats& b) {
+  if (a.records.size() != b.records.size() || a.counts != b.counts) return false;
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    if (a.records[i].outcome != b.records[i].outcome ||
+        a.records[i].site.dyn_index != b.records[i].site.dyn_index ||
+        a.records[i].bit != b.records[i].bit) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
 int main() {
-  using namespace epvf;
-
   const bench::ScopedObservability observability;
-  bench::BenchJson json("injection_throughput");
+  bench::BenchJson json("injection_throughput", /*default_to_repo_root=*/true);
   const int runs = bench::FiRuns();
-  const int checkpoint_counts[] = {0, 4, 16, 64};
+  // -1 = the campaign's auto checkpoint policy (spacing derived from the
+  // golden trace length) — the setting the CLI uses by default.
+  const int checkpoint_counts[] = {0, 4, 64, -1};
+  const vm::Engine engines[] = {vm::Engine::kTree, vm::Engine::kBytecode};
 
-  AsciiTable table({"Benchmark", "trace", "ckpts", "runs/s", "speedup", "prefix skipped",
-                    "identical"});
-  table.SetTitle("Injection throughput: suffix replay vs. from-scratch (" +
+  AsciiTable table({"Benchmark", "trace", "engine", "ckpts", "runs/s", "vs scratch",
+                    "vs tree", "identical"});
+  table.SetTitle("Injection throughput: bytecode tier + suffix replay (" +
                  std::to_string(runs) + " runs/campaign)");
 
   bool all_identical = true;
   for (const std::string& name :
        {std::string("lulesh"), std::string("lavaMD"), std::string("srad")}) {
     const bench::Prepared p = bench::Prepare(name);
-    double scratch_runs_per_sec = 0;
+    // Reference for identity and for the cross-tier speedup columns: the
+    // tree-tier campaigns, keyed by checkpoint setting.
     fi::CampaignStats baseline;
-    for (const int n : checkpoint_counts) {
-      fi::CampaignOptions options;
-      options.num_runs = runs;
-      options.seed = bench::Seed();
-      // The fast path only serves jitter-free runs; keep the comparison pure.
-      options.injector.jitter_pages = 0;
-      options.num_threads = bench::Jobs();
-      options.checkpoint_interval = bench::CheckpointIntervalFor(p.analysis, n);
-      Stopwatch watch;
-      const fi::CampaignStats stats =
-          fi::RunCampaign(p.app.module, p.analysis.graph(), p.analysis.golden(), options);
-      const double seconds = watch.ElapsedSeconds();
-      const double runs_per_sec = seconds > 0 ? runs / seconds : 0;
-      if (n == 0) {
-        scratch_runs_per_sec = runs_per_sec;
-        baseline = stats;
-      }
-      bool identical = stats.records.size() == baseline.records.size() &&
-                       stats.counts == baseline.counts;
-      for (std::size_t i = 0; identical && i < stats.records.size(); ++i) {
-        identical = stats.records[i].outcome == baseline.records[i].outcome &&
-                    stats.records[i].site.dyn_index == baseline.records[i].site.dyn_index &&
-                    stats.records[i].bit == baseline.records[i].bit;
-      }
-      all_identical = all_identical && identical;
-      const double speedup = scratch_runs_per_sec > 0 ? runs_per_sec / scratch_runs_per_sec : 0;
-      const double total_prefix = static_cast<double>(p.analysis.TraceLength()) *
-                                  static_cast<double>(runs);
-      const double skipped_share =
-          total_prefix > 0 ? static_cast<double>(stats.perf.skipped_instructions) / total_prefix
-                           : 0;
+    double tree_runs_per_sec[std::size(checkpoint_counts)] = {};
+    for (const vm::Engine engine : engines) {
+      double scratch_runs_per_sec = 0;
+      for (std::size_t c = 0; c < std::size(checkpoint_counts); ++c) {
+        const int n = checkpoint_counts[c];
+        fi::CampaignOptions options;
+        options.num_runs = runs;
+        options.seed = bench::Seed();
+        // The fast path only serves jitter-free runs; keep the comparison pure.
+        options.injector.jitter_pages = 0;
+        options.injector.engine = engine;
+        options.num_threads = bench::Jobs();
+        options.checkpoint_interval = bench::CheckpointIntervalFor(p.analysis, n);
+        Stopwatch watch;
+        const fi::CampaignStats stats =
+            fi::RunCampaign(p.app.module, p.analysis.graph(), p.analysis.golden(), options);
+        const double seconds = watch.ElapsedSeconds();
+        const double runs_per_sec = seconds > 0 ? runs / seconds : 0;
+        if (engine == vm::Engine::kTree) {
+          tree_runs_per_sec[c] = runs_per_sec;
+          if (n == 0) baseline = stats;
+        }
+        if (n == 0) scratch_runs_per_sec = runs_per_sec;
+        const bool identical = RecordsIdentical(stats, baseline);
+        all_identical = all_identical && identical;
+        const double vs_scratch =
+            scratch_runs_per_sec > 0 ? runs_per_sec / scratch_runs_per_sec : 0;
+        const double vs_tree =
+            tree_runs_per_sec[c] > 0 ? runs_per_sec / tree_runs_per_sec[c] : 0;
 
-      table.AddRow({name, std::to_string(p.analysis.TraceLength()), std::to_string(n),
-                    AsciiTable::Num(runs_per_sec, 1), AsciiTable::Num(speedup, 2) + "x",
-                    AsciiTable::Num(skipped_share * 100, 1) + "%",
-                    identical ? "yes" : "NO"});
+        const std::string engine_name{vm::EngineName(engine)};
+        const std::string ckpt_name = n < 0 ? std::string("auto") : std::to_string(n);
+        table.AddRow({name, std::to_string(p.analysis.TraceLength()), engine_name, ckpt_name,
+                      AsciiTable::Num(runs_per_sec, 1), AsciiTable::Num(vs_scratch, 2) + "x",
+                      AsciiTable::Num(vs_tree, 2) + "x", identical ? "yes" : "NO"});
 
-      const std::string row = name + "/ckpt" + std::to_string(n);
-      json.Add(row, "runs_per_sec", runs_per_sec);
-      json.Add(row, "speedup_vs_scratch", speedup);
-      json.Add(row, "checkpoints", static_cast<double>(stats.perf.checkpoints));
-      json.Add(row, "checkpointed_runs", static_cast<double>(stats.perf.checkpointed_runs));
-      json.Add(row, "skipped_instructions",
-               static_cast<double>(stats.perf.skipped_instructions));
-      json.Add(row, "outcomes_identical", identical ? 1.0 : 0.0);
+        const std::string row = name + "/" + engine_name + "/ckpt" + ckpt_name;
+        json.Add(row, "runs_per_sec", runs_per_sec);
+        json.Add(row, "speedup_vs_scratch", vs_scratch);
+        json.Add(row, "speedup_vs_tree", vs_tree);
+        json.Add(row, "checkpoints", static_cast<double>(stats.perf.checkpoints));
+        json.Add(row, "checkpointed_runs", static_cast<double>(stats.perf.checkpointed_runs));
+        json.Add(row, "skipped_instructions",
+                 static_cast<double>(stats.perf.skipped_instructions));
+        json.Add(row, "outcomes_identical", identical ? 1.0 : 0.0);
+      }
     }
   }
-  table.SetFootnote("speedup vs. the 0-checkpoint campaign of the same app; 'identical' "
-                    "checks the outcome distribution matches from-scratch injection exactly");
+  table.SetFootnote("'vs scratch' compares to the same engine at 0 checkpoints, 'vs tree' to "
+                    "the tree tier at the same checkpoint setting; 'identical' checks every "
+                    "record (site, bit, outcome) against the tree from-scratch campaign");
   table.Print(std::cout);
   return all_identical ? 0 : 1;
 }

@@ -1,14 +1,36 @@
 // Microbenchmarks (google-benchmark): throughput of the pipeline stages —
 // the "tuned C/C++ implementation" speedup the paper's section VI-A asks for.
+//
+// The interpreter benchmarks are split by execution tier (tree vs. flat
+// bytecode) so the bytecode speedup is measured in isolation, and a custom
+// main() follows the google-benchmark run with two extra sections dumped to
+// BENCH_micro.json at the repo root:
+//   - interpreter ops/sec per app and engine (wall-clock, compile excluded);
+//   - the dynamic opcode mix and superinstruction coverage: how often each
+//     bytecode opcode actually retires and what share of the trace the five
+//     fused pairs (cmp+br, gep+load, gep+store, mul+add, fmul+fadd) cover —
+//     the data that justifies the superinstruction set in src/vm/compile.cc.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "apps/app.h"
+#include "bench/bench_common.h"
 #include "crash/crash_model.h"
 #include "crash/propagation.h"
 #include "ddg/ace.h"
 #include "ddg/builder.h"
 #include "epvf/analysis.h"
+#include "support/stopwatch.h"
+#include "support/table.h"
+#include "vm/bytecode.h"
+#include "vm/compile.h"
 #include "vm/interpreter.h"
+#include "vm/trace.h"
 
 namespace {
 
@@ -24,11 +46,16 @@ const core::Analysis& MmAnalysis() {
   return analysis;
 }
 
-void BM_InterpreterThroughput(benchmark::State& state) {
+void BM_InterpreterThroughput(benchmark::State& state, vm::Engine engine) {
   const apps::App& app = MmApp();
+  vm::ExecOptions opts;
+  opts.engine = engine;
+  // Compile once outside the loop: the steady-state campaign cost is what
+  // matters, and fi::Injector shares one compile across all runs the same way.
+  if (engine == vm::Engine::kBytecode) opts.bytecode = vm::bc::Compile(app.module);
   std::uint64_t instructions = 0;
   for (auto _ : state) {
-    vm::Interpreter interp(app.module, {});
+    vm::Interpreter interp(app.module, opts);
     const vm::RunResult r = interp.Run();
     instructions += r.instructions_executed;
     benchmark::DoNotOptimize(r.output.data());
@@ -36,7 +63,19 @@ void BM_InterpreterThroughput(benchmark::State& state) {
   state.counters["instr/s"] =
       benchmark::Counter(static_cast<double>(instructions), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_InterpreterThroughput)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_InterpreterThroughput, tree, vm::Engine::kTree)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_InterpreterThroughput, bytecode, vm::Engine::kBytecode)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BytecodeCompile(benchmark::State& state) {
+  const apps::App& app = MmApp();
+  for (auto _ : state) {
+    const auto program = vm::bc::Compile(app.module);
+    benchmark::DoNotOptimize(program->supported);
+  }
+}
+BENCHMARK(BM_BytecodeCompile)->Unit(benchmark::kMillisecond);
 
 void BM_InterpreterWithDdgConstruction(benchmark::State& state) {
   const apps::App& app = MmApp();
@@ -87,19 +126,157 @@ void BM_FullPipeline(benchmark::State& state) {
 }
 BENCHMARK(BM_FullPipeline)->Unit(benchmark::kMillisecond);
 
-void BM_SingleInjection(benchmark::State& state) {
+void BM_SingleInjection(benchmark::State& state, vm::Engine engine) {
   const apps::App& app = MmApp();
   const core::Analysis& a = MmAnalysis();
   vm::ExecOptions exec;
   exec.fault = vm::FaultPlan{a.graph().NumDynInstrs() / 2, 0, 7};
+  exec.engine = engine;
+  if (engine == vm::Engine::kBytecode) exec.bytecode = vm::bc::Compile(app.module);
   for (auto _ : state) {
     vm::Interpreter interp(app.module, exec);
     const vm::RunResult r = interp.Run();
     benchmark::DoNotOptimize(r.trap);
   }
 }
-BENCHMARK(BM_SingleInjection)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SingleInjection, tree, vm::Engine::kTree)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SingleInjection, bytecode, vm::Engine::kBytecode)
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Dynamic opcode mix: what the bytecode tier actually retires.
+//
+// A tree-tier run with a trace sink maps every dynamic instruction back to
+// its bytecode pc. When the opcode at that pc is a superinstruction the
+// following instruction belongs to the same fused handler, so it is counted
+// under the fused opcode rather than on its own — the histogram matches what
+// the threaded dispatch loop dispatches, not the raw IR stream.
+class OpcodeMixSink final : public vm::TraceSink {
+ public:
+  explicit OpcodeMixSink(const vm::bc::Program& program) : program_(program) {}
+
+  void OnInstruction(const vm::DynContext& ctx) override {
+    ++total_;
+    const vm::bc::FuncCode& fc = program_.functions[ctx.sid.function];
+    const std::uint32_t pc = fc.PcOf(ctx.sid.block, ctx.sid.instr);
+    if (skip_valid_ && skip_fn_ == ctx.sid.function && skip_pc_ == pc) {
+      skip_valid_ = false;  // second half of a fused pair, already counted
+      return;
+    }
+    const vm::bc::BOpcode op = fc.code[pc].op;
+    ++counts_[static_cast<int>(op)];
+    skip_valid_ = vm::bc::IsFused(op);
+    skip_fn_ = ctx.sid.function;
+    skip_pc_ = pc + 1;
+  }
+
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::uint64_t Count(vm::bc::BOpcode op) const {
+    return counts_[static_cast<int>(op)];
+  }
+  [[nodiscard]] std::vector<std::pair<vm::bc::BOpcode, std::uint64_t>> Sorted() const {
+    std::vector<std::pair<vm::bc::BOpcode, std::uint64_t>> out;
+    for (int i = 0; i < vm::bc::kNumBOpcodes; ++i) {
+      if (counts_[i] > 0) out.emplace_back(static_cast<vm::bc::BOpcode>(i), counts_[i]);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    return out;
+  }
+
+ private:
+  const vm::bc::Program& program_;
+  std::uint64_t counts_[vm::bc::kNumBOpcodes] = {};
+  std::uint64_t total_ = 0;
+  bool skip_valid_ = false;
+  std::uint32_t skip_fn_ = 0;
+  std::uint32_t skip_pc_ = 0;
+};
+
+/// Wall-clock instr/s of one engine on one app; the bytecode compile happens
+/// once up front so steady-state dispatch is what gets timed.
+double MeasureInstrPerSec(const apps::App& app, vm::Engine engine) {
+  vm::ExecOptions opts;
+  opts.engine = engine;
+  if (engine == vm::Engine::kBytecode) opts.bytecode = vm::bc::Compile(app.module);
+  {
+    vm::Interpreter warmup(app.module, opts);
+    (void)warmup.Run();
+  }
+  std::uint64_t instructions = 0;
+  int reps = 0;
+  Stopwatch watch;
+  while (reps < 3 || watch.ElapsedSeconds() < 0.5) {
+    vm::Interpreter interp(app.module, opts);
+    instructions += interp.Run().instructions_executed;
+    ++reps;
+  }
+  const double seconds = watch.ElapsedSeconds();
+  return seconds > 0 ? static_cast<double>(instructions) / seconds : 0;
+}
+
+void ReportOpcodeMix(bench::BenchJson& json) {
+  AsciiTable speed({"Benchmark", "engine", "instr/s", "vs tree"});
+  speed.SetTitle("Interpreter throughput by execution tier");
+  AsciiTable mix({"Benchmark", "opcode", "dispatches", "share"});
+  mix.SetTitle("Dynamic opcode mix as dispatched by the bytecode tier (top 12)");
+  AsciiTable fused({"Benchmark", "superinstruction", "pairs", "trace covered"});
+  fused.SetTitle("Superinstruction coverage (two IR instructions per dispatch)");
+
+  for (const std::string& name : {std::string("mm"), std::string("lulesh")}) {
+    const apps::App app = apps::BuildApp(name, apps::AppConfig{.scale = bench::Scale()});
+    const double tree = MeasureInstrPerSec(app, vm::Engine::kTree);
+    const double byte = MeasureInstrPerSec(app, vm::Engine::kBytecode);
+    speed.AddRow({name, "tree", AsciiTable::Num(tree / 1e6, 1) + "M", "1.00x"});
+    speed.AddRow({name, "bytecode", AsciiTable::Num(byte / 1e6, 1) + "M",
+                  AsciiTable::Num(tree > 0 ? byte / tree : 0, 2) + "x"});
+    json.Add("interp/" + name + "/tree", "instr_per_sec", tree);
+    json.Add("interp/" + name + "/bytecode", "instr_per_sec", byte);
+    json.Add("interp/" + name + "/bytecode", "speedup_vs_tree", tree > 0 ? byte / tree : 0);
+
+    const auto program = vm::bc::Compile(app.module);
+    if (program == nullptr || !program->supported) continue;
+    OpcodeMixSink sink(*program);
+    vm::ExecOptions opts;  // a sink forces the tree tier, which feeds the sink
+    vm::Interpreter interp(app.module, opts);
+    (void)interp.Run("main", &sink);
+
+    const double total = static_cast<double>(sink.total());
+    int shown = 0;
+    for (const auto& [op, count] : sink.Sorted()) {
+      const std::string op_name{vm::bc::BOpcodeName(op)};
+      json.Add("mix/" + name + "/" + op_name, "dispatches", static_cast<double>(count));
+      if (shown++ < 12) {
+        mix.AddRow({name, op_name, std::to_string(count),
+                    AsciiTable::Num(100.0 * static_cast<double>(count) / total, 1) + "%"});
+      }
+      if (vm::bc::IsFused(op)) {
+        const double covered = 2.0 * static_cast<double>(count) / total;
+        fused.AddRow({name, op_name, std::to_string(count),
+                      AsciiTable::Num(100.0 * covered, 1) + "%"});
+        json.Add("fused/" + name + "/" + op_name, "dyn_pairs", static_cast<double>(count));
+        json.Add("fused/" + name + "/" + op_name, "trace_share", covered);
+      }
+    }
+    json.Add("mix/" + name + "/total", "instructions", total);
+  }
+
+  speed.Print(std::cout);
+  mix.SetFootnote("fused opcodes retire two IR instructions per dispatch; their second "
+                  "halves are not double-counted");
+  mix.Print(std::cout);
+  fused.Print(std::cout);
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  bench::BenchJson json("micro", /*default_to_repo_root=*/true);
+  ReportOpcodeMix(json);
+  return 0;
+}

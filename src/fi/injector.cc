@@ -5,6 +5,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "vm/compile.h"
 
 namespace epvf::fi {
 
@@ -33,7 +34,9 @@ std::vector<FaultSite> EnumerateFaultSites(const ddg::Graph& graph) {
 
 Injector::Injector(const ir::Module& module, const vm::RunResult& golden,
                    InjectorOptions options)
-    : module_(module), golden_(golden), options_(std::move(options)), jitter_rng_(0x5EED) {}
+    : module_(module), golden_(golden), options_(std::move(options)), jitter_rng_(0x5EED) {
+  if (options_.engine != vm::Engine::kTree) bytecode_ = vm::bc::Compile(module_);
+}
 
 mem::LayoutJitter Injector::DrawJitter(Rng& rng) const {
   mem::LayoutJitter jitter;
@@ -70,6 +73,8 @@ std::size_t Injector::BuildCheckpoints(std::span<const std::uint64_t> at) {
   vm::ExecOptions exec;
   exec.layout = options_.layout;
   exec.max_instructions = HangBudget();
+  exec.engine = options_.engine;
+  exec.bytecode = bytecode_;
   vm::Interpreter interp(module_, exec);
   const vm::RunResult replay = interp.RunWithCheckpoints(options_.entry, at, checkpoints_);
   if (!replay.Completed() || replay.instructions_executed != golden_.instructions_executed ||
@@ -96,6 +101,8 @@ Injector::InjectionResult Injector::Inject(const FaultSite& site, std::uint8_t b
   exec.jitter = jitter.has_value() ? *jitter : DrawJitter(jitter_rng_);
   exec.max_instructions = HangBudget();
   exec.fault = vm::FaultPlan{site.dyn_index, site.slot, bit, options_.burst_length};
+  exec.engine = options_.engine;
+  exec.bytecode = bytecode_;
 
   // Suffix-replay fast path: every run is bit-identical to the golden run up
   // to the injection point, so a zero-jitter run can start from the nearest

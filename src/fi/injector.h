@@ -46,6 +46,10 @@ struct InjectorOptions {
   /// Adjacent bits flipped per injection (1 = single-bit, the paper's primary
   /// fault model; >1 = the section II-E multi-bit extension).
   std::uint8_t burst_length = 1;
+  /// Execution tier for injected runs and checkpoint replays. Not part of the
+  /// campaign's cache identity: tiers are bit-identical by contract, so the
+  /// same artifacts serve either engine.
+  vm::Engine engine = vm::Engine::kAuto;
 };
 
 class Injector {
@@ -98,6 +102,9 @@ class Injector {
   const vm::RunResult& golden_;
   InjectorOptions options_;
   Rng jitter_rng_;
+  /// One bytecode compile shared by every injected run of the campaign.
+  /// Compiled eagerly — Inject is called concurrently from sharded workers.
+  std::shared_ptr<const vm::bc::Program> bytecode_;
   std::vector<vm::Interpreter::Checkpoint> checkpoints_;  ///< sorted by dyn_index
 };
 

@@ -1,0 +1,18 @@
+#include "vm/bytecode.h"
+
+namespace epvf::vm::bc {
+
+std::string_view BOpcodeName(BOpcode op) {
+  switch (op) {
+#define EPVF_BC_NAME(n) \
+  case BOpcode::n:      \
+    return #n + 1;  // drop the "k"
+    EPVF_BC_OPCODES(EPVF_BC_NAME)
+#undef EPVF_BC_NAME
+    case BOpcode::kCount:
+      break;
+  }
+  return "<bad>";
+}
+
+}  // namespace epvf::vm::bc

@@ -1,0 +1,18 @@
+// One-time lowering of an ir::Module to flat register bytecode.
+#pragma once
+
+#include <memory>
+
+#include "vm/bytecode.h"
+
+namespace epvf::vm::bc {
+
+/// Lowers every function of `module` to bytecode. Never throws on IR shape:
+/// any construct the fast tier cannot represent exactly (missing terminator,
+/// phi outside a block's leading group, phis in a function's entry block)
+/// yields `supported == false` with a reason, and callers fall back to the
+/// tree tier. The returned program is immutable and safe to share across
+/// threads and Interpreter instances — one compile serves a whole campaign.
+[[nodiscard]] std::shared_ptr<const Program> Compile(const ir::Module& module);
+
+}  // namespace epvf::vm::bc

@@ -1,12 +1,13 @@
 #include "vm/interpreter.h"
 
-#include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <limits>
 #include <stdexcept>
 
+#include "obs/metrics.h"
 #include "obs/trace.h"
+#include "vm/compile.h"
+#include "vm/eval.h"
 #include "vm/value.h"
 
 namespace epvf::vm {
@@ -16,153 +17,36 @@ namespace {
 using ir::Opcode;
 using ir::Type;
 
-/// Saturating double→signed conversion (fptosi on hardware is UB-ish for out
-/// of range values; the simulated platform defines it as saturate, NaN → 0).
-std::int64_t SafeFpToInt(double d) {
-  if (std::isnan(d)) return 0;
-  constexpr double kMax = 9.2233720368547758e18;
-  if (d >= kMax) return std::numeric_limits<std::int64_t>::max();
-  if (d <= -kMax) return std::numeric_limits<std::int64_t>::min();
-  return static_cast<std::int64_t>(d);
-}
+using detail::EvalBinary;
+using detail::EvalFCmp;
+using detail::EvalICmp;
+using detail::EvalIntrinsicMath;
+using detail::SafeFpToInt;
+using detail::TrapFromMemFault;
 
-bool EvalICmp(ir::ICmpPred pred, Type type, std::uint64_t a, std::uint64_t b) {
-  const std::int64_t sa = SignedOf(type, a);
-  const std::int64_t sb = SignedOf(type, b);
-  switch (pred) {
-    case ir::ICmpPred::kEq: return a == b;
-    case ir::ICmpPred::kNe: return a != b;
-    case ir::ICmpPred::kSlt: return sa < sb;
-    case ir::ICmpPred::kSle: return sa <= sb;
-    case ir::ICmpPred::kSgt: return sa > sb;
-    case ir::ICmpPred::kSge: return sa >= sb;
-    case ir::ICmpPred::kUlt: return a < b;
-    case ir::ICmpPred::kUle: return a <= b;
-    case ir::ICmpPred::kUgt: return a > b;
-    case ir::ICmpPred::kUge: return a >= b;
-  }
-  return false;
-}
-
-bool EvalFCmp(ir::FCmpPred pred, Type type, std::uint64_t a, std::uint64_t b) {
-  const double da = type == Type::F32() ? FloatFromBits(a) : DoubleFromBits(a);
-  const double db = type == Type::F32() ? FloatFromBits(b) : DoubleFromBits(b);
-  switch (pred) {
-    case ir::FCmpPred::kOeq: return da == db;
-    case ir::FCmpPred::kOne: return da != db && !std::isnan(da) && !std::isnan(db);
-    case ir::FCmpPred::kOlt: return da < db;
-    case ir::FCmpPred::kOle: return da <= db;
-    case ir::FCmpPred::kOgt: return da > db;
-    case ir::FCmpPred::kOge: return da >= db;
-  }
-  return false;
-}
-
-/// Integer/float binary evaluation; sets `trap` on arithmetic errors.
-std::uint64_t EvalBinary(Opcode op, Type type, std::uint64_t a, std::uint64_t b,
-                         TrapKind& trap) {
-  const unsigned width = type.BitWidth();
-  switch (op) {
-    case Opcode::kAdd: return a + b;
-    case Opcode::kSub: return a - b;
-    case Opcode::kMul: return a * b;
-    case Opcode::kUDiv:
-      if (b == 0) { trap = TrapKind::kArithmetic; return 0; }
-      return a / b;
-    case Opcode::kURem:
-      if (b == 0) { trap = TrapKind::kArithmetic; return 0; }
-      return a % b;
-    case Opcode::kSDiv: {
-      const std::int64_t sa = SignedOf(type, a);
-      const std::int64_t sb = SignedOf(type, b);
-      // x86 raises #DE on both divide-by-zero and INT_MIN / -1 overflow.
-      if (sb == 0 || (sb == -1 && sa == std::numeric_limits<std::int64_t>::min())) {
-        trap = TrapKind::kArithmetic;
-        return 0;
-      }
-      return static_cast<std::uint64_t>(sa / sb);
-    }
-    case Opcode::kSRem: {
-      const std::int64_t sa = SignedOf(type, a);
-      const std::int64_t sb = SignedOf(type, b);
-      if (sb == 0 || (sb == -1 && sa == std::numeric_limits<std::int64_t>::min())) {
-        trap = TrapKind::kArithmetic;
-        return 0;
-      }
-      return static_cast<std::uint64_t>(sa % sb);
-    }
-    case Opcode::kAnd: return a & b;
-    case Opcode::kOr: return a | b;
-    case Opcode::kXor: return a ^ b;
-    case Opcode::kShl: return b >= width ? 0 : a << b;
-    case Opcode::kLShr: return b >= width ? 0 : a >> b;
-    case Opcode::kAShr: {
-      const std::int64_t sa = SignedOf(type, a);
-      if (b >= width) return sa < 0 ? ~std::uint64_t{0} : 0;
-      return static_cast<std::uint64_t>(sa >> b);
-    }
-    case Opcode::kFAdd:
-    case Opcode::kFSub:
-    case Opcode::kFMul:
-    case Opcode::kFDiv: {
-      if (type == Type::F32()) {
-        const float fa = FloatFromBits(a);
-        const float fb = FloatFromBits(b);
-        float r = 0;
-        switch (op) {
-          case Opcode::kFAdd: r = fa + fb; break;
-          case Opcode::kFSub: r = fa - fb; break;
-          case Opcode::kFMul: r = fa * fb; break;
-          default: r = fa / fb; break;  // IEEE: /0 yields inf, no trap
-        }
-        return BitsFromFloat(r);
-      }
-      const double da = DoubleFromBits(a);
-      const double db = DoubleFromBits(b);
-      double r = 0;
-      switch (op) {
-        case Opcode::kFAdd: r = da + db; break;
-        case Opcode::kFSub: r = da - db; break;
-        case Opcode::kFMul: r = da * db; break;
-        default: r = da / db; break;
-      }
-      return BitsFromDouble(r);
-    }
-    default:
-      throw std::logic_error("EvalBinary: not a binary opcode");
-  }
-}
-
-std::uint64_t EvalIntrinsicMath(ir::Intrinsic which, std::uint64_t a, std::uint64_t b) {
-  const double x = DoubleFromBits(a);
-  const double y = DoubleFromBits(b);
-  double r = 0;
-  switch (which) {
-    case ir::Intrinsic::kSqrt: r = std::sqrt(x); break;
-    case ir::Intrinsic::kFabs: r = std::fabs(x); break;
-    case ir::Intrinsic::kExp: r = std::exp(x); break;
-    case ir::Intrinsic::kLog: r = std::log(x); break;
-    case ir::Intrinsic::kPow: r = std::pow(x, y); break;
-    case ir::Intrinsic::kFmin: r = std::fmin(x, y); break;
-    case ir::Intrinsic::kFmax: r = std::fmax(x, y); break;
-    case ir::Intrinsic::kSin: r = std::sin(x); break;
-    case ir::Intrinsic::kCos: r = std::cos(x); break;
-    case ir::Intrinsic::kFloor: r = std::floor(x); break;
-    default: throw std::logic_error("EvalIntrinsicMath: not a math intrinsic");
-  }
-  return BitsFromDouble(r);
-}
-
-TrapKind TrapFromMemFault(mem::MemFault fault) {
-  switch (fault) {
-    case mem::MemFault::kSegFault: return TrapKind::kSegFault;
-    case mem::MemFault::kMisaligned: return TrapKind::kMisaligned;
-    case mem::MemFault::kNone: return TrapKind::kNone;
-  }
-  return TrapKind::kNone;
+void CountRun(bool bytecode_tier) {
+  static obs::Counter& tree_runs = obs::GetCounter("vm.runs.tree");
+  static obs::Counter& bc_runs = obs::GetCounter("vm.runs.bytecode");
+  (bytecode_tier ? bc_runs : tree_runs).Add();
 }
 
 }  // namespace
+
+std::string_view EngineName(Engine engine) {
+  switch (engine) {
+    case Engine::kAuto: return "auto";
+    case Engine::kTree: return "tree";
+    case Engine::kBytecode: return "bytecode";
+  }
+  return "<bad>";
+}
+
+std::optional<Engine> ParseEngine(std::string_view name) {
+  if (name == "auto") return Engine::kAuto;
+  if (name == "tree") return Engine::kTree;
+  if (name == "bytecode") return Engine::kBytecode;
+  return std::nullopt;
+}
 
 std::string_view TrapKindName(TrapKind kind) {
   switch (kind) {
@@ -201,8 +85,20 @@ std::uint64_t Interpreter::ValueOf(const Frame& frame, ir::ValueRef ref) const {
   throw std::logic_error("Interpreter::ValueOf: bad value reference");
 }
 
+bool Interpreter::UseBytecodeTier(const TraceSink* sink) {
+  if (options_.engine == Engine::kTree) return false;
+  if (sink != nullptr || options_.record_map_history) return false;
+  if (program_ == nullptr) {
+    program_ = options_.bytecode != nullptr ? options_.bytecode : bc::Compile(module_);
+  }
+  return program_->supported;
+}
+
 RunResult Interpreter::Run(std::string_view entry, TraceSink* sink) {
   const obs::TraceSpan span("vm", "run");
+  const bool fast = UseBytecodeTier(sink);
+  CountRun(fast);
+  if (fast) return ExecuteBytecode(EntryStack(entry, sink), 0, RunResult{}, {}, nullptr);
   return Execute(EntryStack(entry, sink), 0, RunResult{}, {}, nullptr, sink);
 }
 
@@ -214,6 +110,11 @@ RunResult Interpreter::RunWithCheckpoints(std::string_view entry,
     throw std::logic_error("Interpreter::RunWithCheckpoints: unsupported with map history");
   }
   const obs::TraceSpan span("vm", "run-with-checkpoints");
+  const bool fast = UseBytecodeTier(sink);
+  CountRun(fast);
+  if (fast) {
+    return ExecuteBytecode(EntryStack(entry, sink), 0, RunResult{}, checkpoint_at, &checkpoints);
+  }
   return Execute(EntryStack(entry, sink), 0, RunResult{}, checkpoint_at, &checkpoints, sink);
 }
 
@@ -225,6 +126,12 @@ RunResult Interpreter::ResumeFrom(const Checkpoint& checkpoint, TraceSink* sink)
   RunResult result;
   result.output = checkpoint.output;
   result.fault_was_applied = checkpoint.fault_was_applied;
+  const bool fast = UseBytecodeTier(sink);
+  CountRun(fast);
+  if (fast) {
+    return ExecuteBytecode(checkpoint.frames, checkpoint.dyn_index, std::move(result), {},
+                           nullptr);
+  }
   return Execute(checkpoint.frames, checkpoint.dyn_index, std::move(result), {}, nullptr, sink);
 }
 

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -23,6 +24,10 @@
 #include "vm/trace.h"
 
 namespace epvf::vm {
+
+namespace bc {
+struct Program;
+}  // namespace bc
 
 /// Why a run stopped. kNone means normal completion.
 enum class TrapKind : std::uint8_t {
@@ -37,6 +42,14 @@ enum class TrapKind : std::uint8_t {
 
 [[nodiscard]] std::string_view TrapKindName(TrapKind kind);
 
+/// Execution tier. kAuto picks the bytecode fast tier whenever the run is
+/// uninstrumented (no TraceSink, no map history) and the module compiles;
+/// golden profiling/DDG runs always stay on the instrumented tree tier.
+enum class Engine : std::uint8_t { kAuto, kTree, kBytecode };
+
+[[nodiscard]] std::string_view EngineName(Engine engine);
+[[nodiscard]] std::optional<Engine> ParseEngine(std::string_view name);
+
 struct ExecOptions {
   std::uint64_t max_instructions = 200'000'000;
   mem::MemoryLayout layout;
@@ -44,6 +57,10 @@ struct ExecOptions {
   /// Snapshot the memory map at every version (golden/profiling runs).
   bool record_map_history = false;
   std::optional<FaultPlan> fault;
+  Engine engine = Engine::kAuto;
+  /// Precompiled bytecode for the module (one compile shared across every
+  /// Interpreter of a campaign). Compiled on first use when absent.
+  std::shared_ptr<const bc::Program> bytecode;
 };
 
 struct RunResult {
@@ -134,10 +151,25 @@ class Interpreter {
                     std::span<const std::uint64_t> checkpoint_at,
                     std::vector<Checkpoint>* checkpoints, TraceSink* sink);
 
+  /// The bytecode tier's counterpart of Execute: same contract, same
+  /// checkpoint format (tree frames), bit-identical results. Defined in
+  /// exec_bytecode.cc.
+  RunResult ExecuteBytecode(std::vector<Frame> stack, std::uint64_t dyn, RunResult result,
+                            std::span<const std::uint64_t> checkpoint_at,
+                            std::vector<Checkpoint>* checkpoints);
+
+  /// Decides the tier for one run and lazily compiles/adopts the bytecode
+  /// program when the fast tier is eligible.
+  [[nodiscard]] bool UseBytecodeTier(const TraceSink* sink);
+
   const ir::Module& module_;
   ExecOptions options_;
   mem::SimMemory memory_;
   std::vector<std::uint64_t> global_addresses_;
+  std::shared_ptr<const bc::Program> program_;
+  /// Per-function literal pool values (constants + this instance's global
+  /// addresses), appended to each frame's register file on entry.
+  std::vector<std::vector<std::uint64_t>> literal_values_;
 };
 
 }  // namespace epvf::vm

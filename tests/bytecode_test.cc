@@ -1,0 +1,286 @@
+// The flat-bytecode execution tier (src/vm/bytecode.h, compile.cc,
+// exec_bytecode.cc): structural invariants of the compiled program, and the
+// tier contract — a bytecode run is bit-identical to the tree interpreter
+// for fault-free runs, injected runs, budget traps, and checkpoint resume in
+// both directions.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "apps/app.h"
+#include "epvf/analysis.h"
+#include "vm/bytecode.h"
+#include "vm/compile.h"
+#include "vm/fault_plan.h"
+#include "vm/interpreter.h"
+
+namespace epvf {
+namespace {
+
+void ExpectSameResult(const vm::RunResult& got, const vm::RunResult& want) {
+  EXPECT_EQ(got.trap, want.trap);
+  EXPECT_EQ(got.instructions_executed, want.instructions_executed);
+  EXPECT_EQ(got.trap_dyn_index, want.trap_dyn_index);
+  EXPECT_EQ(got.trap_addr, want.trap_addr);
+  EXPECT_EQ(got.fault_was_applied, want.fault_was_applied);
+  EXPECT_EQ(got.output, want.output);
+}
+
+// --- compiled-program structure ----------------------------------------------
+
+TEST(BytecodeCompile, CodeIsOneToOneWithInstructions) {
+  for (const char* name : {"mm", "lulesh", "pathfinder"}) {
+    const apps::App app = apps::BuildApp(name, apps::AppConfig{.scale = 0});
+    const auto program = vm::bc::Compile(app.module);
+    ASSERT_NE(program, nullptr);
+    ASSERT_TRUE(program->supported) << name << ": " << program->unsupported_reason;
+    ASSERT_EQ(program->functions.size(), app.module.functions.size());
+
+    for (std::size_t fi = 0; fi < app.module.functions.size(); ++fi) {
+      const ir::Function& fn = app.module.functions[fi];
+      const vm::bc::FuncCode& fc = program->functions[fi];
+
+      // Blocks concatenate in order: pc == block_start[block] + ip, and the
+      // pc -> (block, ip) maps invert PcOf exactly.
+      std::size_t total = 0;
+      ASSERT_EQ(fc.block_start.size(), fn.blocks.size());
+      for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+        EXPECT_EQ(fc.block_start[b], total) << name << " fn " << fi << " block " << b;
+        total += fn.blocks[b].instructions.size();
+      }
+      ASSERT_EQ(fc.code.size(), total);
+      ASSERT_EQ(fc.pc_block.size(), total);
+      ASSERT_EQ(fc.pc_ip.size(), total);
+      for (std::uint32_t pc = 0; pc < fc.code.size(); ++pc) {
+        EXPECT_EQ(fc.PcOf(fc.pc_block[pc], fc.pc_ip[pc]), pc);
+      }
+    }
+  }
+}
+
+TEST(BytecodeCompile, BranchTargetsResolveToBlockStarts) {
+  const apps::App app = apps::BuildApp("lulesh", apps::AppConfig{.scale = 0});
+  const auto program = vm::bc::Compile(app.module);
+  ASSERT_TRUE(program != nullptr && program->supported);
+
+  int branches = 0;
+  for (std::size_t fi = 0; fi < app.module.functions.size(); ++fi) {
+    const ir::Function& fn = app.module.functions[fi];
+    const vm::bc::FuncCode& fc = program->functions[fi];
+    for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+      for (std::size_t ip = 0; ip < fn.blocks[b].instructions.size(); ++ip) {
+        const ir::Instruction& inst = fn.blocks[b].instructions[ip];
+        const vm::bc::BOp& op = fc.code[fc.PcOf(static_cast<std::uint32_t>(b),
+                                                static_cast<std::uint32_t>(ip))];
+        // Fusion only rewrites the *head* of a pair, so a branch's own BOp is
+        // always addressable at its IR position with resolved pc targets.
+        if (inst.op == ir::Opcode::kBr) {
+          EXPECT_EQ(op.op, vm::bc::BOpcode::kBr);
+          EXPECT_EQ(op.b, fc.block_start[inst.bb_true]);
+          ++branches;
+        } else if (inst.op == ir::Opcode::kCondBr) {
+          EXPECT_EQ(op.op, vm::bc::BOpcode::kCondBr);
+          EXPECT_EQ(op.b, fc.block_start[inst.bb_true]);
+          EXPECT_EQ(op.c, fc.block_start[inst.bb_false]);
+          ++branches;
+        }
+      }
+    }
+  }
+  EXPECT_GT(branches, 10);
+}
+
+TEST(BytecodeCompile, LiteralPoolIsDedupedAndSlotsAreBounded) {
+  const apps::App app = apps::BuildApp("mm", apps::AppConfig{.scale = 0});
+  const auto program = vm::bc::Compile(app.module);
+  ASSERT_TRUE(program != nullptr && program->supported);
+
+  for (std::size_t fi = 0; fi < program->functions.size(); ++fi) {
+    const vm::bc::FuncCode& fc = program->functions[fi];
+    EXPECT_EQ(fc.frame_slots, fc.num_regs + fc.literals.size());
+    EXPECT_GE(fc.num_regs, app.module.functions[fi].registers.size());
+
+    std::set<std::pair<bool, std::uint64_t>> seen;
+    for (const vm::bc::Literal& lit : fc.literals) {
+      EXPECT_TRUE(seen.emplace(lit.is_global, lit.payload).second)
+          << "duplicate literal in fn " << fi;
+    }
+
+    // Results land in SSA registers; binary-arithmetic operand slots may name
+    // registers or pool entries but never exceed the frame.
+    for (const vm::bc::BOp& op : fc.code) {
+      if (op.dst != ir::kInvalidIndex && op.op != vm::bc::BOpcode::kBr &&
+          op.op != vm::bc::BOpcode::kCondBr) {
+        EXPECT_LT(op.dst, fc.num_regs);
+      }
+      if (op.op <= vm::bc::BOpcode::kAShr) {
+        EXPECT_LT(op.a, fc.frame_slots);
+        EXPECT_LT(op.b, fc.frame_slots);
+      }
+    }
+  }
+}
+
+TEST(BytecodeCompile, FusionFindsTheDominantPairs) {
+  const apps::App app = apps::BuildApp("mm", apps::AppConfig{.scale = 0});
+  const auto program = vm::bc::Compile(app.module);
+  ASSERT_TRUE(program != nullptr && program->supported);
+  // mm's kernel is literally gep+load / mul+add / fmul+fadd / cmp+br loops.
+  using vm::bc::BOpcode;
+  EXPECT_GT(program->fused_pairs[static_cast<int>(BOpcode::kGepLoad)], 0u);
+  EXPECT_GT(program->fused_pairs[static_cast<int>(BOpcode::kCmpBr)], 0u);
+  EXPECT_GT(program->fused_pairs[static_cast<int>(BOpcode::kMulAdd)], 0u);
+}
+
+TEST(BytecodeEngine, ParseRoundTripsAndRejectsUnknown) {
+  for (const vm::Engine e : {vm::Engine::kAuto, vm::Engine::kTree, vm::Engine::kBytecode}) {
+    const auto parsed = vm::ParseEngine(vm::EngineName(e));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, e);
+  }
+  EXPECT_FALSE(vm::ParseEngine("warp").has_value());
+  EXPECT_FALSE(vm::ParseEngine("").has_value());
+}
+
+// --- tier identity ------------------------------------------------------------
+
+TEST(BytecodeTier, FaultFreeRunsAreBitIdentical) {
+  for (const char* name : {"mm", "lulesh", "srad", "bfs"}) {
+    const apps::App app = apps::BuildApp(name, apps::AppConfig{.scale = 0});
+    vm::ExecOptions tree;
+    tree.engine = vm::Engine::kTree;
+    vm::Interpreter tree_interp(app.module, tree);
+    const vm::RunResult want = tree_interp.Run();
+
+    vm::ExecOptions byte;
+    byte.engine = vm::Engine::kBytecode;
+    vm::Interpreter byte_interp(app.module, byte);
+    const vm::RunResult got = byte_interp.Run();
+    SCOPED_TRACE(name);
+    ExpectSameResult(got, want);
+    EXPECT_TRUE(want.Completed());
+  }
+}
+
+TEST(BytecodeTier, InjectedRunsAreBitIdentical) {
+  const apps::App app = apps::BuildApp("pathfinder", apps::AppConfig{.scale = 0});
+  vm::ExecOptions probe;
+  vm::Interpreter probe_interp(app.module, probe);
+  const std::uint64_t len = probe_interp.Run().instructions_executed;
+  ASSERT_GT(len, 64u);
+
+  // Sites across the whole trace, bits across the word: some benign, some
+  // crashing, some hitting address arithmetic.
+  for (const std::uint64_t dyn : {len / 7, len / 3, len / 2, len - 2}) {
+    for (const std::uint8_t bit : {std::uint8_t{0}, std::uint8_t{13}, std::uint8_t{31}}) {
+      vm::ExecOptions exec;
+      exec.fault = vm::FaultPlan{dyn, 0, bit};
+      exec.engine = vm::Engine::kTree;
+      vm::Interpreter tree_interp(app.module, exec);
+      const vm::RunResult want = tree_interp.Run();
+
+      exec.engine = vm::Engine::kBytecode;
+      vm::Interpreter byte_interp(app.module, exec);
+      const vm::RunResult got = byte_interp.Run();
+      SCOPED_TRACE("dyn " + std::to_string(dyn) + " bit " + std::to_string(bit));
+      ExpectSameResult(got, want);
+    }
+  }
+}
+
+TEST(BytecodeTier, BudgetTrapsAtTheSameInstruction) {
+  const apps::App app = apps::BuildApp("mm", apps::AppConfig{.scale = 0});
+  vm::ExecOptions probe;
+  vm::Interpreter probe_interp(app.module, probe);
+  const std::uint64_t len = probe_interp.Run().instructions_executed;
+
+  for (const std::uint64_t budget : {len / 2, len - 1, std::uint64_t{17}}) {
+    vm::ExecOptions exec;
+    exec.max_instructions = budget;
+    exec.engine = vm::Engine::kTree;
+    vm::Interpreter tree_interp(app.module, exec);
+    const vm::RunResult want = tree_interp.Run();
+    EXPECT_EQ(want.trap, vm::TrapKind::kInstructionLimit);
+
+    exec.engine = vm::Engine::kBytecode;
+    vm::Interpreter byte_interp(app.module, exec);
+    SCOPED_TRACE("budget " + std::to_string(budget));
+    ExpectSameResult(byte_interp.Run(), want);
+  }
+}
+
+TEST(BytecodeTier, CheckpointsResumeAcrossTiersInBothDirections) {
+  const apps::App app = apps::BuildApp("lulesh", apps::AppConfig{.scale = 0});
+  vm::ExecOptions probe;
+  vm::Interpreter probe_interp(app.module, probe);
+  const vm::RunResult golden = probe_interp.Run();
+  const std::uint64_t len = golden.instructions_executed;
+  const std::vector<std::uint64_t> at = {len / 5, len / 2, (4 * len) / 5};
+
+  // Capture the same sites on both tiers; the runs themselves must agree.
+  vm::ExecOptions tree;
+  tree.engine = vm::Engine::kTree;
+  std::vector<vm::Interpreter::Checkpoint> tree_ckpts;
+  vm::Interpreter tree_interp(app.module, tree);
+  ExpectSameResult(tree_interp.RunWithCheckpoints("main", at, tree_ckpts), golden);
+
+  vm::ExecOptions byte;
+  byte.engine = vm::Engine::kBytecode;
+  std::vector<vm::Interpreter::Checkpoint> byte_ckpts;
+  vm::Interpreter byte_interp(app.module, byte);
+  ExpectSameResult(byte_interp.RunWithCheckpoints("main", at, byte_ckpts), golden);
+
+  ASSERT_EQ(tree_ckpts.size(), at.size());
+  ASSERT_EQ(byte_ckpts.size(), at.size());
+
+  // Checkpoints are stored in one tier-neutral format: either tier resumes
+  // from either tier's capture with a bit-identical remainder.
+  for (std::size_t i = 0; i < at.size(); ++i) {
+    SCOPED_TRACE("checkpoint at " + std::to_string(at[i]));
+    for (const vm::Engine engine : {vm::Engine::kTree, vm::Engine::kBytecode}) {
+      vm::ExecOptions exec;
+      exec.engine = engine;
+      vm::Interpreter from_tree(app.module, exec);
+      ExpectSameResult(from_tree.ResumeFrom(tree_ckpts[i]), golden);
+      vm::Interpreter from_byte(app.module, exec);
+      ExpectSameResult(from_byte.ResumeFrom(byte_ckpts[i]), golden);
+    }
+  }
+}
+
+TEST(BytecodeTier, InjectedResumeMatchesInjectedScratchAcrossTiers) {
+  const apps::App app = apps::BuildApp("mm", apps::AppConfig{.scale = 0});
+  vm::ExecOptions probe;
+  vm::Interpreter probe_interp(app.module, probe);
+  const std::uint64_t len = probe_interp.Run().instructions_executed;
+
+  std::vector<vm::Interpreter::Checkpoint> ckpts;
+  const std::vector<std::uint64_t> at = {len / 3};
+  vm::ExecOptions capture;
+  capture.engine = vm::Engine::kBytecode;
+  vm::Interpreter capture_interp(app.module, capture);
+  (void)capture_interp.RunWithCheckpoints("main", at, ckpts);
+  ASSERT_EQ(ckpts.size(), 1u);
+
+  // Faults after the checkpoint: scratch tree run vs. bytecode resume.
+  for (const std::uint64_t dyn : {len / 3 + 1, len / 2, len - 3}) {
+    for (const std::uint8_t bit : {std::uint8_t{2}, std::uint8_t{30}}) {
+      vm::ExecOptions exec;
+      exec.fault = vm::FaultPlan{dyn, 0, bit};
+      exec.engine = vm::Engine::kTree;
+      vm::Interpreter scratch(app.module, exec);
+      const vm::RunResult want = scratch.Run();
+
+      exec.engine = vm::Engine::kBytecode;
+      vm::Interpreter resumed(app.module, exec);
+      SCOPED_TRACE("dyn " + std::to_string(dyn) + " bit " + std::to_string(bit));
+      ExpectSameResult(resumed.ResumeFrom(ckpts[0]), want);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace epvf

@@ -227,6 +227,46 @@ TEST(CampaignCheckpoint, RecordsBitIdenticalAcrossAppsJobsAndJitter) {
   }
 }
 
+TEST(CampaignCheckpoint, RecordsBitIdenticalAcrossExecutionTiers) {
+  // The bytecode tier serves injected runs and checkpoint replays; at every
+  // checkpoint density it must reproduce the tree-tier from-scratch campaign
+  // record for record (the acceptance contract of src/vm/exec_bytecode.cc).
+  const apps::App app = apps::BuildApp("pathfinder", apps::AppConfig{.scale = 0});
+  const core::Analysis a = core::Analysis::Run(app.module);
+
+  fi::CampaignOptions options;
+  options.num_runs = 36;
+  options.seed = 13;
+  options.injector.jitter_pages = 0;
+  options.num_threads = 1;
+  options.injector.engine = vm::Engine::kTree;
+  options.checkpoint_interval = -1;  // tree from-scratch baseline
+  const fi::CampaignStats baseline =
+      fi::RunCampaign(app.module, a.graph(), a.golden(), options);
+
+  for (const vm::Engine engine : {vm::Engine::kTree, vm::Engine::kBytecode}) {
+    for (const int checkpoints : {0, 4, 64}) {
+      options.injector.engine = engine;
+      options.checkpoint_interval =
+          checkpoints == 0
+              ? -1
+              : static_cast<std::int64_t>(a.TraceLength() / (checkpoints + 1) + 1);
+      const fi::CampaignStats got =
+          fi::RunCampaign(app.module, a.graph(), a.golden(), options);
+      EXPECT_EQ(got.counts, baseline.counts)
+          << vm::EngineName(engine) << " ckpts=" << checkpoints;
+      ASSERT_EQ(got.records.size(), baseline.records.size());
+      for (std::size_t i = 0; i < got.records.size(); ++i) {
+        EXPECT_EQ(got.records[i].site.dyn_index, baseline.records[i].site.dyn_index);
+        EXPECT_EQ(got.records[i].site.slot, baseline.records[i].site.slot);
+        EXPECT_EQ(got.records[i].bit, baseline.records[i].bit);
+        EXPECT_EQ(got.records[i].outcome, baseline.records[i].outcome)
+            << vm::EngineName(engine) << " ckpts=" << checkpoints << " run " << i;
+      }
+    }
+  }
+}
+
 TEST(CampaignCheckpoint, IntervalLargerThanTraceDegradesToFromScratch) {
   const apps::App app = apps::BuildApp("mm", apps::AppConfig{.scale = 0});
   const core::Analysis a = core::Analysis::Run(app.module);

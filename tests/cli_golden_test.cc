@@ -194,6 +194,87 @@ TEST(CliCampaign, DiagnosticsStayOffStdout) {
   EXPECT_EQ(r.stdout_text.find("cache:"), std::string::npos);
 }
 
+// --- execution tier selection (--engine / EPVF_ENGINE) -----------------------
+
+TEST(CliEngine, StdoutIsByteIdenticalAcrossTiers) {
+  // The tier is a pure performance knob: analyze and inject reports must not
+  // change by a byte when the bytecode tier replaces the tree interpreter.
+  const CliResult tree = RunCli("inject mm --scale 0 --runs 40 --seed 7 --no-cache --engine tree");
+  const CliResult byte =
+      RunCli("inject mm --scale 0 --runs 40 --seed 7 --no-cache --engine bytecode");
+  ASSERT_EQ(tree.exit_code, 0);
+  ASSERT_EQ(byte.exit_code, 0);
+  EXPECT_EQ(byte.stdout_text, tree.stdout_text);
+  ExpectMatchesGolden("inject_mm.txt", byte.stdout_text);
+
+  const CliResult analyze_tree = RunCli("analyze mm --scale 0 --no-cache --engine tree");
+  const CliResult analyze_byte = RunCli("analyze mm --scale 0 --no-cache --engine bytecode");
+  ASSERT_EQ(analyze_tree.exit_code, 0);
+  ASSERT_EQ(analyze_byte.exit_code, 0);
+  EXPECT_EQ(analyze_byte.stdout_text, analyze_tree.stdout_text);
+  ExpectMatchesGolden("analyze_mm.txt", analyze_byte.stdout_text);
+}
+
+TEST(CliEngine, UnknownEngineIsFour) {
+  EXPECT_EQ(RunCli("inject mm --engine warp").exit_code, 4);
+  EXPECT_EQ(RunCli("analyze mm", "EPVF_ENGINE=warp").exit_code, 4);
+  // The flag wins over the environment, so a good flag saves a bad env value.
+  EXPECT_EQ(RunCli("inject mm --scale 0 --runs 4 --no-cache --engine tree", "EPVF_ENGINE=warp")
+                .exit_code,
+            0);
+}
+
+/// The merged campaign artifact's bytes inside `dir` (shard slices are
+/// removed by a successful merge, leaving exactly one *.campaign.epvfa).
+std::string MergedCampaignArtifact(const std::string& dir) {
+  std::string found;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().filename().string().find(".campaign.epvfa") == std::string::npos) continue;
+    EXPECT_TRUE(found.empty()) << "more than one merged campaign artifact in " << dir;
+    found = ReadFileOrEmpty(entry.path().string());
+  }
+  EXPECT_FALSE(found.empty()) << "no merged campaign artifact in " << dir;
+  return found;
+}
+
+TEST(CliEngine, ShardedCampaignHonorsTheEnvTier) {
+  // EPVF_ENGINE propagates to shard workers; report AND stored artifact must
+  // stay byte-identical to the single-shard tree campaign — the tier is not
+  // part of the cache identity, so the same artifacts serve either engine.
+  TempDir tree_dir;
+  TempDir byte_dir;
+  const CliResult one = RunCli(
+      "campaign mm --scale 0 --runs 40 --seed 7 --shards 1 --engine tree --cache-dir " +
+      tree_dir.path);
+  const CliResult sharded =
+      RunCli("campaign mm --scale 0 --runs 40 --seed 7 --shards 3 --cache-dir " + byte_dir.path,
+             "EPVF_ENGINE=bytecode");
+  ASSERT_EQ(one.exit_code, 0);
+  ASSERT_EQ(sharded.exit_code, 0);
+  EXPECT_EQ(sharded.stdout_text, one.stdout_text);
+  EXPECT_EQ(MergedCampaignArtifact(byte_dir.path), MergedCampaignArtifact(tree_dir.path));
+}
+
+TEST(CliEngine, WorkerRelaunchKeepsTheBytecodeTierIdentical) {
+  // A killed-and-relaunched worker re-runs its shard on the same tier; the
+  // recovered campaign still matches the single-shard report byte for byte.
+  TempDir baseline_dir;
+  TempDir faulty_dir;
+  TempDir scratch;
+  const CliResult one =
+      RunCli("campaign mm --scale 0 --runs 40 --seed 7 --shards 1 --cache-dir " +
+             baseline_dir.path);
+  const CliResult recovered = RunCli(
+      "campaign mm --scale 0 --runs 40 --seed 7 --shards 2 --engine bytecode --cache-dir " +
+          faulty_dir.path,
+      "EPVF_PERSIST_EVERY=4 EPVF_TEST_WORKER_KILL_ONCE=" + scratch.path + "/kill.marker");
+  ASSERT_EQ(one.exit_code, 0);
+  ASSERT_EQ(recovered.exit_code, 0);
+  EXPECT_TRUE(fs::exists(scratch.path + "/kill.marker")) << "the kill hook never fired";
+  EXPECT_EQ(recovered.stdout_text, one.stdout_text);
+  EXPECT_EQ(MergedCampaignArtifact(faulty_dir.path), MergedCampaignArtifact(baseline_dir.path));
+}
+
 // --- cache subcommands on a missing/empty directory (regression) -------------
 
 TEST(CliCache, ClearOnMissingDirSucceedsWithoutCreatingIt) {

@@ -99,6 +99,34 @@ TEST(ParallelDeterminism, CheckpointedCampaignIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(ParallelDeterminism, CampaignStatsIdenticalAcrossExecutionTiers) {
+  // The execution tier composes with the thread count: a bytecode campaign at
+  // any parallelism must reproduce the serial tree campaign record for record.
+  const apps::App app = apps::BuildApp("mm", apps::AppConfig{.scale = 0});
+  const core::Analysis a = Analyze(app.module, 1);
+  fi::CampaignOptions options;
+  options.num_runs = 48;
+  options.seed = 7;
+  options.injector.jitter_pages = 2;
+  options.injector.engine = vm::Engine::kTree;
+  options.num_threads = 1;
+  const fi::CampaignStats serial = fi::RunCampaign(app.module, a.graph(), a.golden(), options);
+  options.injector.engine = vm::Engine::kBytecode;
+  for (const int threads : {1, 8}) {
+    options.num_threads = threads;
+    const fi::CampaignStats fast = fi::RunCampaign(app.module, a.graph(), a.golden(), options);
+    EXPECT_EQ(serial.counts, fast.counts) << "threads=" << threads;
+    ASSERT_EQ(serial.records.size(), fast.records.size());
+    for (std::size_t i = 0; i < serial.records.size(); ++i) {
+      EXPECT_EQ(serial.records[i].site.dyn_index, fast.records[i].site.dyn_index);
+      EXPECT_EQ(serial.records[i].site.slot, fast.records[i].site.slot);
+      EXPECT_EQ(serial.records[i].bit, fast.records[i].bit);
+      EXPECT_EQ(serial.records[i].outcome, fast.records[i].outcome)
+          << "run " << i << " at threads=" << threads;
+    }
+  }
+}
+
 TEST(ParallelDeterminism, CampaignWithFewerRunsThanThreads) {
   // Regression: the old static-chunk split spawned zero-width ranges when
   // plan.size() < workers; dynamic scheduling must execute all runs exactly

@@ -103,6 +103,9 @@ struct Options {
     const auto it = flags.find(name);
     return it == flags.end() ? fallback : it->second;
   }
+
+  /// Resolved --engine / EPVF_ENGINE value (validated in main).
+  vm::Engine engine = vm::Engine::kAuto;
 };
 
 /// Flags each command accepts — anything else is rejected with the offending
@@ -110,16 +113,17 @@ struct Options {
 const std::map<std::string, std::set<std::string>>& AllowedFlags() {
   static const std::map<std::string, std::set<std::string>> allowed = {
       {"list", {}},
-      {"analyze", {"scale", "jobs", "cache-dir", "no-cache", "trace-out", "metrics-out"}},
+      {"analyze",
+       {"scale", "jobs", "cache-dir", "no-cache", "trace-out", "metrics-out", "engine"}},
       {"inject",
        {"scale", "runs", "jitter", "burst", "seed", "jobs", "checkpoints", "cache-dir",
-        "no-cache", "trace-out", "metrics-out"}},
+        "no-cache", "trace-out", "metrics-out", "engine"}},
       // --worker-shard is internal plumbing (the supervisor relaunching this
       // binary for one shard), accepted but undocumented.
       {"campaign",
        {"scale", "runs", "jitter", "burst", "seed", "jobs", "checkpoints", "cache-dir",
         "no-cache", "trace-out", "metrics-out", "shards", "shard-timeout", "shard-retries",
-        "worker-shard"}},
+        "worker-shard", "engine"}},
       {"sample", {"scale", "fraction", "jobs"}},
       {"protect", {"scale", "budget", "rank", "real", "jobs", "runs"}},
       {"print", {"scale"}},
@@ -163,7 +167,11 @@ int Usage() {
                "concurrency, the default); results are identical for any N\n"
                "analyze/inject reuse on-disk artifacts when --cache-dir DIR (or the\n"
                "EPVF_CACHE_DIR environment variable) names a cache directory;\n"
-               "--no-cache forces a full recompute without touching the cache\n");
+               "--no-cache forces a full recompute without touching the cache\n"
+               "--engine auto|tree|bytecode picks the execution tier for injected\n"
+               "runs (EPVF_ENGINE does the same; the flag wins; tiers produce\n"
+               "byte-identical results — auto, the default, uses the bytecode fast\n"
+               "tier for uninstrumented runs and the tree tier for traced ones)\n");
   return kExitUsage;
 }
 
@@ -283,6 +291,7 @@ fi::CampaignOptions MakeCampaignOptions(const Options& options, const core::Anal
   campaign.seed = static_cast<std::uint64_t>(options.Int("seed", 42));
   campaign.injector.jitter_pages = static_cast<std::uint32_t>(options.Int("jitter", 2));
   campaign.injector.burst_length = static_cast<std::uint8_t>(options.Int("burst", 1));
+  campaign.injector.engine = options.engine;
   campaign.num_threads = options.Int("jobs", 0);
   // --checkpoints N = snapshots to spread over the golden trace (N > 0),
   // 0 = fast path off, -1 (default) = auto from the trace length.
@@ -571,7 +580,7 @@ int CmdCampaign(const Options& options) {
     // Forward only the flags the user actually passed: the worker applies
     // the same defaults, and values like the --checkpoints auto sentinel
     // (-1) cannot round-trip through the flag parser anyway.
-    for (const char* flag : {"scale", "runs", "jitter", "burst", "seed", "checkpoints"}) {
+    for (const char* flag : {"scale", "runs", "jitter", "burst", "seed", "checkpoints", "engine"}) {
       const auto it = options.flags.find(flag);
       if (it == options.flags.end()) continue;
       cmd.argv.push_back(std::string("--") + flag);
@@ -684,6 +693,7 @@ int CmdProtect(const Options& options) {
   fi::CampaignOptions campaign;
   campaign.num_runs = options.Int("runs", 500);
   campaign.injector.jitter_pages = 2;
+  campaign.injector.engine = options.engine;
   campaign.num_threads = options.Int("jobs", 0);
   const fi::CampaignStats baseline = fi::RunCampaign(app.module, a.graph(), a.golden(), campaign);
   const protect::ProtectedRates modeled = protect::EvaluateProtection(baseline, plan);
@@ -810,6 +820,23 @@ int CmdMetrics(const Options& options) {
   return 0;
 }
 
+/// --engine beats EPVF_ENGINE; absent both, "auto". Prints the offending name
+/// and returns nullopt on an unknown engine (the caller exits with the
+/// unknown-flag code, matching how unknown flag names are rejected).
+std::optional<vm::Engine> ResolveEngine(const Options& options) {
+  std::string name = options.Str("engine", "");
+  if (name.empty()) {
+    const char* env = std::getenv("EPVF_ENGINE");
+    name = env == nullptr ? "auto" : env;
+  }
+  const std::optional<vm::Engine> engine = vm::ParseEngine(name);
+  if (!engine.has_value()) {
+    std::fprintf(stderr, "epvf: unknown engine '%s' (expected auto, tree, or bytecode)\n",
+                 name.c_str());
+  }
+  return engine;
+}
+
 /// --trace-out beats EPVF_TRACE. Env values: 0 = off, 1 = epvf-trace.json,
 /// anything else is the output path. Empty = tracing disabled.
 std::string ResolveTraceOut(const Options& options) {
@@ -902,6 +929,10 @@ int main(int argc, char** argv) {
       options.flags[flag] = "1";
     }
   }
+
+  const std::optional<vm::Engine> engine = ResolveEngine(options);
+  if (!engine.has_value()) return kExitUnknownFlag;
+  options.engine = *engine;
 
   const std::string trace_out = ResolveTraceOut(options);
   const std::string metrics_out = options.Str("metrics-out", "");
