@@ -27,6 +27,8 @@
 //                     stage histograms) to this path on exit
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -37,6 +39,7 @@
 #include "apps/app.h"
 #include "epvf/analysis.h"
 #include "fi/campaign.h"
+#include "fi/planner.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "support/atomic_file.h"
@@ -80,6 +83,11 @@ class ScopedObservability {
 inline int EnvInt(const char* name, int fallback) {
   const char* value = std::getenv(name);
   return value == nullptr ? fallback : std::atoi(value);
+}
+
+inline double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? fallback : std::atof(value);
 }
 
 inline int Scale() { return EnvInt("EPVF_SCALE", 1); }
@@ -210,6 +218,61 @@ struct Prepared {
 };
 
 inline Prepared Prepare(const std::string& name) { return Prepared(name); }
+
+/// Drives a stratified planner to completion on the shared thread pool:
+/// BeginRound / ExecutePlannedRuns / CommitRound until every stratum retires
+/// (or the max_runs cap trips).
+inline void RunPlanToCompletion(fi::CampaignPlanner& planner, fi::Injector& injector) {
+  while (!planner.Done()) {
+    const std::vector<fi::PlannedInjection> queue = planner.BeginRound();
+    fi::ExecuteOptions eo;
+    eo.num_threads = Jobs();
+    planner.CommitRound(fi::ExecutePlannedRuns(injector, queue, eo).records);
+  }
+}
+
+/// Smallest trial count t with WilsonHalfWidth95(rate * t, t) <= target.
+/// The half-width is monotone decreasing in t at fixed rate, so doubling
+/// followed by binary search finds the exact threshold.
+inline std::uint64_t SmallestTrialsForHalfWidth(double rate, double target) {
+  std::uint64_t lo = 1, hi = 1;
+  while (WilsonHalfWidth95(rate * static_cast<double>(hi), static_cast<double>(hi)) > target) {
+    lo = hi + 1;
+    hi *= 2;
+  }
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    if (WilsonHalfWidth95(rate * static_cast<double>(mid), static_cast<double>(mid)) <= target) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return hi;
+}
+
+/// Injections a *uniform* sampler would need to match the planner's
+/// per-stratum precision. Uniform sampling lands in stratum h with
+/// probability W_h (its bit-weight), so driving every stratum's Wilson
+/// half-width to the planner's ci_target takes
+///   n_u = max_h ceil(t_h / W_h)
+/// where t_h is the smallest trial count that closes stratum h at its
+/// observed SDC and crash rates. This is the apples-to-apples denominator
+/// for the planner's injection savings: same precision contract, no planner.
+inline std::uint64_t UniformEquivalentRuns(const fi::CampaignPlanner& planner) {
+  const double target = planner.options().ci_target;
+  std::uint64_t worst = 0;
+  for (std::size_t h = 0; h < planner.strata().size(); ++h) {
+    const fi::StratumState& s = planner.strata()[h];
+    if (s.weight <= 0.0) continue;
+    const std::uint64_t trials =
+        std::max(SmallestTrialsForHalfWidth(planner.StratumSdc(h).rate, target),
+                 SmallestTrialsForHalfWidth(planner.StratumCrash(h).rate, target));
+    const double runs = std::ceil(static_cast<double>(trials) / s.weight);
+    worst = std::max(worst, static_cast<std::uint64_t>(runs));
+  }
+  return worst;
+}
 
 inline fi::CampaignStats Campaign(const Prepared& p, int runs = 0) {
   fi::CampaignOptions options;

@@ -109,5 +109,42 @@ int main() {
                     "the tree tier at the same checkpoint setting; 'identical' checks every "
                     "record (site, bit, outcome) against the tree from-scratch campaign");
   table.Print(std::cout);
+
+  // Planner economy: injections the stratified planner spends to hit its CI
+  // target, vs the uniform-sampling equivalent at the same per-stratum
+  // precision. Tracked in the committed JSON so planner regressions (more
+  // rounds, worse allocation) show up in the perf trajectory.
+  const double ci_target = bench::EnvDouble("EPVF_CI_TARGET", 0.05);
+  AsciiTable econ({"Benchmark", "runs to CI", "rounds", "runs/s", "uniform-equiv", "savings"});
+  econ.SetTitle("Stratified planner: injections to CI half-width " +
+                AsciiTable::Num(ci_target));
+  for (const std::string& name : {std::string("mm"), std::string("lud")}) {
+    const bench::Prepared p = bench::Prepare(name);
+    fi::Injector injector(p.app.module, p.analysis.golden(), fi::InjectorOptions{});
+    fi::StratifiedOptions plan;
+    plan.ci_target = ci_target;
+    fi::CampaignPlanner planner(p.analysis.graph(), p.analysis.ace(), p.analysis.crash_bits(),
+                                injector, bench::Seed(), plan);
+    Stopwatch watch;
+    bench::RunPlanToCompletion(planner, injector);
+    const double seconds = watch.ElapsedSeconds();
+    const double total = static_cast<double>(planner.TotalRuns());
+    const double runs_per_sec = seconds > 0 ? total / seconds : 0;
+    const std::uint64_t uniform = bench::UniformEquivalentRuns(planner);
+    const double ratio = total > 0 ? static_cast<double>(uniform) / total : 0;
+
+    econ.AddRow({name, std::to_string(planner.TotalRuns()),
+                 std::to_string(planner.RoundsCommitted()), AsciiTable::Num(runs_per_sec, 1),
+                 std::to_string(uniform), AsciiTable::Num(ratio, 1) + "x"});
+    const std::string row = name + "/plan-stratified";
+    json.Add(row, "injections_to_ci", total);
+    json.Add(row, "rounds", static_cast<double>(planner.RoundsCommitted()));
+    json.Add(row, "runs_per_sec", runs_per_sec);
+    json.Add(row, "uniform_equivalent_runs", static_cast<double>(uniform));
+    json.Add(row, "injections_saved_ratio", ratio);
+  }
+  econ.SetFootnote("uniform-equiv = injections a uniform sampler needs to close every "
+                   "stratum's Wilson CI to the same target (max_h ceil(t_h / W_h))");
+  econ.Print(std::cout);
   return all_identical ? 0 : 1;
 }

@@ -117,6 +117,11 @@ void ProgressReporter::Finish() {
   if (enabled_) PrintLine(/*final_line=*/true);
 }
 
+void ProgressReporter::SetPhase(std::string phase) {
+  const std::lock_guard<std::mutex> lock(phase_mutex_);
+  phase_ = std::move(phase);
+}
+
 ProgressSnapshot ProgressReporter::Aggregate() const {
   ProgressSnapshot snap;
   snap.done = done_.load(std::memory_order_relaxed);
@@ -153,8 +158,19 @@ std::string ProgressReporter::StatusLine() const {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
   const double rate = elapsed > 0 ? static_cast<double>(done) / elapsed : 0.0;
 
-  char head[160];
-  if (options_.total > 0) {
+  std::string phase;
+  {
+    const std::lock_guard<std::mutex> lock(phase_mutex_);
+    phase = phase_;
+  }
+
+  char head[256];
+  if (!phase.empty()) {
+    // An application phase replaces done/total and suppresses the ETA — a
+    // planner-driven campaign has no meaningful fixed total.
+    std::snprintf(head, sizeof head, "[%s] %llu done %.0f/s | %s", options_.label.c_str(),
+                  static_cast<unsigned long long>(done), rate, phase.c_str());
+  } else if (options_.total > 0) {
     const double pct =
         100.0 * static_cast<double>(done) / static_cast<double>(options_.total);
     std::snprintf(head, sizeof head, "[%s] %llu/%llu (%.1f%%) %.0f/s",
@@ -166,7 +182,7 @@ std::string ProgressReporter::StatusLine() const {
   }
   std::string line = head;
 
-  if (options_.total > 0 && rate > 0 && done < options_.total) {
+  if (phase.empty() && options_.total > 0 && rate > 0 && done < options_.total) {
     const double eta = static_cast<double>(options_.total - done) / rate;
     char buf[48];
     if (eta >= 90) {

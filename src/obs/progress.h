@@ -81,6 +81,13 @@ class ProgressReporter {
   /// Stops the reporting thread and prints one final summary line.
   void Finish();
 
+  /// Replaces the done/total head and ETA with an application-set status —
+  /// for open-ended work like the stratified campaign planner, whose
+  /// remaining-run count shrinks between rounds and whose "round r, strata
+  /// live/total, widest CI" line is the honest progress signal. Thread-safe;
+  /// an empty string restores the default head.
+  void SetPhase(std::string phase);
+
   [[nodiscard]] bool enabled() const { return enabled_; }
   /// The line the reporter would print now (no trailing newline). Exposed so
   /// tests can exercise the formatting without a terminal.
@@ -98,6 +105,9 @@ class ProgressReporter {
   std::chrono::steady_clock::time_point start_;
   std::atomic<std::uint64_t> done_{0};
   std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> category_counts_;
+
+  mutable std::mutex phase_mutex_;
+  std::string phase_;
 
   std::mutex mutex_;
   std::condition_variable cv_;

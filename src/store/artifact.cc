@@ -329,4 +329,68 @@ std::optional<CampaignArtifact> ReadCampaignArtifact(const ArtifactReader& reade
   return campaign;
 }
 
+// --- plan artifact ------------------------------------------------------------
+
+std::uint64_t PlanArtifact::CompletedCount() const {
+  std::uint64_t count = 0;
+  for (const std::uint8_t c : completed) count += c != 0 ? 1 : 0;
+  return count;
+}
+
+void WritePlanArtifact(const PlanArtifact& plan, ArtifactWriter& writer) {
+  ByteWriter& out = writer.Section(SectionId::kPlan);
+  out.U64(plan.seed);
+  out.F64(plan.ci_target);
+  out.U32(plan.max_runs);
+  out.U32(plan.round_size);
+  out.F64(plan.model_prior);
+  out.U32(plan.min_per_stratum);
+  out.U32(plan.jitter_pages);
+  out.U8(plan.burst_length);
+  WriteU32Vec(plan.round_sizes, out);
+  out.U64(plan.records.size());
+  for (const fi::FaultRecord& r : plan.records) {
+    out.U32(r.site.dyn_index);
+    out.U8(r.site.slot);
+    out.U8(r.site.width);
+    out.U32(r.site.node);
+    out.U8(r.bit);
+    out.U8(static_cast<std::uint8_t>(r.outcome));
+  }
+  WriteU8Vec(plan.completed, out);
+}
+
+std::optional<PlanArtifact> ReadPlanArtifact(const ArtifactReader& reader) {
+  auto in = reader.Section(SectionId::kPlan);
+  if (!in) return std::nullopt;
+  PlanArtifact plan;
+  plan.seed = in->U64();
+  plan.ci_target = in->F64();
+  plan.max_runs = in->U32();
+  plan.round_size = in->U32();
+  plan.model_prior = in->F64();
+  plan.min_per_stratum = in->U32();
+  plan.jitter_pages = in->U32();
+  plan.burst_length = in->U8();
+  bool ok = ReadU32Vec(*in, plan.round_sizes);
+  ok = ok && ReadVec(*in, plan.records, [](ByteReader& r) {
+         fi::FaultRecord record;
+         record.site.dyn_index = r.U32();
+         record.site.slot = r.U8();
+         record.site.width = r.U8();
+         record.site.node = r.U32();
+         record.bit = r.U8();
+         record.outcome = static_cast<fi::Outcome>(r.U8());
+         return record;
+       });
+  if (!ok || !ReadU8Vec(*in, plan.completed) || !in->Finished()) return std::nullopt;
+  std::uint64_t total = 0;
+  for (const std::uint32_t size : plan.round_sizes) total += size;
+  if (plan.records.size() != total || plan.completed.size() != total) return std::nullopt;
+  for (const fi::FaultRecord& r : plan.records) {
+    if (static_cast<int>(r.outcome) >= fi::kNumOutcomes) return std::nullopt;
+  }
+  return plan;
+}
+
 }  // namespace epvf::store

@@ -18,6 +18,7 @@
 
 #include "epvf/analysis.h"
 #include "fi/campaign.h"
+#include "fi/planner.h"
 #include "store/serializer.h"
 
 namespace epvf::store {
@@ -79,5 +80,37 @@ struct CampaignArtifact {
 
 void WriteCampaignArtifact(const CampaignArtifact& campaign, ArtifactWriter& writer);
 [[nodiscard]] std::optional<CampaignArtifact> ReadCampaignArtifact(const ArtifactReader& reader);
+
+/// A persisted stratified-campaign plan (epvf-plan-v1): the planner identity
+/// fields plus the committed/in-flight record log in round order. The records
+/// are validated by *replaying* them through a freshly built planner (see
+/// fi::ReplayPlan) — round sizes and per-record (site, bit) must match the
+/// regenerated plan or the artifact is discarded wholesale, mirroring the
+/// campaign resume contract.
+struct PlanArtifact {
+  std::uint64_t seed = 0;
+  double ci_target = 0.0;
+  std::uint32_t max_runs = 0;
+  std::uint32_t round_size = 0;
+  double model_prior = 0.0;
+  std::uint32_t min_per_stratum = 0;
+  std::uint32_t jitter_pages = 0;
+  std::uint8_t burst_length = 1;
+  std::vector<std::uint32_t> round_sizes;
+  std::vector<fi::FaultRecord> records;  ///< sum(round_sizes) entries, round order
+  std::vector<std::uint8_t> completed;   ///< 1 = records[i] is final
+
+  [[nodiscard]] bool Matches(const fi::CampaignOptions& campaign,
+                             const fi::StratifiedOptions& plan) const {
+    return seed == campaign.seed && jitter_pages == campaign.injector.jitter_pages &&
+           burst_length == campaign.injector.burst_length && ci_target == plan.ci_target &&
+           max_runs == plan.max_runs && round_size == plan.round_size &&
+           model_prior == plan.model_prior && min_per_stratum == plan.min_per_stratum;
+  }
+  [[nodiscard]] std::uint64_t CompletedCount() const;
+};
+
+void WritePlanArtifact(const PlanArtifact& plan, ArtifactWriter& writer);
+[[nodiscard]] std::optional<PlanArtifact> ReadPlanArtifact(const ArtifactReader& reader);
 
 }  // namespace epvf::store

@@ -8,6 +8,7 @@
 
 #include "ir/printer.h"
 #include "obs/metrics.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
 #include "support/atomic_file.h"
 #include "support/logging.h"
@@ -47,9 +48,15 @@ void AppendLayout(std::ostringstream& out, const mem::MemoryLayout& l) {
 
 constexpr std::string_view kAnalysisSuffix = ".analysis.epvfa";
 constexpr std::string_view kCampaignSuffix = ".campaign.epvfa";
+constexpr std::string_view kPlanSuffix = ".plan.epvfa";
 
 std::string_view SuffixFor(ArtifactKind kind) {
-  return kind == ArtifactKind::kAnalysis ? kAnalysisSuffix : kCampaignSuffix;
+  switch (kind) {
+    case ArtifactKind::kAnalysis: return kAnalysisSuffix;
+    case ArtifactKind::kPlan: return kPlanSuffix;
+    case ArtifactKind::kCampaign: break;
+  }
+  return kCampaignSuffix;
 }
 
 }  // namespace
@@ -74,12 +81,31 @@ std::string CanonicalKey(const CampaignKey& key) {
   return std::move(out).str();
 }
 
+std::string CanonicalKey(const PlanKey& key) {
+  // num_runs is the uniform campaign's flag; the planner decides its own
+  // total, so the flag must not split the plan's address.
+  CampaignKey campaign = key.campaign;
+  campaign.options.num_runs = 0;
+  std::ostringstream out;
+  out.precision(17);
+  out << CanonicalKey(campaign) << "|plan=stratified|ci=" << key.plan.ci_target
+      << "|maxruns=" << key.plan.max_runs << "|round=" << key.plan.round_size
+      << "|prior=" << key.plan.model_prior << "|minper=" << key.plan.min_per_stratum;
+  return std::move(out).str();
+}
+
 std::string CacheId(const AnalysisKey& key) { return Hex16(Fnv1a64(CanonicalKey(key))); }
 std::string CacheId(const CampaignKey& key) { return Hex16(Fnv1a64(CanonicalKey(key))); }
+std::string CacheId(const PlanKey& key) { return Hex16(Fnv1a64(CanonicalKey(key))); }
 
 std::string ShardCacheId(const std::string& campaign_id, int shard_index, int shard_count) {
   return campaign_id + "-shard-" + std::to_string(shard_index) + "of" +
          std::to_string(shard_count);
+}
+
+std::string PlanRoundShardId(const std::string& plan_id, std::uint32_t round, int shard_index,
+                             int shard_count) {
+  return ShardCacheId(plan_id + "-round" + std::to_string(round), shard_index, shard_count);
 }
 
 // --- ArtifactCache ------------------------------------------------------------
@@ -472,6 +498,340 @@ fi::CampaignStats MergeShardedCampaign(const ir::Module& module, const ddg::Grap
   }
   if (info != nullptr) *info = merge_info;
   return stats;
+}
+
+// --- stratified campaigns ----------------------------------------------------
+
+namespace {
+
+/// One epvf-plan-v1 image from the planner identity + record log.
+void PersistPlanEntry(ArtifactCache& cache, const std::string& entry_id,
+                      const fi::CampaignOptions& options, const fi::StratifiedOptions& plan,
+                      const std::vector<std::uint32_t>& round_sizes,
+                      const std::vector<fi::FaultRecord>& records,
+                      const std::vector<std::uint8_t>& completed) {
+  PlanArtifact artifact;
+  artifact.seed = options.seed;
+  artifact.ci_target = plan.ci_target;
+  artifact.max_runs = plan.max_runs;
+  artifact.round_size = plan.round_size;
+  artifact.model_prior = plan.model_prior;
+  artifact.min_per_stratum = plan.min_per_stratum;
+  artifact.jitter_pages = options.injector.jitter_pages;
+  artifact.burst_length = options.injector.burst_length;
+  artifact.round_sizes = round_sizes;
+  artifact.records = records;
+  artifact.completed = completed;
+  ArtifactWriter writer(ArtifactKind::kPlan);
+  WritePlanArtifact(artifact, writer);
+  cache.Store(entry_id, writer);
+}
+
+std::optional<PlanArtifact> LoadMatchingPlan(ArtifactCache& cache, const std::string& entry_id,
+                                             const fi::CampaignOptions& options,
+                                             const fi::StratifiedOptions& plan) {
+  auto reader = cache.Load(entry_id, ArtifactKind::kPlan);
+  if (!reader.has_value()) return std::nullopt;
+  std::optional<PlanArtifact> artifact = ReadPlanArtifact(*reader);
+  if (artifact.has_value() && !artifact->Matches(options, plan)) {
+    LogWarn("cache: plan entry " + entry_id + " does not match options — ignoring");
+    artifact.reset();
+  }
+  if (!artifact.has_value()) cache.DemoteLastHit();
+  return artifact;
+}
+
+/// Suffix checkpoints pay off for planned runs exactly as for uniform
+/// campaigns; jittered runs diverge from instruction zero and never
+/// checkpoint (same rule as RunCampaign).
+void MaybeBuildPlanCheckpoints(fi::Injector& injector, const vm::RunResult& golden,
+                               const fi::CampaignOptions& options) {
+  if (options.injector.jitter_pages != 0) return;
+  if (injector.NumCheckpoints() > 0) return;
+  const std::uint64_t interval =
+      fi::ResolveCheckpointInterval(options.checkpoint_interval, golden.instructions_executed);
+  if (interval == 0) return;
+  injector.BuildCheckpoints(fi::CheckpointSites(golden.instructions_executed, interval));
+}
+
+std::vector<StratumRow> SummarizeStrata(const fi::CampaignPlanner& planner) {
+  std::vector<StratumRow> rows;
+  rows.reserve(planner.strata().size());
+  for (std::size_t h = 0; h < planner.strata().size(); ++h) {
+    const fi::StratumState& s = planner.strata()[h];
+    StratumRow row;
+    row.name = s.name;
+    row.weight = s.weight;
+    row.runs = s.runs;
+    row.sdc = planner.StratumSdc(h);
+    row.crash = planner.StratumCrash(h);
+    row.prior_sdc = s.prior_sdc;
+    row.prior_crash = s.prior_crash;
+    row.retired = s.retired;
+    row.retired_round = s.retired_round;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string PlannerPhaseLine(const fi::CampaignPlanner& planner) {
+  char buf[160];
+  if (planner.Done()) {
+    std::snprintf(buf, sizeof buf, "plan done: rounds %u, strata %zu/%zu retired",
+                  planner.RoundsCommitted(),
+                  planner.strata().size() - planner.LiveStrata(), planner.strata().size());
+  } else {
+    std::snprintf(buf, sizeof buf, "round %u, strata %zu/%zu live, widest CI %.4f",
+                  planner.RoundsCommitted() + 1, planner.LiveStrata(),
+                  planner.strata().size(), planner.WidestHalfWidth());
+  }
+  return buf;
+}
+
+}  // namespace
+
+StratifiedResult RunStratifiedCampaign(const core::Analysis& analysis, fi::Injector& injector,
+                                       const fi::CampaignOptions& options,
+                                       const fi::StratifiedOptions& plan, const PlanKey& key,
+                                       ArtifactCache* cache, const RoundExecutor& executor,
+                                       obs::ProgressReporter* progress, int persist_every) {
+  const obs::TraceSpan span("store", "stratified-campaign");
+  const bool persisting = cache != nullptr && cache->enabled();
+  const std::string id = persisting ? CacheId(key) : std::string();
+
+  // The planner holds a reference to the injector, so a failed replay
+  // rebuilds it in place.
+  std::optional<fi::CampaignPlanner> planner_slot;
+  planner_slot.emplace(analysis.graph(), analysis.ace(), analysis.crash_bits(), injector,
+                       options.seed, plan);
+  fi::CampaignPlanner* planner = &*planner_slot;
+
+  StratifiedResult result;
+  std::vector<fi::PlannedInjection> queue;
+  // Full-length resume vectors for a restored partial round (kept alive here;
+  // the executor sees them as spans).
+  std::vector<fi::FaultRecord> pending_records;
+  std::vector<std::uint8_t> pending_completed;
+  bool resumed_from_cache = false;
+
+  Stopwatch load_watch;
+  if (persisting) {
+    if (std::optional<PlanArtifact> prior = LoadMatchingPlan(*cache, id, options, plan)) {
+      fi::PlanReplay replay =
+          fi::ReplayPlan(*planner, prior->round_sizes, prior->records, prior->completed);
+      if (replay.consistent) {
+        resumed_from_cache = true;
+        result.resumed_runs = replay.resumed_runs;
+        queue = std::move(replay.pending_queue);
+        pending_records = std::move(replay.pending_records);
+        pending_completed = std::move(replay.pending_completed);
+      } else {
+        LogWarn("cache: plan entry " + id + " fails replay validation — restarting campaign");
+        cache->DemoteLastHit();
+        planner_slot.emplace(analysis.graph(), analysis.ace(), analysis.crash_bits(), injector,
+                             options.seed, plan);
+        planner = &*planner_slot;
+      }
+    }
+  }
+  const double load_seconds = load_watch.ElapsedSeconds();
+
+  if (!queue.empty() || !planner->Done()) {
+    MaybeBuildPlanCheckpoints(injector, analysis.golden(), options);
+  }
+
+  double persist_seconds = 0;
+  // Persists committed state plus (optionally) the open round's partial
+  // progress — also the mid-round on_progress hook of the in-process path.
+  const auto persist_plan = [&](const std::vector<fi::FaultRecord>& partial_records,
+                                const std::vector<std::uint8_t>& partial_completed) {
+    if (!persisting) return;
+    Stopwatch watch;
+    std::vector<std::uint32_t> sizes = planner->round_sizes();
+    std::vector<fi::FaultRecord> records = planner->records();
+    std::vector<std::uint8_t> completed(records.size(), 1);
+    if (!partial_records.empty()) {
+      sizes.push_back(static_cast<std::uint32_t>(partial_records.size()));
+      records.insert(records.end(), partial_records.begin(), partial_records.end());
+      completed.insert(completed.end(), partial_completed.begin(), partial_completed.end());
+    }
+    PersistPlanEntry(*cache, id, options, plan, sizes, records, completed);
+    persist_seconds += watch.ElapsedSeconds();
+  };
+
+  bool executed_any = false;
+  while (true) {
+    if (queue.empty()) {
+      if (planner->Done()) break;
+      queue = planner->BeginRound();
+    }
+    executed_any = true;
+    const std::uint32_t round = planner->RoundsCommitted();
+    if (progress != nullptr) progress->SetPhase(PlannerPhaseLine(*planner));
+    // Workers regenerate the round-`round` queue by replaying the persisted
+    // plan entry, so it must be on disk before any fan-out.
+    persist_plan(pending_records, pending_completed);
+
+    fi::ExecuteResult round_result;
+    if (executor) {
+      round_result = executor(round, queue, pending_records, pending_completed);
+    } else {
+      fi::ExecuteOptions exec;
+      exec.num_threads = options.num_threads;
+      exec.resume_records = pending_records;
+      exec.resume_completed = pending_completed;
+      exec.progress = progress;
+      if (persisting && persist_every > 0) {
+        exec.on_progress = persist_plan;
+        exec.progress_interval = static_cast<std::uint64_t>(persist_every);
+      }
+      round_result = fi::ExecutePlannedRuns(injector, queue, exec);
+    }
+    planner->CommitRound(round_result.records);
+    persist_plan({}, {});
+    queue.clear();
+    pending_records.clear();
+    pending_completed.clear();
+  }
+  if (progress != nullptr) progress->SetPhase(PlannerPhaseLine(*planner));
+
+  result.stats = planner->Stats();
+  result.stats.perf.cache_load_seconds = load_seconds;
+  result.stats.perf.persist_seconds = persist_seconds;
+  result.stats.perf.cache_store_seconds = persist_seconds;
+  result.stats.perf.resumed_records = result.resumed_runs;
+  result.stats.perf.cache_hit = resumed_from_cache && !executed_any && planner->TotalRuns() > 0;
+  result.sdc = planner->SdcEstimate();
+  result.crash = planner->CrashEstimate();
+  result.strata = SummarizeStrata(*planner);
+  result.rounds = planner->RoundsCommitted();
+  result.strata_retired = planner->strata().size() - planner->LiveStrata();
+  return result;
+}
+
+std::uint64_t RunStratifiedRoundShard(
+    const core::Analysis& analysis, fi::Injector& injector, const fi::CampaignOptions& options,
+    const fi::StratifiedOptions& plan, const PlanKey& key, ArtifactCache& cache,
+    std::uint32_t round, int shard_index, int shard_count, int persist_every,
+    const std::function<void(std::uint64_t completed)>& after_persist) {
+  if (!cache.enabled()) {
+    throw std::invalid_argument("RunStratifiedRoundShard: needs an enabled cache");
+  }
+  const obs::TraceSpan span("store", "run-plan-shard");
+  const std::string id = CacheId(key);
+
+  std::optional<PlanArtifact> prior = LoadMatchingPlan(cache, id, options, plan);
+  if (!prior.has_value() || prior->round_sizes.size() < round) {
+    throw std::runtime_error("plan entry " + id + " missing or behind round " +
+                             std::to_string(round));
+  }
+  // Replay exactly the first `round` committed rounds; a partial tail in the
+  // entry belongs to this very round and is recovered from the slice entries
+  // by the supervisor, not here.
+  std::size_t prefix = 0;
+  for (std::uint32_t r = 0; r < round; ++r) prefix += prior->round_sizes[r];
+  for (std::size_t i = 0; i < prefix; ++i) {
+    if (prior->completed[i] == 0) {
+      throw std::runtime_error("plan entry " + id + " has an incomplete committed round");
+    }
+  }
+  fi::CampaignPlanner planner(analysis.graph(), analysis.ace(), analysis.crash_bits(), injector,
+                              options.seed, plan);
+  const fi::PlanReplay replay = fi::ReplayPlan(
+      planner, std::span(prior->round_sizes).first(round),
+      std::span(prior->records).first(prefix), std::span(prior->completed).first(prefix));
+  if (!replay.consistent || planner.RoundsCommitted() != round) {
+    throw std::runtime_error("plan entry " + id + " fails replay validation");
+  }
+  if (planner.Done()) return 0;
+  const std::vector<fi::PlannedInjection> queue = planner.BeginRound();
+  MaybeBuildPlanCheckpoints(injector, analysis.golden(), options);
+
+  // The slice entry is an ordinary campaign artifact over the round queue.
+  const std::string entry_id = PlanRoundShardId(id, round, shard_index, shard_count);
+  fi::CampaignOptions slice_options = options;
+  slice_options.num_runs = static_cast<int>(queue.size());
+  const std::optional<CampaignArtifact> slice =
+      LoadMatchingCampaign(cache, entry_id, slice_options);
+
+  fi::ExecuteOptions exec;
+  exec.num_threads = options.num_threads;
+  exec.shard_index = static_cast<std::uint32_t>(shard_index);
+  exec.shard_count = static_cast<std::uint32_t>(shard_count);
+  if (slice.has_value()) {
+    exec.resume_records = slice->records;
+    exec.resume_completed = slice->completed;
+  }
+  const auto persist_slice = [&](const std::vector<fi::FaultRecord>& records,
+                                 const std::vector<std::uint8_t>& completed) {
+    PersistCampaignEntry(cache, entry_id, slice_options, records, completed);
+    if (after_persist) {
+      std::uint64_t done = 0;
+      for (const std::uint8_t c : completed) done += c;
+      after_persist(done);
+    }
+  };
+  if (persist_every > 0) {
+    exec.on_progress = persist_slice;
+    exec.progress_interval = static_cast<std::uint64_t>(persist_every);
+  }
+  const fi::ExecuteResult result = fi::ExecutePlannedRuns(injector, queue, exec);
+  persist_slice(result.records, result.completed);
+  std::uint64_t done = 0;
+  for (const std::uint8_t c : result.completed) done += c;
+  return done;
+}
+
+fi::ExecuteResult LoadPlanRoundShards(ArtifactCache& cache, const std::string& plan_id,
+                                      std::uint32_t round, int shard_count,
+                                      std::span<const fi::PlannedInjection> queue) {
+  const obs::TraceSpan span("store", "merge-plan-shards");
+  std::vector<fi::ShardRecords> shards;
+  shards.reserve(static_cast<std::size_t>(shard_count));
+  for (int i = 0; i < shard_count; ++i) {
+    auto reader =
+        cache.Load(PlanRoundShardId(plan_id, round, i, shard_count), ArtifactKind::kCampaign);
+    if (!reader.has_value()) continue;
+    std::optional<CampaignArtifact> artifact = ReadCampaignArtifact(*reader);
+    if (!artifact.has_value() || artifact->num_runs != queue.size()) {
+      cache.DemoteLastHit();
+      continue;
+    }
+    shards.push_back(
+        fi::ShardRecords{std::move(artifact->records), std::move(artifact->completed)});
+  }
+  fi::MergedRecords merged = fi::MergeShards(queue.size(), shards);
+  fi::ExecuteResult out;
+  out.records = std::move(merged.records);
+  out.completed = std::move(merged.completed);
+  // Belt and braces: an adopted record must match the regenerated queue, or
+  // it drops back to incomplete and the supervisor re-executes it.
+  std::uint64_t dropped = 0;
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    if (out.completed[i] != 0 && !fi::CampaignPlanner::Matches(queue[i], out.records[i])) {
+      out.records[i] = fi::FaultRecord{};
+      out.completed[i] = 0;
+      dropped += 1;
+    }
+  }
+  if (merged.conflicts > 0 || dropped > 0) {
+    LogWarn("cache: plan round " + std::to_string(round) + ": " +
+            std::to_string(merged.conflicts + dropped) +
+            " shard records discarded — re-executing those runs");
+  }
+  return out;
+}
+
+std::size_t RemovePlanRoundShards(ArtifactCache& cache, const std::string& plan_id,
+                                  std::uint32_t round, int shard_count) {
+  std::size_t removed = 0;
+  for (int i = 0; i < shard_count; ++i) {
+    if (cache.RemoveEntry(PlanRoundShardId(plan_id, round, i, shard_count),
+                          ArtifactKind::kCampaign)) {
+      removed += 1;
+    }
+  }
+  return removed;
 }
 
 }  // namespace epvf::store

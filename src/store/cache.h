@@ -212,4 +212,95 @@ struct ShardMergeInfo {
                                                      ArtifactCache& cache, int shard_count,
                                                      ShardMergeInfo* info = nullptr);
 
+// --- stratified campaigns ----------------------------------------------------
+
+/// A stratified plan's identity: the campaign identity (num_runs is forced to
+/// zero — the planner, not the flag, decides the total) plus the
+/// outcome-affecting planner options. Entries are named `<id>.plan.epvfa`.
+struct PlanKey {
+  CampaignKey campaign;
+  fi::StratifiedOptions plan;
+};
+
+[[nodiscard]] std::string CanonicalKey(const PlanKey& key);
+[[nodiscard]] std::string CacheId(const PlanKey& key);
+
+/// Entry id of one shard's slice of planner round `round`:
+/// "<plan id>-round<r>-shard-<i>of<n>". Slices are ordinary campaign
+/// artifacts over the round queue (num_runs = queue length), so the existing
+/// integrity/degradation paths apply unchanged.
+[[nodiscard]] std::string PlanRoundShardId(const std::string& plan_id, std::uint32_t round,
+                                           int shard_index, int shard_count);
+
+/// One stratum's row of the final report.
+struct StratumRow {
+  std::string name;
+  double weight = 0.0;
+  std::uint64_t runs = 0;
+  fi::RateEstimate sdc;
+  fi::RateEstimate crash;
+  double prior_sdc = 0.0;
+  double prior_crash = 0.0;
+  bool retired = false;
+  std::uint32_t retired_round = 0;
+};
+
+struct StratifiedResult {
+  fi::CampaignStats stats;  ///< committed records in round order
+  fi::RateEstimate sdc;     ///< composite stratum-weighted estimates
+  fi::RateEstimate crash;
+  std::vector<StratumRow> strata;
+  std::uint32_t rounds = 0;
+  std::size_t strata_retired = 0;
+  std::uint64_t resumed_runs = 0;
+};
+
+/// Executes one round queue and returns the full-length records/completed
+/// vectors (every index complete). The CLI's sharded campaign plugs the
+/// worker-process fan-out in here; the default executor runs in process.
+using RoundExecutor = std::function<fi::ExecuteResult(
+    std::uint32_t round, const std::vector<fi::PlannedInjection>& queue,
+    std::span<const fi::FaultRecord> resume_records,
+    std::span<const std::uint8_t> resume_completed)>;
+
+/// Orchestrates a stratified campaign: builds the planner over the analysis
+/// artifacts, restores committed rounds from a persisted epvf-plan-v1 entry
+/// (validated by replay; a mismatch discards it wholesale), then loops
+/// BeginRound -> execute -> CommitRound until every stratum retires or
+/// max_runs is exhausted, persisting the plan entry after every commit (and,
+/// in process, every `persist_every` runs mid-round). `cache` may be null or
+/// disabled (no persistence, no resume); `executor` null = in process;
+/// `progress` is ticked per run and fed the round/strata/CI phase line.
+[[nodiscard]] StratifiedResult RunStratifiedCampaign(
+    const core::Analysis& analysis, fi::Injector& injector, const fi::CampaignOptions& options,
+    const fi::StratifiedOptions& plan, const PlanKey& key, ArtifactCache* cache,
+    const RoundExecutor& executor = nullptr, obs::ProgressReporter* progress = nullptr,
+    int persist_every = 64);
+
+/// Worker side of one sharded planner round: replays the first `round`
+/// committed rounds of the persisted plan entry (written by the supervisor
+/// before the fan-out), regenerates the round queue, executes this shard's
+/// window — resuming from a previous attempt's slice entry — and persists
+/// the slice under PlanRoundShardId every `persist_every` runs. Returns the
+/// number of runs this worker completed. Throws when the plan entry is
+/// absent or inconsistent (the supervisor treats the nonzero exit as a dead
+/// shard and relaunches).
+std::uint64_t RunStratifiedRoundShard(
+    const core::Analysis& analysis, fi::Injector& injector, const fi::CampaignOptions& options,
+    const fi::StratifiedOptions& plan, const PlanKey& key, ArtifactCache& cache,
+    std::uint32_t round, int shard_index, int shard_count, int persist_every = 64,
+    const std::function<void(std::uint64_t completed)>& after_persist = nullptr);
+
+/// Supervisor side: loads every slice entry of `round`, merges them, and
+/// validates each adopted record against the regenerated `queue` (mismatches
+/// drop back to incomplete). The caller executes the holes and removes the
+/// slices via RemovePlanRoundShards after the round commits.
+[[nodiscard]] fi::ExecuteResult LoadPlanRoundShards(ArtifactCache& cache,
+                                                    const std::string& plan_id,
+                                                    std::uint32_t round, int shard_count,
+                                                    std::span<const fi::PlannedInjection> queue);
+
+std::size_t RemovePlanRoundShards(ArtifactCache& cache, const std::string& plan_id,
+                                  std::uint32_t round, int shard_count);
+
 }  // namespace epvf::store

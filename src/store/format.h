@@ -29,6 +29,7 @@ inline constexpr std::uint32_t kFormatVersion = 1;
 enum class ArtifactKind : std::uint32_t {
   kAnalysis = 1,  ///< golden trace metadata + DDG + ACE + crash bits (+ use-weighted sums)
   kCampaign = 2,  ///< fault-injection campaign records + completion mask
+  kPlan = 3,      ///< stratified-campaign planner state (epvf-plan-v1)
 };
 
 enum class SectionId : std::uint32_t {
@@ -38,6 +39,7 @@ enum class SectionId : std::uint32_t {
   kCrashBits = 4,    ///< crash::CrashBits (allowed intervals + masks)
   kUseWeighted = 5,  ///< Analysis::UseWeightedBits (the rate-estimate pass)
   kCampaign = 6,     ///< campaign meta + records + completion mask
+  kPlan = 7,         ///< planner identity + round sizes + records + completion mask
 };
 
 inline constexpr std::size_t kHeaderBytes = 16;

@@ -39,6 +39,14 @@ ProportionCI WilsonCI95(std::uint64_t successes, std::uint64_t trials) noexcept 
   return ci;
 }
 
+double WilsonHalfWidth95(double successes, double trials) noexcept {
+  if (trials <= 0.0) return 1.0;
+  const double p = successes / trials;
+  const double z2 = kZ95 * kZ95;
+  const double denom = 1.0 + z2 / trials;
+  return (kZ95 * std::sqrt(p * (1.0 - p) / trials + z2 / (4.0 * trials * trials))) / denom;
+}
+
 double Mean(std::span<const double> xs) noexcept {
   if (xs.empty()) return 0.0;
   double sum = 0.0;

@@ -32,6 +32,12 @@ struct ProportionCI {
 /// per-benchmark campaign sizes used in tests.
 [[nodiscard]] ProportionCI WilsonCI95(std::uint64_t successes, std::uint64_t trials) noexcept;
 
+/// Half-width of the 95% Wilson score interval over real-valued counts. The
+/// stratified campaign planner blends fractional model pseudo-counts into its
+/// per-stratum stopping statistic, so this overload accepts doubles where
+/// WilsonCI95 requires integers.
+[[nodiscard]] double WilsonHalfWidth95(double successes, double trials) noexcept;
+
 [[nodiscard]] double Mean(std::span<const double> xs) noexcept;
 [[nodiscard]] double Variance(std::span<const double> xs) noexcept;  ///< sample variance
 [[nodiscard]] double StdDev(std::span<const double> xs) noexcept;

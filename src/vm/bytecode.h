@@ -41,7 +41,7 @@ namespace epvf::vm::bc {
   V(kBr) V(kCondBr) V(kRet) V(kCall)                                           \
   V(kOutputI64) V(kOutputF64) V(kMalloc) V(kFree) V(kAbortIntr) V(kAssert)     \
   V(kDetect) V(kMath)                                                          \
-  V(kCmpBr) V(kGepLoad) V(kGepStore) V(kMulAdd) V(kFMulFAdd)
+  V(kCmpBr) V(kGepLoad) V(kGepStore) V(kMulAdd) V(kFMulFAdd) V(kCmpImmBr)
 
 enum class BOpcode : std::uint16_t {
 #define EPVF_BC_ENUM(n) n,
@@ -55,7 +55,7 @@ inline constexpr int kNumBOpcodes = static_cast<int>(BOpcode::kCount);
 [[nodiscard]] std::string_view BOpcodeName(BOpcode op);
 
 [[nodiscard]] constexpr bool IsFused(BOpcode op) {
-  return op >= BOpcode::kCmpBr && op <= BOpcode::kFMulFAdd;
+  return op >= BOpcode::kCmpBr && op <= BOpcode::kCmpImmBr;
 }
 
 /// No phi group to fill on this branch edge.
@@ -70,6 +70,9 @@ inline constexpr std::uint32_t kNoEdge = 0xFFFFFFFFu;
 ///  - kGep: imm = element bytes, type2 = index type.
 ///  - kBr/kCondBr: b/c = target pcs, dst = the branch's own block id (becomes
 ///    prev_block), imm = phi-edge ids (condbr: true edge in the high word).
+///  - kCmpImmBr: compare-against-literal fused with its branch; a = left
+///    operand slot, imm = the literal's bits (the pool load is folded away;
+///    branch targets/edges stay on the plain kCondBr at pc+1).
 ///  - kRet: aux = has-value, type = function return type.
 ///  - kCall: imm = callee function index, a = call_args offset, b = argc,
 ///    dst = caller result register (kInvalidIndex if none), type = return type.
@@ -99,9 +102,16 @@ struct Literal {
 /// Which frame slots feed a block's leading phi group when it is entered
 /// from one particular predecessor. Filling the group as a unit at branch
 /// time preserves LLVM's parallel-phi (buffer swap) semantics.
+///
+/// Edges carry only the *live* phis of the group (those whose result register
+/// is read somewhere in the function); dead phis — common in rotated loops
+/// whose induction twin is only used on one side — are skipped at fill time,
+/// since no instruction can ever observe their value. `group` keeps the full
+/// group size so the buffer stays addressable by phi index.
 struct PhiEdge {
-  std::uint32_t offset = 0;  ///< into FuncCode::phi_sources
-  std::uint32_t count = 0;   ///< phi group size of the target block
+  std::uint32_t offset = 0;  ///< into FuncCode::phi_sources / phi_dests
+  std::uint32_t count = 0;   ///< live entries on this edge
+  std::uint32_t group = 0;   ///< full phi group size of the target block
 };
 
 struct FuncCode {
@@ -115,6 +125,9 @@ struct FuncCode {
   std::uint32_t frame_slots = 0;  ///< num_regs + literals.size()
   std::vector<PhiEdge> phi_edges;
   std::vector<std::uint32_t> phi_sources;  ///< operand slots, grouped per edge
+  /// Parallel to phi_sources: the within-group phi index each source feeds.
+  /// Identity when no phi of the group is dead; gaps where one is.
+  std::vector<std::uint32_t> phi_dests;
   /// Per-block (predecessor block, phi-edge id) pairs — the resume path uses
   /// these to refill a phi group when a checkpoint landed on a group head.
   std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> pred_edges;

@@ -54,6 +54,21 @@ class FunctionCompiler {
       return Bail("entry block has phis in function " + fn_.name);
     }
 
+    // Liveness over SSA registers: a register no instruction ever reads is
+    // dead, and a dead *phi* can be dropped from every edge's fill list —
+    // its value is unobservable (it can't even be a fault site, since
+    // injection targets source operands).
+    reg_used_.assign(fn_.registers.size(), false);
+    for (const ir::BasicBlock& bb : fn_.blocks) {
+      for (const ir::Instruction& inst : bb.instructions) {
+        for (const ir::ValueRef& ref : inst.operands) {
+          if (ref.IsRegister() && ref.index < reg_used_.size()) {
+            reg_used_[ref.index] = true;
+          }
+        }
+      }
+    }
+
     // Pass 2: emit one BOp per instruction.
     for (std::uint32_t b = 0; b < fn_.blocks.size(); ++b) {
       for (const ir::Instruction& inst : fn_.blocks[b].instructions) {
@@ -71,8 +86,18 @@ class FunctionCompiler {
       const std::uint32_t end =
           begin + static_cast<std::uint32_t>(fn_.blocks[b].instructions.size());
       for (std::uint32_t i = begin; i + 1 < end; ++i) {
-        const BOpcode fused = FusedPair(fn_.blocks[b], i - begin);
+        BOpcode fused = FusedPair(fn_.blocks[b], i - begin);
         if (fused == BOpcode::kCount) continue;
+        if (fused == BOpcode::kCmpBr) {
+          // Loop back-edge compares are overwhelmingly against a literal
+          // bound; folding the constant's bits into the head op skips the
+          // pool-slot load on the hottest dispatch in the program.
+          const ir::Instruction& cmp = fn_.blocks[b].instructions[i - begin];
+          if (cmp.operands[1].IsConstant()) {
+            fused = BOpcode::kCmpImmBr;
+            out.code[i].imm = module_.GetConstant(cmp.operands[1].index).bits;
+          }
+        }
         out.code[i].op = fused;
         fused_pairs[static_cast<int>(fused)] += 1;
         ++i;  // the consumed second op cannot head another pair
@@ -124,8 +149,8 @@ class FunctionCompiler {
     }
     PhiEdge e;
     e.offset = static_cast<std::uint32_t>(out.phi_sources.size());
-    e.count = out.phi_count[target];
-    for (std::uint32_t k = 0; k < e.count; ++k) {
+    e.group = out.phi_count[target];
+    for (std::uint32_t k = 0; k < e.group; ++k) {
       const ir::Instruction& phi = fn_.blocks[target].instructions[k];
       std::uint32_t slot = ir::kInvalidIndex;
       for (std::uint32_t i = 0; i < phi.phi_blocks.size(); ++i) {
@@ -137,8 +162,11 @@ class FunctionCompiler {
       if (slot == ir::kInvalidIndex) {
         return Bail("phi without incoming edge in block " + fn_.blocks[target].name);
       }
+      if (!reg_used_[phi.result]) continue;  // dead phi: nothing can read it
       out.phi_sources.push_back(slot);
+      out.phi_dests.push_back(k);
     }
+    e.count = static_cast<std::uint32_t>(out.phi_sources.size()) - e.offset;
     edge = static_cast<std::uint32_t>(out.phi_edges.size());
     out.phi_edges.push_back(e);
     edge_ids_.emplace(key, edge);
@@ -358,6 +386,7 @@ class FunctionCompiler {
   std::string& error_;
   std::map<std::pair<bool, std::uint64_t>, std::uint32_t> literal_slots_;
   std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t> edge_ids_;
+  std::vector<bool> reg_used_;  ///< register ever read as an operand?
 };
 
 }  // namespace

@@ -65,9 +65,12 @@ void ApplyPhiEdge(const bc::FuncCode& fc, BFrame& f, std::uint32_t edge) {
     return;
   }
   const bc::PhiEdge& e = fc.phi_edges[edge];
-  if (f.phi.size() < e.count) f.phi.resize(e.count);
+  if (f.phi.size() < e.group) f.phi.resize(e.group);
+  // Only the group's live phis are filled (dead ones were pruned at compile
+  // time); their buffer slots hold stale bits that nothing can read.
   const std::uint32_t* src = fc.phi_sources.data() + e.offset;
-  for (std::uint32_t k = 0; k < e.count; ++k) f.phi[k] = f.regs[src[k]];
+  const std::uint32_t* dst = fc.phi_dests.data() + e.offset;
+  for (std::uint32_t k = 0; k < e.count; ++k) f.phi[dst[k]] = f.regs[src[k]];
   f.phi_valid = true;
 }
 
@@ -881,6 +884,20 @@ events:
           detail::EvalBinary(ir::Opcode::kAdd, ad->type, R[ad->a], R[ad->b], arith));
       dyn += 2;
       pc += 2;
+    }
+    EPVF_BC_NEXT();
+
+    EPVF_BC_OP(kCmpImmBr) {
+      const bool taken = detail::EvalICmp(static_cast<ir::ICmpPred>(o->aux), o->type,
+                                          R[o->a], o->imm);
+      R[o->dst] = taken ? 1 : 0;
+      const bc::BOp* br = o + 1;
+      f->prev_block = br->dst;
+      ApplyPhiEdge(*fcur, *f,
+                   taken ? static_cast<std::uint32_t>(br->imm >> 32)
+                         : static_cast<std::uint32_t>(br->imm));
+      dyn += 2;
+      pc = taken ? br->b : br->c;
     }
     EPVF_BC_NEXT();
 

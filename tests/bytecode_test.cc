@@ -131,7 +131,12 @@ TEST(BytecodeCompile, FusionFindsTheDominantPairs) {
   // mm's kernel is literally gep+load / mul+add / fmul+fadd / cmp+br loops.
   using vm::bc::BOpcode;
   EXPECT_GT(program->fused_pairs[static_cast<int>(BOpcode::kGepLoad)], 0u);
-  EXPECT_GT(program->fused_pairs[static_cast<int>(BOpcode::kCmpBr)], 0u);
+  // cmp+br pairs split between the register-operand and folded-literal forms;
+  // mm's loop bounds are literals, so the imm form must actually fire.
+  EXPECT_GT(program->fused_pairs[static_cast<int>(BOpcode::kCmpBr)] +
+                program->fused_pairs[static_cast<int>(BOpcode::kCmpImmBr)],
+            0u);
+  EXPECT_GT(program->fused_pairs[static_cast<int>(BOpcode::kCmpImmBr)], 0u);
   EXPECT_GT(program->fused_pairs[static_cast<int>(BOpcode::kMulAdd)], 0u);
 }
 

@@ -7,6 +7,8 @@
 #include "apps/app.h"
 #include "epvf/analysis.h"
 #include "fi/campaign.h"
+#include "fi/injector.h"
+#include "fi/planner.h"
 
 namespace epvf {
 namespace {
@@ -124,6 +126,51 @@ TEST(ParallelDeterminism, CampaignStatsIdenticalAcrossExecutionTiers) {
       EXPECT_EQ(serial.records[i].outcome, fast.records[i].outcome)
           << "run " << i << " at threads=" << threads;
     }
+  }
+}
+
+TEST(ParallelDeterminism, StratifiedPlannerIdenticalAcrossThreadCounts) {
+  // The planner's round queues are fixed by (seed, committed outcomes), and
+  // ExecutePlannedRuns writes each record at its queue index — so the whole
+  // stratified campaign, round boundaries included, must be bit-identical at
+  // every thread count.
+  const apps::App app = apps::BuildApp("mm", apps::AppConfig{.scale = 0});
+  const core::Analysis a = Analyze(app.module, 1);
+  fi::StratifiedOptions plan;
+  plan.ci_target = 0.12;
+
+  struct PlanOutcome {
+    std::vector<std::uint32_t> round_sizes;
+    std::vector<fi::FaultRecord> records;
+    fi::RateEstimate sdc;
+  };
+  auto run = [&](int threads) {
+    fi::Injector injector(app.module, a.golden(), fi::InjectorOptions{});
+    fi::CampaignPlanner planner(a.graph(), a.ace(), a.crash_bits(), injector, 7, plan);
+    while (!planner.Done()) {
+      const std::vector<fi::PlannedInjection> queue = planner.BeginRound();
+      fi::ExecuteOptions eo;
+      eo.num_threads = threads;
+      planner.CommitRound(fi::ExecutePlannedRuns(injector, queue, eo).records);
+    }
+    return PlanOutcome{planner.round_sizes(), planner.records(), planner.SdcEstimate()};
+  };
+
+  const PlanOutcome serial = run(1);
+  ASSERT_GT(serial.records.size(), 0u);
+  for (const int threads : {2, 8}) {
+    const PlanOutcome parallel = run(threads);
+    EXPECT_EQ(parallel.round_sizes, serial.round_sizes) << "threads=" << threads;
+    ASSERT_EQ(parallel.records.size(), serial.records.size());
+    for (std::size_t i = 0; i < serial.records.size(); ++i) {
+      EXPECT_EQ(serial.records[i].site.dyn_index, parallel.records[i].site.dyn_index);
+      EXPECT_EQ(serial.records[i].site.slot, parallel.records[i].site.slot);
+      EXPECT_EQ(serial.records[i].bit, parallel.records[i].bit);
+      EXPECT_EQ(serial.records[i].outcome, parallel.records[i].outcome)
+          << "run " << i << " at threads=" << threads;
+    }
+    EXPECT_EQ(parallel.sdc.rate, serial.sdc.rate);
+    EXPECT_EQ(parallel.sdc.half_width, serial.sdc.half_width);
   }
 }
 

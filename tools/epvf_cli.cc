@@ -117,13 +117,14 @@ const std::map<std::string, std::set<std::string>>& AllowedFlags() {
        {"scale", "jobs", "cache-dir", "no-cache", "trace-out", "metrics-out", "engine"}},
       {"inject",
        {"scale", "runs", "jitter", "burst", "seed", "jobs", "checkpoints", "cache-dir",
-        "no-cache", "trace-out", "metrics-out", "engine"}},
-      // --worker-shard is internal plumbing (the supervisor relaunching this
-      // binary for one shard), accepted but undocumented.
+        "no-cache", "trace-out", "metrics-out", "engine", "plan", "ci-target", "max-runs"}},
+      // --worker-shard and --plan-round are internal plumbing (the supervisor
+      // relaunching this binary for one shard / one planner round), accepted
+      // but undocumented.
       {"campaign",
        {"scale", "runs", "jitter", "burst", "seed", "jobs", "checkpoints", "cache-dir",
         "no-cache", "trace-out", "metrics-out", "shards", "shard-timeout", "shard-retries",
-        "worker-shard", "engine"}},
+        "worker-shard", "engine", "plan", "ci-target", "max-runs", "plan-round"}},
       {"sample", {"scale", "fraction", "jobs"}},
       {"protect", {"scale", "budget", "rank", "real", "jobs", "runs"}},
       {"print", {"scale"}},
@@ -139,8 +140,16 @@ int Usage() {
                "  list                             bundled benchmarks\n"
                "  analyze <target> [--scale N]     PVF/ePVF/crash metrics + structure report\n"
                "  inject  <target> [--runs N] [--jitter P] [--burst B] [--seed S]\n"
-               "                   [--checkpoints N]\n"
+               "                   [--checkpoints N] [--plan uniform|stratified]\n"
+               "                   [--ci-target W] [--max-runs N]\n"
                "                                   fault-injection campaign + model validation\n"
+               "                                   (--plan stratified: the statistical planner\n"
+               "                                   stratifies fault sites by instruction class,\n"
+               "                                   crash-bit status, and slice depth, allocates\n"
+               "                                   rounds Neyman-style, and stops each stratum\n"
+               "                                   at CI half-width --ci-target (default 0.05);\n"
+               "                                   --max-runs caps total injections, 0 = none;\n"
+               "                                   --runs is ignored under the planner)\n"
                "                                   (--checkpoints: suffix-replay snapshots per\n"
                "                                   campaign; -1 = auto, 0 = off; outcomes are\n"
                "                                   identical at every setting; needs --jitter 0,\n"
@@ -329,7 +338,100 @@ void PrintCampaignReport(const core::Analysis& a, const fi::CampaignStats& stats
               static_cast<unsigned long long>(recall.crash_runs));
 }
 
+/// --plan uniform|stratified (uniform = the classic fixed-runs campaign).
+/// Prints the offending value and returns nullopt on anything else.
+std::optional<bool> ResolveStratified(const Options& options) {
+  const std::string plan = options.Str("plan", "uniform");
+  if (plan == "uniform") return false;
+  if (plan == "stratified") return true;
+  std::fprintf(stderr, "epvf: unknown plan '%s' (expected uniform or stratified)\n",
+               plan.c_str());
+  return std::nullopt;
+}
+
+fi::StratifiedOptions MakeStratifiedOptions(const Options& options) {
+  fi::StratifiedOptions plan;
+  plan.ci_target = options.Double("ci-target", 0.05);
+  plan.max_runs = static_cast<std::uint32_t>(std::max(0, options.Int("max-runs", 0)));
+  return plan;
+}
+
+/// Persistence batch size for campaign/plan artifacts (EPVF_PERSIST_EVERY,
+/// the same knob the crash-tolerance tests turn down).
+int ResolvePersistEvery() {
+  int persist_every = 64;
+  if (const char* env = std::getenv("EPVF_PERSIST_EVERY")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) persist_every = parsed;
+  }
+  return persist_every;
+}
+
+obs::ProgressReporter::Options MakeProgressOptions(std::string label) {
+  obs::ProgressReporter::Options popts;
+  popts.label = std::move(label);
+  popts.categories.reserve(fi::kNumOutcomes);
+  for (int o = 0; o < fi::kNumOutcomes; ++o) {
+    popts.categories.emplace_back(fi::OutcomeName(static_cast<fi::Outcome>(o)));
+  }
+  return popts;
+}
+
+/// The stratified report: the standard outcome table first (so stratified and
+/// uniform campaigns diff cleanly), then the per-stratum table and the
+/// composite stratum-weighted estimates. All stdout, all deterministic.
+void PrintStratifiedReport(const core::Analysis& a, const store::StratifiedResult& result) {
+  PrintCampaignReport(a, result.stats);
+  AsciiTable table({"stratum", "weight", "runs", "SDC", "crash", "state"});
+  table.SetTitle("strata (" + std::to_string(result.rounds) + " rounds, " +
+                 std::to_string(result.strata_retired) + "/" +
+                 std::to_string(result.strata.size()) + " retired)");
+  for (const store::StratumRow& row : result.strata) {
+    table.AddRow({row.name, AsciiTable::Num(row.weight), std::to_string(row.runs),
+                  AsciiTable::PctCI(row.sdc.rate, row.sdc.half_width),
+                  AsciiTable::PctCI(row.crash.rate, row.crash.half_width),
+                  row.retired ? "retired@r" + std::to_string(row.retired_round) : "live"});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "stratified SDC %.2f%% +-%.2f%% | crash %.2f%% +-%.2f%% (95%% CI, %llu injections)\n",
+      result.sdc.rate * 100, result.sdc.half_width * 100, result.crash.rate * 100,
+      result.crash.half_width * 100, static_cast<unsigned long long>(result.stats.Total()));
+}
+
+/// In-process stratified campaign — the --plan stratified halves of `epvf
+/// inject` and single-shard `epvf campaign` (same code path, same stdout).
+int RunStratifiedInProcess(const Options& options, const ir::Module& module,
+                           const core::Analysis& a, store::ArtifactCache& cache,
+                           const std::optional<store::AnalysisKey>& key) {
+  const fi::CampaignOptions campaign = MakeCampaignOptions(options, a);
+  const fi::StratifiedOptions plan = MakeStratifiedOptions(options);
+  const store::PlanKey pkey{
+      store::CampaignKey{key.has_value() ? *key : store::AnalysisKey{}, campaign}, plan};
+  fi::Injector injector(module, a.golden(), campaign.injector);
+
+  obs::ProgressReporter progress(MakeProgressOptions("inject"));
+  const store::StratifiedResult result = store::RunStratifiedCampaign(
+      a, injector, campaign, plan, pkey, cache.enabled() ? &cache : nullptr, nullptr,
+      &progress, ResolvePersistEvery());
+  progress.Finish();
+
+  if (cache.enabled()) {
+    PrintCacheStatus("plan", store::CacheId(pkey), result.stats.perf.cache_hit,
+                     result.stats.perf.cache_load_seconds,
+                     result.stats.perf.cache_store_seconds);
+    if (!result.stats.perf.cache_hit && result.resumed_runs > 0) {
+      std::fprintf(stderr, "cache: resumed %llu completed runs from a prior plan\n",
+                   static_cast<unsigned long long>(result.resumed_runs));
+    }
+  }
+  PrintStratifiedReport(a, result);
+  return 0;
+}
+
 int CmdInject(const Options& options) {
+  const std::optional<bool> stratified = ResolveStratified(options);
+  if (!stratified.has_value()) return kExitUsage;
   const ir::Module module = LoadTarget(options);
   const core::AnalysisOptions opts = AnalysisOpts(options);
   store::ArtifactCache cache(ResolveCacheDir(options));
@@ -341,6 +443,7 @@ int CmdInject(const Options& options) {
     PrintCacheStatus("analysis", store::CacheId(*key), a.timings().cache_hit,
                      a.timings().cache_load_seconds, a.timings().cache_store_seconds);
   }
+  if (*stratified) return RunStratifiedInProcess(options, module, a, cache, key);
 
   const fi::CampaignOptions campaign = MakeCampaignOptions(options, a);
   fi::CampaignStats stats;
@@ -417,11 +520,7 @@ int CmdCampaignWorker(const Options& options) {
     campaign.progress_file = progress_file;
   }
 
-  int persist_every = 64;
-  if (const char* env = std::getenv("EPVF_PERSIST_EVERY")) {
-    const int parsed = std::atoi(env);
-    if (parsed > 0) persist_every = parsed;
-  }
+  const int persist_every = ResolvePersistEvery();
 
   // Fault-tolerance test hooks: after the first persisted batch, the single
   // worker that claims the marker dies by SIGKILL / wedges until the
@@ -440,6 +539,21 @@ int CmdCampaignWorker(const Options& options) {
     };
   }
 
+  // A planner-round worker regenerates round --plan-round's queue from the
+  // supervisor-persisted plan entry and executes its slice of it.
+  if (options.flags.count("plan-round") != 0) {
+    const fi::StratifiedOptions plan = MakeStratifiedOptions(options);
+    const store::PlanKey pkey{store::CampaignKey{key, campaign}, plan};
+    const auto round = static_cast<std::uint32_t>(options.Int("plan-round", 0));
+    fi::Injector injector(module, a.golden(), campaign.injector);
+    const std::uint64_t done =
+        store::RunStratifiedRoundShard(a, injector, campaign, plan, pkey, cache, round,
+                                       shard_index, shard_count, persist_every, after_persist);
+    std::fprintf(stderr, "worker shard %d/%d: plan round %u done (%llu runs)\n", shard_index,
+                 shard_count, round, static_cast<unsigned long long>(done));
+    return 0;
+  }
+
   const fi::CampaignStats stats = store::RunCampaignShard(
       module, a.graph(), a.golden(), campaign, store::CampaignKey{key, campaign}, cache,
       persist_every, after_persist);
@@ -449,11 +563,165 @@ int CmdCampaignWorker(const Options& options) {
   return 0;
 }
 
+/// Supervisor half of a sharded stratified campaign. The planner's round loop
+/// runs here; each round the plan entry is persisted (the orchestrator does
+/// that before calling the executor), --shards workers are spawned with
+/// --plan-round so they regenerate the identical round queue and execute
+/// disjoint slices of it, and their slice artifacts are merged — holes from
+/// dead or hung workers execute in-process. Records are byte-identical to
+/// --shards 1 by construction.
+int CmdCampaignStratifiedSharded(const Options& options, const ir::Module& module,
+                                 const core::AnalysisOptions& opts,
+                                 const std::string& user_cache_dir, int shards) {
+  std::string shard_dir = user_cache_dir;
+  bool private_dir = false;
+  if (shard_dir.empty()) {
+    std::string pattern =
+        (std::filesystem::temp_directory_path() / "epvf-campaign-XXXXXX").string();
+    char* made = ::mkdtemp(pattern.data());
+    if (made == nullptr) {
+      std::fprintf(stderr, "epvf campaign: cannot create a temporary shard directory\n");
+      return 1;
+    }
+    shard_dir = made;
+    private_dir = true;
+  }
+  std::optional<store::ArtifactCache> cache_slot(std::in_place, shard_dir);
+  store::ArtifactCache& cache = *cache_slot;
+  const store::AnalysisKey key = MakeAnalysisKey(options, module, opts);
+  const core::Analysis a = store::RunAnalysisCached(module, opts, key, cache);
+  if (!user_cache_dir.empty()) {
+    PrintCacheStatus("analysis", store::CacheId(key), a.timings().cache_hit,
+                     a.timings().cache_load_seconds, a.timings().cache_store_seconds);
+  }
+
+  const fi::CampaignOptions campaign = MakeCampaignOptions(options, a);
+  const fi::StratifiedOptions plan = MakeStratifiedOptions(options);
+  const store::PlanKey pkey{store::CampaignKey{key, campaign}, plan};
+  const std::string plan_id = store::CacheId(pkey);
+  fi::Injector injector(module, a.golden(), campaign.injector);
+
+  obs::ProgressReporter progress(MakeProgressOptions("campaign"));
+
+  const int worker_jobs =
+      options.flags.count("jobs") != 0
+          ? options.Int("jobs", 0)
+          : std::max(1, static_cast<int>(ThreadPool::HardwareJobs()) / shards);
+
+  int total_relaunches = 0;
+  const store::RoundExecutor executor =
+      [&](std::uint32_t round, const std::vector<fi::PlannedInjection>& queue,
+          std::span<const fi::FaultRecord>, std::span<const std::uint8_t>) {
+        std::vector<std::string> log_files;
+        log_files.reserve(static_cast<std::size_t>(shards));
+        for (int i = 0; i < shards; ++i) {
+          log_files.push_back(shard_dir + "/plan-round" + std::to_string(round) + "-shard-" +
+                              std::to_string(i) + "of" + std::to_string(shards) + ".log");
+        }
+        fi::SupervisorOptions sup;
+        sup.shards = shards;
+        sup.shard_timeout_seconds = options.Double("shard-timeout", 0.0);
+        sup.retries = options.Int("shard-retries", 2);
+        sup.command = [&](int shard) {
+          SubprocessOptions cmd;
+          cmd.argv = {g_self_exe, "campaign", options.target};
+          for (const char* flag : {"scale", "runs", "jitter", "burst", "seed", "checkpoints",
+                                   "engine", "plan", "ci-target", "max-runs"}) {
+            const auto it = options.flags.find(flag);
+            if (it == options.flags.end()) continue;
+            cmd.argv.push_back(std::string("--") + flag);
+            cmd.argv.push_back(it->second);
+          }
+          cmd.argv.push_back("--jobs");
+          cmd.argv.push_back(std::to_string(worker_jobs));
+          cmd.argv.push_back("--cache-dir");
+          cmd.argv.push_back(shard_dir);
+          cmd.argv.push_back("--shards");
+          cmd.argv.push_back(std::to_string(shards));
+          cmd.argv.push_back("--plan-round");
+          cmd.argv.push_back(std::to_string(round));
+          cmd.argv.push_back("--worker-shard");
+          cmd.argv.push_back(std::to_string(shard));
+          cmd.env = {"EPVF_PROGRESS=0", "EPVF_TRACE=0"};
+          cmd.stdout_path = log_files[static_cast<std::size_t>(shard)];
+          cmd.stderr_path = log_files[static_cast<std::size_t>(shard)];
+          return cmd;
+        };
+        sup.on_event = [](const std::string& message) {
+          std::fprintf(stderr, "campaign: %s\n", message.c_str());
+        };
+        const fi::SupervisorResult sup_result = fi::RunShardSupervisor(sup);
+        total_relaunches += sup_result.TotalRelaunches();
+
+        fi::ExecuteResult merged =
+            store::LoadPlanRoundShards(cache, plan_id, round, shards, queue);
+        std::uint64_t adopted = 0;
+        for (std::size_t i = 0; i < queue.size(); ++i) {
+          if (merged.completed[i] == 0) continue;
+          adopted += 1;
+          progress.Tick(static_cast<std::size_t>(merged.records[i].outcome));
+        }
+        // Execute whatever no worker delivered; adopted records revalidate
+        // against the queue inside ExecutePlannedRuns.
+        fi::ExecuteOptions exec;
+        exec.num_threads = options.Int("jobs", 0);
+        exec.resume_records = merged.records;
+        exec.resume_completed = merged.completed;
+        exec.progress = &progress;
+        fi::ExecuteResult full = fi::ExecutePlannedRuns(injector, queue, exec);
+        std::fprintf(stderr,
+                     "campaign: round %u: %zu runs, %llu merged from %d shard(s), %llu "
+                     "executed in-process\n",
+                     round, queue.size(), static_cast<unsigned long long>(adopted), shards,
+                     static_cast<unsigned long long>(queue.size() - adopted));
+        store::RemovePlanRoundShards(cache, plan_id, round, shards);
+        std::error_code ec;
+        for (int i = 0; i < shards; ++i) {
+          const fi::ShardOutcome& shard = sup_result.shards[static_cast<std::size_t>(i)];
+          if (shard.succeeded) {
+            std::filesystem::remove(log_files[static_cast<std::size_t>(i)], ec);
+          } else {
+            std::fprintf(stderr,
+                         "campaign: round %u shard %d failed after %d launch(es) (%s) — its "
+                         "runs executed in-process; log: %s\n",
+                         round, i, shard.launches, shard.last_status.Describe().c_str(),
+                         log_files[static_cast<std::size_t>(i)].c_str());
+          }
+        }
+        return full;
+      };
+
+  const store::StratifiedResult result = store::RunStratifiedCampaign(
+      a, injector, campaign, plan, pkey, &cache, executor, &progress, ResolvePersistEvery());
+  progress.Finish();
+  std::fprintf(stderr,
+               "campaign: stratified plan %s: %u round(s), %d relaunch(es), %llu run(s) "
+               "resumed from the plan entry\n",
+               plan_id.c_str(), result.rounds, total_relaunches,
+               static_cast<unsigned long long>(result.resumed_runs));
+  if (!user_cache_dir.empty()) {
+    PrintCacheStatus("plan", plan_id, result.stats.perf.cache_hit,
+                     result.stats.perf.cache_load_seconds,
+                     result.stats.perf.cache_store_seconds);
+  }
+  PrintStratifiedReport(a, result);
+
+  if (private_dir) {
+    cache_slot.reset();
+    std::filesystem::remove_all(shard_dir);
+  }
+  return 0;
+}
+
 int CmdCampaign(const Options& options) {
   if (options.flags.count("worker-shard") != 0) return CmdCampaignWorker(options);
 
-  // --shards beats EPVF_SHARDS; never more shards than runs, never fewer
-  // than one.
+  const std::optional<bool> stratified = ResolveStratified(options);
+  if (!stratified.has_value()) return kExitUsage;
+
+  // --shards beats EPVF_SHARDS; never more shards than runs (round sizes are
+  // planner-chosen under --plan stratified, so the clamp only applies to the
+  // uniform fixed-runs campaign), never fewer than one.
   int shards = options.Int("shards", 0);
   if (shards <= 0) {
     const char* env = std::getenv("EPVF_SHARDS");
@@ -461,7 +729,7 @@ int CmdCampaign(const Options& options) {
   }
   const int num_runs = options.Int("runs", 500);
   if (shards < 1) shards = 1;
-  if (shards > num_runs) shards = num_runs > 0 ? num_runs : 1;
+  if (!*stratified && shards > num_runs) shards = num_runs > 0 ? num_runs : 1;
 
   const ir::Module module = LoadTarget(options);
   const core::AnalysisOptions opts = AnalysisOpts(options);
@@ -480,6 +748,7 @@ int CmdCampaign(const Options& options) {
       PrintCacheStatus("analysis", store::CacheId(*key), a.timings().cache_hit,
                        a.timings().cache_load_seconds, a.timings().cache_store_seconds);
     }
+    if (*stratified) return RunStratifiedInProcess(options, module, a, cache, key);
     const fi::CampaignOptions campaign = MakeCampaignOptions(options, a);
     fi::CampaignStats stats;
     if (cache.enabled()) {
@@ -492,6 +761,10 @@ int CmdCampaign(const Options& options) {
     }
     PrintCampaignReport(a, stats);
     return 0;
+  }
+
+  if (*stratified) {
+    return CmdCampaignStratifiedSharded(options, module, opts, user_cache_dir, shards);
   }
 
   // Sharded: the shard artifacts need a directory every worker can reach.
