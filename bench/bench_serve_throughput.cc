@@ -1,0 +1,177 @@
+// Resident-daemon throughput: warm `epvf analyze --connect` requests against
+// a live `epvf serve` daemon vs. cold full-CLI subprocess invocations.
+//
+// The daemon's value proposition is that a request against an already-seen
+// (app, scale, options) key costs a render of the resident core::Analysis,
+// not a process start + parse + pipeline execution. This bench measures
+// exactly that: cold wall time (spawn the real CLI with --no-cache, per
+// request), warm wall time (one epvf-wire-v1 round trip per request, fresh
+// connection each time — the CLI client's own behavior), requests/second,
+// and the speedup. The acceptance gate from the serve work is hard: warm
+// must be >= 5x faster than cold on every app measured, else exit 1.
+//
+// Knobs: EPVF_SCALE (via bench_common's Scale), EPVF_SERVE_BENCH_COLD /
+// EPVF_SERVE_BENCH_WARM (iteration counts, default 5 / 25). The epvf binary
+// path is baked in at build time (EPVF_CLI_PATH).
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "serve/client.h"
+#include "serve/wire.h"
+#include "support/subprocess.h"
+#include "support/stopwatch.h"
+#include "support/table.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using epvf::AsciiTable;
+using epvf::Stopwatch;
+using epvf::Subprocess;
+using epvf::SubprocessOptions;
+
+int EnvCount(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return fallback;
+  const int parsed = std::atoi(value);
+  return parsed > 0 ? parsed : fallback;
+}
+
+/// One cold request: the full CLI subprocess, output discarded. Returns the
+/// wall time in milliseconds, or nullopt if the invocation failed.
+std::optional<double> ColdRequestMs(const std::string& app, int scale) {
+  const std::string command = std::string(EPVF_CLI_PATH) + " analyze " + app + " --scale " +
+                              std::to_string(scale) + " --no-cache >/dev/null 2>&1";
+  Stopwatch watch;
+  const int status = std::system(command.c_str());
+  if (status != 0) return std::nullopt;
+  return watch.ElapsedMillis();
+}
+
+/// One warm request: connect, send a run request, drain the reply frames.
+/// A fresh connection per request matches what `epvf analyze --connect`
+/// does, so connect/teardown cost is *included* in the warm number.
+std::optional<double> WarmRequestMs(const std::string& socket_path, const std::string& app,
+                                    int scale) {
+  Stopwatch watch;
+  std::optional<epvf::serve::ServeClient> client = epvf::serve::ServeClient::Connect(socket_path);
+  if (!client.has_value()) return std::nullopt;
+  epvf::serve::RunRequest request;
+  request.args = {"analyze", app, "--scale", std::to_string(scale)};
+  std::size_t reply_bytes = 0;
+  const epvf::serve::ServeClient::RunResult result = client->Run(
+      request, [&](std::string_view bytes) { reply_bytes += bytes.size(); }, nullptr, nullptr);
+  if (!result.transport_ok || result.error.has_value() || result.exit_code != 0 ||
+      reply_bytes == 0) {
+    return std::nullopt;
+  }
+  return watch.ElapsedMillis();
+}
+
+bool WaitForSocket(const std::string& socket_path) {
+  for (int i = 0; i < 100; ++i) {
+    std::error_code ec;
+    if (fs::is_socket(socket_path, ec)) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  return false;
+}
+
+}  // namespace
+
+int main() {
+  epvf::bench::BenchJson json("serve_throughput");
+
+  const int scale = epvf::bench::Scale();
+  const int cold_iters = EnvCount("EPVF_SERVE_BENCH_COLD", 5);
+  const int warm_iters = EnvCount("EPVF_SERVE_BENCH_WARM", 25);
+  const std::string socket_path =
+      "/tmp/epvf-bench-serve-" + std::to_string(::getpid()) + ".sock";
+
+  SubprocessOptions daemon_options;
+  daemon_options.argv = {EPVF_CLI_PATH, "serve", socket_path};
+  daemon_options.stdout_path = "/dev/null";
+  daemon_options.stderr_path = "/dev/null";
+  std::optional<Subprocess> daemon = Subprocess::Spawn(daemon_options);
+  if (!daemon.has_value() || !WaitForSocket(socket_path)) {
+    std::fprintf(stderr, "bench_serve_throughput: daemon failed to come up on %s\n",
+                 socket_path.c_str());
+    return 1;
+  }
+
+  AsciiTable table({"Benchmark", "cold (ms)", "warm (ms)", "speedup", "warm req/s"});
+  table.SetTitle("Resident daemon: warm --connect requests vs. cold CLI spawns");
+
+  bool gate_ok = true;
+  for (const std::string& app : {std::string("mm"), std::string("hotspot")}) {
+    double cold_total = 0;
+    for (int i = 0; i < cold_iters; ++i) {
+      const std::optional<double> ms = ColdRequestMs(app, scale);
+      if (!ms.has_value()) {
+        std::fprintf(stderr, "bench_serve_throughput: cold `analyze %s` failed\n", app.c_str());
+        return 1;
+      }
+      cold_total += *ms;
+    }
+    const double cold_ms = cold_total / cold_iters;
+
+    // One unmeasured request first: it pays the resident-entry construction
+    // so the timed loop measures the steady warm state.
+    if (!WarmRequestMs(socket_path, app, scale).has_value()) {
+      std::fprintf(stderr, "bench_serve_throughput: warmup request for %s failed\n", app.c_str());
+      return 1;
+    }
+    double warm_total = 0;
+    for (int i = 0; i < warm_iters; ++i) {
+      const std::optional<double> ms = WarmRequestMs(socket_path, app, scale);
+      if (!ms.has_value()) {
+        std::fprintf(stderr, "bench_serve_throughput: warm request for %s failed\n", app.c_str());
+        return 1;
+      }
+      warm_total += *ms;
+    }
+    const double warm_ms = warm_total / warm_iters;
+
+    const double speedup = warm_ms > 0 ? cold_ms / warm_ms : 0;
+    const double rps = warm_ms > 0 ? 1000.0 / warm_ms : 0;
+    const bool app_ok = speedup >= 5.0;
+    gate_ok = gate_ok && app_ok;
+    table.AddRow({app + (app_ok ? "" : " [FAIL <5x]"), AsciiTable::Num(cold_ms, 1),
+                  AsciiTable::Num(warm_ms, 2), AsciiTable::Num(speedup, 1) + "x",
+                  AsciiTable::Num(rps, 0)});
+    json.Add(app, "cold_ms", cold_ms);
+    json.Add(app, "warm_ms", warm_ms);
+    json.Add(app, "speedup", speedup);
+    json.Add(app, "rps", rps);
+  }
+
+  table.SetFootnote("cold = full CLI subprocess per request (--no-cache); warm = one "
+                    "epvf-wire-v1 round trip against the resident daemon, fresh connection "
+                    "per request; gate: warm >= 5x faster");
+  table.Print(std::cout);
+
+  if (std::optional<epvf::serve::ServeClient> client =
+          epvf::serve::ServeClient::Connect(socket_path)) {
+    (void)client->Shutdown();
+  }
+  if (!daemon->PollWithDeadline(5.0).has_value()) daemon->Kill();
+  (void)daemon->Wait();
+
+  if (!gate_ok) {
+    std::fprintf(stderr,
+                 "bench_serve_throughput: warm/cold speedup gate (>= 5x) FAILED — the resident "
+                 "daemon is not earning its keep\n");
+    return 1;
+  }
+  return 0;
+}

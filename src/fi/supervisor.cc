@@ -59,7 +59,22 @@ SupervisorResult RunShardSupervisor(const SupervisorOptions& options) {
   for (ShardState& s : states) s.next_launch = start;
 
   const int max_launches = std::max(1, options.retries + 1);
+  bool cancelled = false;
   while (true) {
+    if (options.cancelled && options.cancelled()) {
+      cancelled = true;
+      for (std::size_t i = 0; i < states.size(); ++i) {
+        ShardState& s = states[i];
+        if (!s.child.has_value()) continue;
+        emit("shard " + std::to_string(i) + ": cancelled — killing worker");
+        s.child->Kill();
+        s.outcome.last_status = s.child->Wait();
+        s.child.reset();
+      }
+      obs::GetCounter("campaign.supervisor.cancellations").Add();
+      break;
+    }
+
     const auto now = Clock::now();
     bool any_pending = false;
 
@@ -137,14 +152,29 @@ SupervisorResult RunShardSupervisor(const SupervisorOptions& options) {
       }
     }
 
+    if (options.on_poll) options.on_poll();
     if (!any_pending) break;
-    std::this_thread::sleep_for(std::chrono::duration<double>(options.poll_interval_seconds));
+
+    // Readiness wait: wakes the moment any running worker exits, bounded by
+    // the poll interval so backoff expiries, deadlines, on_poll ticks, and
+    // cancellation are still observed promptly.
+    std::vector<Subprocess*> running;
+    running.reserve(states.size());
+    for (ShardState& s : states) {
+      if (s.child.has_value()) running.push_back(&*s.child);
+    }
+    if (running.empty()) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(options.poll_interval_seconds));
+    } else {
+      (void)Subprocess::WaitAnyReady(running, options.poll_interval_seconds);
+    }
   }
 
   SupervisorResult result;
   result.shards.reserve(states.size());
   for (ShardState& s : states) result.shards.push_back(s.outcome);
   result.wall_seconds = wall.ElapsedSeconds();
+  result.cancelled = cancelled;
   return result;
 }
 

@@ -34,7 +34,10 @@ struct SupervisorOptions {
   /// Exponential-backoff delay before relaunch k: initial * 2^(k-1), capped.
   double backoff_initial_seconds = 0.25;
   double backoff_max_seconds = 8.0;
-  /// Child-poll cadence; also bounds how late a timeout fires.
+  /// Upper bound on one wait round. The loop blocks in a real readiness
+  /// wait (`Subprocess::WaitAnyReady`) and wakes the instant a worker exits;
+  /// this interval only bounds how late a timeout, backoff expiry, on_poll
+  /// tick, or cancellation is noticed.
   double poll_interval_seconds = 0.02;
 
   /// argv for shard i's worker (argv[0] = executable path). Required.
@@ -42,6 +45,14 @@ struct SupervisorOptions {
   /// Optional lifecycle log sink (launch / death / timeout / give-up),
   /// invoked from the supervising thread. Messages are one line, no newline.
   std::function<void(const std::string& message)> on_event;
+  /// Optional cooperative cancellation: checked once per loop round. When it
+  /// returns true every running worker is killed and reaped, remaining work
+  /// is abandoned, and the result carries cancelled = true. Workers persist
+  /// their completion masks incrementally, so a cancelled campaign resumes.
+  std::function<bool()> cancelled;
+  /// Optional per-round callback (after reaping, before the wait) — the
+  /// serve layer pumps progress snapshots to clients from here.
+  std::function<void()> on_poll;
 };
 
 struct ShardOutcome {
@@ -54,6 +65,7 @@ struct ShardOutcome {
 struct SupervisorResult {
   std::vector<ShardOutcome> shards;
   double wall_seconds = 0;
+  bool cancelled = false;  ///< the `cancelled` predicate ended the run early
 
   [[nodiscard]] bool AllSucceeded() const;
   [[nodiscard]] int TotalRelaunches() const;

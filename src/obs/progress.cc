@@ -53,13 +53,8 @@ bool PublishFile(const std::string& path, const std::string& data) {
 
 }  // namespace
 
-std::optional<ProgressSnapshot> ReadProgressSnapshot(const std::string& path) {
-  std::ifstream file(path);
-  if (!file) return std::nullopt;
-  std::ostringstream buffer;
-  buffer << file.rdbuf();
-  const std::string text = std::move(buffer).str();
-  std::istringstream in(text);
+std::optional<ProgressSnapshot> ParseProgressSnapshot(std::string_view text) {
+  std::istringstream in{std::string(text)};
   std::string schema;
   in >> schema;
   if (schema != kSnapshotSchema) return std::nullopt;
@@ -81,9 +76,25 @@ std::optional<ProgressSnapshot> ReadProgressSnapshot(const std::string& path) {
   return snap;
 }
 
+std::string FormatProgressSnapshot(const ProgressSnapshot& snapshot) {
+  std::ostringstream out;
+  out << kSnapshotSchema << "\ndone " << snapshot.done << "\ntotal " << snapshot.total << '\n';
+  for (const std::uint64_t count : snapshot.category_counts) out << "cat " << count << '\n';
+  return std::move(out).str();
+}
+
+std::optional<ProgressSnapshot> ReadProgressSnapshot(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseProgressSnapshot(std::move(buffer).str());
+}
+
 ProgressReporter::ProgressReporter(Options options)
     : options_(std::move(options)),
       enabled_(ResolveEnabled(options_.enable)),
+      tty_(options_.sink == nullptr && isatty(STDERR_FILENO) == 1),
       start_(std::chrono::steady_clock::now()) {
   category_counts_.reserve(options_.categories.size());
   for (std::size_t i = 0; i < options_.categories.size(); ++i) {
@@ -144,11 +155,7 @@ ProgressSnapshot ProgressReporter::Aggregate() const {
 
 void ProgressReporter::PublishSnapshot() const {
   if (options_.snapshot_path.empty()) return;
-  const ProgressSnapshot snap = Aggregate();
-  std::ostringstream out;
-  out << kSnapshotSchema << "\ndone " << snap.done << "\ntotal " << snap.total << '\n';
-  for (const std::uint64_t count : snap.category_counts) out << "cat " << count << '\n';
-  PublishFile(options_.snapshot_path, out.str());
+  PublishFile(options_.snapshot_path, FormatProgressSnapshot(Aggregate()));
 }
 
 std::string ProgressReporter::StatusLine() const {
@@ -211,8 +218,11 @@ std::string ProgressReporter::StatusLine() const {
 
 void ProgressReporter::PrintLine(bool final_line) {
   const std::string line = StatusLine();
-  const bool tty = isatty(STDERR_FILENO) == 1;
-  if (tty) {
+  if (options_.sink) {
+    options_.sink(line, final_line);
+    return;
+  }
+  if (tty_) {
     // Overwrite in place on a terminal; the final line is left standing.
     std::fprintf(stderr, "\r\033[2K%s%s", line.c_str(), final_line ? "\n" : "");
   } else {

@@ -25,10 +25,12 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -40,6 +42,15 @@ struct ProgressSnapshot {
   std::uint64_t total = 0;
   std::vector<std::uint64_t> category_counts;
 };
+
+/// Parses epvf-progress-v1 snapshot text ("epvf-progress-v1\ndone N\n...");
+/// std::nullopt when the text is not a snapshot. The in-memory counterpart of
+/// ReadProgressSnapshot — the serve layer parses frames it already holds.
+[[nodiscard]] std::optional<ProgressSnapshot> ParseProgressSnapshot(std::string_view text);
+
+/// Renders a snapshot back to epvf-progress-v1 text (the exact bytes a
+/// reporter publishes to its snapshot file).
+[[nodiscard]] std::string FormatProgressSnapshot(const ProgressSnapshot& snapshot);
 
 /// Parses an epvf-progress-v1 snapshot file; std::nullopt when the file is
 /// absent or not a snapshot (a torn read is impossible — snapshots are
@@ -66,6 +77,12 @@ class ProgressReporter {
     /// category counts are folded into this reporter's line/snapshot.
     /// Missing or not-yet-written files count zero.
     std::vector<std::string> aggregate_paths;
+    /// When set, each interval's status line goes to this callback instead
+    /// of stderr (still gated by `enable`). The line carries no terminator
+    /// and no `\r` rewrite codes — sinks that append to a log or stream over
+    /// a socket get clean text. Invoked from the reporting thread (and once
+    /// more from Finish's caller for the final line).
+    std::function<void(const std::string& line, bool final_line)> sink;
   };
 
   explicit ProgressReporter(Options options);
@@ -102,6 +119,12 @@ class ProgressReporter {
 
   Options options_;
   bool enabled_ = false;
+  /// Whether stderr was a terminal at construction. The `\r\033[2K` rewrite
+  /// is decided once, here: a reporter forced on with EPVF_PROGRESS=1 while
+  /// stderr is a pipe (the daemon's socket-streaming case) must emit plain
+  /// newline-terminated lines even if stderr is later re-pointed at a tty —
+  /// per-call isatty checks made that racy.
+  bool tty_ = false;
   std::chrono::steady_clock::time_point start_;
   std::atomic<std::uint64_t> done_{0};
   std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> category_counts_;

@@ -1,0 +1,123 @@
+#include "serve/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+namespace epvf::serve {
+
+std::optional<ServeClient> ServeClient::Connect(const std::string& socket_path) {
+  struct sockaddr_un addr;
+  if (socket_path.size() >= sizeof addr.sun_path) return std::nullopt;
+  std::memset(&addr, 0, sizeof addr);
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof addr.sun_path - 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return std::nullopt;
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  ServeClient client;
+  client.fd_ = fd;
+  return client;
+}
+
+ServeClient::ServeClient(ServeClient&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+ServeClient& ServeClient::operator=(ServeClient&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+ServeClient::~ServeClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+ServeClient::RunResult ServeClient::Run(const RunRequest& request,
+                                        const std::function<void(std::string_view)>& on_stdout,
+                                        const std::function<void(std::string_view)>& on_stderr,
+                                        const std::function<void(std::string_view)>& on_progress) {
+  RunResult result;
+  if (!WriteFrame(fd_, FrameType::kRun, EncodeRunRequest(request))) return result;
+  while (true) {
+    Frame frame;
+    if (ReadFrame(fd_, &frame) != ReadStatus::kOk) return result;
+    switch (frame.type) {
+      case FrameType::kAck:
+        result.job_id = DecodeU64(frame.payload).value_or(0);
+        break;
+      case FrameType::kStdout:
+        if (on_stdout) on_stdout(frame.payload);
+        break;
+      case FrameType::kStderr:
+        if (on_stderr) on_stderr(frame.payload);
+        break;
+      case FrameType::kProgress:
+        if (on_progress) on_progress(frame.payload);
+        break;
+      case FrameType::kDone: {
+        const std::optional<std::uint64_t> code = DecodeU64(frame.payload);
+        if (!code.has_value()) return result;
+        result.exit_code = *code;
+        result.transport_ok = true;
+        return result;
+      }
+      case FrameType::kError: {
+        std::optional<ErrorReply> error = DecodeErrorReply(frame.payload);
+        if (!error.has_value()) return result;
+        result.error = std::move(error);
+        result.transport_ok = true;
+        return result;
+      }
+      default:
+        // Unknown server frame within the same protocol version: skip it —
+        // forward compatibility for additive stream frames.
+        break;
+    }
+  }
+}
+
+std::optional<std::string> ServeClient::SimpleRequest(FrameType request, FrameType reply) {
+  if (!WriteFrame(fd_, request, {})) return std::nullopt;
+  Frame frame;
+  if (ReadFrame(fd_, &frame) != ReadStatus::kOk) return std::nullopt;
+  if (frame.type != reply) return std::nullopt;
+  return std::move(frame.payload);
+}
+
+std::optional<std::string> ServeClient::Status() {
+  return SimpleRequest(FrameType::kStatus, FrameType::kStatusReport);
+}
+
+std::optional<std::string> ServeClient::Metrics() {
+  return SimpleRequest(FrameType::kMetrics, FrameType::kMetricsReport);
+}
+
+bool ServeClient::Cancel(std::uint64_t job_id, ErrorReply* error_out) {
+  if (!WriteFrame(fd_, FrameType::kCancel, EncodeU64(job_id))) return false;
+  Frame frame;
+  if (ReadFrame(fd_, &frame) != ReadStatus::kOk) return false;
+  if (frame.type == FrameType::kDone) return true;
+  if (frame.type == FrameType::kError && error_out != nullptr) {
+    if (std::optional<ErrorReply> error = DecodeErrorReply(frame.payload)) {
+      *error_out = std::move(*error);
+    }
+  }
+  return false;
+}
+
+bool ServeClient::Shutdown() {
+  if (!WriteFrame(fd_, FrameType::kShutdown, {})) return false;
+  Frame frame;
+  return ReadFrame(fd_, &frame) == ReadStatus::kOk && frame.type == FrameType::kDone;
+}
+
+}  // namespace epvf::serve

@@ -1,0 +1,67 @@
+// Client side of epvf-wire-v1 — what `epvf ... --connect <socket>` runs on.
+//
+// A ServeClient owns one connected Unix-domain socket and, by protocol, one
+// outstanding request at a time: responses carry no correlation id, so
+// concurrent requests must use separate connections (the CLI opens a fresh
+// one per command; the soak test opens one per thread).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "serve/wire.h"
+
+namespace epvf::serve {
+
+class ServeClient {
+ public:
+  /// Connects to the daemon's socket; std::nullopt when the socket is
+  /// absent or refuses.
+  [[nodiscard]] static std::optional<ServeClient> Connect(const std::string& socket_path);
+
+  ServeClient(ServeClient&& other) noexcept;
+  ServeClient& operator=(ServeClient&& other) noexcept;
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+  ~ServeClient();
+
+  struct RunResult {
+    /// False = the transport broke (daemon died, malformed reply) before a
+    /// terminal frame; exit_code/error are then meaningless.
+    bool transport_ok = false;
+    std::uint64_t job_id = 0;  ///< from the kAck, 0 when rejected at admission
+    /// Set when the request ended in kError (kBusy, kCancelled, ...).
+    std::optional<ErrorReply> error;
+    /// The worker's exit code from kDone.
+    std::uint64_t exit_code = 0;
+  };
+
+  /// Submits a run request and pumps frames until the terminal kDone/kError.
+  /// The sinks receive payload bytes as they arrive (any may be null).
+  [[nodiscard]] RunResult Run(const RunRequest& request,
+                              const std::function<void(std::string_view)>& on_stdout,
+                              const std::function<void(std::string_view)>& on_stderr,
+                              const std::function<void(std::string_view)>& on_progress);
+
+  /// kStatus / kMetrics round-trip; std::nullopt on transport failure.
+  [[nodiscard]] std::optional<std::string> Status();
+  [[nodiscard]] std::optional<std::string> Metrics();
+
+  /// kCancel round-trip. False: transport failure or kUnknownJob (the
+  /// distinction, when needed, is in `error_out`).
+  [[nodiscard]] bool Cancel(std::uint64_t job_id, ErrorReply* error_out = nullptr);
+
+  /// kShutdown round-trip: true once the daemon acknowledged it will stop.
+  [[nodiscard]] bool Shutdown();
+
+ private:
+  ServeClient() = default;
+
+  [[nodiscard]] std::optional<std::string> SimpleRequest(FrameType request, FrameType reply);
+
+  int fd_ = -1;
+};
+
+}  // namespace epvf::serve

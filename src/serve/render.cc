@@ -1,0 +1,48 @@
+#include "serve/render.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "epvf/report.h"
+#include "support/table.h"
+
+namespace epvf::serve {
+
+namespace {
+
+/// printf-formatted line into an ostream — the renderer must reproduce the
+/// CLI's historical std::printf output byte for byte, so it keeps the same
+/// format strings and routes them through snprintf.
+template <typename... Args>
+void Line(std::ostream& out, const char* format, Args... args) {
+  char buffer[256];
+  const int n = std::snprintf(buffer, sizeof buffer, format, args...);
+  if (n > 0) out.write(buffer, std::min<std::size_t>(static_cast<std::size_t>(n), sizeof buffer - 1));
+}
+
+}  // namespace
+
+void RenderAnalyzeReport(const core::Analysis& analysis, std::ostream& out) {
+  const core::Analysis& a = analysis;
+  Line(out, "dynamic instructions : %llu\n",
+       static_cast<unsigned long long>(a.golden().instructions_executed));
+  Line(out, "DDG nodes            : %zu (ACE: %llu)\n", a.graph().NumNodes(),
+       static_cast<unsigned long long>(a.ace().ace_node_count));
+  Line(out, "PVF  (Eq. 1)         : %.4f\n", a.Pvf());
+  Line(out, "ePVF (Eq. 2)         : %.4f\n", a.Epvf());
+  Line(out, "crash-rate estimate  : %.4f\n", a.CrashRateEstimate());
+  Line(out, "memory resource      : PVF %.4f, ePVF %.4f\n", a.MemoryPvf(), a.MemoryEpvf());
+
+  AsciiTable table({"structure", "total bits", "ACE", "crash", "class ePVF"});
+  table.SetTitle("structure vulnerability");
+  for (const core::StructureVulnerability& entry : core::StructureReport(a)) {
+    if (entry.total_bits == 0) continue;
+    table.AddRow({std::string(core::RegisterClassName(entry.cls)),
+                  std::to_string(entry.total_bits), std::to_string(entry.ace_bits),
+                  std::to_string(entry.crash_bits), AsciiTable::Num(entry.Epvf())});
+  }
+  table.Print(out);
+}
+
+}  // namespace epvf::serve

@@ -1,0 +1,21 @@
+// Report renderers shared between the CLI and the daemon.
+//
+// The daemon's byte-identity contract — `epvf analyze --connect` prints the
+// same stdout as a local `epvf analyze` — only holds if both sides run the
+// same rendering code. The CLI hands this function std::cout; the daemon
+// hands it an ostringstream whose bytes become kStdout frames. Everything
+// printed here is a deterministic function of the analysis (no timing, no
+// cache status — those are stderr diagnostics and stay with the caller).
+#pragma once
+
+#include <ostream>
+
+#include "epvf/analysis.h"
+
+namespace epvf::serve {
+
+/// The exact stdout of `epvf analyze`: the metric block plus the structure
+/// vulnerability table.
+void RenderAnalyzeReport(const core::Analysis& analysis, std::ostream& out);
+
+}  // namespace epvf::serve

@@ -1,0 +1,723 @@
+#include "serve/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "apps/app.h"
+#include "epvf/analysis.h"
+#include "fi/supervisor.h"
+#include "ir/parser.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "serve/render.h"
+#include "serve/wire.h"
+#include "store/cache.h"
+#include "support/subprocess.h"
+
+namespace epvf::serve {
+
+namespace {
+
+/// One accepted socket. Job threads and the reader thread both write frames,
+/// so every send serializes on the write mutex; a failed send latches the
+/// connection closed (the peer is gone — further frames would be wasted).
+struct Connection {
+  int fd = -1;
+  std::uint64_t id = 0;
+  std::mutex write_mutex;
+  std::atomic<bool> open{true};
+
+  bool Send(FrameType type, std::string_view payload) {
+    const std::lock_guard<std::mutex> lock(write_mutex);
+    if (!open.load(std::memory_order_relaxed)) return false;
+    if (!WriteFrame(fd, type, payload)) {
+      open.store(false, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  }
+
+  bool SendError(ErrorCode code, std::string message, std::uint32_t retry_after_ms = 0) {
+    return Send(FrameType::kError, EncodeErrorReply(ErrorReply{
+                                       .code = code,
+                                       .retry_after_ms = retry_after_ms,
+                                       .message = std::move(message)}));
+  }
+};
+
+struct Job {
+  std::uint64_t id = 0;
+  std::uint32_t priority = 0;
+  std::shared_ptr<Connection> conn;
+  std::vector<std::string> args;  ///< {command, target, --flag, value, ...}
+  std::atomic<bool> cancel{false};
+  bool running = false;  ///< under the scheduler mutex
+};
+
+/// A benchmark target keeps its module and analysis resident; the analysis
+/// holds pointers into the module, so the module lives at a stable address in
+/// the same entry. Construction runs (or cache-restores) the analysis — with
+/// guaranteed elision the result is built in place, never moved.
+struct Resident {
+  std::unique_ptr<ir::Module> module;
+  core::Analysis analysis;
+
+  Resident(std::unique_ptr<ir::Module> owned, const core::AnalysisOptions& opts,
+           const store::AnalysisKey& key, store::ArtifactCache& cache)
+      : module(std::move(owned)), analysis(store::RunAnalysisCached(*module, opts, key, cache)) {}
+};
+
+/// Per-command flag vocabulary the daemon accepts. Cache, observability, and
+/// client plumbing flags are deliberately absent: the daemon owns the cache
+/// directory and its own sinks, and a request carrying them is malformed.
+const std::map<std::string, std::set<std::string>>& WorkerFlags() {
+  static const std::map<std::string, std::set<std::string>> allowed = {
+      {"analyze", {"scale", "jobs", "engine"}},
+      {"inject",
+       {"scale", "runs", "jitter", "burst", "seed", "jobs", "checkpoints", "engine", "plan",
+        "ci-target", "max-runs"}},
+      {"campaign",
+       {"scale", "runs", "jitter", "burst", "seed", "jobs", "checkpoints", "engine", "plan",
+        "ci-target", "max-runs", "shards", "shard-timeout", "shard-retries"}},
+  };
+  return allowed;
+}
+
+std::string JoinArgs(const std::vector<std::string>& args) {
+  std::string out;
+  for (const std::string& arg : args) {
+    if (!out.empty()) out += ' ';
+    out += arg;
+  }
+  return out;
+}
+
+std::string ReadFileText(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return std::move(buffer).str();
+}
+
+}  // namespace
+
+struct Server::Impl {
+  explicit Impl(ServerOptions opts) : options(std::move(opts)) {}
+
+  ServerOptions options;
+  std::string cache_dir;
+  bool private_cache_dir = false;
+  std::string jobs_dir;
+  int listen_fd = -1;
+  std::optional<store::ArtifactCache> cache;
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> stop_requested{false};
+  bool started = false;
+  bool stopped = false;
+
+  std::thread accept_thread;
+  std::vector<std::thread> executors;
+
+  std::mutex conn_mutex;
+  std::vector<std::shared_ptr<Connection>> connections;
+  std::vector<std::thread> readers;
+  std::uint64_t next_client_id = 1;
+
+  // Scheduler state — everything below sched_mutex.
+  std::mutex sched_mutex;
+  std::condition_variable sched_cv;
+  std::deque<std::shared_ptr<Job>> queue;
+  std::map<std::uint64_t, std::shared_ptr<Job>> jobs;  ///< queued + running, by id
+  std::uint64_t next_job_id = 1;
+  std::uint64_t last_client_served = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t rejected = 0;
+
+  // Resident analyses keyed by store::CacheId(AnalysisKey) — the key covers
+  // the module fingerprint, so an edited .ir target lands in a fresh entry.
+  std::mutex resident_mutex;
+  std::map<std::string, std::unique_ptr<Resident>> resident;
+
+  void Emit(const std::string& message) {
+    if (options.on_event) options.on_event(message);
+  }
+
+  // --- request admission (reader threads) ---------------------------------
+
+  void HandleRun(const std::shared_ptr<Connection>& conn, const Frame& frame) {
+    obs::GetCounter("serve.requests.run").Add();
+    const std::optional<RunRequest> request = DecodeRunRequest(frame.payload);
+    if (!request.has_value()) {
+      conn->SendError(ErrorCode::kBadRequest, "malformed run payload");
+      return;
+    }
+    if (request->args.size() < 2 || request->args[1].empty() || request->args[1][0] == '-') {
+      conn->SendError(ErrorCode::kBadRequest, "run needs a command and a target");
+      return;
+    }
+    const auto allowed = WorkerFlags().find(request->args[0]);
+    if (allowed == WorkerFlags().end()) {
+      conn->SendError(ErrorCode::kBadRequest, "unsupported command '" + request->args[0] + "'");
+      return;
+    }
+    for (std::size_t i = 2; i < request->args.size(); i += 2) {
+      const std::string& flag = request->args[i];
+      if (flag.rfind("--", 0) != 0 || allowed->second.count(flag.substr(2)) == 0) {
+        conn->SendError(ErrorCode::kBadRequest,
+                        "flag '" + flag + "' is not accepted for '" + request->args[0] +
+                            "' over the wire");
+        return;
+      }
+      if (i + 1 >= request->args.size()) {
+        conn->SendError(ErrorCode::kBadRequest, "flag '" + flag + "' is missing its value");
+        return;
+      }
+    }
+
+    auto job = std::make_shared<Job>();
+    job->priority = request->priority;
+    job->conn = conn;
+    job->args = request->args;
+    {
+      const std::lock_guard<std::mutex> lock(sched_mutex);
+      if (stop.load()) {
+        conn->SendError(ErrorCode::kShuttingDown, "daemon is shutting down");
+        return;
+      }
+      if (queue.size() >= static_cast<std::size_t>(options.queue_limit)) {
+        // Backpressure: reject with a hint proportional to the backlog so a
+        // polite client's retries spread out as the queue deepens.
+        rejected += 1;
+        obs::GetCounter("serve.rejected.busy").Add();
+        const auto retry_ms = static_cast<std::uint32_t>(100 * (1 + queue.size()));
+        conn->SendError(ErrorCode::kBusy, "queue full (" + std::to_string(queue.size()) + " jobs)",
+                        retry_ms);
+        return;
+      }
+      job->id = next_job_id++;
+      // Ack inside the lock: the ack must hit the socket before any executor
+      // can pick the job up and stream its result frames.
+      if (!conn->Send(FrameType::kAck, EncodeU64(job->id))) return;
+      queue.push_back(job);
+      jobs[job->id] = job;
+    }
+    sched_cv.notify_one();
+  }
+
+  void HandleCancel(const std::shared_ptr<Connection>& conn, const Frame& frame) {
+    obs::GetCounter("serve.requests.cancel").Add();
+    const std::optional<std::uint64_t> id = DecodeU64(frame.payload);
+    if (!id.has_value()) {
+      conn->SendError(ErrorCode::kBadRequest, "malformed cancel payload");
+      return;
+    }
+    bool found = false;
+    {
+      const std::lock_guard<std::mutex> lock(sched_mutex);
+      const auto it = jobs.find(*id);
+      if (it != jobs.end()) {
+        found = true;
+        it->second->cancel.store(true);
+        // A queued job dies right here; a running one is reaped by its
+        // executor once the supervisor observes the flag and kills the
+        // worker (the executor sends the terminal kError to the owner).
+        if (!it->second->running) FailQueuedLocked(*it->second, ErrorCode::kCancelled);
+      }
+    }
+    if (found) {
+      conn->Send(FrameType::kDone, EncodeU64(0));
+    } else {
+      conn->SendError(ErrorCode::kUnknownJob, "no job " + std::to_string(*id));
+    }
+  }
+
+  void HandleStatus(const std::shared_ptr<Connection>& conn) {
+    obs::GetCounter("serve.requests.status").Add();
+    std::ostringstream out;
+    {
+      const std::lock_guard<std::mutex> lock(sched_mutex);
+      out << "serve: " << options.socket_path << "\n"
+          << "slots " << options.slots << " | queued " << queue.size() << "/"
+          << options.queue_limit << " | completed " << completed << " | cancelled " << cancelled
+          << " | rejected " << rejected << "\n";
+      for (const auto& [id, job] : jobs) {
+        out << "job " << id << " " << (job->running ? "running" : "queued") << " priority "
+            << job->priority << " client " << job->conn->id << " | " << JoinArgs(job->args)
+            << "\n";
+      }
+    }
+    conn->Send(FrameType::kStatusReport, out.str());
+  }
+
+  void HandleMetrics(const std::shared_ptr<Connection>& conn) {
+    obs::GetCounter("serve.requests.metrics").Add();
+    conn->Send(FrameType::kMetricsReport, obs::MetricsRegistry::Global().ToJson());
+  }
+
+  void HandleShutdown(const std::shared_ptr<Connection>& conn) {
+    Emit("shutdown requested by client " + std::to_string(conn->id));
+    conn->Send(FrameType::kDone, EncodeU64(0));
+    stop_requested.store(true);
+    sched_cv.notify_all();
+  }
+
+  // --- connection lifecycle -----------------------------------------------
+
+  void ReaderLoop(const std::shared_ptr<Connection>& conn) {
+    while (!stop.load()) {
+      Frame frame;
+      const ReadStatus status = ReadFrame(conn->fd, &frame);
+      if (status == ReadStatus::kClosed) break;
+      if (status != ReadStatus::kOk) {
+        // Malformed framing: name the violation in an error frame (best
+        // effort — the peer may already be gone) and drop the connection.
+        // The daemon itself never crashes on hostile bytes.
+        obs::GetCounter("serve.protocol_errors").Add();
+        Emit("client " + std::to_string(conn->id) + ": " + std::string(ReadStatusName(status)));
+        if (status != ReadStatus::kIoError) {
+          conn->SendError(ErrorCode::kBadRequest, std::string(ReadStatusName(status)));
+        }
+        break;
+      }
+      switch (frame.type) {
+        case FrameType::kRun: HandleRun(conn, frame); break;
+        case FrameType::kCancel: HandleCancel(conn, frame); break;
+        case FrameType::kStatus: HandleStatus(conn); break;
+        case FrameType::kMetrics: HandleMetrics(conn); break;
+        case FrameType::kShutdown: HandleShutdown(conn); break;
+        default:
+          obs::GetCounter("serve.protocol_errors").Add();
+          conn->SendError(ErrorCode::kBadRequest,
+                          "unknown frame type " +
+                              std::to_string(static_cast<std::uint32_t>(frame.type)));
+          break;
+      }
+    }
+    conn->open.store(false);
+    // A vanished client implicitly cancels its outstanding jobs: there is
+    // nobody left to stream results to.
+    {
+      const std::lock_guard<std::mutex> lock(sched_mutex);
+      for (auto& [id, job] : jobs) {
+        if (job->conn == conn) job->cancel.store(true);
+      }
+    }
+    ::close(conn->fd);
+  }
+
+  void AcceptLoop() {
+    while (!stop.load()) {
+      struct pollfd pfd = {.fd = listen_fd, .events = POLLIN, .revents = 0};
+      const int r = ::poll(&pfd, 1, 100);
+      if (r <= 0) continue;
+      const int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+      if (fd < 0) continue;
+      auto conn = std::make_shared<Connection>();
+      conn->fd = fd;
+      {
+        const std::lock_guard<std::mutex> lock(conn_mutex);
+        conn->id = next_client_id++;
+        connections.push_back(conn);
+        readers.emplace_back([this, conn] { ReaderLoop(conn); });
+      }
+      obs::GetCounter("serve.connections").Add();
+    }
+  }
+
+  // --- scheduling (executor threads) --------------------------------------
+
+  /// Sends the terminal error for a job still in the queue and forgets it.
+  /// Caller holds sched_mutex.
+  void FailQueuedLocked(Job& job, ErrorCode code) {
+    for (auto it = queue.begin(); it != queue.end(); ++it) {
+      if ((*it)->id != job.id) continue;
+      queue.erase(it);
+      break;
+    }
+    jobs.erase(job.id);
+    cancelled += 1;
+    obs::GetCounter("serve.jobs.cancelled").Add();
+    if (job.conn->open.load()) {
+      job.conn->SendError(code, "job " + std::to_string(job.id) + " " +
+                                    (code == ErrorCode::kCancelled ? "cancelled" : "dropped"));
+    }
+  }
+
+  /// Highest priority wins; ties rotate round-robin across clients (FIFO
+  /// within a client, the queue is in admission order). Cancelled and
+  /// orphaned jobs are failed here. Caller holds sched_mutex.
+  std::shared_ptr<Job> PickJobLocked() {
+    for (auto it = queue.begin(); it != queue.end();) {
+      const std::shared_ptr<Job>& job = *it;
+      if (job->cancel.load() || !job->conn->open.load()) {
+        Job& dead = *job;
+        ++it;  // FailQueuedLocked erases by id, invalidating `it`'s slot
+        FailQueuedLocked(dead, ErrorCode::kCancelled);
+        it = queue.begin();  // restart — cheap at queue_limit scale
+        continue;
+      }
+      ++it;
+    }
+    if (queue.empty()) return nullptr;
+
+    std::uint32_t best = 0;
+    for (const auto& job : queue) best = std::max(best, job->priority);
+    std::map<std::uint64_t, std::size_t> earliest;  // client id -> queue index
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+      if (queue[i]->priority != best) continue;
+      earliest.emplace(queue[i]->conn->id, i);  // first hit = earliest (FIFO order)
+    }
+    auto pick = earliest.upper_bound(last_client_served);
+    if (pick == earliest.end()) pick = earliest.begin();
+    last_client_served = pick->first;
+    std::shared_ptr<Job> job = queue[pick->second];
+    queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(pick->second));
+    job->running = true;
+    return job;
+  }
+
+  void ExecutorLoop() {
+    while (true) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lock(sched_mutex);
+        sched_cv.wait(lock, [this] { return stop.load() || !queue.empty(); });
+        if (stop.load()) break;
+        job = PickJobLocked();
+        if (job == nullptr) continue;
+      }
+      Execute(*job);
+      {
+        const std::lock_guard<std::mutex> lock(sched_mutex);
+        jobs.erase(job->id);
+        completed += 1;
+      }
+      obs::GetCounter("serve.jobs.completed").Add();
+    }
+  }
+
+  // --- job execution ------------------------------------------------------
+
+  static std::string FlagValue(const std::vector<std::string>& args, const std::string& flag,
+                               const std::string& fallback) {
+    for (std::size_t i = 2; i + 1 < args.size(); i += 2) {
+      if (args[i] == "--" + flag) return args[i + 1];
+    }
+    return fallback;
+  }
+
+  /// The resident entry for (target, scale) — built (and persisted to the
+  /// shared cache, warming it for workers) on first use. Throws on an
+  /// unknown benchmark / unreadable file, like the CLI's loader.
+  Resident& EnsureResident(const std::string& target, int scale, int jobs, bool* hit) {
+    auto module = std::make_unique<ir::Module>([&] {
+      const bool looks_like_path =
+          target.find('.') != std::string::npos || target.find('/') != std::string::npos;
+      if (!looks_like_path) {
+        apps::AppConfig config;
+        config.scale = scale;
+        return apps::BuildApp(target, config).module;
+      }
+      std::ifstream in(target);
+      if (!in) throw std::runtime_error("cannot open " + target);
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      return ir::ParseModuleOrThrow(buffer.str());
+    }());
+
+    core::AnalysisOptions opts;
+    opts.jobs = jobs;
+    store::AnalysisKey key;
+    key.app = target;
+    key.config = "scale=" + std::to_string(scale);
+    key.module_fingerprint = store::ModuleFingerprint(*module);
+    key.options = opts;
+    const std::string id = store::CacheId(key);
+
+    const std::lock_guard<std::mutex> lock(resident_mutex);
+    const auto it = resident.find(id);
+    if (it != resident.end()) {
+      *hit = true;
+      obs::GetCounter("serve.analyze.resident_hits").Add();
+      return *it->second;
+    }
+    *hit = false;
+    obs::GetCounter("serve.analyze.resident_misses").Add();
+    auto entry = std::make_unique<Resident>(std::move(module), opts, key, *cache);
+    return *resident.emplace(id, std::move(entry)).first->second;
+  }
+
+  void Execute(Job& job) {
+    if (job.cancel.load() || !job.conn->open.load()) {
+      const std::lock_guard<std::mutex> lock(sched_mutex);
+      cancelled += 1;
+      obs::GetCounter("serve.jobs.cancelled").Add();
+      if (job.conn->open.load()) {
+        job.conn->SendError(ErrorCode::kCancelled,
+                            "job " + std::to_string(job.id) + " cancelled");
+      }
+      return;
+    }
+    if (job.args[0] == "analyze") {
+      ExecuteAnalyze(job);
+    } else {
+      ExecuteWorker(job);
+    }
+  }
+
+  void ExecuteAnalyze(Job& job) {
+    const int scale = std::atoi(FlagValue(job.args, "scale", "1").c_str());
+    const int jobs_flag = std::atoi(FlagValue(job.args, "jobs", "0").c_str());
+    try {
+      bool hit = false;
+      const auto start = std::chrono::steady_clock::now();
+      Resident& entry = EnsureResident(job.args[1], scale, jobs_flag, &hit);
+      std::ostringstream out;
+      RenderAnalyzeReport(entry.analysis, out);
+      const double ms =
+          std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+              .count();
+      char note[160];
+      std::snprintf(note, sizeof note, "serve: analysis %s (%s, %.2f ms)\n",
+                    job.args[1].c_str(), hit ? "resident" : "computed", ms);
+      job.conn->Send(FrameType::kStdout, out.str());
+      job.conn->Send(FrameType::kStderr, note);
+      job.conn->Send(FrameType::kDone, EncodeU64(0));
+    } catch (const std::exception& error) {
+      job.conn->SendError(ErrorCode::kBadRequest, error.what());
+    }
+  }
+
+  void ExecuteWorker(Job& job) {
+    // Warm the shared cache first: the worker then restores the analysis
+    // artifact instead of re-running parse + golden run + DDG — the resident
+    // map is what makes daemon-side injections start hot. A bad target fails
+    // here, cheaply, instead of through worker relaunch exhaustion.
+    try {
+      const int scale = std::atoi(FlagValue(job.args, "scale", "1").c_str());
+      bool hit = false;
+      EnsureResident(job.args[1], scale, /*jobs=*/0, &hit);
+    } catch (const std::exception& error) {
+      job.conn->SendError(ErrorCode::kBadRequest, error.what());
+      return;
+    }
+
+    const std::string base = jobs_dir + "/job-" + std::to_string(job.id);
+    const std::string out_path = base + ".out";
+    const std::string err_path = base + ".err";
+    const std::string progress_path = base + ".progress";
+
+    fi::SupervisorOptions sup;
+    sup.shards = 1;
+    sup.retries = options.retries;
+    sup.command = [&](int) {
+      SubprocessOptions cmd;
+      cmd.argv.push_back(options.exe_path);
+      for (const std::string& arg : job.args) cmd.argv.push_back(arg);
+      cmd.argv.push_back("--cache-dir");
+      cmd.argv.push_back(cache_dir);
+      cmd.env = {"EPVF_PROGRESS=0", "EPVF_PROGRESS_FILE=" + progress_path, "EPVF_TRACE=0",
+                 "EPVF_CACHE_DIR="};
+      cmd.stdout_path = out_path;
+      cmd.stderr_path = err_path;
+      return cmd;
+    };
+    sup.on_event = [&](const std::string& message) {
+      Emit("job " + std::to_string(job.id) + ": " + message);
+    };
+    sup.cancelled = [&] { return stop.load() || job.cancel.load(); };
+
+    // Progress pump: forward the worker's epvf-progress-v1 snapshots as
+    // kProgress frames whenever the published file changes.
+    std::string last_progress;
+    auto last_pump = std::chrono::steady_clock::now();
+    sup.on_poll = [&] {
+      const auto now = std::chrono::steady_clock::now();
+      if (std::chrono::duration<double>(now - last_pump).count() <
+          options.progress_interval_seconds) {
+        return;
+      }
+      last_pump = now;
+      std::string text = ReadFileText(progress_path);
+      if (text.empty() || text == last_progress) return;
+      if (!obs::ParseProgressSnapshot(text).has_value()) return;
+      last_progress = std::move(text);
+      job.conn->Send(FrameType::kProgress, last_progress);
+    };
+
+    const fi::SupervisorResult result = fi::RunShardSupervisor(sup);
+    if (result.cancelled) {
+      const std::lock_guard<std::mutex> lock(sched_mutex);
+      cancelled += 1;
+      completed -= 1;  // ExecutorLoop counts every executed job; rebalance
+      obs::GetCounter("serve.jobs.cancelled").Add();
+      job.conn->SendError(ErrorCode::kCancelled, "job " + std::to_string(job.id) + " cancelled");
+    } else {
+      const fi::ShardOutcome& outcome = result.shards[0];
+      const std::string out_text = ReadFileText(out_path);
+      const std::string err_text = ReadFileText(err_path);
+      if (!out_text.empty()) job.conn->Send(FrameType::kStdout, out_text);
+      if (!err_text.empty()) job.conn->Send(FrameType::kStderr, err_text);
+      const std::uint64_t code =
+          outcome.succeeded ? 0 : (outcome.last_status.exited ? outcome.last_status.code : 1);
+      job.conn->Send(FrameType::kDone, EncodeU64(code));
+    }
+    std::error_code ec;
+    for (const std::string& path : {out_path, err_path, progress_path}) {
+      std::filesystem::remove(path, ec);
+    }
+  }
+};
+
+Server::Server(ServerOptions options) : impl_(std::make_unique<Impl>(std::move(options))) {}
+
+Server::~Server() { Stop(); }
+
+const std::string& Server::cache_dir() const { return impl_->cache_dir; }
+const std::string& Server::socket_path() const { return impl_->options.socket_path; }
+
+bool Server::Start() {
+  Impl& im = *impl_;
+  if (im.started) return false;
+
+  im.cache_dir = im.options.cache_dir;
+  if (im.cache_dir.empty()) {
+    std::string pattern = (std::filesystem::temp_directory_path() / "epvf-serve-XXXXXX").string();
+    char* made = ::mkdtemp(pattern.data());
+    if (made == nullptr) {
+      im.Emit("cannot create a private cache directory");
+      return false;
+    }
+    im.cache_dir = made;
+    im.private_cache_dir = true;
+  }
+  {
+    std::string pattern =
+        (std::filesystem::temp_directory_path() / "epvf-serve-jobs-XXXXXX").string();
+    char* made = ::mkdtemp(pattern.data());
+    if (made == nullptr) {
+      im.Emit("cannot create a job spool directory");
+      return false;
+    }
+    im.jobs_dir = made;
+  }
+  im.cache.emplace(im.cache_dir);
+  if (!im.cache->enabled()) {
+    im.Emit("cache directory " + im.cache_dir + " is unusable");
+    return false;
+  }
+
+  struct sockaddr_un addr;
+  std::memset(&addr, 0, sizeof addr);
+  addr.sun_family = AF_UNIX;
+  if (im.options.socket_path.size() >= sizeof addr.sun_path) {
+    im.Emit("socket path too long: " + im.options.socket_path);
+    return false;
+  }
+  std::strncpy(addr.sun_path, im.options.socket_path.c_str(), sizeof addr.sun_path - 1);
+
+  im.listen_fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (im.listen_fd < 0) {
+    im.Emit("cannot create socket");
+    return false;
+  }
+  ::unlink(im.options.socket_path.c_str());
+  if (::bind(im.listen_fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(im.listen_fd, 64) != 0) {
+    im.Emit("cannot bind " + im.options.socket_path + ": " + std::strerror(errno));
+    ::close(im.listen_fd);
+    im.listen_fd = -1;
+    return false;
+  }
+
+  im.started = true;
+  im.accept_thread = std::thread([&im] { im.AcceptLoop(); });
+  const int slots = std::max(1, im.options.slots);
+  im.executors.reserve(static_cast<std::size_t>(slots));
+  for (int i = 0; i < slots; ++i) {
+    im.executors.emplace_back([&im] { im.ExecutorLoop(); });
+  }
+  return true;
+}
+
+void Server::Wait() {
+  Impl& im = *impl_;
+  // Polling wait (100 ms) so RequestStop stays async-signal-safe: a SIGTERM
+  // handler only does one atomic store, never touches a mutex or cv.
+  while (!im.stop_requested.load() && !im.stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+}
+
+void Server::RequestStop() { impl_->stop_requested.store(true); }
+
+void Server::Stop() {
+  Impl& im = *impl_;
+  if (!im.started || im.stopped) return;
+  im.stopped = true;
+  im.stop.store(true);
+  im.stop_requested.store(true);
+
+  // Fail everything still queued; running jobs see the stop flag through
+  // their supervisor's cancelled predicate and wind down.
+  {
+    const std::lock_guard<std::mutex> lock(im.sched_mutex);
+    while (!im.queue.empty()) {
+      const std::shared_ptr<Job> job = im.queue.front();
+      im.FailQueuedLocked(*job, ErrorCode::kShuttingDown);
+    }
+  }
+  im.sched_cv.notify_all();
+  for (std::thread& t : im.executors) t.join();
+  im.executors.clear();
+
+  if (im.accept_thread.joinable()) im.accept_thread.join();
+  if (im.listen_fd >= 0) {
+    ::close(im.listen_fd);
+    im.listen_fd = -1;
+  }
+  ::unlink(im.options.socket_path.c_str());
+
+  {
+    const std::lock_guard<std::mutex> lock(im.conn_mutex);
+    for (const auto& conn : im.connections) {
+      if (conn->open.load()) ::shutdown(conn->fd, SHUT_RDWR);
+    }
+  }
+  for (std::thread& t : im.readers) t.join();
+  {
+    const std::lock_guard<std::mutex> lock(im.conn_mutex);
+    im.readers.clear();
+    im.connections.clear();
+  }
+
+  // The cache destructor persists its lifetime counters into the directory,
+  // so it must run before a private directory is removed.
+  im.cache.reset();
+  std::error_code ec;
+  if (im.private_cache_dir) std::filesystem::remove_all(im.cache_dir, ec);
+  if (!im.jobs_dir.empty()) std::filesystem::remove_all(im.jobs_dir, ec);
+  im.Emit("stopped");
+}
+
+}  // namespace epvf::serve

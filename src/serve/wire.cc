@@ -1,0 +1,154 @@
+#include "serve/wire.h"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <span>
+
+#include "store/serializer.h"
+
+namespace epvf::serve {
+
+namespace {
+
+constexpr std::size_t kHeaderSize = 16;
+
+/// Reads exactly `size` bytes. 1 = done, 0 = clean EOF before the first
+/// byte, -1 = EOF/failure mid-read.
+int ReadFully(int fd, char* data, std::size_t size) {
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd, data + got, size - got, 0);
+    if (n == 0) return got == 0 ? 0 : -1;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return 1;
+}
+
+std::span<const std::uint8_t> AsBytes(std::string_view text) {
+  return {reinterpret_cast<const std::uint8_t*>(text.data()), text.size()};
+}
+
+}  // namespace
+
+std::string_view ReadStatusName(ReadStatus status) {
+  switch (status) {
+    case ReadStatus::kOk: return "ok";
+    case ReadStatus::kClosed: return "closed";
+    case ReadStatus::kTruncated: return "truncated frame";
+    case ReadStatus::kBadMagic: return "bad magic";
+    case ReadStatus::kBadVersion: return "unsupported protocol version";
+    case ReadStatus::kOversized: return "oversized payload";
+    case ReadStatus::kIoError: return "read error";
+  }
+  return "unknown";
+}
+
+ReadStatus ReadFrame(int fd, Frame* out) {
+  char header[kHeaderSize];
+  const int head = ReadFully(fd, header, kHeaderSize);
+  if (head == 0) return ReadStatus::kClosed;
+  if (head < 0) return errno == 0 ? ReadStatus::kTruncated : ReadStatus::kIoError;
+
+  store::ByteReader reader(
+      std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(header), kHeaderSize));
+  const std::uint32_t magic = reader.U32();
+  const std::uint32_t version = reader.U32();
+  const std::uint32_t type = reader.U32();
+  const std::uint32_t length = reader.U32();
+  if (magic != kWireMagic) return ReadStatus::kBadMagic;
+  if (version != kWireVersion) return ReadStatus::kBadVersion;
+  if (length > kMaxFramePayload) return ReadStatus::kOversized;
+
+  out->type = static_cast<FrameType>(type);
+  out->payload.resize(length);
+  if (length > 0) {
+    errno = 0;
+    if (ReadFully(fd, out->payload.data(), length) != 1) {
+      return errno == 0 ? ReadStatus::kTruncated : ReadStatus::kIoError;
+    }
+  }
+  return ReadStatus::kOk;
+}
+
+bool WriteFrame(int fd, FrameType type, std::string_view payload) {
+  if (payload.size() > kMaxFramePayload) return false;
+  store::ByteWriter header;
+  header.U32(kWireMagic);
+  header.U32(kWireVersion);
+  header.U32(static_cast<std::uint32_t>(type));
+  header.U32(static_cast<std::uint32_t>(payload.size()));
+  std::string frame = header.bytes();
+  frame.append(payload);
+
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = ::send(fd, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string EncodeRunRequest(const RunRequest& request) {
+  store::ByteWriter out;
+  out.U32(request.priority);
+  out.U32(static_cast<std::uint32_t>(request.args.size()));
+  for (const std::string& arg : request.args) out.Str(arg);
+  return out.bytes();
+}
+
+std::optional<RunRequest> DecodeRunRequest(std::string_view payload) {
+  store::ByteReader reader(AsBytes(payload));
+  RunRequest request;
+  request.priority = reader.U32();
+  const std::uint32_t count = reader.U32();
+  // Each argument costs at least its 8-byte length prefix; bounding the
+  // count by the remaining bytes stops a hostile header from driving a
+  // multi-gigabyte reserve.
+  if (count > reader.Remaining() / 8) return std::nullopt;
+  request.args.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) request.args.push_back(reader.Str());
+  if (!reader.Finished()) return std::nullopt;
+  return request;
+}
+
+std::string EncodeErrorReply(const ErrorReply& reply) {
+  store::ByteWriter out;
+  out.U32(static_cast<std::uint32_t>(reply.code));
+  out.U32(reply.retry_after_ms);
+  out.Str(reply.message);
+  return out.bytes();
+}
+
+std::optional<ErrorReply> DecodeErrorReply(std::string_view payload) {
+  store::ByteReader reader(AsBytes(payload));
+  ErrorReply reply;
+  reply.code = static_cast<ErrorCode>(reader.U32());
+  reply.retry_after_ms = reader.U32();
+  reply.message = reader.Str();
+  if (!reader.Finished()) return std::nullopt;
+  return reply;
+}
+
+std::string EncodeU64(std::uint64_t value) {
+  store::ByteWriter out;
+  out.U64(value);
+  return out.bytes();
+}
+
+std::optional<std::uint64_t> DecodeU64(std::string_view payload) {
+  store::ByteReader reader(AsBytes(payload));
+  const std::uint64_t value = reader.U64();
+  if (!reader.Finished()) return std::nullopt;
+  return value;
+}
+
+}  // namespace epvf::serve

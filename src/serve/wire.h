@@ -1,0 +1,108 @@
+// epvf-wire-v1 — the daemon's length-prefixed frame protocol.
+//
+// Every message on the Unix-domain socket is one frame: a fixed 16-byte
+// header (magic "EPVW", format version, frame type, payload length, all
+// little-endian u32) followed by the payload bytes. The header is validated
+// before a single payload byte is read, so a malformed peer costs the server
+// one bounded read, never memory or a crash: bad magic, an unknown version,
+// and an oversized length each map to a distinct ReadStatus the server
+// answers with an error frame before closing the connection. Payloads are
+// encoded with the store layer's bounds-checked little-endian primitives
+// (ByteWriter/ByteReader) — decoding garbage degrades to std::nullopt.
+//
+// The full request/response vocabulary, framing rules, and versioning policy
+// are documented in docs/SERVE_PROTOCOL.md.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace epvf::serve {
+
+/// "EPVW" as a little-endian u32 ('E' is the lowest byte on the wire).
+inline constexpr std::uint32_t kWireMagic = 0x57565045u;
+inline constexpr std::uint32_t kWireVersion = 1;
+/// Hard payload bound; a length above this is rejected before any payload
+/// read (the largest legitimate frame is a campaign report, well under 1 MiB).
+inline constexpr std::uint32_t kMaxFramePayload = 16u << 20;
+
+enum class FrameType : std::uint32_t {
+  // Client → server.
+  kRun = 1,       ///< RunRequest: queue an analyze/inject/campaign job
+  kStatus = 2,    ///< empty: report queue + running jobs
+  kCancel = 3,    ///< u64 job id
+  kShutdown = 4,  ///< empty: drain nothing, stop the daemon
+  kMetrics = 5,   ///< empty: dump the obs registry
+
+  // Server → client.
+  kAck = 64,            ///< u64 job id — the run was admitted
+  kStdout = 65,         ///< raw bytes for the client's stdout
+  kStderr = 66,         ///< raw bytes for the client's stderr
+  kProgress = 67,       ///< epvf-progress-v1 snapshot text
+  kDone = 68,           ///< u64 exit code — terminal frame of a request
+  kError = 69,          ///< ErrorReply — terminal frame of a failed request
+  kStatusReport = 70,   ///< status text
+  kMetricsReport = 71,  ///< epvf-metrics-v1 JSON
+};
+
+enum class ErrorCode : std::uint32_t {
+  kBadRequest = 1,    ///< malformed frame/payload or a rejected command/flag
+  kBusy = 2,          ///< queue full — retry after retry_after_ms
+  kCancelled = 3,     ///< the job was cancelled before completing
+  kShuttingDown = 4,  ///< the daemon is stopping and dropped the job
+  kInternal = 5,      ///< daemon-side failure (details in message)
+  kUnknownJob = 6,    ///< cancel named a job id the daemon does not hold
+};
+
+struct Frame {
+  FrameType type{};
+  std::string payload;
+};
+
+/// How a frame read ended. Everything except kOk/kClosed is a protocol
+/// violation the server reports (best effort) before dropping the peer.
+enum class ReadStatus {
+  kOk,
+  kClosed,      ///< clean EOF between frames
+  kTruncated,   ///< EOF inside a header or payload
+  kBadMagic,    ///< first four bytes were not "EPVW"
+  kBadVersion,  ///< unsupported protocol version
+  kOversized,   ///< payload length above kMaxFramePayload
+  kIoError,     ///< recv failed
+};
+[[nodiscard]] std::string_view ReadStatusName(ReadStatus status);
+
+/// Blocking full-frame read. On kOk, `out` holds the frame; on anything
+/// else `out` is unspecified.
+[[nodiscard]] ReadStatus ReadFrame(int fd, Frame* out);
+
+/// Blocking full-frame write (MSG_NOSIGNAL — a dead peer is a false return,
+/// never a SIGPIPE). False on any short write.
+[[nodiscard]] bool WriteFrame(int fd, FrameType type, std::string_view payload);
+
+/// kRun payload: a priority plus the argv tokens of the equivalent local CLI
+/// invocation (command, target, then flags), e.g. {"inject","mm","--runs","40"}.
+struct RunRequest {
+  std::uint32_t priority = 0;
+  std::vector<std::string> args;
+};
+[[nodiscard]] std::string EncodeRunRequest(const RunRequest& request);
+[[nodiscard]] std::optional<RunRequest> DecodeRunRequest(std::string_view payload);
+
+/// kError payload.
+struct ErrorReply {
+  ErrorCode code = ErrorCode::kInternal;
+  std::uint32_t retry_after_ms = 0;  ///< nonzero only with kBusy
+  std::string message;
+};
+[[nodiscard]] std::string EncodeErrorReply(const ErrorReply& reply);
+[[nodiscard]] std::optional<ErrorReply> DecodeErrorReply(std::string_view payload);
+
+/// kAck / kDone / kCancel payloads: one u64.
+[[nodiscard]] std::string EncodeU64(std::uint64_t value);
+[[nodiscard]] std::optional<std::uint64_t> DecodeU64(std::string_view payload);
+
+}  // namespace epvf::serve

@@ -1,12 +1,17 @@
 #include "support/subprocess.h"
 
 #include <fcntl.h>
+#include <poll.h>
 #include <signal.h>
+#include <sys/syscall.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "support/logging.h"
 
@@ -36,6 +41,49 @@ ExitStatus FromWaitStatus(int status) {
     out.code = -1;
   }
   return out;
+}
+
+/// pidfd_open(2) via syscall(2) — glibc grew the wrapper late, and the raw
+/// call degrades cleanly (-1/ENOSYS) on pre-5.3 kernels. A pidfd on an
+/// unreaped child (even a zombie) polls readable once the child exits, which
+/// is exactly the readiness signal a supervisor loop wants.
+int OpenPidFd(pid_t pid) {
+#ifdef SYS_pidfd_open
+  return static_cast<int>(::syscall(SYS_pidfd_open, pid, 0u));
+#else
+  errno = ENOSYS;
+  return -1;
+#endif
+}
+
+/// Sleep-poll fallback for kernels without pidfd_open: checks each child with
+/// WNOHANG at a 10 ms cadence until one is ready or the deadline passes.
+/// Returns a ready index or -1.
+int WaitAnySleepPoll(const std::vector<Subprocess*>& children, double timeout_seconds) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(timeout_seconds));
+  while (true) {
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      Subprocess* child = children[i];
+      if (child == nullptr || child->reaped() || child->pid() < 0) continue;
+      int status = 0;
+      // WNOWAIT keeps the child reapable for the caller's own Poll().
+      siginfo_t info;
+      info.si_pid = 0;
+      if (::waitid(P_PID, static_cast<id_t>(child->pid()), &info, WEXITED | WNOHANG | WNOWAIT) ==
+              0 &&
+          info.si_pid != 0) {
+        return static_cast<int>(i);
+      }
+      (void)status;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return -1;
+    const auto step = std::min(deadline - now, std::chrono::steady_clock::duration(
+                                                   std::chrono::milliseconds(10)));
+    std::this_thread::sleep_for(step);
+  }
 }
 
 }  // namespace
@@ -147,6 +195,59 @@ std::optional<ExitStatus> Subprocess::Poll() {
   }
   status_ = FromWaitStatus(status);
   return status_;
+}
+
+std::optional<ExitStatus> Subprocess::PollWithDeadline(double timeout_seconds) {
+  if (status_.has_value() || pid_ < 0 || timeout_seconds <= 0) return Poll();
+  std::vector<Subprocess*> self{this};
+  if (WaitAnyReady(self, timeout_seconds) == 0) return Poll();
+  return Poll();  // timeout — one last non-blocking check closes the race
+}
+
+int Subprocess::WaitAnyReady(const std::vector<Subprocess*>& children, double timeout_seconds) {
+  std::vector<struct pollfd> fds;
+  std::vector<int> index_of_fd;
+  fds.reserve(children.size());
+  bool pidfd_ok = true;
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    const Subprocess* child = children[i];
+    if (child == nullptr || child->reaped() || child->pid() < 0) continue;
+    const int fd = OpenPidFd(child->pid());
+    if (fd < 0) {
+      // ENOSYS (old kernel) or EMFILE: tear down what we opened and fall
+      // back to the sleep-poll loop for the whole roster.
+      pidfd_ok = false;
+      break;
+    }
+    fds.push_back({.fd = fd, .events = POLLIN, .revents = 0});
+    index_of_fd.push_back(static_cast<int>(i));
+  }
+
+  int ready = -1;
+  if (pidfd_ok) {
+    if (!fds.empty()) {
+      const int timeout_ms =
+          timeout_seconds <= 0
+              ? 0
+              : static_cast<int>(std::min(timeout_seconds * 1000.0, 2147483000.0));
+      int r;
+      do {
+        r = ::poll(fds.data(), fds.size(), timeout_ms);
+      } while (r < 0 && errno == EINTR);
+      if (r > 0) {
+        for (std::size_t i = 0; i < fds.size(); ++i) {
+          if (fds[i].revents != 0) {
+            ready = index_of_fd[i];
+            break;
+          }
+        }
+      }
+    }
+    for (const struct pollfd& p : fds) ::close(p.fd);
+    return ready;
+  }
+  for (const struct pollfd& p : fds) ::close(p.fd);
+  return WaitAnySleepPoll(children, timeout_seconds);
 }
 
 ExitStatus Subprocess::Wait() {

@@ -62,6 +62,21 @@ class Subprocess {
   /// once it ended (idempotent afterwards).
   [[nodiscard]] std::optional<ExitStatus> Poll();
 
+  /// Poll with a real readiness wait: blocks until the child ends or
+  /// `timeout_seconds` elapse, whichever comes first, then reaps like Poll.
+  /// Uses pidfd_open + poll(2) so the wait ends the instant the child exits
+  /// (no sleep quantum); on kernels without pidfd support it degrades to a
+  /// bounded sleep-poll loop. timeout_seconds <= 0 behaves like Poll().
+  [[nodiscard]] std::optional<ExitStatus> PollWithDeadline(double timeout_seconds);
+
+  /// Waits until at least one of `children` is ready to reap or the timeout
+  /// elapses. Returns the index of a ready child (its Poll will not return
+  /// nullopt), or -1 on timeout / when every child is already reaped. Null
+  /// and already-reaped entries are skipped — callers can pass their full
+  /// roster each round. One poll(2) over pidfds; same sleep-poll fallback.
+  [[nodiscard]] static int WaitAnyReady(const std::vector<Subprocess*>& children,
+                                        double timeout_seconds);
+
   /// Blocks until the child ends.
   ExitStatus Wait();
 

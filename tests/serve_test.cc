@@ -1,0 +1,456 @@
+// epvf-wire-v1 / serve-daemon tests, at three levels:
+//
+//  - Wire level: frame and payload codecs round-trip over a socketpair, and
+//    every malformed-header class (bad magic, bad version, oversized length,
+//    truncation) maps to its distinct ReadStatus.
+//  - Protocol fuzz against an in-process Server: hostile raw bytes on the
+//    socket — garbage headers, truncated frames, oversized lengths, unknown
+//    frame types, undecodable payloads — each earn an error reply (best
+//    effort) and never take the daemon down; a well-formed request afterwards
+//    proves liveness. Rides the sanitizer CI job like the other fuzz suites.
+//  - End to end through the real binary (EPVF_CLI_PATH): `epvf serve` as a
+//    subprocess, `analyze`/`inject --connect` stdout diffed byte-for-byte
+//    against local runs, plus status/cancel/shutdown and the busy
+//    (backpressure) exit code.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/wire.h"
+#include "store/serializer.h"
+#include "support/subprocess.h"
+
+namespace epvf::serve {
+namespace {
+
+// --- wire codecs -------------------------------------------------------------
+
+struct SocketPair {
+  int a = -1;
+  int b = -1;
+  SocketPair() {
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0) {
+      a = fds[0];
+      b = fds[1];
+    }
+  }
+  ~SocketPair() {
+    if (a >= 0) ::close(a);
+    if (b >= 0) ::close(b);
+  }
+};
+
+TEST(Wire, FrameRoundTripsOverASocket) {
+  SocketPair pair;
+  ASSERT_GE(pair.a, 0);
+  const std::string payload = "hello epvf";
+  ASSERT_TRUE(WriteFrame(pair.a, FrameType::kStdout, payload));
+  Frame frame;
+  ASSERT_EQ(ReadFrame(pair.b, &frame), ReadStatus::kOk);
+  EXPECT_EQ(frame.type, FrameType::kStdout);
+  EXPECT_EQ(frame.payload, payload);
+}
+
+TEST(Wire, EmptyPayloadAndCleanCloseAreDistinct) {
+  SocketPair pair;
+  ASSERT_TRUE(WriteFrame(pair.a, FrameType::kStatus, {}));
+  Frame frame;
+  ASSERT_EQ(ReadFrame(pair.b, &frame), ReadStatus::kOk);
+  EXPECT_TRUE(frame.payload.empty());
+  ::close(pair.a);
+  pair.a = -1;
+  EXPECT_EQ(ReadFrame(pair.b, &frame), ReadStatus::kClosed);
+}
+
+TEST(Wire, BadMagicBadVersionOversizedAndTruncatedAreToldApart) {
+  {
+    SocketPair pair;
+    const char junk[16] = "XXXXXXXXXXXXXXX";
+    ASSERT_EQ(::send(pair.a, junk, sizeof junk, 0), static_cast<ssize_t>(sizeof junk));
+    Frame frame;
+    EXPECT_EQ(ReadFrame(pair.b, &frame), ReadStatus::kBadMagic);
+  }
+  {
+    SocketPair pair;
+    store::ByteWriter header;
+    header.U32(kWireMagic);
+    header.U32(kWireVersion + 7);
+    header.U32(1);
+    header.U32(0);
+    ASSERT_EQ(::send(pair.a, header.bytes().data(), header.bytes().size(), 0), 16);
+    Frame frame;
+    EXPECT_EQ(ReadFrame(pair.b, &frame), ReadStatus::kBadVersion);
+  }
+  {
+    SocketPair pair;
+    store::ByteWriter header;
+    header.U32(kWireMagic);
+    header.U32(kWireVersion);
+    header.U32(1);
+    header.U32(kMaxFramePayload + 1);
+    ASSERT_EQ(::send(pair.a, header.bytes().data(), header.bytes().size(), 0), 16);
+    Frame frame;
+    EXPECT_EQ(ReadFrame(pair.b, &frame), ReadStatus::kOversized);
+  }
+  {
+    // Header promises 100 payload bytes, peer hangs up after 3.
+    SocketPair pair;
+    store::ByteWriter header;
+    header.U32(kWireMagic);
+    header.U32(kWireVersion);
+    header.U32(static_cast<std::uint32_t>(FrameType::kRun));
+    header.U32(100);
+    std::string bytes = header.bytes() + "abc";
+    ASSERT_EQ(::send(pair.a, bytes.data(), bytes.size(), 0), static_cast<ssize_t>(bytes.size()));
+    ::close(pair.a);
+    pair.a = -1;
+    Frame frame;
+    EXPECT_EQ(ReadFrame(pair.b, &frame), ReadStatus::kTruncated);
+  }
+  {
+    // EOF mid-header is truncation too, not a clean close.
+    SocketPair pair;
+    ASSERT_EQ(::send(pair.a, "EPVW", 4, 0), 4);
+    ::close(pair.a);
+    pair.a = -1;
+    Frame frame;
+    EXPECT_EQ(ReadFrame(pair.b, &frame), ReadStatus::kTruncated);
+  }
+}
+
+TEST(Wire, RunRequestRoundTripsAndRejectsGarbage) {
+  RunRequest request;
+  request.priority = 3;
+  request.args = {"inject", "mm", "--runs", "40"};
+  const std::optional<RunRequest> back = DecodeRunRequest(EncodeRunRequest(request));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->priority, 3u);
+  EXPECT_EQ(back->args, request.args);
+
+  EXPECT_FALSE(DecodeRunRequest("").has_value());
+  EXPECT_FALSE(DecodeRunRequest("garbage").has_value());
+  // A hostile count field far beyond the actual bytes must not allocate.
+  store::ByteWriter hostile;
+  hostile.U32(0);
+  hostile.U32(0x40000000u);
+  EXPECT_FALSE(DecodeRunRequest(hostile.bytes()).has_value());
+  // Trailing bytes after a valid encoding are a framing bug, not padding.
+  EXPECT_FALSE(DecodeRunRequest(EncodeRunRequest(request) + "x").has_value());
+}
+
+TEST(Wire, ErrorReplyAndU64RoundTrip) {
+  ErrorReply reply;
+  reply.code = ErrorCode::kBusy;
+  reply.retry_after_ms = 450;
+  reply.message = "queue full";
+  const std::optional<ErrorReply> back = DecodeErrorReply(EncodeErrorReply(reply));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->code, ErrorCode::kBusy);
+  EXPECT_EQ(back->retry_after_ms, 450u);
+  EXPECT_EQ(back->message, "queue full");
+
+  EXPECT_EQ(DecodeU64(EncodeU64(0xDEADBEEFu)).value_or(0), 0xDEADBEEFu);
+  EXPECT_FALSE(DecodeU64("short").has_value());
+}
+
+// --- protocol fuzz against a live server -------------------------------------
+
+/// Short unique socket path (AF_UNIX caps sun_path at ~107 bytes, so the
+/// usual deep test tmpdirs are off the table).
+std::string TestSocketPath(const char* tag) {
+  return "/tmp/epvf-" + std::string(tag) + "-" + std::to_string(::getpid()) + ".sock";
+}
+
+ServerOptions InProcessOptions(const std::string& socket_path) {
+  ServerOptions options;
+  options.socket_path = socket_path;
+  options.exe_path = EPVF_CLI_PATH;
+  return options;
+}
+
+int RawConnect(const std::string& socket_path) {
+  struct sockaddr_un addr;
+  std::memset(&addr, 0, sizeof addr);
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof addr.sun_path - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// The daemon still answers a status request — the liveness probe after every
+/// hostile connection.
+void ExpectAlive(const std::string& socket_path) {
+  std::optional<ServeClient> client = ServeClient::Connect(socket_path);
+  ASSERT_TRUE(client.has_value());
+  EXPECT_TRUE(client->Status().has_value());
+}
+
+TEST(ServeFuzz, HostileBytesGetErrorRepliesNeverACrash) {
+  const std::string socket_path = TestSocketPath("fuzz");
+  Server server(InProcessOptions(socket_path));
+  ASSERT_TRUE(server.Start());
+
+  // Bad magic: expect a best-effort kError reply, then the connection drops.
+  {
+    const int fd = RawConnect(socket_path);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::send(fd, "NOPEnopeNOPEnope", 16, 0), 16);
+    Frame frame;
+    ASSERT_EQ(ReadFrame(fd, &frame), ReadStatus::kOk);
+    EXPECT_EQ(frame.type, FrameType::kError);
+    const std::optional<ErrorReply> reply = DecodeErrorReply(frame.payload);
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(reply->code, ErrorCode::kBadRequest);
+    ::close(fd);
+  }
+  ExpectAlive(socket_path);
+
+  // Unsupported version and oversized length, same contract.
+  for (const bool oversized : {false, true}) {
+    const int fd = RawConnect(socket_path);
+    ASSERT_GE(fd, 0);
+    store::ByteWriter header;
+    header.U32(kWireMagic);
+    header.U32(oversized ? kWireVersion : 99u);
+    header.U32(static_cast<std::uint32_t>(FrameType::kStatus));
+    header.U32(oversized ? kMaxFramePayload + 1 : 0u);
+    ASSERT_EQ(::send(fd, header.bytes().data(), header.bytes().size(), 0), 16);
+    Frame frame;
+    ASSERT_EQ(ReadFrame(fd, &frame), ReadStatus::kOk);
+    EXPECT_EQ(frame.type, FrameType::kError);
+    ::close(fd);
+    ExpectAlive(socket_path);
+  }
+
+  // Truncated frames: partial header, and a payload cut short. No reply owed;
+  // the daemon just must survive.
+  for (const int cut : {1, 4, 9, 15}) {
+    const int fd = RawConnect(socket_path);
+    ASSERT_GE(fd, 0);
+    store::ByteWriter header;
+    header.U32(kWireMagic);
+    header.U32(kWireVersion);
+    header.U32(static_cast<std::uint32_t>(FrameType::kRun));
+    header.U32(64);
+    ASSERT_EQ(::send(fd, header.bytes().data(), static_cast<std::size_t>(cut), 0), cut);
+    ::close(fd);
+  }
+  ExpectAlive(socket_path);
+
+  // Unknown frame type within a valid header: error reply, connection stays
+  // usable (additive forward compatibility).
+  {
+    const int fd = RawConnect(socket_path);
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(WriteFrame(fd, static_cast<FrameType>(42), "??"));
+    Frame frame;
+    ASSERT_EQ(ReadFrame(fd, &frame), ReadStatus::kOk);
+    EXPECT_EQ(frame.type, FrameType::kError);
+    // Same connection, now a well-formed request.
+    ASSERT_TRUE(WriteFrame(fd, FrameType::kStatus, {}));
+    ASSERT_EQ(ReadFrame(fd, &frame), ReadStatus::kOk);
+    EXPECT_EQ(frame.type, FrameType::kStatusReport);
+    ::close(fd);
+  }
+
+  // Undecodable kRun payloads and rejected commands/flags.
+  {
+    std::optional<ServeClient> client = ServeClient::Connect(socket_path);
+    ASSERT_TRUE(client.has_value());
+    const int fd = RawConnect(socket_path);
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(WriteFrame(fd, FrameType::kRun, "not a run request"));
+    Frame frame;
+    ASSERT_EQ(ReadFrame(fd, &frame), ReadStatus::kOk);
+    EXPECT_EQ(frame.type, FrameType::kError);
+    ::close(fd);
+
+    for (const std::vector<std::string>& args :
+         {std::vector<std::string>{"print", "mm"},
+          std::vector<std::string>{"analyze"},
+          std::vector<std::string>{"analyze", "--scale"},
+          std::vector<std::string>{"inject", "mm", "--cache-dir", "/tmp/x"},
+          std::vector<std::string>{"inject", "mm", "--connect", "/tmp/x"}}) {
+      RunRequest request;
+      request.args = args;
+      const ServeClient::RunResult result = client->Run(request, nullptr, nullptr, nullptr);
+      ASSERT_TRUE(result.transport_ok);
+      ASSERT_TRUE(result.error.has_value());
+      EXPECT_EQ(result.error->code, ErrorCode::kBadRequest);
+    }
+  }
+  ExpectAlive(socket_path);
+
+  server.Stop();
+  EXPECT_FALSE(std::filesystem::exists(socket_path));
+}
+
+TEST(Serve, BackpressureRejectsWithRetryHintAtQueueLimitZero) {
+  const std::string socket_path = TestSocketPath("busy");
+  ServerOptions options = InProcessOptions(socket_path);
+  options.queue_limit = 0;  // every admission is over the bound
+  Server server(std::move(options));
+  ASSERT_TRUE(server.Start());
+
+  std::optional<ServeClient> client = ServeClient::Connect(socket_path);
+  ASSERT_TRUE(client.has_value());
+  RunRequest request;
+  request.args = {"analyze", "mm", "--scale", "0"};
+  const ServeClient::RunResult result = client->Run(request, nullptr, nullptr, nullptr);
+  ASSERT_TRUE(result.transport_ok);
+  ASSERT_TRUE(result.error.has_value());
+  EXPECT_EQ(result.error->code, ErrorCode::kBusy);
+  EXPECT_GT(result.error->retry_after_ms, 0u);
+  server.Stop();
+}
+
+TEST(Serve, ResidentAnalyzeStreamsIdenticalBytesAndCancelKnowsUnknownJobs) {
+  const std::string socket_path = TestSocketPath("resident");
+  Server server(InProcessOptions(socket_path));
+  ASSERT_TRUE(server.Start());
+
+  std::optional<ServeClient> client = ServeClient::Connect(socket_path);
+  ASSERT_TRUE(client.has_value());
+  RunRequest request;
+  request.args = {"analyze", "mm", "--scale", "1"};
+
+  std::string first;
+  std::string second;
+  for (std::string* out : {&first, &second}) {
+    const ServeClient::RunResult result = client->Run(
+        request, [out](std::string_view bytes) { out->append(bytes); }, nullptr, nullptr);
+    ASSERT_TRUE(result.transport_ok);
+    ASSERT_FALSE(result.error.has_value());
+    EXPECT_EQ(result.exit_code, 0u);
+    EXPECT_GT(result.job_id, 0u);
+  }
+  EXPECT_FALSE(first.empty());
+  // Cold (computed) and warm (resident) replies carry identical stdout bytes.
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("ePVF (Eq. 2)"), std::string::npos);
+
+  ErrorReply error;
+  EXPECT_FALSE(client->Cancel(123456, &error));
+  EXPECT_EQ(error.code, ErrorCode::kUnknownJob);
+
+  const std::optional<std::string> metrics = client->Metrics();
+  ASSERT_TRUE(metrics.has_value());
+  EXPECT_NE(metrics->find("serve.analyze.resident_hits"), std::string::npos);
+
+  server.Stop();
+}
+
+// --- end to end through the real binary --------------------------------------
+
+struct CliResult {
+  std::string stdout_text;
+  int exit_code = -1;
+};
+
+CliResult RunCli(const std::string& args) {
+  const std::string command = std::string(EPVF_CLI_PATH) + " " + args + " 2>/dev/null";
+  CliResult result;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buffer[4096];
+  std::size_t n = 0;
+  while ((n = fread(buffer, 1, sizeof buffer, pipe)) > 0) {
+    result.stdout_text.append(buffer, n);
+  }
+  const int status = pclose(pipe);
+  if (WIFEXITED(status)) result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
+/// `epvf serve` as a child process, torn down (shutdown request, then kill as
+/// a backstop) when the fixture leaves scope.
+class ServeDaemon {
+ public:
+  explicit ServeDaemon(std::string socket_path) : socket_path_(std::move(socket_path)) {
+    SubprocessOptions options;
+    options.argv = {EPVF_CLI_PATH, "serve", socket_path_};
+    options.stderr_path = socket_path_ + ".log";
+    child_ = Subprocess::Spawn(options);
+  }
+
+  ~ServeDaemon() {
+    if (child_.has_value() && !child_->reaped()) {
+      if (std::optional<ServeClient> client = ServeClient::Connect(socket_path_)) {
+        (void)client->Shutdown();
+      }
+      if (!child_->PollWithDeadline(5.0).has_value()) child_->Kill();
+      (void)child_->Wait();
+    }
+    std::error_code ec;
+    std::filesystem::remove(socket_path_ + ".log", ec);
+  }
+
+  [[nodiscard]] bool WaitForSocket() const {
+    for (int i = 0; i < 100; ++i) {
+      struct stat st {};
+      if (::stat(socket_path_.c_str(), &st) == 0 && S_ISSOCK(st.st_mode)) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool ok() const { return child_.has_value(); }
+  [[nodiscard]] const std::string& socket_path() const { return socket_path_; }
+
+ private:
+  std::string socket_path_;
+  std::optional<Subprocess> child_;
+};
+
+TEST(ServeEndToEnd, ConnectedAnalyzeAndInjectMatchLocalStdoutByteForByte) {
+  const std::string socket_path = TestSocketPath("e2e");
+  ServeDaemon daemon(socket_path);
+  ASSERT_TRUE(daemon.ok());
+  ASSERT_TRUE(daemon.WaitForSocket());
+
+  const CliResult local_analyze = RunCli("analyze mm --scale 1 --no-cache");
+  const CliResult remote_analyze = RunCli("analyze mm --scale 1 --connect " + socket_path);
+  ASSERT_EQ(local_analyze.exit_code, 0);
+  ASSERT_EQ(remote_analyze.exit_code, 0);
+  EXPECT_EQ(remote_analyze.stdout_text, local_analyze.stdout_text);
+
+  const std::string inject_args = "inject mm --scale 1 --runs 24 --seed 9 --jobs 1";
+  const CliResult local_inject = RunCli(inject_args + " --no-cache");
+  const CliResult remote_inject = RunCli(inject_args + " --connect " + socket_path);
+  ASSERT_EQ(local_inject.exit_code, 0);
+  ASSERT_EQ(remote_inject.exit_code, 0);
+  EXPECT_EQ(remote_inject.stdout_text, local_inject.stdout_text);
+
+  // status reports over the CLI too, and names the daemon socket.
+  const CliResult status = RunCli("status --connect " + socket_path);
+  EXPECT_EQ(status.exit_code, 0);
+  EXPECT_NE(status.stdout_text.find(socket_path), std::string::npos);
+
+  // A target the daemon cannot load is a clean error, not a daemon death.
+  const CliResult bad = RunCli("analyze no-such-benchmark --connect " + socket_path);
+  EXPECT_EQ(bad.exit_code, 1);
+  const CliResult after = RunCli("analyze mm --scale 1 --connect " + socket_path);
+  EXPECT_EQ(after.exit_code, 0);
+  EXPECT_EQ(after.stdout_text, local_analyze.stdout_text);
+}
+
+}  // namespace
+}  // namespace epvf::serve

@@ -1,6 +1,8 @@
 // Unit tests for the support library: bit helpers, RNG, statistics, tables.
 #include <gtest/gtest.h>
 
+#include <chrono>
+
 #include <algorithm>
 #include <cmath>
 #include <sstream>
@@ -10,6 +12,7 @@
 #include "support/rng.h"
 #include "support/statistics.h"
 #include "support/stopwatch.h"
+#include "support/subprocess.h"
 #include "support/table.h"
 
 namespace epvf {
@@ -203,6 +206,69 @@ TEST(Stopwatch, MeasuresElapsedTime) {
   for (int i = 0; i < 100000; ++i) sink = sink + std::sqrt(static_cast<double>(i));
   EXPECT_GE(watch.ElapsedSeconds(), 0.0);
   EXPECT_GE(watch.ElapsedMillis(), watch.ElapsedSeconds());
+}
+
+// --- subprocess readiness waits ----------------------------------------------
+
+TEST(Subprocess, PollWithDeadlineReapsAnExitingChildPromptly) {
+  SubprocessOptions options;
+  options.argv = {"/bin/sh", "-c", "exit 7"};
+  std::optional<Subprocess> child = Subprocess::Spawn(options);
+  ASSERT_TRUE(child.has_value());
+  const auto start = std::chrono::steady_clock::now();
+  const std::optional<ExitStatus> status = child->PollWithDeadline(10.0);
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  ASSERT_TRUE(status.has_value());
+  EXPECT_TRUE(status->exited);
+  EXPECT_EQ(status->code, 7);
+  // The whole point of the readiness wait: nowhere near the 10 s deadline.
+  EXPECT_LT(waited, 5.0);
+  // Idempotent after the reap, like Poll.
+  EXPECT_TRUE(child->PollWithDeadline(1.0).has_value());
+}
+
+TEST(Subprocess, PollWithDeadlineTimesOutOnARunningChild) {
+  SubprocessOptions options;
+  options.argv = {"/bin/sh", "-c", "sleep 30"};
+  std::optional<Subprocess> child = Subprocess::Spawn(options);
+  ASSERT_TRUE(child.has_value());
+  EXPECT_FALSE(child->PollWithDeadline(0.05).has_value());
+  EXPECT_FALSE(child->reaped());
+  child->Kill();
+  const ExitStatus status = child->Wait();
+  EXPECT_FALSE(status.exited);
+}
+
+TEST(Subprocess, WaitAnyReadyPicksTheChildThatExits) {
+  SubprocessOptions slow;
+  slow.argv = {"/bin/sh", "-c", "sleep 30"};
+  SubprocessOptions fast;
+  fast.argv = {"/bin/sh", "-c", "exit 0"};
+  std::optional<Subprocess> slow_child = Subprocess::Spawn(slow);
+  std::optional<Subprocess> fast_child = Subprocess::Spawn(fast);
+  ASSERT_TRUE(slow_child.has_value());
+  ASSERT_TRUE(fast_child.has_value());
+  // Null entries are legal — callers pass their full roster each round.
+  const std::vector<Subprocess*> roster = {nullptr, &*slow_child, &*fast_child};
+  const int ready = Subprocess::WaitAnyReady(roster, 10.0);
+  ASSERT_EQ(ready, 2);
+  const std::optional<ExitStatus> status = fast_child->Poll();
+  ASSERT_TRUE(status.has_value());
+  EXPECT_TRUE(status->Success());
+  slow_child->Kill();
+  (void)slow_child->Wait();
+}
+
+TEST(Subprocess, WaitAnyReadySkipsReapedChildrenAndTimesOut) {
+  SubprocessOptions options;
+  options.argv = {"/bin/sh", "-c", "exit 0"};
+  std::optional<Subprocess> child = Subprocess::Spawn(options);
+  ASSERT_TRUE(child.has_value());
+  (void)child->Wait();
+  // Every entry reaped or null: nothing to wait for.
+  EXPECT_EQ(Subprocess::WaitAnyReady({&*child, nullptr}, 0.2), -1);
+  EXPECT_EQ(Subprocess::WaitAnyReady({}, 0.2), -1);
 }
 
 }  // namespace

@@ -34,8 +34,14 @@
 // cache/timing/observability diagnostics go to stderr, so stdout is
 // byte-identical between cold and warm runs and with tracing on or off.
 //
+// Daemon mode: `epvf serve <socket>` keeps analyses resident behind a Unix
+// socket (epvf-wire-v1, docs/SERVE_PROTOCOL.md); analyze/inject/campaign
+// accept --connect <socket> to run on the daemon instead (stdout is
+// byte-identical to a local run; progress/diagnostics stream to stderr), and
+// status/cancel/shutdown/metrics --connect administer it.
+//
 // Exit codes: 0 success, 1 runtime error, 2 usage, 3 unknown command,
-// 4 unknown flag.
+// 4 unknown flag, 6 daemon busy (retry later).
 #include <fcntl.h>
 #include <signal.h>
 #include <unistd.h>
@@ -72,6 +78,10 @@
 #include "obs/progress.h"
 #include "protect/evaluation.h"
 #include "protect/transform.h"
+#include "serve/client.h"
+#include "serve/render.h"
+#include "serve/server.h"
+#include "serve/wire.h"
 #include "store/cache.h"
 #include "support/subprocess.h"
 #include "support/table.h"
@@ -85,6 +95,9 @@ using namespace epvf;
 constexpr int kExitUsage = 2;
 constexpr int kExitUnknownCommand = 3;
 constexpr int kExitUnknownFlag = 4;
+/// The daemon rejected the request with kBusy — distinct so scripts can back
+/// off and retry instead of treating backpressure as a hard failure.
+constexpr int kExitBusy = 6;
 
 struct Options {
   std::string command;
@@ -114,22 +127,29 @@ const std::map<std::string, std::set<std::string>>& AllowedFlags() {
   static const std::map<std::string, std::set<std::string>> allowed = {
       {"list", {}},
       {"analyze",
-       {"scale", "jobs", "cache-dir", "no-cache", "trace-out", "metrics-out", "engine"}},
+       {"scale", "jobs", "cache-dir", "no-cache", "trace-out", "metrics-out", "engine",
+        "connect", "priority"}},
       {"inject",
        {"scale", "runs", "jitter", "burst", "seed", "jobs", "checkpoints", "cache-dir",
-        "no-cache", "trace-out", "metrics-out", "engine", "plan", "ci-target", "max-runs"}},
+        "no-cache", "trace-out", "metrics-out", "engine", "plan", "ci-target", "max-runs",
+        "connect", "priority"}},
       // --worker-shard and --plan-round are internal plumbing (the supervisor
       // relaunching this binary for one shard / one planner round), accepted
       // but undocumented.
       {"campaign",
        {"scale", "runs", "jitter", "burst", "seed", "jobs", "checkpoints", "cache-dir",
         "no-cache", "trace-out", "metrics-out", "shards", "shard-timeout", "shard-retries",
-        "worker-shard", "engine", "plan", "ci-target", "max-runs", "plan-round"}},
+        "worker-shard", "engine", "plan", "ci-target", "max-runs", "plan-round", "connect",
+        "priority"}},
       {"sample", {"scale", "fraction", "jobs"}},
       {"protect", {"scale", "budget", "rank", "real", "jobs", "runs"}},
       {"print", {"scale"}},
       {"cache", {"cache-dir"}},
-      {"metrics", {}},
+      {"metrics", {"connect"}},
+      {"serve", {"cache-dir", "slots", "queue", "retries"}},
+      {"status", {"connect"}},
+      {"cancel", {"connect"}},
+      {"shutdown", {"connect"}},
   };
   return allowed;
 }
@@ -167,6 +187,18 @@ int Usage() {
                "  print   <target>                 dump the textual IR\n"
                "  cache   stats|clear              inspect / empty the artifact cache\n"
                "  metrics <file.json>              pretty-print a --metrics-out dump\n"
+               "  serve   <socket> [--cache-dir D] [--slots N] [--queue N] [--retries R]\n"
+               "                                   resident analysis daemon on a Unix socket\n"
+               "                                   (analyses stay in memory across requests;\n"
+               "                                   jobs queue up to --queue, then clients get\n"
+               "                                   a busy reply with a retry hint)\n"
+               "  status   --connect S             daemon queue + running jobs\n"
+               "  cancel  <job-id> --connect S     cancel a queued or running daemon job\n"
+               "  shutdown --connect S             stop the daemon\n"
+               "analyze/inject/campaign accept --connect SOCKET to run on a daemon\n"
+               "instead of locally (stdout is byte-identical; --priority N jumps the\n"
+               "queue; busy daemons exit 6) and metrics --connect dumps the daemon's\n"
+               "live registry\n"
                "a target is a benchmark name or a .ir file path\n"
                "analyze/inject observability: --trace-out FILE writes a Chrome\n"
                "trace_event JSON (chrome://tracing / Perfetto) of the run's spans\n"
@@ -257,14 +289,9 @@ int CmdAnalyze(const Options& options) {
   const core::Analysis a = cache.enabled() ? store::RunAnalysisCached(module, opts, *key, cache)
                                            : core::Analysis::Run(module, opts);
 
-  std::printf("dynamic instructions : %llu\n",
-              static_cast<unsigned long long>(a.golden().instructions_executed));
-  std::printf("DDG nodes            : %zu (ACE: %llu)\n", a.graph().NumNodes(),
-              static_cast<unsigned long long>(a.ace().ace_node_count));
-  std::printf("PVF  (Eq. 1)         : %.4f\n", a.Pvf());
-  std::printf("ePVF (Eq. 2)         : %.4f\n", a.Epvf());
-  std::printf("crash-rate estimate  : %.4f\n", a.CrashRateEstimate());
-  std::printf("memory resource      : PVF %.4f, ePVF %.4f\n", a.MemoryPvf(), a.MemoryEpvf());
+  // The report body is shared with the daemon (serve/render.h) so `analyze
+  // --connect` streams the identical stdout bytes.
+  serve::RenderAnalyzeReport(a, std::cout);
   // Timing + cache status are diagnostics, not results: stderr, so stdout is
   // byte-identical between cold and warm runs (the CI smoke diffs it).
   std::fprintf(
@@ -278,16 +305,6 @@ int CmdAnalyze(const Options& options) {
     PrintCacheStatus("analysis", store::CacheId(*key), a.timings().cache_hit,
                      a.timings().cache_load_seconds, a.timings().cache_store_seconds);
   }
-
-  AsciiTable table({"structure", "total bits", "ACE", "crash", "class ePVF"});
-  table.SetTitle("structure vulnerability");
-  for (const core::StructureVulnerability& entry : core::StructureReport(a)) {
-    if (entry.total_bits == 0) continue;
-    table.AddRow({std::string(core::RegisterClassName(entry.cls)),
-                  std::to_string(entry.total_bits), std::to_string(entry.ace_bits),
-                  std::to_string(entry.crash_bits), AsciiTable::Num(entry.Epvf())});
-  }
-  table.Print(std::cout);
   return 0;
 }
 
@@ -311,6 +328,12 @@ fi::CampaignOptions MakeCampaignOptions(const Options& options, const core::Anal
     const std::uint64_t interval =
         a.TraceLength() / (static_cast<std::uint64_t>(checkpoints) + 1);
     campaign.checkpoint_interval = static_cast<std::int64_t>(interval < 1 ? 1 : interval);
+  }
+  // A supervising process (sharded campaign or the serve daemon) names a
+  // snapshot file here; progress_file is outside the campaign's cache
+  // identity, so honoring it never forks the content address.
+  if (const char* progress_file = std::getenv("EPVF_PROGRESS_FILE")) {
+    campaign.progress_file = progress_file;
   }
   return campaign;
 }
@@ -373,6 +396,9 @@ obs::ProgressReporter::Options MakeProgressOptions(std::string label) {
   popts.categories.reserve(fi::kNumOutcomes);
   for (int o = 0; o < fi::kNumOutcomes; ++o) {
     popts.categories.emplace_back(fi::OutcomeName(static_cast<fi::Outcome>(o)));
+  }
+  if (const char* progress_file = std::getenv("EPVF_PROGRESS_FILE")) {
+    popts.snapshot_path = progress_file;
   }
   return popts;
 }
@@ -513,12 +539,11 @@ int CmdCampaignWorker(const Options& options) {
   // this is a cache load, not a recompute.
   const core::Analysis a = store::RunAnalysisCached(module, opts, key, cache);
 
+  // MakeCampaignOptions already picked up EPVF_PROGRESS_FILE (the supervisor
+  // set it to this shard's snapshot path).
   fi::CampaignOptions campaign = MakeCampaignOptions(options, a);
   campaign.shard_index = shard_index;
   campaign.shard_count = shard_count;
-  if (const char* progress_file = std::getenv("EPVF_PROGRESS_FILE")) {
-    campaign.progress_file = progress_file;
-  }
 
   const int persist_every = ResolvePersistEvery();
 
@@ -642,7 +667,10 @@ int CmdCampaignStratifiedSharded(const Options& options, const ir::Module& modul
           cmd.argv.push_back(std::to_string(round));
           cmd.argv.push_back("--worker-shard");
           cmd.argv.push_back(std::to_string(shard));
-          cmd.env = {"EPVF_PROGRESS=0", "EPVF_TRACE=0"};
+          // Round workers publish no snapshots of their own — blank out an
+          // inherited EPVF_PROGRESS_FILE (set when this supervisor runs under
+          // the serve daemon) so N workers don't clobber one file.
+          cmd.env = {"EPVF_PROGRESS=0", "EPVF_TRACE=0", "EPVF_PROGRESS_FILE="};
           cmd.stdout_path = log_files[static_cast<std::size_t>(shard)];
           cmd.stderr_path = log_files[static_cast<std::size_t>(shard)];
           return cmd;
@@ -833,6 +861,12 @@ int CmdCampaign(const Options& options) {
     progress_options.categories.emplace_back(fi::OutcomeName(static_cast<fi::Outcome>(o)));
   }
   progress_options.aggregate_paths = progress_files;
+  // When this supervisor itself runs under the serve daemon, republish the
+  // folded counters to the daemon's snapshot file so the client still gets
+  // progress frames.
+  if (const char* progress_file = std::getenv("EPVF_PROGRESS_FILE")) {
+    progress_options.snapshot_path = progress_file;
+  }
   obs::ProgressReporter progress(std::move(progress_options));
 
   // Each worker gets an even slice of the host: a 4-shard campaign on an
@@ -1051,23 +1085,17 @@ int CmdCache(const Options& options) {
   return 0;
 }
 
-int CmdMetrics(const Options& options) {
-  // The target slot carries the metrics-file path.
-  std::ifstream in(options.target);
-  if (!in) {
-    std::fprintf(stderr, "epvf metrics: cannot open %s\n", options.target.c_str());
-    return 1;
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  const std::optional<obs::MetricsSnapshot> snap = obs::ParseMetricsJson(buffer.str());
+/// Pretty-prints epvf-metrics-v1 JSON text; `origin` names the source in
+/// messages (a dump file or a daemon socket). Shared by `epvf metrics FILE`
+/// and `epvf metrics --connect SOCKET`.
+int PrintMetricsText(const std::string& text, const std::string& origin) {
+  const std::optional<obs::MetricsSnapshot> snap = obs::ParseMetricsJson(text);
   if (!snap.has_value()) {
-    std::fprintf(stderr, "epvf metrics: %s is not an epvf-metrics-v1 file\n",
-                 options.target.c_str());
+    std::fprintf(stderr, "epvf metrics: %s is not an epvf-metrics-v1 dump\n", origin.c_str());
     return 1;
   }
   if (snap->Empty()) {
-    std::printf("no metrics recorded in %s\n", options.target.c_str());
+    std::printf("no metrics recorded in %s\n", origin.c_str());
     return 0;
   }
   if (!snap->counters.empty() || !snap->gauges.empty()) {
@@ -1091,6 +1119,18 @@ int CmdMetrics(const Options& options) {
     table.Print(std::cout);
   }
   return 0;
+}
+
+int CmdMetrics(const Options& options) {
+  // The target slot carries the metrics-file path.
+  std::ifstream in(options.target);
+  if (!in) {
+    std::fprintf(stderr, "epvf metrics: cannot open %s\n", options.target.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return PrintMetricsText(buffer.str(), options.target);
 }
 
 /// --engine beats EPVF_ENGINE; absent both, "auto". Prints the offending name
@@ -1121,9 +1161,176 @@ std::string ResolveTraceOut(const Options& options) {
   return env;
 }
 
+// --- daemon mode -------------------------------------------------------------
+
+/// The serve daemon owned by CmdServe, exposed so the SIGINT/SIGTERM
+/// handlers can reach it. RequestStop is one atomic store — async-signal-safe.
+serve::Server* g_server = nullptr;  // NOLINT(cppcoreguidelines-avoid-non-const-global-variables)
+
+extern "C" void HandleServeSignal(int) {
+  if (g_server != nullptr) g_server->RequestStop();
+}
+
+int CmdServe(const Options& options) {
+  serve::ServerOptions sopts;
+  sopts.socket_path = options.target;
+  sopts.cache_dir = ResolveCacheDir(options);
+  sopts.slots = options.Int("slots", 1);
+  sopts.queue_limit = options.Int("queue", 16);
+  sopts.retries = options.Int("retries", 2);
+  sopts.exe_path = g_self_exe;
+  sopts.on_event = [](const std::string& message) {
+    std::fprintf(stderr, "serve: %s\n", message.c_str());
+  };
+  serve::Server server(std::move(sopts));
+  g_server = &server;
+  ::signal(SIGINT, HandleServeSignal);
+  ::signal(SIGTERM, HandleServeSignal);
+  if (!server.Start()) {
+    g_server = nullptr;
+    return 1;
+  }
+  std::fprintf(stderr, "serve: listening on %s (cache %s)\n", server.socket_path().c_str(),
+               server.cache_dir().c_str());
+  server.Wait();
+  std::fprintf(stderr, "serve: shutting down\n");
+  server.Stop();
+  g_server = nullptr;
+  return 0;
+}
+
+/// Opens the --connect socket or explains why not.
+std::optional<serve::ServeClient> ConnectOrComplain(const Options& options) {
+  const std::string socket_path = options.Str("connect", "");
+  std::optional<serve::ServeClient> client = serve::ServeClient::Connect(socket_path);
+  if (!client.has_value()) {
+    std::fprintf(stderr, "epvf: cannot connect to daemon socket '%s' (is `epvf serve` running?)\n",
+                 socket_path.c_str());
+  }
+  return client;
+}
+
+/// analyze/inject/campaign with --connect: forward the invocation to the
+/// daemon and relay its streams — kStdout to stdout (byte-identical to a
+/// local run), kStderr to stderr, kProgress as one-line done/total updates.
+int CmdClientRun(const Options& options) {
+  std::optional<serve::ServeClient> client = ConnectOrComplain(options);
+  if (!client.has_value()) return 1;
+
+  serve::RunRequest request;
+  request.priority = static_cast<std::uint32_t>(std::max(0, options.Int("priority", 0)));
+  request.args = {options.command, options.target};
+  for (const auto& [flag, value] : options.flags) {
+    if (flag == "connect" || flag == "priority") continue;
+    if (flag == "cache-dir" || flag == "no-cache" || flag == "trace-out" ||
+        flag == "metrics-out") {
+      // The daemon owns its cache directory and observability sinks; silently
+      // honoring these would point them at the wrong process's filesystem.
+      std::fprintf(stderr, "epvf: --%s is ignored with --connect\n", flag.c_str());
+      continue;
+    }
+    request.args.push_back("--" + flag);
+    request.args.push_back(value);
+  }
+
+  const serve::ServeClient::RunResult result = client->Run(
+      request,
+      [](std::string_view bytes) { std::fwrite(bytes.data(), 1, bytes.size(), stdout); },
+      [](std::string_view bytes) { std::fwrite(bytes.data(), 1, bytes.size(), stderr); },
+      [](std::string_view bytes) {
+        if (const std::optional<obs::ProgressSnapshot> snap = obs::ParseProgressSnapshot(bytes)) {
+          std::fprintf(stderr, "progress: %llu/%llu\n",
+                       static_cast<unsigned long long>(snap->done),
+                       static_cast<unsigned long long>(snap->total));
+        }
+      });
+  std::fflush(stdout);
+
+  if (!result.transport_ok) {
+    std::fprintf(stderr, "epvf: connection to the daemon broke before the job finished\n");
+    return 1;
+  }
+  if (result.error.has_value()) {
+    if (result.error->code == serve::ErrorCode::kBusy) {
+      std::fprintf(stderr, "epvf: daemon busy: %s — retry in %u ms\n",
+                   result.error->message.c_str(), result.error->retry_after_ms);
+      return kExitBusy;
+    }
+    std::fprintf(stderr, "epvf: daemon error: %s\n", result.error->message.c_str());
+    return 1;
+  }
+  return static_cast<int>(result.exit_code);
+}
+
+int CmdStatus(const Options& options) {
+  std::optional<serve::ServeClient> client = ConnectOrComplain(options);
+  if (!client.has_value()) return 1;
+  const std::optional<std::string> report = client->Status();
+  if (!report.has_value()) {
+    std::fprintf(stderr, "epvf: status request failed\n");
+    return 1;
+  }
+  std::fputs(report->c_str(), stdout);
+  return 0;
+}
+
+int CmdMetricsConnect(const Options& options) {
+  std::optional<serve::ServeClient> client = ConnectOrComplain(options);
+  if (!client.has_value()) return 1;
+  const std::optional<std::string> json = client->Metrics();
+  if (!json.has_value()) {
+    std::fprintf(stderr, "epvf: metrics request failed\n");
+    return 1;
+  }
+  return PrintMetricsText(*json, "daemon " + options.Str("connect", ""));
+}
+
+int CmdCancel(const Options& options) {
+  std::optional<serve::ServeClient> client = ConnectOrComplain(options);
+  if (!client.has_value()) return 1;
+  // The target slot carries the job id (from the submitting client's ack or
+  // `epvf status`).
+  char* end = nullptr;
+  const std::uint64_t job_id = std::strtoull(options.target.c_str(), &end, 10);
+  if (end == options.target.c_str() || *end != '\0') {
+    std::fprintf(stderr, "epvf cancel: '%s' is not a job id\n", options.target.c_str());
+    return kExitUsage;
+  }
+  serve::ErrorReply error;
+  if (!client->Cancel(job_id, &error)) {
+    std::fprintf(stderr, "epvf cancel: %s\n",
+                 error.message.empty() ? "request failed" : error.message.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "cancelled job %llu\n", static_cast<unsigned long long>(job_id));
+  return 0;
+}
+
+int CmdShutdown(const Options& options) {
+  std::optional<serve::ServeClient> client = ConnectOrComplain(options);
+  if (!client.has_value()) return 1;
+  if (!client->Shutdown()) {
+    std::fprintf(stderr, "epvf shutdown: request failed\n");
+    return 1;
+  }
+  std::fprintf(stderr, "daemon acknowledged shutdown\n");
+  return 0;
+}
+
 int Dispatch(const Options& options) {
   if (options.command == "list") return CmdList();
+  const bool connected = options.flags.count("connect") != 0;
+  // The admin commands take their socket from --connect, not the target slot.
+  if (options.command == "status") return connected ? CmdStatus(options) : Usage();
+  if (options.command == "shutdown") return connected ? CmdShutdown(options) : Usage();
+  if (options.command == "metrics" && connected) return CmdMetricsConnect(options);
   if (options.target.empty()) return Usage();
+  if (options.command == "serve") return CmdServe(options);
+  if (options.command == "cancel") return connected ? CmdCancel(options) : Usage();
+  if (connected && (options.command == "analyze" || options.command == "inject" ||
+                    options.command == "campaign")) {
+    return CmdClientRun(options);
+  }
   if (options.command == "analyze") return CmdAnalyze(options);
   if (options.command == "inject") return CmdInject(options);
   if (options.command == "campaign") return CmdCampaign(options);
