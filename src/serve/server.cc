@@ -36,22 +36,39 @@ namespace epvf::serve {
 namespace {
 
 /// One accepted socket. Job threads and the reader thread both write frames,
-/// so every send serializes on the write mutex; a failed send latches the
-/// connection closed (the peer is gone — further frames would be wasted).
+/// so every send serializes on the write mutex; a failed send (including one
+/// that hits the socket's bounded send timeout — a peer that stops reading)
+/// latches the connection closed. The fd is owned by the write mutex too:
+/// Close() nulls it under the lock, so no send can race a close or write to
+/// a recycled descriptor number.
 struct Connection {
-  int fd = -1;
+  int fd = -1;  ///< −1 once closed; mutated only under write_mutex
   std::uint64_t id = 0;
   std::mutex write_mutex;
   std::atomic<bool> open{true};
 
-  bool Send(FrameType type, std::string_view payload) {
-    const std::lock_guard<std::mutex> lock(write_mutex);
-    if (!open.load(std::memory_order_relaxed)) return false;
+  /// Send with write_mutex already held (see HandleRun's admission ack).
+  bool SendLocked(FrameType type, std::string_view payload) {
+    if (fd < 0 || !open.load(std::memory_order_relaxed)) return false;
     if (!WriteFrame(fd, type, payload)) {
       open.store(false, std::memory_order_relaxed);
       return false;
     }
     return true;
+  }
+
+  bool Send(FrameType type, std::string_view payload) {
+    const std::lock_guard<std::mutex> lock(write_mutex);
+    return SendLocked(type, payload);
+  }
+
+  void Close() {
+    open.store(false);
+    const std::lock_guard<std::mutex> lock(write_mutex);
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
   }
 
   bool SendError(ErrorCode code, std::string message, std::uint32_t retry_after_ms = 0) {
@@ -70,6 +87,10 @@ struct Job {
   std::atomic<bool> cancel{false};
   bool running = false;  ///< under the scheduler mutex
 };
+
+/// How an executed job ended; ExecutorLoop turns this into exactly one
+/// counter increment (completed or cancelled) after the job finishes.
+enum class JobOutcome { kCompleted, kCancelled };
 
 /// A benchmark target keeps its module and analysis resident; the analysis
 /// holds pointers into the module, so the module lives at a stable address in
@@ -198,28 +219,43 @@ struct Server::Impl {
     job->priority = request->priority;
     job->conn = conn;
     job->args = request->args;
+    std::optional<ErrorReply> reject;
     {
-      const std::lock_guard<std::mutex> lock(sched_mutex);
-      if (stop.load()) {
-        conn->SendError(ErrorCode::kShuttingDown, "daemon is shutting down");
+      // Ack-before-results ordering without a socket write under sched_mutex:
+      // the connection's write lock is held across admission, sched_mutex is
+      // released, and only then is the ack written. Executors serialize their
+      // result frames on the same write lock, so none can precede the ack —
+      // and a peer that stops reading stalls only its own connection, never
+      // the scheduler. Lock order is write_mutex → sched_mutex everywhere.
+      const std::lock_guard<std::mutex> write_lock(conn->write_mutex);
+      {
+        const std::lock_guard<std::mutex> lock(sched_mutex);
+        if (stop.load()) {
+          reject = ErrorReply{.code = ErrorCode::kShuttingDown,
+                              .retry_after_ms = 0,
+                              .message = "daemon is shutting down"};
+        } else if (queue.size() >= static_cast<std::size_t>(options.queue_limit)) {
+          // Backpressure: reject with a hint proportional to the backlog so a
+          // polite client's retries spread out as the queue deepens.
+          rejected += 1;
+          obs::GetCounter("serve.rejected.busy").Add();
+          reject = ErrorReply{
+              .code = ErrorCode::kBusy,
+              .retry_after_ms = static_cast<std::uint32_t>(100 * (1 + queue.size())),
+              .message = "queue full (" + std::to_string(queue.size()) + " jobs)"};
+        } else {
+          job->id = next_job_id++;
+          queue.push_back(job);
+          jobs[job->id] = job;
+        }
+      }
+      if (reject.has_value()) {
+        conn->SendLocked(FrameType::kError, EncodeErrorReply(*reject));
         return;
       }
-      if (queue.size() >= static_cast<std::size_t>(options.queue_limit)) {
-        // Backpressure: reject with a hint proportional to the backlog so a
-        // polite client's retries spread out as the queue deepens.
-        rejected += 1;
-        obs::GetCounter("serve.rejected.busy").Add();
-        const auto retry_ms = static_cast<std::uint32_t>(100 * (1 + queue.size()));
-        conn->SendError(ErrorCode::kBusy, "queue full (" + std::to_string(queue.size()) + " jobs)",
-                        retry_ms);
-        return;
-      }
-      job->id = next_job_id++;
-      // Ack inside the lock: the ack must hit the socket before any executor
-      // can pick the job up and stream its result frames.
-      if (!conn->Send(FrameType::kAck, EncodeU64(job->id))) return;
-      queue.push_back(job);
-      jobs[job->id] = job;
+      // A failed ack latches the connection closed; the orphan sweep in
+      // PickJobLocked reaps the job instead of running it for nobody.
+      conn->SendLocked(FrameType::kAck, EncodeU64(job->id));
     }
     sched_cv.notify_one();
   }
@@ -232,18 +268,24 @@ struct Server::Impl {
       return;
     }
     bool found = false;
+    std::shared_ptr<Job> victim;  // keeps the Job alive past the map erase
     {
       const std::lock_guard<std::mutex> lock(sched_mutex);
       const auto it = jobs.find(*id);
       if (it != jobs.end()) {
         found = true;
-        it->second->cancel.store(true);
+        const std::shared_ptr<Job> job = it->second;
+        job->cancel.store(true);
         // A queued job dies right here; a running one is reaped by its
         // executor once the supervisor observes the flag and kills the
         // worker (the executor sends the terminal kError to the owner).
-        if (!it->second->running) FailQueuedLocked(*it->second, ErrorCode::kCancelled);
+        if (!job->running) {
+          DropQueuedLocked(job);
+          victim = job;
+        }
       }
     }
+    if (victim != nullptr) SendJobError(*victim, ErrorCode::kCancelled);
     if (found) {
       conn->Send(FrameType::kDone, EncodeU64(0));
     } else {
@@ -322,7 +364,10 @@ struct Server::Impl {
         if (job->conn == conn) job->cancel.store(true);
       }
     }
-    ::close(conn->fd);
+    // Close under the write mutex (inside Close): an executor mid-Send on
+    // this fd finishes or times out first, so the descriptor number can
+    // never be recycled under a concurrent WriteFrame.
+    conn->Close();
   }
 
   void AcceptLoop() {
@@ -332,6 +377,14 @@ struct Server::Impl {
       if (r <= 0) continue;
       const int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
       if (fd < 0) continue;
+      // Bounded sends: a peer that stops reading makes its next send fail
+      // after the timeout (WriteFrame treats EAGAIN as fatal), latching that
+      // one connection closed instead of wedging whichever thread holds its
+      // write mutex forever.
+      struct timeval send_timeout;
+      send_timeout.tv_sec = static_cast<time_t>(options.send_timeout_seconds);
+      send_timeout.tv_usec = 0;
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout, sizeof send_timeout);
       auto conn = std::make_shared<Connection>();
       conn->fd = fd;
       {
@@ -346,34 +399,42 @@ struct Server::Impl {
 
   // --- scheduling (executor threads) --------------------------------------
 
-  /// Sends the terminal error for a job still in the queue and forgets it.
-  /// Caller holds sched_mutex.
-  void FailQueuedLocked(Job& job, ErrorCode code) {
+  /// Forgets a still-queued job and counts it cancelled. Caller holds
+  /// sched_mutex, keeps its own shared_ptr (erasing here drops the queue's
+  /// and the map's references), and sends the terminal error via SendJobError
+  /// only after releasing the lock — the scheduler never blocks on a socket.
+  void DropQueuedLocked(const std::shared_ptr<Job>& job) {
     for (auto it = queue.begin(); it != queue.end(); ++it) {
-      if ((*it)->id != job.id) continue;
+      if ((*it)->id != job->id) continue;
       queue.erase(it);
       break;
     }
-    jobs.erase(job.id);
+    jobs.erase(job->id);
     cancelled += 1;
     obs::GetCounter("serve.jobs.cancelled").Add();
-    if (job.conn->open.load()) {
-      job.conn->SendError(code, "job " + std::to_string(job.id) + " " +
-                                    (code == ErrorCode::kCancelled ? "cancelled" : "dropped"));
-    }
+  }
+
+  /// The terminal error frame for a job that never ran. Caller must NOT hold
+  /// sched_mutex (the send can block on a slow peer until the send timeout).
+  static void SendJobError(const Job& job, ErrorCode code) {
+    if (!job.conn->open.load()) return;
+    job.conn->SendError(code, "job " + std::to_string(job.id) + " " +
+                                  (code == ErrorCode::kCancelled ? "cancelled" : "dropped"));
   }
 
   /// Highest priority wins; ties rotate round-robin across clients (FIFO
   /// within a client, the queue is in admission order). Cancelled and
-  /// orphaned jobs are failed here. Caller holds sched_mutex.
-  std::shared_ptr<Job> PickJobLocked() {
+  /// orphaned jobs are dropped into `dead` for the caller to fail once the
+  /// lock is released. Caller holds sched_mutex.
+  std::shared_ptr<Job> PickJobLocked(std::vector<std::shared_ptr<Job>>* dead) {
     for (auto it = queue.begin(); it != queue.end();) {
-      const std::shared_ptr<Job>& job = *it;
-      if (job->cancel.load() || !job->conn->open.load()) {
-        Job& dead = *job;
-        ++it;  // FailQueuedLocked erases by id, invalidating `it`'s slot
-        FailQueuedLocked(dead, ErrorCode::kCancelled);
-        it = queue.begin();  // restart — cheap at queue_limit scale
+      if ((*it)->cancel.load() || !(*it)->conn->open.load()) {
+        std::shared_ptr<Job> job = *it;
+        it = queue.erase(it);
+        jobs.erase(job->id);
+        cancelled += 1;
+        obs::GetCounter("serve.jobs.cancelled").Add();
+        dead->push_back(std::move(job));
         continue;
       }
       ++it;
@@ -399,20 +460,31 @@ struct Server::Impl {
   void ExecutorLoop() {
     while (true) {
       std::shared_ptr<Job> job;
+      std::vector<std::shared_ptr<Job>> dead;
       {
         std::unique_lock<std::mutex> lock(sched_mutex);
         sched_cv.wait(lock, [this] { return stop.load() || !queue.empty(); });
         if (stop.load()) break;
-        job = PickJobLocked();
-        if (job == nullptr) continue;
+        job = PickJobLocked(&dead);
       }
-      Execute(*job);
+      for (const std::shared_ptr<Job>& d : dead) SendJobError(*d, ErrorCode::kCancelled);
+      if (job == nullptr) continue;
+      const JobOutcome outcome = Execute(*job);
+      // All completion accounting lands here, after the job finished, so a
+      // concurrent status request never sees a half-updated counter and each
+      // executed job increments exactly one of completed/cancelled.
       {
         const std::lock_guard<std::mutex> lock(sched_mutex);
         jobs.erase(job->id);
-        completed += 1;
+        if (outcome == JobOutcome::kCancelled) {
+          cancelled += 1;
+        } else {
+          completed += 1;
+        }
       }
-      obs::GetCounter("serve.jobs.completed").Add();
+      obs::GetCounter(outcome == JobOutcome::kCancelled ? "serve.jobs.cancelled"
+                                                        : "serve.jobs.completed")
+          .Add();
     }
   }
 
@@ -467,22 +539,19 @@ struct Server::Impl {
     return *resident.emplace(id, std::move(entry)).first->second;
   }
 
-  void Execute(Job& job) {
+  JobOutcome Execute(Job& job) {
     if (job.cancel.load() || !job.conn->open.load()) {
-      const std::lock_guard<std::mutex> lock(sched_mutex);
-      cancelled += 1;
-      obs::GetCounter("serve.jobs.cancelled").Add();
       if (job.conn->open.load()) {
         job.conn->SendError(ErrorCode::kCancelled,
                             "job " + std::to_string(job.id) + " cancelled");
       }
-      return;
+      return JobOutcome::kCancelled;
     }
     if (job.args[0] == "analyze") {
       ExecuteAnalyze(job);
-    } else {
-      ExecuteWorker(job);
+      return JobOutcome::kCompleted;
     }
+    return ExecuteWorker(job);
   }
 
   void ExecuteAnalyze(Job& job) {
@@ -508,7 +577,7 @@ struct Server::Impl {
     }
   }
 
-  void ExecuteWorker(Job& job) {
+  JobOutcome ExecuteWorker(Job& job) {
     // Warm the shared cache first: the worker then restores the analysis
     // artifact instead of re-running parse + golden run + DDG — the resident
     // map is what makes daemon-side injections start hot. A bad target fails
@@ -519,7 +588,7 @@ struct Server::Impl {
       EnsureResident(job.args[1], scale, /*jobs=*/0, &hit);
     } catch (const std::exception& error) {
       job.conn->SendError(ErrorCode::kBadRequest, error.what());
-      return;
+      return JobOutcome::kCompleted;
     }
 
     const std::string base = jobs_dir + "/job-" + std::to_string(job.id);
@@ -567,10 +636,6 @@ struct Server::Impl {
 
     const fi::SupervisorResult result = fi::RunShardSupervisor(sup);
     if (result.cancelled) {
-      const std::lock_guard<std::mutex> lock(sched_mutex);
-      cancelled += 1;
-      completed -= 1;  // ExecutorLoop counts every executed job; rebalance
-      obs::GetCounter("serve.jobs.cancelled").Add();
       job.conn->SendError(ErrorCode::kCancelled, "job " + std::to_string(job.id) + " cancelled");
     } else {
       const fi::ShardOutcome& outcome = result.shards[0];
@@ -586,6 +651,7 @@ struct Server::Impl {
     for (const std::string& path : {out_path, err_path, progress_path}) {
       std::filesystem::remove(path, ec);
     }
+    return result.cancelled ? JobOutcome::kCancelled : JobOutcome::kCompleted;
   }
 };
 
@@ -679,13 +745,19 @@ void Server::Stop() {
   im.stop_requested.store(true);
 
   // Fail everything still queued; running jobs see the stop flag through
-  // their supervisor's cancelled predicate and wind down.
+  // their supervisor's cancelled predicate and wind down. The terminal
+  // errors go out after sched_mutex is released, like every other send.
+  std::vector<std::shared_ptr<Job>> dropped;
   {
     const std::lock_guard<std::mutex> lock(im.sched_mutex);
     while (!im.queue.empty()) {
-      const std::shared_ptr<Job> job = im.queue.front();
-      im.FailQueuedLocked(*job, ErrorCode::kShuttingDown);
+      std::shared_ptr<Job> job = im.queue.front();
+      im.DropQueuedLocked(job);
+      dropped.push_back(std::move(job));
     }
+  }
+  for (const std::shared_ptr<Job>& job : dropped) {
+    Impl::SendJobError(*job, ErrorCode::kShuttingDown);
   }
   im.sched_cv.notify_all();
   for (std::thread& t : im.executors) t.join();
@@ -701,7 +773,12 @@ void Server::Stop() {
   {
     const std::lock_guard<std::mutex> lock(im.conn_mutex);
     for (const auto& conn : im.connections) {
-      if (conn->open.load()) ::shutdown(conn->fd, SHUT_RDWR);
+      // Under the write mutex so the fd cannot be closed (and its number
+      // recycled) between the check and the shutdown. This wakes readers
+      // blocked in recv; any send in flight fails and latches the
+      // connection, bounded by the socket send timeout.
+      const std::lock_guard<std::mutex> write_lock(conn->write_mutex);
+      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
     }
   }
   for (std::thread& t : im.readers) t.join();

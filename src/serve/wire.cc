@@ -50,6 +50,7 @@ std::string_view ReadStatusName(ReadStatus status) {
 
 ReadStatus ReadFrame(int fd, Frame* out) {
   char header[kHeaderSize];
+  errno = 0;  // distinguish mid-header EOF (kTruncated) from a real recv error
   const int head = ReadFully(fd, header, kHeaderSize);
   if (head == 0) return ReadStatus::kClosed;
   if (head < 0) return errno == 0 ? ReadStatus::kTruncated : ReadStatus::kIoError;

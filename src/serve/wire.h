@@ -26,7 +26,9 @@ namespace epvf::serve {
 inline constexpr std::uint32_t kWireMagic = 0x57565045u;
 inline constexpr std::uint32_t kWireVersion = 1;
 /// Hard payload bound; a length above this is rejected before any payload
-/// read (the largest legitimate frame is a campaign report, well under 1 MiB).
+/// read. The largest legitimate frame is a worker's buffered stdout (a full
+/// campaign record dump); 16 MiB leaves generous headroom above that while
+/// still capping what a hostile length field can make the server allocate.
 inline constexpr std::uint32_t kMaxFramePayload = 16u << 20;
 
 enum class FrameType : std::uint32_t {

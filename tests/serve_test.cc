@@ -322,6 +322,88 @@ TEST(Serve, BackpressureRejectsWithRetryHintAtQueueLimitZero) {
   server.Stop();
 }
 
+TEST(Serve, CancelOfQueuedJobsAndVanishedClientsNeverTouchFreedJobs) {
+  const std::string socket_path = TestSocketPath("cancelq");
+  Server server(InProcessOptions(socket_path));
+  ASSERT_TRUE(server.Start());
+
+  // A slow inject occupies the (single) executor slot so later jobs park in
+  // the queue.
+  const int slow = RawConnect(socket_path);
+  ASSERT_GE(slow, 0);
+  RunRequest slow_request;
+  slow_request.args = {"inject", "mm", "--runs", "5000", "--seed", "7"};
+  ASSERT_TRUE(WriteFrame(slow, FrameType::kRun, EncodeRunRequest(slow_request)));
+  Frame frame;
+  ASSERT_EQ(ReadFrame(slow, &frame), ReadStatus::kOk);
+  ASSERT_EQ(frame.type, FrameType::kAck);
+  const std::uint64_t slow_id = DecodeU64(frame.payload).value_or(0);
+  ASSERT_GT(slow_id, 0u);
+  {
+    std::optional<ServeClient> probe = ServeClient::Connect(socket_path);
+    ASSERT_TRUE(probe.has_value());
+    bool running = false;
+    for (int i = 0; i < 100 && !running; ++i) {
+      const std::optional<std::string> status = probe->Status();
+      ASSERT_TRUE(status.has_value());
+      running = status->find("job " + std::to_string(slow_id) + " running") != std::string::npos;
+      if (!running) std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    ASSERT_TRUE(running);
+  }
+
+  // One queued job to cancel explicitly: its terminal error is sent after the
+  // queue and job-map references are erased, which once read freed memory
+  // (the use-after-free regression this test pins under the sanitizer job).
+  const int queued = RawConnect(socket_path);
+  ASSERT_GE(queued, 0);
+  RunRequest queued_request;
+  queued_request.args = {"analyze", "mm", "--scale", "1"};
+  ASSERT_TRUE(WriteFrame(queued, FrameType::kRun, EncodeRunRequest(queued_request)));
+  ASSERT_EQ(ReadFrame(queued, &frame), ReadStatus::kOk);
+  ASSERT_EQ(frame.type, FrameType::kAck);
+  const std::uint64_t queued_id = DecodeU64(frame.payload).value_or(0);
+  ASSERT_GT(queued_id, 0u);
+
+  // Another queued job whose client vanishes: the executor's orphan sweep
+  // walks the same drop-then-notify path.
+  {
+    const int vanishing = RawConnect(socket_path);
+    ASSERT_GE(vanishing, 0);
+    ASSERT_TRUE(WriteFrame(vanishing, FrameType::kRun, EncodeRunRequest(queued_request)));
+    ASSERT_EQ(ReadFrame(vanishing, &frame), ReadStatus::kOk);
+    ASSERT_EQ(frame.type, FrameType::kAck);
+    ::close(vanishing);
+  }
+
+  std::optional<ServeClient> canceller = ServeClient::Connect(socket_path);
+  ASSERT_TRUE(canceller.has_value());
+  ErrorReply cancel_error;
+  EXPECT_TRUE(canceller->Cancel(queued_id, &cancel_error));
+  ASSERT_EQ(ReadFrame(queued, &frame), ReadStatus::kOk);
+  ASSERT_EQ(frame.type, FrameType::kError);
+  const std::optional<ErrorReply> reply = DecodeErrorReply(frame.payload);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->code, ErrorCode::kCancelled);
+
+  // The slow job goes the running-cancel path (supervisor kills the worker);
+  // progress frames may precede its terminal frame.
+  EXPECT_TRUE(canceller->Cancel(slow_id, nullptr));
+  do {
+    ASSERT_EQ(ReadFrame(slow, &frame), ReadStatus::kOk);
+  } while (frame.type == FrameType::kProgress);
+  EXPECT_TRUE(frame.type == FrameType::kError || frame.type == FrameType::kDone);
+  ::close(slow);
+  ::close(queued);
+
+  // The daemon is still healthy and no counter underflowed into a wrapped
+  // uint64 (the old completed/cancelled rebalance race).
+  const std::optional<std::string> status = canceller->Status();
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->find("18446744073709551615"), std::string::npos);
+  server.Stop();
+}
+
 TEST(Serve, ResidentAnalyzeStreamsIdenticalBytesAndCancelKnowsUnknownJobs) {
   const std::string socket_path = TestSocketPath("resident");
   Server server(InProcessOptions(socket_path));
