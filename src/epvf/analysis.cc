@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "ddg/builder.h"
+#include "epvf/walks.h"
 #include "ir/verifier.h"
 #include "obs/timing.h"
 #include "support/bits.h"
@@ -102,225 +103,6 @@ double Analysis::Epvf() const {
          static_cast<double>(ace_.total_bits);
 }
 
-namespace {
-
-/// Dynamic use index: for every node, its (dyn_index, slot) register-operand
-/// uses in trace order. Built once per rate-estimate computation.
-struct UseIndex {
-  std::vector<std::uint32_t> offsets;  ///< per node, into the pools
-  std::vector<std::uint32_t> use_dyn;
-  std::vector<std::uint8_t> use_slot;
-
-};
-
-/// Enumerates the register-operand uses of dyn instructions [begin, end) in
-/// trace order — the shared traversal of both use-index passes.
-template <typename Fn>
-void ForEachUse(const ddg::Graph& graph, std::uint32_t begin, std::uint32_t end, Fn&& fn) {
-  for (std::uint32_t dyn = begin; dyn < end; ++dyn) {
-    const ddg::DynInstr& d = graph.GetDyn(dyn);
-    const ir::Instruction& inst = graph.InstructionOf(d);
-    const auto nodes = graph.OperandNodes(dyn);
-    for (std::size_t slot = 0; slot < nodes.size(); ++slot) {
-      if (!inst.operands[slot].IsRegister()) continue;
-      if (inst.op == ir::Opcode::kPhi && slot != d.selected_operand) continue;
-      if (nodes[slot] == ddg::kNoNode) continue;
-      fn(nodes[slot], dyn, static_cast<std::uint8_t>(slot));
-    }
-  }
-}
-
-/// Two-pass counting sort of the uses, parallelized as a static partition of
-/// the dyn range: each slice counts into its own per-node array, a serial
-/// interleave turns the counts into slice-local write cursors (slice-major
-/// within each node), and each slice scatters its own uses. The output is
-/// byte-identical to the serial sort — uses stay in trace order per node —
-/// at every thread count.
-UseIndex BuildUseIndex(const ddg::Graph& graph, int jobs) {
-  UseIndex index;
-  const std::size_t n = graph.NumNodes();
-  const auto num_dyn = static_cast<std::uint32_t>(graph.NumDynInstrs());
-
-  unsigned parts = ThreadPool::ResolveJobs(jobs);
-  // Each slice carries an O(NumNodes) count array; stop splitting when the
-  // slices are too small to pay for it.
-  parts = std::min<unsigned>(parts, std::max<std::uint32_t>(1, num_dyn / 4096));
-  if (parts > 1) parts = ThreadPool::Shared().PrepareParticipants(parts);
-
-  if (parts <= 1) {
-    std::vector<std::uint32_t> counts(n + 1, 0);
-    ForEachUse(graph, 0, num_dyn,
-               [&](ddg::NodeId node, std::uint32_t, std::uint8_t) { ++counts[node + 1]; });
-    for (std::size_t i = 1; i <= n; ++i) counts[i] += counts[i - 1];
-    index.offsets = counts;
-    index.use_dyn.resize(index.offsets[n]);
-    index.use_slot.resize(index.offsets[n]);
-    std::vector<std::uint32_t> cursor(index.offsets.begin(), index.offsets.end() - 1);
-    ForEachUse(graph, 0, num_dyn, [&](ddg::NodeId node, std::uint32_t dyn, std::uint8_t slot) {
-      index.use_dyn[cursor[node]] = dyn;
-      index.use_slot[cursor[node]] = slot;
-      ++cursor[node];
-    });
-    return index;
-  }
-
-  std::vector<std::uint32_t> slice_begin(parts + 1);
-  for (unsigned w = 0; w <= parts; ++w) {
-    slice_begin[w] = static_cast<std::uint32_t>(std::uint64_t{num_dyn} * w / parts);
-  }
-  std::vector<std::vector<std::uint32_t>> counts(parts);
-  ThreadPool::Shared().Run(parts, [&](unsigned w) {
-    counts[w].assign(n, 0);
-    ForEachUse(graph, slice_begin[w], slice_begin[w + 1],
-               [&](ddg::NodeId node, std::uint32_t, std::uint8_t) { ++counts[w][node]; });
-  });
-
-  index.offsets.assign(n + 1, 0);
-  std::uint32_t running = 0;
-  for (std::size_t node = 0; node < n; ++node) {
-    index.offsets[node] = running;
-    for (unsigned w = 0; w < parts; ++w) {
-      const std::uint32_t c = counts[w][node];
-      counts[w][node] = running;  // becomes slice w's write cursor for `node`
-      running += c;
-    }
-  }
-  index.offsets[n] = running;
-  index.use_dyn.resize(running);
-  index.use_slot.resize(running);
-  ThreadPool::Shared().Run(parts, [&](unsigned w) {
-    ForEachUse(graph, slice_begin[w], slice_begin[w + 1],
-               [&](ddg::NodeId node, std::uint32_t dyn, std::uint8_t slot) {
-                 const std::uint32_t pos = counts[w][node]++;
-                 index.use_dyn[pos] = dyn;
-                 index.use_slot[pos] = slot;
-               });
-  });
-  return index;
-}
-
-/// What a flip applied at a use of `node` (from dynamic time `from_dyn` on)
-/// hits first: a memory address (crash surfaces), only compares/branches
-/// (control diverges — e.g. a corrupted induction variable exits its loop
-/// instead of reaching the body's out-of-bounds access), or nothing
-/// classified. This activation walk makes the model's rate estimates
-/// comparable with LLFI-style source-operand injections.
-///
-/// Control handling: hitting a compare does not end the walk — the corrupted
-/// value may still be consumed on the post-divergence path. Later uses count
-/// only if their block *postdominates* the compare's block (they execute
-/// whichever way the corrupted branch goes); a loop body does not postdominate
-/// its header, but a search loop's exit block does, so an index used as an
-/// address after the search still crashes.
-enum class UseEffect : std::uint8_t { kCrash, kControl, kOther };
-
-/// Control oracle: per-function postdominators plus a static forward walk
-/// answering "after a branch consuming this corrupted register diverges, can
-/// the register still reach a memory address?" — uses in blocks that
-/// postdominate the compare execute either way; selects are not traversed
-/// because under a corrupted condition they act as clamps (the other, intact
-/// operand is chosen — hotspot's border clamps are the canonical case).
-class ControlOracle {
- public:
-  explicit ControlOracle(const ir::Module& module) : module_(module) {
-    ipdom_.reserve(module.functions.size());
-    static_uses_.reserve(module.functions.size());
-    for (const ir::Function& fn : module.functions) {
-      ipdom_.push_back(ir::ComputeImmediatePostDominators(fn));
-      StaticUseMap uses(fn.registers.size());
-      for (std::uint32_t b = 0; b < fn.blocks.size(); ++b) {
-        const auto& insts = fn.blocks[b].instructions;
-        for (std::uint32_t i = 0; i < insts.size(); ++i) {
-          for (std::size_t slot = 0; slot < insts[i].operands.size(); ++slot) {
-            if (!insts[i].operands[slot].IsRegister()) continue;
-            uses[insts[i].operands[slot].index].push_back(
-                StaticUse{b, i, static_cast<std::uint8_t>(slot)});
-          }
-        }
-      }
-      static_uses_.push_back(std::move(uses));
-    }
-  }
-
-  /// Corrupted register `reg` diverged a branch in `block` of `function`:
-  /// true if a postdominating static use chain still reaches an address.
-  [[nodiscard]] bool SurvivesToAddress(std::uint32_t function, std::uint32_t block,
-                                       std::uint32_t reg) const {
-    const ir::Function& fn = module_.functions[function];
-    const auto& ipdom = ipdom_[function];
-    const auto& uses = static_uses_[function];
-    std::vector<std::uint32_t> worklist{reg};
-    std::vector<std::uint8_t> seen(fn.registers.size(), 0);
-    seen[reg] = 1;
-    int budget = 64;
-    while (!worklist.empty() && budget-- > 0) {
-      const std::uint32_t r = worklist.back();
-      worklist.pop_back();
-      for (const StaticUse& use : uses[r]) {
-        if (!ir::PostDominates(ipdom, use.block, block)) continue;
-        const ir::Instruction& inst = fn.blocks[use.block].instructions[use.instr];
-        if (inst.AddressOperandSlot() == static_cast<int>(use.slot)) return true;
-        if (inst.op == ir::Opcode::kSelect || inst.op == ir::Opcode::kICmp ||
-            inst.op == ir::Opcode::kFCmp || inst.op == ir::Opcode::kCondBr) {
-          continue;  // clamps and further control don't carry the raw value
-        }
-        if (inst.DefinesValue() && !seen[inst.result]) {
-          seen[inst.result] = 1;
-          worklist.push_back(inst.result);
-        }
-      }
-    }
-    return false;
-  }
-
- private:
-  struct StaticUse {
-    std::uint32_t block;
-    std::uint32_t instr;
-    std::uint8_t slot;
-  };
-  using StaticUseMap = std::vector<std::vector<StaticUse>>;
-
-  const ir::Module& module_;
-  std::vector<std::vector<std::uint32_t>> ipdom_;
-  std::vector<StaticUseMap> static_uses_;
-};
-
-UseEffect FirstEffect(const ddg::Graph& graph, const UseIndex& uses,
-                      const ControlOracle& control, ddg::NodeId node, std::uint32_t from_dyn,
-                      int depth) {
-  const auto offset_begin = uses.offsets[node];
-  const auto offset_end = uses.offsets[node + 1];
-  for (std::uint32_t u = offset_begin; u < offset_end; ++u) {
-    const std::uint32_t dyn = uses.use_dyn[u];
-    if (dyn < from_dyn) continue;
-    const ddg::DynInstr& d = graph.GetDyn(dyn);
-    const ir::Instruction& inst = graph.InstructionOf(d);
-    if (inst.AddressOperandSlot() == static_cast<int>(uses.use_slot[u])) {
-      return UseEffect::kCrash;
-    }
-    if (inst.op == ir::Opcode::kICmp || inst.op == ir::Opcode::kFCmp ||
-        inst.op == ir::Opcode::kCondBr) {
-      // Control diverges here. The corruption still crashes if the register
-      // is consumed as (part of) an address on the post-divergence path.
-      const std::uint32_t reg = inst.operands[uses.use_slot[u]].index;
-      return control.SurvivesToAddress(d.sid.function, d.sid.block, reg)
-                 ? UseEffect::kCrash
-                 : UseEffect::kControl;
-    }
-    if (d.result_node != ddg::kNoNode &&
-        graph.GetNode(d.result_node).kind == ddg::NodeKind::kRegister) {
-      if (depth <= 0) return UseEffect::kCrash;  // assume the slice reaches memory
-      return FirstEffect(graph, uses, control, d.result_node, dyn + 1, depth - 1);
-    }
-    // Store value / output operand: the corruption parks in memory or the
-    // output stream; keep scanning this node's later uses.
-  }
-  return UseEffect::kOther;
-}
-
-}  // namespace
-
 const Analysis::UseWeightedBits& Analysis::ComputeUseWeightedBits() const {
   // Enumerate the fault-injection site distribution: every register operand
   // of every dynamic instruction (for phi, only the taken incoming slot — the
@@ -336,6 +118,7 @@ const Analysis::UseWeightedBits& Analysis::ComputeUseWeightedBits() const {
                                 &timings_.rate_estimate_seconds);
   const UseIndex uses = BuildUseIndex(graph_, options_.jobs);
   const ControlOracle control(*module_);
+  const GlobalWalkView view(graph_, uses);
   use_weighted_ = ParallelReduce(
       std::size_t{0}, graph_.NumDynInstrs(), UseWeightedBits{},
       [&](std::size_t chunk_begin, std::size_t chunk_end) {
@@ -356,7 +139,7 @@ const Analysis::UseWeightedBits& Analysis::ComputeUseWeightedBits() const {
             part.ace += width;
             const std::uint64_t mask = crash_bits_.crash_mask[node] & LowMask(width);
             if (mask == 0) continue;
-            if (FirstEffect(graph_, uses, control, node, dyn, /*depth=*/6) ==
+            if (FirstEffect(view, control, node, std::uint64_t{dyn}, /*depth=*/6) ==
                 UseEffect::kCrash) {
               part.crash += PopCount(mask);
             }
@@ -394,24 +177,15 @@ double Analysis::EpvfUseWeighted() const {
                                static_cast<double>(sums.total);
 }
 
-namespace {
-
-struct MemoryBits {
-  std::uint64_t total = 0;
-  std::uint64_t ace = 0;
-  std::uint64_t crash = 0;
-};
-
-MemoryBits ComputeMemoryBits(const ddg::Graph& graph, const ddg::AceResult& ace,
-                             const crash::CrashBits& crash_bits) {
-  MemoryBits sums;
-  for (ddg::NodeId id = 0; id < graph.NumNodes(); ++id) {
-    const ddg::Node& node = graph.GetNode(id);
+Analysis::MemoryBitsSums Analysis::ComputeMemoryBitsSums() const {
+  MemoryBitsSums sums;
+  for (ddg::NodeId id = 0; id < graph_.NumNodes(); ++id) {
+    const ddg::Node& node = graph_.GetNode(id);
     if (node.kind != ddg::NodeKind::kMemory) continue;
     sums.total += node.width;
-    if (!ace.Contains(id)) continue;
+    if (!ace_.Contains(id)) continue;
     sums.ace += node.width;
-    const Interval allowed = crash_bits.allowed[id];
+    const Interval allowed = crash_bits_.allowed[id];
     if (allowed.IsFull()) continue;
     for (unsigned bit = 0; bit < node.width; ++bit) {
       sums.crash += !allowed.Contains(FlipBit(node.value, bit));
@@ -420,15 +194,13 @@ MemoryBits ComputeMemoryBits(const ddg::Graph& graph, const ddg::AceResult& ace,
   return sums;
 }
 
-}  // namespace
-
 double Analysis::MemoryPvf() const {
-  const MemoryBits sums = ComputeMemoryBits(graph_, ace_, crash_bits_);
+  const MemoryBitsSums sums = ComputeMemoryBitsSums();
   return sums.total == 0 ? 0.0 : static_cast<double>(sums.ace) / static_cast<double>(sums.total);
 }
 
 double Analysis::MemoryEpvf() const {
-  const MemoryBits sums = ComputeMemoryBits(graph_, ace_, crash_bits_);
+  const MemoryBitsSums sums = ComputeMemoryBitsSums();
   return sums.total == 0 ? 0.0
                          : static_cast<double>(sums.ace - sums.crash) /
                                static_cast<double>(sums.total);

@@ -178,6 +178,15 @@ class Analysis {
   [[nodiscard]] double PvfUseWeighted() const;
   [[nodiscard]] double EpvfUseWeighted() const;
 
+  /// The memory-resource bit sums behind MemoryPvf/MemoryEpvf (exposed so
+  /// report assembly and the compositional diff tests share one definition).
+  struct MemoryBitsSums {
+    std::uint64_t total = 0;
+    std::uint64_t ace = 0;
+    std::uint64_t crash = 0;
+  };
+  [[nodiscard]] MemoryBitsSums ComputeMemoryBitsSums() const;
+
   /// PVF/ePVF of the *memory* resource — Eq. 1/2 instantiated for the bits
   /// held in memory versions rather than registers (the PVF framework is
   /// defined per architectural resource R; the paper evaluates "used

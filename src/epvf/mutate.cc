@@ -1,0 +1,239 @@
+#include "epvf/mutate.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "epvf/reexec.h"
+#include "ir/printer.h"
+
+namespace epvf::core {
+namespace {
+
+using ir::Opcode;
+
+/// splitmix64 — one deterministic draw per call site.
+std::uint64_t Draw(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// A register-defining computation with no memory, control or call side
+/// effects — safe to reorder against an independent neighbour.
+bool IsPureDef(const ir::Instruction& inst) {
+  if (!inst.DefinesValue()) return false;
+  switch (inst.op) {
+    case Opcode::kLoad:
+    case Opcode::kStore:
+    case Opcode::kCall:
+    case Opcode::kAlloca:
+    case Opcode::kPhi:
+    case Opcode::kBr:
+    case Opcode::kCondBr:
+    case Opcode::kRet:
+      return false;
+    default:
+      return true;
+  }
+}
+
+bool Uses(const ir::Instruction& inst, std::uint32_t reg) {
+  for (const ir::ValueRef& op : inst.operands) {
+    if (op.IsRegister() && op.index == reg) return true;
+  }
+  return false;
+}
+
+std::string UniqueRegisterName(const ir::Function& fn, std::string base) {
+  auto taken = [&](const std::string& name) {
+    return std::any_of(fn.registers.begin(), fn.registers.end(),
+                       [&](const ir::RegisterInfo& r) { return r.name == name; });
+  };
+  while (taken(base)) base += 'x';
+  return base;
+}
+
+std::string UniqueBlockName(const ir::Function& fn, std::string base) {
+  auto taken = [&](const std::string& name) {
+    return std::any_of(fn.blocks.begin(), fn.blocks.end(),
+                       [&](const ir::BasicBlock& b) { return b.name == name; });
+  };
+  while (taken(base)) base += 'x';
+  return base;
+}
+
+std::optional<Mutation> SwapIndependent(ir::Module& module, const UnitInfo& info,
+                                        std::uint32_t unit, std::uint64_t seed) {
+  ir::Function& fn = module.functions[info.function];
+  struct Site {
+    std::uint32_t block;
+    std::uint32_t index;  ///< swap instructions[index] and [index + 1]
+  };
+  std::vector<Site> sites;
+  for (const std::uint32_t b : info.blocks) {
+    const auto& insts = fn.blocks[b].instructions;
+    for (std::uint32_t i = 0; i + 1 < insts.size(); ++i) {
+      const ir::Instruction& a = insts[i];
+      const ir::Instruction& c = insts[i + 1];
+      if (!IsPureDef(a) || !IsPureDef(c)) continue;
+      if (a.result == c.result) continue;
+      if (Uses(c, a.result) || Uses(a, c.result)) continue;
+      sites.push_back({b, i});
+    }
+  }
+  if (sites.empty()) return std::nullopt;
+  std::uint64_t rng = seed;
+  const Site site = sites[Draw(rng) % sites.size()];
+  auto& insts = fn.blocks[site.block].instructions;
+  std::swap(insts[site.index], insts[site.index + 1]);
+  Mutation m;
+  m.kind = MutationKind::kSwapIndependent;
+  m.unit = unit;
+  m.unit_name = info.name;
+  m.description = "swap " +
+                  ir::PrintValue(module, fn, ir::ValueRef::Reg(insts[site.index].result)) +
+                  " <-> " +
+                  ir::PrintValue(module, fn, ir::ValueRef::Reg(insts[site.index + 1].result)) +
+                  " in " + fn.blocks[site.block].name;
+  return m;
+}
+
+std::optional<Mutation> RenameRegister(ir::Module& module, const UnitInfo& info,
+                                       std::uint32_t unit, std::uint64_t seed) {
+  ir::Function& fn = module.functions[info.function];
+  // Blocks where each register occurs (as def or use) anywhere in the
+  // function; a rename is unit-local only if that set lies inside the unit.
+  std::vector<std::set<std::uint32_t>> occurs(fn.registers.size());
+  for (std::uint32_t b = 0; b < fn.blocks.size(); ++b) {
+    for (const ir::Instruction& inst : fn.blocks[b].instructions) {
+      if (inst.DefinesValue()) occurs[inst.result].insert(b);
+      for (const ir::ValueRef& op : inst.operands) {
+        if (op.IsRegister()) occurs[op.index].insert(b);
+      }
+    }
+  }
+  const std::set<std::uint32_t> member(info.blocks.begin(), info.blocks.end());
+  std::vector<std::uint32_t> candidates;
+  for (std::uint32_t r = fn.num_params; r < fn.registers.size(); ++r) {
+    if (occurs[r].empty()) continue;
+    if (!std::includes(member.begin(), member.end(), occurs[r].begin(), occurs[r].end()))
+      continue;
+    candidates.push_back(r);
+  }
+  if (candidates.empty()) return std::nullopt;
+  std::uint64_t rng = seed;
+  const std::uint32_t reg = candidates[Draw(rng) % candidates.size()];
+  const std::string old_name = ir::PrintValue(module, fn, ir::ValueRef::Reg(reg));
+  std::string base = fn.registers[reg].name.empty() ? "r" + std::to_string(reg)
+                                                    : fn.registers[reg].name;
+  fn.registers[reg].name = UniqueRegisterName(fn, base + "_m");
+  Mutation m;
+  m.kind = MutationKind::kRenameRegister;
+  m.unit = unit;
+  m.unit_name = info.name;
+  m.description = "rename " + old_name + " -> " +
+                  ir::PrintValue(module, fn, ir::ValueRef::Reg(reg));
+  return m;
+}
+
+std::optional<Mutation> RenameBlock(ir::Module& module, const UnitInfo& info,
+                                    std::uint32_t unit, std::uint64_t seed) {
+  ir::Function& fn = module.functions[info.function];
+  if (info.blocks.empty()) return std::nullopt;
+  std::uint64_t rng = seed;
+  const std::uint32_t b = info.blocks[Draw(rng) % info.blocks.size()];
+  const std::string old_name = fn.blocks[b].name;
+  fn.blocks[b].name = UniqueBlockName(fn, old_name + "_m");
+  Mutation m;
+  m.kind = MutationKind::kRenameBlock;
+  m.unit = unit;
+  m.unit_name = info.name;
+  m.description = "rename block " + old_name + " -> " + fn.blocks[b].name;
+  return m;
+}
+
+std::optional<Mutation> TweakConstant(ir::Module& module, const UnitInfo& info,
+                                      std::uint32_t unit, std::uint64_t seed) {
+  ir::Function& fn = module.functions[info.function];
+  struct Site {
+    std::uint32_t block;
+    std::uint32_t index;
+    std::uint32_t slot;
+  };
+  std::vector<Site> sites;
+  for (const std::uint32_t b : info.blocks) {
+    const auto& insts = fn.blocks[b].instructions;
+    for (std::uint32_t i = 0; i < insts.size(); ++i) {
+      const ir::Instruction& inst = insts[i];
+      if (inst.op < Opcode::kFAdd || inst.op > Opcode::kFDiv) continue;
+      for (std::uint32_t s = 0; s < inst.operands.size(); ++s) {
+        const ir::ValueRef op = inst.operands[s];
+        if (!op.IsConstant()) continue;
+        if (module.GetConstant(op.index).type != ir::Type::F64()) continue;
+        sites.push_back({b, i, s});
+      }
+    }
+  }
+  if (sites.empty()) return std::nullopt;
+  std::uint64_t rng = seed;
+  const Site site = sites[Draw(rng) % sites.size()];
+  ir::Instruction& inst = fn.blocks[site.block].instructions[site.index];
+  const ir::Constant old_c = module.GetConstant(inst.operands[site.slot].index);
+  ir::Constant new_c = old_c;
+  new_c.bits ^= 1;  // low mantissa bit
+  inst.operands[site.slot] = module.InternConstant(new_c);
+  Mutation m;
+  m.kind = MutationKind::kTweakConstant;
+  m.unit = unit;
+  m.unit_name = info.name;
+  m.description = "tweak " + old_c.ToString() + " -> " + new_c.ToString() + " in " +
+                  fn.blocks[site.block].name;
+  return m;
+}
+
+}  // namespace
+
+std::string_view MutationKindName(MutationKind kind) {
+  switch (kind) {
+    case MutationKind::kSwapIndependent: return "swap-independent";
+    case MutationKind::kRenameRegister: return "rename-register";
+    case MutationKind::kRenameBlock: return "rename-block";
+    case MutationKind::kTweakConstant: return "tweak-constant";
+  }
+  return "?";
+}
+
+std::optional<Mutation> MutateUnit(ir::Module& module, const UnitPartition& partition,
+                                   std::uint32_t unit, MutationKind kind,
+                                   std::uint64_t seed) {
+  const UnitInfo& info = partition.units[unit];
+  switch (kind) {
+    case MutationKind::kSwapIndependent: return SwapIndependent(module, info, unit, seed);
+    case MutationKind::kRenameRegister: return RenameRegister(module, info, unit, seed);
+    case MutationKind::kRenameBlock: return RenameBlock(module, info, unit, seed);
+    case MutationKind::kTweakConstant: return TweakConstant(module, info, unit, seed);
+  }
+  return std::nullopt;
+}
+
+std::optional<Mutation> MutateAnywhere(ir::Module& module, const UnitPartition& partition,
+                                       MutationKind kind, std::uint64_t seed) {
+  const std::size_t n = partition.NumUnits();
+  if (n == 0) return std::nullopt;
+  std::uint64_t rng = seed ^ 0x5bf03635u;
+  const std::size_t start = Draw(rng) % n;
+  const bool needs_eligible = kind == MutationKind::kSwapIndependent ||
+                              kind == MutationKind::kRenameRegister;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t unit = static_cast<std::uint32_t>((start + i) % n);
+    const UnitInfo& info = partition.units[unit];
+    if (needs_eligible && !UnitIsReplayable(module, info)) continue;
+    if (auto m = MutateUnit(module, partition, unit, kind, seed)) return m;
+  }
+  return std::nullopt;
+}
+
+}  // namespace epvf::core

@@ -1,0 +1,74 @@
+// Deterministic single-unit IR mutations for the incremental test battery.
+//
+// The incremental property tests and the bench need edits with *known*
+// blast radius: some must keep every boundary summary intact (so the replay
+// fast path is guaranteed to hold), others must trip a specific guard (so
+// the fallback paths get exercised too). Each kind's contract:
+//
+//   kSwapIndependent   Swap two adjacent, independent, pure register-defining
+//                      instructions in one unit block. Dataflow, memory
+//                      traffic and control flow are untouched — boundary
+//                      preserving by construction, fast path guaranteed on
+//                      any eligible (call/alloca-free) unit.
+//   kRenameRegister    Rename a register whose every occurrence lies inside
+//                      the unit. Semantics identical; only the unit's printed
+//                      text (and hence its IR fingerprint) moves. Boundary
+//                      preserving; the walk oracle digest is also unchanged.
+//   kRenameBlock       Rename one of the unit's blocks. Block names enter
+//                      FunctionShapeDigest, so ReanalyzeIncremental must
+//                      refuse with kPartitionShape — a guaranteed-fallback
+//                      edit whose semantics are still identical.
+//   kTweakConstant     Flip the low mantissa bit of an f64 constant operand
+//                      of an arithmetic instruction in the unit. Values
+//                      change, so replay validation decides: the edit either
+//                      stays contained (fast path) or escapes the unit and
+//                      falls back — both outcomes are legitimate.
+//
+// Mutations are deterministic in (module, partition, unit, kind, seed): the
+// seed selects among the unit's candidate sites, so test shrinkage and bench
+// runs reproduce exactly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "epvf/units.h"
+#include "ir/module.h"
+
+namespace epvf::core {
+
+enum class MutationKind : std::uint8_t {
+  kSwapIndependent = 0,
+  kRenameRegister,
+  kRenameBlock,
+  kTweakConstant,
+};
+
+[[nodiscard]] std::string_view MutationKindName(MutationKind kind);
+
+struct Mutation {
+  MutationKind kind = MutationKind::kSwapIndependent;
+  std::uint32_t unit = 0;        ///< partition unit index the edit landed in
+  std::string unit_name;
+  std::string description;       ///< human-readable site, e.g. "swap %a.3 <-> %b.4 in loop0"
+};
+
+/// Applies one mutation of `kind` inside `unit`, choosing the site from
+/// `seed`. Returns std::nullopt when the unit has no applicable site (the
+/// module is then untouched).
+[[nodiscard]] std::optional<Mutation> MutateUnit(ir::Module& module,
+                                                 const UnitPartition& partition,
+                                                 std::uint32_t unit, MutationKind kind,
+                                                 std::uint64_t seed);
+
+/// Applies `kind` to some unit, starting the search at a seed-derived unit
+/// index and taking the first unit with an applicable site. Boundary-
+/// preserving kinds additionally require an eligible unit (no user calls,
+/// no allocas) so the fast-path guarantee holds. Returns std::nullopt when
+/// no unit in the module admits the mutation.
+[[nodiscard]] std::optional<Mutation> MutateAnywhere(ir::Module& module,
+                                                     const UnitPartition& partition,
+                                                     MutationKind kind, std::uint64_t seed);
+
+}  // namespace epvf::core

@@ -52,6 +52,23 @@ std::array<StructureVulnerability, kNumRegisterClasses> StructureReport(
   return report;
 }
 
+ReportStats StatsFromAnalysis(const Analysis& analysis) {
+  ReportStats stats;
+  stats.dyn_instructions = analysis.golden().instructions_executed;
+  stats.num_nodes = analysis.graph().NumNodes();
+  stats.ace_node_count = analysis.ace().ace_node_count;
+  stats.ace_bits = analysis.ace().ace_bits;
+  stats.total_bits = analysis.ace().total_bits;
+  stats.crash_bits = analysis.crash_bits().total_crash_bits;
+  stats.use_weighted = analysis.use_weighted_bits();
+  const Analysis::MemoryBitsSums mem = analysis.ComputeMemoryBitsSums();
+  stats.mem_total = mem.total;
+  stats.mem_ace = mem.ace;
+  stats.mem_crash = mem.crash;
+  stats.structure = StructureReport(analysis);
+  return stats;
+}
+
 RegisterClass MostSdcProneStructure(const Analysis& analysis) {
   const auto report = StructureReport(analysis);
   RegisterClass best = RegisterClass::kInteger;

@@ -62,6 +62,51 @@ struct StructureVulnerability {
 /// the one with the largest SDC-prone bit mass.
 [[nodiscard]] RegisterClass MostSdcProneStructure(const Analysis& analysis);
 
+/// The deterministic inputs of the `epvf analyze` report, decoupled from the
+/// Analysis object so the same renderer serves both the monolithic pipeline
+/// and a recomposed compositional result (ComposeProgram) — the byte-identity
+/// contract between `analyze`, `analyze --incremental` and the daemon rests
+/// on every path funnelling through this struct.
+struct ReportStats {
+  std::uint64_t dyn_instructions = 0;
+  std::uint64_t num_nodes = 0;
+  std::uint64_t ace_node_count = 0;
+  std::uint64_t ace_bits = 0;
+  std::uint64_t total_bits = 0;
+  std::uint64_t crash_bits = 0;
+  Analysis::UseWeightedBits use_weighted;
+  std::uint64_t mem_total = 0;
+  std::uint64_t mem_ace = 0;
+  std::uint64_t mem_crash = 0;
+  std::array<StructureVulnerability, kNumRegisterClasses> structure{};
+
+  [[nodiscard]] double Pvf() const {
+    return total_bits == 0 ? 0.0 : static_cast<double>(ace_bits) / static_cast<double>(total_bits);
+  }
+  [[nodiscard]] double Epvf() const {
+    return total_bits == 0
+               ? 0.0
+               : static_cast<double>(ace_bits - crash_bits) / static_cast<double>(total_bits);
+  }
+  [[nodiscard]] double CrashRateEstimate() const {
+    return use_weighted.total == 0 ? 0.0
+                                   : static_cast<double>(use_weighted.crash) /
+                                         static_cast<double>(use_weighted.total);
+  }
+  [[nodiscard]] double MemoryPvf() const {
+    return mem_total == 0 ? 0.0 : static_cast<double>(mem_ace) / static_cast<double>(mem_total);
+  }
+  [[nodiscard]] double MemoryEpvf() const {
+    return mem_total == 0 ? 0.0
+                          : static_cast<double>(mem_ace - mem_crash) /
+                                static_cast<double>(mem_total);
+  }
+};
+
+/// Collects the report inputs from a monolithic analysis (forces the
+/// use-weighted pass).
+[[nodiscard]] ReportStats StatsFromAnalysis(const Analysis& analysis);
+
 struct CheckpointAdvice {
   double crash_probability_per_fault = 0.0;  ///< from the crash model
   double mean_time_between_crashes_s = 0.0;

@@ -1,0 +1,168 @@
+#include "epvf/units.h"
+
+#include <algorithm>
+
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "support/hash.h"
+
+namespace epvf::core {
+
+namespace {
+
+/// a dominates b (reflexive) on the idom tree.
+bool Dominates(const std::vector<std::uint32_t>& idom, std::uint32_t a, std::uint32_t b) {
+  while (true) {
+    if (a == b) return true;
+    if (b == 0) return false;  // reached the entry block
+    const std::uint32_t up = idom[b];
+    if (up == b) return false;  // defensive: unreachable block self-loop
+    b = up;
+  }
+}
+
+std::vector<std::vector<std::uint32_t>> Predecessors(const ir::Function& fn) {
+  std::vector<std::vector<std::uint32_t>> preds(fn.blocks.size());
+  for (std::uint32_t b = 0; b < fn.blocks.size(); ++b) {
+    if (fn.blocks[b].instructions.empty()) continue;
+    const ir::Instruction& term = fn.blocks[b].instructions.back();
+    if (term.op == ir::Opcode::kBr) {
+      preds[term.bb_true].push_back(b);
+    } else if (term.op == ir::Opcode::kCondBr) {
+      preds[term.bb_true].push_back(b);
+      if (term.bb_false != term.bb_true) preds[term.bb_false].push_back(b);
+    }
+  }
+  return preds;
+}
+
+}  // namespace
+
+UnitPartition PartitionModule(const ir::Module& module) {
+  UnitPartition partition;
+  partition.unit_of_block.resize(module.functions.size());
+
+  for (std::uint32_t f = 0; f < module.functions.size(); ++f) {
+    const ir::Function& fn = module.functions[f];
+    const std::size_t num_blocks = fn.blocks.size();
+    const std::vector<std::uint32_t> idom = ir::ComputeImmediateDominators(fn);
+    const auto preds = Predecessors(fn);
+
+    // --- natural loops: one per header, body merged over its back edges ------
+    struct Loop {
+      std::uint32_t header;
+      std::vector<std::uint8_t> member;  // per block
+      std::size_t size = 0;
+    };
+    std::vector<Loop> loops;
+    std::vector<std::int32_t> loop_of_header(num_blocks, -1);
+    for (std::uint32_t b = 0; b < num_blocks; ++b) {
+      if (fn.blocks[b].instructions.empty()) continue;
+      const ir::Instruction& term = fn.blocks[b].instructions.back();
+      std::uint32_t targets[2] = {ir::kInvalidIndex, ir::kInvalidIndex};
+      if (term.op == ir::Opcode::kBr) {
+        targets[0] = term.bb_true;
+      } else if (term.op == ir::Opcode::kCondBr) {
+        targets[0] = term.bb_true;
+        targets[1] = term.bb_false;
+      }
+      for (const std::uint32_t h : targets) {
+        if (h == ir::kInvalidIndex || !Dominates(idom, h, b)) continue;
+        // Back edge b -> h: the natural loop is h plus every block that
+        // reaches b without passing through h.
+        if (loop_of_header[h] < 0) {
+          loop_of_header[h] = static_cast<std::int32_t>(loops.size());
+          loops.push_back(Loop{h, std::vector<std::uint8_t>(num_blocks, 0), 0});
+          loops.back().member[h] = 1;
+        }
+        Loop& loop = loops[static_cast<std::size_t>(loop_of_header[h])];
+        std::vector<std::uint32_t> work;
+        if (!loop.member[b]) {
+          loop.member[b] = 1;
+          work.push_back(b);
+        }
+        while (!work.empty()) {
+          const std::uint32_t x = work.back();
+          work.pop_back();
+          for (const std::uint32_t p : preds[x]) {
+            if (!loop.member[p]) {
+              loop.member[p] = 1;
+              work.push_back(p);
+            }
+          }
+        }
+      }
+    }
+    for (Loop& loop : loops) {
+      loop.size = static_cast<std::size_t>(
+          std::count(loop.member.begin(), loop.member.end(), std::uint8_t{1}));
+    }
+
+    // --- innermost-loop assignment: smallest containing loop wins ------------
+    std::vector<std::int32_t> innermost(num_blocks, -1);
+    for (std::uint32_t b = 0; b < num_blocks; ++b) {
+      std::size_t best_size = ~std::size_t{0};
+      for (std::size_t li = 0; li < loops.size(); ++li) {
+        if (loops[li].member[b] && loops[li].size < best_size) {
+          best_size = loops[li].size;
+          innermost[b] = static_cast<std::int32_t>(li);
+        }
+      }
+    }
+
+    // --- units: the function's top region, then loops by header id -----------
+    struct PendingUnit {
+      std::uint32_t header;
+      std::vector<std::uint32_t> blocks;
+    };
+    std::vector<PendingUnit> pending;
+    pending.push_back(PendingUnit{kNoHeader, {}});
+    std::vector<std::uint32_t> headers_sorted;
+    for (const Loop& loop : loops) headers_sorted.push_back(loop.header);
+    std::sort(headers_sorted.begin(), headers_sorted.end());
+    std::vector<std::uint32_t> unit_index_of_header(num_blocks, 0);
+    for (const std::uint32_t h : headers_sorted) {
+      unit_index_of_header[h] = static_cast<std::uint32_t>(pending.size());
+      pending.push_back(PendingUnit{h, {}});
+    }
+    for (std::uint32_t b = 0; b < num_blocks; ++b) {
+      if (innermost[b] < 0) {
+        pending[0].blocks.push_back(b);
+      } else {
+        pending[unit_index_of_header[loops[static_cast<std::size_t>(innermost[b])].header]]
+            .blocks.push_back(b);
+      }
+    }
+
+    partition.unit_of_block[f].assign(num_blocks, 0);
+    for (const PendingUnit& pu : pending) {
+      if (pu.blocks.empty()) continue;  // function entirely inside loops
+      UnitInfo unit;
+      unit.function = f;
+      unit.header_block = pu.header;
+      unit.blocks = pu.blocks;
+      unit.name = fn.name + "/" +
+                  (pu.header == kNoHeader ? std::string("top") : fn.blocks[pu.header].name);
+      std::string text = fn.name;
+      for (const std::uint32_t b : pu.blocks) {
+        const ir::BasicBlock& bb = fn.blocks[b];
+        text += '\n';
+        text += bb.name;
+        text += ':';
+        for (const ir::Instruction& inst : bb.instructions) {
+          text += '\n';
+          text += ir::PrintInstruction(module, fn, inst);
+          if (inst.op == ir::Opcode::kCall && !inst.is_intrinsic) unit.has_user_call = true;
+          if (inst.op == ir::Opcode::kAlloca) unit.has_alloca = true;
+        }
+      }
+      unit.ir_fingerprint = support::Fnv1a64(text);
+      const auto id = static_cast<std::uint32_t>(partition.units.size());
+      for (const std::uint32_t b : pu.blocks) partition.unit_of_block[f][b] = id;
+      partition.units.push_back(std::move(unit));
+    }
+  }
+  return partition;
+}
+
+}  // namespace epvf::core

@@ -1,0 +1,54 @@
+// Analysis units: the per-region decomposition of a module.
+//
+// FastFlip-style compositional analysis needs units whose dynamic execution
+// is a sequence of contiguous trace segments with a small, summarizable
+// boundary. For this IR the natural choice is loop nests: every block belongs
+// to its *innermost* natural loop (identified from back edges on the
+// dominator tree), and each loop — plus one "top" unit per function for the
+// straight-line glue outside any loop — is a unit. The single-function
+// Rodinia kernels decompose into their per-kernel loops (lulesh: nodes,
+// elems, the step skeleton, force/move/vol/eos, oute, outx), so an edit to
+// one kernel touches exactly one unit. Multi-function modules additionally
+// split per function.
+//
+// Unit names are derived from function + header-block names, which is what
+// keeps unit identity stable across edits that only touch a unit's interior.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace epvf::core {
+
+inline constexpr std::uint32_t kNoHeader = 0xFFFFFFFFu;
+
+struct UnitInfo {
+  std::string name;            ///< "<function>/<header block name>" or "<function>/top"
+  std::uint32_t function = 0;
+  std::uint32_t header_block = kNoHeader;  ///< loop header; kNoHeader for the top unit
+  std::vector<std::uint32_t> blocks;       ///< member blocks, ascending
+  std::uint64_t ir_fingerprint = 0;        ///< FNV-1a over the unit's printed blocks
+  bool has_user_call = false;              ///< contains a non-intrinsic call
+  bool has_alloca = false;                 ///< contains an alloca
+};
+
+struct UnitPartition {
+  std::vector<UnitInfo> units;
+  /// unit_of_block[function][block] -> unit index into `units`.
+  std::vector<std::vector<std::uint32_t>> unit_of_block;
+
+  [[nodiscard]] std::uint32_t UnitOf(std::uint32_t function, std::uint32_t block) const {
+    return unit_of_block[function][block];
+  }
+  [[nodiscard]] std::size_t NumUnits() const { return units.size(); }
+};
+
+/// Partitions every function of `module` into loop-nest units. Deterministic:
+/// units are ordered by (function, header block id) with each function's top
+/// unit first.
+[[nodiscard]] UnitPartition PartitionModule(const ir::Module& module);
+
+}  // namespace epvf::core

@@ -1,0 +1,72 @@
+#include "epvf/walks.h"
+
+#include <algorithm>
+
+#include "support/thread_pool.h"
+
+namespace epvf::core {
+
+UseIndex BuildUseIndex(const ddg::Graph& graph, int jobs) {
+  UseIndex index;
+  const std::size_t n = graph.NumNodes();
+  const auto num_dyn = static_cast<std::uint32_t>(graph.NumDynInstrs());
+
+  unsigned parts = ThreadPool::ResolveJobs(jobs);
+  // Each slice carries an O(NumNodes) count array; stop splitting when the
+  // slices are too small to pay for it.
+  parts = std::min<unsigned>(parts, std::max<std::uint32_t>(1, num_dyn / 4096));
+  if (parts > 1) parts = ThreadPool::Shared().PrepareParticipants(parts);
+
+  if (parts <= 1) {
+    std::vector<std::uint32_t> counts(n + 1, 0);
+    ForEachUse(graph, 0, num_dyn,
+               [&](ddg::NodeId node, std::uint32_t, std::uint8_t) { ++counts[node + 1]; });
+    for (std::size_t i = 1; i <= n; ++i) counts[i] += counts[i - 1];
+    index.offsets = counts;
+    index.use_dyn.resize(index.offsets[n]);
+    index.use_slot.resize(index.offsets[n]);
+    std::vector<std::uint32_t> cursor(index.offsets.begin(), index.offsets.end() - 1);
+    ForEachUse(graph, 0, num_dyn, [&](ddg::NodeId node, std::uint32_t dyn, std::uint8_t slot) {
+      index.use_dyn[cursor[node]] = dyn;
+      index.use_slot[cursor[node]] = slot;
+      ++cursor[node];
+    });
+    return index;
+  }
+
+  std::vector<std::uint32_t> slice_begin(parts + 1);
+  for (unsigned w = 0; w <= parts; ++w) {
+    slice_begin[w] = static_cast<std::uint32_t>(std::uint64_t{num_dyn} * w / parts);
+  }
+  std::vector<std::vector<std::uint32_t>> counts(parts);
+  ThreadPool::Shared().Run(parts, [&](unsigned w) {
+    counts[w].assign(n, 0);
+    ForEachUse(graph, slice_begin[w], slice_begin[w + 1],
+               [&](ddg::NodeId node, std::uint32_t, std::uint8_t) { ++counts[w][node]; });
+  });
+
+  index.offsets.assign(n + 1, 0);
+  std::uint32_t running = 0;
+  for (std::size_t node = 0; node < n; ++node) {
+    index.offsets[node] = running;
+    for (unsigned w = 0; w < parts; ++w) {
+      const std::uint32_t c = counts[w][node];
+      counts[w][node] = running;  // becomes slice w's write cursor for `node`
+      running += c;
+    }
+  }
+  index.offsets[n] = running;
+  index.use_dyn.resize(running);
+  index.use_slot.resize(running);
+  ThreadPool::Shared().Run(parts, [&](unsigned w) {
+    ForEachUse(graph, slice_begin[w], slice_begin[w + 1],
+               [&](ddg::NodeId node, std::uint32_t dyn, std::uint8_t slot) {
+                 const std::uint32_t pos = counts[w][node]++;
+                 index.use_dyn[pos] = dyn;
+                 index.use_slot[pos] = slot;
+               });
+  });
+  return index;
+}
+
+}  // namespace epvf::core

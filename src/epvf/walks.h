@@ -1,0 +1,211 @@
+// Use-weighted activation-walk machinery (the crash-rate estimate's core).
+//
+// The walk answers: "a flip lands in a register operand at dynamic time T —
+// what does it hit first?" (a memory address → crash; a compare/branch →
+// control divergence; nothing classified → other). analysis.cc runs it over
+// the whole-program DDG; compose.cc runs the *same* algorithm over per-unit
+// slices through a different view type, which is what keeps the compositional
+// crash-rate estimate bit-identical to the monolithic one. FirstEffect is
+// therefore templated on a small view concept:
+//
+//   struct View {
+//     using NodeRef = ...;                       // node handle
+//     using UseCursor = ...;                     // integer-like use handle
+//     std::pair<UseCursor, UseCursor> UseRangeOf(NodeRef) const;
+//     std::uint64_t UseDyn(UseCursor) const;     // global trace position
+//     std::uint8_t UseSlot(UseCursor) const;
+//     const ir::Instruction& InstructionAtUse(UseCursor) const;
+//     ir::StaticInstrId SidAtUse(UseCursor) const;
+//     bool HasRegisterResult(UseCursor) const;   // defines a register node
+//     NodeRef ResultNode(UseCursor) const;
+//   };
+//
+// Views are free to record which data a walk touched (dependency tracking for
+// incremental re-analysis) inside their accessors.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "ddg/graph.h"
+#include "ir/module.h"
+#include "ir/verifier.h"
+
+namespace epvf::core {
+
+/// Dynamic use index: for every node, its (dyn_index, slot) register-operand
+/// uses in trace order.
+struct UseIndex {
+  std::vector<std::uint32_t> offsets;  ///< per node, into the pools
+  std::vector<std::uint32_t> use_dyn;
+  std::vector<std::uint8_t> use_slot;
+};
+
+/// Enumerates the register-operand uses of dyn instructions [begin, end) in
+/// trace order — the shared traversal of the use-index passes and the
+/// use-weighted site enumeration.
+template <typename Fn>
+void ForEachUse(const ddg::Graph& graph, std::uint32_t begin, std::uint32_t end, Fn&& fn) {
+  for (std::uint32_t dyn = begin; dyn < end; ++dyn) {
+    const ddg::DynInstr& d = graph.GetDyn(dyn);
+    const ir::Instruction& inst = graph.InstructionOf(d);
+    const auto nodes = graph.OperandNodes(dyn);
+    for (std::size_t slot = 0; slot < nodes.size(); ++slot) {
+      if (!inst.operands[slot].IsRegister()) continue;
+      if (inst.op == ir::Opcode::kPhi && slot != d.selected_operand) continue;
+      if (nodes[slot] == ddg::kNoNode) continue;
+      fn(nodes[slot], dyn, static_cast<std::uint8_t>(slot));
+    }
+  }
+}
+
+/// Two-pass counting sort of the uses, parallelized as a static partition of
+/// the dyn range; output is byte-identical to the serial sort at every thread
+/// count (uses stay in trace order per node).
+[[nodiscard]] UseIndex BuildUseIndex(const ddg::Graph& graph, int jobs);
+
+/// What a flip applied at a use of a node (from dynamic time `from_dyn` on)
+/// hits first: a memory address (crash surfaces), only compares/branches
+/// (control diverges), or nothing classified.
+enum class UseEffect : std::uint8_t { kCrash, kControl, kOther };
+
+/// Control oracle: per-function postdominators plus a static forward walk
+/// answering "after a branch consuming this corrupted register diverges, can
+/// the register still reach a memory address?" — uses in blocks that
+/// postdominate the compare execute either way; selects are not traversed
+/// because under a corrupted condition they act as clamps.
+class ControlOracle {
+ public:
+  explicit ControlOracle(const ir::Module& module) : module_(module) {
+    ipdom_.reserve(module.functions.size());
+    static_uses_.reserve(module.functions.size());
+    for (const ir::Function& fn : module.functions) {
+      ipdom_.push_back(ir::ComputeImmediatePostDominators(fn));
+      StaticUseMap uses(fn.registers.size());
+      for (std::uint32_t b = 0; b < fn.blocks.size(); ++b) {
+        const auto& insts = fn.blocks[b].instructions;
+        for (std::uint32_t i = 0; i < insts.size(); ++i) {
+          for (std::size_t slot = 0; slot < insts[i].operands.size(); ++slot) {
+            if (!insts[i].operands[slot].IsRegister()) continue;
+            uses[insts[i].operands[slot].index].push_back(
+                StaticUse{b, i, static_cast<std::uint8_t>(slot)});
+          }
+        }
+      }
+      static_uses_.push_back(std::move(uses));
+    }
+  }
+
+  /// Corrupted register `reg` diverged a branch in `block` of `function`:
+  /// true if a postdominating static use chain still reaches an address.
+  [[nodiscard]] bool SurvivesToAddress(std::uint32_t function, std::uint32_t block,
+                                       std::uint32_t reg) const {
+    const ir::Function& fn = module_.functions[function];
+    const auto& ipdom = ipdom_[function];
+    const auto& uses = static_uses_[function];
+    std::vector<std::uint32_t> worklist{reg};
+    std::vector<std::uint8_t> seen(fn.registers.size(), 0);
+    seen[reg] = 1;
+    int budget = 64;
+    while (!worklist.empty() && budget-- > 0) {
+      const std::uint32_t r = worklist.back();
+      worklist.pop_back();
+      for (const StaticUse& use : uses[r]) {
+        if (!ir::PostDominates(ipdom, use.block, block)) continue;
+        const ir::Instruction& inst = fn.blocks[use.block].instructions[use.instr];
+        if (inst.AddressOperandSlot() == static_cast<int>(use.slot)) return true;
+        if (inst.op == ir::Opcode::kSelect || inst.op == ir::Opcode::kICmp ||
+            inst.op == ir::Opcode::kFCmp || inst.op == ir::Opcode::kCondBr) {
+          continue;  // clamps and further control don't carry the raw value
+        }
+        if (inst.DefinesValue() && !seen[inst.result]) {
+          seen[inst.result] = 1;
+          worklist.push_back(inst.result);
+        }
+      }
+    }
+    return false;
+  }
+
+ private:
+  struct StaticUse {
+    std::uint32_t block;
+    std::uint32_t instr;
+    std::uint8_t slot;
+  };
+  using StaticUseMap = std::vector<std::vector<StaticUse>>;
+
+  const ir::Module& module_;
+  std::vector<std::vector<std::uint32_t>> ipdom_;
+  std::vector<StaticUseMap> static_uses_;
+};
+
+/// The activation walk (see header comment for the view concept). Control
+/// handling: hitting a compare does not end the walk — the corrupted value
+/// may still be consumed on the post-divergence path; the oracle decides
+/// whether a postdominating use chain reaches an address.
+template <typename View, typename Oracle = ControlOracle>
+UseEffect FirstEffect(const View& view, const Oracle& control,
+                      typename View::NodeRef node, std::uint64_t from_dyn, int depth) {
+  const auto [use_begin, use_end] = view.UseRangeOf(node);
+  for (auto u = use_begin; u < use_end; ++u) {
+    const std::uint64_t dyn = view.UseDyn(u);
+    if (dyn < from_dyn) continue;
+    const ir::Instruction& inst = view.InstructionAtUse(u);
+    if (inst.AddressOperandSlot() == static_cast<int>(view.UseSlot(u))) {
+      return UseEffect::kCrash;
+    }
+    if (inst.op == ir::Opcode::kICmp || inst.op == ir::Opcode::kFCmp ||
+        inst.op == ir::Opcode::kCondBr) {
+      // Control diverges here. The corruption still crashes if the register
+      // is consumed as (part of) an address on the post-divergence path.
+      const std::uint32_t reg = inst.operands[view.UseSlot(u)].index;
+      const ir::StaticInstrId sid = view.SidAtUse(u);
+      return control.SurvivesToAddress(sid.function, sid.block, reg) ? UseEffect::kCrash
+                                                                     : UseEffect::kControl;
+    }
+    if (view.HasRegisterResult(u)) {
+      if (depth <= 0) return UseEffect::kCrash;  // assume the slice reaches memory
+      return FirstEffect(view, control, view.ResultNode(u), dyn + 1, depth - 1);
+    }
+    // Store value / output operand: the corruption parks in memory or the
+    // output stream; keep scanning this node's later uses.
+  }
+  return UseEffect::kOther;
+}
+
+/// The whole-program view: a Graph plus its UseIndex. This is the monolithic
+/// pipeline's instantiation; compose.cc provides the sliced one.
+class GlobalWalkView {
+ public:
+  using NodeRef = ddg::NodeId;
+  using UseCursor = std::uint32_t;
+
+  GlobalWalkView(const ddg::Graph& graph, const UseIndex& uses) : graph_(graph), uses_(uses) {}
+
+  [[nodiscard]] std::pair<UseCursor, UseCursor> UseRangeOf(NodeRef node) const {
+    return {uses_.offsets[node], uses_.offsets[node + 1]};
+  }
+  [[nodiscard]] std::uint64_t UseDyn(UseCursor u) const { return uses_.use_dyn[u]; }
+  [[nodiscard]] std::uint8_t UseSlot(UseCursor u) const { return uses_.use_slot[u]; }
+  [[nodiscard]] const ir::Instruction& InstructionAtUse(UseCursor u) const {
+    return graph_.InstructionAt(uses_.use_dyn[u]);
+  }
+  [[nodiscard]] ir::StaticInstrId SidAtUse(UseCursor u) const {
+    return graph_.GetDyn(uses_.use_dyn[u]).sid;
+  }
+  [[nodiscard]] bool HasRegisterResult(UseCursor u) const {
+    const ddg::NodeId result = graph_.GetDyn(uses_.use_dyn[u]).result_node;
+    return result != ddg::kNoNode && graph_.GetNode(result).kind == ddg::NodeKind::kRegister;
+  }
+  [[nodiscard]] NodeRef ResultNode(UseCursor u) const {
+    return graph_.GetDyn(uses_.use_dyn[u]).result_node;
+  }
+
+ private:
+  const ddg::Graph& graph_;
+  const UseIndex& uses_;
+};
+
+}  // namespace epvf::core

@@ -24,19 +24,24 @@ void Line(std::ostream& out, const char* format, Args... args) {
 }  // namespace
 
 void RenderAnalyzeReport(const core::Analysis& analysis, std::ostream& out) {
-  const core::Analysis& a = analysis;
+  RenderAnalyzeReport(core::StatsFromAnalysis(analysis), out);
+}
+
+void RenderAnalyzeReport(const core::ReportStats& stats, std::ostream& out) {
   Line(out, "dynamic instructions : %llu\n",
-       static_cast<unsigned long long>(a.golden().instructions_executed));
-  Line(out, "DDG nodes            : %zu (ACE: %llu)\n", a.graph().NumNodes(),
-       static_cast<unsigned long long>(a.ace().ace_node_count));
-  Line(out, "PVF  (Eq. 1)         : %.4f\n", a.Pvf());
-  Line(out, "ePVF (Eq. 2)         : %.4f\n", a.Epvf());
-  Line(out, "crash-rate estimate  : %.4f\n", a.CrashRateEstimate());
-  Line(out, "memory resource      : PVF %.4f, ePVF %.4f\n", a.MemoryPvf(), a.MemoryEpvf());
+       static_cast<unsigned long long>(stats.dyn_instructions));
+  Line(out, "DDG nodes            : %zu (ACE: %llu)\n",
+       static_cast<std::size_t>(stats.num_nodes),
+       static_cast<unsigned long long>(stats.ace_node_count));
+  Line(out, "PVF  (Eq. 1)         : %.4f\n", stats.Pvf());
+  Line(out, "ePVF (Eq. 2)         : %.4f\n", stats.Epvf());
+  Line(out, "crash-rate estimate  : %.4f\n", stats.CrashRateEstimate());
+  Line(out, "memory resource      : PVF %.4f, ePVF %.4f\n", stats.MemoryPvf(),
+       stats.MemoryEpvf());
 
   AsciiTable table({"structure", "total bits", "ACE", "crash", "class ePVF"});
   table.SetTitle("structure vulnerability");
-  for (const core::StructureVulnerability& entry : core::StructureReport(a)) {
+  for (const core::StructureVulnerability& entry : stats.structure) {
     if (entry.total_bits == 0) continue;
     table.AddRow({std::string(core::RegisterClassName(entry.cls)),
                   std::to_string(entry.total_bits), std::to_string(entry.ace_bits),

@@ -11,11 +11,17 @@
 #include <ostream>
 
 #include "epvf/analysis.h"
+#include "epvf/report.h"
 
 namespace epvf::serve {
 
 /// The exact stdout of `epvf analyze`: the metric block plus the structure
 /// vulnerability table.
 void RenderAnalyzeReport(const core::Analysis& analysis, std::ostream& out);
+
+/// Same report from pre-assembled statistics — the compositional pipeline's
+/// entry point. `analyze --incremental` stdout is byte-identical to a cold
+/// `analyze` because both funnel through this overload's format strings.
+void RenderAnalyzeReport(const core::ReportStats& stats, std::ostream& out);
 
 }  // namespace epvf::serve

@@ -22,6 +22,8 @@
 
 #include "apps/app.h"
 #include "epvf/analysis.h"
+#include "epvf/compose.h"
+#include "epvf/reexec.h"
 #include "fi/supervisor.h"
 #include "ir/parser.h"
 #include "obs/metrics.h"
@@ -29,6 +31,7 @@
 #include "serve/render.h"
 #include "serve/wire.h"
 #include "store/cache.h"
+#include "store/units_store.h"
 #include "support/subprocess.h"
 
 namespace epvf::serve {
@@ -105,12 +108,22 @@ struct Resident {
       : module(std::move(owned)), analysis(store::RunAnalysisCached(*module, opts, key, cache)) {}
 };
 
+/// The resident compositional state behind `analyze --incremental`: the
+/// latest analyzed module plus its per-unit slices, kept warm across
+/// requests so an edited module usually costs one unit replay instead of a
+/// whole-program run. The slices hold pointers into `module`, which
+/// therefore lives at a stable address in the same entry.
+struct ResidentUnits {
+  std::unique_ptr<ir::Module> module;
+  core::ProgramSlices slices;
+};
+
 /// Per-command flag vocabulary the daemon accepts. Cache, observability, and
 /// client plumbing flags are deliberately absent: the daemon owns the cache
 /// directory and its own sinks, and a request carrying them is malformed.
 const std::map<std::string, std::set<std::string>>& WorkerFlags() {
   static const std::map<std::string, std::set<std::string>> allowed = {
-      {"analyze", {"scale", "jobs", "engine"}},
+      {"analyze", {"scale", "jobs", "engine", "incremental"}},
       {"inject",
        {"scale", "runs", "jitter", "burst", "seed", "jobs", "checkpoints", "engine", "plan",
         "ci-target", "max-runs"}},
@@ -178,6 +191,12 @@ struct Server::Impl {
   // the module fingerprint, so an edited .ir target lands in a fresh entry.
   std::mutex resident_mutex;
   std::map<std::string, std::unique_ptr<Resident>> resident;
+
+  // Resident compositional states keyed by store::CacheId(ManifestKey) — the
+  // module fingerprint is deliberately absent from that key, so an edited .ir
+  // target lands on its *existing* entry and replays incrementally against it.
+  std::mutex units_mutex;
+  std::map<std::string, std::unique_ptr<ResidentUnits>> resident_units;
 
   void Emit(const std::string& message) {
     if (options.on_event) options.on_event(message);
@@ -498,11 +517,11 @@ struct Server::Impl {
     return fallback;
   }
 
-  /// The resident entry for (target, scale) — built (and persisted to the
-  /// shared cache, warming it for workers) on first use. Throws on an
-  /// unknown benchmark / unreadable file, like the CLI's loader.
-  Resident& EnsureResident(const std::string& target, int scale, int jobs, bool* hit) {
-    auto module = std::make_unique<ir::Module>([&] {
+  /// Loads a benchmark by name or parses a textual-IR file — the CLI's
+  /// loader, on the daemon side. Throws on an unknown benchmark or an
+  /// unreadable file.
+  static std::unique_ptr<ir::Module> LoadModule(const std::string& target, int scale) {
+    return std::make_unique<ir::Module>([&] {
       const bool looks_like_path =
           target.find('.') != std::string::npos || target.find('/') != std::string::npos;
       if (!looks_like_path) {
@@ -516,6 +535,13 @@ struct Server::Impl {
       buffer << in.rdbuf();
       return ir::ParseModuleOrThrow(buffer.str());
     }());
+  }
+
+  /// The resident entry for (target, scale) — built (and persisted to the
+  /// shared cache, warming it for workers) on first use. Throws on an
+  /// unknown benchmark / unreadable file, like the CLI's loader.
+  Resident& EnsureResident(const std::string& target, int scale, int jobs, bool* hit) {
+    std::unique_ptr<ir::Module> module = LoadModule(target, scale);
 
     core::AnalysisOptions opts;
     opts.jobs = jobs;
@@ -557,6 +583,10 @@ struct Server::Impl {
   void ExecuteAnalyze(Job& job) {
     const int scale = std::atoi(FlagValue(job.args, "scale", "1").c_str());
     const int jobs_flag = std::atoi(FlagValue(job.args, "jobs", "0").c_str());
+    if (FlagValue(job.args, "incremental", "0") != "0") {
+      ExecuteAnalyzeIncremental(job, scale, jobs_flag);
+      return;
+    }
     try {
       bool hit = false;
       const auto start = std::chrono::steady_clock::now();
@@ -569,6 +599,80 @@ struct Server::Impl {
       char note[160];
       std::snprintf(note, sizeof note, "serve: analysis %s (%s, %.2f ms)\n",
                     job.args[1].c_str(), hit ? "resident" : "computed", ms);
+      job.conn->Send(FrameType::kStdout, out.str());
+      job.conn->Send(FrameType::kStderr, note);
+      job.conn->Send(FrameType::kDone, EncodeU64(0));
+    } catch (const std::exception& error) {
+      job.conn->SendError(ErrorCode::kBadRequest, error.what());
+    }
+  }
+
+  /// `analyze --incremental` on the daemon: re-analyze against the resident
+  /// unit map. An unchanged or one-unit-edited module is served by replay
+  /// against the in-memory state (no parse-to-pipeline round trip); any
+  /// fallback rebuilds through the per-unit disk cache. Stdout is rendered
+  /// from the composed stats, so it is byte-identical to a local
+  /// `epvf analyze --incremental` — and to a plain `epvf analyze`.
+  void ExecuteAnalyzeIncremental(Job& job, int scale, int jobs_flag) {
+    try {
+      const auto start = std::chrono::steady_clock::now();
+      std::unique_ptr<ir::Module> module = LoadModule(job.args[1], scale);
+      core::AnalysisOptions opts;
+      opts.jobs = jobs_flag;
+      store::AnalysisKey key;
+      key.app = job.args[1];
+      key.config = "scale=" + std::to_string(scale);
+      key.module_fingerprint = store::ModuleFingerprint(*module);
+      key.options = opts;
+      const std::string id = store::CacheId(store::ManifestKey{key});
+
+      const std::lock_guard<std::mutex> lock(units_mutex);
+      std::unique_ptr<ResidentUnits>& slot = resident_units[id];
+      const char* mode = "cold";
+      std::uint32_t replayed = 0;
+      std::uint32_t total = 0;
+      if (slot != nullptr) {
+        const core::IncrementalOutcome outcome =
+            core::ReanalyzeIncremental(slot->slices, *module, jobs_flag);
+        total = outcome.units_total;
+        if (outcome.used_fast_path) {
+          // The slices now describe the new module — adopt it (the old one
+          // dies with the swap; unchanged units never referenced it by
+          // pointer, only the slices' module field does).
+          slot->module = std::move(module);
+          replayed = outcome.units_replayed;
+          mode = replayed == 0 ? "resident warm" : "resident replay";
+          obs::GetCounter("serve.analyze.incremental_fast_path").Add();
+          // Keep the disk cache tracking the resident state, so a daemon
+          // restart (or a local CLI against the same cache) starts warm.
+          store::PersistCompositionalState(slot->slices, *slot->module, key, *cache);
+        } else {
+          obs::GetCounter("serve.analyze.incremental_fallbacks").Add();
+          slot = nullptr;  // stale state — rebuild below
+        }
+      }
+      if (slot == nullptr) {
+        auto entry = std::make_unique<ResidentUnits>();
+        entry->module = std::move(module);
+        store::IncrementalResult result =
+            store::RunAnalysisIncremental(*entry->module, opts, key, *cache);
+        entry->slices = std::move(result.slices);
+        total = result.stats.units_total;
+        replayed = result.stats.unit_misses;
+        if (!result.stats.cold_rebuild) mode = "disk cache";
+        obs::GetCounter("serve.analyze.incremental_rebuilds").Add();
+        slot = std::move(entry);
+      }
+
+      std::ostringstream out;
+      RenderAnalyzeReport(core::ComposeProgram(slot->slices), out);
+      const double ms =
+          std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+              .count();
+      char note[200];
+      std::snprintf(note, sizeof note,
+                    "serve: incremental analysis %s (%s, %u of %u units recomputed, %.2f ms)\n",
+                    job.args[1].c_str(), mode, replayed, total, ms);
       job.conn->Send(FrameType::kStdout, out.str());
       job.conn->Send(FrameType::kStderr, note);
       job.conn->Send(FrameType::kDone, EncodeU64(0));

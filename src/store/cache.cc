@@ -11,6 +11,7 @@
 #include "obs/progress.h"
 #include "obs/trace.h"
 #include "support/atomic_file.h"
+#include "support/hash.h"
 #include "support/logging.h"
 #include "support/stopwatch.h"
 
@@ -18,14 +19,7 @@ namespace epvf::store {
 
 namespace fs = std::filesystem;
 
-std::uint64_t Fnv1a64(std::string_view data) {
-  std::uint64_t hash = 0xCBF29CE484222325ull;
-  for (const char c : data) {
-    hash ^= static_cast<std::uint8_t>(c);
-    hash *= 0x00000100000001B3ull;
-  }
-  return hash;
-}
+std::uint64_t Fnv1a64(std::string_view data) { return support::Fnv1a64(data); }
 
 std::uint64_t ModuleFingerprint(const ir::Module& module) {
   return Fnv1a64(ir::PrintModule(module));
@@ -49,17 +43,38 @@ void AppendLayout(std::ostringstream& out, const mem::MemoryLayout& l) {
 constexpr std::string_view kAnalysisSuffix = ".analysis.epvfa";
 constexpr std::string_view kCampaignSuffix = ".campaign.epvfa";
 constexpr std::string_view kPlanSuffix = ".plan.epvfa";
+constexpr std::string_view kUnitManifestSuffix = ".units.epvfa";
+constexpr std::string_view kUnitSuffix = ".unit.epvfa";
 
 std::string_view SuffixFor(ArtifactKind kind) {
   switch (kind) {
     case ArtifactKind::kAnalysis: return kAnalysisSuffix;
     case ArtifactKind::kPlan: return kPlanSuffix;
+    case ArtifactKind::kUnitManifest: return kUnitManifestSuffix;
+    case ArtifactKind::kUnit: return kUnitSuffix;
     case ArtifactKind::kCampaign: break;
   }
   return kCampaignSuffix;
 }
 
+/// Counter-array slot of a kind (kind values are 1-based and dense).
+std::size_t KindSlot(ArtifactKind kind) {
+  const auto v = static_cast<std::uint32_t>(kind);
+  return v >= 1 && v <= kNumArtifactKinds ? v - 1 : 0;
+}
+
 }  // namespace
+
+std::string_view ArtifactKindName(ArtifactKind kind) {
+  switch (kind) {
+    case ArtifactKind::kAnalysis: return "analysis";
+    case ArtifactKind::kCampaign: return "campaign";
+    case ArtifactKind::kPlan: return "plan";
+    case ArtifactKind::kUnitManifest: return "manifest";
+    case ArtifactKind::kUnit: return "unit";
+  }
+  return "?";
+}
 
 std::string CanonicalKey(const AnalysisKey& key) {
   std::ostringstream out;
@@ -130,9 +145,22 @@ ArtifactCache::~ArtifactCache() {
   total.misses += session_.misses;
   total.bytes_read += session_.bytes_read;
   total.bytes_written += session_.bytes_written;
+  std::array<CacheCounters, kNumArtifactKinds> kinds = ReadPersistedKindCounters();
+  for (std::size_t k = 0; k < kNumArtifactKinds; ++k) {
+    kinds[k].hits += session_kind_[k].hits;
+    kinds[k].misses += session_kind_[k].misses;
+    kinds[k].bytes_read += session_kind_[k].bytes_read;
+    kinds[k].bytes_written += session_kind_[k].bytes_written;
+  }
   std::ostringstream out;
   out << "hits " << total.hits << "\nmisses " << total.misses << "\nbytes_read "
       << total.bytes_read << "\nbytes_written " << total.bytes_written << '\n';
+  for (std::size_t k = 0; k < kNumArtifactKinds; ++k) {
+    const std::string_view name = ArtifactKindName(static_cast<ArtifactKind>(k + 1));
+    out << "hits." << name << ' ' << kinds[k].hits << "\nmisses." << name << ' '
+        << kinds[k].misses << "\nbytes_read." << name << ' ' << kinds[k].bytes_read
+        << "\nbytes_written." << name << ' ' << kinds[k].bytes_written << '\n';
+  }
   AtomicWriteFile(CountersPath(), out.str());
 }
 
@@ -154,6 +182,29 @@ CacheCounters ArtifactCache::ReadPersistedCounters() const {
   return counters;
 }
 
+std::array<CacheCounters, kNumArtifactKinds> ArtifactCache::ReadPersistedKindCounters() const {
+  std::array<CacheCounters, kNumArtifactKinds> kinds{};
+  const auto text = ReadWholeFile(CountersPath());
+  if (!text.has_value()) return kinds;
+  std::istringstream in(*text);
+  std::string name;
+  std::uint64_t value = 0;
+  while (in >> name >> value) {
+    const auto dot = name.find('.');
+    if (dot == std::string::npos) continue;
+    const std::string field = name.substr(0, dot);
+    const std::string kind_name = name.substr(dot + 1);
+    for (std::size_t k = 0; k < kNumArtifactKinds; ++k) {
+      if (kind_name != ArtifactKindName(static_cast<ArtifactKind>(k + 1))) continue;
+      if (field == "hits") kinds[k].hits = value;
+      if (field == "misses") kinds[k].misses = value;
+      if (field == "bytes_read") kinds[k].bytes_read = value;
+      if (field == "bytes_written") kinds[k].bytes_written = value;
+    }
+  }
+  return kinds;
+}
+
 std::string ArtifactCache::EntryPath(const std::string& id, ArtifactKind kind) const {
   return dir_ + "/" + id + std::string(SuffixFor(kind));
 }
@@ -164,11 +215,16 @@ std::optional<ArtifactReader> ArtifactCache::Load(const std::string& id, Artifac
   auto reader = ArtifactReader::Open(EntryPath(id, kind), kind);
   if (!reader.has_value()) {
     session_.misses += 1;
+    session_kind_[KindSlot(kind)].misses += 1;
     obs::GetCounter("store.cache.misses").Add();
     return std::nullopt;
   }
   session_.hits += 1;
   session_.bytes_read += reader->file_size();
+  CacheCounters& by_kind = session_kind_[KindSlot(kind)];
+  by_kind.hits += 1;
+  by_kind.bytes_read += reader->file_size();
+  last_hit_kind_ = kind;
   obs::GetCounter("store.cache.hits").Add();
   obs::GetCounter("store.cache.bytes_read").Add(reader->file_size());
   return reader;
@@ -180,6 +236,7 @@ bool ArtifactCache::Store(const std::string& id, const ArtifactWriter& writer) {
   const std::string image = writer.Finish();
   if (!AtomicWriteFile(EntryPath(id, writer.kind()), image)) return false;
   session_.bytes_written += image.size();
+  session_kind_[KindSlot(writer.kind())].bytes_written += image.size();
   obs::GetCounter("store.cache.bytes_written").Add(image.size());
   return true;
 }
@@ -187,6 +244,9 @@ bool ArtifactCache::Store(const std::string& id, const ArtifactWriter& writer) {
 void ArtifactCache::DemoteLastHit() {
   if (session_.hits > 0) session_.hits -= 1;
   session_.misses += 1;
+  CacheCounters& by_kind = session_kind_[KindSlot(last_hit_kind_)];
+  if (by_kind.hits > 0) by_kind.hits -= 1;
+  by_kind.misses += 1;
   obs::Counter& hits = obs::GetCounter("store.cache.hits");
   if (hits.Value() > 0) hits.Sub();
   obs::GetCounter("store.cache.misses").Add();
@@ -205,6 +265,13 @@ ArtifactCache::DirStats ArtifactCache::Stats() const {
   stats.lifetime.misses += session_.misses;
   stats.lifetime.bytes_read += session_.bytes_read;
   stats.lifetime.bytes_written += session_.bytes_written;
+  stats.kind_lifetime = ReadPersistedKindCounters();
+  for (std::size_t k = 0; k < kNumArtifactKinds; ++k) {
+    stats.kind_lifetime[k].hits += session_kind_[k].hits;
+    stats.kind_lifetime[k].misses += session_kind_[k].misses;
+    stats.kind_lifetime[k].bytes_read += session_kind_[k].bytes_read;
+    stats.kind_lifetime[k].bytes_written += session_kind_[k].bytes_written;
+  }
   if (!enabled()) return stats;
   std::error_code ec;
   for (const fs::directory_entry& entry : fs::directory_iterator(dir_, ec)) {
@@ -212,7 +279,14 @@ ArtifactCache::DirStats ArtifactCache::Stats() const {
     const std::string name = entry.path().filename().string();
     if (!name.ends_with(".epvfa")) continue;
     stats.entries += 1;
-    stats.bytes += entry.file_size(ec);
+    const std::uint64_t size = entry.file_size(ec);
+    stats.bytes += size;
+    for (std::uint32_t k = 1; k <= kNumArtifactKinds; ++k) {
+      if (!name.ends_with(SuffixFor(static_cast<ArtifactKind>(k)))) continue;
+      stats.kind_entries[k - 1] += 1;
+      stats.kind_bytes[k - 1] += size;
+      break;
+    }
   }
   return stats;
 }

@@ -17,6 +17,7 @@
 // bytes anyway.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -85,6 +86,11 @@ struct CacheCounters {
   std::uint64_t bytes_written = 0;
 };
 
+/// Short stable name of an artifact kind ("analysis", "campaign", "plan",
+/// "manifest", "unit") — used in the persisted counter file and by
+/// `epvf cache stats` for the per-kind breakdown.
+[[nodiscard]] std::string_view ArtifactKindName(ArtifactKind kind);
+
 class ArtifactCache {
  public:
   /// `dir` empty = disabled: every Load misses, every Store is a no-op. A
@@ -124,6 +130,11 @@ class ArtifactCache {
     std::uint64_t entries = 0;
     std::uint64_t bytes = 0;
     CacheCounters lifetime;  ///< persisted counters + this session
+    /// Per-kind breakdown (index = ArtifactKind value - 1): on-disk entry and
+    /// byte counts from the directory scan, hit/miss from the counter file.
+    std::array<std::uint64_t, kNumArtifactKinds> kind_entries{};
+    std::array<std::uint64_t, kNumArtifactKinds> kind_bytes{};
+    std::array<CacheCounters, kNumArtifactKinds> kind_lifetime{};
   };
   /// Scans the directory (artifact entries only) and folds in the persisted
   /// counter file.
@@ -137,8 +148,13 @@ class ArtifactCache {
   [[nodiscard]] std::string CountersPath() const;
   [[nodiscard]] CacheCounters ReadPersistedCounters() const;
 
+  [[nodiscard]] std::array<CacheCounters, kNumArtifactKinds> ReadPersistedKindCounters() const;
+
   std::string dir_;
   CacheCounters session_;
+  std::array<CacheCounters, kNumArtifactKinds> session_kind_{};
+  /// Kind of the most recent Load hit — DemoteLastHit reclassifies it.
+  ArtifactKind last_hit_kind_ = ArtifactKind::kAnalysis;
 };
 
 /// Load-or-compute for the analysis pipeline: a valid cache entry restores

@@ -24,22 +24,31 @@ namespace epvf::store {
 inline constexpr std::uint32_t kMagic = 0x46565045u;
 
 /// Bump on ANY change to the serialized layout of any artifact.
-inline constexpr std::uint32_t kFormatVersion = 1;
+/// v2: per-unit compositional artifacts (kUnitManifest / kUnit).
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 enum class ArtifactKind : std::uint32_t {
-  kAnalysis = 1,  ///< golden trace metadata + DDG + ACE + crash bits (+ use-weighted sums)
-  kCampaign = 2,  ///< fault-injection campaign records + completion mask
-  kPlan = 3,      ///< stratified-campaign planner state (epvf-plan-v1)
+  kAnalysis = 1,      ///< golden trace metadata + DDG + ACE + crash bits (+ use-weighted sums)
+  kCampaign = 2,      ///< fault-injection campaign records + completion mask
+  kPlan = 3,          ///< stratified-campaign planner state (epvf-plan-v1)
+  kUnitManifest = 4,  ///< per-app latest compositional state (module text + unit key table)
+  kUnit = 5,          ///< one unit's slice + backward results + sums
 };
 
+inline constexpr std::uint32_t kNumArtifactKinds = 5;
+
 enum class SectionId : std::uint32_t {
-  kGoldenRun = 1,    ///< vm::RunResult of the golden run (trace metadata)
-  kGraph = 2,        ///< ddg::Graph flat storage
-  kAce = 3,          ///< ddg::AceResult
-  kCrashBits = 4,    ///< crash::CrashBits (allowed intervals + masks)
-  kUseWeighted = 5,  ///< Analysis::UseWeightedBits (the rate-estimate pass)
-  kCampaign = 6,     ///< campaign meta + records + completion mask
-  kPlan = 7,         ///< planner identity + round sizes + records + completion mask
+  kGoldenRun = 1,     ///< vm::RunResult of the golden run (trace metadata)
+  kGraph = 2,         ///< ddg::Graph flat storage
+  kAce = 3,           ///< ddg::AceResult
+  kCrashBits = 4,     ///< crash::CrashBits (allowed intervals + masks)
+  kUseWeighted = 5,   ///< Analysis::UseWeightedBits (the rate-estimate pass)
+  kCampaign = 6,      ///< campaign meta + records + completion mask
+  kPlan = 7,          ///< planner identity + round sizes + records + completion mask
+  kUnitManifest = 8,  ///< module text, interns, segment order, unit key table + walks
+  kUnitSlice = 9,     ///< core::UnitSlice flat storage
+  kUnitBackward = 10, ///< core::UnitBackward (marks, masks, spill sets)
+  kUnitSums = 11,     ///< core::UnitSums (per-unit accounting)
 };
 
 inline constexpr std::size_t kHeaderBytes = 16;

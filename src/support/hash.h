@@ -1,0 +1,45 @@
+// FNV-1a hashing, shared by the artifact store's content addressing and the
+// compositional analysis' boundary digests.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace epvf::support {
+
+inline constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ull;
+inline constexpr std::uint64_t kFnvPrime = 0x00000100000001B3ull;
+
+[[nodiscard]] inline std::uint64_t Fnv1a64(std::string_view data,
+                                           std::uint64_t seed = kFnvOffset) {
+  std::uint64_t hash = seed;
+  for (const char c : data) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+/// Streaming FNV-1a over typed scalar fields — the digest primitive for
+/// boundary summaries. Field order is part of the digest; callers that need
+/// order-independence sort before folding.
+class Hasher {
+ public:
+  Hasher& Mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (v >> (i * 8)) & 0xFF;
+      hash_ *= kFnvPrime;
+    }
+    return *this;
+  }
+  Hasher& Mix(std::string_view s) {
+    hash_ = Fnv1a64(s, hash_);
+    return Mix(s.size());  // length-delimit to avoid concatenation collisions
+  }
+  [[nodiscard]] std::uint64_t Digest() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = kFnvOffset;
+};
+
+}  // namespace epvf::support

@@ -141,6 +141,66 @@ TEST(CliGolden, InjectMmFixedSeed) {
   ExpectMatchesGolden("inject_mm.txt", r.stdout_text);
 }
 
+// --- incremental analysis & delta --------------------------------------------
+
+/// Writes `text` to `path`, replacing whatever was there.
+void WriteFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::trunc);
+  out << text;
+  ASSERT_TRUE(static_cast<bool>(out)) << "cannot write " << path;
+}
+
+TEST(CliGolden, IncrementalAnalyzeColdAndWarmMatchThePlainAnalyzeGolden) {
+  // --incremental is a performance knob, not a report variant: both the cold
+  // (persisting) and warm (all units served from cache) runs must print the
+  // exact bytes of a plain analyze.
+  TempDir tmp;
+  const std::string flags = "analyze mm --scale 0 --incremental --cache-dir " + tmp.path;
+  const CliResult cold = RunCli(flags);
+  const CliResult warm = RunCli(flags);
+  ASSERT_EQ(cold.exit_code, 0);
+  ASSERT_EQ(warm.exit_code, 0);
+  EXPECT_EQ(warm.stdout_text, cold.stdout_text);
+  ExpectMatchesGolden("analyze_mm.txt", cold.stdout_text);
+  ExpectMatchesGolden("analyze_mm.txt", warm.stdout_text);
+}
+
+TEST(CliGolden, DeltaAfterSingleKernelEdit) {
+  // print → mutate → delta is the seeded, fully deterministic edit loop; the
+  // delta table (unit rows, the `edited` marker, the program summary line)
+  // contains no paths, so it goldens cleanly.
+  TempDir tmp;
+  const std::string old_path = tmp.path + "/old.ir";
+  const std::string new_path = tmp.path + "/new.ir";
+  const CliResult printed = RunCli("print lulesh --scale 1");
+  ASSERT_EQ(printed.exit_code, 0);
+  WriteFile(old_path, printed.stdout_text);
+  const CliResult mutated = RunCli("mutate " + old_path + " --kind tweak-constant --seed 1");
+  ASSERT_EQ(mutated.exit_code, 0);
+  WriteFile(new_path, mutated.stdout_text);
+
+  const CliResult r = RunCli("delta " + old_path + " " + new_path + " --no-cache");
+  ASSERT_EQ(r.exit_code, 0);
+  ExpectMatchesGolden("delta_lulesh_tweak.txt", r.stdout_text);
+  EXPECT_NE(r.stdout_text.find("edited"), std::string::npos);
+
+  // With a cache directory the same delta is served warm — same bytes.
+  const std::string cache = tmp.path + "/cache";
+  const CliResult cold = RunCli("delta " + old_path + " " + new_path + " --cache-dir " + cache);
+  const CliResult warm = RunCli("delta " + old_path + " " + new_path + " --cache-dir " + cache);
+  ASSERT_EQ(cold.exit_code, 0);
+  ASSERT_EQ(warm.exit_code, 0);
+  EXPECT_EQ(cold.stdout_text, r.stdout_text);
+  EXPECT_EQ(warm.stdout_text, r.stdout_text);
+}
+
+TEST(CliExitCodes, DeltaAndMutateContracts) {
+  EXPECT_EQ(RunCli("delta mm").exit_code, 2);                    // needs two modules
+  EXPECT_EQ(RunCli("mutate mm --kind bogus").exit_code, 2);      // unknown mutation kind
+  EXPECT_EQ(RunCli("delta mm mm --seed 1").exit_code, 4);        // wrong command's flag
+  EXPECT_EQ(RunCli("mutate mm --runs 5").exit_code, 4);          // wrong command's flag
+}
+
 TEST(CliGolden, CacheStatsOnMissingDir) {
   TempDir tmp;
   const std::string missing = tmp.path + "/never-created";

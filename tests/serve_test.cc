@@ -20,8 +20,10 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -466,9 +468,11 @@ CliResult RunCli(const std::string& args) {
 /// a backstop) when the fixture leaves scope.
 class ServeDaemon {
  public:
-  explicit ServeDaemon(std::string socket_path) : socket_path_(std::move(socket_path)) {
+  explicit ServeDaemon(std::string socket_path, std::vector<std::string> extra_args = {})
+      : socket_path_(std::move(socket_path)) {
     SubprocessOptions options;
     options.argv = {EPVF_CLI_PATH, "serve", socket_path_};
+    for (std::string& arg : extra_args) options.argv.push_back(std::move(arg));
     options.stderr_path = socket_path_ + ".log";
     child_ = Subprocess::Spawn(options);
   }
@@ -501,6 +505,78 @@ class ServeDaemon {
   std::string socket_path_;
   std::optional<Subprocess> child_;
 };
+
+TEST(ServeEndToEnd, ConnectedIncrementalAnalyzeTracksEditsByteForByte) {
+  // A scratch directory for the module file and the daemon's cache, and a
+  // helper to (re)write the module the way an editor would.
+  std::string tmpl = (std::filesystem::temp_directory_path() / "epvf_serve_XXXXXX").string();
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  char* made = mkdtemp(buf.data());
+  ASSERT_NE(made, nullptr);
+  const std::string tmp(made);
+  const auto write_module = [](const std::string& path, const std::string& text) {
+    std::ofstream out(path, std::ios::trunc);
+    out << text;
+    ASSERT_TRUE(static_cast<bool>(out));
+  };
+
+  const std::string socket_path = TestSocketPath("incr");
+  ServeDaemon daemon(socket_path, {"--cache-dir", tmp + "/daemon-cache"});
+  ASSERT_TRUE(daemon.ok());
+  ASSERT_TRUE(daemon.WaitForSocket());
+
+  // Materialize lulesh as an editable file — incremental analysis keys the
+  // cached state by target path, so the edit must happen in place.
+  const std::string module_path = tmp + "/kernel.ir";
+  const CliResult printed = RunCli("print lulesh --scale 1");
+  ASSERT_EQ(printed.exit_code, 0);
+  write_module(module_path, printed.stdout_text);
+
+  // Cold: the daemon builds and persists the compositional state; stdout must
+  // already match a local from-scratch analysis byte for byte.
+  const CliResult local_cold = RunCli("analyze " + module_path + " --no-cache");
+  const CliResult remote_cold =
+      RunCli("analyze " + module_path + " --incremental --connect " + socket_path);
+  ASSERT_EQ(local_cold.exit_code, 0);
+  ASSERT_EQ(remote_cold.exit_code, 0);
+  EXPECT_EQ(remote_cold.stdout_text, local_cold.stdout_text);
+
+  // Edit one constant in one kernel. This mutation changes the report, so a
+  // daemon serving stale resident state would be caught below.
+  const CliResult mutated =
+      RunCli("mutate " + module_path + " --kind tweak-constant --seed 1");
+  ASSERT_EQ(mutated.exit_code, 0);
+  write_module(module_path, mutated.stdout_text);
+
+  const CliResult local_edited = RunCli("analyze " + module_path + " --no-cache");
+  ASSERT_EQ(local_edited.exit_code, 0);
+  ASSERT_NE(local_edited.stdout_text, local_cold.stdout_text)
+      << "the mutation was supposed to move the report";
+
+  // Warm: the daemon replays the edit against its resident unit map; the
+  // reply must match the local from-scratch analysis of the edited module.
+  const CliResult remote_warm =
+      RunCli("analyze " + module_path + " --incremental --connect " + socket_path);
+  ASSERT_EQ(remote_warm.exit_code, 0);
+  EXPECT_EQ(remote_warm.stdout_text, local_edited.stdout_text);
+
+  // And the local incremental CLI (own cache, cold) agrees byte for byte with
+  // the connected path.
+  const CliResult local_incremental = RunCli("analyze " + module_path +
+                                             " --incremental --cache-dir " + tmp + "/cli-cache");
+  ASSERT_EQ(local_incremental.exit_code, 0);
+  EXPECT_EQ(local_incremental.stdout_text, remote_warm.stdout_text);
+
+  // Unchanged repeat: served from the resident state, still identical.
+  const CliResult remote_repeat =
+      RunCli("analyze " + module_path + " --incremental --connect " + socket_path);
+  ASSERT_EQ(remote_repeat.exit_code, 0);
+  EXPECT_EQ(remote_repeat.stdout_text, local_edited.stdout_text);
+
+  std::error_code ec;
+  std::filesystem::remove_all(tmp, ec);
+}
 
 TEST(ServeEndToEnd, ConnectedAnalyzeAndInjectMatchLocalStdoutByteForByte) {
   const std::string socket_path = TestSocketPath("e2e");

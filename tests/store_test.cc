@@ -16,6 +16,7 @@
 #include "store/cache.h"
 #include "store/format.h"
 #include "store/serializer.h"
+#include "store/units_store.h"
 #include "support/atomic_file.h"
 
 namespace epvf::store {
@@ -489,6 +490,87 @@ TEST(Cache, PersistsCountersAcrossSessions) {
   EXPECT_EQ(stats.lifetime.hits, 1u);
   EXPECT_EQ(stats.lifetime.misses, 1u);
   EXPECT_GT(stats.lifetime.bytes_written, 0u);
+}
+
+TEST(Cache, PerKindStatsBreakdown) {
+  TempDir dir;
+  const apps::App app = apps::BuildApp("mm", apps::AppConfig{.scale = 0});
+  core::AnalysisOptions options;
+  options.jobs = 2;
+  AnalysisKey key{"mm", "scale=0", ModuleFingerprint(app.module), options};
+
+  constexpr auto slot = [](ArtifactKind kind) {
+    return static_cast<std::size_t>(kind) - 1;
+  };
+  {
+    ArtifactCache cache(dir.path);
+    // One analysis miss + hit, one compositional cold run (manifest + unit
+    // misses) + warm run (manifest + unit hits).
+    (void)RunAnalysisCached(app.module, options, key, cache);
+    (void)RunAnalysisCached(app.module, options, key, cache);
+    const auto cold = RunAnalysisIncremental(app.module, options, key, cache);
+    ASSERT_TRUE(cold.stats.cold_rebuild);
+    const auto warm = RunAnalysisIncremental(app.module, options, key, cache);
+    ASSERT_FALSE(warm.stats.cold_rebuild);
+    const std::uint32_t num_units = warm.stats.units_total;
+    ASSERT_GT(num_units, 0u);
+
+    const ArtifactCache::DirStats stats = cache.Stats();
+    // Directory scan: 1 analysis + 1 manifest + num_units unit entries.
+    EXPECT_EQ(stats.kind_entries[slot(ArtifactKind::kAnalysis)], 1u);
+    EXPECT_EQ(stats.kind_entries[slot(ArtifactKind::kUnitManifest)], 1u);
+    EXPECT_EQ(stats.kind_entries[slot(ArtifactKind::kUnit)], num_units);
+    EXPECT_EQ(stats.kind_entries[slot(ArtifactKind::kCampaign)], 0u);
+    EXPECT_EQ(stats.entries, 2u + num_units);
+    EXPECT_GT(stats.kind_bytes[slot(ArtifactKind::kUnit)], 0u);
+
+    // Session counters, by kind.
+    EXPECT_EQ(stats.kind_lifetime[slot(ArtifactKind::kAnalysis)].hits, 1u);
+    EXPECT_EQ(stats.kind_lifetime[slot(ArtifactKind::kAnalysis)].misses, 1u);
+    EXPECT_EQ(stats.kind_lifetime[slot(ArtifactKind::kUnitManifest)].hits, 1u);
+    EXPECT_EQ(stats.kind_lifetime[slot(ArtifactKind::kUnitManifest)].misses, 1u);
+    EXPECT_EQ(stats.kind_lifetime[slot(ArtifactKind::kUnit)].hits, num_units);
+  }
+
+  // The per-kind counters persist (dotted lines in the counter file) and are
+  // folded into the next session's stats.
+  ArtifactCache next_session(dir.path);
+  const ArtifactCache::DirStats stats = next_session.Stats();
+  EXPECT_EQ(stats.kind_lifetime[slot(ArtifactKind::kAnalysis)].hits, 1u);
+  EXPECT_EQ(stats.kind_lifetime[slot(ArtifactKind::kUnitManifest)].misses, 1u);
+  EXPECT_EQ(stats.kind_lifetime[slot(ArtifactKind::kUnit)].hits,
+            stats.kind_entries[slot(ArtifactKind::kUnit)]);
+  // And the aggregate lifetime still matches the plain (undotted) lines.
+  EXPECT_EQ(stats.lifetime.hits, 2u + stats.kind_lifetime[slot(ArtifactKind::kUnit)].hits);
+
+  EXPECT_EQ(ArtifactKindName(ArtifactKind::kAnalysis), "analysis");
+  EXPECT_EQ(ArtifactKindName(ArtifactKind::kUnitManifest), "manifest");
+  EXPECT_EQ(ArtifactKindName(ArtifactKind::kUnit), "unit");
+}
+
+TEST(UnitsStore, KeyedByUnitIdentityNotModule) {
+  const apps::App app = apps::BuildApp("mm", apps::AppConfig{.scale = 0});
+  core::AnalysisOptions options;
+  options.jobs = 2;
+  AnalysisKey a{"mm", "scale=0", ModuleFingerprint(app.module), options};
+  AnalysisKey b = a;
+  b.module_fingerprint = a.module_fingerprint + 1;
+
+  // Unit keys ignore the module fingerprint — that's what lets entries
+  // survive edits elsewhere in the module.
+  const UnitKey ua{a, "main/top", 0x1111, 0x2222};
+  const UnitKey ub{b, "main/top", 0x1111, 0x2222};
+  EXPECT_EQ(CacheId(ua), CacheId(ub));
+  EXPECT_EQ(CacheId(ManifestKey{a}), CacheId(ManifestKey{b}));
+
+  // ...but every component of the unit identity moves the address.
+  EXPECT_NE(CacheId(UnitKey{a, "main/loop", 0x1111, 0x2222}), CacheId(ua));
+  EXPECT_NE(CacheId(UnitKey{a, "main/top", 0x1112, 0x2222}), CacheId(ua));
+  EXPECT_NE(CacheId(UnitKey{a, "main/top", 0x1111, 0x2223}), CacheId(ua));
+  AnalysisKey other_app = a;
+  other_app.app = "nw";
+  EXPECT_NE(CacheId(UnitKey{other_app, "main/top", 0x1111, 0x2222}), CacheId(ua));
+  EXPECT_NE(CacheId(ManifestKey{other_app}), CacheId(ManifestKey{a}));
 }
 
 }  // namespace

@@ -65,8 +65,12 @@
 
 #include "apps/app.h"
 #include "epvf/analysis.h"
+#include "epvf/compose.h"
+#include "epvf/mutate.h"
+#include "epvf/reexec.h"
 #include "epvf/report.h"
 #include "epvf/sampling.h"
+#include "epvf/units.h"
 #include "fi/campaign.h"
 #include "fi/shard.h"
 #include "fi/supervisor.h"
@@ -83,6 +87,7 @@
 #include "serve/server.h"
 #include "serve/wire.h"
 #include "store/cache.h"
+#include "store/units_store.h"
 #include "support/subprocess.h"
 #include "support/table.h"
 #include "support/thread_pool.h"
@@ -102,6 +107,7 @@ constexpr int kExitBusy = 6;
 struct Options {
   std::string command;
   std::string target;
+  std::string target2;  ///< second positional (the new module of `epvf delta`)
   std::map<std::string, std::string> flags;
 
   [[nodiscard]] int Int(const std::string& name, int fallback) const {
@@ -128,7 +134,9 @@ const std::map<std::string, std::set<std::string>>& AllowedFlags() {
       {"list", {}},
       {"analyze",
        {"scale", "jobs", "cache-dir", "no-cache", "trace-out", "metrics-out", "engine",
-        "connect", "priority"}},
+        "connect", "priority", "incremental"}},
+      {"delta", {"scale", "jobs", "cache-dir", "no-cache"}},
+      {"mutate", {"scale", "kind", "seed"}},
       {"inject",
        {"scale", "runs", "jitter", "burst", "seed", "jobs", "checkpoints", "cache-dir",
         "no-cache", "trace-out", "metrics-out", "engine", "plan", "ci-target", "max-runs",
@@ -159,6 +167,17 @@ int Usage() {
                "usage: epvf <command> [target] [flags]\n"
                "  list                             bundled benchmarks\n"
                "  analyze <target> [--scale N]     PVF/ePVF/crash metrics + structure report\n"
+               "          [--incremental]          serve the report from the per-unit cache,\n"
+               "                                   recomputing only units whose IR changed\n"
+               "                                   (stdout is byte-identical to a full run;\n"
+               "                                   needs --cache-dir or EPVF_CACHE_DIR)\n"
+               "  delta   <old> <new> [--scale N]  per-unit ePVF movement between two modules\n"
+               "  mutate  <target> [--kind K] [--seed S]\n"
+               "                                   print the IR with one seeded unit-local\n"
+               "                                   mutation applied (K: swap-independent,\n"
+               "                                   rename-register, rename-block,\n"
+               "                                   tweak-constant) — the incremental-analysis\n"
+               "                                   test/CI edit generator\n"
                "  inject  <target> [--runs N] [--jitter P] [--burst B] [--seed S]\n"
                "                   [--checkpoints N] [--plan uniform|stratified]\n"
                "                   [--ci-target W] [--max-runs N]\n"
@@ -253,20 +272,24 @@ void PrintCacheStatus(const char* what, const std::string& id, bool hit, double 
 }
 
 /// Loads a benchmark by name or parses a textual-IR file.
-ir::Module LoadTarget(const Options& options) {
+ir::Module LoadModuleAt(const std::string& target, int scale) {
   const obs::TraceSpan span("parse", "load-target");
-  const bool looks_like_path = options.target.find('.') != std::string::npos ||
-                               options.target.find('/') != std::string::npos;
+  const bool looks_like_path =
+      target.find('.') != std::string::npos || target.find('/') != std::string::npos;
   if (!looks_like_path) {
     apps::AppConfig config;
-    config.scale = options.Int("scale", 1);
-    return apps::BuildApp(options.target, config).module;
+    config.scale = scale;
+    return apps::BuildApp(target, config).module;
   }
-  std::ifstream in(options.target);
-  if (!in) throw std::runtime_error("cannot open " + options.target);
+  std::ifstream in(target);
+  if (!in) throw std::runtime_error("cannot open " + target);
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return ir::ParseModuleOrThrow(buffer.str());
+}
+
+ir::Module LoadTarget(const Options& options) {
+  return LoadModuleAt(options.target, options.Int("scale", 1));
 }
 
 int CmdList() {
@@ -280,7 +303,44 @@ int CmdList() {
   return 0;
 }
 
+/// `analyze --incremental`: the compositional pipeline against the per-unit
+/// cache. Stdout is byte-identical to a plain `analyze` of the same module
+/// (the composed stats feed the same renderer); everything about *how* the
+/// numbers were obtained — fast path, units replayed, cache hits — is stderr.
+int CmdAnalyzeIncremental(const Options& options) {
+  const ir::Module module = LoadTarget(options);
+  const core::AnalysisOptions opts = AnalysisOpts(options);
+  store::ArtifactCache cache(ResolveCacheDir(options));
+  if (!cache.enabled()) {
+    std::fprintf(stderr,
+                 "epvf: --incremental without a cache directory recomputes everything — "
+                 "pass --cache-dir or set EPVF_CACHE_DIR to keep per-unit state\n");
+  }
+  const store::AnalysisKey key = MakeAnalysisKey(options, module, opts);
+  const store::IncrementalResult result =
+      store::RunAnalysisIncremental(module, opts, key, cache);
+
+  serve::RenderAnalyzeReport(core::ComposeProgram(result.slices), std::cout);
+
+  const store::IncrementalStats& s = result.stats;
+  if (s.cold_rebuild) {
+    const std::string_view why =
+        !cache.enabled() ? "cache disabled"
+        : !s.manifest_hit ? "no cached state"
+                          : core::FallbackReasonName(s.outcome.fallback);
+    std::fprintf(stderr, "incremental: cold rebuild (%.*s) — %u units persisted\n",
+                 static_cast<int>(why.size()), why.data(), s.units_total);
+  } else {
+    std::fprintf(stderr,
+                 "incremental: fast path — %u of %u units recomputed, %u served from "
+                 "cache, %u rewalked\n",
+                 s.unit_misses, s.units_total, s.unit_hits, s.outcome.units_rewalked);
+  }
+  return 0;
+}
+
 int CmdAnalyze(const Options& options) {
+  if (options.flags.count("incremental") != 0) return CmdAnalyzeIncremental(options);
   const ir::Module module = LoadTarget(options);
   const core::AnalysisOptions opts = AnalysisOpts(options);
   store::ArtifactCache cache(ResolveCacheDir(options));
@@ -1035,6 +1095,133 @@ int CmdPrint(const Options& options) {
   return 0;
 }
 
+/// Fixed-precision ePVF formatting for the delta report (AsciiTable::Num is
+/// for wide-range values; ePVF lives in [0, 1] and diffs need stable width).
+std::string Ep(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  return buf;
+}
+
+std::string EpSigned(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%+.6f", v);
+  return buf;
+}
+
+/// `epvf delta <old> <new>`: per-unit ePVF movement between two modules.
+/// Units are matched by name; `changed` marks units whose IR fingerprint
+/// moved (the edit itself), so unchanged-but-shifted units (boundary or walk
+/// effects of a neighbour's edit) are distinguishable from edited ones.
+int CmdDelta(const Options& options) {
+  const int scale = options.Int("scale", 1);
+  const core::AnalysisOptions opts = AnalysisOpts(options);
+  store::ArtifactCache cache(ResolveCacheDir(options));
+
+  struct State {
+    ir::Module module;
+    core::ProgramSlices slices;
+  };
+  // Each side runs through the incremental pipeline: with a cache directory a
+  // repeated delta (or one against an already-analyzed module) is warm.
+  const auto analyze = [&](const std::string& target) {
+    auto state = std::make_unique<State>();
+    state->module = LoadModuleAt(target, scale);
+    store::AnalysisKey key;
+    key.app = target;
+    key.config = "scale=" + std::to_string(scale);
+    key.module_fingerprint = store::ModuleFingerprint(state->module);
+    key.options = opts;
+    state->slices =
+        std::move(store::RunAnalysisIncremental(state->module, opts, key, cache).slices);
+    return state;
+  };
+  const auto old_state = analyze(options.target);
+  const auto new_state = analyze(options.target2);
+
+  struct OldRow {
+    double epvf = 0.0;
+    std::uint64_t total_bits = 0;
+    std::uint64_t fingerprint = 0;
+  };
+  std::map<std::string, OldRow> old_rows;
+  const std::vector<core::UnitDelta> old_units = core::PerUnitEpvf(old_state->slices);
+  for (std::size_t u = 0; u < old_units.size(); ++u) {
+    old_rows[old_units[u].name] = {old_units[u].old_epvf, old_units[u].old_total_bits,
+                                   old_state->slices.partition.units[u].ir_fingerprint};
+  }
+
+  AsciiTable table({"unit", "old ePVF", "new ePVF", "delta", "note"});
+  table.SetTitle("per-unit ePVF delta");
+  const std::vector<core::UnitDelta> new_units = core::PerUnitEpvf(new_state->slices);
+  for (std::size_t u = 0; u < new_units.size(); ++u) {
+    const core::UnitDelta& row = new_units[u];
+    const auto it = old_rows.find(row.name);
+    if (it == old_rows.end()) {
+      table.AddRow({row.name, "-", Ep(row.new_epvf), "-", "added"});
+      continue;
+    }
+    const OldRow& old = it->second;
+    const bool edited =
+        old.fingerprint != new_state->slices.partition.units[u].ir_fingerprint;
+    table.AddRow({row.name, Ep(old.epvf), Ep(row.new_epvf),
+                  EpSigned(row.new_epvf - old.epvf), edited ? "edited" : ""});
+    old_rows.erase(it);
+  }
+  for (const auto& [name, old] : old_rows) {
+    table.AddRow({name, Ep(old.epvf), "-", "-", "removed"});
+  }
+  table.Print(std::cout);
+
+  const auto program_epvf = [](const core::ProgramSlices& p) {
+    const core::ReportStats stats = core::ComposeProgram(p);
+    return stats.total_bits == 0
+               ? 0.0
+               : static_cast<double>(stats.ace_bits - stats.crash_bits) /
+                     static_cast<double>(stats.total_bits);
+  };
+  const double before = program_epvf(old_state->slices);
+  const double after = program_epvf(new_state->slices);
+  std::printf("program ePVF: %s -> %s (%s)\n", Ep(before).c_str(), Ep(after).c_str(),
+              EpSigned(after - before).c_str());
+  return 0;
+}
+
+/// `epvf mutate`: apply one seeded unit-local mutation and print the result —
+/// the edit generator behind the incremental test battery and the CI smoke
+/// step (CI mutates a kernel, re-analyzes incrementally, and gates on the
+/// one-unit-recomputed diagnostics).
+int CmdMutate(const Options& options) {
+  const std::string kind_name = options.Str("kind", "swap-independent");
+  std::optional<core::MutationKind> kind;
+  for (const core::MutationKind k :
+       {core::MutationKind::kSwapIndependent, core::MutationKind::kRenameRegister,
+        core::MutationKind::kRenameBlock, core::MutationKind::kTweakConstant}) {
+    if (kind_name == core::MutationKindName(k)) kind = k;
+  }
+  if (!kind.has_value()) {
+    std::fprintf(stderr,
+                 "epvf mutate: unknown kind '%s' (expected swap-independent, "
+                 "rename-register, rename-block, or tweak-constant)\n",
+                 kind_name.c_str());
+    return kExitUsage;
+  }
+  ir::Module module = LoadTarget(options);
+  const core::UnitPartition partition = core::PartitionModule(module);
+  const auto seed = static_cast<std::uint64_t>(options.Int("seed", 1));
+  const std::optional<core::Mutation> m =
+      core::MutateAnywhere(module, partition, *kind, seed);
+  if (!m.has_value()) {
+    std::fprintf(stderr, "epvf mutate: no applicable site for %s in %s\n", kind_name.c_str(),
+                 options.target.c_str());
+    return 1;
+  }
+  std::fputs(ir::PrintModule(module).c_str(), stdout);
+  std::fprintf(stderr, "mutate: %s (unit %s)\n", m->description.c_str(),
+               m->unit_name.c_str());
+  return 0;
+}
+
 int CmdCache(const Options& options) {
   // For `epvf cache` the target slot carries the subcommand.
   const std::string& sub = options.target;
@@ -1082,6 +1269,22 @@ int CmdCache(const Options& options) {
   std::printf("bytes read / written : %llu / %llu\n",
               static_cast<unsigned long long>(stats.lifetime.bytes_read),
               static_cast<unsigned long long>(stats.lifetime.bytes_written));
+  // Per-kind breakdown — the per-unit compositional entries (kind "unit")
+  // are many and small, so aggregate counts alone hide what the incremental
+  // pipeline is doing.
+  for (std::uint32_t k = 1; k <= store::kNumArtifactKinds; ++k) {
+    const auto kind = static_cast<store::ArtifactKind>(k);
+    const std::size_t slot = k - 1;
+    const store::CacheCounters& life = stats.kind_lifetime[slot];
+    if (stats.kind_entries[slot] == 0 && life.hits == 0 && life.misses == 0) continue;
+    const std::string_view name = store::ArtifactKindName(kind);
+    std::printf("  %-8.*s           : %llu entries (%llu bytes), %llu hits / %llu misses\n",
+                static_cast<int>(name.size()), name.data(),
+                static_cast<unsigned long long>(stats.kind_entries[slot]),
+                static_cast<unsigned long long>(stats.kind_bytes[slot]),
+                static_cast<unsigned long long>(life.hits),
+                static_cast<unsigned long long>(life.misses));
+  }
   return 0;
 }
 
@@ -1332,6 +1535,10 @@ int Dispatch(const Options& options) {
     return CmdClientRun(options);
   }
   if (options.command == "analyze") return CmdAnalyze(options);
+  if (options.command == "delta") {
+    return options.target2.empty() ? Usage() : CmdDelta(options);
+  }
+  if (options.command == "mutate") return CmdMutate(options);
   if (options.command == "inject") return CmdInject(options);
   if (options.command == "campaign") return CmdCampaign(options);
   if (options.command == "sample") return CmdSample(options);
@@ -1391,6 +1598,10 @@ int main(int argc, char** argv) {
 
   int cursor = 2;
   if (cursor < argc && argv[cursor][0] != '-') options.target = argv[cursor++];
+  // delta compares two modules: <old> <new>.
+  if (options.command == "delta" && cursor < argc && argv[cursor][0] != '-') {
+    options.target2 = argv[cursor++];
+  }
   for (; cursor < argc; ++cursor) {
     std::string flag = argv[cursor];
     if (flag.rfind("--", 0) != 0) {
