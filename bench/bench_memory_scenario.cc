@@ -1,0 +1,131 @@
+// Memory-resident fault scenario: dwell-weighted site population and outcome
+// breakdown versus the classic register scenario (Figure 10 style).
+//
+// Three measurements per app:
+//   - site-enumeration throughput (sites/sec over the golden access shadow)
+//     and the population shape (consumed vs overwritten-before-load bytes),
+//   - the dwell-time histogram: what fraction of the dwell-weight mass sits
+//     in each log-spaced write-to-load interval bucket (the planner's
+//     stratification axis),
+//   - a same-seed campaign under each scenario: the dwell-weighted memory
+//     campaign masks flips whose byte dies before any load (delayed error
+//     reporting), so its masked rate separates measurably from the register
+//     campaign's.
+// Both campaigns run with zero layout jitter so the comparison isolates the
+// scenario, not the environment nondeterminism.
+#include <array>
+#include <chrono>
+#include <cstddef>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "fi/memory_scenario.h"
+#include "fi/scenario.h"
+
+namespace {
+
+using namespace epvf;
+
+/// The dwell buckets the stratified planner uses (log-spaced, in dynamic
+/// instructions), plus one slot for overwritten-before-load weight.
+constexpr std::array<const char*, 5> kBucketNames = {"<4", "<64", "<4096", ">=4096",
+                                                     "overwritten"};
+
+std::size_t BucketOf(const fi::MemorySite& site) {
+  if (!site.consumed) return 4;
+  const std::uint64_t dwell = site.Dwell();
+  if (dwell < 4) return 0;
+  if (dwell < 64) return 1;
+  if (dwell < 4096) return 2;
+  return 3;
+}
+
+fi::CampaignStats ScenarioCampaign(const bench::Prepared& p, fi::Scenario scenario) {
+  fi::CampaignOptions options;
+  options.num_runs = bench::FiRuns();
+  options.seed = bench::Seed();
+  options.injector.scenario = scenario;
+  options.injector.jitter_pages = 0;
+  options.num_threads = bench::Jobs();
+  options.checkpoint_interval = bench::CheckpointIntervalFor(p.analysis, bench::Checkpoints());
+  return fi::RunCampaign(p.app.module, p.analysis.graph(), p.analysis.golden(), options);
+}
+
+}  // namespace
+
+int main() {
+  bench::ScopedObservability observability;
+  bench::BenchJson json("memory_scenario", /*default_to_repo_root=*/true);
+
+  AsciiTable sites_table({"Benchmark", "sites", "consumed", "enum ms", "sites/sec"});
+  sites_table.SetTitle("memory-scenario site enumeration (dwell-weighted bytes)");
+  AsciiTable dwell_table({"Benchmark", "<4", "<64", "<4096", ">=4096", "overwritten"});
+  dwell_table.SetTitle("dwell-weight mass by write-to-load interval (dynamic instructions)");
+  AsciiTable outcome_table(
+      {"Benchmark", "scenario", "masked", "sdc", "crash", "hang", "static-masked"});
+  outcome_table.SetTitle("outcome breakdown: memory vs register scenario (same seed, no jitter)");
+
+  for (const std::string& name : bench::CaseStudyApps()) {
+    const bench::Prepared p = bench::Prepare(name);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const fi::MemoryScenario scenario(p.analysis.graph());
+    const double enum_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    const auto num_sites = static_cast<double>(scenario.sites().size());
+    const double sites_per_sec = enum_seconds > 0 ? num_sites / enum_seconds : 0.0;
+
+    std::array<double, 5> bucket_weight{};
+    std::size_t consumed = 0;
+    for (const fi::MemorySite& site : scenario.sites()) {
+      bucket_weight[BucketOf(site)] += static_cast<double>(site.WeightBits());
+      consumed += site.consumed ? 1 : 0;
+    }
+    const double total_weight = static_cast<double>(scenario.TotalWeightBits());
+
+    sites_table.AddRow({name, std::to_string(scenario.sites().size()),
+                        AsciiTable::Pct(consumed / num_sites),
+                        AsciiTable::Num(enum_seconds * 1e3), AsciiTable::Num(sites_per_sec)});
+    std::vector<std::string> dwell_row = {name};
+    for (std::size_t b = 0; b < bucket_weight.size(); ++b) {
+      dwell_row.push_back(AsciiTable::Pct(bucket_weight[b] / total_weight));
+      json.Add(name, std::string("dwell_weight_") + kBucketNames[b],
+               bucket_weight[b] / total_weight);
+    }
+    dwell_table.AddRow(dwell_row);
+    json.Add(name, "sites", num_sites);
+    json.Add(name, "sites_per_sec", sites_per_sec);
+    json.Add(name, "consumed_fraction", consumed / num_sites);
+
+    for (const fi::Scenario s : {fi::Scenario::kMemory, fi::Scenario::kRegister}) {
+      const fi::CampaignStats stats = ScenarioCampaign(p, s);
+      const double masked = stats.Rate(fi::Outcome::kBenign);
+      const double sdc = stats.Rate(fi::Outcome::kSdc);
+      const double crash = stats.CrashRate();
+      const double hang = stats.Rate(fi::Outcome::kHang);
+      outcome_table.AddRow({name, std::string(fi::ScenarioName(s)), AsciiTable::Pct(masked),
+                            AsciiTable::Pct(sdc), AsciiTable::Pct(crash),
+                            AsciiTable::Pct(hang),
+                            std::to_string(stats.perf.statically_masked_runs)});
+      const std::string prefix = std::string(fi::ScenarioName(s)) + "_";
+      json.Add(name, prefix + "masked_rate", masked);
+      json.Add(name, prefix + "sdc_rate", sdc);
+      json.Add(name, prefix + "crash_rate", crash);
+      if (s == fi::Scenario::kMemory) {
+        json.Add(name, "statically_masked_runs",
+                 static_cast<double>(stats.perf.statically_masked_runs));
+      }
+    }
+  }
+
+  sites_table.Print(std::cout);
+  dwell_table.Print(std::cout);
+  outcome_table.SetFootnote(
+      "memory flips land in stored data bytes, never in address-forming registers, so "
+      "crashes vanish and masking rises; overwritten-before-load bytes (static-masked "
+      "column) are benign without execution");
+  outcome_table.Print(std::cout);
+  return 0;
+}

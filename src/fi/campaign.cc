@@ -4,6 +4,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "fi/memory_scenario.h"
 #include "fi/shard.h"
 #include "obs/progress.h"
 #include "obs/timing.h"
@@ -77,20 +78,28 @@ std::vector<std::uint64_t> CheckpointSites(std::uint64_t trace_length, std::uint
 CampaignStats RunCampaign(const ir::Module& module, const ddg::Graph& graph,
                           const vm::RunResult& golden, const CampaignOptions& options) {
   const obs::TraceSpan campaign_span("injection", "campaign");
-  const std::vector<FaultSite> sites = EnumerateFaultSites(graph);
+  const bool memory = options.injector.scenario == Scenario::kMemory;
+  std::shared_ptr<const MemoryScenario> scenario;
+  if (memory) scenario = std::make_shared<MemoryScenario>(graph);
+  const std::vector<FaultSite> sites =
+      memory ? scenario->FaultSites() : EnumerateFaultSites(graph);
   if (sites.empty()) throw std::runtime_error("RunCampaign: no injectable fault sites");
 
   Injector injector(module, golden, options.injector);
+  if (memory) injector.AttachMemoryScenario(scenario);
   Rng rng(options.seed);
 
-  // Sample uniformly over the *register-bit* population of the trace: site
-  // probability proportional to operand width, bit uniform within the
-  // operand. This makes campaign rates directly comparable to the bit-ratio
-  // metrics (PVF/ePVF/crash-rate estimates) they are plotted against.
+  // Register scenario: sample uniformly over the *register-bit* population of
+  // the trace — site probability proportional to operand width, bit uniform
+  // within the operand. This makes campaign rates directly comparable to the
+  // bit-ratio metrics (PVF/ePVF/crash-rate estimates) they are plotted
+  // against. Memory scenario: sites are dwell-weighted (dwell x 8 bits), so
+  // a byte exposed for a million instructions is sampled a million times more
+  // often than one consumed immediately — the Jaulmes FIT weighting.
   std::vector<std::uint64_t> cumulative_bits(sites.size());
   std::uint64_t running = 0;
   for (std::size_t i = 0; i < sites.size(); ++i) {
-    running += sites[i].width;
+    running += memory ? scenario->sites()[i].WeightBits() : sites[i].width;
     cumulative_bits[i] = running;
   }
 
@@ -190,6 +199,7 @@ CampaignStats RunCampaign(const ir::Module& module, const ddg::Graph& graph,
   // interrupted process loses at most one batch of work. Each run is a whole
   // program execution, so the batch barriers cost noise.
   std::vector<std::uint64_t> resumed_from(plan.size(), 0);
+  std::vector<std::uint8_t> statically_masked(plan.size(), 0);
   const std::size_t batch =
       options.on_progress && options.progress_interval > 0
           ? static_cast<std::size_t>(options.progress_interval)
@@ -218,6 +228,7 @@ CampaignStats RunCampaign(const ir::Module& module, const ddg::Graph& graph,
                   const PlannedRun& r = plan[i];
                   const auto result = injector.Inject(r.site, r.bit, r.jitter);
                   resumed_from[i] = result.resumed_from;
+                  statically_masked[i] = result.statically_masked ? 1 : 0;
                   stats.records[i] = FaultRecord{r.site, r.bit, result.outcome};
                   completed[i] = 1;
                   progress.Tick(static_cast<std::size_t>(result.outcome));
@@ -250,7 +261,9 @@ CampaignStats RunCampaign(const ir::Module& module, const ddg::Graph& graph,
     }
   }
   for (const std::uint32_t i : pending) {
-    if (resumed_from[i] > 0) {
+    if (statically_masked[i] != 0) {
+      stats.perf.statically_masked_runs += 1;
+    } else if (resumed_from[i] > 0) {
       stats.perf.checkpointed_runs += 1;
       stats.perf.skipped_instructions += resumed_from[i];
     } else {

@@ -96,6 +96,9 @@ struct CampaignPerf {
   std::uint64_t checkpointed_runs = 0;     ///< runs resumed from a snapshot
   std::uint64_t full_runs = 0;             ///< runs executed from instruction zero
   std::uint64_t skipped_instructions = 0;  ///< golden-prefix work the fast path avoided
+  /// Memory scenario: runs classified benign by delayed error reporting
+  /// (byte overwritten before any consuming load) without executing anything.
+  std::uint64_t statically_masked_runs = 0;
   double checkpoint_seconds = 0;           ///< extra golden replay + snapshot capture
   double inject_seconds = 0;               ///< wall time of the injection loop
 

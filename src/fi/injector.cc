@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "fi/memory_scenario.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "vm/compile.h"
@@ -35,7 +36,19 @@ std::vector<FaultSite> EnumerateFaultSites(const ddg::Graph& graph) {
 Injector::Injector(const ir::Module& module, const vm::RunResult& golden,
                    InjectorOptions options)
     : module_(module), golden_(golden), options_(std::move(options)), jitter_rng_(0x5EED) {
+  if (options_.scenario == Scenario::kMemory && options_.jitter_pages != 0) {
+    throw std::invalid_argument(
+        "Injector: the memory scenario requires jitter_pages == 0 (sites are absolute "
+        "addresses of the golden layout)");
+  }
   if (options_.engine != vm::Engine::kTree) bytecode_ = vm::bc::Compile(module_);
+}
+
+void Injector::AttachMemoryScenario(std::shared_ptr<const MemoryScenario> scenario) {
+  if (options_.scenario != Scenario::kMemory) {
+    throw std::logic_error("Injector::AttachMemoryScenario: scenario is not kMemory");
+  }
+  memory_scenario_ = std::move(scenario);
 }
 
 mem::LayoutJitter Injector::DrawJitter(Rng& rng) const {
@@ -95,6 +108,7 @@ Injector::InjectionResult Injector::Inject(const FaultSite& site, std::uint8_t b
   static obs::Counter& full_counter = obs::GetCounter("campaign.runs.full");
   static obs::Counter& resumed_counter = obs::GetCounter("campaign.runs.resumed");
   static obs::Counter& skipped_counter = obs::GetCounter("campaign.skipped_instructions");
+  static obs::Counter& masked_counter = obs::GetCounter("campaign.runs.statically_masked");
   obs::TraceSpan span("injection", "inject-full");
   vm::ExecOptions exec;
   exec.layout = options_.layout;
@@ -103,6 +117,36 @@ Injector::InjectionResult Injector::Inject(const FaultSite& site, std::uint8_t b
   exec.fault = vm::FaultPlan{site.dyn_index, site.slot, bit, options_.burst_length};
   exec.engine = options_.engine;
   exec.bytecode = bytecode_;
+
+  if (options_.scenario == Scenario::kMemory) {
+    if (memory_scenario_ == nullptr) {
+      throw std::logic_error("Injector::Inject: memory scenario not attached");
+    }
+    const MemorySite* ms = memory_scenario_->Find(site.dyn_index, site.slot);
+    if (ms == nullptr) {
+      throw std::invalid_argument("Injector::Inject: site is not a memory-scenario site");
+    }
+    if (bit >= 8) {
+      throw std::invalid_argument("Injector::Inject: memory sites are one byte (bit < 8)");
+    }
+    if (!ms->consumed) {
+      // Delayed error reporting: the byte is overwritten before any consuming
+      // load (or never read again), so the flip cannot propagate — benign by
+      // construction, no execution needed. Trivially identical across
+      // engines, checkpoints, jobs, and shards.
+      span.Rename("inject-masked");
+      masked_counter.Add();
+      InjectionResult masked;
+      masked.outcome = Outcome::kBenign;
+      masked.statically_masked = true;
+      return masked;
+    }
+    exec.fault->kind = vm::FaultKind::kMemory;
+    exec.fault->addr = ms->addr;
+    // The burst stays within the corrupted byte.
+    exec.fault->num_bits = static_cast<std::uint8_t>(
+        std::min<unsigned>(options_.burst_length, 8u - bit));
+  }
 
   // Suffix-replay fast path: every run is bit-identical to the golden run up
   // to the injection point, so a zero-jitter run can start from the nearest

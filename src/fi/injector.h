@@ -14,14 +14,19 @@
 #include <span>
 #include <vector>
 
+#include <memory>
+
 #include "ddg/graph.h"
 #include "fi/outcome.h"
+#include "fi/scenario.h"
 #include "ir/module.h"
 #include "support/rng.h"
 #include "vm/fault_plan.h"
 #include "vm/interpreter.h"
 
 namespace epvf::fi {
+
+class MemoryScenario;
 
 /// One injectable site: a register operand of a dynamic instruction.
 struct FaultSite {
@@ -50,6 +55,10 @@ struct InjectorOptions {
   /// campaign's cache identity: tiers are bit-identical by contract, so the
   /// same artifacts serve either engine.
   vm::Engine engine = vm::Engine::kAuto;
+  /// What resource flips land in. kMemory requires jitter_pages == 0 (sites
+  /// are absolute addresses of the golden layout — any jitter would relocate
+  /// them) and an attached MemoryScenario (see AttachMemoryScenario).
+  Scenario scenario = Scenario::kRegister;
 };
 
 class Injector {
@@ -64,6 +73,10 @@ class Injector {
     /// Dyn index the run started from: 0 = executed from scratch, >0 =
     /// resumed from the checkpoint captured before that instruction.
     std::uint64_t resumed_from = 0;
+    /// Memory scenario only: the site's byte is overwritten before any
+    /// consuming load, so delayed error reporting classified the flip benign
+    /// without executing anything (`run` is then empty).
+    bool statically_masked = false;
   };
 
   /// Executes one injection at (site, bit). `jitter` overrides the per-run
@@ -90,6 +103,14 @@ class Injector {
   /// Draws a uniformly random jitter allowed by the options.
   [[nodiscard]] mem::LayoutJitter DrawJitter(Rng& rng) const;
 
+  /// Memory scenario: supplies the site table Inject resolves FaultSite keys
+  /// against. Must be built from the same golden run's DDG. Required before
+  /// the first Inject when options().scenario == kMemory.
+  void AttachMemoryScenario(std::shared_ptr<const MemoryScenario> scenario);
+  [[nodiscard]] const std::shared_ptr<const MemoryScenario>& memory_scenario() const {
+    return memory_scenario_;
+  }
+
   [[nodiscard]] const vm::RunResult& golden() const { return golden_; }
   [[nodiscard]] const InjectorOptions& options() const { return options_; }
 
@@ -106,6 +127,7 @@ class Injector {
   /// Compiled eagerly — Inject is called concurrently from sharded workers.
   std::shared_ptr<const vm::bc::Program> bytecode_;
   std::vector<vm::Interpreter::Checkpoint> checkpoints_;  ///< sorted by dyn_index
+  std::shared_ptr<const MemoryScenario> memory_scenario_;
 };
 
 }  // namespace epvf::fi

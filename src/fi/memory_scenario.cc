@@ -1,0 +1,113 @@
+#include "fi/memory_scenario.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace epvf::fi {
+
+namespace {
+
+/// The open write interval of one byte while the sweep runs.
+struct OpenInterval {
+  std::uint32_t writer_dyn = 0;
+  ddg::NodeId node = ddg::kNoNode;
+  std::uint8_t slot = 0;
+};
+
+}  // namespace
+
+std::vector<MemorySite> EnumerateMemorySites(const ddg::Graph& graph) {
+  const obs::TraceSpan span("injection", "enumerate-memory-sites");
+  std::vector<MemorySite> sites;
+  std::unordered_map<std::uint64_t, OpenInterval> open;
+  const auto trace_end = static_cast<std::uint32_t>(graph.NumDynInstrs());
+
+  auto close = [&](std::uint64_t addr, const OpenInterval& iv, std::uint32_t end_dyn,
+                   bool consumed) {
+    MemorySite site;
+    site.addr = addr;
+    site.writer_dyn = iv.writer_dyn;
+    site.end_dyn = end_dyn;
+    site.node = iv.node;
+    site.slot = iv.slot;
+    site.consumed = consumed;
+    sites.push_back(site);
+  };
+
+  // accesses() is in dynamic order; bytes within an access are visited in
+  // address order, so the emitted sequence is fully deterministic.
+  for (const ddg::AccessRecord& access : graph.accesses()) {
+    if (access.is_store) {
+      const ddg::NodeId node = graph.GetDyn(access.dyn_index).result_node;
+      for (std::uint32_t b = 0; b < access.size; ++b) {
+        const std::uint64_t addr = access.addr + b;
+        auto [it, inserted] = open.try_emplace(addr);
+        if (!inserted) {
+          // Overwritten before any consuming load: dead by delayed reporting.
+          close(addr, it->second, access.dyn_index, /*consumed=*/false);
+        }
+        it->second = OpenInterval{access.dyn_index, node, static_cast<std::uint8_t>(b)};
+      }
+    } else {
+      for (std::uint32_t b = 0; b < access.size; ++b) {
+        const std::uint64_t addr = access.addr + b;
+        const auto it = open.find(addr);
+        if (it == open.end()) continue;  // byte never written in the trace
+        close(addr, it->second, access.dyn_index, /*consumed=*/true);
+        open.erase(it);
+      }
+    }
+  }
+  // Whatever is still open at trace end was written but never read again.
+  // The map's sweep order is unspecified, so these close via a sort below —
+  // the full site list is canonicalized to (writer_dyn, slot) order anyway.
+  for (const auto& [addr, iv] : open) close(addr, iv, trace_end, /*consumed=*/false);
+
+  std::sort(sites.begin(), sites.end(), [](const MemorySite& a, const MemorySite& b) {
+    if (a.writer_dyn != b.writer_dyn) return a.writer_dyn < b.writer_dyn;
+    return a.slot < b.slot;
+  });
+  return sites;
+}
+
+MemoryScenario::MemoryScenario(const ddg::Graph& graph) : sites_(EnumerateMemorySites(graph)) {
+  if (sites_.empty()) {
+    throw std::runtime_error("MemoryScenario: the golden trace performs no stores");
+  }
+  for (const MemorySite& site : sites_) total_weight_bits_ += site.WeightBits();
+  obs::GetCounter("scenario.memory.sites").Add(sites_.size());
+}
+
+FaultSite MemoryScenario::SiteKey(std::size_t i) const {
+  const MemorySite& site = sites_[i];
+  FaultSite key;
+  key.dyn_index = site.writer_dyn + 1;
+  key.slot = site.slot;
+  key.width = 8;
+  key.node = site.node;
+  return key;
+}
+
+std::vector<FaultSite> MemoryScenario::FaultSites() const {
+  std::vector<FaultSite> keys;
+  keys.reserve(sites_.size());
+  for (std::size_t i = 0; i < sites_.size(); ++i) keys.push_back(SiteKey(i));
+  return keys;
+}
+
+const MemorySite* MemoryScenario::Find(std::uint32_t dyn_index, std::uint8_t slot) const {
+  if (dyn_index == 0) return nullptr;
+  const std::uint32_t writer = dyn_index - 1;
+  const auto it = std::partition_point(
+      sites_.begin(), sites_.end(), [&](const MemorySite& s) {
+        return s.writer_dyn != writer ? s.writer_dyn < writer : s.slot < slot;
+      });
+  if (it == sites_.end() || it->writer_dyn != writer || it->slot != slot) return nullptr;
+  return &*it;
+}
+
+}  // namespace epvf::fi

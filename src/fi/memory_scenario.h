@@ -1,0 +1,91 @@
+// Memory-resident fault scenario: dwell-weighted (page, byte, bit) sites.
+//
+// Jaulmes et al. ("Memory Vulnerability: A Case for Delaying Error
+// Reporting") observe that a memory cell's contribution to AVF is the time a
+// value *dwells* between the store that produced it and the load that
+// consumes it — and that a corrupted byte overwritten before any consuming
+// load is harmless, so its error report can be delayed and then dropped.
+//
+// This module derives exactly that site population from the golden run's DDG
+// writer/reader shadow (ddg::Graph::accesses(), the per-access probe records
+// of paper section III-D): walking the accesses in dynamic order, every store
+// opens one interval per byte it writes, and the first later access touching
+// that byte closes it — a load marks the interval *consumed* (the flip is
+// live; its injection must execute), a store marks it *overwritten* (the flip
+// is dead; delayed reporting classifies it benign without running anything).
+// Intervals still open at trace end are likewise never consumed.
+//
+// Each site is keyed as an ordinary fi::FaultSite so records, resume
+// matching, artifacts, shards, and the serve protocol are reused unchanged:
+//
+//   dyn_index = writer_dyn + 1   (the flip lands right after the store)
+//   slot      = byte offset within the store's access
+//   width     = 8                (one byte; bits drawn uniformly within it)
+//   node      = the store's memory DDG node
+//
+// The sampling weight of a site is dwell x 8 bits (dwell = end_dyn -
+// writer_dyn, always >= 1): a byte that sits exposed for a million
+// instructions is a million times likelier to take the particle than one
+// consumed immediately — the FIT-weighting of the Jaulmes model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ddg/graph.h"
+#include "fi/injector.h"
+
+namespace epvf::fi {
+
+/// One memory-resident candidate site: a byte one dynamic store produced.
+struct MemorySite {
+  std::uint64_t addr = 0;        ///< absolute simulated address of the byte
+  std::uint32_t writer_dyn = 0;  ///< dynamic index of the producing store
+  /// Dynamic index of the closing event: the first consuming load, the first
+  /// overwriting store, or the trace length when nothing touches it again.
+  std::uint32_t end_dyn = 0;
+  ddg::NodeId node = ddg::kNoNode;  ///< memory node of the producing store
+  std::uint8_t slot = 0;            ///< byte offset within the store's access
+  /// True when the closing event is a load: the corrupted byte is read, so
+  /// the injection must execute. False = overwritten or never read — benign
+  /// by the delayed-error-reporting rule, no execution needed.
+  bool consumed = false;
+
+  /// Dwell interval in dynamic instructions (>= 1).
+  [[nodiscard]] std::uint64_t Dwell() const { return end_dyn - writer_dyn; }
+  /// Sampling weight: dwell x 8 bits.
+  [[nodiscard]] std::uint64_t WeightBits() const { return Dwell() * 8; }
+};
+
+/// Walks the access shadow and returns every store-produced byte interval,
+/// sorted by (writer_dyn, slot) — a pure function of (trace, layout), so two
+/// enumerations of the same golden run are element-wise identical.
+[[nodiscard]] std::vector<MemorySite> EnumerateMemorySites(const ddg::Graph& graph);
+
+/// The memory scenario of one golden run: the site table plus the lookup the
+/// injector and planner need. Immutable after construction, so one instance
+/// is shared by every concurrent injection of a campaign.
+class MemoryScenario {
+ public:
+  explicit MemoryScenario(const ddg::Graph& graph);
+
+  [[nodiscard]] const std::vector<MemorySite>& sites() const { return sites_; }
+
+  /// FaultSite encoding of sites()[i] (see the header comment).
+  [[nodiscard]] FaultSite SiteKey(std::size_t i) const;
+
+  /// All site keys in table order — the campaign/planner site population.
+  [[nodiscard]] std::vector<FaultSite> FaultSites() const;
+
+  /// The site a FaultSite key addresses, or nullptr. O(log n).
+  [[nodiscard]] const MemorySite* Find(std::uint32_t dyn_index, std::uint8_t slot) const;
+
+  /// Sum of WeightBits() over all sites (the sampling denominator).
+  [[nodiscard]] std::uint64_t TotalWeightBits() const { return total_weight_bits_; }
+
+ private:
+  std::vector<MemorySite> sites_;  ///< sorted by (writer_dyn, slot)
+  std::uint64_t total_weight_bits_ = 0;
+};
+
+}  // namespace epvf::fi

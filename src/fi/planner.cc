@@ -5,6 +5,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "fi/memory_scenario.h"
 #include "fi/shard.h"
 #include "ir/opcode.h"
 #include "obs/metrics.h"
@@ -29,6 +30,21 @@ constexpr int kNumClasses = 5;
 constexpr int kNumCrash = 3;
 constexpr int kNumDepth = 2;
 
+/// Memory scenario: the dwell-depth stratum axis. Log-spaced buckets — the
+/// dwell distribution is heavy-tailed (most bytes are consumed within a few
+/// instructions; a few persist for most of the trace), so linear buckets
+/// would put everything in one stratum.
+constexpr const char* kDwellNames[] = {"dwell-immediate", "dwell-short", "dwell-mid",
+                                       "dwell-long"};
+constexpr int kNumDwell = 4;
+
+int DwellBucket(std::uint64_t dwell) {
+  if (dwell < 4) return 0;
+  if (dwell < 64) return 1;
+  if (dwell < 4096) return 2;
+  return 3;
+}
+
 int ClassOf(ir::Opcode op) {
   using ir::Opcode;
   if (ir::IsMemoryAccess(op) || op == Opcode::kGep || op == Opcode::kAlloca) return 0;
@@ -49,11 +65,17 @@ int ClassOf(ir::Opcode op) {
 CampaignPlanner::CampaignPlanner(const ddg::Graph& graph, const ddg::AceResult& ace,
                                  const crash::CrashBits& crash_bits, const Injector& injector,
                                  std::uint64_t seed, StratifiedOptions options)
-    : injector_(injector), options_(options), sites_(EnumerateFaultSites(graph)) {
-  if (sites_.empty()) throw std::runtime_error("CampaignPlanner: no injectable fault sites");
+    : injector_(injector), options_(options) {
   if (!(options_.ci_target > 0.0)) {
     throw std::invalid_argument("CampaignPlanner: ci_target must be positive");
   }
+  if (injector.options().scenario == Scenario::kMemory) {
+    BuildMemoryStrata(ace, crash_bits, seed);
+    RetireSweep(0);
+    return;
+  }
+  sites_ = EnumerateFaultSites(graph);
+  if (sites_.empty()) throw std::runtime_error("CampaignPlanner: no injectable fault sites");
 
   // Backward-slice depth of every node: predecessors always carry smaller
   // ids, so one ascending sweep computes the height of each node's def tree.
@@ -128,6 +150,61 @@ CampaignPlanner::CampaignPlanner(const ddg::Graph& graph, const ddg::AceResult& 
   // With a zero confirming-samples floor the prior alone can already satisfy
   // the stopping rule; sweep once so Done() is honest before the first round.
   RetireSweep(0);
+}
+
+void CampaignPlanner::BuildMemoryStrata(const ddg::AceResult& ace,
+                                        const crash::CrashBits& crash_bits,
+                                        std::uint64_t seed) {
+  const auto& scenario = injector_.memory_scenario();
+  if (scenario == nullptr) {
+    throw std::invalid_argument("CampaignPlanner: memory scenario not attached to the injector");
+  }
+  sites_ = scenario->FaultSites();
+  const std::vector<MemorySite>& msites = scenario->sites();
+
+  // Strata = consumed sites by dwell-depth bucket, plus one stratum for the
+  // overwritten bytes (deterministically benign under delayed reporting — its
+  // prior retires it after the confirming-samples floor, and every one of its
+  // runs is a free short-circuit).
+  constexpr int kNumBuckets = kNumDwell + 1;  // last bucket: overwritten
+  std::vector<std::vector<std::uint32_t>> buckets(kNumBuckets);
+  std::uint64_t population_bits = 0;
+  for (std::size_t i = 0; i < msites.size(); ++i) {
+    const MemorySite& ms = msites[i];
+    const int key = ms.consumed ? DwellBucket(ms.Dwell()) : kNumDwell;
+    buckets[key].push_back(static_cast<std::uint32_t>(i));
+    population_bits += ms.WeightBits();
+  }
+
+  for (int key = 0; key < kNumBuckets; ++key) {
+    if (buckets[key].empty()) continue;
+    StratumState s;
+    s.name = key == kNumDwell ? std::string("mem/overwritten")
+                              : std::string("mem/consumed/") + kDwellNames[key];
+    s.sites = std::move(buckets[key]);
+    s.cumulative_bits.resize(s.sites.size());
+    // Within-stratum draws mirror the uniform memory campaign: site
+    // probability proportional to dwell x 8, bit uniform within the byte.
+    // The model prior is dwell-mass-weighted for the same reason.
+    std::uint64_t sdc_mass = 0;
+    std::uint64_t crash_mass = 0;
+    for (std::size_t j = 0; j < s.sites.size(); ++j) {
+      const MemorySite& ms = msites[s.sites[j]];
+      s.total_bits += ms.WeightBits();
+      s.cumulative_bits[j] = s.total_bits;
+      if (key != kNumDwell && ms.node != ddg::kNoNode && ace.Contains(ms.node)) {
+        const std::uint64_t cb = std::min<std::uint64_t>(crash_bits.CrashBitCount(ms.node), 8);
+        crash_mass += ms.Dwell() * cb;
+        sdc_mass += ms.Dwell() * (8 - cb);
+      }
+    }
+    s.weight = static_cast<double>(s.total_bits) / static_cast<double>(population_bits);
+    s.prior_sdc = static_cast<double>(sdc_mass) / static_cast<double>(s.total_bits);
+    s.prior_crash = static_cast<double>(crash_mass) / static_cast<double>(s.total_bits);
+    s.rng.Seed(seed ^ (0x9E3779B97F4A7C15ull * (strata_.size() + 1)));
+    strata_.push_back(std::move(s));
+  }
+  if (strata_.empty()) throw std::runtime_error("CampaignPlanner: no injectable fault sites");
 }
 
 bool CampaignPlanner::Done() const {

@@ -97,9 +97,12 @@ struct StratumState {
 
 class CampaignPlanner {
  public:
-  /// `injector` supplies the jitter draw policy; the planner only reads it.
-  /// Strata are built over EnumerateFaultSites(graph); empty strata are
-  /// dropped, so the kept strata are a disjoint cover of the site space.
+  /// `injector` supplies the jitter draw policy and the scenario; the planner
+  /// only reads it. Register scenario: strata are built over
+  /// EnumerateFaultSites(graph). Memory scenario: over the injector's
+  /// attached MemoryScenario sites, keyed by dwell depth (see
+  /// BuildMemoryStrata). Empty strata are dropped, so the kept strata are a
+  /// disjoint cover of the site space.
   CampaignPlanner(const ddg::Graph& graph, const ddg::AceResult& ace,
                   const crash::CrashBits& crash_bits, const Injector& injector,
                   std::uint64_t seed, StratifiedOptions options);
@@ -161,6 +164,12 @@ class CampaignPlanner {
 
  private:
   void RetireSweep(std::uint32_t round);
+  /// Memory scenario: strata over the injector's MemoryScenario site table —
+  /// consumed sites keyed by log-spaced dwell-depth buckets, plus one stratum
+  /// of overwritten (deterministically benign) bytes. Within-stratum draws
+  /// are dwell-weighted, mirroring the uniform memory campaign.
+  void BuildMemoryStrata(const ddg::AceResult& ace, const crash::CrashBits& crash_bits,
+                         std::uint64_t seed);
   [[nodiscard]] RateEstimate Composite(bool crash) const;
 
   const Injector& injector_;

@@ -1,0 +1,32 @@
+// Fault-scenario selection: what resource a campaign's flips land in.
+//
+// kRegister is the paper's model (LLFI-style source-register flips).
+// kMemory is the memory-resident extension (Jaulmes et al.): flips land in
+// simulated heap/stack/data pages, sites are weighted by how long the
+// corrupted byte dwells before a load consumes it, and bytes overwritten
+// before any consuming load are classified benign without execution
+// (delayed error reporting).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace epvf::fi {
+
+enum class Scenario : std::uint8_t {
+  kRegister = 0,
+  kMemory = 1,
+};
+
+[[nodiscard]] constexpr std::string_view ScenarioName(Scenario scenario) {
+  return scenario == Scenario::kMemory ? "memory" : "register";
+}
+
+[[nodiscard]] inline std::optional<Scenario> ParseScenario(std::string_view name) {
+  if (name == "register") return Scenario::kRegister;
+  if (name == "memory") return Scenario::kMemory;
+  return std::nullopt;
+}
+
+}  // namespace epvf::fi

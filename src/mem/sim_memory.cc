@@ -75,6 +75,19 @@ SimMemory::Page& SimMemory::TouchPage(std::uint64_t page_index) {
   return *slot;
 }
 
+void SimMemory::FlipBits(std::uint64_t addr, unsigned bit, unsigned count) {
+  if (count == 0 || bit >= 8 || bit + count > 8) {
+    throw std::invalid_argument("SimMemory::FlipBits: bit range must stay within one byte");
+  }
+  if (map_.Find(addr) == nullptr) {
+    throw std::out_of_range("SimMemory::FlipBits: address is not mapped");
+  }
+  const std::uint64_t page_index = addr >> kPageBits;
+  const std::uint64_t offset = addr & (kPageBytes - 1);
+  const auto mask = static_cast<std::uint8_t>(((1u << count) - 1u) << bit);
+  TouchPage(page_index)[offset] ^= mask;
+}
+
 void SimMemory::ReadBytes(std::uint64_t addr, std::span<std::uint8_t> out) const {
   std::size_t done = 0;
   while (done < out.size()) {

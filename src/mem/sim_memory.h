@@ -64,6 +64,16 @@ class SimMemory {
   /// vma (bumping the map version). Returns the fault, kNone if allowed.
   MemFault CheckAccess(std::uint64_t addr, unsigned size);
 
+  // --- fault injection --------------------------------------------------------
+  /// XORs bits [bit, bit + count) of the byte at `addr` — the memory-resident
+  /// fault primitive. The query against the map is passive (a flip must never
+  /// grow the stack vma the way a checked access can), and `addr` must lie
+  /// inside a mapped vma: flipping a never-mapped address throws
+  /// std::out_of_range. The flip goes through the copy-on-write path, so a
+  /// page shared with a live snapshot is cloned first and the snapshot's copy
+  /// stays pristine.
+  void FlipBits(std::uint64_t addr, unsigned bit, unsigned count);
+
   // --- raw data access (no checking; call CheckAccess first) -----------------
   void ReadBytes(std::uint64_t addr, std::span<std::uint8_t> out) const;
   void WriteBytes(std::uint64_t addr, std::span<const std::uint8_t> in);

@@ -126,10 +126,10 @@ const std::map<std::string, std::set<std::string>>& WorkerFlags() {
       {"analyze", {"scale", "jobs", "engine", "incremental"}},
       {"inject",
        {"scale", "runs", "jitter", "burst", "seed", "jobs", "checkpoints", "engine", "plan",
-        "ci-target", "max-runs"}},
+        "ci-target", "max-runs", "scenario"}},
       {"campaign",
        {"scale", "runs", "jitter", "burst", "seed", "jobs", "checkpoints", "engine", "plan",
-        "ci-target", "max-runs", "shards", "shard-timeout", "shard-retries"}},
+        "ci-target", "max-runs", "shards", "shard-timeout", "shard-retries", "scenario"}},
   };
   return allowed;
 }

@@ -288,6 +288,7 @@ void WriteCampaignArtifact(const CampaignArtifact& campaign, ArtifactWriter& wri
   out.U32(campaign.num_runs);
   out.U32(campaign.jitter_pages);
   out.U8(campaign.burst_length);
+  out.U8(campaign.scenario);
   out.U64(campaign.records.size());
   for (const fi::FaultRecord& r : campaign.records) {
     out.U32(r.site.dyn_index);
@@ -308,6 +309,7 @@ std::optional<CampaignArtifact> ReadCampaignArtifact(const ArtifactReader& reade
   campaign.num_runs = in->U32();
   campaign.jitter_pages = in->U32();
   campaign.burst_length = in->U8();
+  campaign.scenario = in->U8();
   const bool ok = ReadVec(*in, campaign.records, [](ByteReader& r) {
     fi::FaultRecord record;
     record.site.dyn_index = r.U32();
@@ -347,6 +349,7 @@ void WritePlanArtifact(const PlanArtifact& plan, ArtifactWriter& writer) {
   out.U32(plan.min_per_stratum);
   out.U32(plan.jitter_pages);
   out.U8(plan.burst_length);
+  out.U8(plan.scenario);
   WriteU32Vec(plan.round_sizes, out);
   out.U64(plan.records.size());
   for (const fi::FaultRecord& r : plan.records) {
@@ -372,6 +375,7 @@ std::optional<PlanArtifact> ReadPlanArtifact(const ArtifactReader& reader) {
   plan.min_per_stratum = in->U32();
   plan.jitter_pages = in->U32();
   plan.burst_length = in->U8();
+  plan.scenario = in->U8();
   bool ok = ReadU32Vec(*in, plan.round_sizes);
   ok = ok && ReadVec(*in, plan.records, [](ByteReader& r) {
          fi::FaultRecord record;

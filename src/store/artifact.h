@@ -64,13 +64,15 @@ struct CampaignArtifact {
   std::uint32_t num_runs = 0;
   std::uint32_t jitter_pages = 0;
   std::uint8_t burst_length = 1;
+  std::uint8_t scenario = 0;  ///< fi::Scenario (0 = register, 1 = memory)
   std::vector<fi::FaultRecord> records;
   std::vector<std::uint8_t> completed;  ///< 1 = records[i] is final
 
   [[nodiscard]] bool Matches(const fi::CampaignOptions& options) const {
     return num_runs == static_cast<std::uint32_t>(options.num_runs) && seed == options.seed &&
            jitter_pages == options.injector.jitter_pages &&
-           burst_length == options.injector.burst_length;
+           burst_length == options.injector.burst_length &&
+           scenario == static_cast<std::uint8_t>(options.injector.scenario);
   }
   [[nodiscard]] std::uint64_t CompletedCount() const;
   [[nodiscard]] bool Complete() const {
@@ -96,6 +98,7 @@ struct PlanArtifact {
   std::uint32_t min_per_stratum = 0;
   std::uint32_t jitter_pages = 0;
   std::uint8_t burst_length = 1;
+  std::uint8_t scenario = 0;  ///< fi::Scenario (0 = register, 1 = memory)
   std::vector<std::uint32_t> round_sizes;
   std::vector<fi::FaultRecord> records;  ///< sum(round_sizes) entries, round order
   std::vector<std::uint8_t> completed;   ///< 1 = records[i] is final
@@ -105,7 +108,8 @@ struct PlanArtifact {
     return seed == campaign.seed && jitter_pages == campaign.injector.jitter_pages &&
            burst_length == campaign.injector.burst_length && ci_target == plan.ci_target &&
            max_runs == plan.max_runs && round_size == plan.round_size &&
-           model_prior == plan.model_prior && min_per_stratum == plan.min_per_stratum;
+           model_prior == plan.model_prior && min_per_stratum == plan.min_per_stratum &&
+           scenario == static_cast<std::uint8_t>(campaign.injector.scenario);
   }
   [[nodiscard]] std::uint64_t CompletedCount() const;
 };

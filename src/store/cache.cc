@@ -91,6 +91,7 @@ std::string CanonicalKey(const CampaignKey& key) {
       << "|seed=" << key.options.seed << "|jitter=" << key.options.injector.jitter_pages
       << "|burst=" << static_cast<unsigned>(key.options.injector.burst_length)
       << "|hang=" << key.options.injector.hang_factor
+      << "|scenario=" << fi::ScenarioName(key.options.injector.scenario)
       << "|ientry=" << key.options.injector.entry;
   AppendLayout(out, key.options.injector.layout);
   return std::move(out).str();
@@ -384,6 +385,7 @@ fi::CampaignStats RunCampaignCached(const ir::Module& module, const ddg::Graph& 
     artifact.num_runs = static_cast<std::uint32_t>(options.num_runs);
     artifact.jitter_pages = options.injector.jitter_pages;
     artifact.burst_length = options.injector.burst_length;
+    artifact.scenario = static_cast<std::uint8_t>(options.injector.scenario);
     artifact.records = records;
     artifact.completed = completed;
     ArtifactWriter writer(ArtifactKind::kCampaign);
@@ -424,6 +426,7 @@ void PersistCampaignEntry(ArtifactCache& cache, const std::string& entry_id,
   artifact.num_runs = static_cast<std::uint32_t>(options.num_runs);
   artifact.jitter_pages = options.injector.jitter_pages;
   artifact.burst_length = options.injector.burst_length;
+  artifact.scenario = static_cast<std::uint8_t>(options.injector.scenario);
   artifact.records = records;
   artifact.completed = completed;
   ArtifactWriter writer(ArtifactKind::kCampaign);
@@ -593,6 +596,7 @@ void PersistPlanEntry(ArtifactCache& cache, const std::string& entry_id,
   artifact.min_per_stratum = plan.min_per_stratum;
   artifact.jitter_pages = options.injector.jitter_pages;
   artifact.burst_length = options.injector.burst_length;
+  artifact.scenario = static_cast<std::uint8_t>(options.injector.scenario);
   artifact.round_sizes = round_sizes;
   artifact.records = records;
   artifact.completed = completed;

@@ -25,7 +25,8 @@ inline constexpr std::uint32_t kMagic = 0x46565045u;
 
 /// Bump on ANY change to the serialized layout of any artifact.
 /// v2: per-unit compositional artifacts (kUnitManifest / kUnit).
-inline constexpr std::uint32_t kFormatVersion = 2;
+/// v3: campaign/plan artifacts carry the fault scenario (register/memory).
+inline constexpr std::uint32_t kFormatVersion = 3;
 
 enum class ArtifactKind : std::uint32_t {
   kAnalysis = 1,      ///< golden trace metadata + DDG + ACE + crash bits (+ use-weighted sums)

@@ -229,7 +229,8 @@ RunResult Interpreter::ExecuteBytecode(std::vector<Frame> seed, std::uint64_t dy
 
     // --- operand gathering + fault injection (tree-tier order) -------------
     operand_buf.assign(inst.operands.size(), 0);
-    const bool fault_here = fault.has_value() && fault->dyn_index == dyn;
+    const bool fault_here =
+        fault.has_value() && fault->kind == FaultKind::kRegister && fault->dyn_index == dyn;
     std::uint32_t selected = ir::kInvalidIndex;
 
     if (inst.op == Opcode::kPhi) {
@@ -516,6 +517,15 @@ events:
       } while (next_ckpt < checkpoint_at.size() && checkpoint_at[next_ckpt] <= dyn);
     }
     if (dyn >= max_instr) return trap_out(TrapKind::kInstructionLimit, 0);
+    // Memory-resident faults: corrupt the byte before instruction #dyn runs
+    // (the guard clamps the fast loop, so the event loop always observes the
+    // site index). Same placement as the tree tier — the tiers stay
+    // bit-identical per run.
+    if (fault.has_value() && fault->kind == FaultKind::kMemory && fault->dyn_index == dyn &&
+        !result.fault_was_applied) {
+      memory_.FlipBits(fault->addr, fault->bit, fault->num_bits);
+      result.fault_was_applied = true;
+    }
     const std::uint64_t g = guard();
     if (dyn + 2 <= g) {
       fast_guard = g;

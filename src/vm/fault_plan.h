@@ -1,23 +1,42 @@
 // Fault specification for a single injection run.
 //
-// Mirrors LLFI's injection model as the paper uses it (section IV-A): a
-// single transient bit flip into a *source register* of one executed dynamic
-// instruction. Because the flip is applied to a register that is read by the
-// targeted instruction, every injected fault is activated by construction —
-// matching "all faults are activated as they are used in the instruction".
+// Two fault kinds share the plan:
+//
+//   * kRegister — LLFI's injection model as the paper uses it (section IV-A):
+//     a single transient bit flip into a *source register* of one executed
+//     dynamic instruction. Because the flip is applied to a register that is
+//     read by the targeted instruction, every injected fault is activated by
+//     construction — matching "all faults are activated as they are used in
+//     the instruction".
+//
+//   * kMemory — a memory-resident fault (Jaulmes et al., "Memory
+//     Vulnerability: A Case for Delaying Error Reporting"): bits of the byte
+//     at `addr` are flipped in the simulated address space immediately
+//     *before* dynamic instruction `dyn_index` executes. The corrupted byte
+//     then dwells in memory until a load consumes it (or a store overwrites
+//     it), so activation is decided by the data flow, not by construction.
 #pragma once
 
 #include <cstdint>
 
 namespace epvf::vm {
 
+enum class FaultKind : std::uint8_t {
+  kRegister = 0,  ///< flip a source-register operand of the targeted instruction
+  kMemory = 1,    ///< flip bits of the byte at `addr` before the targeted instruction
+};
+
 struct FaultPlan {
   std::uint64_t dyn_index = 0;  ///< dynamic instruction at which to inject
-  std::uint8_t operand_slot = 0;  ///< which source operand's register to corrupt
-  std::uint8_t bit = 0;           ///< first bit to flip (must be < operand width)
+  std::uint8_t operand_slot = 0;  ///< which source operand's register to corrupt (kRegister)
+  std::uint8_t bit = 0;           ///< first bit to flip (< operand width; < 8 for kMemory)
   /// Burst length: adjacent bits flipped together (1 = the paper's primary
-  /// single-bit model; >1 = the section II-E multi-bit extension).
+  /// single-bit model; >1 = the section II-E multi-bit extension). Memory
+  /// faults are confined to one byte: bit + num_bits must stay <= 8.
   std::uint8_t num_bits = 1;
+  FaultKind kind = FaultKind::kRegister;
+  /// kMemory only: absolute simulated address of the byte to corrupt.
+  std::uint64_t addr = 0;
 };
 
 }  // namespace epvf::vm

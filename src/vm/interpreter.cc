@@ -200,6 +200,15 @@ RunResult Interpreter::Execute(std::vector<Frame> stack, std::uint64_t dyn, RunR
       return trap_out(TrapKind::kInstructionLimit, 0);
     }
 
+    // Memory-resident faults corrupt the byte *before* instruction #dyn runs
+    // (the instruction after the producing store), so a run resumed from any
+    // checkpoint at or before the site replays the identical corruption.
+    if (fault.has_value() && fault->kind == FaultKind::kMemory && fault->dyn_index == dyn &&
+        !result.fault_was_applied) {
+      memory_.FlipBits(fault->addr, fault->bit, fault->num_bits);
+      result.fault_was_applied = true;
+    }
+
     DynContext ctx;
     ctx.dyn_index = dyn;
     ctx.sid = ir::StaticInstrId{frame.fn, frame.block, frame.ip};
@@ -209,7 +218,8 @@ RunResult Interpreter::Execute(std::vector<Frame> stack, std::uint64_t dyn, RunR
 
     // --- operand gathering + fault injection --------------------------------
     operand_buf.assign(inst.operands.size(), 0);
-    const bool fault_here = fault.has_value() && fault->dyn_index == dyn;
+    const bool fault_here =
+        fault.has_value() && fault->kind == FaultKind::kRegister && fault->dyn_index == dyn;
 
     if (inst.op == Opcode::kPhi) {
       // Precompute the whole leading phi group on first encounter so that

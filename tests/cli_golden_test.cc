@@ -335,6 +335,83 @@ TEST(CliEngine, WorkerRelaunchKeepsTheBytecodeTierIdentical) {
   EXPECT_EQ(MergedCampaignArtifact(faulty_dir.path), MergedCampaignArtifact(baseline_dir.path));
 }
 
+// --- fault scenario selection (--scenario register|memory) -------------------
+
+TEST(CliScenario, UnknownScenarioIsFour) {
+  EXPECT_EQ(RunCli("inject mm --scenario cosmic").exit_code, 4);
+  EXPECT_EQ(RunCli("campaign mm --scenario cosmic").exit_code, 4);
+}
+
+TEST(CliScenario, MemoryRejectsExplicitJitter) {
+  // Memory sites are absolute golden-layout addresses; jitter would relocate
+  // them, so asking for both is a usage error, not a silent override.
+  EXPECT_EQ(RunCli("inject mm --scenario memory --jitter 2").exit_code, 2);
+  EXPECT_EQ(RunCli("inject mm --scenario memory --jitter 0 --runs 4 --scale 0 --no-cache")
+                .exit_code,
+            0);
+}
+
+TEST(CliScenario, RegisterFlagMatchesTheDefaultGolden) {
+  // --scenario register is the long-standing default spelled out: stdout must
+  // be byte-for-byte the plain inject golden.
+  const CliResult r =
+      RunCli("inject mm --scale 0 --runs 40 --seed 7 --no-cache --scenario register");
+  ASSERT_EQ(r.exit_code, 0);
+  ExpectMatchesGolden("inject_mm.txt", r.stdout_text);
+}
+
+TEST(CliScenario, InjectLuleshMemoryGolden) {
+  const CliResult r =
+      RunCli("inject lulesh --scale 0 --runs 60 --seed 7 --no-cache --scenario memory");
+  ASSERT_EQ(r.exit_code, 0);
+  ExpectMatchesGolden("inject_lulesh_memory.txt", r.stdout_text);
+}
+
+TEST(CliScenario, MemoryDiagnosticsStayOffStdout) {
+  // Scenario plumbing adds stderr diagnostics only; the stdout report shape
+  // is shared with the register scenario.
+  const CliResult r = RunCli("inject mm --scale 0 --runs 40 --seed 7 --no-cache "
+                             "--scenario memory --checkpoints 3");
+  ASSERT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.stdout_text.find("cache:"), std::string::npos);
+  EXPECT_EQ(r.stdout_text.find("scenario"), std::string::npos);
+  EXPECT_EQ(r.stdout_text.find("checkpoint"), std::string::npos);
+  EXPECT_NE(r.stdout_text.find("campaign (40 injections)"), std::string::npos);
+}
+
+TEST(CliScenario, ShardedMemoryCampaignIsByteIdenticalIncludingTheArtifact) {
+  // The tentpole identity contract at the process level: a sharded memory
+  // campaign must produce the same stdout AND the same merged record artifact
+  // as a single shard (the records carry the scenario byte, so a mismatch in
+  // either direction would fork the artifact bytes).
+  TempDir one_dir;
+  TempDir three_dir;
+  const std::string args = "campaign mm --scale 0 --runs 40 --seed 7 --scenario memory";
+  const CliResult one = RunCli(args + " --shards 1 --cache-dir " + one_dir.path);
+  const CliResult three = RunCli(args + " --shards 3 --cache-dir " + three_dir.path);
+  ASSERT_EQ(one.exit_code, 0);
+  ASSERT_EQ(three.exit_code, 0);
+  EXPECT_EQ(three.stdout_text, one.stdout_text);
+  EXPECT_EQ(MergedCampaignArtifact(three_dir.path), MergedCampaignArtifact(one_dir.path));
+}
+
+TEST(CliScenario, MemoryAndRegisterCampaignsAreCachedSeparately) {
+  // Same target, runs, and seed — only the scenario differs. The cache must
+  // key them apart (scenario is part of the canonical campaign key), so the
+  // second run is a miss that produces different outcome counts, not a bogus
+  // hit that replays register records as memory ones.
+  TempDir tmp;
+  const std::string base = "inject mm --scale 0 --runs 40 --seed 7 --cache-dir " + tmp.path;
+  const CliResult reg = RunCli(base);
+  const CliResult mem = RunCli(base + " --scenario memory");
+  ASSERT_EQ(reg.exit_code, 0);
+  ASSERT_EQ(mem.exit_code, 0);
+  EXPECT_NE(mem.stdout_text, reg.stdout_text);
+  // Warm repeats of each stay byte-identical to their own cold run.
+  EXPECT_EQ(RunCli(base).stdout_text, reg.stdout_text);
+  EXPECT_EQ(RunCli(base + " --scenario memory").stdout_text, mem.stdout_text);
+}
+
 // --- cache subcommands on a missing/empty directory (regression) -------------
 
 TEST(CliCache, ClearOnMissingDirSucceedsWithoutCreatingIt) {

@@ -132,5 +132,94 @@ TEST(SimMemory, DataAllocationGrowsDataSegment) {
   EXPECT_GE(data->end, g2 + 8192);
 }
 
+// --- FlipBits (the memory-resident fault primitive) --------------------------
+
+TEST(SimMemoryFlip, FlipsExactlyTheRequestedBits) {
+  SimMemory mem;
+  const std::uint64_t addr = mem.Malloc(64);
+  mem.StoreScalar(addr, 1, 0b0000'1010);
+  mem.FlipBits(addr, 1, 1);
+  EXPECT_EQ(mem.LoadScalar(addr, 1), 0b0000'1000u);
+  mem.FlipBits(addr, 3, 2);  // burst of two adjacent bits
+  EXPECT_EQ(mem.LoadScalar(addr, 1), 0b0001'0000u);
+  mem.FlipBits(addr, 3, 2);  // XOR is its own inverse
+  EXPECT_EQ(mem.LoadScalar(addr, 1), 0b0000'1000u);
+}
+
+TEST(SimMemoryFlip, NeverMappedAddressThrowsCleanly) {
+  SimMemory mem;
+  // The gap between segments is unmapped; so is address zero.
+  EXPECT_THROW(mem.FlipBits(0, 0, 1), std::out_of_range);
+  const Vma* data = mem.map().FindKind(SegmentKind::kData);
+  const Vma* heap = mem.map().FindKind(SegmentKind::kHeap);
+  ASSERT_NE(data, nullptr);
+  ASSERT_NE(heap, nullptr);
+  ASSERT_GT(heap->start, data->end) << "layout must leave an inter-segment gap";
+  EXPECT_THROW(mem.FlipBits(data->end, 0, 1), std::out_of_range);
+  // A cross-byte bit range is a caller bug regardless of the address.
+  const std::uint64_t addr = mem.Malloc(8);
+  EXPECT_THROW(mem.FlipBits(addr, 7, 2), std::invalid_argument);
+  EXPECT_THROW(mem.FlipBits(addr, 8, 1), std::invalid_argument);
+  EXPECT_THROW(mem.FlipBits(addr, 0, 0), std::invalid_argument);
+}
+
+TEST(SimMemoryFlip, MustNotGrowTheStackVma) {
+  // CheckAccess on a below-esp stack address grows the vma (Figure 4 case I);
+  // a particle strike must never have that side effect, so FlipBits is a
+  // passive query: outside the current stack vma it throws instead.
+  SimMemory mem;
+  const Vma* stack = mem.map().FindKind(SegmentKind::kStack);
+  ASSERT_NE(stack, nullptr);
+  const std::uint64_t below = stack->start - 64;
+  const std::uint64_t version_before = mem.map().version();
+  EXPECT_THROW(mem.FlipBits(below, 0, 1), std::out_of_range);
+  EXPECT_EQ(mem.map().version(), version_before);
+}
+
+TEST(SimMemoryFlip, PageBoundaryFlipSurvivesSnapshotRestore) {
+  SimMemory mem;
+  // Land one byte on each side of a 4 KiB page boundary inside the heap.
+  const std::uint64_t block = mem.Malloc(3 * 4096);
+  const std::uint64_t boundary = (block + 4096) & ~std::uint64_t{4095};
+  mem.StoreScalar(boundary - 1, 1, 0xAA);
+  mem.StoreScalar(boundary, 1, 0x55);
+
+  const MemSnapshot snap = mem.TakeSnapshot();
+  mem.FlipBits(boundary - 1, 7, 1);  // last byte of the lower page
+  mem.FlipBits(boundary, 0, 1);      // first byte of the upper page
+  EXPECT_EQ(mem.LoadScalar(boundary - 1, 1), 0xAAu ^ 0x80u);
+  EXPECT_EQ(mem.LoadScalar(boundary, 1), 0x55u ^ 0x01u);
+
+  // The snapshot predates the flips, so restoring it undoes both.
+  mem.RestoreSnapshot(snap);
+  EXPECT_EQ(mem.LoadScalar(boundary - 1, 1), 0xAAu);
+  EXPECT_EQ(mem.LoadScalar(boundary, 1), 0x55u);
+}
+
+TEST(SimMemoryFlip, CowSharingWithLiveSnapshotStaysIntact) {
+  // The whole checkpoint fast path hangs on this: N injected runs restore the
+  // same snapshot, each flips its own byte, and none of them may see another
+  // run's corruption through a shared page.
+  SimMemory golden;
+  const std::uint64_t addr = golden.Malloc(4096);
+  golden.StoreScalar(addr, 8, 0x0123456789ABCDEFull);
+  const MemSnapshot snap = golden.TakeSnapshot();
+
+  SimMemory run_a;
+  run_a.RestoreSnapshot(snap);
+  SimMemory run_b;
+  run_b.RestoreSnapshot(snap);
+  run_a.FlipBits(addr, 0, 1);
+  EXPECT_EQ(run_a.LoadScalar(addr, 8), 0x0123456789ABCDEFull ^ 1u);
+  EXPECT_EQ(run_b.LoadScalar(addr, 8), 0x0123456789ABCDEFull)
+      << "run A's injected page copy leaked into run B";
+  EXPECT_EQ(golden.LoadScalar(addr, 8), 0x0123456789ABCDEFull)
+      << "run A's injected page copy leaked into the snapshot source";
+  // And the snapshot still restores pristine bytes after all that.
+  SimMemory run_c;
+  run_c.RestoreSnapshot(snap);
+  EXPECT_EQ(run_c.LoadScalar(addr, 8), 0x0123456789ABCDEFull);
+}
+
 }  // namespace
 }  // namespace epvf::mem

@@ -597,6 +597,18 @@ TEST(ServeEndToEnd, ConnectedAnalyzeAndInjectMatchLocalStdoutByteForByte) {
   ASSERT_EQ(remote_inject.exit_code, 0);
   EXPECT_EQ(remote_inject.stdout_text, local_inject.stdout_text);
 
+  // The memory-resident scenario rides the same wire: the daemon accepts
+  // --scenario and its stdout matches a local memory campaign byte for byte.
+  const std::string memory_args =
+      "inject mm --scale 1 --runs 24 --seed 9 --jobs 1 --scenario memory";
+  const CliResult local_memory = RunCli(memory_args + " --no-cache");
+  const CliResult remote_memory = RunCli(memory_args + " --connect " + socket_path);
+  ASSERT_EQ(local_memory.exit_code, 0);
+  ASSERT_EQ(remote_memory.exit_code, 0);
+  EXPECT_EQ(remote_memory.stdout_text, local_memory.stdout_text);
+  EXPECT_NE(local_memory.stdout_text, local_inject.stdout_text)
+      << "the two scenarios were supposed to produce different outcome mixes";
+
   // status reports over the CLI too, and names the daemon socket.
   const CliResult status = RunCli("status --connect " + socket_path);
   EXPECT_EQ(status.exit_code, 0);

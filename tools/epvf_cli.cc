@@ -72,6 +72,8 @@
 #include "epvf/sampling.h"
 #include "epvf/units.h"
 #include "fi/campaign.h"
+#include "fi/memory_scenario.h"
+#include "fi/scenario.h"
 #include "fi/shard.h"
 #include "fi/supervisor.h"
 #include "fi/targeted.h"
@@ -125,6 +127,8 @@ struct Options {
 
   /// Resolved --engine / EPVF_ENGINE value (validated in main).
   vm::Engine engine = vm::Engine::kAuto;
+  /// Resolved --scenario value (validated in main).
+  fi::Scenario scenario = fi::Scenario::kRegister;
 };
 
 /// Flags each command accepts — anything else is rejected with the offending
@@ -140,7 +144,7 @@ const std::map<std::string, std::set<std::string>>& AllowedFlags() {
       {"inject",
        {"scale", "runs", "jitter", "burst", "seed", "jobs", "checkpoints", "cache-dir",
         "no-cache", "trace-out", "metrics-out", "engine", "plan", "ci-target", "max-runs",
-        "connect", "priority"}},
+        "connect", "priority", "scenario"}},
       // --worker-shard and --plan-round are internal plumbing (the supervisor
       // relaunching this binary for one shard / one planner round), accepted
       // but undocumented.
@@ -148,7 +152,7 @@ const std::map<std::string, std::set<std::string>>& AllowedFlags() {
        {"scale", "runs", "jitter", "burst", "seed", "jobs", "checkpoints", "cache-dir",
         "no-cache", "trace-out", "metrics-out", "shards", "shard-timeout", "shard-retries",
         "worker-shard", "engine", "plan", "ci-target", "max-runs", "plan-round", "connect",
-        "priority"}},
+        "priority", "scenario"}},
       {"sample", {"scale", "fraction", "jobs"}},
       {"protect", {"scale", "budget", "rank", "real", "jobs", "runs"}},
       {"print", {"scale"}},
@@ -181,6 +185,7 @@ int Usage() {
                "  inject  <target> [--runs N] [--jitter P] [--burst B] [--seed S]\n"
                "                   [--checkpoints N] [--plan uniform|stratified]\n"
                "                   [--ci-target W] [--max-runs N]\n"
+               "                   [--scenario register|memory]\n"
                "                                   fault-injection campaign + model validation\n"
                "                                   (--plan stratified: the statistical planner\n"
                "                                   stratifies fault sites by instruction class,\n"
@@ -193,6 +198,17 @@ int Usage() {
                "                                   campaign; -1 = auto, 0 = off; outcomes are\n"
                "                                   identical at every setting; needs --jitter 0,\n"
                "                                   jittered runs always execute from scratch)\n"
+               "                                   (--scenario memory: flips land in simulated\n"
+               "                                   heap/stack bytes instead of register slots;\n"
+               "                                   sites are store-written bytes weighted by\n"
+               "                                   write-to-load dwell time, and a byte that is\n"
+               "                                   overwritten before any load is benign without\n"
+               "                                   execution — delayed error reporting; implies\n"
+               "                                   and requires --jitter 0; default: register)\n"
+               "                                   (flag precedence: --plan stratified ignores\n"
+               "                                   --runs and uses --ci-target/--max-runs;\n"
+               "                                   --engine beats EPVF_ENGINE; --scenario\n"
+               "                                   composes with either plan and any engine)\n"
                "  campaign <target> [--shards N] [--shard-timeout S] [--shard-retries R]\n"
                "                   [+ every inject flag]\n"
                "                                   inject sharded across N worker processes\n"
@@ -375,7 +391,11 @@ fi::CampaignOptions MakeCampaignOptions(const Options& options, const core::Anal
   fi::CampaignOptions campaign;
   campaign.num_runs = options.Int("runs", 500);
   campaign.seed = static_cast<std::uint64_t>(options.Int("seed", 42));
-  campaign.injector.jitter_pages = static_cast<std::uint32_t>(options.Int("jitter", 2));
+  campaign.injector.scenario = options.scenario;
+  // Memory sites are absolute golden-layout addresses, so --scenario memory
+  // defaults to zero jitter (an explicit nonzero --jitter is rejected in main).
+  const bool memory = options.scenario == fi::Scenario::kMemory;
+  campaign.injector.jitter_pages = static_cast<std::uint32_t>(options.Int("jitter", memory ? 0 : 2));
   campaign.injector.burst_length = static_cast<std::uint8_t>(options.Int("burst", 1));
   campaign.injector.engine = options.engine;
   campaign.num_threads = options.Int("jobs", 0);
@@ -419,6 +439,15 @@ void PrintCampaignReport(const core::Analysis& a, const fi::CampaignStats& stats
               a.CrashRateEstimate(), stats.CrashRate(), recall.Recall() * 100,
               static_cast<unsigned long long>(recall.predicted),
               static_cast<unsigned long long>(recall.crash_runs));
+}
+
+/// Memory-scenario campaigns resolve their FaultSite keys against the
+/// dwell-weighted site table, so the injector needs it attached wherever the
+/// CLI builds one (the planner and executor only read the injector).
+void AttachScenario(fi::Injector& injector, const fi::CampaignOptions& campaign,
+                    const core::Analysis& a) {
+  if (campaign.injector.scenario != fi::Scenario::kMemory) return;
+  injector.AttachMemoryScenario(std::make_shared<const fi::MemoryScenario>(a.graph()));
 }
 
 /// --plan uniform|stratified (uniform = the classic fixed-runs campaign).
@@ -495,6 +524,7 @@ int RunStratifiedInProcess(const Options& options, const ir::Module& module,
   const store::PlanKey pkey{
       store::CampaignKey{key.has_value() ? *key : store::AnalysisKey{}, campaign}, plan};
   fi::Injector injector(module, a.golden(), campaign.injector);
+  AttachScenario(injector, campaign, a);
 
   obs::ProgressReporter progress(MakeProgressOptions("inject"));
   const store::StratifiedResult result = store::RunStratifiedCampaign(
@@ -631,6 +661,7 @@ int CmdCampaignWorker(const Options& options) {
     const store::PlanKey pkey{store::CampaignKey{key, campaign}, plan};
     const auto round = static_cast<std::uint32_t>(options.Int("plan-round", 0));
     fi::Injector injector(module, a.golden(), campaign.injector);
+    AttachScenario(injector, campaign, a);
     const std::uint64_t done =
         store::RunStratifiedRoundShard(a, injector, campaign, plan, pkey, cache, round,
                                        shard_index, shard_count, persist_every, after_persist);
@@ -685,6 +716,7 @@ int CmdCampaignStratifiedSharded(const Options& options, const ir::Module& modul
   const store::PlanKey pkey{store::CampaignKey{key, campaign}, plan};
   const std::string plan_id = store::CacheId(pkey);
   fi::Injector injector(module, a.golden(), campaign.injector);
+  AttachScenario(injector, campaign, a);
 
   obs::ProgressReporter progress(MakeProgressOptions("campaign"));
 
@@ -711,7 +743,7 @@ int CmdCampaignStratifiedSharded(const Options& options, const ir::Module& modul
           SubprocessOptions cmd;
           cmd.argv = {g_self_exe, "campaign", options.target};
           for (const char* flag : {"scale", "runs", "jitter", "burst", "seed", "checkpoints",
-                                   "engine", "plan", "ci-target", "max-runs"}) {
+                                   "engine", "plan", "ci-target", "max-runs", "scenario"}) {
             const auto it = options.flags.find(flag);
             if (it == options.flags.end()) continue;
             cmd.argv.push_back(std::string("--") + flag);
@@ -947,7 +979,8 @@ int CmdCampaign(const Options& options) {
     // Forward only the flags the user actually passed: the worker applies
     // the same defaults, and values like the --checkpoints auto sentinel
     // (-1) cannot round-trip through the flag parser anyway.
-    for (const char* flag : {"scale", "runs", "jitter", "burst", "seed", "checkpoints", "engine"}) {
+    for (const char* flag :
+         {"scale", "runs", "jitter", "burst", "seed", "checkpoints", "engine", "scenario"}) {
       const auto it = options.flags.find(flag);
       if (it == options.flags.end()) continue;
       cmd.argv.push_back(std::string("--") + flag);
@@ -1353,6 +1386,19 @@ std::optional<vm::Engine> ResolveEngine(const Options& options) {
   return engine;
 }
 
+/// --scenario register|memory (register = the classic operand-bit campaign).
+/// Prints the offending value and returns nullopt on anything else (the
+/// caller exits with the unknown-flag code, matching ResolveEngine).
+std::optional<fi::Scenario> ResolveScenario(const Options& options) {
+  const std::string name = options.Str("scenario", "register");
+  const std::optional<fi::Scenario> scenario = fi::ParseScenario(name);
+  if (!scenario.has_value()) {
+    std::fprintf(stderr, "epvf: unknown scenario '%s' (expected register or memory)\n",
+                 name.c_str());
+  }
+  return scenario;
+}
+
 /// --trace-out beats EPVF_TRACE. Env values: 0 = off, 1 = epvf-trace.json,
 /// anything else is the output path. Empty = tracing disabled.
 std::string ResolveTraceOut(const Options& options) {
@@ -1624,6 +1670,16 @@ int main(int argc, char** argv) {
   const std::optional<vm::Engine> engine = ResolveEngine(options);
   if (!engine.has_value()) return kExitUnknownFlag;
   options.engine = *engine;
+
+  const std::optional<fi::Scenario> scenario = ResolveScenario(options);
+  if (!scenario.has_value()) return kExitUnknownFlag;
+  options.scenario = *scenario;
+  if (options.scenario == fi::Scenario::kMemory && options.Int("jitter", 0) != 0) {
+    std::fprintf(stderr,
+                 "epvf: --scenario memory requires --jitter 0 (memory sites are absolute "
+                 "addresses of the golden layout)\n");
+    return kExitUsage;
+  }
 
   const std::string trace_out = ResolveTraceOut(options);
   const std::string metrics_out = options.Str("metrics-out", "");
